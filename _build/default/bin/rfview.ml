@@ -1,0 +1,116 @@
+(* rfview — command-line front end for the reporting-function engine.
+
+   Subcommands:
+     run FILE        execute a SQL script and print every result
+     repl            interactive SQL shell (line-based; ';' terminates)
+     demo            start the repl with the credit-card demo schema loaded
+
+   Options:
+     --self-join     execute reporting functions via the Fig. 2 self-join
+                     simulation instead of the native window operator
+     --naive-window  use the naive O(n·w) window strategy *)
+
+module Db = Rfview_engine.Database
+module Relation = Rfview_relalg.Relation
+
+let configure db ~self_join ~naive_window =
+  if self_join then Db.set_window_mode db `Self_join;
+  if naive_window then Db.set_window_strategy db Rfview_relalg.Window.Naive
+
+let print_result = function
+  | Db.Relation r ->
+    Relation.print ~max_rows:100 r;
+    Printf.printf "(%d rows)\n%!" (Relation.cardinality r)
+  | Db.Done msg -> Printf.printf "%s\n%!" msg
+
+let report_error = function
+  | Rfview_sql.Lexer.Lex_error (m, off) -> Printf.printf "lex error at %d: %s\n%!" off m
+  | Rfview_sql.Parser.Parse_error m -> Printf.printf "parse error: %s\n%!" m
+  | Rfview_planner.Binder.Bind_error m -> Printf.printf "bind error: %s\n%!" m
+  | Rfview_engine.Catalog.Catalog_error m -> Printf.printf "catalog error: %s\n%!" m
+  | Db.Engine_error m -> Printf.printf "error: %s\n%!" m
+  | Rfview_relalg.Value.Type_error m -> Printf.printf "type error: %s\n%!" m
+  | e -> Printf.printf "error: %s\n%!" (Printexc.to_string e)
+
+let run_script db sql =
+  match Db.exec_script db sql with
+  | results -> List.iter print_result results
+  | exception e -> report_error e
+
+let cmd_run file self_join naive_window =
+  let db = Db.create () in
+  configure db ~self_join ~naive_window;
+  let ic = open_in file in
+  let len = in_channel_length ic in
+  let sql = really_input_string ic len in
+  close_in ic;
+  run_script db sql
+
+let repl db =
+  Printf.printf
+    "rfview SQL shell — terminate statements with ';', exit with \\q or Ctrl-D\n%!";
+  let buf = Buffer.create 256 in
+  let rec loop () =
+    Printf.printf (if Buffer.length buf = 0 then "rfview> " else "   ...> ");
+    Printf.printf "%!";
+    match input_line stdin with
+    | exception End_of_file -> ()
+    | line when String.trim line = "\\q" -> ()
+    | line ->
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n';
+      let text = Buffer.contents buf in
+      if String.contains line ';' then begin
+        Buffer.clear buf;
+        (match Db.exec_script db text with
+         | results -> List.iter print_result results
+         | exception e -> report_error e)
+      end;
+      loop ()
+  in
+  loop ()
+
+let cmd_repl self_join naive_window =
+  let db = Db.create () in
+  configure db ~self_join ~naive_window;
+  repl db
+
+let cmd_demo self_join naive_window =
+  let db = Db.create () in
+  configure db ~self_join ~naive_window;
+  Rfview_workload.Transactions.load db;
+  Printf.printf
+    "loaded demo schema: c_transactions (%d rows), l_locations (%d rows)\n"
+    (Relation.cardinality (Db.query db "SELECT * FROM c_transactions"))
+    (Relation.cardinality (Db.query db "SELECT * FROM l_locations"));
+  Printf.printf "try: %s;\n\n" (Rfview_workload.Transactions.intro_query ~custid:7 ());
+  repl db
+
+open Cmdliner
+
+let self_join =
+  Arg.(value & flag & info [ "self-join" ] ~doc:"Execute reporting functions via the Fig. 2 self-join simulation.")
+
+let naive_window =
+  Arg.(value & flag & info [ "naive-window" ] ~doc:"Use the naive O(n*w) window evaluation strategy.")
+
+let run_t =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v (Cmd.info "run" ~doc:"Execute a SQL script")
+    Term.(const cmd_run $ file $ self_join $ naive_window)
+
+let repl_t =
+  Cmd.v (Cmd.info "repl" ~doc:"Interactive SQL shell")
+    Term.(const cmd_repl $ self_join $ naive_window)
+
+let demo_t =
+  Cmd.v (Cmd.info "demo" ~doc:"SQL shell with the credit-card demo schema")
+    Term.(const cmd_demo $ self_join $ naive_window)
+
+let main =
+  Cmd.group
+    (Cmd.info "rfview" ~version:"1.0.0"
+       ~doc:"Reporting-function views in a data warehouse environment")
+    [ run_t; repl_t; demo_t ]
+
+let () = exit (Cmd.eval main)

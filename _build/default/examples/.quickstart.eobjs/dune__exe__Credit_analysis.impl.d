@@ -1,0 +1,1 @@
+examples/credit_analysis.ml: Array Printf Rfview_engine Rfview_relalg Rfview_workload

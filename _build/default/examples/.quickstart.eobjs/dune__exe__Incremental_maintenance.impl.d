@@ -1,0 +1,1 @@
+examples/incremental_maintenance.ml: Array List Printf Rfview_core Rfview_engine Rfview_relalg Rfview_workload Unix

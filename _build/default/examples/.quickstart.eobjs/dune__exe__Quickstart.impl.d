@@ -1,0 +1,1 @@
+examples/quickstart.ml: Printf Rfview_engine Rfview_relalg Rfview_sql

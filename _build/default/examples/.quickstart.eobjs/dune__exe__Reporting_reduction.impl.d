@@ -1,0 +1,1 @@
+examples/reporting_reduction.ml: Array List Printf Rfview_core Rfview_workload String

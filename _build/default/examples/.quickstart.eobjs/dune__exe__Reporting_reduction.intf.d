@@ -1,0 +1,1 @@
+examples/reporting_reduction.mli:

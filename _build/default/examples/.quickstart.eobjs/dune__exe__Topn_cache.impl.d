@@ -1,0 +1,1 @@
+examples/topn_cache.ml: List Printf Rfview_engine Rfview_relalg Rfview_workload Unix

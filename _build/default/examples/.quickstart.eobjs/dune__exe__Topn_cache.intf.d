@@ -1,0 +1,1 @@
+examples/topn_cache.mli:

@@ -1,0 +1,1 @@
+examples/view_derivation.ml: Array List Printf Rfview_core Rfview_engine Rfview_relalg Rfview_workload String

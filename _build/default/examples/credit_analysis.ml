@@ -1,0 +1,76 @@
+(* Credit-card analysis: the workload from the paper's introduction.
+
+   Generates the c_transactions / l_locations star schema and runs the
+   paper's reporting-function query (cumulative totals, per-month
+   cumulative sums, centered and prospective moving averages), plus a
+   TOP(n) ranking analysis and a region-level Year-To-Date report.
+
+   Run with:  dune exec examples/credit_analysis.exe *)
+
+module Db = Rfview_engine.Database
+module Tx = Rfview_workload.Transactions
+module Relation = Rfview_relalg.Relation
+
+let section title = Printf.printf "\n=== %s ===\n%!" title
+
+let () =
+  let db = Db.create () in
+  let config = { Tx.default_config with days = 60; transactions_per_day = 25 } in
+  Tx.load ~config db;
+
+  section "Schema";
+  Printf.printf "c_transactions: %d rows, l_locations: %d rows\n"
+    (Relation.cardinality (Db.query db "SELECT * FROM c_transactions"))
+    (Relation.cardinality (Db.query db "SELECT * FROM l_locations"));
+
+  section "The paper's introduction query (customer 7)";
+  let r = Db.query db (Tx.intro_query ~custid:7 ()) in
+  Relation.print ~max_rows:15 r;
+
+  section "TOP(5) customers by total spend (ranking analysis)";
+  Relation.print
+    (Db.query db
+       "SELECT c_custid, SUM(c_transaction) AS total, COUNT(*) AS n FROM \
+        c_transactions GROUP BY c_custid ORDER BY total DESC LIMIT 5");
+
+  section "Year-to-date spend per region (reporting function over a join)";
+  Relation.print ~max_rows:12
+    (Db.query db
+       "SELECT l_region, c_date, SUM(daily) OVER (PARTITION BY l_region ORDER BY \
+        c_date ROWS UNBOUNDED PRECEDING) AS ytd FROM (SELECT l_region, c_date, \
+        SUM(c_transaction) AS daily FROM c_transactions, l_locations WHERE c_locid = \
+        l_locid GROUP BY l_region, c_date) d ORDER BY l_region, c_date");
+
+  section "7-day smoothing of daily volume (sliding window)";
+  Relation.print ~max_rows:10
+    (Db.query db
+       "SELECT c_date, SUM(daily) OVER (ORDER BY c_date ROWS BETWEEN 3 PRECEDING AND \
+        3 FOLLOWING) / 7 AS smoothed FROM (SELECT c_date, SUM(c_transaction) AS \
+        daily FROM c_transactions GROUP BY c_date) d ORDER BY c_date");
+
+  section "Materialized daily-volume sequence view + incremental maintenance";
+  ignore
+    (Db.exec db
+       "CREATE TABLE daily_volume (pos INT, vol FLOAT)");
+  (* densify daily volumes into a positional sequence *)
+  let daily =
+    Db.query db
+      "SELECT c_date, SUM(c_transaction) AS vol FROM c_transactions GROUP BY c_date \
+       ORDER BY c_date"
+  in
+  let rows =
+    Array.mapi
+      (fun i row ->
+        [| Rfview_relalg.Value.Int (i + 1); Rfview_relalg.Row.get row 1 |])
+      (Relation.rows daily)
+  in
+  Db.load_table db ~table:"daily_volume" rows;
+  ignore
+    (Db.exec db
+       "CREATE MATERIALIZED VIEW weekly AS SELECT pos, SUM(vol) OVER (ORDER BY pos \
+        ROWS BETWEEN 6 PRECEDING AND CURRENT ROW) AS w FROM daily_volume");
+  Printf.printf "weekly view incrementally maintained: %b\n"
+    (Db.is_incrementally_maintained db "weekly");
+  ignore (Db.exec db "UPDATE daily_volume SET vol = vol + 500 WHERE pos = 10");
+  Relation.print ~max_rows:6
+    (Db.query db "SELECT * FROM weekly WHERE pos BETWEEN 8 AND 13 ORDER BY pos")

@@ -1,0 +1,72 @@
+(* Quickstart: create a table, run reporting-function queries, materialize
+   a sequence view and derive a different window from it.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Db = Rfview_engine.Database
+module Advisor = Rfview_engine.Advisor
+module Relation = Rfview_relalg.Relation
+
+let section title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+let () =
+  let db = Db.create () in
+
+  section "1. A sequence table";
+  ignore (Db.exec db "CREATE TABLE seq (pos INT, val FLOAT)");
+  ignore
+    (Db.exec db
+       "INSERT INTO seq VALUES (1, 3), (2, 1), (3, 4), (4, 1), (5, 5), (6, 9), (7, \
+        2), (8, 6)");
+  Relation.print (Db.query db "SELECT * FROM seq ORDER BY pos");
+
+  section "2. Reporting functions: cumulative sum and centered moving average";
+  Relation.print
+    (Db.query db
+       "SELECT pos, val, \
+        SUM(val) OVER (ORDER BY pos ROWS UNBOUNDED PRECEDING) AS running_total, \
+        AVG(val) OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS mvg3 \
+        FROM seq ORDER BY pos");
+
+  section "3. The same query through the paper's self-join simulation (Fig. 2)";
+  Db.set_window_mode db `Self_join;
+  Relation.print
+    (Db.query db
+       "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 \
+        FOLLOWING) AS w FROM seq ORDER BY pos");
+  Db.set_window_mode db `Native;
+
+  section "4. A materialized sequence view with window (2,1)";
+  ignore
+    (Db.exec db
+       "CREATE MATERIALIZED VIEW v21 AS SELECT pos, SUM(val) OVER (ORDER BY pos ROWS \
+        BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS s FROM seq");
+  Relation.print (Db.query db "SELECT * FROM v21 ORDER BY pos");
+  Printf.printf "incrementally maintained: %b\n"
+    (Db.is_incrementally_maintained db "v21");
+
+  section "5. Deriving a (3,2) window from the (2,1) view (no base access)";
+  let q =
+    Rfview_sql.Parser.query
+      "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 PRECEDING AND 2 \
+       FOLLOWING) AS s FROM seq"
+  in
+  (match Advisor.answer db q with
+   | None -> print_endline "no derivation found"
+   | Some (result, proposal) ->
+     Printf.printf "%s\n" (Advisor.describe proposal);
+     Relation.print result;
+     (match proposal.Advisor.relational_sql with
+      | Some sql -> Printf.printf "relational pattern:\n  %s\n" sql
+      | None -> ()));
+
+  section "6. Incremental maintenance: update one base value";
+  ignore (Db.exec db "UPDATE seq SET val = 10 WHERE pos = 4");
+  Relation.print (Db.query db "SELECT * FROM v21 ORDER BY pos");
+
+  section "7. EXPLAIN";
+  print_endline
+    (Db.explain db
+       "SELECT s1.pos, SUM(s2.val) FROM seq s1, seq s2 WHERE s2.pos BETWEEN s1.pos - \
+        1 AND s1.pos + 1 GROUP BY s1.pos")

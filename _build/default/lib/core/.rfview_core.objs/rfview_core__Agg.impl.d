@@ -1,0 +1,1 @@
+lib/core/agg.ml: Float Frame

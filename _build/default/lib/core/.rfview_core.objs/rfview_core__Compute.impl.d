@@ -1,0 +1,1 @@
+lib/core/compute.ml: Agg Array Frame Seqdata

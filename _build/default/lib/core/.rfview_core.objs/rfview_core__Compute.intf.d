@@ -1,0 +1,1 @@
+lib/core/compute.mli: Agg Frame Seqdata

@@ -1,0 +1,1 @@
+lib/core/derive.ml: Agg Array Frame Maxoa Minoa Printf Reconstruct Seqdata

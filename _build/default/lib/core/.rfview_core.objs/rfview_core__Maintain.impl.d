@@ -1,0 +1,1 @@
+lib/core/maintain.ml: Agg Array Compute Frame Seqdata

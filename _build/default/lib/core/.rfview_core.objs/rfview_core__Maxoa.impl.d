@@ -1,0 +1,1 @@
+lib/core/maxoa.ml: Agg Array Format Frame Seqdata

@@ -1,0 +1,1 @@
+lib/core/minoa.ml: Agg Array Frame Reconstruct Seqdata

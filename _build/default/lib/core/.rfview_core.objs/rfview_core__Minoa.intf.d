@@ -1,0 +1,1 @@
+lib/core/minoa.mli: Seqdata

@@ -1,0 +1,1 @@
+lib/core/reconstruct.ml: Agg Array Frame Seqdata

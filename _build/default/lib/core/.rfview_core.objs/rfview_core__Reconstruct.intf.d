@@ -1,0 +1,1 @@
+lib/core/reconstruct.mli: Seqdata

@@ -1,0 +1,1 @@
+lib/core/reporting.ml: Agg Array Compute Format Frame List Option Position Reconstruct Seqdata

@@ -1,0 +1,1 @@
+lib/core/reporting.mli: Agg Frame Position Seqdata

@@ -1,0 +1,1 @@
+lib/core/seqdata.ml: Agg Array Float Format Frame

@@ -1,0 +1,1 @@
+lib/core/seqdata.mli: Agg Format Frame

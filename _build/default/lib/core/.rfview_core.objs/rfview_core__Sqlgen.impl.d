@@ -1,0 +1,1 @@
+lib/core/sqlgen.ml: Frame List Maxoa Printf String

@@ -1,0 +1,1 @@
+lib/core/sqlgen.mli: Frame

@@ -1,0 +1,21 @@
+(** Computing sequence values from raw data (paper §2.2).
+
+    All constructors return {e complete} sequences (header and trailer
+    included, §3.2). *)
+
+(** The explicit form: [W(k)+1] operations per position (O(n·w) for
+    sliding windows, O(n²) for cumulative ones). *)
+val naive : ?agg:Agg.t -> Frame.t -> Seqdata.raw -> Seqdata.t
+
+(** The paper's pipelined strategy: the recursion
+    [x~_k = x~_(k-1) + x_(k+h) - x_(k-l-1)] for sliding SUM windows
+    (three operations per position independent of the window size, cache
+    of w+2 values) and a running accumulator for cumulative frames.
+    MIN/MAX sliding windows use a monotonic deque, O(n) total. *)
+val pipelined : ?agg:Agg.t -> Frame.t -> Seqdata.raw -> Seqdata.t
+
+(** The default (efficient) strategy; currently {!pipelined}. *)
+val sequence : ?agg:Agg.t -> Frame.t -> Seqdata.raw -> Seqdata.t
+
+(** Prefix sums [C_j = x_1 + ... + x_j] for [j] in [0, n]. *)
+val prefix_sums : Seqdata.raw -> float array

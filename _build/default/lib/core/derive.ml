@@ -1,0 +1,105 @@
+(* Derivability of sequence queries from materialized sequence views
+   (paper §3): the dispatcher that picks an applicable algorithm for a
+   (view frame, query frame, aggregate) combination, plus the direct
+   cumulative-view rules of §3.1.
+
+   The decision matrix (paper §3-§5, §7):
+
+     view \ query     cumulative         sliding (ly,hy)
+     ---------------  -----------------  -------------------------------
+     cumulative, SUM  copy               x̃_{k+h} - x̃_{k-l-1}     (§3.1)
+     sliding, SUM     prefix telescope   MinOA (always) or
+                      (§3.2)             MaxOA (if windows grow,  §4/§5)
+     sliding, MIN/MAX not derivable      MaxOA coverage rule      (§4.2)
+     cumul., MIN/MAX  copy               not derivable *)
+
+type strategy =
+  | Copy
+  | From_cumulative
+  | Min_overlap  (* MinOA *)
+  | Max_overlap  (* MaxOA *)
+  | Max_overlap_minmax
+
+let strategy_name = function
+  | Copy -> "copy"
+  | From_cumulative -> "cumulative-difference"
+  | Min_overlap -> "MinOA"
+  | Max_overlap -> "MaxOA"
+  | Max_overlap_minmax -> "MaxOA-minmax"
+
+exception Not_derivable = Maxoa.Not_derivable
+
+(* ---- §3.1: deriving from a cumulative view ---- *)
+
+let sliding_from_cumulative view ~l ~h : Seqdata.t =
+  (match Seqdata.frame view, Seqdata.agg view with
+   | Frame.Cumulative, Agg.Sum -> ()
+   | _ -> raise (Not_derivable "expected a cumulative SUM view"));
+  let n = Seqdata.length view in
+  let frame = Frame.sliding ~l ~h in
+  let lo, hi = Seqdata.complete_range frame ~n in
+  let values =
+    Array.init (hi - lo + 1) (fun i ->
+        let k = lo + i in
+        Seqdata.get view (k + h) -. Seqdata.get view (k - l - 1))
+  in
+  Seqdata.make frame Agg.Sum ~n ~lo values
+
+let cumulative_from_sliding view : Seqdata.t =
+  let c = Reconstruct.prefix view in
+  let n = Seqdata.length view in
+  Seqdata.make Frame.Cumulative Agg.Sum ~n ~lo:1 (Array.init n (fun i -> c (i + 1)))
+
+(* ---- Applicability without running the derivation ---- *)
+
+let applicable_strategies ~view_frame ~view_agg ~query_frame : strategy list =
+  if Frame.equal view_frame query_frame then [ Copy ]
+  else
+    match view_frame, view_agg, query_frame with
+    | Frame.Cumulative, Agg.Sum, Frame.Sliding _ -> [ From_cumulative ]
+    | Frame.Sliding _, Agg.Sum, Frame.Cumulative -> [ Min_overlap ]
+    | Frame.Sliding { l = lx; h = hx }, Agg.Sum, Frame.Sliding { l = ly; h = hy } ->
+      let maxoa_ok =
+        ly >= lx && hy >= hx
+        && (ly = lx || ly - lx <= lx + hx)   (* left pass sound range *)
+        && (hy = hx || hy - hx <= hx + lx)   (* right (mirrored) pass *)
+      in
+      Min_overlap :: (if maxoa_ok then [ Max_overlap ] else [])
+    | Frame.Sliding { l = lx; h = hx }, (Agg.Min | Agg.Max), Frame.Sliding { l = ly; h = hy }
+      when Maxoa.minmax_coverage ~lx ~hx ~ly ~hy -> [ Max_overlap_minmax ]
+    | _ -> []
+
+let derivable ~view_frame ~view_agg ~query_frame =
+  applicable_strategies ~view_frame ~view_agg ~query_frame <> []
+
+(* ---- Running a chosen strategy ---- *)
+
+let run strategy view query_frame : Seqdata.t =
+  match strategy, query_frame with
+  | Copy, _ ->
+    if not (Frame.equal (Seqdata.frame view) query_frame) then
+      raise (Not_derivable "copy strategy requires identical frames");
+    view
+  | From_cumulative, Frame.Sliding { l; h } -> sliding_from_cumulative view ~l ~h
+  | Min_overlap, Frame.Cumulative -> cumulative_from_sliding view
+  | Min_overlap, Frame.Sliding { l; h } -> Minoa.derive view ~l ~h
+  | Max_overlap, Frame.Sliding { l; h } -> Maxoa.derive view ~ly:l ~hy:h
+  | Max_overlap_minmax, Frame.Sliding { l; h } -> Maxoa.derive_minmax view ~ly:l ~hy:h
+  | (From_cumulative | Max_overlap | Max_overlap_minmax), Frame.Cumulative ->
+    raise (Not_derivable "strategy does not produce cumulative sequences")
+
+(* Derive with the first applicable strategy. *)
+let derive view query_frame : Seqdata.t =
+  match
+    applicable_strategies ~view_frame:(Seqdata.frame view)
+      ~view_agg:(Seqdata.agg view) ~query_frame
+  with
+  | [] ->
+    raise
+      (Not_derivable
+         (Printf.sprintf "no strategy derives %s %s from %s %s"
+            (Agg.name (Seqdata.agg view))
+            (Frame.to_string query_frame)
+            (Agg.name (Seqdata.agg view))
+            (Frame.to_string (Seqdata.frame view))))
+  | s :: _ -> run s view query_frame

@@ -1,0 +1,47 @@
+(** Derivability of sequence queries from materialized sequence views
+    (paper §3): decide which algorithm applies to a (view frame, query
+    frame, aggregate) combination and run it.
+
+    Decision matrix (paper §3-§5, §7):
+
+    {v
+    view \ query      cumulative          sliding (ly,hy)
+    ----------------  ------------------  -------------------------------
+    cumulative, SUM   copy                x~_(k+h) - x~_(k-l-1)    (§3.1)
+    sliding, SUM      prefix telescope    MinOA (always) or
+                      (§3.2)              MaxOA (if windows grow,  §4/§5)
+    sliding, MIN/MAX  not derivable       MaxOA coverage rule      (§4.2)
+    cumul., MIN/MAX   copy                not derivable
+    v} *)
+
+type strategy =
+  | Copy                 (** identical frames *)
+  | From_cumulative      (** §3.1 difference rule *)
+  | Min_overlap          (** MinOA, §5 *)
+  | Max_overlap          (** MaxOA, §4 *)
+  | Max_overlap_minmax   (** MaxOA coverage rule for MIN/MAX, §4.2 *)
+
+val strategy_name : strategy -> string
+
+exception Not_derivable of string
+
+(** §3.1: [y~_k = x~_(k+h) - x~_(k-l-1)] on a cumulative SUM view. *)
+val sliding_from_cumulative : Seqdata.t -> l:int -> h:int -> Seqdata.t
+
+(** The cumulative sequence reconstructed from a complete sliding SUM
+    view by telescoping. *)
+val cumulative_from_sliding : Seqdata.t -> Seqdata.t
+
+(** The strategies able to derive [query_frame] from a view with
+    [view_frame]/[view_agg], in preference order; [[]] if underivable. *)
+val applicable_strategies :
+  view_frame:Frame.t -> view_agg:Agg.t -> query_frame:Frame.t -> strategy list
+
+val derivable : view_frame:Frame.t -> view_agg:Agg.t -> query_frame:Frame.t -> bool
+
+(** Run one strategy.  @raise Not_derivable when it does not apply. *)
+val run : strategy -> Seqdata.t -> Frame.t -> Seqdata.t
+
+(** Derive with the first applicable strategy.
+    @raise Not_derivable when none applies. *)
+val derive : Seqdata.t -> Frame.t -> Seqdata.t

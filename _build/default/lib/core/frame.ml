@@ -1,0 +1,60 @@
+(* Window frames of simple sequences (paper §2.1).
+
+   - [Cumulative]: wL(k) = 0, wH(k) = k — year-to-date style windows.
+   - [Sliding (l, h)]: wL(k) = k - l, wH(k) = k + h with constant l, h ≥ 0.
+
+   Unlike the paper we also allow l + h = 0 (the identity window), which
+   is convenient as a degenerate case of derivation. *)
+
+type t =
+  | Cumulative
+  | Sliding of { l : int; h : int }
+
+exception Invalid of string
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid s)) fmt
+
+let cumulative = Cumulative
+
+let sliding ~l ~h =
+  if l < 0 || h < 0 then invalid "sliding window (%d,%d): l and h must be >= 0" l h;
+  Sliding { l; h }
+
+let is_cumulative = function Cumulative -> true | Sliding _ -> false
+
+(* Window size W(k); constant for sliding windows, position-dependent for
+   cumulative ones. *)
+let size_at t ~k =
+  match t with
+  | Cumulative -> k
+  | Sliding { l; h } -> 1 + l + h
+
+let sliding_size = function
+  | Cumulative -> None
+  | Sliding { l; h } -> Some (1 + l + h)
+
+(* Operational scope [wL(k), wH(k)] of position k. *)
+let bounds t ~k =
+  match t with
+  | Cumulative -> (min 1 k, k)
+  | Sliding { l; h } -> (k - l, k + h)
+
+let params = function
+  | Cumulative -> None
+  | Sliding { l; h } -> Some (l, h)
+
+let equal (a : t) (b : t) = a = b
+
+let to_string = function
+  | Cumulative -> "cumulative"
+  | Sliding { l; h } -> Printf.sprintf "sliding(%d,%d)" l h
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+(* SQL frame clause for this window shape. *)
+let to_sql = function
+  | Cumulative -> "ROWS UNBOUNDED PRECEDING"
+  | Sliding { l = 0; h = 0 } -> "ROWS BETWEEN CURRENT ROW AND CURRENT ROW"
+  | Sliding { l; h = 0 } -> Printf.sprintf "ROWS BETWEEN %d PRECEDING AND CURRENT ROW" l
+  | Sliding { l = 0; h } -> Printf.sprintf "ROWS BETWEEN CURRENT ROW AND %d FOLLOWING" h
+  | Sliding { l; h } -> Printf.sprintf "ROWS BETWEEN %d PRECEDING AND %d FOLLOWING" l h

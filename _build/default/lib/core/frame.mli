@@ -1,0 +1,46 @@
+(** Window frames of simple sequences (paper §2.1).
+
+    A frame describes the operational scope [wL(k), wH(k)] of every
+    sequence position [k]:
+    - {!Cumulative}: [wL(k) = 0], [wH(k) = k] — year-to-date windows;
+    - {!Sliding}[(l, h)]: [wL(k) = k - l], [wH(k) = k + h] with constant
+      [l, h >= 0].
+
+    Unlike the paper, the degenerate identity window [l + h = 0] is
+    allowed; it is occasionally useful as the target of a derivation. *)
+
+type t =
+  | Cumulative
+  | Sliding of { l : int; h : int }
+
+(** Raised by {!sliding} on negative parameters. *)
+exception Invalid of string
+
+val cumulative : t
+
+(** [sliding ~l ~h] is the (l, h) sliding window.
+    @raise Invalid if [l < 0] or [h < 0]. *)
+val sliding : l:int -> h:int -> t
+
+val is_cumulative : t -> bool
+
+(** Window size W(k) at position [k]: [k] for cumulative frames,
+    [1 + l + h] for sliding ones. *)
+val size_at : t -> k:int -> int
+
+(** The constant window size of a sliding frame; [None] for cumulative. *)
+val sliding_size : t -> int option
+
+(** [bounds t ~k] is the operational scope [(wL(k), wH(k))]. *)
+val bounds : t -> k:int -> int * int
+
+(** The (l, h) parameters of a sliding frame; [None] for cumulative. *)
+val params : t -> (int * int) option
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** The SQL ROWS clause denoting this frame, e.g.
+    ["ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING"]. *)
+val to_sql : t -> string

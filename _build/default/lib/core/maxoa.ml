@@ -1,0 +1,182 @@
+(* The MaxO Algorithm (paper §4): derive a sliding-window sequence
+   ỹ = (ly, hy) from a materialized complete sequence x̃ = (lx, hx) by
+   *maximally overlapping* view windows.
+
+   Single-sided case (shared upper bound h = hx = hy, §4.1): adding x̃_k
+   and x̃_{k-∆l} (coverage factor ∆l = ly-lx > 0) over-counts the overlap
+   of the two windows, which is itself a regular sliding sequence — the
+   compensation sequence z̃ = (lx, h-∆l) — computed by the recursion
+
+       z̃_k = x̃_{k-∆l} - x̃_{k-(∆l+∆p)} + z̃_{k-(∆l+∆p)}
+
+   with the overlap factor ∆p = 1+lx+h-∆l, so that
+
+       ỹ_k = x̃_k + x̃_{k-∆l} - z̃_k.
+
+   The double-sided case (§4.2) applies the single-sided pattern on both
+   bounds: with ỹL = (ly, hx) and ỹR = (lx, hy) derived single-sidedly,
+   inclusion-exclusion of the covering windows gives ỹ = ỹL + ỹR - x̃.
+   We obtain the right-sided variant by mirroring the sequence (position
+   p ↦ n+1-p turns an (l, h) sequence into an (h, l) one), which keeps a
+   single, well-tested implementation of the recursion.
+
+   Unlike MinOA, MaxOA also derives MIN/MAX sequences (§4.2): covering
+   windows may overlap freely for semi-algebraic aggregates, so
+   ỹ_k = min/max(x̃_{k-∆l}, x̃_{k+∆h}) whenever the two view windows cover
+   the query window, i.e. ∆l + ∆h <= lx + hx. *)
+
+exception Not_derivable of string
+
+let not_derivable fmt = Format.kasprintf (fun s -> raise (Not_derivable s)) fmt
+
+let view_params view =
+  if not (Seqdata.is_complete view) then
+    raise (Not_derivable "MaxOA requires a complete view (header and trailer)");
+  match Frame.params (Seqdata.frame view) with
+  | None -> raise (Not_derivable "MaxOA requires a sliding-window view")
+  | Some (lx, hx) -> (lx, hx)
+
+(* The paper's precondition (§4): the query window must be at most twice
+   the view window, ly <= h-1+2·lx for the shared-bound case.  The
+   recursion is in fact sound for the slightly wider range ∆l <= lx+h
+   (where the compensation window degenerates to a single raw value); we
+   enforce the sound range and expose the paper's check separately. *)
+let paper_precondition_single ~lx ~h ~ly = ly - lx > 0 && ly <= h - 1 + (2 * lx)
+
+let coverage_factor ~lx ~ly = ly - lx
+let overlap_factor ~lx ~h ~dl = 1 + lx + h - dl
+
+(* ---- Single-sided derivation, shared upper bound ---- *)
+
+(* Compensation sequence values over [zlo, zhi] by the ascending
+   recursion; z̃_j = 0 for j <= ∆l - h (window entirely before the data). *)
+let compensation view ~dl ~dp ~zlo ~zhi =
+  let _, h = match Frame.params (Seqdata.frame view) with Some p -> p | None -> assert false in
+  let period = dl + dp in
+  let z = Array.make (zhi - zlo + 1) 0. in
+  let zval j = if j < zlo then 0. else z.(j - zlo) in
+  for j = zlo to zhi do
+    if j > dl - h then
+      z.(j - zlo) <-
+        Seqdata.get view (j - dl)
+        -. Seqdata.get view (j - period)
+        +. zval (j - period)
+  done;
+  zval
+
+(* ỹ = (ly, h) from x̃ = (lx, h): the recursive form (what an engine with
+   internal caches would run). *)
+let derive_left view ~ly : Seqdata.t =
+  let lx, h = view_params view in
+  if Seqdata.agg view <> Agg.Sum then
+    raise (Not_derivable "single-sided MaxOA applies to SUM sequences; use derive_minmax");
+  let dl = coverage_factor ~lx ~ly in
+  if dl = 0 then
+    (* identity derivation *)
+    Seqdata.make (Seqdata.frame view) Agg.Sum ~n:(Seqdata.length view)
+      ~lo:(Seqdata.stored_lo view) (Seqdata.to_array view)
+  else begin
+    if dl < 0 then
+      not_derivable "MaxOA cannot shrink windows (ly=%d < lx=%d)" ly lx;
+    if dl > lx + h then
+      not_derivable
+        "MaxOA precondition violated: ∆l=%d exceeds lx+h=%d (query window more \
+         than twice the view window)"
+        dl (lx + h);
+    let dp = overlap_factor ~lx ~h ~dl in
+    let n = Seqdata.length view in
+    let frame = Frame.sliding ~l:ly ~h in
+    let lo, hi = Seqdata.complete_range frame ~n in
+    let zval = compensation view ~dl ~dp ~zlo:(lo - (dl + dp)) ~zhi:hi in
+    let values =
+      Array.init (hi - lo + 1) (fun i ->
+          let k = lo + i in
+          Seqdata.get view k +. Seqdata.get view (k - dl) -. zval k)
+    in
+    Seqdata.make frame Agg.Sum ~n ~lo values
+  end
+
+(* The paper's explicit form of the single-sided derivation:
+   ỹ_k = x̃_k + Σ_{i>=1} x̃_{k-i(∆l+∆p)} - Σ_{i>=1} x̃_{k-((i+1)∆l+i∆p)}. *)
+let value_at_left_explicit view ~ly ~k =
+  let lx, h = view_params view in
+  let dl = coverage_factor ~lx ~ly in
+  if dl <= 0 || dl > lx + h then
+    not_derivable "explicit MaxOA: invalid coverage factor ∆l=%d" dl;
+  let dp = overlap_factor ~lx ~h ~dl in
+  let period = dl + dp in
+  let rec sum acc pos =
+    if pos <= -h then acc else sum (acc +. Seqdata.get view pos) (pos - period)
+  in
+  Seqdata.get view k +. sum 0. (k - period) -. sum 0. (k - period - dl)
+
+let derive_left_explicit view ~ly : Seqdata.t =
+  let _, h = view_params view in
+  let n = Seqdata.length view in
+  let frame = Frame.sliding ~l:ly ~h in
+  let lo, hi = Seqdata.complete_range frame ~n in
+  let values =
+    Array.init (hi - lo + 1) (fun i -> value_at_left_explicit view ~ly ~k:(lo + i))
+  in
+  Seqdata.make frame Agg.Sum ~n ~lo values
+
+(* ---- Single-sided derivation, shared lower bound (mirrored) ---- *)
+
+let derive_right view ~hy : Seqdata.t =
+  let mirrored = Seqdata.mirror view in
+  Seqdata.mirror (derive_left mirrored ~ly:hy)
+
+(* ---- Double-sided derivation (§4.2) ---- *)
+
+let derive view ~ly ~hy : Seqdata.t =
+  let lx, hx = view_params view in
+  if Seqdata.agg view <> Agg.Sum then
+    raise (Not_derivable "double-sided MaxOA applies to SUM sequences; use derive_minmax");
+  if ly < lx || hy < hx then
+    not_derivable "MaxOA cannot shrink windows ((%d,%d) from (%d,%d))" ly hy lx hx;
+  match ly = lx, hy = hx with
+  | true, true ->
+    Seqdata.make (Seqdata.frame view) Agg.Sum ~n:(Seqdata.length view)
+      ~lo:(Seqdata.stored_lo view) (Seqdata.to_array view)
+  | false, true -> derive_left view ~ly
+  | true, false -> derive_right view ~hy
+  | false, false ->
+    let yl = derive_left view ~ly in
+    let yr = derive_right view ~hy in
+    let n = Seqdata.length view in
+    let frame = Frame.sliding ~l:ly ~h:hy in
+    let lo, hi = Seqdata.complete_range frame ~n in
+    let values =
+      Array.init (hi - lo + 1) (fun i ->
+          let k = lo + i in
+          Seqdata.get yl k +. Seqdata.get yr k -. Seqdata.get view k)
+    in
+    Seqdata.make frame Agg.Sum ~n ~lo values
+
+(* ---- MIN/MAX derivation (§4.2) ---- *)
+
+let minmax_coverage ~lx ~hx ~ly ~hy =
+  let dl = ly - lx and dh = hy - hx in
+  dl >= 0 && dh >= 0 && dl + dh <= lx + hx
+
+let derive_minmax view ~ly ~hy : Seqdata.t =
+  let lx, hx = view_params view in
+  let agg = Seqdata.agg view in
+  (match agg with
+   | Agg.Min | Agg.Max -> ()
+   | Agg.Sum -> raise (Not_derivable "derive_minmax applies to MIN/MAX sequences"));
+  if not (minmax_coverage ~lx ~hx ~ly ~hy) then
+    not_derivable
+      "MIN/MAX coverage violated: need 0 <= ∆l, 0 <= ∆h and ∆l+∆h <= lx+hx \
+       ((%d,%d) from (%d,%d))"
+      ly hy lx hx;
+  let dl = ly - lx and dh = hy - hx in
+  let n = Seqdata.length view in
+  let frame = Frame.sliding ~l:ly ~h:hy in
+  let lo, hi = Seqdata.complete_range frame ~n in
+  let values =
+    Array.init (hi - lo + 1) (fun i ->
+        let k = lo + i in
+        Agg.combine agg (Seqdata.get view (k - dl)) (Seqdata.get view (k + dh)))
+  in
+  Seqdata.make frame agg ~n ~lo values

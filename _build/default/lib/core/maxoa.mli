@@ -1,0 +1,57 @@
+(** The MaxO Algorithm (paper §4): derive a sliding-window sequence
+    [(ly, hy)] from a materialized complete sequence [(lx, hx)] by
+    {e maximally overlapping} view windows.
+
+    Single-sided case (shared upper bound [h], §4.1): adding [x~_k] and
+    [x~_(k-∆l)] over-counts their overlap, itself a regular sliding
+    sequence — the compensation sequence [z~ = (lx, h-∆l)] — computed by
+    the recursion [z~_k = x~_(k-∆l) - x~_(k-(∆l+∆p)) + z~_(k-(∆l+∆p))]
+    with the overlap factor [∆p = 1+lx+h-∆l]; then
+    [y~_k = x~_k + x~_(k-∆l) - z~_k].
+
+    The double-sided case composes a left pass, a mirrored right pass and
+    inclusion-exclusion.  Unlike MinOA, MaxOA also derives MIN/MAX
+    sequences (§4.2): covering windows may overlap freely for
+    semi-algebraic aggregates. *)
+
+exception Not_derivable of string
+
+(** The paper's §4 precondition for the shared-bound case:
+    [0 < ly - lx] and [ly <= h - 1 + 2·lx] (the query window is at most
+    twice the view window).  The implementation accepts the slightly
+    wider sound range [∆l <= lx + h]. *)
+val paper_precondition_single : lx:int -> h:int -> ly:int -> bool
+
+(** [∆l = ly - lx]. *)
+val coverage_factor : lx:int -> ly:int -> int
+
+(** [∆p = 1 + lx + h - ∆l]. *)
+val overlap_factor : lx:int -> h:int -> dl:int -> int
+
+(** Single-sided derivation with shared upper bound, by the recursive
+    form (what an engine with internal caches runs); O(n) total.
+    @raise Not_derivable
+      on non-SUM views, window shrinking, or [∆l > lx + h]. *)
+val derive_left : Seqdata.t -> ly:int -> Seqdata.t
+
+(** Single value of the paper's explicit form
+    [y~_k = x~_k + Σ_(i>=1) x~_(k-i(∆l+∆p)) - Σ_(i>=1) x~_(k-((i+1)∆l+i∆p))]. *)
+val value_at_left_explicit : Seqdata.t -> ly:int -> k:int -> float
+
+(** The whole sequence by the explicit form — the access pattern of the
+    Fig. 10 relational operator. *)
+val derive_left_explicit : Seqdata.t -> ly:int -> Seqdata.t
+
+(** Single-sided derivation with shared lower bound, via mirroring. *)
+val derive_right : Seqdata.t -> hy:int -> Seqdata.t
+
+(** Double-sided derivation (§4.2): [y~ = y~L + y~R - x~]. *)
+val derive : Seqdata.t -> ly:int -> hy:int -> Seqdata.t
+
+(** MIN/MAX coverage precondition: [∆l, ∆h >= 0] and
+    [∆l + ∆h <= lx + hx] (the two view windows cover the query window). *)
+val minmax_coverage : lx:int -> hx:int -> ly:int -> hy:int -> bool
+
+(** MIN/MAX derivation (§4.2):
+    [y~_k = min/max(x~_(k-∆l), x~_(k+∆h))] under {!minmax_coverage}. *)
+val derive_minmax : Seqdata.t -> ly:int -> hy:int -> Seqdata.t

@@ -1,0 +1,64 @@
+(* The MinO Algorithm (paper §5): derive a sliding-window SUM sequence
+   ỹ = (ly, hy) from a materialized complete sequence x̃ = (lx, hx) using
+   windows with *minimal* overlap.
+
+   Explicit form (with wx = 1+lx+hx, ∆l = ly-lx, ∆h = hy-hx):
+
+       ỹ_k = Σ_{i>=0} x̃_{k+∆h-i·wx}  -  Σ_{i>=1} x̃_{k-∆l-i·wx}
+
+   The positive sequence is right-justified with ỹ_k's window (head centre
+   k+∆h) and telescopes down to the origin; the negative sequence starts
+   one view-window below k-∆l and removes everything left of ỹ_k's window.
+   Both summations stop at i_up = ⌈(k+hy)/wx⌉ (the paper's cut-off): below
+   that, window positions precede the data.
+
+   MinOA needs an invertible aggregate — SUM (hence COUNT and AVG), not
+   MIN/MAX (§7).  Unlike MaxOA it has no window-size precondition: ∆l and
+   ∆h may even be negative, so MinOA can also *shrink* windows. *)
+
+exception Not_derivable of string
+
+let check_view view =
+  if Seqdata.agg view <> Agg.Sum then
+    raise (Not_derivable "MinOA applies to SUM sequences only");
+  if not (Seqdata.is_complete view) then
+    raise (Not_derivable "MinOA requires a complete view (header and trailer)");
+  match Frame.params (Seqdata.frame view) with
+  | None -> raise (Not_derivable "MinOA requires a sliding-window view")
+  | Some (lx, hx) -> (lx, hx)
+
+(* One target value by the paper's explicit form: O(k/wx) view lookups. *)
+let value_at view ~l ~h ~k =
+  let lx, hx = check_view view in
+  let wx = 1 + lx + hx in
+  let dl = l - lx and dh = h - hx in
+  let rec sum_down acc pos =
+    (* x̃ vanishes for positions <= -hx *)
+    if pos <= -hx then acc else sum_down (acc +. Seqdata.get view pos) (pos - wx)
+  in
+  sum_down 0. (k + dh) -. sum_down 0. (k - dl - wx)
+
+(* The full derived sequence by the explicit form — the cost profile of
+   the relational pattern in Fig. 13. *)
+let derive_explicit view ~l ~h : Seqdata.t =
+  ignore (check_view view);
+  let n = Seqdata.length view in
+  let frame = Frame.sliding ~l ~h in
+  let lo, hi = Seqdata.complete_range frame ~n in
+  let values = Array.init (hi - lo + 1) (fun i -> value_at view ~l ~h ~k:(lo + i)) in
+  Seqdata.make frame Agg.Sum ~n ~lo values
+
+(* Fast path: one ascending telescoping pass gives the prefix sums C, then
+   ỹ_k = C_{k+h} - C_{k-l-1}: O(n) for the whole sequence. *)
+let derive view ~l ~h : Seqdata.t =
+  ignore (check_view view);
+  let c = Reconstruct.prefix view in
+  let n = Seqdata.length view in
+  let frame = Frame.sliding ~l ~h in
+  let lo, hi = Seqdata.complete_range frame ~n in
+  let values =
+    Array.init (hi - lo + 1) (fun i ->
+        let k = lo + i in
+        c (k + h) -. c (k - l - 1))
+  in
+  Seqdata.make frame Agg.Sum ~n ~lo values

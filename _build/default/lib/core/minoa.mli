@@ -1,0 +1,27 @@
+(** The MinO Algorithm (paper §5): derive a sliding-window SUM sequence
+    [(ly, hy)] from a materialized complete sequence [(lx, hx)] using
+    windows with {e minimal} overlap.
+
+    Explicit form (with [wx = 1+lx+hx], [∆l = ly-lx], [∆h = hy-hx]):
+
+    {v y~_k = Σ_(i>=0) x~_(k+∆h-i·wx)  -  Σ_(i>=1) x~_(k-∆l-i·wx) v}
+
+    MinOA needs an invertible aggregate — SUM (hence COUNT and AVG), not
+    MIN/MAX (§7).  Unlike MaxOA it has no window-size precondition: the
+    deltas may even be negative, so MinOA can also {e shrink} windows. *)
+
+exception Not_derivable of string
+
+(** One target value by the paper's explicit form, O(k/wx) view lookups —
+    the access pattern of the Fig. 13 relational operator. *)
+val value_at : Seqdata.t -> l:int -> h:int -> k:int -> float
+
+(** The whole derived sequence by the explicit form. *)
+val derive_explicit : Seqdata.t -> l:int -> h:int -> Seqdata.t
+
+(** Fast path: one ascending telescoping pass reconstructs the prefix
+    sums, then [y~_k = C_(k+h) - C_(k-l-1)]; O(n) for the whole
+    sequence.
+    @raise Not_derivable
+      if the view is not a complete sliding SUM sequence. *)
+val derive : Seqdata.t -> l:int -> h:int -> Seqdata.t

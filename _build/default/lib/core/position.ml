@@ -1,0 +1,110 @@
+(* Position functions (paper §6): linearize a multi-column ordering scheme
+   into global sequence positions.
+
+   An ordering space is a list of column cardinalities d_1..d_m; a
+   sequence entry is addressed by coordinates (k_1,..,k_m) with
+   1 <= k_i <= d_i, and pos(k_1,..,k_m) is its 1-based rank in
+   lexicographic order.  For m = 1, pos = id (paper's definition). *)
+
+type t = {
+  dims : int array;
+  (* strides.(i) = product of dims.(i+1..m-1): the weight of coordinate i *)
+  strides : int array;
+  size : int;
+}
+
+exception Invalid_coordinates of string
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid_coordinates s)) fmt
+
+let create dims =
+  let dims = Array.of_list dims in
+  if Array.length dims = 0 then invalid "ordering space needs at least one column";
+  Array.iter (fun d -> if d < 1 then invalid "column cardinality must be >= 1") dims;
+  let m = Array.length dims in
+  let strides = Array.make m 1 in
+  for i = m - 2 downto 0 do
+    strides.(i) <- strides.(i + 1) * dims.(i + 1)
+  done;
+  { dims; strides; size = strides.(0) * dims.(0) }
+
+let dims t = Array.to_list t.dims
+let arity t = Array.length t.dims
+let size t = t.size
+
+let check_coords t ks =
+  if Array.length ks <> arity t then
+    invalid "expected %d coordinates, got %d" (arity t) (Array.length ks);
+  Array.iteri
+    (fun i k ->
+      if k < 1 || k > t.dims.(i) then
+        invalid "coordinate %d out of range 1..%d" k t.dims.(i))
+    ks
+
+(* pos(k_1,..,k_m) = 1 + Σ (k_i - 1)·stride_i. *)
+let pos t ks =
+  check_coords t ks;
+  let acc = ref 1 in
+  Array.iteri (fun i k -> acc := !acc + ((k - 1) * t.strides.(i))) ks;
+  !acc
+
+let coords t p =
+  if p < 1 || p > t.size then invalid "position %d out of range 1..%d" p t.size;
+  let rem = ref (p - 1) in
+  Array.mapi
+    (fun i _ ->
+      let k = (!rem / t.strides.(i)) + 1 in
+      rem := !rem mod t.strides.(i);
+      k)
+    t.dims
+
+(* ---- Ordering reduction support (paper §6.1) ----
+
+   Dropping the j right-most ordering columns groups all fine positions
+   sharing a prefix (k_1,..,k_{m-j}).  The group of a prefix is the fine
+   position range [first_of_prefix, last_of_prefix]; the reduced space is
+   the prefix space. *)
+
+let reduced t ~keep =
+  if keep < 1 || keep > arity t then invalid "keep must be in 1..%d" (arity t);
+  create (Array.to_list (Array.sub t.dims 0 keep))
+
+(* Fine position of (prefix, 1,..,1): the paper's pos((k_1,..,k_{n-j}), 1,..,1). *)
+let first_of_prefix t prefix =
+  let m = arity t and j = Array.length prefix in
+  if j < 1 || j > m then invalid "prefix length %d out of range" j;
+  let ks = Array.make m 1 in
+  Array.blit prefix 0 ks 0 j;
+  pos t ks
+
+(* Fine position of (prefix, d,..,d): the last entry of the group. *)
+let last_of_prefix t prefix =
+  let m = arity t and j = Array.length prefix in
+  if j < 1 || j > m then invalid "prefix length %d out of range" j;
+  let ks = Array.init m (fun i -> if i < j then prefix.(i) else t.dims.(i)) in
+  pos t ks
+
+(* Fine group range of the coarse position p in the reduced space. *)
+let group_range t ~keep p =
+  let red = reduced t ~keep in
+  let prefix = coords red p in
+  (first_of_prefix t prefix, last_of_prefix t prefix)
+
+(* Paper §6.1 window bounds: for a fine position k that heads its group,
+   the reduced-by-one-coarse-step window spans from the first position of
+   the previous group to the last position of the current group:
+     w'L(k) = k - pos(prefix-1, 1,..,1)
+     w'H(k) = pos(prefix+1, 1,..,1) - k - 1.
+   Generalized to a coarse sliding frame (ly, hy). *)
+let reduced_window t ~keep ~l ~h p =
+  let red = reduced t ~keep in
+  let lo_coarse = p - l and hi_coarse = p + h in
+  let lo_fine =
+    if lo_coarse < 1 then 1 - (1 - lo_coarse) (* virtual: before the data *)
+    else fst (group_range t ~keep lo_coarse)
+  in
+  let hi_fine =
+    if hi_coarse > size red then size t + (hi_coarse - size red)
+    else snd (group_range t ~keep hi_coarse)
+  in
+  (lo_fine, hi_fine)

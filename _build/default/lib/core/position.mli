@@ -1,0 +1,51 @@
+(** Position functions (paper §6): linearize a multi-column ordering
+    scheme into global sequence positions.
+
+    An ordering space is a list of column cardinalities [d_1..d_m]; an
+    entry is addressed by coordinates [(k_1,..,k_m)] with
+    [1 <= k_i <= d_i], and [pos(k_1,..,k_m)] is its 1-based rank in
+    lexicographic order.  For [m = 1], [pos] is the identity (the paper's
+    definition). *)
+
+type t
+
+exception Invalid_coordinates of string
+
+(** [create dims] builds the ordering space.
+    @raise Invalid_coordinates on an empty list or non-positive dims. *)
+val create : int list -> t
+
+val dims : t -> int list
+val arity : t -> int
+
+(** Total number of positions, [d_1 · ... · d_m]. *)
+val size : t -> int
+
+(** [pos t ks] is the global position of the coordinates.
+    @raise Invalid_coordinates on arity or range errors. *)
+val pos : t -> int array -> int
+
+(** Inverse of {!pos}. *)
+val coords : t -> int -> int array
+
+(** {1 Ordering-reduction support (paper §6.1)}
+
+    Dropping the trailing ordering columns groups all fine positions
+    sharing a prefix [(k_1,..,k_keep)]. *)
+
+(** The reduced (prefix) ordering space. *)
+val reduced : t -> keep:int -> t
+
+(** Fine position of [(prefix, 1,..,1)] — the paper's
+    [pos((k_1,..,k_(n-j)), 1,..,1)]. *)
+val first_of_prefix : t -> int array -> int
+
+(** Fine position of [(prefix, d,..,d)], the last entry of the group. *)
+val last_of_prefix : t -> int array -> int
+
+(** Fine position range of coarse position [p] in the reduced space. *)
+val group_range : t -> keep:int -> int -> int * int
+
+(** The §6.1 window bounds: the fine-position span of a coarse sliding
+    frame (l, h) centred at coarse position [p]. *)
+val reduced_window : t -> keep:int -> l:int -> h:int -> int -> int * int

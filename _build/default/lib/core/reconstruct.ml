@@ -1,0 +1,77 @@
+(* Reconstructing raw data values from materialized sequence views
+   (paper §3.1 for cumulative views, §3.2 for sliding views).
+
+   The workhorse is the telescoping identity behind the paper's explicit
+   forms: for a complete sliding SUM sequence x̃ = (l, h) with window size
+   w = 1+l+h, consecutive windows at distance w are exactly adjacent, so
+
+       Σ_{i>=0} x̃_{c-i·w} = C_{c+h}        (T)
+
+   where C_j = Σ_{i<=j} x_i is the prefix sum of the raw data.  Every
+   derivation in §3-§6 is a difference of two C values. *)
+
+(* S(c) = Σ_{i>=0} x̃_{c-i·w}, computed for all stored positions in one
+   ascending pass (S(c) = x̃_c + S(c-w)); gives C_j = S(j-h) by (T). *)
+let telescoped_sums (view : Seqdata.t) : int -> float =
+  match Seqdata.frame view, Seqdata.agg view with
+  | Frame.Cumulative, Agg.Sum -> fun j -> Seqdata.get view j
+  | Frame.Sliding { l; h }, Agg.Sum ->
+    let w = 1 + l + h in
+    if not (Seqdata.is_complete view) then
+      invalid_arg "Reconstruct: the view must be a complete sequence";
+    let lo = Seqdata.stored_lo view and hi = Seqdata.stored_hi view in
+    (* s.(c - (lo - w)) = S(c); S(c) = 0 for c < lo. *)
+    let s = Array.make (hi - lo + 1 + w) 0. in
+    for c = lo to hi do
+      s.(c - lo + w) <- Seqdata.get view c +. s.(c - lo)
+    done;
+    let n = Seqdata.length view in
+    fun j ->
+      (* C saturates at C_n above and is 0 below 0. *)
+      let j = max (min j n) 0 in
+      let c = j - h in
+      if c < lo - w then 0. else s.(c - lo + w)
+  | _, (Agg.Min | Agg.Max) ->
+    invalid_arg "Reconstruct: MIN/MAX sequences do not determine raw values"
+
+(* Prefix-sum view of the raw data as reconstructed from the view:
+   [prefix view j] = C_j = x_1 + ... + x_j. *)
+let prefix = telescoped_sums
+
+(* x_k = C_k - C_{k-1}; O(1) after an O(n) preprocessing pass. *)
+let raw_all (view : Seqdata.t) : Seqdata.raw =
+  let c = telescoped_sums view in
+  let n = Seqdata.length view in
+  Seqdata.raw_of_array (Array.init n (fun i -> c (i + 1) -. c i))
+
+(* ---- The paper's explicit per-position forms (no preprocessing) ---- *)
+
+(* Cumulative view (§3.1): x_k = x̃_k - x̃_{k-1}. *)
+let raw_from_cumulative (view : Seqdata.t) ~k : float =
+  match Seqdata.frame view with
+  | Frame.Cumulative -> Seqdata.get view k -. Seqdata.get view (k - 1)
+  | Frame.Sliding _ -> invalid_arg "raw_from_cumulative: not a cumulative view"
+
+(* Sliding view (§3.2): x_k = Σ_{i>=0} (x̃_{k-h-i·w} - x̃_{k-h-1-i·w}); the
+   summation stops at i_up = ⌈k/w⌉ because beyond it both terms are zero
+   (the paper's cut-off condition k-h-i·w <= -h). *)
+let raw_from_sliding (view : Seqdata.t) ~k : float =
+  match Seqdata.frame view with
+  | Frame.Cumulative -> invalid_arg "raw_from_sliding: not a sliding view"
+  | Frame.Sliding { l; h } ->
+    if Seqdata.agg view <> Agg.Sum then
+      invalid_arg "raw_from_sliding: only SUM sequences determine raw values";
+    if not (Seqdata.is_complete view) then
+      invalid_arg "raw_from_sliding: the view must be complete";
+    let w = 1 + l + h in
+    let rec loop acc pos =
+      if pos <= -h then acc
+      else
+        loop (acc +. Seqdata.get view pos -. Seqdata.get view (pos - 1)) (pos - w)
+    in
+    loop 0. (k - h)
+
+let raw_value (view : Seqdata.t) ~k : float =
+  match Seqdata.frame view with
+  | Frame.Cumulative -> raw_from_cumulative view ~k
+  | Frame.Sliding _ -> raw_from_sliding view ~k

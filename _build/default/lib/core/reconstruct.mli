@@ -1,0 +1,29 @@
+(** Reconstructing raw data values from materialized sequence views
+    (paper §3.1 for cumulative views, §3.2 for sliding views).
+
+    The workhorse is the telescoping identity behind the paper's explicit
+    forms: for a complete sliding SUM sequence (l, h) with window size
+    [w = 1+l+h], [Σ_(i>=0) x~_(c-i·w) = C_(c+h)] where [C_j] is the raw
+    prefix sum.  Every derivation in §3-§6 is a difference of two [C]
+    values. *)
+
+(** [prefix view] is the prefix-sum function [j ↦ C_j] of the raw data as
+    reconstructed from the view in one O(n) telescoping pass; [C] is
+    clamped ([0] below [0], [C_n] above [n]).
+    @raise Invalid_argument
+      on MIN/MAX views (they do not determine raw values) or incomplete
+      views. *)
+val prefix : Seqdata.t -> int -> float
+
+(** Reconstruct all raw values: [x_k = C_k - C_(k-1)], O(n) total. *)
+val raw_all : Seqdata.t -> Seqdata.raw
+
+(** §3.1 pointwise rule on a cumulative view: [x_k = x~_k - x~_(k-1)]. *)
+val raw_from_cumulative : Seqdata.t -> k:int -> float
+
+(** §3.2 pointwise explicit form on a complete sliding view, with the
+    paper's [i_up] cut-off: O(k/w) view lookups. *)
+val raw_from_sliding : Seqdata.t -> k:int -> float
+
+(** Dispatch between the two pointwise rules on the view's frame. *)
+val raw_value : Seqdata.t -> k:int -> float

@@ -1,0 +1,240 @@
+(* Reporting sequences (paper §6): simple sequences extended by a
+   partitioning scheme and a multi-column ordering scheme.
+
+   A reporting view holds one complete simple sequence per partition, all
+   sharing the same frame, aggregate and ordering space.  A view is a
+   *complete reporting function* (paper Def. §6.2) when every partition
+   sequence is complete — the prerequisite for partitioning reduction.
+
+   Two derivation operations:
+   - [ordering_reduction] (Lemma §6.1): collapse the j right-most ordering
+     columns; the prefix of the ordering scheme must be preserved.
+   - [partitioning_reduction] (Lemma §6.2): drop partition attributes,
+     merging consecutive partitions into longer sequences; requires the
+     view to be complete. *)
+
+type partition_key = string list
+
+type t = {
+  agg : Agg.t;
+  frame : Frame.t;
+  space : Position.t;
+  partitions : (partition_key * Seqdata.t) list; (* in partition order *)
+}
+
+exception Not_derivable of string
+
+let not_derivable fmt = Format.kasprintf (fun s -> raise (Not_derivable s)) fmt
+
+let agg t = t.agg
+let frame t = t.frame
+let space t = t.space
+let partitions t = t.partitions
+
+let partition_keys t = List.map fst t.partitions
+
+let find_partition t key = List.assoc_opt key t.partitions
+
+let is_complete t =
+  List.for_all (fun (_, s) -> Seqdata.is_complete s) t.partitions
+
+(* Build a reporting view by computing each partition's sequence from its
+   raw data (in ordering-space linearization). *)
+let compute ?(agg = Agg.Sum) frame space (parts : (partition_key * Seqdata.raw) list) :
+    t =
+  List.iter
+    (fun (_, raw) ->
+      if Seqdata.raw_length raw <> Position.size space then
+        not_derivable "partition data must cover the ordering space (%d positions)"
+          (Position.size space))
+    parts;
+  {
+    agg;
+    frame;
+    space;
+    partitions = List.map (fun (key, raw) -> (key, Compute.sequence ~agg frame raw)) parts;
+  }
+
+(* ---- Ordering reduction (Lemma §6.1) ----
+
+   Collapsing the trailing ordering columns sums all fine values sharing a
+   coarse prefix; the coarse sequence (with a coarse frame) is derived
+   from the fine view through the reconstructed prefix sums: the coarse
+   prefix sum at coarse position p is C(last_of_prefix p). *)
+
+let ordering_reduction t ~keep ~target_frame : t =
+  if t.agg <> Agg.Sum then
+    not_derivable "ordering reduction requires SUM sequences";
+  if keep < 1 || keep >= Position.arity t.space then
+    not_derivable "ordering reduction must keep a non-empty strict prefix";
+  let red = Position.reduced t.space ~keep in
+  let coarse_n = Position.size red in
+  let reduce_partition (key, seq) =
+    let c = Reconstruct.prefix seq in
+    let coarse_c p =
+      if p <= 0 then 0.
+      else if p >= coarse_n then c (Seqdata.length seq)
+      else c (snd (Position.group_range t.space ~keep p))
+    in
+    let lo, hi = Seqdata.complete_range target_frame ~n:coarse_n in
+    let values =
+      Array.init (hi - lo + 1) (fun i ->
+          let k = lo + i in
+          let wlo, whi = Frame.bounds target_frame ~k in
+          coarse_c whi -. coarse_c (wlo - 1))
+    in
+    (key, Seqdata.make target_frame Agg.Sum ~n:coarse_n ~lo values)
+  in
+  { t with frame = target_frame; space = red; partitions = List.map reduce_partition t.partitions }
+
+(* ---- Partitioning reduction (Lemma §6.2) ----
+
+   [group key] maps each partition key to its merged key; consecutive
+   partitions with equal merged keys concatenate into one long sequence.
+   Interior positions keep their original values; positions within a
+   window of a partition boundary combine header/trailer information of
+   the neighbouring partitions — which is exactly why the paper requires
+   complete reporting functions. *)
+
+(* Per-partition prefix-sum closures and running extrema used to evaluate
+   windows that cross partition boundaries. *)
+type part_info = {
+  len : int;
+  csum : (int -> float) option;        (* SUM views *)
+  pre_ext : float array option;        (* MIN/MAX: extremum of raw [1..q], index q *)
+  suf_ext : float array option;        (* MIN/MAX: extremum of raw [q..n], index q *)
+}
+
+let part_info_of agg seq =
+  let n = Seqdata.length seq in
+  match agg with
+  | Agg.Sum -> { len = n; csum = Some (Reconstruct.prefix seq); pre_ext = None; suf_ext = None }
+  | Agg.Min | Agg.Max ->
+    (match Frame.params (Seqdata.frame seq) with
+     | None ->
+       (* Cumulative MIN/MAX: the body values already are the prefix
+          extrema, and merged cumulative windows only ever need prefixes. *)
+       let pre = Array.make (n + 1) Agg.absent in
+       for q = 1 to n do
+         pre.(q) <- Seqdata.get seq q
+       done;
+       { len = n; csum = None; pre_ext = Some pre; suf_ext = Some (Array.make (n + 2) Agg.absent) }
+     | Some (l, h) ->
+       (* Extremum of the raw prefix [1..q]: fold of sequence values at
+          positions 1-h .. q-h (their clamped windows tile exactly [1..q]);
+          dually for suffixes. *)
+       let pre = Array.make (n + 1) Agg.absent in
+       for q = 1 to n do
+         pre.(q) <- Agg.combine agg pre.(q - 1) (Seqdata.get seq (q - h))
+       done;
+       let suf = Array.make (n + 2) Agg.absent in
+       for q = n downto 1 do
+         suf.(q) <- Agg.combine agg suf.(q + 1) (Seqdata.get seq (q + l))
+       done;
+       { len = n; csum = None; pre_ext = Some pre; suf_ext = Some suf })
+
+(* Aggregate of raw positions [a..b] (1-based, clamped) of one partition. *)
+let segment_value agg info ~a ~b =
+  let a = max 1 a and b = min info.len b in
+  if b < a then (match agg with Agg.Sum -> 0. | _ -> Agg.absent)
+  else
+    match agg with
+    | Agg.Sum ->
+      let c = Option.get info.csum in
+      c b -. c (a - 1)
+    | Agg.Min | Agg.Max ->
+      if a = 1 then (Option.get info.pre_ext).(b)
+      else if b = info.len then (Option.get info.suf_ext).(a)
+      else
+        (* interior segments only occur when the window lies inside one
+           partition, where the original value is used instead *)
+        not_derivable "interior MIN/MAX segment should be answered by the view itself"
+
+let partitioning_reduction t ~group : t =
+  if not (is_complete t) then
+    not_derivable
+      "partitioning reduction requires a complete reporting function (header \
+       and trailer per partition)";
+  let frame = t.frame in
+  let l, h =
+    match Frame.params frame with
+    | Some p -> p
+    | None ->
+      (* Cumulative = sliding with unbounded l; treat via SUM prefix sums. *)
+      (max_int / 4, 0)
+  in
+  (* Group consecutive partitions. *)
+  let groups =
+    List.fold_left
+      (fun acc (key, seq) ->
+        let gkey = group key in
+        match acc with
+        | (k, seqs) :: rest when k = gkey -> (k, seq :: seqs) :: rest
+        | _ -> (gkey, [ seq ]) :: acc)
+      [] t.partitions
+    |> List.rev_map (fun (k, seqs) -> (k, List.rev seqs))
+  in
+  let merge (gkey, seqs) =
+    let infos = List.map (part_info_of t.agg) seqs in
+    let seqs = Array.of_list seqs and infos = Array.of_list infos in
+    let nparts = Array.length seqs in
+    let offsets = Array.make (nparts + 1) 0 in
+    for i = 0 to nparts - 1 do
+      offsets.(i + 1) <- offsets.(i) + infos.(i).len
+    done;
+    let total = offsets.(nparts) in
+    (* partition containing global raw position g (1-based); -1/nparts
+       outside *)
+    let part_of g =
+      if g < 1 then -1
+      else if g > total then nparts
+      else begin
+        let rec go i = if offsets.(i + 1) >= g then i else go (i + 1) in
+        go 0
+      end
+    in
+    let value_at k =
+      let wlo = if Frame.is_cumulative frame then 1 else k - l in
+      let whi = if Frame.is_cumulative frame then k else k + h in
+      let wlo = max 1 wlo and whi = min total whi in
+      if whi < wlo then (match t.agg with Agg.Sum -> 0. | _ -> Agg.absent)
+      else begin
+        let plo = part_of wlo and phi = part_of whi in
+        if plo = phi && not (Frame.is_cumulative frame) then
+          (* window inside one partition: its own (interior or header or
+             trailer) value is directly available *)
+          Seqdata.get seqs.(plo) (k - offsets.(plo))
+        else begin
+          let acc = ref (match t.agg with Agg.Sum -> 0. | _ -> Agg.absent) in
+          for p = plo to phi do
+            let a = wlo - offsets.(p) and b = whi - offsets.(p) in
+            acc := Agg.combine t.agg !acc (segment_value t.agg infos.(p) ~a ~b)
+          done;
+          !acc
+        end
+      end
+    in
+    let lo, hi = Seqdata.complete_range frame ~n:total in
+    let values = Array.init (hi - lo + 1) (fun i -> value_at (lo + i)) in
+    (gkey, Seqdata.make frame t.agg ~n:total ~lo values)
+  in
+  { t with partitions = List.map merge groups }
+
+(* Full recomputation from raw partitions, for testing the reductions. *)
+let recompute_merged ?(agg = Agg.Sum) frame (parts : (partition_key * Seqdata.raw) list)
+    ~group : (partition_key * Seqdata.t) list =
+  let groups =
+    List.fold_left
+      (fun acc (key, raw) ->
+        let gkey = group key in
+        match acc with
+        | (k, raws) :: rest when k = gkey -> (k, raw :: raws) :: rest
+        | _ -> (gkey, [ raw ]) :: acc)
+      [] parts
+    |> List.rev_map (fun (k, raws) -> (k, List.rev raws))
+  in
+  List.map
+    (fun (gkey, raws) ->
+      let data = Array.concat (List.map Seqdata.raw_to_array raws) in
+      (gkey, Compute.sequence ~agg frame (Seqdata.raw_of_array data)))
+    groups

@@ -1,0 +1,59 @@
+(** Reporting sequences (paper §6): simple sequences extended by a
+    partitioning scheme and a multi-column ordering scheme.
+
+    A reporting view holds one complete simple sequence per partition,
+    all sharing the same frame, aggregate and ordering space.  It is a
+    {e complete reporting function} when every partition sequence is
+    complete — the prerequisite for partitioning reduction (§6.2). *)
+
+type partition_key = string list
+
+type t = {
+  agg : Agg.t;
+  frame : Frame.t;
+  space : Position.t;
+  partitions : (partition_key * Seqdata.t) list;  (** in partition order *)
+}
+
+exception Not_derivable of string
+
+val agg : t -> Agg.t
+val frame : t -> Frame.t
+val space : t -> Position.t
+val partitions : t -> (partition_key * Seqdata.t) list
+val partition_keys : t -> partition_key list
+val find_partition : t -> partition_key -> Seqdata.t option
+
+(** All partition sequences complete (Def. §6.2). *)
+val is_complete : t -> bool
+
+(** Compute a reporting view from per-partition raw data (one value per
+    ordering-space position).
+    @raise Not_derivable if a partition does not cover the space. *)
+val compute :
+  ?agg:Agg.t -> Frame.t -> Position.t -> (partition_key * Seqdata.raw) list -> t
+
+(** Ordering reduction (Lemma §6.1): collapse the trailing ordering
+    columns — values sharing a coarse prefix are summed — and compute the
+    [target_frame] sequence over the reduced space, using only the view's
+    data (via reconstructed prefix sums).
+    @raise Not_derivable
+      on non-SUM views or when [keep] is not a non-empty strict prefix. *)
+val ordering_reduction : t -> keep:int -> target_frame:Frame.t -> t
+
+(** Partitioning reduction (Lemma §6.2): merge consecutive partitions
+    whose keys map to the same [group] key.  Interior positions keep
+    their original values; positions near partition boundaries combine
+    header/trailer information of neighbouring partitions — which is why
+    the view must be complete.
+    @raise Not_derivable if the view is not complete. *)
+val partitioning_reduction : t -> group:(partition_key -> partition_key) -> t
+
+(** Reference implementation for testing: recompute the merged sequences
+    from concatenated raw data. *)
+val recompute_merged :
+  ?agg:Agg.t ->
+  Frame.t ->
+  (partition_key * Seqdata.raw) list ->
+  group:(partition_key -> partition_key) ->
+  (partition_key * Seqdata.t) list

@@ -1,0 +1,154 @@
+(* SQL generation of the paper's relational operator patterns.
+
+   These are the "pure relational model" mappings the paper proposes for
+   engines without native reporting functionality (Figs. 2, 4, 10, 13):
+   they can be applied in query rewrite directly after parsing a query
+   exhibiting a reporting function.
+
+   Each derivation pattern is emitted in two flavours, matching the two
+   columns of the paper's Table 2:
+   - [`Disjunctive]: a single self join with a disjunctive predicate;
+   - [`Union]: a UNION ALL of queries with simple (conjunctive)
+     predicates, aggregated afterwards.
+
+   MOD is *floored* in our engine, so the residue-class predicates remain
+   correct on header/trailer positions (which are <= 0); see DESIGN.md. *)
+
+type variant =
+  [ `Disjunctive
+  | `Union
+  ]
+
+let sprintf = Printf.sprintf
+
+(* ---- The native reporting-function query (Table 1, columns 1/3) ---- *)
+
+let native_window ?(table = "seq") ?(pos = "pos") ?(value = "val") frame =
+  sprintf "SELECT %s, SUM(%s) OVER (ORDER BY %s %s) AS val FROM %s" pos value pos
+    (Frame.to_sql frame) table
+
+(* ---- Fig. 2: computing a sequence by a self join (Table 1, cols 2/4) ---- *)
+
+let fig2_self_join ?(table = "seq") ?(pos = "pos") ?(value = "val") frame =
+  let pred =
+    match frame with
+    | Frame.Cumulative -> sprintf "s2.%s <= s1.%s" pos pos
+    | Frame.Sliding { l; h } ->
+      sprintf "s2.%s BETWEEN s1.%s - %d AND s1.%s + %d" pos pos l pos h
+  in
+  sprintf
+    "SELECT s1.%s AS %s, SUM(s2.%s) AS val FROM %s s1, %s s2 WHERE %s GROUP BY s1.%s"
+    pos pos value table table pred pos
+
+(* ---- Fig. 4: reconstructing raw values from a cumulative view ---- *)
+
+let fig4_reconstruct ?(table = "matseq") ?(pos = "pos") ?(value = "val") () =
+  sprintf
+    "SELECT s1.%s AS %s, SUM(CASE WHEN s1.%s = s2.%s THEN s2.%s ELSE (-1) * s2.%s \
+     END) AS val FROM %s s1, %s s2 WHERE s2.%s IN (s1.%s - 1, s1.%s) GROUP BY s1.%s"
+    pos pos pos pos value value table table pos pos pos pos
+
+(* ---- Shared helpers for the derivation patterns ---- *)
+
+(* Signed term family: all view positions congruent to [anchor] modulo
+   [period] that lie at or below [upper]; [anchor]/[upper] are offsets
+   relative to s1.pos. *)
+type term_family = {
+  sign : int;          (* +1 or -1 *)
+  anchor_off : int;    (* residue class: s2.pos ≡ s1.pos + anchor_off (mod period) *)
+  upper_off : int;     (* range: s2.pos <= s1.pos + upper_off *)
+}
+
+(* "s1.pos + off" with the sign folded into the operator; "s1.pos" if 0. *)
+let offset_expr ~pos off =
+  if off = 0 then sprintf "s1.%s" pos
+  else if off > 0 then sprintf "s1.%s + %d" pos off
+  else sprintf "s1.%s - %d" pos (-off)
+
+let family_pred ~pos ~period f =
+  sprintf "(s2.%s <= %s AND MOD(%s, %d) = MOD(s2.%s, %d))" pos
+    (offset_expr ~pos f.upper_off)
+    (offset_expr ~pos f.anchor_off)
+    period pos period
+
+(* Inner compensation query over the two term families. *)
+let inner_query ~table ~pos ~value ~period ~(fams : term_family list) variant =
+  let preds = List.map (family_pred ~pos ~period) fams in
+  match variant with
+  | `Disjunctive ->
+    let where = String.concat " OR " preds in
+    (* Residue classes of distinct families can coincide (e.g. MinOA with
+       ∆l+∆h a multiple of the view window size); emitting one signed CASE
+       per family keeps the sum correct in that case too. *)
+    let cases =
+      List.map2
+        (fun f p ->
+          if f.sign >= 0 then sprintf "(CASE WHEN %s THEN s2.%s ELSE 0 END)" p value
+          else sprintf "(CASE WHEN %s THEN (-1) * s2.%s ELSE 0 END)" p value)
+        fams preds
+    in
+    sprintf
+      "SELECT s1.%s AS %s, SUM(%s) AS val FROM %s s1, %s s2 WHERE %s GROUP BY s1.%s"
+      pos pos
+      (String.concat " + " cases)
+      table table where pos
+  | `Union ->
+    let branches =
+      List.map2
+        (fun f p ->
+          let term =
+            if f.sign >= 0 then sprintf "s2.%s" value
+            else sprintf "(-1) * s2.%s" value
+          in
+          sprintf "SELECT s1.%s AS %s, %s AS sval FROM %s s1, %s s2 WHERE %s" pos pos
+            term table table p)
+        fams preds
+    in
+    sprintf "SELECT %s, SUM(sval) AS val FROM (%s) u GROUP BY %s" pos
+      (String.concat " UNION ALL " branches)
+      pos
+
+let outer_query ~table ~pos ~value ~self_term ~inner =
+  let expr =
+    if self_term then sprintf "s.%s + COALESCE(c.val, 0)" value
+    else "COALESCE(c.val, 0)"
+  in
+  sprintf "SELECT s.%s AS %s, %s AS val FROM %s s LEFT OUTER JOIN (%s) c ON c.%s = s.%s"
+    pos pos expr table inner pos pos
+
+(* ---- Fig. 10: MaxOA (single-sided, shared upper bound h) ----
+
+   ỹ_k = x̃_k + Σ_{i>=1} x̃_{k-i(∆l+∆p)} - Σ_{i>=1} x̃_{k-((i+1)∆l+i∆p)}
+   with ∆p = 1+lx+h-∆l. *)
+
+let maxoa ?(table = "matseq") ?(pos = "pos") ?(value = "val") ~lx ~h ~ly variant =
+  let dl = ly - lx in
+  if dl <= 0 || dl > lx + h then
+    invalid_arg "Sqlgen.maxoa: need 0 < ly - lx <= lx + h";
+  let dp = Maxoa.overlap_factor ~lx ~h ~dl in
+  let period = dl + dp in
+  let fams =
+    [
+      { sign = 1; anchor_off = 0; upper_off = -period };
+      { sign = -1; anchor_off = -dl; upper_off = -period - dl };
+    ]
+  in
+  let inner = inner_query ~table ~pos ~value ~period ~fams variant in
+  outer_query ~table ~pos ~value ~self_term:true ~inner
+
+(* ---- Fig. 13: MinOA ----
+
+   ỹ_k = Σ_{i>=0} x̃_{k+∆h-i·wx} - Σ_{i>=1} x̃_{k-∆l-i·wx}, wx = 1+lx+hx. *)
+
+let minoa ?(table = "matseq") ?(pos = "pos") ?(value = "val") ~lx ~hx ~ly ~hy variant =
+  let wx = 1 + lx + hx in
+  let dl = ly - lx and dh = hy - hx in
+  if dl = 0 && dh = 0 then invalid_arg "Sqlgen.minoa: identity derivation";
+  let fams =
+    [
+      { sign = 1; anchor_off = dh; upper_off = dh };
+      { sign = -1; anchor_off = -dl; upper_off = -dl - wx };
+    ]
+  in
+  let inner = inner_query ~table ~pos ~value ~period:wx ~fams variant in
+  outer_query ~table ~pos ~value ~self_term:false ~inner

@@ -1,0 +1,63 @@
+(** SQL generation of the paper's relational operator patterns.
+
+    These are the "pure relational model" mappings the paper proposes for
+    engines without native reporting functionality (Figs. 2, 4, 10, 13);
+    they can be applied in query rewrite directly after parsing a
+    reporting-function query.
+
+    Each derivation pattern comes in two flavours — the two columns of
+    the paper's Table 2:
+    - [`Disjunctive]: one self join with a disjunctive predicate;
+    - [`Union]: a UNION ALL of simple-predicate queries, aggregated
+      afterwards.
+
+    The predicates use MOD residue classes; the engine's MOD is floored,
+    so they remain correct on header/trailer positions (<= 0). *)
+
+type variant =
+  [ `Disjunctive
+  | `Union
+  ]
+
+(** The native reporting-function query over a (pos, val) table
+    (Table 1, "reporting functionality" columns). *)
+val native_window :
+  ?table:string -> ?pos:string -> ?value:string -> Frame.t -> string
+
+(** Fig. 2: computing a sequence by a self join (Table 1, "self join"
+    columns).  Sliding frames use a BETWEEN predicate on the position;
+    cumulative frames use [s2.pos <= s1.pos]. *)
+val fig2_self_join :
+  ?table:string -> ?pos:string -> ?value:string -> Frame.t -> string
+
+(** Fig. 4: reconstructing raw values from a cumulative view. *)
+val fig4_reconstruct :
+  ?table:string -> ?pos:string -> ?value:string -> unit -> string
+
+(** Fig. 10: the MaxOA pattern for deriving [(ly, h)] from a complete
+    materialized [(lx, h)] view stored in [table].
+    @raise Invalid_argument unless [0 < ly - lx <= lx + h]. *)
+val maxoa :
+  ?table:string ->
+  ?pos:string ->
+  ?value:string ->
+  lx:int ->
+  h:int ->
+  ly:int ->
+  variant ->
+  string
+
+(** Fig. 13: the MinOA pattern for deriving [(ly, hy)] from a complete
+    materialized [(lx, hx)] view.  Any target shape is admissible except
+    the identity.
+    @raise Invalid_argument on the identity derivation. *)
+val minoa :
+  ?table:string ->
+  ?pos:string ->
+  ?value:string ->
+  lx:int ->
+  hx:int ->
+  ly:int ->
+  hy:int ->
+  variant ->
+  string

@@ -1,0 +1,1 @@
+lib/engine/advisor.ml: Aggregate Array Catalog Database Dtype Float List Matview Option Printf Relation Rfview_core Rfview_relalg Rfview_sql Row Schema String Value

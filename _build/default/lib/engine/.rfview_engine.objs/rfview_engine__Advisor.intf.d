@@ -1,0 +1,1 @@
+lib/engine/advisor.mli: Database Matview Relation Rfview_core Rfview_relalg Rfview_sql

@@ -1,0 +1,1 @@
+lib/engine/cache.ml: Advisor Database List Matview Printf Relation Rfview_relalg Rfview_sql

@@ -1,0 +1,1 @@
+lib/engine/cache.mli: Advisor Database Relation Rfview_relalg Rfview_sql

@@ -1,0 +1,1 @@
+lib/engine/catalog.ml: Format Hashtbl Index List Relation Rfview_relalg Rfview_sql Row Schema String

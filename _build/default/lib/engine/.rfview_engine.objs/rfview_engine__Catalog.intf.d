@@ -1,0 +1,1 @@
+lib/engine/catalog.mli: Index Relation Rfview_relalg Rfview_sql Row Schema

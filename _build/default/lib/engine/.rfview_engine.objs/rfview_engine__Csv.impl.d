@@ -1,0 +1,1 @@
+lib/engine/csv.ml: Array Buffer Catalog Database Dtype Format Fun List Relation Rfview_relalg Schema String Value

@@ -1,0 +1,1 @@
+lib/engine/csv.mli: Database Relation Rfview_relalg

@@ -1,0 +1,1 @@
+lib/engine/database.ml: Array Catalog Dtype Expr Float Format Fun Hashtbl Index List Matview Printf Relation Rfview_planner Rfview_relalg Rfview_sql Row Schema String Value Window

@@ -1,0 +1,1 @@
+lib/engine/database.mli: Catalog Matview Relation Rfview_planner Rfview_relalg Rfview_sql Row Window

@@ -1,0 +1,1 @@
+lib/engine/matview.ml: Aggregate Array Dtype Float Fun Hashtbl Int List Option Printf Relation Rfview_core Rfview_relalg Rfview_sql Row Schema Value

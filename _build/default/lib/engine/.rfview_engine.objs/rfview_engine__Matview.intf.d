@@ -1,0 +1,1 @@
+lib/engine/matview.mli: Aggregate Relation Rfview_core Rfview_relalg Rfview_sql Row Schema Value

@@ -1,0 +1,36 @@
+(** The derivability advisor (paper §3-§6): answer an incoming
+    reporting-function query from a materialized sequence view instead of
+    recomputing it from the base table.
+
+    Matching requires agreement on the base table, the value column, the
+    ordering column and — modulo partitioning reduction (§6.2) — the
+    partitioning columns; the frames must be derivable per
+    {!Rfview_core.Derive.applicable_strategies}.  AVG and COUNT queries
+    are answered from SUM views ("COUNT is trivial and AVG may be
+    directly derived from SUM and COUNT"). *)
+
+open Rfview_relalg
+module Ast := Rfview_sql.Ast
+module Core := Rfview_core
+
+type proposal = {
+  view_name : string;
+  strategy : Core.Derive.strategy;
+  partition_reduced : bool;
+  relational_sql : string option;
+      (** the Fig. 10/13 operator pattern a plain-relational engine would
+          run for this derivation, when one applies *)
+}
+
+val describe : proposal -> string
+
+(** All views able to answer the query, with their states and the
+    recognized query spec; empty when the query is not a sequence query
+    or no view matches. *)
+val proposals :
+  Database.t -> Ast.query -> (proposal * Matview.state * Matview.seq_spec) list
+
+(** Answer the query from the best matching view at the core level
+    (per-partition derivation; partitioning reduction when the query
+    drops the view's PARTITION BY and concatenation order is sound). *)
+val answer : Database.t -> Ast.query -> (Relation.t * proposal) option

@@ -1,0 +1,99 @@
+(* A derivation-aware query cache (paper §3's motivating application).
+
+   The paper argues that warehouse systems cache incoming user queries as
+   implicit materialized views, and that this only helps sequence
+   workloads if the system can *derive* new reporting-function queries
+   from previously cached ones — which is exactly what MaxOA/MinOA and
+   the cumulative rules provide.
+
+   The cache intercepts queries:
+   - a reporting-function query answerable from a cached entry (same
+     base table, value and ordering columns; derivable frame) is answered
+     by derivation, without touching the base table;
+   - other queries execute normally; recognized sequence queries are
+     admitted to the cache as materialized views afterwards.
+
+   Entries are evicted FIFO beyond [capacity]. *)
+
+open Rfview_relalg
+module Ast = Rfview_sql.Ast
+module Parser = Rfview_sql.Parser
+
+type outcome =
+  | Hit of Advisor.proposal  (* answered by derivation from a cache entry *)
+  | Miss_cached of string    (* executed and admitted under this entry name *)
+  | Bypass                   (* not a sequence query; executed directly *)
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable bypasses : int;
+}
+
+type t = {
+  db : Database.t;
+  capacity : int;
+  mutable entries : string list; (* cache view names, oldest last *)
+  mutable counter : int;
+  stats : stats;
+}
+
+let create ?(capacity = 8) db =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be positive";
+  { db; capacity; entries = []; counter = 0; stats = { hits = 0; misses = 0; bypasses = 0 } }
+
+let stats t = t.stats
+let entries t = List.rev t.entries
+
+let evict_excess t =
+  while List.length t.entries > t.capacity do
+    match List.rev t.entries with
+    | [] -> ()
+    | oldest :: _ ->
+      t.entries <- List.filter (fun e -> e <> oldest) t.entries;
+      ignore
+        (Database.exec_statement t.db
+           (Ast.St_drop_view { name = oldest; if_exists = true }))
+  done
+
+(* Admit a recognized sequence query to the cache. *)
+let admit t (q : Ast.query) : string =
+  t.counter <- t.counter + 1;
+  let name = Printf.sprintf "cache_entry_%d" t.counter in
+  ignore
+    (Database.exec_statement t.db
+       (Ast.St_create_view { name; materialized = true; query = q }));
+  (* only keep it when the engine established an incremental/derivable
+     state; otherwise it cannot serve derivations *)
+  if Database.is_incrementally_maintained t.db name then begin
+    t.entries <- name :: t.entries;
+    evict_excess t
+  end
+  else
+    ignore
+      (Database.exec_statement t.db (Ast.St_drop_view { name; if_exists = true }));
+  name
+
+let query_ast (t : t) (q : Ast.query) : Relation.t * outcome =
+  match Matview.recognize q with
+  | None ->
+    t.stats.bypasses <- t.stats.bypasses + 1;
+    (Database.run_query t.db q, Bypass)
+  | Some _ ->
+    (match Advisor.answer t.db q with
+     | Some (result, proposal)
+       when List.mem proposal.Advisor.view_name t.entries ->
+       t.stats.hits <- t.stats.hits + 1;
+       (result, Hit proposal)
+     | _ ->
+       let result = Database.run_query t.db q in
+       let name = admit t q in
+       t.stats.misses <- t.stats.misses + 1;
+       (result, Miss_cached name))
+
+let query t (sql : string) : Relation.t * outcome = query_ast t (Parser.query sql)
+
+let describe_outcome = function
+  | Hit p -> Printf.sprintf "HIT (%s)" (Advisor.describe p)
+  | Miss_cached name -> Printf.sprintf "MISS (cached as %s)" name
+  | Bypass -> "BYPASS"

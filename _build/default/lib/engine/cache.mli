@@ -1,0 +1,41 @@
+(** A derivation-aware query cache (paper §3's motivating application).
+
+    Warehouse systems cache incoming user queries as implicit
+    materialized views; for sequence workloads this only helps if new
+    reporting-function queries can be {e derived} from previously cached
+    ones — which MaxOA/MinOA and the cumulative rules provide.
+
+    The cache intercepts queries: a reporting-function query answerable
+    from a cached entry is served by derivation without touching the base
+    table; other queries execute normally, and recognized sequence
+    queries are admitted as materialized views.  Entries are evicted FIFO
+    beyond the capacity.  Cached entries are real materialized views, so
+    base-table DML keeps them (and hence cache answers) fresh. *)
+
+open Rfview_relalg
+module Ast := Rfview_sql.Ast
+
+type outcome =
+  | Hit of Advisor.proposal  (** answered by derivation from an entry *)
+  | Miss_cached of string    (** executed and admitted under this name *)
+  | Bypass                   (** not a sequence query; executed directly *)
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable bypasses : int;
+}
+
+type t
+
+(** @raise Invalid_argument if [capacity < 1] (default 8). *)
+val create : ?capacity:int -> Database.t -> t
+
+val stats : t -> stats
+
+(** Current entry names, oldest first. *)
+val entries : t -> string list
+
+val query : t -> string -> Relation.t * outcome
+val query_ast : t -> Ast.query -> Relation.t * outcome
+val describe_outcome : outcome -> string

@@ -1,0 +1,176 @@
+(* CSV import and export.
+
+   RFC-4180-style quoting: fields containing the separator, quotes or
+   newlines are double-quoted, with embedded quotes doubled.  Import
+   coerces fields to the target schema's column types; empty fields and
+   the literal NULL are NULL. *)
+
+open Rfview_relalg
+
+exception Csv_error of string
+
+let csv_error fmt = Format.kasprintf (fun s -> raise (Csv_error s)) fmt
+
+(* ---- Writing ---- *)
+
+let escape_field ?(sep = ',') s =
+  let needs_quoting =
+    String.exists (fun c -> c = sep || c = '"' || c = '\n' || c = '\r') s
+  in
+  if not needs_quoting then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c -> if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let field_of_value (v : Value.t) : string =
+  match v with
+  | Value.Null -> ""
+  | v -> Value.to_string v
+
+(* Render a relation as CSV text with a header line. *)
+let to_string ?(sep = ',') (r : Relation.t) : string =
+  let buf = Buffer.create 1024 in
+  let emit_row fields =
+    Buffer.add_string buf (String.concat (String.make 1 sep) fields);
+    Buffer.add_char buf '\n'
+  in
+  emit_row
+    (Array.to_list (Relation.schema r)
+    |> List.map (fun c -> escape_field ~sep c.Schema.name));
+  Relation.iter
+    (fun row ->
+      emit_row
+        (Array.to_list row |> List.map (fun v -> escape_field ~sep (field_of_value v))))
+    r;
+  Buffer.contents buf
+
+let export ?(sep = ',') (r : Relation.t) ~file : unit =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ~sep r))
+
+(* ---- Parsing ---- *)
+
+(* Split CSV text into records of fields, honouring quoting. *)
+let parse ?(sep = ',') (text : string) : string list list =
+  let n = String.length text in
+  let records = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_record () =
+    flush_field ();
+    records := List.rev !fields :: !records;
+    fields := []
+  in
+  let rec plain i =
+    if i >= n then (if !fields <> [] || Buffer.length buf > 0 then flush_record ())
+    else
+      match text.[i] with
+      | c when c = sep ->
+        flush_field ();
+        plain (i + 1)
+      | '\r' when i + 1 < n && text.[i + 1] = '\n' ->
+        flush_record ();
+        plain (i + 2)
+      | '\n' ->
+        flush_record ();
+        plain (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        plain (i + 1)
+  and quoted i =
+    if i >= n then csv_error "unterminated quoted field"
+    else
+      match text.[i] with
+      | '"' when i + 1 < n && text.[i + 1] = '"' ->
+        Buffer.add_char buf '"';
+        quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        quoted (i + 1)
+  in
+  plain 0;
+  List.rev !records
+
+let value_of_field ty (s : string) : Value.t =
+  if s = "" || String.uppercase_ascii s = "NULL" then Value.Null
+  else
+    match ty with
+    | Dtype.Int ->
+      (match int_of_string_opt s with
+       | Some i -> Value.Int i
+       | None -> csv_error "invalid INT field %S" s)
+    | Dtype.Float ->
+      (match float_of_string_opt s with
+       | Some f -> Value.Float f
+       | None -> csv_error "invalid FLOAT field %S" s)
+    | Dtype.Bool ->
+      (match String.uppercase_ascii s with
+       | "TRUE" | "T" | "1" -> Value.Bool true
+       | "FALSE" | "F" | "0" -> Value.Bool false
+       | _ -> csv_error "invalid BOOL field %S" s)
+    | Dtype.Date ->
+      (match Value.parse_date s with
+       | Some d -> Value.Date d
+       | None -> csv_error "invalid DATE field %S" s)
+    | Dtype.String -> Value.String s
+
+(* Import CSV text into an existing table.  With [header] (default), the
+   first record names the columns (any order, missing columns NULL);
+   without, records are positional. *)
+let import_string ?(sep = ',') ?(header = true) (db : Database.t) ~table text : int =
+  let tbl = Catalog.table (Database.catalog db) table in
+  let schema = tbl.Catalog.schema in
+  let arity = Schema.arity schema in
+  let records = parse ~sep text in
+  let col_positions, data =
+    match records, header with
+    | [], _ -> ([], [])
+    | hdr :: rest, true ->
+      ( List.map
+          (fun name ->
+            match Schema.find_opt schema name with
+            | Some i -> i
+            | None -> csv_error "table %s has no column %s" table name)
+          hdr,
+        rest )
+    | rows, false -> (List.init arity Fun.id, rows)
+  in
+  let rows =
+    List.map
+      (fun record ->
+        if List.length record <> List.length col_positions then
+          csv_error "record has %d fields, expected %d" (List.length record)
+            (List.length col_positions);
+        let row = Array.make arity Value.Null in
+        List.iter2
+          (fun pos field ->
+            row.(pos) <- value_of_field (Schema.col schema pos).Schema.ty field)
+          col_positions record;
+        row)
+      data
+  in
+  Database.load_table db ~table (Array.of_list rows);
+  List.length rows
+
+let import ?(sep = ',') ?(header = true) (db : Database.t) ~table ~file : int =
+  let ic = open_in file in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  import_string ~sep ~header db ~table text

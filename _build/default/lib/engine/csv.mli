@@ -1,0 +1,27 @@
+(** CSV import and export.
+
+    RFC-4180-style quoting; import coerces fields to the target table's
+    column types; empty fields and the literal [NULL] are NULL. *)
+
+open Rfview_relalg
+
+exception Csv_error of string
+
+(** Render a relation as CSV text with a header line. *)
+val to_string : ?sep:char -> Relation.t -> string
+
+(** Write a relation to a file. *)
+val export : ?sep:char -> Relation.t -> file:string -> unit
+
+(** Split CSV text into records of fields, honouring quoting.
+    @raise Csv_error on unterminated quotes. *)
+val parse : ?sep:char -> string -> string list list
+
+(** Load CSV text into an existing table; returns the row count.  With
+    [header] (default), the first record names the columns (any order);
+    without, records are positional.
+    @raise Csv_error on unknown columns or unparsable fields. *)
+val import_string : ?sep:char -> ?header:bool -> Database.t -> table:string -> string -> int
+
+(** Like {!import_string}, reading from a file. *)
+val import : ?sep:char -> ?header:bool -> Database.t -> table:string -> file:string -> int

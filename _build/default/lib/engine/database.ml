@@ -1,0 +1,456 @@
+(* The database facade: parse → bind → (rewrite) → plan → execute, plus
+   DDL/DML with materialized-view maintenance.
+
+   [window_mode] selects how reporting functions execute — the contrast of
+   the paper's Table 1:
+   - [`Native]: the built-in window operator ("existing reporting
+     functionality inside the database engine");
+   - [`Self_join]: rewrite every window function into the relational
+     self-join simulation of Fig. 2 before planning. *)
+
+open Rfview_relalg
+module Ast = Rfview_sql.Ast
+module Parser = Rfview_sql.Parser
+module Pretty = Rfview_sql.Pretty
+module P = Rfview_planner
+
+exception Engine_error of string
+
+let engine_error fmt = Format.kasprintf (fun s -> raise (Engine_error s)) fmt
+
+type window_mode =
+  [ `Native
+  | `Self_join
+  ]
+
+type view_index = {
+  vi_view : string;
+  vi_column : string;
+  vi_kind : Index.kind;
+  mutable vi_built : Index.t option;
+}
+
+type t = {
+  catalog : Catalog.t;
+  view_states : (string, Matview.state) Hashtbl.t; (* incremental matviews *)
+  view_indexes : (string, view_index) Hashtbl.t;    (* keyed by index name *)
+  mutable window_mode : window_mode;
+  mutable window_strategy : Window.strategy;
+  mutable hash_join_enabled : bool;
+  mutable index_join_enabled : bool;
+}
+
+type result =
+  | Relation of Relation.t
+  | Done of string
+
+let create () =
+  {
+    catalog = Catalog.create ();
+    view_states = Hashtbl.create 8;
+    view_indexes = Hashtbl.create 8;
+    window_mode = `Native;
+    window_strategy = Window.Incremental;
+    hash_join_enabled = true;
+    index_join_enabled = true;
+  }
+
+let set_window_mode db mode = db.window_mode <- mode
+let set_window_strategy db s = db.window_strategy <- s
+
+(* Disabling hash joins forces nested loops for equality predicates (how
+   the paper's engine executed both Table 2 variants). *)
+let set_hash_join db enabled = db.hash_join_enabled <- enabled
+
+(* Disabling index joins as well yields pure nested-loop plans. *)
+let set_index_join db enabled = db.index_join_enabled <- enabled
+
+let key = String.lowercase_ascii
+
+(* ---- Catalog adapters ---- *)
+
+let view_contents db name =
+  match Catalog.find_view db.catalog name with
+  | Some v when v.Catalog.materialized ->
+    (match v.Catalog.contents with
+     | Some r -> Some r
+     | None -> engine_error "materialized view %s has no contents" name)
+  | _ -> None
+
+let binder_catalog db : P.Binder.catalog =
+  {
+    P.Binder.resolve_table =
+      (fun name ->
+        match Catalog.find_table db.catalog name with
+        | Some tbl -> Some tbl.Catalog.schema
+        | None ->
+          (match view_contents db name with
+           | Some r -> Some (Relation.schema r)
+           | None -> None));
+    resolve_view =
+      (fun name ->
+        match Catalog.find_view db.catalog name with
+        | Some v when not v.Catalog.materialized -> Some v.Catalog.definition
+        | _ -> None);
+  }
+
+let view_index db ~view ~column =
+  Hashtbl.fold
+    (fun _ vi acc ->
+      if acc <> None then acc
+      else if key vi.vi_view = key view && key vi.vi_column = key column then begin
+        match vi.vi_built with
+        | Some b -> Some b
+        | None ->
+          (match view_contents db view with
+           | None -> None
+           | Some r ->
+             (match Schema.find_opt (Relation.schema r) column with
+              | None -> None
+              | Some ci ->
+                let b = Index.build vi.vi_kind (Relation.rows r) ~key_col:ci in
+                vi.vi_built <- Some b;
+                Some b))
+      end
+      else None)
+    db.view_indexes None
+
+let catalog_view db : P.Physical.catalog_view =
+  {
+    P.Physical.table_contents =
+      (fun name ->
+        match Catalog.find_table db.catalog name with
+        | Some tbl -> Catalog.table_relation tbl
+        | None ->
+          (match view_contents db name with
+           | Some r -> r
+           | None -> engine_error "unknown relation %s" name));
+    table_index =
+      (fun ~table ~column ->
+        match Catalog.table_index db.catalog ~table ~column with
+        | Some idx -> Some idx
+        | None -> view_index db ~view:table ~column);
+  }
+
+let invalidate_view_indexes db name =
+  Hashtbl.iter
+    (fun _ vi -> if key vi.vi_view = key name then vi.vi_built <- None)
+    db.view_indexes
+
+(* ---- Query execution ---- *)
+
+let plan_query db (q : Ast.query) : P.Physical.t =
+  let logical = P.Binder.bind_query (binder_catalog db) q in
+  let logical =
+    match db.window_mode with
+    | `Native -> logical
+    | `Self_join -> P.Rewrite.window_to_self_join logical
+  in
+  let logical = P.Optimize.optimize logical in
+  let opts =
+    {
+      P.Physical.window_strategy = db.window_strategy;
+      enable_hash_join = db.hash_join_enabled;
+      enable_index_join = db.index_join_enabled;
+    }
+  in
+  P.Physical.plan ~opts (catalog_view db) logical
+
+let run_query db (q : Ast.query) : Relation.t =
+  P.Physical.execute (catalog_view db) (plan_query db q)
+
+(* ---- View maintenance ---- *)
+
+let rec tables_of_query (q : Ast.query) : string list =
+  tables_of_body q.Ast.body
+
+and tables_of_body = function
+  | Ast.Select s ->
+    List.concat_map tables_of_ref s.Ast.from
+  | Ast.Union { left; right; _ } -> tables_of_body left @ tables_of_body right
+
+and tables_of_ref = function
+  | Ast.Table { name; _ } -> [ name ]
+  | Ast.Subquery { query; _ } -> tables_of_query query
+  | Ast.Join { left; right; _ } -> tables_of_ref left @ tables_of_ref right
+
+let refresh_view_full db (v : Catalog.view) =
+  let contents = run_query db v.Catalog.definition in
+  v.Catalog.contents <- Some contents;
+  invalidate_view_indexes db v.Catalog.view_name;
+  (* (re)try to establish the incremental state *)
+  Hashtbl.remove db.view_states (key v.Catalog.view_name);
+  match Matview.recognize v.Catalog.definition with
+  | None -> ()
+  | Some spec ->
+    (match Catalog.find_table db.catalog spec.Matview.source with
+     | None -> ()
+     | Some tbl ->
+       (try
+          let state =
+            Matview.init_state spec
+              ~base:(Catalog.table_relation tbl)
+              ~out_schema:(Relation.schema contents)
+          in
+          Hashtbl.replace db.view_states (key v.Catalog.view_name) state
+        with Matview.Not_maintainable _ -> ()))
+
+type dml_change =
+  | Rows_inserted of Row.t list
+  | Rows_deleted of Row.t list
+  | Rows_updated of (Row.t * Row.t) list (* old, new *)
+
+(* Propagate one base-table change to every materialized view that
+   references the table: incrementally when a sequence-view state exists,
+   by full refresh otherwise. *)
+let propagate db ~table change =
+  List.iter
+    (fun (v : Catalog.view) ->
+      if
+        v.Catalog.materialized
+        && List.exists
+             (fun t -> key t = key table)
+             (tables_of_query v.Catalog.definition)
+      then begin
+        match Hashtbl.find_opt db.view_states (key v.Catalog.view_name) with
+        | Some state ->
+          (try
+             (match change with
+              | Rows_inserted rows -> List.iter (Matview.apply_insert state) rows
+              | Rows_deleted rows -> List.iter (Matview.apply_delete state) rows
+              | Rows_updated pairs ->
+                List.iter
+                  (fun (old_row, new_row) ->
+                    Matview.apply_update state ~old_row ~new_row)
+                  pairs);
+             v.Catalog.contents <- Some (Matview.render state);
+             invalidate_view_indexes db v.Catalog.view_name
+           with Matview.Not_maintainable _ -> refresh_view_full db v)
+        | None -> refresh_view_full db v
+      end)
+    (Catalog.all_views db.catalog)
+
+(* ---- DML ---- *)
+
+let const_scalar (e : Ast.expr) : Value.t =
+  let bound = P.Binder.bind_scalar (Schema.make []) e in
+  Expr.eval [||] bound
+
+(* Coerce a value to a column's declared type where a lossless conversion
+   exists (integer literals into FLOAT columns, ISO strings into DATE
+   columns, ...); incompatible values are rejected. *)
+let coerce_value ty (v : Value.t) : Value.t =
+  match ty, v with
+  | _, Value.Null -> Value.Null
+  | Dtype.Float, Value.Int i -> Value.Float (float_of_int i)
+  | Dtype.Int, Value.Float f when Float.is_integer f -> Value.Int (int_of_float f)
+  | Dtype.Date, Value.String s ->
+    (match Value.parse_date s with
+     | Some d -> Value.Date d
+     | None -> engine_error "invalid date value '%s'" s)
+  | Dtype.Int, Value.Int _
+  | Dtype.Float, Value.Float _
+  | Dtype.Bool, Value.Bool _
+  | Dtype.String, Value.String _
+  | Dtype.Date, Value.Date _ -> v
+  | ty, v ->
+    engine_error "value %s is not compatible with type %s" (Value.to_string v)
+      (Dtype.to_string ty)
+
+let exec_insert db ~table ~columns ~rows =
+  let tbl = Catalog.table db.catalog table in
+  let schema = tbl.Catalog.schema in
+  let arity = Schema.arity schema in
+  let col_positions =
+    if columns = [] then List.init arity Fun.id
+    else
+      List.map
+        (fun c ->
+          match Schema.find_opt schema c with
+          | Some i -> i
+          | None -> engine_error "table %s has no column %s" table c)
+        columns
+  in
+  let new_rows =
+    List.map
+      (fun exprs ->
+        if List.length exprs <> List.length col_positions then
+          engine_error "INSERT arity mismatch for table %s" table;
+        let row = Array.make arity Value.Null in
+        List.iter2
+          (fun pos e ->
+            row.(pos) <- coerce_value (Schema.col schema pos).Schema.ty (const_scalar e))
+          col_positions exprs;
+        row)
+      rows
+  in
+  Catalog.set_rows tbl (Array.append tbl.Catalog.rows (Array.of_list new_rows));
+  propagate db ~table (Rows_inserted new_rows);
+  Done (Printf.sprintf "INSERT %d" (List.length new_rows))
+
+let exec_update db ~table ~assignments ~where =
+  let tbl = Catalog.table db.catalog table in
+  let schema = tbl.Catalog.schema in
+  let pred =
+    match where with
+    | None -> Expr.Const (Value.Bool true)
+    | Some w -> P.Binder.bind_scalar schema w
+  in
+  let assigns =
+    List.map
+      (fun (c, e) ->
+        match Schema.find_opt schema c with
+        | Some i -> (i, P.Binder.bind_scalar schema e)
+        | None -> engine_error "table %s has no column %s" table c)
+      assignments
+  in
+  let pairs = ref [] in
+  let rows =
+    Array.map
+      (fun row ->
+        if Expr.holds row pred then begin
+          let fresh = Array.copy row in
+          List.iter
+            (fun (i, e) ->
+              fresh.(i) <- coerce_value (Schema.col schema i).Schema.ty (Expr.eval row e))
+            assigns;
+          pairs := (row, fresh) :: !pairs;
+          fresh
+        end
+        else row)
+      tbl.Catalog.rows
+  in
+  Catalog.set_rows tbl rows;
+  propagate db ~table (Rows_updated (List.rev !pairs));
+  Done (Printf.sprintf "UPDATE %d" (List.length !pairs))
+
+let exec_delete db ~table ~where =
+  let tbl = Catalog.table db.catalog table in
+  let schema = tbl.Catalog.schema in
+  let pred =
+    match where with
+    | None -> Expr.Const (Value.Bool true)
+    | Some w -> P.Binder.bind_scalar schema w
+  in
+  let deleted = ref [] in
+  let kept = ref [] in
+  Array.iter
+    (fun row ->
+      if Expr.holds row pred then deleted := row :: !deleted else kept := row :: !kept)
+    tbl.Catalog.rows;
+  Catalog.set_rows tbl (Array.of_list (List.rev !kept));
+  propagate db ~table (Rows_deleted (List.rev !deleted));
+  Done (Printf.sprintf "DELETE %d" (List.length !deleted))
+
+(* ---- Statements ---- *)
+
+let rec exec_statement db (stmt : Ast.statement) : result =
+  match stmt with
+  | Ast.St_query q -> Relation (run_query db q)
+  | Ast.St_create_table { name; columns } ->
+    let schema =
+      Schema.make
+        (List.map (fun c -> Schema.column c.Ast.col_name c.Ast.col_type) columns)
+    in
+    let _ = Catalog.create_table db.catalog ~name ~schema in
+    Done (Printf.sprintf "CREATE TABLE %s" name)
+  | Ast.St_create_index { name; table; column; ordered } ->
+    let kind = if ordered then Index.Ordered else Index.Hash in
+    if Catalog.find_table db.catalog table <> None then begin
+      Catalog.create_index db.catalog ~name ~table ~column ~kind;
+      Done (Printf.sprintf "CREATE INDEX %s" name)
+    end
+    else if Catalog.find_view db.catalog table <> None then begin
+      if Hashtbl.mem db.view_indexes (key name) then
+        engine_error "index %s already exists" name;
+      Hashtbl.replace db.view_indexes (key name)
+        { vi_view = table; vi_column = column; vi_kind = kind; vi_built = None };
+      Done (Printf.sprintf "CREATE INDEX %s" name)
+    end
+    else engine_error "unknown relation %s" table
+  | Ast.St_create_view { name; materialized; query } ->
+    let v = Catalog.create_view db.catalog ~name ~materialized ~definition:query in
+    if materialized then refresh_view_full db v;
+    Done (Printf.sprintf "CREATE %sVIEW %s" (if materialized then "MATERIALIZED " else "") name)
+  | Ast.St_insert { table; columns; rows } -> exec_insert db ~table ~columns ~rows
+  | Ast.St_update { table; assignments; where } -> exec_update db ~table ~assignments ~where
+  | Ast.St_delete { table; where } -> exec_delete db ~table ~where
+  | Ast.St_drop_table { name; if_exists } ->
+    Catalog.drop_table db.catalog ~name ~if_exists;
+    Done (Printf.sprintf "DROP TABLE %s" name)
+  | Ast.St_drop_view { name; if_exists } ->
+    Catalog.drop_view db.catalog ~name ~if_exists;
+    Hashtbl.remove db.view_states (key name);
+    Done (Printf.sprintf "DROP VIEW %s" name)
+  | Ast.St_refresh_view name ->
+    refresh_view_full db (Catalog.view db.catalog name);
+    Done (Printf.sprintf "REFRESH %s" name)
+  | Ast.St_explain inner ->
+    (match inner with
+     | Ast.St_query q ->
+       let logical = P.Binder.bind_query (binder_catalog db) q in
+       let logical' =
+         P.Optimize.optimize
+           (match db.window_mode with
+            | `Native -> logical
+            | `Self_join -> P.Rewrite.window_to_self_join logical)
+       in
+       let opts =
+         {
+           P.Physical.window_strategy = db.window_strategy;
+           enable_hash_join = db.hash_join_enabled;
+           enable_index_join = db.index_join_enabled;
+         }
+       in
+       let physical = P.Physical.plan ~opts (catalog_view db) logical' in
+       Done
+         (Printf.sprintf "== logical ==\n%s== optimized ==\n%s== physical ==\n%s"
+            (P.Logical.to_string logical)
+            (P.Logical.to_string logical')
+            (P.Physical.to_string physical))
+     | other -> exec_statement db other)
+  | Ast.St_explain_analyze inner ->
+    (match inner with
+     | Ast.St_query q ->
+       let physical = plan_query db q in
+       let _result, profile = P.Physical.execute_analyze (catalog_view db) physical in
+       Done (P.Physical.render_profile profile)
+     | other -> exec_statement db other)
+
+(* Bulk-load rows into a table, bypassing the SQL layer (used by the
+   benchmark harness and the workload generators).  Materialized views on
+   the table are fully refreshed. *)
+let load_table db ~table rows =
+  let tbl = Catalog.table db.catalog table in
+  Catalog.set_rows tbl (Array.append tbl.Catalog.rows rows);
+  List.iter
+    (fun (v : Catalog.view) ->
+      if
+        v.Catalog.materialized
+        && List.exists (fun t -> key t = key table) (tables_of_query v.Catalog.definition)
+      then refresh_view_full db v)
+    (Catalog.all_views db.catalog)
+
+(* ---- Entry points ---- *)
+
+let exec db (sql : string) : result = exec_statement db (Parser.statement sql)
+
+let exec_script db (sql : string) : result list =
+  List.map (exec_statement db) (Parser.statements sql)
+
+let query db (sql : string) : Relation.t =
+  match exec db sql with
+  | Relation r -> r
+  | Done msg -> engine_error "expected a query, got: %s" msg
+
+let explain db (sql : string) : string =
+  match exec_statement db (Ast.St_explain (Parser.statement sql)) with
+  | Done s -> s
+  | Relation _ -> assert false
+
+(* Does a view currently have an incremental maintenance state? *)
+let is_incrementally_maintained db name = Hashtbl.mem db.view_states (key name)
+
+let catalog db = db.catalog
+
+let view_state db name = Hashtbl.find_opt db.view_states (key name)

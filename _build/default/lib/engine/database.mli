@@ -1,0 +1,72 @@
+(** The database facade: parse → bind → (rewrite) → optimize → plan →
+    execute, plus DDL/DML with materialized-view maintenance. *)
+
+open Rfview_relalg
+module Ast := Rfview_sql.Ast
+module P := Rfview_planner
+
+exception Engine_error of string
+
+(** How reporting functions execute — the contrast of the paper's
+    Table 1: the native window operator, or the Fig. 2 self-join
+    simulation applied in query rewrite. *)
+type window_mode =
+  [ `Native
+  | `Self_join
+  ]
+
+type t
+
+type result =
+  | Relation of Relation.t
+  | Done of string  (** acknowledgement of a DDL/DML statement *)
+
+val create : unit -> t
+
+val set_window_mode : t -> window_mode -> unit
+val set_window_strategy : t -> Window.strategy -> unit
+
+(** Disabling hash joins forces nested loops for equality predicates —
+    how the paper's engine executed both Table 2 variants. *)
+val set_hash_join : t -> bool -> unit
+
+(** Disabling index joins as well yields pure nested-loop plans. *)
+val set_index_join : t -> bool -> unit
+
+(** {1 Execution} *)
+
+(** Execute one statement.
+    @raise Engine_error / Binder.Bind_error / Parser.Parse_error /
+           Catalog.Catalog_error on failure. *)
+val exec : t -> string -> result
+
+(** Execute a [;]-separated script. *)
+val exec_script : t -> string -> result list
+
+(** Execute a query statement.  @raise Engine_error if it is not one. *)
+val query : t -> string -> Relation.t
+
+(** Logical and physical plan text. *)
+val explain : t -> string -> string
+
+val exec_statement : t -> Ast.statement -> result
+val run_query : t -> Ast.query -> Relation.t
+val plan_query : t -> Ast.query -> P.Physical.t
+
+(** Bulk-load rows, bypassing SQL parsing; materialized views on the
+    table are fully refreshed. *)
+val load_table : t -> table:string -> Row.t array -> unit
+
+(** {1 Introspection} *)
+
+val catalog : t -> Catalog.t
+
+(** Does the view currently have an incremental maintenance state? *)
+val is_incrementally_maintained : t -> string -> bool
+
+val view_state : t -> string -> Matview.state option
+
+(** The binder/executor adapters (exposed for the advisor and tests). *)
+val binder_catalog : t -> P.Binder.catalog
+
+val catalog_view : t -> P.Physical.catalog_view

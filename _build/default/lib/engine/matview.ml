@@ -1,0 +1,369 @@
+(* Materialized sequence views: recognition, state, incremental
+   maintenance (paper §2.3) and rendering.
+
+   A view qualifies as a *sequence view* when its definition has the shape
+
+     SELECT col..., agg(value_col) OVER
+            ([PARTITION BY pcols] ORDER BY order_col [ROWS frame]) [AS a]
+     FROM base_table
+
+   with simple column references, a single ordering column and a
+   cumulative or sliding ROWS frame.  For such views the engine keeps a
+   per-partition core representation (raw data + complete sequence) and
+   maintains it incrementally under base-table DML; other views are
+   refreshed by full recomputation.
+
+   The value column must be numeric and NULL-free for the incremental
+   path — checked when the state is initialized; otherwise the engine
+   falls back to full refresh. *)
+
+open Rfview_relalg
+module Ast = Rfview_sql.Ast
+module Core = Rfview_core
+
+type seq_spec = {
+  source : string;                 (* base table name *)
+  partition : string list;         (* partition column names *)
+  order_col : string;
+  value_col : string;
+  agg : Aggregate.kind;
+  frame : Core.Frame.t;
+  (* output layout: base column name per item, None = the window column *)
+  items : (string option * string) list; (* (source column, output name) *)
+}
+
+(* ---- Recognition ---- *)
+
+let simple_col = function
+  | Ast.Column (_, name) -> Some name
+  | _ -> None
+
+let core_frame (w : Ast.window_fn) : Core.Frame.t option =
+  match w.Ast.w_frame with
+  | None -> if w.Ast.w_order <> [] then Some Core.Frame.Cumulative else None
+  | Some { Ast.frame_mode = Ast.Frame_range; _ } -> None
+  | Some { Ast.frame_mode = Ast.Frame_rows; frame_lo; frame_hi } ->
+    let lo_off = function
+      | Ast.Unbounded_preceding -> Some None (* unbounded *)
+      | Ast.Preceding n -> Some (Some n)
+      | Ast.Current_row -> Some (Some 0)
+      | Ast.Following _ | Ast.Unbounded_following -> None
+    in
+    let hi_off = function
+      | Ast.Following n -> Some (Some n)
+      | Ast.Current_row -> Some (Some 0)
+      | Ast.Preceding _ | Ast.Unbounded_preceding | Ast.Unbounded_following -> None
+    in
+    (match lo_off frame_lo, hi_off frame_hi with
+     | Some None, Some (Some 0) -> Some Core.Frame.Cumulative
+     | Some (Some l), Some (Some h) -> Some (Core.Frame.sliding ~l ~h)
+     | _ -> None)
+
+let recognize (q : Ast.query) : seq_spec option =
+  match q.Ast.body with
+  | Ast.Select
+      {
+        distinct = false;
+        items;
+        from = [ Ast.Table { name = source; alias = _ } ];
+        where = None;
+        group_by = [];
+        having = None;
+      }
+    when q.Ast.order_by = [] || true -> begin
+      (* collect items: simple columns plus exactly one window function *)
+      let win = ref None in
+      let layout = ref [] in
+      let ok =
+        List.for_all
+          (fun item ->
+            match item with
+            | Ast.Sel_expr (Ast.Column (_, c), alias) ->
+              layout := (Some c, Option.value ~default:c alias) :: !layout;
+              true
+            | Ast.Sel_expr (Ast.Window w, alias) when !win = None ->
+              win := Some (w, alias);
+              layout := (None, Option.value ~default:"seq_val" alias) :: !layout;
+              true
+            | _ -> false)
+          items
+      in
+      if not ok then None
+      else
+        match !win with
+        | None -> None
+        | Some (w, _) ->
+          let open Ast in
+          (match
+             ( Aggregate.kind_of_name w.w_func,
+               (match w.w_args with [ a ] -> simple_col a | _ -> None),
+               w.w_order,
+               core_frame w )
+           with
+           | Some agg, Some value_col, [ { o_expr; o_asc = true } ], Some frame ->
+             (match simple_col o_expr with
+              | Some order_col ->
+                let partition =
+                  List.map
+                    (fun p -> simple_col p)
+                    w.w_partition
+                in
+                if List.for_all Option.is_some partition then
+                  Some
+                    {
+                      source;
+                      partition = List.map Option.get partition;
+                      order_col;
+                      value_col;
+                      agg;
+                      frame;
+                      items = List.rev !layout;
+                    }
+                else None
+              | None -> None)
+           | _ -> None)
+    end
+  | _ -> None
+
+(* ---- Maintenance state ---- *)
+
+type partition_state = {
+  pkey : Value.t list;
+  mutable base_rows : Row.t array; (* base rows of this partition, ordered *)
+  mutable raw : Core.Seqdata.raw;
+  mutable seq : Core.Seqdata.t;
+}
+
+type state = {
+  spec : seq_spec;
+  base_schema : Schema.t;
+  out_schema : Schema.t;
+  pcols : int list;   (* partition column indices in the base schema *)
+  ocol : int;         (* order column index *)
+  vcol : int;         (* value column index *)
+  mutable parts : partition_state list; (* sorted by pkey *)
+}
+
+exception Not_maintainable of string
+
+let core_agg = function
+  | Aggregate.Sum | Aggregate.Count | Aggregate.Avg -> Core.Agg.Sum
+  | Aggregate.Min -> Core.Agg.Min
+  | Aggregate.Max -> Core.Agg.Max
+
+let compare_pkey a b =
+  let rec go = function
+    | [], [] -> 0
+    | x :: xs, y :: ys ->
+      let c = Value.compare x y in
+      if c <> 0 then c else go (xs, ys)
+    | _ -> assert false
+  in
+  go (a, b)
+
+(* Build the state from the current base-table contents.  Raises
+   [Not_maintainable] when the value column contains NULLs or
+   non-numerics. *)
+let init_state (spec : seq_spec) ~(base : Relation.t) ~(out_schema : Schema.t) : state =
+  let base_schema = Relation.schema base in
+  let find c =
+    match Schema.find_opt base_schema c with
+    | Some i -> i
+    | None -> raise (Not_maintainable (Printf.sprintf "base column %s missing" c))
+  in
+  let pcols = List.map find spec.partition in
+  let ocol = find spec.order_col in
+  let vcol = find spec.value_col in
+  let value_of row =
+    match Row.get row vcol with
+    | Value.Null -> raise (Not_maintainable "NULL in the value column")
+    | v ->
+      (try Value.to_float v
+       with Value.Type_error _ -> raise (Not_maintainable "non-numeric value column"))
+  in
+  (* partition rows *)
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  Relation.iter
+    (fun row ->
+      let k = List.map (fun i -> Row.get row i) pcols in
+      match Hashtbl.find_opt tbl k with
+      | Some rows -> rows := row :: !rows
+      | None ->
+        Hashtbl.add tbl k (ref [ row ]);
+        order := k :: !order)
+    base;
+  let parts =
+    List.map
+      (fun k ->
+        let rows = List.rev !(Hashtbl.find tbl k) in
+        let arr = Array.of_list rows in
+        (* stable sort by the order column *)
+        let idx = Array.init (Array.length arr) Fun.id in
+        Array.sort
+          (fun i j ->
+            let c = Value.compare (Row.get arr.(i) ocol) (Row.get arr.(j) ocol) in
+            if c <> 0 then c else Int.compare i j)
+          idx;
+        let sorted = Array.map (fun i -> arr.(i)) idx in
+        let raw = Core.Seqdata.raw_of_array (Array.map value_of sorted) in
+        let seq = Core.Compute.sequence ~agg:(core_agg spec.agg) spec.frame raw in
+        { pkey = k; base_rows = sorted; raw; seq })
+      (List.rev !order)
+    |> List.sort (fun a b -> compare_pkey a.pkey b.pkey)
+  in
+  { spec; base_schema; out_schema; pcols; ocol; vcol; parts }
+
+(* ---- Rendering ---- *)
+
+let window_value (st : state) (p : partition_state) ~k : Value.t =
+  let n = Core.Seqdata.raw_length p.raw in
+  let float_value v = if Float.is_nan v then Value.Null else Value.Float v in
+  match st.spec.agg with
+  | Aggregate.Sum | Aggregate.Min | Aggregate.Max ->
+    float_value (Core.Seqdata.get p.seq k)
+  | Aggregate.Count -> Value.Int (Core.Agg.count_at st.spec.frame ~n ~k)
+  | Aggregate.Avg ->
+    let c = Core.Agg.count_at st.spec.frame ~n ~k in
+    if c = 0 then Value.Null
+    else Value.Float (Core.Seqdata.get p.seq k /. float_of_int c)
+
+let coerce_to ty (v : Value.t) : Value.t =
+  match ty, v with
+  | Dtype.Int, Value.Float f when Float.is_integer f -> Value.Int (int_of_float f)
+  | _ -> v
+
+let render (st : state) : Relation.t =
+  let item_cols =
+    List.map
+      (fun (src, _) ->
+        match src with
+        | Some c -> Some (Schema.find st.base_schema c)
+        | None -> None)
+      st.spec.items
+  in
+  let out_tys =
+    List.mapi (fun i _ -> (Schema.col st.out_schema i).Schema.ty) st.spec.items
+  in
+  let buf = ref [] in
+  List.iter
+    (fun p ->
+      Array.iteri
+        (fun i row ->
+          let k = i + 1 in
+          let values =
+            List.map2
+              (fun src ty ->
+                match src with
+                | Some c -> Row.get row c
+                | None -> coerce_to ty (window_value st p ~k))
+              item_cols out_tys
+          in
+          buf := Array.of_list values :: !buf)
+        p.base_rows)
+    st.parts;
+  Relation.of_array st.out_schema (Array.of_list (List.rev !buf))
+
+(* ---- Incremental maintenance under base DML ---- *)
+
+let value_of st row =
+  match Row.get row st.vcol with
+  | Value.Null -> raise (Not_maintainable "NULL in the value column")
+  | v ->
+    (try Value.to_float v
+     with Value.Type_error _ -> raise (Not_maintainable "non-numeric value column"))
+
+let pkey_of st row = List.map (fun i -> Row.get row i) st.pcols
+
+let find_partition st pkey = List.find_opt (fun p -> compare_pkey p.pkey pkey = 0) st.parts
+
+(* Rank (1-based) at which [row] inserts into the ordered partition:
+   after all existing rows with order value <= its own. *)
+let insert_rank st (p : partition_state) row =
+  let v = Row.get row st.ocol in
+  let n = Array.length p.base_rows in
+  let rec go k =
+    if k >= n then n + 1
+    else if Value.compare (Row.get p.base_rows.(k) st.ocol) v <= 0 then go (k + 1)
+    else k + 1
+  in
+  go 0
+
+let apply_insert st row =
+  let pkey = pkey_of st row in
+  match find_partition st pkey with
+  | None ->
+    let raw = Core.Seqdata.raw_of_array [| value_of st row |] in
+    let seq = Core.Compute.sequence ~agg:(core_agg st.spec.agg) st.spec.frame raw in
+    st.parts <-
+      List.sort
+        (fun a b -> compare_pkey a.pkey b.pkey)
+        ({ pkey; base_rows = [| row |]; raw; seq } :: st.parts)
+  | Some p ->
+    let k = insert_rank st p row in
+    let seq', raw' =
+      Core.Maintain.apply p.seq p.raw (Core.Maintain.Insert { k; value = value_of st row })
+    in
+    let n = Array.length p.base_rows in
+    let rows = Array.make (n + 1) row in
+    Array.blit p.base_rows 0 rows 0 (k - 1);
+    Array.blit p.base_rows (k - 1) rows k (n - k + 1);
+    p.base_rows <- rows;
+    p.raw <- raw';
+    p.seq <- seq'
+
+(* Position of [row] in its partition (first row equal to it). *)
+let find_rank (p : partition_state) row =
+  let n = Array.length p.base_rows in
+  let rec go k =
+    if k >= n then None
+    else if Row.equal p.base_rows.(k) row then Some (k + 1)
+    else go (k + 1)
+  in
+  go 0
+
+let apply_delete st row =
+  let pkey = pkey_of st row in
+  match find_partition st pkey with
+  | None -> raise (Not_maintainable "deleted row not found in view state")
+  | Some p ->
+    (match find_rank p row with
+     | None -> raise (Not_maintainable "deleted row not found in view state")
+     | Some k ->
+       let seq', raw' = Core.Maintain.apply p.seq p.raw (Core.Maintain.Delete { k }) in
+       let n = Array.length p.base_rows in
+       if n = 1 then st.parts <- List.filter (fun q -> q != p) st.parts
+       else begin
+         let rows = Array.make (n - 1) row in
+         Array.blit p.base_rows 0 rows 0 (k - 1);
+         Array.blit p.base_rows k rows (k - 1) (n - k);
+         p.base_rows <- rows;
+         p.raw <- raw';
+         p.seq <- seq'
+       end)
+
+let apply_update st ~old_row ~new_row =
+  let same_partition = compare_pkey (pkey_of st old_row) (pkey_of st new_row) = 0 in
+  let same_order =
+    Value.equal (Row.get old_row st.ocol) (Row.get new_row st.ocol)
+  in
+  if same_partition && same_order then begin
+    match find_partition st (pkey_of st old_row) with
+    | None -> raise (Not_maintainable "updated row not found in view state")
+    | Some p ->
+      (match find_rank p old_row with
+       | None -> raise (Not_maintainable "updated row not found in view state")
+       | Some k ->
+         let seq', raw' =
+           Core.Maintain.apply p.seq p.raw
+             (Core.Maintain.Update { k; value = value_of st new_row })
+         in
+         p.base_rows.(k - 1) <- new_row;
+         p.raw <- raw';
+         p.seq <- seq')
+  end
+  else begin
+    (* order or partition changed: delete + insert *)
+    apply_delete st old_row;
+    apply_insert st new_row
+  end

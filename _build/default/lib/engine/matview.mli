@@ -1,0 +1,74 @@
+(** Materialized sequence views: recognition, state, incremental
+    maintenance (paper §2.3) and rendering.
+
+    A view qualifies as a {e sequence view} when its definition is
+
+    {v SELECT col..., agg(value_col) OVER
+         ([PARTITION BY pcols] ORDER BY order_col [ROWS frame]) [AS a]
+       FROM base_table v}
+
+    with simple column references, one ordering column and a cumulative
+    or sliding ROWS frame.  The engine then keeps a per-partition core
+    representation (raw data + complete sequence) and maintains it
+    incrementally under base-table DML; other views get full refreshes.
+
+    The value column must be numeric and NULL-free for the incremental
+    path; otherwise {!init_state} raises and the engine falls back. *)
+
+open Rfview_relalg
+module Ast := Rfview_sql.Ast
+module Core := Rfview_core
+
+type seq_spec = {
+  source : string;              (** base table *)
+  partition : string list;      (** partition column names *)
+  order_col : string;
+  value_col : string;
+  agg : Aggregate.kind;
+  frame : Core.Frame.t;
+  items : (string option * string) list;
+      (** output layout: (source column, output name); [None] marks the
+          window column *)
+}
+
+(** Recognize a sequence-view definition. *)
+val recognize : Ast.query -> seq_spec option
+
+(** Map a SQL aggregate to its carrier core aggregate (COUNT and AVG ride
+    on the SUM sequence). *)
+val core_agg : Aggregate.kind -> Core.Agg.t
+
+type partition_state = {
+  pkey : Value.t list;
+  mutable base_rows : Row.t array;  (** base rows of the partition, ordered *)
+  mutable raw : Core.Seqdata.raw;
+  mutable seq : Core.Seqdata.t;
+}
+
+type state = {
+  spec : seq_spec;
+  base_schema : Schema.t;
+  out_schema : Schema.t;
+  pcols : int list;
+  ocol : int;
+  vcol : int;
+  mutable parts : partition_state list;  (** sorted by partition key *)
+}
+
+exception Not_maintainable of string
+
+(** Build the maintenance state from the base table's current contents.
+    @raise Not_maintainable per the restrictions above. *)
+val init_state : seq_spec -> base:Relation.t -> out_schema:Schema.t -> state
+
+(** Render the view contents from the state. *)
+val render : state -> Relation.t
+
+(** Incremental DML application (§2.3 rules under the hood).  Update of
+    the ordering or partition column is handled as delete + insert.
+    @raise Not_maintainable when a row cannot be located or the new value
+    is unusable; the engine then falls back to a full refresh. *)
+
+val apply_insert : state -> Row.t -> unit
+val apply_delete : state -> Row.t -> unit
+val apply_update : state -> old_row:Row.t -> new_row:Row.t -> unit

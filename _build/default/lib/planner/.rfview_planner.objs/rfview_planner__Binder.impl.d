@@ -1,0 +1,1 @@
+lib/planner/binder.ml: Aggregate Array Expr Format Groupop Joinop List Logical Option Printf Rfview_relalg Rfview_sql Schema Sortop String Value Window

@@ -1,0 +1,1 @@
+lib/planner/binder.mli: Aggregate Expr Logical Rfview_relalg Rfview_sql Schema

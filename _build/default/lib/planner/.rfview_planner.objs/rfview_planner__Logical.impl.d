@@ -1,0 +1,1 @@
+lib/planner/logical.ml: Aggregate Dtype Expr Format Groupop Joinop List Rfview_relalg Schema Sortop String Window

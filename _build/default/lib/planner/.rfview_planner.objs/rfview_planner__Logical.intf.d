@@ -1,0 +1,1 @@
+lib/planner/logical.mli: Expr Format Groupop Joinop Rfview_relalg Schema Sortop Window

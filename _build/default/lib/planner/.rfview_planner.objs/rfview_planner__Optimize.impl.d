@@ -1,0 +1,1 @@
+lib/planner/optimize.ml: Expr Joinop List Logical Rfview_relalg Schema Value

@@ -1,0 +1,1 @@
+lib/planner/optimize.mli: Logical

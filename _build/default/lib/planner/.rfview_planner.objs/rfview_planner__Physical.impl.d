@@ -1,0 +1,1 @@
+lib/planner/physical.ml: Array Buffer Dtype Expr Format Fun Groupop Hashtbl Index Int Joinop List Logical Ops Option Printf Relation Rfview_relalg Row Schema Sortop String Unix Value Window

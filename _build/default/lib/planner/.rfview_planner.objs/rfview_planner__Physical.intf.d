@@ -1,0 +1,1 @@
+lib/planner/physical.mli: Expr Format Groupop Index Joinop Logical Relation Rfview_relalg Schema Sortop Window

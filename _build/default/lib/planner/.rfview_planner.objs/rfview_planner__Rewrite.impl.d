@@ -1,0 +1,1 @@
+lib/planner/rewrite.ml: Expr Groupop Joinop List Logical Rfview_relalg Schema Value Window

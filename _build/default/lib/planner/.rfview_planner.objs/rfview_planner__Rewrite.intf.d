@@ -1,0 +1,1 @@
+lib/planner/rewrite.mli: Logical Rfview_relalg

@@ -1,0 +1,138 @@
+(* Logical query plans.  Expressions are positional (Relalg.Expr) over the
+   input schema of their node; the binder produces these from the AST. *)
+
+open Rfview_relalg
+
+type window_fn = {
+  func : Window.func;
+  arg : Expr.t;
+  partition : Expr.t list;
+  order : Sortop.key list;
+  frame : Window.frame;
+  name : string;
+}
+
+type t =
+  | Scan of { table : string; schema : Schema.t }
+  | Filter of { input : t; pred : Expr.t }
+  | Project of { input : t; exprs : (Expr.t * string) list }
+  | Join of { kind : Joinop.kind; left : t; right : t; cond : Expr.t }
+  | Aggregate of { input : t; group : Expr.t list; aggs : Groupop.agg_spec list }
+  | Window_op of { input : t; fns : window_fn list }
+  | Number of {
+      input : t;
+      partition : Expr.t list;
+      order : Sortop.key list;
+      name : string;
+    } (* appends a dense 1-based row number per partition *)
+  | Sort of { input : t; keys : Sortop.key list }
+  | Distinct of t
+  | Limit of { input : t; n : int }
+  | Union_all of { left : t; right : t }
+  | Alias of { input : t; rel : string }
+      (* re-qualifies every output column with relation name [rel] *)
+
+let to_relalg_fn (fn : window_fn) : Window.fn =
+  {
+    Window.func = fn.func;
+    arg = fn.arg;
+    spec = { Window.partition = fn.partition; order = fn.order; frame = fn.frame };
+    name = fn.name;
+  }
+
+let rec schema : t -> Schema.t = function
+  | Scan { schema; _ } -> schema
+  | Filter { input; _ } -> schema input
+  | Project { input; exprs } ->
+    let in_schema = schema input in
+    Schema.make
+      (List.map
+         (fun (e, name) ->
+           let ty =
+             match Expr.infer_type in_schema e with
+             | Some t -> t
+             | None -> Dtype.String
+           in
+           Schema.column name ty)
+         exprs)
+  | Join { left; right; _ } -> Schema.append (schema left) (schema right)
+  | Aggregate { input; group; aggs } -> Groupop.output_schema (schema input) group aggs
+  | Window_op { input; fns } ->
+    Window.output_schema (schema input) (List.map to_relalg_fn fns)
+  | Number { input; name; _ } ->
+    Schema.append (schema input) (Schema.make [ Schema.column name Dtype.Int ])
+  | Sort { input; _ } -> schema input
+  | Distinct input -> schema input
+  | Limit { input; _ } -> schema input
+  | Union_all { left; _ } -> schema left
+  | Alias { input; rel } -> Schema.with_rel rel (schema input)
+
+(* ---- Pretty-printing (EXPLAIN LOGICAL) ---- *)
+
+let pp_expr schema ppf e =
+  let col i = Schema.qualified_name (Schema.col schema i) in
+  Expr.pp_with ~col ppf e
+
+let rec pp ?(indent = 0) ppf (t : t) =
+  let pad = String.make (indent * 2) ' ' in
+  let child = pp ~indent:(indent + 1) in
+  let in_schema input = schema input in
+  match t with
+  | Scan { table; _ } -> Format.fprintf ppf "%sScan %s@." pad table
+  | Filter { input; pred } ->
+    Format.fprintf ppf "%sFilter %a@.%a" pad (pp_expr (in_schema input)) pred child
+      input
+  | Project { input; exprs } ->
+    Format.fprintf ppf "%sProject %s@.%a" pad
+      (String.concat ", "
+         (List.map
+            (fun (e, n) ->
+              Format.asprintf "%a AS %s" (pp_expr (in_schema input)) e n)
+            exprs))
+      child input
+  | Join { kind; left; right; cond } ->
+    let s = Schema.append (in_schema left) (in_schema right) in
+    Format.fprintf ppf "%s%s Join on %a@.%a%a" pad
+      (match kind with Joinop.Inner -> "Inner" | Joinop.Left_outer -> "LeftOuter")
+      (pp_expr s) cond child left child right
+  | Aggregate { input; group; aggs } ->
+    Format.fprintf ppf "%sAggregate group=[%s] aggs=[%s]@.%a" pad
+      (String.concat ", "
+         (List.map (Format.asprintf "%a" (pp_expr (in_schema input))) group))
+      (String.concat ", "
+         (List.map
+            (fun a ->
+              Format.asprintf "%s(%a)"
+                (Aggregate.kind_name a.Groupop.kind)
+                (pp_expr (in_schema input))
+                a.Groupop.arg)
+            aggs))
+      child input
+  | Window_op { input; fns } ->
+    Format.fprintf ppf "%sWindow [%s]@.%a" pad
+      (String.concat ", "
+         (List.map
+            (fun f ->
+              Format.asprintf "%s(%a) AS %s" (Window.func_name f.func)
+                (pp_expr (in_schema input))
+                f.arg f.name)
+            fns))
+      child input
+  | Number { input; name; _ } ->
+    Format.fprintf ppf "%sNumber AS %s@.%a" pad name child input
+  | Sort { input; keys } ->
+    Format.fprintf ppf "%sSort [%s]@.%a" pad
+      (String.concat ", "
+         (List.map
+            (fun k ->
+              Format.asprintf "%a%s" (pp_expr (in_schema input)) k.Sortop.expr
+                (if k.Sortop.asc then "" else " DESC"))
+            keys))
+      child input
+  | Distinct input -> Format.fprintf ppf "%sDistinct@.%a" pad child input
+  | Limit { input; n } -> Format.fprintf ppf "%sLimit %d@.%a" pad n child input
+  | Union_all { left; right } ->
+    Format.fprintf ppf "%sUnionAll@.%a%a" pad child left child right
+  | Alias { input; rel } -> Format.fprintf ppf "%sAlias %s@.%a" pad rel child input
+
+let to_string t = Format.asprintf "%a" (pp ~indent:0) t

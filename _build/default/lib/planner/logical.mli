@@ -1,0 +1,46 @@
+(** Logical query plans.
+
+    Expressions are positional ({!Rfview_relalg.Expr}) over the input
+    schema of their node; the binder produces these from the AST. *)
+
+open Rfview_relalg
+
+type window_fn = {
+  func : Window.func;
+  arg : Expr.t;
+  partition : Expr.t list;
+  order : Sortop.key list;
+  frame : Window.frame;
+  name : string;  (** output column name *)
+}
+
+type t =
+  | Scan of { table : string; schema : Schema.t }
+  | Filter of { input : t; pred : Expr.t }
+  | Project of { input : t; exprs : (Expr.t * string) list }
+  | Join of { kind : Joinop.kind; left : t; right : t; cond : Expr.t }
+  | Aggregate of { input : t; group : Expr.t list; aggs : Groupop.agg_spec list }
+  | Window_op of { input : t; fns : window_fn list }
+  | Number of {
+      input : t;
+      partition : Expr.t list;
+      order : Sortop.key list;
+      name : string;
+    }  (** appends a dense 1-based row number per partition *)
+  | Sort of { input : t; keys : Sortop.key list }
+  | Distinct of t
+  | Limit of { input : t; n : int }
+  | Union_all of { left : t; right : t }
+  | Alias of { input : t; rel : string }
+      (** re-qualifies every output column with relation name [rel] *)
+
+(** Convert a plan-level window function to the executor's form. *)
+val to_relalg_fn : window_fn -> Window.fn
+
+(** The output schema of a plan (computed structurally). *)
+val schema : t -> Schema.t
+
+(** EXPLAIN rendering. *)
+val pp : ?indent:int -> Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,85 @@
+(* Logical optimization: predicate pushdown.
+
+   Comma joins bind as a cross join with the predicate in WHERE; pushing
+   the conjuncts down into the join condition (and further into the join
+   inputs) is what lets the physical planner pick hash or index join
+   algorithms — without it every FROM a, b WHERE ... query would execute
+   as a filtered cross product.
+
+   Rules:
+   - Filter over Filter: merge conjunct lists.
+   - Filter over inner Join: conjuncts referencing only the left (right)
+     side move into that input; the rest joins the ON condition.
+   - Filter over a LEFT OUTER join: only left-side conjuncts may move (the
+     preserved side); everything else stays above the join.
+   - Filter over Alias/Sort/Limit-free unary nodes with unchanged column
+     positions: push through. *)
+
+open Rfview_relalg
+
+let rec optimize (plan : Logical.t) : Logical.t =
+  match plan with
+  | Logical.Scan _ -> plan
+  | Logical.Filter { input; pred } ->
+    push_filter (optimize input) (Expr.conjuncts pred)
+  | Logical.Project { input; exprs } ->
+    Logical.Project { input = optimize input; exprs }
+  | Logical.Join { kind; left; right; cond } ->
+    Logical.Join { kind; left = optimize left; right = optimize right; cond }
+  | Logical.Aggregate { input; group; aggs } ->
+    Logical.Aggregate { input = optimize input; group; aggs }
+  | Logical.Window_op { input; fns } -> Logical.Window_op { input = optimize input; fns }
+  | Logical.Number { input; partition; order; name } ->
+    Logical.Number { input = optimize input; partition; order; name }
+  | Logical.Sort { input; keys } -> Logical.Sort { input = optimize input; keys }
+  | Logical.Distinct input -> Logical.Distinct (optimize input)
+  | Logical.Limit { input; n } -> Logical.Limit { input = optimize input; n }
+  | Logical.Union_all { left; right } ->
+    Logical.Union_all { left = optimize left; right = optimize right }
+  | Logical.Alias { input; rel } -> Logical.Alias { input = optimize input; rel }
+
+and push_filter (plan : Logical.t) (conjuncts : Expr.t list) : Logical.t =
+  match conjuncts with
+  | [] -> plan
+  | _ ->
+    (match plan with
+     | Logical.Filter { input; pred } ->
+       push_filter input (Expr.conjuncts pred @ conjuncts)
+     | Logical.Alias { input; rel } ->
+       Logical.Alias { input = push_filter input conjuncts; rel }
+     | Logical.Join { kind = Joinop.Inner; left; right; cond } ->
+       let la = Schema.arity (Logical.schema left) in
+       let left_only, rest =
+         List.partition
+           (fun c -> List.for_all (fun i -> i < la) (Expr.columns c))
+           conjuncts
+       in
+       let right_only, mixed =
+         List.partition
+           (fun c -> List.for_all (fun i -> i >= la) (Expr.columns c))
+           rest
+       in
+       let left = push_filter left left_only in
+       let right =
+         push_filter right (List.map (Expr.map_cols (fun i -> i - la)) right_only)
+       in
+       let cond =
+         match cond with
+         | Expr.Const (Value.Bool true) -> Expr.conjoin mixed
+         | c -> Expr.conjoin (Expr.conjuncts c @ mixed)
+       in
+       Logical.Join { kind = Joinop.Inner; left; right; cond }
+     | Logical.Join { kind = Joinop.Left_outer; left; right; cond } ->
+       let la = Schema.arity (Logical.schema left) in
+       let left_only, rest =
+         List.partition
+           (fun c -> List.for_all (fun i -> i < la) (Expr.columns c))
+           conjuncts
+       in
+       let join =
+         Logical.Join
+           { kind = Joinop.Left_outer; left = push_filter left left_only; right; cond }
+       in
+       if rest = [] then join
+       else Logical.Filter { input = join; pred = Expr.conjoin rest }
+     | other -> Logical.Filter { input = other; pred = Expr.conjoin conjuncts })

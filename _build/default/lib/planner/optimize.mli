@@ -1,0 +1,9 @@
+(** Logical optimization: predicate pushdown.
+
+    Comma joins bind as a cross join with the predicate in WHERE; pushing
+    the conjuncts into the join condition (and further into the join
+    inputs) is what lets the physical planner pick hash and index join
+    algorithms.  Only left-side conjuncts move below a LEFT OUTER join
+    (the preserved side); everything else stays above it. *)
+
+val optimize : Logical.t -> Logical.t

@@ -1,0 +1,1 @@
+lib/relalg/aggregate.ml: Dtype List Seq String Value

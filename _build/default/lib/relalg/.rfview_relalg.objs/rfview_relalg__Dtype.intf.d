@@ -1,0 +1,1 @@
+lib/relalg/dtype.mli: Format

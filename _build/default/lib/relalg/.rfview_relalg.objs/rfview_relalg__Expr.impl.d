@@ -1,0 +1,1 @@
+lib/relalg/expr.ml: Dtype Float Format Int List Option Printf Row Schema String Value

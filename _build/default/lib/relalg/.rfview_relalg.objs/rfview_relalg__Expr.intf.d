@@ -1,0 +1,1 @@
+lib/relalg/expr.mli: Dtype Format Row Schema Value

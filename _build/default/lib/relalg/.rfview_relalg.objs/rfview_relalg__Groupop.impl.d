@@ -1,0 +1,1 @@
+lib/relalg/groupop.ml: Aggregate Array Dtype Expr Hashtbl List Option Printf Relation Row Schema Value

@@ -1,0 +1,1 @@
+lib/relalg/groupop.mli: Aggregate Expr Relation Schema

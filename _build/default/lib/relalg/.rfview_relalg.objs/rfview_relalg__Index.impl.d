@@ -1,0 +1,1 @@
+lib/relalg/index.ml: Array Hashtbl Int List Option Row Value

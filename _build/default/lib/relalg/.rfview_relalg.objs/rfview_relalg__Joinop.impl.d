@@ -1,0 +1,1 @@
+lib/relalg/joinop.ml: Array Expr Hashtbl Index List Option Relation Row Schema Value

@@ -1,0 +1,1 @@
+lib/relalg/joinop.mli: Expr Index Relation

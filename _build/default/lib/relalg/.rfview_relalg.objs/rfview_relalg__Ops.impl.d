@@ -1,0 +1,1 @@
+lib/relalg/ops.ml: Array Dtype Expr Hashtbl List Relation Schema Seq Value

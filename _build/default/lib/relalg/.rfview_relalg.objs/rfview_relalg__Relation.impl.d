@@ -1,0 +1,1 @@
+lib/relalg/relation.ml: Array Buffer Printf Row Schema String Value

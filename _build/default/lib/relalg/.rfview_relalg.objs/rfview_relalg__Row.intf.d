@@ -1,0 +1,1 @@
+lib/relalg/row.mli: Format Value

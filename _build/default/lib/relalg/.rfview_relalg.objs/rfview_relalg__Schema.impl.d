@@ -1,0 +1,1 @@
+lib/relalg/schema.ml: Array Dtype Format String

@@ -1,0 +1,1 @@
+lib/relalg/sortop.ml: Array Expr Fun Int Relation Row Value

@@ -1,0 +1,1 @@
+lib/relalg/sortop.mli: Expr Relation Row

@@ -1,0 +1,1 @@
+lib/relalg/value.ml: Bool Buffer Dtype Float Format Hashtbl Int Printf String

@@ -1,0 +1,1 @@
+lib/relalg/window.ml: Aggregate Array Dtype Expr Float Fun Int List Option Relation Row Schema Sortop String Value

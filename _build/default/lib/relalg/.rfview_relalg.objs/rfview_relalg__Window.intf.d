@@ -1,0 +1,1 @@
+lib/relalg/window.mli: Aggregate Expr Relation Schema Sortop

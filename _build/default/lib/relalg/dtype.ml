@@ -1,0 +1,39 @@
+(* Column data types of the relational model. *)
+
+type t =
+  | Bool
+  | Int
+  | Float
+  | String
+  | Date
+
+let to_string = function
+  | Bool -> "BOOL"
+  | Int -> "INT"
+  | Float -> "FLOAT"
+  | String -> "VARCHAR"
+  | Date -> "DATE"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "BOOL" | "BOOLEAN" -> Some Bool
+  | "INT" | "INTEGER" | "BIGINT" | "SMALLINT" -> Some Int
+  | "FLOAT" | "DOUBLE" | "REAL" | "DECIMAL" | "NUMERIC" -> Some Float
+  | "VARCHAR" | "TEXT" | "STRING" | "CHAR" -> Some String
+  | "DATE" -> Some Date
+  | _ -> None
+
+let equal (a : t) (b : t) = a = b
+
+(* Numeric types unify; the result of mixing INT and FLOAT is FLOAT. *)
+let is_numeric = function
+  | Int | Float -> true
+  | Bool | String | Date -> false
+
+let join a b =
+  match a, b with
+  | x, y when equal x y -> Some x
+  | Int, Float | Float, Int -> Some Float
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,23 @@
+(** Column data types of the relational model. *)
+
+type t =
+  | Bool
+  | Int
+  | Float
+  | String
+  | Date
+
+val to_string : t -> string
+
+(** Parse a SQL type name (INT/INTEGER/FLOAT/DOUBLE/VARCHAR/...);
+    case-insensitive. *)
+val of_string : string -> t option
+
+val equal : t -> t -> bool
+val is_numeric : t -> bool
+
+(** Least upper bound of two types: equal types unify and INT joins
+    FLOAT to FLOAT; [None] otherwise. *)
+val join : t -> t -> t option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,374 @@
+(* Scalar expressions over a resolved schema.  Column references are
+   positional ([Col i]); the planner's binder resolves names to indices.
+
+   Boolean evaluation follows SQL three-valued logic: predicates evaluate
+   to TRUE, FALSE or NULL (unknown); filters keep only TRUE rows. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop =
+  | Neg
+  | Not
+
+type func =
+  | Coalesce
+  | Abs
+  | Least
+  | Greatest
+  | Year
+  | Month
+  | Day
+  | Nullif
+  | Sign
+
+type t =
+  | Const of Value.t
+  | Col of int
+  | Binop of binop * t * t
+  | Unop of unop * t
+  | Case of (t * t) list * t option  (* searched CASE: WHEN cond THEN v *)
+  | Call of func * t list
+  | In_list of t * t list
+  | Between of t * t * t             (* e BETWEEN lo AND hi *)
+  | Is_null of t
+  | Is_not_null of t
+
+let func_name = function
+  | Coalesce -> "COALESCE"
+  | Abs -> "ABS"
+  | Least -> "LEAST"
+  | Greatest -> "GREATEST"
+  | Year -> "YEAR"
+  | Month -> "MONTH"
+  | Day -> "DAY"
+  | Nullif -> "NULLIF"
+  | Sign -> "SIGN"
+
+let func_of_name s =
+  match String.uppercase_ascii s with
+  | "COALESCE" -> Some Coalesce
+  | "ABS" -> Some Abs
+  | "LEAST" -> Some Least
+  | "GREATEST" -> Some Greatest
+  | "YEAR" -> Some Year
+  | "MONTH" -> Some Month
+  | "DAY" -> Some Day
+  | "NULLIF" -> Some Nullif
+  | "SIGN" -> Some Sign
+  | _ -> None
+
+(* ---- Three-valued logic helpers ---- *)
+
+let tvl_and a b =
+  match a, b with
+  | Value.Bool false, _ | _, Value.Bool false -> Value.Bool false
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | Value.Bool true, Value.Bool true -> Value.Bool true
+  | a, b ->
+    Value.type_error "AND expects booleans, got %s and %s" (Value.to_string a)
+      (Value.to_string b)
+
+let tvl_or a b =
+  match a, b with
+  | Value.Bool true, _ | _, Value.Bool true -> Value.Bool true
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | Value.Bool false, Value.Bool false -> Value.Bool false
+  | a, b ->
+    Value.type_error "OR expects booleans, got %s and %s" (Value.to_string a)
+      (Value.to_string b)
+
+let tvl_not = function
+  | Value.Null -> Value.Null
+  | Value.Bool b -> Value.Bool (not b)
+  | v -> Value.type_error "NOT expects a boolean, got %s" (Value.to_string v)
+
+let cmp_result op a b =
+  match Value.sql_compare a b with
+  | None -> Value.Null
+  | Some c ->
+    Value.Bool
+      (match op with
+       | Eq -> c = 0
+       | Neq -> c <> 0
+       | Lt -> c < 0
+       | Le -> c <= 0
+       | Gt -> c > 0
+       | Ge -> c >= 0
+       | Add | Sub | Mul | Div | Mod | And | Or -> assert false)
+
+(* ---- Evaluation ---- *)
+
+let rec eval (row : Row.t) (e : t) : Value.t =
+  match e with
+  | Const v -> v
+  | Col i -> Row.get row i
+  | Binop (op, a, b) -> eval_binop row op a b
+  | Unop (Neg, a) -> Value.neg (eval row a)
+  | Unop (Not, a) -> tvl_not (eval row a)
+  | Case (whens, else_) -> eval_case row whens else_
+  | Call (f, args) -> eval_call row f args
+  | In_list (e, items) -> eval_in row e items
+  | Between (e, lo, hi) ->
+    let v = eval row e in
+    tvl_and (cmp_result Ge v (eval row lo)) (cmp_result Le v (eval row hi))
+  | Is_null e -> Value.Bool (Value.is_null (eval row e))
+  | Is_not_null e -> Value.Bool (not (Value.is_null (eval row e)))
+
+and eval_binop row op a b =
+  match op with
+  | And -> tvl_and (eval row a) (eval row b)
+  | Or -> tvl_or (eval row a) (eval row b)
+  | Add -> Value.add (eval row a) (eval row b)
+  | Sub -> Value.sub (eval row a) (eval row b)
+  | Mul -> Value.mul (eval row a) (eval row b)
+  | Div -> Value.div (eval row a) (eval row b)
+  | Mod -> Value.modulo (eval row a) (eval row b)
+  | Eq | Neq | Lt | Le | Gt | Ge -> cmp_result op (eval row a) (eval row b)
+
+and eval_case row whens else_ =
+  let rec loop = function
+    | [] -> (match else_ with None -> Value.Null | Some e -> eval row e)
+    | (cond, v) :: rest ->
+      (match eval row cond with
+       | Value.Bool true -> eval row v
+       | Value.Bool false | Value.Null -> loop rest
+       | c -> Value.type_error "CASE condition must be boolean, got %s" (Value.to_string c))
+  in
+  loop whens
+
+and eval_call row f args =
+  match f, args with
+  | Coalesce, args ->
+    let rec first = function
+      | [] -> Value.Null
+      | a :: rest ->
+        let v = eval row a in
+        if Value.is_null v then first rest else v
+    in
+    first args
+  | Abs, [ a ] ->
+    (match eval row a with
+     | Value.Null -> Value.Null
+     | Value.Int i -> Value.Int (abs i)
+     | Value.Float f -> Value.Float (Float.abs f)
+     | v -> Value.type_error "ABS expects a number, got %s" (Value.to_string v))
+  | Sign, [ a ] ->
+    (match eval row a with
+     | Value.Null -> Value.Null
+     | Value.Int i -> Value.Int (compare i 0)
+     | Value.Float f -> Value.Int (compare f 0.)
+     | v -> Value.type_error "SIGN expects a number, got %s" (Value.to_string v))
+  | Least, args -> fold_extremum row ( < ) args
+  | Greatest, args -> fold_extremum row ( > ) args
+  | (Year | Month | Day), [ a ] ->
+    (match eval row a with
+     | Value.Null -> Value.Null
+     | Value.Date d ->
+       Value.Int
+         (match f with
+          | Year -> Value.date_year d
+          | Month -> Value.date_month d
+          | Day -> Value.date_day d
+          | _ -> assert false)
+     | v -> Value.type_error "%s expects a date, got %s" (func_name f) (Value.to_string v))
+  | Nullif, [ a; b ] ->
+    let va = eval row a in
+    (match Value.sql_compare va (eval row b) with
+     | Some 0 -> Value.Null
+     | _ -> va)
+  | f, args ->
+    Value.type_error "function %s does not accept %d arguments" (func_name f)
+      (List.length args)
+
+and fold_extremum row better args =
+  let pick acc v =
+    match acc, v with
+    | Value.Null, _ | _, Value.Null -> Value.Null
+    | a, b -> if better (Value.compare b a) 0 then b else a
+  in
+  match args with
+  | [] -> Value.type_error "LEAST/GREATEST need at least one argument"
+  | a :: rest -> List.fold_left (fun acc e -> pick acc (eval row e)) (eval row a) rest
+
+and eval_in row e items =
+  let v = eval row e in
+  if Value.is_null v then Value.Null
+  else
+    let rec loop saw_null = function
+      | [] -> if saw_null then Value.Null else Value.Bool false
+      | item :: rest ->
+        (match Value.sql_compare v (eval row item) with
+         | Some 0 -> Value.Bool true
+         | Some _ -> loop saw_null rest
+         | None -> loop true rest)
+    in
+    loop false items
+
+(* A predicate holds iff it evaluates to TRUE (not NULL). *)
+let holds row e =
+  match eval row e with
+  | Value.Bool true -> true
+  | Value.Bool false | Value.Null -> false
+  | v -> Value.type_error "predicate must be boolean, got %s" (Value.to_string v)
+
+(* ---- Static typing against a schema ---- *)
+
+exception Type_mismatch of string
+
+let rec infer_type (schema : Schema.t) (e : t) : Dtype.t option =
+  (* [None] means "always NULL / unknown", which unifies with anything. *)
+  match e with
+  | Const v -> Value.dtype_of v
+  | Col i -> Some (Schema.col schema i).Schema.ty
+  | Binop ((Add | Sub | Mul | Div | Mod), a, b) ->
+    (match infer_type schema a, infer_type schema b with
+     | Some Dtype.Date, Some Dtype.Int | Some Dtype.Int, Some Dtype.Date ->
+       Some Dtype.Date
+     | Some Dtype.Date, Some Dtype.Date -> Some Dtype.Int
+     | Some ta, Some tb ->
+       if Dtype.is_numeric ta && Dtype.is_numeric tb then Dtype.join ta tb
+       else raise (Type_mismatch "arithmetic on non-numeric operands")
+     | t, None | None, t -> t)
+  | Binop ((Eq | Neq | Lt | Le | Gt | Ge | And | Or), _, _)
+  | In_list _ | Between _ | Is_null _ | Is_not_null _ -> Some Dtype.Bool
+  | Unop (Neg, a) -> infer_type schema a
+  | Unop (Not, _) -> Some Dtype.Bool
+  | Case (whens, else_) ->
+    let tys =
+      List.filter_map (fun (_, v) -> infer_type schema v) whens
+      @ (match else_ with None -> [] | Some e -> Option.to_list (infer_type schema e))
+    in
+    (match tys with
+     | [] -> None
+     | t :: rest ->
+       Some
+         (List.fold_left
+            (fun acc ty ->
+              match Dtype.join acc ty with
+              | Some t -> t
+              | None -> raise (Type_mismatch "CASE branches have incompatible types"))
+            t rest))
+  | Call ((Year | Month | Day | Sign), _) -> Some Dtype.Int
+  | Call (Abs, [ a ]) | Call (Nullif, [ a; _ ]) -> infer_type schema a
+  | Call ((Coalesce | Least | Greatest), args) ->
+    let tys = List.filter_map (infer_type schema) args in
+    (match tys with
+     | [] -> None
+     | t :: rest ->
+       Some
+         (List.fold_left
+            (fun acc ty ->
+              match Dtype.join acc ty with
+              | Some t -> t
+              | None -> raise (Type_mismatch "incompatible argument types"))
+            t rest))
+  | Call (f, args) ->
+    raise (Type_mismatch
+             (Printf.sprintf "%s with %d arguments" (func_name f) (List.length args)))
+
+(* ---- Structural helpers used by the planner ---- *)
+
+let rec map_cols f (e : t) : t =
+  match e with
+  | Const _ -> e
+  | Col i -> Col (f i)
+  | Binop (op, a, b) -> Binop (op, map_cols f a, map_cols f b)
+  | Unop (op, a) -> Unop (op, map_cols f a)
+  | Case (whens, else_) ->
+    Case
+      ( List.map (fun (c, v) -> (map_cols f c, map_cols f v)) whens,
+        Option.map (map_cols f) else_ )
+  | Call (fn, args) -> Call (fn, List.map (map_cols f) args)
+  | In_list (e, items) -> In_list (map_cols f e, List.map (map_cols f) items)
+  | Between (e, lo, hi) -> Between (map_cols f e, map_cols f lo, map_cols f hi)
+  | Is_null e -> Is_null (map_cols f e)
+  | Is_not_null e -> Is_not_null (map_cols f e)
+
+let rec cols_used acc (e : t) =
+  match e with
+  | Const _ -> acc
+  | Col i -> i :: acc
+  | Binop (_, a, b) -> cols_used (cols_used acc a) b
+  | Unop (_, a) -> cols_used acc a
+  | Case (whens, else_) ->
+    let acc = List.fold_left (fun acc (c, v) -> cols_used (cols_used acc c) v) acc whens in
+    (match else_ with None -> acc | Some e -> cols_used acc e)
+  | Call (_, args) | In_list (_, args) ->
+    let acc = match e with In_list (x, _) -> cols_used acc x | _ -> acc in
+    List.fold_left cols_used acc args
+  | Between (e, lo, hi) -> cols_used (cols_used (cols_used acc e) lo) hi
+  | Is_null e | Is_not_null e -> cols_used acc e
+
+let columns e = List.sort_uniq Int.compare (cols_used [] e)
+
+(* Split a predicate into its top-level conjuncts. *)
+let rec conjuncts = function
+  | Binop (And, a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let conjoin = function
+  | [] -> Const (Value.Bool true)
+  | e :: rest -> List.fold_left (fun acc c -> Binop (And, acc, c)) e rest
+
+(* ---- Pretty-printing (for EXPLAIN output) ---- *)
+
+let binop_symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "AND"
+  | Or -> "OR"
+
+let rec pp_with ~col ppf (e : t) =
+  let pp = pp_with ~col in
+  match e with
+  | Const v -> Format.pp_print_string ppf (Value.to_sql v)
+  | Col i -> Format.pp_print_string ppf (col i)
+  | Binop (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp a (binop_symbol op) pp b
+  | Unop (Neg, a) -> Format.fprintf ppf "(-%a)" pp a
+  | Unop (Not, a) -> Format.fprintf ppf "(NOT %a)" pp a
+  | Case (whens, else_) ->
+    Format.fprintf ppf "CASE";
+    List.iter (fun (c, v) -> Format.fprintf ppf " WHEN %a THEN %a" pp c pp v) whens;
+    (match else_ with
+     | None -> ()
+     | Some e -> Format.fprintf ppf " ELSE %a" pp e);
+    Format.fprintf ppf " END"
+  | Call (f, args) ->
+    Format.fprintf ppf "%s(%a)" (func_name f)
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp)
+      args
+  | In_list (e, items) ->
+    Format.fprintf ppf "%a IN (%a)" pp e
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp)
+      items
+  | Between (e, lo, hi) -> Format.fprintf ppf "%a BETWEEN %a AND %a" pp e pp lo pp hi
+  | Is_null e -> Format.fprintf ppf "%a IS NULL" pp e
+  | Is_not_null e -> Format.fprintf ppf "%a IS NOT NULL" pp e
+
+let pp ppf e = pp_with ~col:(fun i -> Printf.sprintf "$%d" i) ppf e
+
+let to_string ?(col = fun i -> Printf.sprintf "$%d" i) e =
+  Format.asprintf "%a" (pp_with ~col) e

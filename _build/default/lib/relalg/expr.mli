@@ -1,0 +1,94 @@
+(** Scalar expressions over a resolved schema.
+
+    Column references are positional ({!Col}); the planner's binder
+    resolves SQL names to indices.  Boolean evaluation follows SQL
+    three-valued logic: predicates evaluate to TRUE, FALSE or NULL, and
+    filters keep only TRUE rows ({!holds}). *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop =
+  | Neg
+  | Not
+
+type func =
+  | Coalesce
+  | Abs
+  | Least
+  | Greatest
+  | Year
+  | Month
+  | Day
+  | Nullif
+  | Sign
+
+type t =
+  | Const of Value.t
+  | Col of int
+  | Binop of binop * t * t
+  | Unop of unop * t
+  | Case of (t * t) list * t option  (** searched CASE: WHEN cond THEN v *)
+  | Call of func * t list
+  | In_list of t * t list
+  | Between of t * t * t             (** [e BETWEEN lo AND hi] *)
+  | Is_null of t
+  | Is_not_null of t
+
+val func_name : func -> string
+
+(** Resolve a scalar function name (case-insensitive); MOD is a binop,
+    not a [func]. *)
+val func_of_name : string -> func option
+
+(** {1 Evaluation} *)
+
+(** Evaluate against a row.  @raise Value.Type_error on type errors. *)
+val eval : Row.t -> t -> Value.t
+
+(** SQL filter semantics: TRUE passes; FALSE and NULL do not. *)
+val holds : Row.t -> t -> bool
+
+(** {1 Static typing} *)
+
+exception Type_mismatch of string
+
+(** The static type against a schema; [None] means "always NULL".
+    @raise Type_mismatch on ill-typed expressions. *)
+val infer_type : Schema.t -> t -> Dtype.t option
+
+(** {1 Structural helpers (used by the planner)} *)
+
+(** Renumber all column references. *)
+val map_cols : (int -> int) -> t -> t
+
+(** Sorted, deduplicated column indices referenced by the expression. *)
+val columns : t -> int list
+
+(** Top-level AND-conjuncts. *)
+val conjuncts : t -> t list
+
+(** AND together a conjunct list ([TRUE] when empty). *)
+val conjoin : t list -> t
+
+(** {1 Pretty-printing} *)
+
+val binop_symbol : binop -> string
+
+(** Print with a custom column renderer (e.g. qualified names). *)
+val pp_with : col:(int -> string) -> Format.formatter -> t -> unit
+
+val pp : Format.formatter -> t -> unit
+val to_string : ?col:(int -> string) -> t -> string

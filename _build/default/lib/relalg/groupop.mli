@@ -1,0 +1,19 @@
+(** Grouped aggregation — the classic GROUP BY, the "first step" of
+    reporting-function evaluation in the paper's processing strategy.
+
+    Output schema: one column per group expression followed by one per
+    aggregate.  Global aggregation (no group expressions) over an empty
+    input still yields one row, per SQL. *)
+
+type agg_spec = {
+  kind : Aggregate.kind;
+  arg : Expr.t;
+  name : string;
+}
+
+(** COUNT over a constant: counts rows, i.e. COUNT star. *)
+val star_count : string -> agg_spec
+
+val output_schema : Schema.t -> Expr.t list -> agg_spec list -> Schema.t
+
+val group_by : ?group:Expr.t list -> aggs:agg_spec list -> Relation.t -> Relation.t

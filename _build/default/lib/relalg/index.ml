@@ -1,0 +1,100 @@
+(* Secondary indexes over a row array.
+
+   Two flavours, mirroring what the paper's evaluation needs (Table 1
+   contrasts the self-join simulation with and without an index on the
+   sequence position):
+
+   - [Hash]: equality lookups, O(1) expected.
+   - [Ordered]: a sorted (key, row-id) array answering point and range
+     lookups by binary search, standing in for DB2's B-tree. *)
+
+type kind =
+  | Hash
+  | Ordered
+
+type t =
+  | Hash_index of (Value.t, int list) Hashtbl.t
+  | Ordered_index of (Value.t * int) array
+
+let kind_of = function
+  | Hash_index _ -> Hash
+  | Ordered_index _ -> Ordered
+
+let kind_name = function
+  | Hash -> "HASH"
+  | Ordered -> "ORDERED"
+
+(* NULL keys are not indexed: SQL equality/range predicates never match
+   NULL, so lookups could never return them anyway. *)
+let build kind (rows : Row.t array) ~key_col : t =
+  match kind with
+  | Hash ->
+    let tbl = Hashtbl.create (max 16 (Array.length rows)) in
+    Array.iteri
+      (fun i row ->
+        let k = Row.get row key_col in
+        if not (Value.is_null k) then
+          Hashtbl.replace tbl k
+            (i :: Option.value ~default:[] (Hashtbl.find_opt tbl k)))
+      rows;
+    Hash_index tbl
+  | Ordered ->
+    let entries =
+      Array.to_list rows
+      |> List.mapi (fun i row -> (Row.get row key_col, i))
+      |> List.filter (fun (k, _) -> not (Value.is_null k))
+      |> Array.of_list
+    in
+    Array.sort
+      (fun (a, i) (b, j) ->
+        let c = Value.compare a b in
+        if c <> 0 then c else Int.compare i j)
+      entries;
+    Ordered_index entries
+
+(* First position with key >= k. *)
+let lower_bound entries k =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if Value.compare (fst entries.(mid)) k < 0 then go (mid + 1) hi else go lo mid
+  in
+  go 0 (Array.length entries)
+
+(* First position with key > k. *)
+let upper_bound entries k =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if Value.compare (fst entries.(mid)) k <= 0 then go (mid + 1) hi else go lo mid
+  in
+  go 0 (Array.length entries)
+
+let collect_ids entries ~start ~stop =
+  let rec collect i acc =
+    if i < start then acc else collect (i - 1) (snd entries.(i) :: acc)
+  in
+  if start >= stop then [] else collect (stop - 1) []
+
+(* Row ids whose key equals [k]. *)
+let lookup_eq t k =
+  if Value.is_null k then []
+  else
+    match t with
+    | Hash_index tbl -> Option.value ~default:[] (Hashtbl.find_opt tbl k)
+    | Ordered_index entries ->
+      collect_ids entries ~start:(lower_bound entries k) ~stop:(upper_bound entries k)
+
+(* Row ids whose key lies in [lo, hi] (inclusive; either bound optional). *)
+let lookup_range t ?lo ?hi () =
+  match t with
+  | Hash_index _ -> invalid_arg "Index.lookup_range: hash indexes answer equality only"
+  | Ordered_index entries ->
+    let start = match lo with None -> 0 | Some v -> lower_bound entries v in
+    let stop = match hi with None -> Array.length entries | Some v -> upper_bound entries v in
+    collect_ids entries ~start ~stop
+
+let supports_range t =
+  match t with Ordered_index _ -> true | Hash_index _ -> false

@@ -1,0 +1,31 @@
+(** Secondary indexes over a row array.
+
+    Two flavours, mirroring the paper's Table 1 setup (self join with and
+    without an index on the sequence position):
+    - {!Hash}: equality lookups, O(1) expected;
+    - {!Ordered}: a sorted (key, row-id) array answering point and range
+      lookups by binary search — the stand-in for a B-tree.
+
+    NULL keys are not indexed: SQL equality and range predicates never
+    match NULL. *)
+
+type kind =
+  | Hash
+  | Ordered
+
+type t
+
+val kind_of : t -> kind
+val kind_name : kind -> string
+
+(** Build an index over [rows] keyed by column [key_col]. *)
+val build : kind -> Row.t array -> key_col:int -> t
+
+(** Row ids whose key equals the value ([] for NULL). *)
+val lookup_eq : t -> Value.t -> int list
+
+(** Row ids with key in [[lo, hi]] (inclusive; either bound optional).
+    @raise Invalid_argument on hash indexes. *)
+val lookup_range : t -> ?lo:Value.t -> ?hi:Value.t -> unit -> int list
+
+val supports_range : t -> bool

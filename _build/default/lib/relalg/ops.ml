@@ -1,0 +1,60 @@
+(* Basic relational operators not worth their own module. *)
+
+let filter pred (r : Relation.t) : Relation.t =
+  let rows =
+    Array.of_seq
+      (Seq.filter (fun row -> Expr.holds row pred) (Array.to_seq (Relation.rows r)))
+  in
+  Relation.of_array (Relation.schema r) rows
+
+(* Project to a list of (expression, output column name).  Output types are
+   inferred from the input schema. *)
+let project (exprs : (Expr.t * string) list) (r : Relation.t) : Relation.t =
+  let input = Relation.schema r in
+  let schema =
+    Schema.make
+      (List.map
+         (fun (e, name) ->
+           let ty =
+             match Expr.infer_type input e with
+             | Some t -> t
+             | None -> Dtype.String
+             | exception Expr.Type_mismatch m -> Value.type_error "%s" m
+           in
+           Schema.column name ty)
+         exprs)
+  in
+  let rows =
+    Array.map
+      (fun row -> Array.of_list (List.map (fun (e, _) -> Expr.eval row e) exprs))
+      (Relation.rows r)
+  in
+  Relation.of_array schema rows
+
+let distinct (r : Relation.t) : Relation.t =
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  Relation.iter
+    (fun row ->
+      if not (Hashtbl.mem seen row) then begin
+        Hashtbl.add seen row ();
+        out := row :: !out
+      end)
+    r;
+  Relation.of_array (Relation.schema r) (Array.of_list (List.rev !out))
+
+let limit n (r : Relation.t) : Relation.t =
+  let rows = Relation.rows r in
+  let n = min n (Array.length rows) in
+  Relation.of_array (Relation.schema r) (Array.sub rows 0 (max 0 n))
+
+(* UNION ALL: schemas must be compatible (same arity and types); the left
+   schema's names win. *)
+let union_all (a : Relation.t) (b : Relation.t) : Relation.t =
+  let sa = Relation.schema a and sb = Relation.schema b in
+  if Schema.arity sa <> Schema.arity sb then
+    Value.type_error "UNION: arity mismatch (%d vs %d)" (Schema.arity sa)
+      (Schema.arity sb);
+  Relation.of_array sa (Array.append (Relation.rows a) (Relation.rows b))
+
+let union (a : Relation.t) (b : Relation.t) : Relation.t = distinct (union_all a b)

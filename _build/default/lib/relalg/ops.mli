@@ -1,0 +1,20 @@
+(** Basic relational operators. *)
+
+(** Keep rows for which the predicate is TRUE (SQL filter semantics). *)
+val filter : Expr.t -> Relation.t -> Relation.t
+
+(** Project to (expression, output name) pairs; output types inferred
+    from the input schema. *)
+val project : (Expr.t * string) list -> Relation.t -> Relation.t
+
+(** Duplicate elimination, preserving first-occurrence order. *)
+val distinct : Relation.t -> Relation.t
+
+val limit : int -> Relation.t -> Relation.t
+
+(** Bag union; schemas must have equal arity (left names win).
+    @raise Value.Type_error on arity mismatch. *)
+val union_all : Relation.t -> Relation.t -> Relation.t
+
+(** Set union: {!union_all} followed by {!distinct}. *)
+val union : Relation.t -> Relation.t -> Relation.t

@@ -1,0 +1,37 @@
+(* Rows are immutable-by-convention value arrays indexed by schema position. *)
+
+type t = Value.t array
+
+let make = Array.of_list
+let get (r : t) i = r.(i)
+let arity (r : t) = Array.length r
+let append (a : t) (b : t) : t = Array.append a b
+let of_array (a : Value.t array) : t = a
+
+let equal (a : t) (b : t) =
+  Array.length a = Array.length b && Array.for_all2 Value.equal a b
+
+let compare (a : t) (b : t) =
+  let n = min (Array.length a) (Array.length b) in
+  let rec loop i =
+    if i = n then Int.compare (Array.length a) (Array.length b)
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else loop (i + 1)
+  in
+  loop 0
+
+let hash (r : t) =
+  Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 r
+
+(* Project the listed indices into a fresh row. *)
+let project idxs (r : t) : t = Array.map (fun i -> r.(i)) idxs
+
+let pp ppf (r : t) =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Value.pp)
+    (Array.to_list r)
+
+let to_string r = Format.asprintf "%a" pp r

@@ -1,0 +1,22 @@
+(** Rows: value arrays indexed by schema position (immutable by
+    convention). *)
+
+type t = Value.t array
+
+val make : Value.t list -> t
+val of_array : Value.t array -> t
+val get : t -> int -> Value.t
+val arity : t -> int
+val append : t -> t -> t
+val equal : t -> t -> bool
+
+(** Lexicographic order by {!Value.compare}. *)
+val compare : t -> t -> int
+
+val hash : t -> int
+
+(** Project the listed column indices into a fresh row. *)
+val project : int array -> t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,75 @@
+(* Relation schemas: an ordered list of columns, each optionally qualified
+   by the relation (alias) it came from.  Join schemas concatenate the two
+   input schemas, so a column reference may be ambiguous when unqualified. *)
+
+type column = {
+  rel : string option;
+  name : string;
+  ty : Dtype.t;
+}
+
+type t = column array
+
+exception Unknown_column of string
+exception Ambiguous_column of string
+
+let make cols : t = Array.of_list cols
+
+let column ?rel name ty = { rel; name; ty }
+
+let arity (s : t) = Array.length s
+
+let col (s : t) i = s.(i)
+
+let names (s : t) = Array.to_list (Array.map (fun c -> c.name) s)
+
+let qualified_name c =
+  match c.rel with None -> c.name | Some r -> r ^ "." ^ c.name
+
+(* Case-insensitive identifier matching, as in SQL. *)
+let ieq a b = String.lowercase_ascii a = String.lowercase_ascii b
+
+(* Find the index of a (possibly qualified) column reference. *)
+let find (s : t) ?rel name =
+  let matches c =
+    ieq c.name name
+    && match rel with
+       | None -> true
+       | Some r -> (match c.rel with Some cr -> ieq cr r | None -> false)
+  in
+  let hits = ref [] in
+  Array.iteri (fun i c -> if matches c then hits := i :: !hits) s;
+  match !hits with
+  | [ i ] -> i
+  | [] ->
+    let shown = match rel with None -> name | Some r -> r ^ "." ^ name in
+    raise (Unknown_column shown)
+  | _ ->
+    let shown = match rel with None -> name | Some r -> r ^ "." ^ name in
+    raise (Ambiguous_column shown)
+
+let find_opt (s : t) ?rel name =
+  match find s ?rel name with
+  | i -> Some i
+  | exception (Unknown_column _ | Ambiguous_column _) -> None
+
+(* Concatenation for join outputs. *)
+let append (a : t) (b : t) : t = Array.append a b
+
+(* Re-qualify every column with a new relation alias (table aliasing). *)
+let with_rel rel (s : t) : t = Array.map (fun c -> { c with rel = Some rel }) s
+
+let equal (a : t) (b : t) =
+  arity a = arity b
+  && Array.for_all2
+       (fun x y -> ieq x.name y.name && Dtype.equal x.ty y.ty)
+       a b
+
+let pp ppf (s : t) =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf c -> Format.fprintf ppf "%s %a" (qualified_name c) Dtype.pp c.ty))
+    (Array.to_list s)
+
+let to_string s = Format.asprintf "%a" pp s

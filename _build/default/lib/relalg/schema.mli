@@ -1,0 +1,41 @@
+(** Relation schemas: an ordered list of columns, each optionally
+    qualified by the relation (alias) it came from.  Join schemas
+    concatenate the inputs, so an unqualified reference may be
+    ambiguous. *)
+
+type column = {
+  rel : string option;
+  name : string;
+  ty : Dtype.t;
+}
+
+type t = column array
+
+exception Unknown_column of string
+exception Ambiguous_column of string
+
+val make : column list -> t
+val column : ?rel:string -> string -> Dtype.t -> column
+val arity : t -> int
+val col : t -> int -> column
+val names : t -> string list
+val qualified_name : column -> string
+
+(** Resolve a (possibly qualified) column reference to its index;
+    matching is case-insensitive.
+    @raise Unknown_column / Ambiguous_column accordingly. *)
+val find : t -> ?rel:string -> string -> int
+
+val find_opt : t -> ?rel:string -> string -> int option
+
+(** Concatenation for join outputs. *)
+val append : t -> t -> t
+
+(** Re-qualify every column with a new relation alias. *)
+val with_rel : string -> t -> t
+
+(** Names (case-insensitive) and types agree positionally. *)
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

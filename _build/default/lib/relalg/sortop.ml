@@ -1,0 +1,36 @@
+(* Sorting.  A key is an expression plus direction; NULLs sort first on
+   ascending keys (and last on descending), matching [Value.compare]. *)
+
+type key = {
+  expr : Expr.t;
+  asc : bool;
+}
+
+let key ?(asc = true) expr = { expr; asc }
+
+let compare_keys keys row_a row_b =
+  let rec loop = function
+    | [] -> 0
+    | k :: rest ->
+      let va = Expr.eval row_a k.expr and vb = Expr.eval row_b k.expr in
+      let c = Value.compare va vb in
+      let c = if k.asc then c else -c in
+      if c <> 0 then c else loop rest
+  in
+  loop keys
+
+(* Stable sort of row indices of [rows] by [keys]; exposed separately
+   because the window operator sorts indices, not rows. *)
+let sort_indices keys (rows : Row.t array) : int array =
+  let idx = Array.init (Array.length rows) Fun.id in
+  let cmp i j =
+    let c = compare_keys keys rows.(i) rows.(j) in
+    if c <> 0 then c else Int.compare i j
+  in
+  Array.sort cmp idx;
+  idx
+
+let sort keys (r : Relation.t) : Relation.t =
+  let rows = Relation.rows r in
+  let idx = sort_indices keys rows in
+  Relation.of_array (Relation.schema r) (Array.map (fun i -> rows.(i)) idx)

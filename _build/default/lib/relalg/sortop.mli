@@ -1,0 +1,18 @@
+(** Sorting.  A key is an expression plus direction; NULLs sort first on
+    ascending keys (and last on descending), following {!Value.compare}. *)
+
+type key = {
+  expr : Expr.t;
+  asc : bool;
+}
+
+val key : ?asc:bool -> Expr.t -> key
+
+(** Compare two rows under a key list. *)
+val compare_keys : key list -> Row.t -> Row.t -> int
+
+(** Stable sort of the row indices by the keys (used by the window
+    operator, which sorts indices rather than rows). *)
+val sort_indices : key list -> Row.t array -> int array
+
+val sort : key list -> Relation.t -> Relation.t

@@ -1,0 +1,206 @@
+(* SQL values with three-valued NULL semantics.
+
+   Dates are stored as days since 1970-01-01 (proleptic Gregorian), which
+   keeps ordering, grouping and date-part extraction cheap. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Date of int
+
+exception Type_error of string
+
+let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+let is_null = function Null -> true | _ -> false
+
+let dtype_of = function
+  | Null -> None
+  | Bool _ -> Some Dtype.Bool
+  | Int _ -> Some Dtype.Int
+  | Float _ -> Some Dtype.Float
+  | String _ -> Some Dtype.String
+  | Date _ -> Some Dtype.Date
+
+(* ---- Date arithmetic (proleptic Gregorian calendar) ---- *)
+
+let is_leap_year y = (y mod 4 = 0 && y mod 100 <> 0) || y mod 400 = 0
+
+let days_in_month y m =
+  match m with
+  | 1 | 3 | 5 | 7 | 8 | 10 | 12 -> 31
+  | 4 | 6 | 9 | 11 -> 30
+  | 2 -> if is_leap_year y then 29 else 28
+  | _ -> type_error "invalid month %d" m
+
+(* Days since 1970-01-01 using the civil-from-days algorithm. *)
+let date_of_ymd y m d =
+  if m < 1 || m > 12 then type_error "invalid month %d" m;
+  if d < 1 || d > days_in_month y m then type_error "invalid day %d" d;
+  let y = if m <= 2 then y - 1 else y in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - era * 400 in
+  let mp = (m + 9) mod 12 in
+  let doy = (153 * mp + 2) / 5 + d - 1 in
+  let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy in
+  era * 146097 + doe - 719468
+
+let ymd_of_date days =
+  let z = days + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - era * 146097 in
+  let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365 in
+  let y = yoe + era * 400 in
+  let doy = doe - (365 * yoe + yoe / 4 - yoe / 100) in
+  let mp = (5 * doy + 2) / 153 in
+  let d = doy - (153 * mp + 2) / 5 + 1 in
+  let m = if mp < 10 then mp + 3 else mp - 9 in
+  let y = if m <= 2 then y + 1 else y in
+  (y, m, d)
+
+let date_year days = let y, _, _ = ymd_of_date days in y
+let date_month days = let _, m, _ = ymd_of_date days in m
+let date_day days = let _, _, d = ymd_of_date days in d
+
+let parse_date s =
+  match String.split_on_char '-' s with
+  | [ y; m; d ] ->
+    (try Some (date_of_ymd (int_of_string y) (int_of_string m) (int_of_string d))
+     with _ -> None)
+  | _ -> None
+
+let date_to_string days =
+  let y, m, d = ymd_of_date days in
+  Printf.sprintf "%04d-%02d-%02d" y m d
+
+(* ---- Rendering ---- *)
+
+let to_string = function
+  | Null -> "NULL"
+  | Bool true -> "TRUE"
+  | Bool false -> "FALSE"
+  | Int i -> string_of_int i
+  | Float f ->
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+    else Printf.sprintf "%.6g" f
+  | String s -> s
+  | Date d -> date_to_string d
+
+(* SQL-literal rendering: strings quoted, dates as DATE '...'. *)
+let to_sql = function
+  | String s ->
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '\'';
+    String.iter
+      (fun c -> if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '\'';
+    Buffer.contents buf
+  | Date d -> Printf.sprintf "DATE '%s'" (date_to_string d)
+  | v -> to_string v
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+(* ---- Coercion ---- *)
+
+let to_float = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | v -> type_error "expected numeric value, got %s" (to_string v)
+
+let to_int = function
+  | Int i -> i
+  | Float f -> int_of_float f
+  | v -> type_error "expected integer value, got %s" (to_string v)
+
+let to_bool = function
+  | Bool b -> b
+  | v -> type_error "expected boolean value, got %s" (to_string v)
+
+(* ---- Comparison ----
+
+   [compare] is a total order used for sorting and grouping: NULL sorts
+   first; numerics compare across INT/FLOAT. [sql_compare] implements SQL
+   comparison semantics: any comparison with NULL is unknown (None). *)
+
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ | Float _ -> 2
+  | Date _ -> 3
+  | String _ -> 4
+
+let compare a b =
+  match a, b with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | String x, String y -> String.compare x y
+  | Date x, Date y -> Int.compare x y
+  | a, b -> Int.compare (rank a) (rank b)
+
+let sql_compare a b =
+  match a, b with
+  | Null, _ | _, Null -> None
+  | _ -> Some (compare a b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Null -> 0
+  | Bool b -> Hashtbl.hash b
+  | Int i -> Hashtbl.hash (float_of_int i)
+  | Float f -> Hashtbl.hash f
+  | String s -> Hashtbl.hash s
+  | Date d -> Hashtbl.hash (d, 'd')
+
+(* ---- Arithmetic (NULL-propagating) ---- *)
+
+let arith name int_op float_op a b =
+  match a, b with
+  | Null, _ | _, Null -> Null
+  | Int x, Int y -> Int (int_op x y)
+  | (Int _ | Float _), (Int _ | Float _) -> Float (float_op (to_float a) (to_float b))
+  | Date d, Int i when name = "+" -> Date (d + i)
+  | Date d, Int i when name = "-" -> Date (d - i)
+  | Date x, Date y when name = "-" -> Int (x - y)
+  | _ -> type_error "cannot apply %s to %s and %s" name (to_string a) (to_string b)
+
+let add = arith "+" ( + ) ( +. )
+let sub = arith "-" ( - ) ( -. )
+let mul = arith "*" ( * ) ( *. )
+
+let div a b =
+  match a, b with
+  | Null, _ | _, Null -> Null
+  | Int _, Int 0 -> type_error "division by zero"
+  | Int x, Int y -> Int (x / y)
+  | (Int _ | Float _), (Int _ | Float _) -> Float (to_float a /. to_float b)
+  | _ -> type_error "cannot divide %s by %s" (to_string a) (to_string b)
+
+(* Floored modulo: the result has the sign of the modulus, so residue
+   classes stay consistent on negative (header) positions. *)
+let floored_mod x m =
+  if m = 0 then type_error "MOD by zero";
+  let r = x mod m in
+  if (r < 0 && m > 0) || (r > 0 && m < 0) then r + m else r
+
+let modulo a b =
+  match a, b with
+  | Null, _ | _, Null -> Null
+  | Int x, Int y -> Int (floored_mod x y)
+  | (Int _ | Float _), (Int _ | Float _) ->
+    Float (Float.rem (to_float a) (to_float b))
+  | _ -> type_error "cannot apply MOD to %s and %s" (to_string a) (to_string b)
+
+let neg = function
+  | Null -> Null
+  | Int i -> Int (-i)
+  | Float f -> Float (-.f)
+  | v -> type_error "cannot negate %s" (to_string v)

@@ -1,0 +1,93 @@
+(** SQL values with three-valued NULL semantics.
+
+    Dates are stored as days since 1970-01-01 (proleptic Gregorian), so
+    ordering, grouping and date-part extraction stay cheap. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Date of int  (** days since 1970-01-01 *)
+
+exception Type_error of string
+
+(** Raise {!Type_error} with a formatted message. *)
+val type_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val is_null : t -> bool
+
+(** The type of a non-NULL value; [None] for NULL. *)
+val dtype_of : t -> Dtype.t option
+
+(** {1 Date arithmetic (proleptic Gregorian)} *)
+
+val is_leap_year : int -> bool
+val days_in_month : int -> int -> int
+
+(** [date_of_ymd y m d] is the day number of the given civil date.
+    @raise Type_error on invalid month/day. *)
+val date_of_ymd : int -> int -> int -> int
+
+val ymd_of_date : int -> int * int * int
+val date_year : int -> int
+val date_month : int -> int
+val date_day : int -> int
+
+(** Parse an ISO [yyyy-mm-dd] date. *)
+val parse_date : string -> int option
+
+val date_to_string : int -> string
+
+(** {1 Rendering} *)
+
+val to_string : t -> string
+
+(** SQL-literal rendering: strings quoted and escaped, dates as
+    [DATE '...']. *)
+val to_sql : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Coercion}
+
+    @raise Type_error on incompatible values. *)
+
+val to_float : t -> float
+val to_int : t -> int
+val to_bool : t -> bool
+
+(** {1 Comparison}
+
+    {!compare} is the total order used for sorting and grouping: NULL
+    sorts first, numerics compare across INT/FLOAT.  {!sql_compare}
+    implements SQL comparison: any comparison with NULL is unknown
+    ([None]). *)
+
+val compare : t -> t -> int
+val sql_compare : t -> t -> int option
+val equal : t -> t -> bool
+
+(** Hash consistent with {!equal} (INT and FLOAT of equal value collide). *)
+val hash : t -> int
+
+(** {1 Arithmetic (NULL-propagating)}
+
+    INT op INT stays INT; mixed numerics widen to FLOAT; DATE supports
+    [+ INT], [- INT] and DATE difference.
+    @raise Type_error on incompatible operands. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+
+(** Floored modulo for integers: the result has the sign of the modulus,
+    keeping residue classes consistent on negative (header) positions. *)
+val modulo : t -> t -> t
+
+(** [floored_mod x m] on raw integers. @raise Type_error if [m = 0]. *)
+val floored_mod : int -> int -> int
+
+val neg : t -> t

@@ -1,0 +1,176 @@
+(* Abstract syntax of the SQL subset.
+
+   Names are unresolved here (qualifier + column name); the planner's
+   binder resolves them against the catalog.  Window functions carry the
+   full OVER() specification of the paper's Fig. 1 syntax diagram. *)
+
+type literal =
+  | L_int of int
+  | L_float of float
+  | L_string of string
+  | L_bool of bool
+  | L_null
+  | L_date of string (* ISO yyyy-mm-dd, validated by the binder *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type frame_bound =
+  | Unbounded_preceding
+  | Preceding of int
+  | Current_row
+  | Following of int
+  | Unbounded_following
+
+type frame_mode =
+  | Frame_rows
+  | Frame_range
+
+type frame_clause = {
+  frame_mode : frame_mode;
+  frame_lo : frame_bound;
+  frame_hi : frame_bound;
+}
+
+type expr =
+  | Lit of literal
+  | Column of string option * string        (* qualifier, name *)
+  | Star                                    (* argument of COUNT star *)
+  | Binary of binop * expr * expr
+  | Neg of expr
+  | Not of expr
+  | Case of (expr * expr) list * expr option
+  | Call of string * expr list              (* scalar function or aggregate *)
+  | Window of window_fn
+  | In_list of expr * expr list
+  | Between of expr * expr * expr
+  | Is_null of expr
+  | Is_not_null of expr
+
+and window_fn = {
+  w_func : string;        (* SUM/COUNT/AVG/MIN/MAX/RANK/LAG/... *)
+  w_args : expr list;     (* [Star] for COUNT star; [] for the rank family *)
+  w_partition : expr list;
+  w_order : order_item list;
+  w_frame : frame_clause option;            (* default: cumulative *)
+}
+
+and order_item = {
+  o_expr : expr;
+  o_asc : bool;
+}
+
+type select_item =
+  | Sel_expr of expr * string option        (* expr [AS alias] *)
+  | Sel_star                                (* * *)
+  | Sel_table_star of string                (* t.* *)
+
+type join_kind =
+  | Join_inner
+  | Join_left
+
+type table_ref =
+  | Table of { name : string; alias : string option }
+  | Subquery of { query : query; alias : string }
+  | Join of { kind : join_kind; left : table_ref; right : table_ref; cond : expr }
+
+and select = {
+  distinct : bool;
+  items : select_item list;
+  from : table_ref list;                    (* comma-separated; [] = VALUES-less select *)
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+}
+
+and query = {
+  body : query_body;
+  order_by : order_item list;
+  limit : int option;
+}
+
+and query_body =
+  | Select of select
+  | Union of { all : bool; left : query_body; right : query_body }
+
+type column_def = {
+  col_name : string;
+  col_type : Rfview_relalg.Dtype.t;
+}
+
+type statement =
+  | St_query of query
+  | St_create_table of { name : string; columns : column_def list }
+  | St_create_index of {
+      name : string;
+      table : string;
+      column : string;
+      ordered : bool; (* true: ordered (range) index, false: hash *)
+    }
+  | St_create_view of { name : string; materialized : bool; query : query }
+  | St_insert of { table : string; columns : string list; rows : expr list list }
+  | St_update of { table : string; assignments : (string * expr) list; where : expr option }
+  | St_delete of { table : string; where : expr option }
+  | St_drop_table of { name : string; if_exists : bool }
+  | St_drop_view of { name : string; if_exists : bool }
+  | St_refresh_view of string
+  | St_explain of statement
+  | St_explain_analyze of statement
+
+(* ---- Helpers ---- *)
+
+let rec map_expr f e =
+  let e =
+    match e with
+    | Lit _ | Column _ | Star -> e
+    | Binary (op, a, b) -> Binary (op, map_expr f a, map_expr f b)
+    | Neg a -> Neg (map_expr f a)
+    | Not a -> Not (map_expr f a)
+    | Case (whens, els) ->
+      Case
+        ( List.map (fun (c, v) -> (map_expr f c, map_expr f v)) whens,
+          Option.map (map_expr f) els )
+    | Call (name, args) -> Call (name, List.map (map_expr f) args)
+    | Window w ->
+      Window
+        {
+          w with
+          w_args = List.map (map_expr f) w.w_args;
+          w_partition = List.map (map_expr f) w.w_partition;
+          w_order = List.map (fun o -> { o with o_expr = map_expr f o.o_expr }) w.w_order;
+        }
+    | In_list (a, items) -> In_list (map_expr f a, List.map (map_expr f) items)
+    | Between (a, lo, hi) -> Between (map_expr f a, map_expr f lo, map_expr f hi)
+    | Is_null a -> Is_null (map_expr f a)
+    | Is_not_null a -> Is_not_null (map_expr f a)
+  in
+  f e
+
+(* All window functions contained in an expression. *)
+let rec window_fns acc = function
+  | Lit _ | Column _ | Star -> acc
+  | Binary (_, a, b) -> window_fns (window_fns acc a) b
+  | Neg a | Not a | Is_null a | Is_not_null a -> window_fns acc a
+  | Case (whens, els) ->
+    let acc =
+      List.fold_left (fun acc (c, v) -> window_fns (window_fns acc c) v) acc whens
+    in
+    (match els with None -> acc | Some e -> window_fns acc e)
+  | Call (_, args) -> List.fold_left window_fns acc args
+  | Window w -> w :: acc
+  | In_list (a, items) -> List.fold_left window_fns (window_fns acc a) items
+  | Between (a, lo, hi) -> window_fns (window_fns (window_fns acc a) lo) hi
+
+let has_window e = window_fns [] e <> []

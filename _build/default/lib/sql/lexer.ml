@@ -1,0 +1,127 @@
+(* Hand-written SQL lexer.
+
+   Produces the token stream with positions for error reporting.
+   Comments: [-- line] and [/* block */].  String literals use single
+   quotes with [''] as the escape for a quote. *)
+
+exception Lex_error of string * int (* message, offset *)
+
+type lexeme = {
+  token : Token.t;
+  offset : int;
+}
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize (src : string) : lexeme list =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit offset token = toks := { token; offset } :: !toks in
+  let rec skip_ws i =
+    if i >= n then i
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> skip_ws (i + 1)
+      | '-' when i + 1 < n && src.[i + 1] = '-' ->
+        let rec eol j = if j >= n || src.[j] = '\n' then j else eol (j + 1) in
+        skip_ws (eol (i + 2))
+      | '/' when i + 1 < n && src.[i + 1] = '*' ->
+        let rec close j =
+          if j + 1 >= n then raise (Lex_error ("unterminated block comment", i))
+          else if src.[j] = '*' && src.[j + 1] = '/' then j + 2
+          else close (j + 1)
+        in
+        skip_ws (close (i + 2))
+      | _ -> i
+  in
+  let lex_number i =
+    let rec digits j = if j < n && is_digit src.[j] then digits (j + 1) else j in
+    let j = digits i in
+    let j, is_float =
+      if j < n && src.[j] = '.' && j + 1 < n && is_digit src.[j + 1] then
+        (digits (j + 1), true)
+      else (j, false)
+    in
+    let j, is_float =
+      if j < n && (src.[j] = 'e' || src.[j] = 'E') then begin
+        let k = if j + 1 < n && (src.[j + 1] = '+' || src.[j + 1] = '-') then j + 2 else j + 1 in
+        if k < n && is_digit src.[k] then (digits k, true) else (j, is_float)
+      end
+      else (j, is_float)
+    in
+    let text = String.sub src i (j - i) in
+    let token =
+      if is_float then Token.Float_lit (float_of_string text)
+      else
+        match int_of_string_opt text with
+        | Some v -> Token.Int_lit v
+        | None -> Token.Float_lit (float_of_string text)
+    in
+    emit i token;
+    j
+  in
+  let lex_string i =
+    let buf = Buffer.create 16 in
+    let rec go j =
+      if j >= n then raise (Lex_error ("unterminated string literal", i))
+      else if src.[j] = '\'' then
+        if j + 1 < n && src.[j + 1] = '\'' then begin
+          Buffer.add_char buf '\'';
+          go (j + 2)
+        end
+        else j + 1
+      else begin
+        Buffer.add_char buf src.[j];
+        go (j + 1)
+      end
+    in
+    let j = go (i + 1) in
+    emit i (Token.String_lit (Buffer.contents buf));
+    j
+  in
+  let lex_ident i =
+    let rec go j = if j < n && is_ident_char src.[j] then go (j + 1) else j in
+    let j = go i in
+    emit i (Token.Ident (String.sub src i (j - i)));
+    j
+  in
+  let rec loop i =
+    let i = skip_ws i in
+    if i >= n then emit i Token.Eof
+    else begin
+      let c = src.[i] in
+      let next =
+        if is_digit c then lex_number i
+        else if is_ident_start c then lex_ident i
+        else if c = '\'' then lex_string i
+        else begin
+          let two tok = emit i tok; i + 2 in
+          let one tok = emit i tok; i + 1 in
+          match c with
+          | '(' -> one Token.Lparen
+          | ')' -> one Token.Rparen
+          | ',' -> one Token.Comma
+          | '.' -> one Token.Dot
+          | ';' -> one Token.Semicolon
+          | '*' -> one Token.Star
+          | '+' -> one Token.Plus
+          | '-' -> one Token.Minus
+          | '/' -> one Token.Slash
+          | '%' -> one Token.Percent
+          | '=' -> one Token.Eq
+          | '<' when i + 1 < n && src.[i + 1] = '>' -> two Token.Neq
+          | '<' when i + 1 < n && src.[i + 1] = '=' -> two Token.Le
+          | '<' -> one Token.Lt
+          | '>' when i + 1 < n && src.[i + 1] = '=' -> two Token.Ge
+          | '>' -> one Token.Gt
+          | '!' when i + 1 < n && src.[i + 1] = '=' -> two Token.Neq
+          | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, i))
+        end
+      in
+      loop next
+    end
+  in
+  loop 0;
+  List.rev !toks

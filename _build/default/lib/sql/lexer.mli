@@ -1,0 +1,15 @@
+(** Hand-written SQL lexer.
+
+    Comments: [-- line] and [/* block */].  String literals use single
+    quotes with [''] as the quote escape.  The token stream always ends
+    with {!Token.Eof}. *)
+
+exception Lex_error of string * int  (** message, byte offset *)
+
+type lexeme = {
+  token : Token.t;
+  offset : int;  (** byte offset in the source, for error reporting *)
+}
+
+(** @raise Lex_error on malformed input. *)
+val tokenize : string -> lexeme list

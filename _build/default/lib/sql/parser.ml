@@ -1,0 +1,723 @@
+(* Recursive-descent parser for the SQL subset.
+
+   Covers everything the paper's queries need: SELECT with window
+   functions (OVER with PARTITION BY / ORDER BY / ROWS frames), inner and
+   left outer joins, comma joins, CASE, IN, BETWEEN, MOD/COALESCE/...,
+   UNION ALL, subqueries in FROM, and the DDL/DML statements of the
+   engine (CREATE TABLE / INDEX / [MATERIALIZED] VIEW, INSERT, UPDATE,
+   DELETE, DROP, REFRESH, EXPLAIN). *)
+
+exception Parse_error of string
+
+let parse_error fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+type state = {
+  toks : Lexer.lexeme array;
+  mutable pos : int;
+  src : string;
+}
+
+let make_state src = { toks = Array.of_list (Lexer.tokenize src); pos = 0; src }
+
+let peek st = st.toks.(st.pos).Lexer.token
+let peek2 st =
+  if st.pos + 1 < Array.length st.toks then st.toks.(st.pos + 1).Lexer.token
+  else Token.Eof
+
+let advance st = st.pos <- st.pos + 1
+
+let context st =
+  let off = st.toks.(st.pos).Lexer.offset in
+  let start = max 0 (off - 20) in
+  let stop = min (String.length st.src) (off + 20) in
+  Printf.sprintf "near \"%s\" (offset %d)" (String.sub st.src start (stop - start)) off
+
+(* Keyword matching is case-insensitive. *)
+let is_kw st kw =
+  match peek st with
+  | Token.Ident s -> String.uppercase_ascii s = kw
+  | _ -> false
+
+let is_kw2 st kw =
+  match peek2 st with
+  | Token.Ident s -> String.uppercase_ascii s = kw
+  | _ -> false
+
+let accept_kw st kw =
+  if is_kw st kw then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect_kw st kw =
+  if not (accept_kw st kw) then
+    parse_error "expected %s %s, found %s" kw (context st) (Token.to_string (peek st))
+
+let accept_tok st tok =
+  if peek st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect_tok st tok =
+  if not (accept_tok st tok) then
+    parse_error "expected %s %s, found %s" (Token.to_string tok) (context st)
+      (Token.to_string (peek st))
+
+(* Identifiers that terminate an implicit alias position. *)
+let reserved_after_table =
+  [ "WHERE"; "GROUP"; "ORDER"; "HAVING"; "LIMIT"; "ON"; "JOIN"; "LEFT"; "RIGHT";
+    "INNER"; "OUTER"; "UNION"; "CROSS"; "AS"; "SET"; "VALUES" ]
+
+let parse_ident st =
+  match peek st with
+  | Token.Ident s ->
+    advance st;
+    s
+  | t -> parse_error "expected identifier %s, found %s" (context st) (Token.to_string t)
+
+let parse_int st =
+  match peek st with
+  | Token.Int_lit i ->
+    advance st;
+    i
+  | t -> parse_error "expected integer %s, found %s" (context st) (Token.to_string t)
+
+(* ---- Expressions ---- *)
+
+let aggregate_names = [ "SUM"; "COUNT"; "AVG"; "MIN"; "MAX" ]
+let window_function_names =
+  aggregate_names
+  @ [ "ROW_NUMBER"; "RANK"; "DENSE_RANK"; "LAG"; "LEAD"; "FIRST_VALUE"; "LAST_VALUE" ]
+
+let rec parse_expr st : Ast.expr = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if accept_kw st "OR" then Ast.Binary (Ast.Or, lhs, parse_or st) else lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  if accept_kw st "AND" then Ast.Binary (Ast.And, lhs, parse_and st) else lhs
+
+and parse_not st =
+  if accept_kw st "NOT" then Ast.Not (parse_not st) else parse_predicate st
+
+and parse_predicate st =
+  let lhs = parse_additive st in
+  let cmp op =
+    advance st;
+    Ast.Binary (op, lhs, parse_additive st)
+  in
+  match peek st with
+  | Token.Eq -> cmp Ast.Eq
+  | Token.Neq -> cmp Ast.Neq
+  | Token.Lt -> cmp Ast.Lt
+  | Token.Le -> cmp Ast.Le
+  | Token.Gt -> cmp Ast.Gt
+  | Token.Ge -> cmp Ast.Ge
+  | Token.Ident _ when is_kw st "BETWEEN" ->
+    advance st;
+    let lo = parse_additive st in
+    expect_kw st "AND";
+    let hi = parse_additive st in
+    Ast.Between (lhs, lo, hi)
+  | Token.Ident _ when is_kw st "NOT" && is_kw2 st "BETWEEN" ->
+    advance st;
+    advance st;
+    let lo = parse_additive st in
+    expect_kw st "AND";
+    let hi = parse_additive st in
+    Ast.Not (Ast.Between (lhs, lo, hi))
+  | Token.Ident _ when is_kw st "IN" ->
+    advance st;
+    expect_tok st Token.Lparen;
+    let items = parse_expr_list st in
+    expect_tok st Token.Rparen;
+    Ast.In_list (lhs, items)
+  | Token.Ident _ when is_kw st "NOT" && is_kw2 st "IN" ->
+    advance st;
+    advance st;
+    expect_tok st Token.Lparen;
+    let items = parse_expr_list st in
+    expect_tok st Token.Rparen;
+    Ast.Not (Ast.In_list (lhs, items))
+  | Token.Ident _ when is_kw st "IS" ->
+    advance st;
+    if accept_kw st "NOT" then begin
+      expect_kw st "NULL";
+      Ast.Is_not_null lhs
+    end
+    else begin
+      expect_kw st "NULL";
+      Ast.Is_null lhs
+    end
+  | _ -> lhs
+
+and parse_additive st =
+  let rec loop lhs =
+    match peek st with
+    | Token.Plus ->
+      advance st;
+      loop (Ast.Binary (Ast.Add, lhs, parse_multiplicative st))
+    | Token.Minus ->
+      advance st;
+      loop (Ast.Binary (Ast.Sub, lhs, parse_multiplicative st))
+    | _ -> lhs
+  in
+  loop (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec loop lhs =
+    match peek st with
+    | Token.Star ->
+      advance st;
+      loop (Ast.Binary (Ast.Mul, lhs, parse_unary st))
+    | Token.Slash ->
+      advance st;
+      loop (Ast.Binary (Ast.Div, lhs, parse_unary st))
+    | Token.Percent ->
+      advance st;
+      loop (Ast.Binary (Ast.Mod, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Token.Minus ->
+    advance st;
+    Ast.Neg (parse_unary st)
+  | Token.Plus ->
+    advance st;
+    parse_unary st
+  | _ -> parse_primary st
+
+and parse_expr_list st =
+  let e = parse_expr st in
+  if accept_tok st Token.Comma then e :: parse_expr_list st else [ e ]
+
+and parse_primary st =
+  match peek st with
+  | Token.Int_lit i ->
+    advance st;
+    Ast.Lit (Ast.L_int i)
+  | Token.Float_lit f ->
+    advance st;
+    Ast.Lit (Ast.L_float f)
+  | Token.String_lit s ->
+    advance st;
+    Ast.Lit (Ast.L_string s)
+  | Token.Lparen ->
+    advance st;
+    let e = parse_expr st in
+    expect_tok st Token.Rparen;
+    e
+  | Token.Ident name -> parse_ident_expr st name
+  | t -> parse_error "unexpected token %s %s" (Token.to_string t) (context st)
+
+and parse_ident_expr st name =
+  let upper = String.uppercase_ascii name in
+  match upper with
+  | "NULL" ->
+    advance st;
+    Ast.Lit Ast.L_null
+  | "TRUE" ->
+    advance st;
+    Ast.Lit (Ast.L_bool true)
+  | "FALSE" ->
+    advance st;
+    Ast.Lit (Ast.L_bool false)
+  | "DATE" when (match peek2 st with Token.String_lit _ -> true | _ -> false) ->
+    advance st;
+    (match peek st with
+     | Token.String_lit s ->
+       advance st;
+       Ast.Lit (Ast.L_date s)
+     | _ -> assert false)
+  | "CASE" ->
+    advance st;
+    parse_case st
+  | "CAST" when peek2 st = Token.Lparen ->
+    (* CAST(e AS type) is accepted and treated as a no-op annotation. *)
+    advance st;
+    expect_tok st Token.Lparen;
+    let e = parse_expr st in
+    expect_kw st "AS";
+    let _ty = parse_ident st in
+    expect_tok st Token.Rparen;
+    e
+  | _ when peek2 st = Token.Lparen ->
+    (* function call, possibly with OVER *)
+    advance st;
+    advance st;
+    let arg_star = accept_tok st Token.Star in
+    let args =
+      if arg_star then [ Ast.Star ]
+      else if peek st = Token.Rparen then []
+      else parse_expr_list st
+    in
+    expect_tok st Token.Rparen;
+    if is_kw st "OVER" then begin
+      advance st;
+      let spec = parse_window_spec st in
+      if not (List.mem upper window_function_names) then
+        parse_error "%s is not a window function" name;
+      Ast.Window
+        {
+          Ast.w_func = upper;
+          w_args = args;
+          w_partition = spec.w_partition;
+          w_order = spec.w_order;
+          w_frame = spec.w_frame;
+        }
+    end
+    else Ast.Call (name, args)
+  | _ ->
+    advance st;
+    if accept_tok st Token.Dot then begin
+      let col = parse_ident st in
+      Ast.Column (Some name, col)
+    end
+    else Ast.Column (None, name)
+
+and parse_case st =
+  let rec whens acc =
+    if accept_kw st "WHEN" then begin
+      let cond = parse_expr st in
+      expect_kw st "THEN";
+      let v = parse_expr st in
+      whens ((cond, v) :: acc)
+    end
+    else List.rev acc
+  in
+  let whens = whens [] in
+  if whens = [] then parse_error "CASE needs at least one WHEN %s" (context st);
+  let els = if accept_kw st "ELSE" then Some (parse_expr st) else None in
+  expect_kw st "END";
+  Ast.Case (whens, els)
+
+and parse_window_spec st : Ast.window_fn =
+  expect_tok st Token.Lparen;
+  let partition =
+    if is_kw st "PARTITION" then begin
+      advance st;
+      expect_kw st "BY";
+      parse_expr_list st
+    end
+    else []
+  in
+  let order =
+    if is_kw st "ORDER" then begin
+      advance st;
+      expect_kw st "BY";
+      parse_order_items st
+    end
+    else []
+  in
+  let frame =
+    if is_kw st "ROWS" then begin
+      advance st;
+      Some (parse_frame st Ast.Frame_rows)
+    end
+    else if is_kw st "RANGE" then begin
+      advance st;
+      Some (parse_frame st Ast.Frame_range)
+    end
+    else None
+  in
+  expect_tok st Token.Rparen;
+  { Ast.w_func = ""; w_args = []; w_partition = partition; w_order = order; w_frame = frame }
+
+and parse_frame_bound st : Ast.frame_bound =
+  if accept_kw st "UNBOUNDED" then
+    if accept_kw st "PRECEDING" then Ast.Unbounded_preceding
+    else begin
+      expect_kw st "FOLLOWING";
+      Ast.Unbounded_following
+    end
+  else if accept_kw st "CURRENT" then begin
+    expect_kw st "ROW";
+    Ast.Current_row
+  end
+  else begin
+    let n = parse_int st in
+    if accept_kw st "PRECEDING" then Ast.Preceding n
+    else begin
+      expect_kw st "FOLLOWING";
+      Ast.Following n
+    end
+  end
+
+and parse_frame st mode : Ast.frame_clause =
+  if accept_kw st "BETWEEN" then begin
+    let lo = parse_frame_bound st in
+    expect_kw st "AND";
+    let hi = parse_frame_bound st in
+    { Ast.frame_mode = mode; frame_lo = lo; frame_hi = hi }
+  end
+  else
+    (* single-bound shorthand: ROWS b means BETWEEN b AND CURRENT ROW *)
+    let lo = parse_frame_bound st in
+    { Ast.frame_mode = mode; frame_lo = lo; frame_hi = Ast.Current_row }
+
+and parse_order_items st =
+  let item () =
+    let e = parse_expr st in
+    let asc =
+      if accept_kw st "ASC" then true else if accept_kw st "DESC" then false else true
+    in
+    { Ast.o_expr = e; o_asc = asc }
+  in
+  let rec loop acc =
+    let i = item () in
+    if accept_tok st Token.Comma then loop (i :: acc) else List.rev (i :: acc)
+  in
+  loop []
+
+(* ---- SELECT ---- *)
+
+let rec parse_query st : Ast.query =
+  let body = parse_query_body st in
+  let order_by =
+    if is_kw st "ORDER" then begin
+      advance st;
+      expect_kw st "BY";
+      parse_order_items st
+    end
+    else []
+  in
+  let limit = if accept_kw st "LIMIT" then Some (parse_int st) else None in
+  { Ast.body; order_by; limit }
+
+and parse_query_body st : Ast.query_body =
+  let lhs = parse_query_term st in
+  let rec loop lhs =
+    if is_kw st "UNION" then begin
+      advance st;
+      let all = accept_kw st "ALL" in
+      let rhs = parse_query_term st in
+      loop (Ast.Union { all; left = lhs; right = rhs })
+    end
+    else lhs
+  in
+  loop lhs
+
+and parse_query_term st : Ast.query_body =
+  if accept_tok st Token.Lparen then begin
+    let body = parse_query_body st in
+    expect_tok st Token.Rparen;
+    body
+  end
+  else parse_select_core st
+
+and parse_select_core st : Ast.query_body =
+  expect_kw st "SELECT";
+  let distinct = accept_kw st "DISTINCT" in
+  let _ = accept_kw st "ALL" in
+  let items = parse_select_items st in
+  let from = if accept_kw st "FROM" then parse_from_list st else [] in
+  let where = if accept_kw st "WHERE" then Some (parse_expr st) else None in
+  let group_by =
+    if is_kw st "GROUP" then begin
+      advance st;
+      expect_kw st "BY";
+      parse_expr_list st
+    end
+    else []
+  in
+  let having = if accept_kw st "HAVING" then Some (parse_expr st) else None in
+  Ast.Select { distinct; items; from; where; group_by; having }
+
+and parse_select_items st =
+  let item () =
+    if accept_tok st Token.Star then Ast.Sel_star
+    else if
+      (match peek st, peek2 st with
+       | Token.Ident _, Token.Dot -> true
+       | _ -> false)
+      &&
+      (match st.toks.(st.pos + 2).Lexer.token with
+       | Token.Star -> true
+       | _ -> false)
+    then begin
+      let t = parse_ident st in
+      advance st (* dot *);
+      advance st (* star *);
+      Ast.Sel_table_star t
+    end
+    else begin
+      let e = parse_expr st in
+      let alias =
+        if accept_kw st "AS" then Some (parse_ident st)
+        else
+          match peek st with
+          | Token.Ident s
+            when not (List.mem (String.uppercase_ascii s)
+                        ("FROM" :: reserved_after_table)) ->
+            advance st;
+            Some s
+          | _ -> None
+      in
+      Ast.Sel_expr (e, alias)
+    end
+  in
+  let rec loop acc =
+    let i = item () in
+    if accept_tok st Token.Comma then loop (i :: acc) else List.rev (i :: acc)
+  in
+  loop []
+
+and parse_from_list st =
+  let rec loop acc =
+    let t = parse_join_chain st in
+    if accept_tok st Token.Comma then loop (t :: acc) else List.rev (t :: acc)
+  in
+  loop []
+
+and parse_join_chain st =
+  let lhs = parse_table_primary st in
+  let rec loop lhs =
+    if is_kw st "JOIN" || (is_kw st "INNER" && is_kw2 st "JOIN") then begin
+      if is_kw st "INNER" then advance st;
+      advance st;
+      let rhs = parse_table_primary st in
+      expect_kw st "ON";
+      let cond = parse_expr st in
+      loop (Ast.Join { kind = Ast.Join_inner; left = lhs; right = rhs; cond })
+    end
+    else if is_kw st "LEFT" then begin
+      advance st;
+      let _ = accept_kw st "OUTER" in
+      expect_kw st "JOIN";
+      let rhs = parse_table_primary st in
+      expect_kw st "ON";
+      let cond = parse_expr st in
+      loop (Ast.Join { kind = Ast.Join_left; left = lhs; right = rhs; cond })
+    end
+    else if is_kw st "CROSS" then begin
+      advance st;
+      expect_kw st "JOIN";
+      let rhs = parse_table_primary st in
+      loop
+        (Ast.Join
+           { kind = Ast.Join_inner; left = lhs; right = rhs;
+             cond = Ast.Lit (Ast.L_bool true) })
+    end
+    else lhs
+  in
+  loop lhs
+
+and parse_table_primary st =
+  if accept_tok st Token.Lparen then begin
+    let query = parse_query st in
+    expect_tok st Token.Rparen;
+    let _ = accept_kw st "AS" in
+    let alias = parse_ident st in
+    Ast.Subquery { query; alias }
+  end
+  else begin
+    let name = parse_ident st in
+    let alias =
+      if accept_kw st "AS" then Some (parse_ident st)
+      else
+        match peek st with
+        | Token.Ident s
+          when not (List.mem (String.uppercase_ascii s) reserved_after_table) ->
+          advance st;
+          Some s
+        | _ -> None
+    in
+    Ast.Table { name; alias }
+  end
+
+(* ---- Statements ---- *)
+
+let parse_column_defs st =
+  expect_tok st Token.Lparen;
+  let def () =
+    let name = parse_ident st in
+    let tyname = parse_ident st in
+    (* swallow optional length arguments: VARCHAR(20) *)
+    if accept_tok st Token.Lparen then begin
+      let _ = parse_int st in
+      expect_tok st Token.Rparen
+    end;
+    (* swallow optional NOT NULL / PRIMARY KEY noise *)
+    let rec noise () =
+      if accept_kw st "NOT" then (expect_kw st "NULL"; noise ())
+      else if accept_kw st "PRIMARY" then (expect_kw st "KEY"; noise ())
+      else if accept_kw st "NULL" then noise ()
+    in
+    noise ();
+    match Rfview_relalg.Dtype.of_string tyname with
+    | Some ty -> { Ast.col_name = name; col_type = ty }
+    | None -> parse_error "unknown type %s" tyname
+  in
+  let rec loop acc =
+    let d = def () in
+    if accept_tok st Token.Comma then loop (d :: acc) else List.rev (d :: acc)
+  in
+  let defs = loop [] in
+  expect_tok st Token.Rparen;
+  defs
+
+let rec parse_statement st : Ast.statement =
+  if accept_kw st "EXPLAIN" then
+    if accept_kw st "ANALYZE" then Ast.St_explain_analyze (parse_statement st)
+    else Ast.St_explain (parse_statement st)
+  else if is_kw st "SELECT" || peek st = Token.Lparen then Ast.St_query (parse_query st)
+  else if accept_kw st "CREATE" then parse_create st
+  else if accept_kw st "INSERT" then parse_insert st
+  else if accept_kw st "UPDATE" then parse_update st
+  else if accept_kw st "DELETE" then parse_delete st
+  else if accept_kw st "DROP" then parse_drop st
+  else if accept_kw st "REFRESH" then begin
+    let _ = accept_kw st "MATERIALIZED" in
+    expect_kw st "VIEW";
+    Ast.St_refresh_view (parse_ident st)
+  end
+  else parse_error "unexpected statement %s" (context st)
+
+and parse_create st =
+  if accept_kw st "TABLE" then begin
+    let name = parse_ident st in
+    let columns = parse_column_defs st in
+    Ast.St_create_table { name; columns }
+  end
+  else if accept_kw st "INDEX" then begin
+    let name = parse_ident st in
+    expect_kw st "ON";
+    let table = parse_ident st in
+    expect_tok st Token.Lparen;
+    let column = parse_ident st in
+    expect_tok st Token.Rparen;
+    let ordered =
+      if accept_kw st "USING" then begin
+        let kind = parse_ident st in
+        match String.uppercase_ascii kind with
+        | "HASH" -> false
+        | "BTREE" | "ORDERED" -> true
+        | k -> parse_error "unknown index kind %s" k
+      end
+      else true
+    in
+    Ast.St_create_index { name; table; column; ordered }
+  end
+  else if accept_kw st "UNIQUE" then begin
+    expect_kw st "INDEX";
+    let name = parse_ident st in
+    expect_kw st "ON";
+    let table = parse_ident st in
+    expect_tok st Token.Lparen;
+    let column = parse_ident st in
+    expect_tok st Token.Rparen;
+    Ast.St_create_index { name; table; column; ordered = true }
+  end
+  else begin
+    let materialized = accept_kw st "MATERIALIZED" in
+    expect_kw st "VIEW";
+    let name = parse_ident st in
+    expect_kw st "AS";
+    let query = parse_query st in
+    Ast.St_create_view { name; materialized; query }
+  end
+
+and parse_insert st =
+  expect_kw st "INTO";
+  let table = parse_ident st in
+  let columns =
+    if peek st = Token.Lparen then begin
+      advance st;
+      let rec loop acc =
+        let c = parse_ident st in
+        if accept_tok st Token.Comma then loop (c :: acc) else List.rev (c :: acc)
+      in
+      let cols = loop [] in
+      expect_tok st Token.Rparen;
+      cols
+    end
+    else []
+  in
+  expect_kw st "VALUES";
+  let row () =
+    expect_tok st Token.Lparen;
+    let es = parse_expr_list st in
+    expect_tok st Token.Rparen;
+    es
+  in
+  let rec rows acc =
+    let r = row () in
+    if accept_tok st Token.Comma then rows (r :: acc) else List.rev (r :: acc)
+  in
+  Ast.St_insert { table; columns; rows = rows [] }
+
+and parse_update st =
+  let table = parse_ident st in
+  expect_kw st "SET";
+  let assignment () =
+    let col = parse_ident st in
+    expect_tok st Token.Eq;
+    let e = parse_expr st in
+    (col, e)
+  in
+  let rec loop acc =
+    let a = assignment () in
+    if accept_tok st Token.Comma then loop (a :: acc) else List.rev (a :: acc)
+  in
+  let assignments = loop [] in
+  let where = if accept_kw st "WHERE" then Some (parse_expr st) else None in
+  Ast.St_update { table; assignments; where }
+
+and parse_delete st =
+  expect_kw st "FROM";
+  let table = parse_ident st in
+  let where = if accept_kw st "WHERE" then Some (parse_expr st) else None in
+  Ast.St_delete { table; where }
+
+and parse_drop st =
+  if accept_kw st "TABLE" then begin
+    let if_exists = accept_kw st "IF" && (expect_kw st "EXISTS"; true) in
+    Ast.St_drop_table { name = parse_ident st; if_exists }
+  end
+  else begin
+    let _ = accept_kw st "MATERIALIZED" in
+    expect_kw st "VIEW";
+    let if_exists = accept_kw st "IF" && (expect_kw st "EXISTS"; true) in
+    Ast.St_drop_view { name = parse_ident st; if_exists }
+  end
+
+(* ---- Entry points ---- *)
+
+let statement (src : string) : Ast.statement =
+  let st = make_state src in
+  let stmt = parse_statement st in
+  let _ = accept_tok st Token.Semicolon in
+  if peek st <> Token.Eof then
+    parse_error "trailing input %s" (context st);
+  stmt
+
+let statements (src : string) : Ast.statement list =
+  let st = make_state src in
+  let rec loop acc =
+    if peek st = Token.Eof then List.rev acc
+    else begin
+      let stmt = parse_statement st in
+      let _ = accept_tok st Token.Semicolon in
+      loop (stmt :: acc)
+    end
+  in
+  loop []
+
+let query (src : string) : Ast.query =
+  match statement src with
+  | Ast.St_query q -> q
+  | _ -> parse_error "expected a query"
+
+let expression (src : string) : Ast.expr =
+  let st = make_state src in
+  let e = parse_expr st in
+  if peek st <> Token.Eof then parse_error "trailing input %s" (context st);
+  e

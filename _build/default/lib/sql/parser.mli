@@ -1,0 +1,23 @@
+(** Recursive-descent parser for the SQL subset.
+
+    Covers the paper's queries: SELECT with window functions (OVER with
+    PARTITION BY / ORDER BY / ROWS frames), inner and left outer joins,
+    comma joins, CASE, IN, BETWEEN, scalar functions, UNION ALL,
+    subqueries in FROM, and the engine's DDL/DML (CREATE TABLE / INDEX /
+    [MATERIALIZED] VIEW, INSERT, UPDATE, DELETE, DROP, REFRESH,
+    EXPLAIN). *)
+
+exception Parse_error of string
+
+(** Parse one statement (an optional trailing [;] is accepted).
+    @raise Parse_error / Lexer.Lex_error on malformed input. *)
+val statement : string -> Ast.statement
+
+(** Parse a [;]-separated script. *)
+val statements : string -> Ast.statement list
+
+(** Parse one query.  @raise Parse_error if the statement is not a query. *)
+val query : string -> Ast.query
+
+(** Parse a standalone scalar expression (used in tests). *)
+val expression : string -> Ast.expr

@@ -1,0 +1,205 @@
+(* Pretty-printing of the SQL AST back to SQL text.
+
+   The output re-parses to an equal AST (round-trip property tested);
+   used by EXPLAIN, the view catalog and error messages. *)
+
+let binop_symbol = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Mod -> "%"
+  | Ast.Eq -> "="
+  | Ast.Neq -> "<>"
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | Ast.And -> "AND"
+  | Ast.Or -> "OR"
+
+let literal = function
+  | Ast.L_int i -> string_of_int i
+  | Ast.L_float f ->
+    let s = Printf.sprintf "%.12g" f in
+    if String.contains s '.' || String.contains s 'e' || String.contains s 'n' then s
+    else s ^ ".0"
+  | Ast.L_string s ->
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '\'';
+    String.iter
+      (fun c -> if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '\'';
+    Buffer.contents buf
+  | Ast.L_bool true -> "TRUE"
+  | Ast.L_bool false -> "FALSE"
+  | Ast.L_null -> "NULL"
+  | Ast.L_date s -> Printf.sprintf "DATE '%s'" s
+
+let frame_bound = function
+  | Ast.Unbounded_preceding -> "UNBOUNDED PRECEDING"
+  | Ast.Preceding n -> Printf.sprintf "%d PRECEDING" n
+  | Ast.Current_row -> "CURRENT ROW"
+  | Ast.Following n -> Printf.sprintf "%d FOLLOWING" n
+  | Ast.Unbounded_following -> "UNBOUNDED FOLLOWING"
+
+let rec expr (e : Ast.expr) : string =
+  match e with
+  | Ast.Lit l -> literal l
+  | Ast.Column (None, c) -> c
+  | Ast.Column (Some t, c) -> t ^ "." ^ c
+  | Ast.Star -> "*"
+  | Ast.Binary (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (operand a) (binop_symbol op) (operand b)
+  | Ast.Neg a -> Printf.sprintf "(-%s)" (operand a)
+  | Ast.Not a -> Printf.sprintf "(NOT %s)" (expr a)
+  | Ast.Case (whens, els) ->
+    let buf = Buffer.create 64 in
+    Buffer.add_string buf "CASE";
+    List.iter
+      (fun (c, v) ->
+        Buffer.add_string buf (Printf.sprintf " WHEN %s THEN %s" (expr c) (expr v)))
+      whens;
+    (match els with
+     | None -> ()
+     | Some e -> Buffer.add_string buf (Printf.sprintf " ELSE %s" (expr e)));
+    Buffer.add_string buf " END";
+    Buffer.contents buf
+  | Ast.Call (f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr args))
+  | Ast.Window w -> window w
+  | Ast.In_list (a, items) ->
+    Printf.sprintf "%s IN (%s)" (operand a) (String.concat ", " (List.map expr items))
+  | Ast.Between (a, lo, hi) ->
+    (* BETWEEN bounds parse at additive precedence: parenthesize anything
+       weaker (predicates, other BETWEEN/IN/IS forms) *)
+    Printf.sprintf "%s BETWEEN %s AND %s" (operand a) (operand lo) (operand hi)
+  | Ast.Is_null a -> Printf.sprintf "%s IS NULL" (operand a)
+  | Ast.Is_not_null a -> Printf.sprintf "%s IS NOT NULL" (operand a)
+
+(* Operand position of a postfix predicate (IN/BETWEEN/IS NULL): binaries,
+   negations and NOT already print parenthesized; other predicate forms
+   need explicit parentheses to round-trip. *)
+and operand (e : Ast.expr) : string =
+  match e with
+  | Ast.In_list _ | Ast.Between _ | Ast.Is_null _ | Ast.Is_not_null _ ->
+    "(" ^ expr e ^ ")"
+  | _ -> expr e
+
+and window (w : Ast.window_fn) : string =
+  let parts = ref [] in
+  (match w.w_frame with
+   | None -> ()
+   | Some f ->
+     parts :=
+       Printf.sprintf "%s BETWEEN %s AND %s"
+         (match f.frame_mode with Ast.Frame_rows -> "ROWS" | Ast.Frame_range -> "RANGE")
+         (frame_bound f.frame_lo)
+         (frame_bound f.frame_hi)
+       :: !parts);
+  if w.w_order <> [] then
+    parts :=
+      ("ORDER BY " ^ String.concat ", " (List.map order_item w.w_order)) :: !parts;
+  if w.w_partition <> [] then
+    parts :=
+      ("PARTITION BY " ^ String.concat ", " (List.map expr w.w_partition)) :: !parts;
+  Printf.sprintf "%s(%s) OVER (%s)" w.w_func
+    (String.concat ", " (List.map expr w.w_args))
+    (String.concat " " !parts)
+
+and order_item (o : Ast.order_item) : string =
+  expr o.o_expr ^ if o.o_asc then "" else " DESC"
+
+let select_item = function
+  | Ast.Sel_star -> "*"
+  | Ast.Sel_table_star t -> t ^ ".*"
+  | Ast.Sel_expr (e, None) -> expr e
+  | Ast.Sel_expr (e, Some a) -> Printf.sprintf "%s AS %s" (expr e) a
+
+let rec table_ref = function
+  | Ast.Table { name; alias = None } -> name
+  | Ast.Table { name; alias = Some a } -> Printf.sprintf "%s %s" name a
+  | Ast.Subquery { query = q; alias } -> Printf.sprintf "(%s) %s" (query q) alias
+  | Ast.Join { kind; left; right; cond } ->
+    let kw = match kind with Ast.Join_inner -> "JOIN" | Ast.Join_left -> "LEFT OUTER JOIN" in
+    Printf.sprintf "%s %s %s ON %s" (table_ref left) kw (table_ref right) (expr cond)
+
+and select (s : Ast.select) : string =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "SELECT ";
+  if s.distinct then Buffer.add_string buf "DISTINCT ";
+  Buffer.add_string buf (String.concat ", " (List.map select_item s.items));
+  if s.from <> [] then begin
+    Buffer.add_string buf " FROM ";
+    Buffer.add_string buf (String.concat ", " (List.map table_ref s.from))
+  end;
+  (match s.where with
+   | None -> ()
+   | Some e -> Buffer.add_string buf (" WHERE " ^ expr e));
+  if s.group_by <> [] then
+    Buffer.add_string buf
+      (" GROUP BY " ^ String.concat ", " (List.map expr s.group_by));
+  (match s.having with
+   | None -> ()
+   | Some e -> Buffer.add_string buf (" HAVING " ^ expr e));
+  Buffer.contents buf
+
+and query_body = function
+  | Ast.Select s -> select s
+  | Ast.Union { all; left; right } ->
+    Printf.sprintf "%s UNION %s%s" (query_body left)
+      (if all then "ALL " else "")
+      (query_body right)
+
+and query (q : Ast.query) : string =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (query_body q.body);
+  if q.order_by <> [] then
+    Buffer.add_string buf
+      (" ORDER BY " ^ String.concat ", " (List.map order_item q.order_by));
+  (match q.limit with
+   | None -> ()
+   | Some n -> Buffer.add_string buf (Printf.sprintf " LIMIT %d" n));
+  Buffer.contents buf
+
+let rec statement (s : Ast.statement) : string =
+  match s with
+  | Ast.St_query q -> query q
+  | Ast.St_create_table { name; columns } ->
+    Printf.sprintf "CREATE TABLE %s (%s)" name
+      (String.concat ", "
+         (List.map
+            (fun c ->
+              Printf.sprintf "%s %s" c.Ast.col_name
+                (Rfview_relalg.Dtype.to_string c.Ast.col_type))
+            columns))
+  | Ast.St_create_index { name; table; column; ordered } ->
+    Printf.sprintf "CREATE INDEX %s ON %s (%s) USING %s" name table column
+      (if ordered then "ORDERED" else "HASH")
+  | Ast.St_create_view { name; materialized; query = q } ->
+    Printf.sprintf "CREATE %sVIEW %s AS %s"
+      (if materialized then "MATERIALIZED " else "")
+      name (query q)
+  | Ast.St_insert { table; columns; rows } ->
+    Printf.sprintf "INSERT INTO %s%s VALUES %s" table
+      (if columns = [] then "" else Printf.sprintf " (%s)" (String.concat ", " columns))
+      (String.concat ", "
+         (List.map
+            (fun row -> Printf.sprintf "(%s)" (String.concat ", " (List.map expr row)))
+            rows))
+  | Ast.St_update { table; assignments; where } ->
+    Printf.sprintf "UPDATE %s SET %s%s" table
+      (String.concat ", "
+         (List.map (fun (c, e) -> Printf.sprintf "%s = %s" c (expr e)) assignments))
+      (match where with None -> "" | Some e -> " WHERE " ^ expr e)
+  | Ast.St_delete { table; where } ->
+    Printf.sprintf "DELETE FROM %s%s" table
+      (match where with None -> "" | Some e -> " WHERE " ^ expr e)
+  | Ast.St_drop_table { name; if_exists } ->
+    Printf.sprintf "DROP TABLE %s%s" (if if_exists then "IF EXISTS " else "") name
+  | Ast.St_drop_view { name; if_exists } ->
+    Printf.sprintf "DROP VIEW %s%s" (if if_exists then "IF EXISTS " else "") name
+  | Ast.St_refresh_view name -> Printf.sprintf "REFRESH MATERIALIZED VIEW %s" name
+  | Ast.St_explain s -> "EXPLAIN " ^ statement s
+  | Ast.St_explain_analyze s -> "EXPLAIN ANALYZE " ^ statement s

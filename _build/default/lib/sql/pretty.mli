@@ -1,0 +1,15 @@
+(** Pretty-printing of the SQL AST back to SQL text.
+
+    The output re-parses to an equivalent AST (round-trip tested); used
+    by EXPLAIN, the view catalog and error messages. *)
+
+val literal : Ast.literal -> string
+val expr : Ast.expr -> string
+val window : Ast.window_fn -> string
+val order_item : Ast.order_item -> string
+val select_item : Ast.select_item -> string
+val table_ref : Ast.table_ref -> string
+val select : Ast.select -> string
+val query_body : Ast.query_body -> string
+val query : Ast.query -> string
+val statement : Ast.statement -> string

@@ -1,0 +1,1 @@
+lib/workload/prng.ml: Array Float Int64 List

@@ -1,0 +1,1 @@
+lib/workload/seqgen.ml: Array Dtype Printf Prng Rfview_core Rfview_engine Rfview_relalg Row Schema Value

@@ -1,0 +1,1 @@
+lib/workload/seqgen.mli: Rfview_core Rfview_engine Rfview_relalg

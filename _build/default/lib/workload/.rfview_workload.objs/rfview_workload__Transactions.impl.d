@@ -1,0 +1,1 @@
+lib/workload/transactions.ml: Array Dtype Float List Printf Prng Rfview_engine Rfview_relalg Row Schema Value

@@ -1,0 +1,1 @@
+lib/workload/transactions.mli: Rfview_engine Rfview_relalg Schema

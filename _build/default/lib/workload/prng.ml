@@ -1,0 +1,54 @@
+(* SplitMix64: a small, fast, deterministic PRNG.  Benchmarks and examples
+   must be reproducible run-to-run, so nothing in this repository uses the
+   stdlib's global [Random] state. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* keep 62 bits so the value fits OCaml's 63-bit int non-negatively *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+(* Uniform int in [lo, hi] inclusive. *)
+let int_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Prng.int_range: empty range";
+  lo + int t (hi - lo + 1)
+
+(* Uniform float in [0, 1). *)
+let float t =
+  Int64.to_float (Int64.shift_right_logical (next_int64 t) 11)
+  /. 9007199254740992. (* 2^53 *)
+
+let float_range t ~lo ~hi = lo +. ((hi -. lo) *. float t)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let choose t items =
+  match items with
+  | [] -> invalid_arg "Prng.choose: empty list"
+  | _ -> List.nth items (int t (List.length items))
+
+(* Gaussian via Box-Muller (one value per call; simple and adequate). *)
+let gaussian t ~mean ~stddev =
+  let u1 = Float.max 1e-12 (float t) and u2 = float t in
+  mean +. (stddev *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

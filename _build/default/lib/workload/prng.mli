@@ -1,0 +1,30 @@
+(** SplitMix64: a small, fast, deterministic PRNG.
+
+    Benchmarks and examples must be reproducible run-to-run, so nothing
+    in this repository uses the stdlib's global [Random] state. *)
+
+type t
+
+val create : seed:int -> t
+val next_int64 : t -> int64
+
+(** Uniform in [[0, bound)].  @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** Uniform in [[lo, hi]] inclusive. *)
+val int_range : t -> lo:int -> hi:int -> int
+
+(** Uniform in [[0, 1)]. *)
+val float : t -> float
+
+val float_range : t -> lo:float -> hi:float -> float
+val bool : t -> bool
+
+(** @raise Invalid_argument on an empty list. *)
+val choose : t -> 'a list -> 'a
+
+(** Box-Muller. *)
+val gaussian : t -> mean:float -> stddev:float -> float
+
+(** In-place Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,50 @@
+(* Sequence-table generators: the (pos, val) tables of the paper's
+   evaluation (Tables 1 and 2). *)
+
+open Rfview_relalg
+module Core = Rfview_core
+module Db = Rfview_engine.Database
+
+type distribution =
+  | Uniform of { lo : float; hi : float }
+  | Gaussian of { mean : float; stddev : float }
+  | Integers of { lo : int; hi : int }
+
+let sample prng = function
+  | Uniform { lo; hi } -> Prng.float_range prng ~lo ~hi
+  | Gaussian { mean; stddev } -> Prng.gaussian prng ~mean ~stddev
+  | Integers { lo; hi } -> float_of_int (Prng.int_range prng ~lo ~hi)
+
+(* Raw values for a sequence of length n. *)
+let raw_values ?(seed = 42) ?(dist = Integers { lo = -50; hi = 50 }) n :
+    float array =
+  let prng = Prng.create ~seed in
+  Array.init n (fun _ -> sample prng dist)
+
+let seq_schema =
+  Schema.make [ Schema.column "pos" Dtype.Int; Schema.column "val" Dtype.Float ]
+
+let seq_rows (values : float array) : Row.t array =
+  Array.mapi (fun i v -> [| Value.Int (i + 1); Value.Float v |]) values
+
+(* Create and fill a (pos, val) sequence table. *)
+let create_seq_table ?(name = "seq") ?(indexed = false) db (values : float array) =
+  ignore (Db.exec db (Printf.sprintf "CREATE TABLE %s (pos INT, val FLOAT)" name));
+  Db.load_table db ~table:name (seq_rows values);
+  if indexed then
+    ignore (Db.exec db (Printf.sprintf "CREATE INDEX %s_pos ON %s (pos)" name name))
+
+(* Create and fill a table holding a *complete* materialized sequence
+   (header and trailer included), as required by the derivation patterns
+   of §3.2. *)
+let create_matseq_table ?(name = "matseq") ?(indexed = false) db
+    (seq : Core.Seqdata.t) =
+  ignore (Db.exec db (Printf.sprintf "CREATE TABLE %s (pos INT, val FLOAT)" name));
+  let lo = Core.Seqdata.stored_lo seq and hi = Core.Seqdata.stored_hi seq in
+  let rows =
+    Array.init (hi - lo + 1) (fun i ->
+        [| Value.Int (lo + i); Value.Float (Core.Seqdata.get seq (lo + i)) |])
+  in
+  Db.load_table db ~table:name rows;
+  if indexed then
+    ignore (Db.exec db (Printf.sprintf "CREATE INDEX %s_pos ON %s (pos)" name name))

@@ -1,0 +1,25 @@
+(** Sequence-table generators: the (pos, val) tables of the paper's
+    evaluation (Tables 1 and 2). *)
+
+module Core := Rfview_core
+module Db := Rfview_engine.Database
+
+type distribution =
+  | Uniform of { lo : float; hi : float }
+  | Gaussian of { mean : float; stddev : float }
+  | Integers of { lo : int; hi : int }
+      (** integer-valued floats: keeps float sums exact in tests *)
+
+(** Deterministic raw values (default seed 42, small integers). *)
+val raw_values : ?seed:int -> ?dist:distribution -> int -> float array
+
+val seq_schema : Rfview_relalg.Schema.t
+val seq_rows : float array -> Rfview_relalg.Row.t array
+
+(** Create and fill a (pos INT, val FLOAT) table named [name] (default
+    ["seq"]); [indexed] adds an ordered index on [pos]. *)
+val create_seq_table : ?name:string -> ?indexed:bool -> Db.t -> float array -> unit
+
+(** Store a {e complete} materialized sequence (header and trailer
+    included, §3.2) in a table (default ["matseq"]). *)
+val create_matseq_table : ?name:string -> ?indexed:bool -> Db.t -> Core.Seqdata.t -> unit

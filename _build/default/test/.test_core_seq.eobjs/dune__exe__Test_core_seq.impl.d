@@ -1,0 +1,1 @@
+test/test_core_seq.ml: Agg Alcotest Array Compute Float Format Frame List Maintain Printf QCheck QCheck_alcotest Reconstruct Rfview_core Seqdata

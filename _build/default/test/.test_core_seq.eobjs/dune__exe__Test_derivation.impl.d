@@ -1,0 +1,1 @@
+test/test_derivation.ml: Agg Alcotest Array Compute Derive Format Frame List Maxoa Minoa Position Printf QCheck QCheck_alcotest Reporting Rfview_core Seqdata String

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Buffer Float Hashtbl List Printf QCheck QCheck_alcotest Relation Rfview_core Rfview_engine Rfview_planner Rfview_relalg Rfview_sql Row String Value

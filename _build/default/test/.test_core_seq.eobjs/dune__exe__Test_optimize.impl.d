@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Array Gen Printf QCheck QCheck_alcotest Relation Rfview_engine Rfview_planner Rfview_relalg Row String Value

@@ -1,0 +1,1 @@
+test/test_planner.ml: Alcotest Array Gen List Printf QCheck QCheck_alcotest Relation Rfview_engine Rfview_planner Rfview_relalg Row String Value Window

@@ -1,0 +1,1 @@
+test/test_relalg.ml: Aggregate Alcotest Array Dtype Expr Gen Groupop Index Joinop List Ops QCheck QCheck_alcotest Relation Rfview_relalg Row Schema Sortop Value

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest List QCheck QCheck_alcotest Rfview_core Rfview_planner Rfview_sql

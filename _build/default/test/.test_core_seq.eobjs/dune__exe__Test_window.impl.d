@@ -1,0 +1,1 @@
+test/test_window.ml: Aggregate Alcotest Array Dtype Expr Float Gen List Printf QCheck QCheck_alcotest Relation Rfview_relalg Row Schema Sortop Value Window

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float Fun Relation Rfview_core Rfview_engine Rfview_relalg Rfview_workload Row Schema Value

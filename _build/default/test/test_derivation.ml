@@ -1,0 +1,496 @@
+(* Tests of the derivation algorithms: MaxOA (§4), MinOA (§5), the
+   cumulative rules (§3) and the reporting-sequence reductions (§6). *)
+
+open Rfview_core
+
+(* Compare the derived sequence with a direct computation of the target
+   frame from raw data, over the full complete range of the target. *)
+let check_against_direct ?(agg = Agg.Sum) raw target_frame derived =
+  let direct = Compute.naive ~agg target_frame raw in
+  if not (Seqdata.equal ~eps:1e-6 direct derived) then
+    Alcotest.failf "derivation mismatch:@.direct  %s@.derived %s"
+      (Format.asprintf "%a" Seqdata.pp direct)
+      (Format.asprintf "%a" Seqdata.pp derived)
+
+let prop_against_direct ?(agg = Agg.Sum) raw target_frame derived =
+  let direct = Compute.naive ~agg target_frame raw in
+  Seqdata.equal ~eps:1e-6 direct derived
+
+let raw_of_ints ints = Seqdata.raw_of_array (Array.of_list (List.map float_of_int ints))
+
+let gen_raw =
+  QCheck.Gen.(
+    let* n = int_range 0 60 in
+    let* data = array_size (return n) (map float_of_int (int_range (-40) 40)) in
+    return (Seqdata.raw_of_array data))
+
+let print_raw r =
+  Format.asprintf "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       (fun ppf v -> Format.fprintf ppf "%g" v))
+    (Array.to_list (Seqdata.raw_to_array r))
+
+let qtest ?(count = 400) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+(* ---- §3.1: deriving from cumulative views ---- *)
+
+let gen_cumulative_case =
+  QCheck.Gen.(
+    let* raw = gen_raw in
+    let* l = int_range 0 6 in
+    let* h = int_range 0 6 in
+    return (raw, l, h))
+
+let arb_cumulative_case =
+  QCheck.make gen_cumulative_case ~print:(fun (raw, l, h) ->
+      Printf.sprintf "%s l=%d h=%d" (print_raw raw) l h)
+
+let prop_sliding_from_cumulative (raw, l, h) =
+  let view = Compute.sequence Frame.Cumulative raw in
+  let derived = Derive.sliding_from_cumulative view ~l ~h in
+  prop_against_direct raw (Frame.sliding ~l ~h) derived
+
+let prop_cumulative_from_sliding (raw, l, h) =
+  let view = Compute.sequence (Frame.sliding ~l ~h) raw in
+  let derived = Derive.cumulative_from_sliding view in
+  prop_against_direct raw Frame.Cumulative derived
+
+(* The worked example of Fig. 5: ỹ = (2,1) from a cumulative view. *)
+let test_fig5_example () =
+  let raw = raw_of_ints [ 3; 1; 4; 1; 5; 9; 2 ] in
+  let view = Compute.sequence Frame.Cumulative raw in
+  let derived = Derive.sliding_from_cumulative view ~l:2 ~h:1 in
+  check_against_direct raw (Frame.sliding ~l:2 ~h:1) derived
+
+(* ---- §4: MaxOA ---- *)
+
+(* Cases satisfying the sound single-sided range 1 <= ∆l <= lx+h. *)
+let gen_maxoa_left_case =
+  QCheck.Gen.(
+    let* raw = gen_raw in
+    let* lx = int_range 0 4 in
+    let* h = int_range 0 4 in
+    if lx + h = 0 then return (raw, 0, 1, 1)
+    else
+      let* dl = int_range 1 (lx + h) in
+      return (raw, lx, h, lx + dl))
+
+let arb_maxoa_left =
+  QCheck.make gen_maxoa_left_case ~print:(fun (raw, lx, h, ly) ->
+      Printf.sprintf "%s (lx=%d,h=%d) -> ly=%d" (print_raw raw) lx h ly)
+
+let prop_maxoa_left (raw, lx, h, ly) =
+  let view = Compute.sequence (Frame.sliding ~l:lx ~h) raw in
+  prop_against_direct raw (Frame.sliding ~l:ly ~h) (Maxoa.derive_left view ~ly)
+
+let prop_maxoa_left_explicit (raw, lx, h, ly) =
+  let view = Compute.sequence (Frame.sliding ~l:lx ~h) raw in
+  prop_against_direct raw (Frame.sliding ~l:ly ~h) (Maxoa.derive_left_explicit view ~ly)
+
+let prop_maxoa_right (raw, lx, h, ly) =
+  (* mirror the roles: view (h, lx), grow the upper bound *)
+  let view = Compute.sequence (Frame.sliding ~l:h ~h:lx) raw in
+  prop_against_direct raw (Frame.sliding ~l:h ~h:ly) (Maxoa.derive_right view ~hy:ly)
+
+(* Double-sided: both deltas within their sound ranges. *)
+let gen_maxoa_double_case =
+  QCheck.Gen.(
+    let* raw = gen_raw in
+    let* lx = int_range 0 4 in
+    let* hx = int_range 0 4 in
+    let cap = lx + hx in
+    if cap = 0 then return (raw, 0, 0, 0, 0)
+    else
+      let* dl = int_range 0 cap in
+      let* dh = int_range 0 cap in
+      return (raw, lx, hx, lx + dl, hx + dh))
+
+let arb_maxoa_double =
+  QCheck.make gen_maxoa_double_case ~print:(fun (raw, lx, hx, ly, hy) ->
+      Printf.sprintf "%s (%d,%d) -> (%d,%d)" (print_raw raw) lx hx ly hy)
+
+let prop_maxoa_double (raw, lx, hx, ly, hy) =
+  let view = Compute.sequence (Frame.sliding ~l:lx ~h:hx) raw in
+  prop_against_direct raw (Frame.sliding ~l:ly ~h:hy) (Maxoa.derive view ~ly ~hy)
+
+let test_maxoa_paper_precondition () =
+  Alcotest.(check bool) "ly within bound" true
+    (Maxoa.paper_precondition_single ~lx:2 ~h:1 ~ly:4);
+  (* ly = h - 1 + 2lx is the last admissible value *)
+  Alcotest.(check bool) "boundary" true
+    (Maxoa.paper_precondition_single ~lx:2 ~h:1 ~ly:4);
+  Alcotest.(check bool) "too wide" false
+    (Maxoa.paper_precondition_single ~lx:2 ~h:1 ~ly:5)
+
+let test_maxoa_rejects_shrink () =
+  let raw = raw_of_ints [ 1; 2; 3; 4; 5 ] in
+  let view = Compute.sequence (Frame.sliding ~l:2 ~h:1) raw in
+  let raised = ref false in
+  (try ignore (Maxoa.derive view ~ly:1 ~hy:1)
+   with Maxoa.Not_derivable _ -> raised := true);
+  Alcotest.(check bool) "shrinking rejected" true !raised
+
+let test_maxoa_rejects_too_wide () =
+  let raw = raw_of_ints [ 1; 2; 3; 4; 5 ] in
+  let view = Compute.sequence (Frame.sliding ~l:1 ~h:1) raw in
+  let raised = ref false in
+  (* ∆l = 3 > lx + h = 2 *)
+  (try ignore (Maxoa.derive_left view ~ly:4)
+   with Maxoa.Not_derivable _ -> raised := true);
+  Alcotest.(check bool) "over-wide rejected" true !raised
+
+(* Worked example of Fig. 6: ỹ = (3,1) from x̃ = (2,1). *)
+let test_fig6_example () =
+  let raw = raw_of_ints [ 2; 7; 1; 8; 2; 8; 1; 8; 2; 8; 4; 5 ] in
+  let view = Compute.sequence (Frame.sliding ~l:2 ~h:1) raw in
+  check_against_direct raw (Frame.sliding ~l:3 ~h:1) (Maxoa.derive_left view ~ly:3)
+
+(* MIN/MAX derivation (§4.2). *)
+let gen_minmax_case =
+  QCheck.Gen.(
+    let* raw = gen_raw in
+    let* agg = oneofl [ Agg.Min; Agg.Max ] in
+    let* lx = int_range 0 4 in
+    let* hx = int_range 0 4 in
+    let cap = lx + hx in
+    let* dl = int_range 0 cap in
+    let* dh = int_range 0 (cap - dl) in
+    return (raw, agg, lx, hx, lx + dl, hx + dh))
+
+let arb_minmax =
+  QCheck.make gen_minmax_case ~print:(fun (raw, agg, lx, hx, ly, hy) ->
+      Printf.sprintf "%s %s (%d,%d) -> (%d,%d)" (print_raw raw) (Agg.name agg) lx hx ly
+        hy)
+
+let prop_maxoa_minmax (raw, agg, lx, hx, ly, hy) =
+  let view = Compute.sequence ~agg (Frame.sliding ~l:lx ~h:hx) raw in
+  prop_against_direct ~agg raw (Frame.sliding ~l:ly ~h:hy)
+    (Maxoa.derive_minmax view ~ly ~hy)
+
+let test_minmax_coverage_rejected () =
+  let raw = raw_of_ints [ 1; 2; 3; 4; 5; 6 ] in
+  let view = Compute.sequence ~agg:Agg.Max (Frame.sliding ~l:1 ~h:1) raw in
+  let raised = ref false in
+  (* ∆l + ∆h = 3 > lx + hx = 2: the two view windows cannot cover *)
+  (try ignore (Maxoa.derive_minmax view ~ly:3 ~hy:2)
+   with Maxoa.Not_derivable _ -> raised := true);
+  Alcotest.(check bool) "coverage rejected" true !raised
+
+(* ---- §5: MinOA ---- *)
+
+(* MinOA has no window-size precondition: any target shape works. *)
+let gen_minoa_case =
+  QCheck.Gen.(
+    let* raw = gen_raw in
+    let* lx = int_range 0 4 in
+    let* hx = int_range 0 4 in
+    let* ly = int_range 0 9 in
+    let* hy = int_range 0 9 in
+    return (raw, lx, hx, ly, hy))
+
+let arb_minoa =
+  QCheck.make gen_minoa_case ~print:(fun (raw, lx, hx, ly, hy) ->
+      Printf.sprintf "%s (%d,%d) -> (%d,%d)" (print_raw raw) lx hx ly hy)
+
+let prop_minoa (raw, lx, hx, ly, hy) =
+  let view = Compute.sequence (Frame.sliding ~l:lx ~h:hx) raw in
+  prop_against_direct raw (Frame.sliding ~l:ly ~h:hy) (Minoa.derive view ~l:ly ~h:hy)
+
+let prop_minoa_explicit (raw, lx, hx, ly, hy) =
+  let view = Compute.sequence (Frame.sliding ~l:lx ~h:hx) raw in
+  prop_against_direct raw (Frame.sliding ~l:ly ~h:hy)
+    (Minoa.derive_explicit view ~l:ly ~h:hy)
+
+let test_minoa_rejects_minmax () =
+  let raw = raw_of_ints [ 1; 2; 3 ] in
+  let view = Compute.sequence ~agg:Agg.Min (Frame.sliding ~l:1 ~h:1) raw in
+  let raised = ref false in
+  (try ignore (Minoa.derive view ~l:2 ~h:1)
+   with Minoa.Not_derivable _ -> raised := true);
+  Alcotest.(check bool) "MIN rejected by MinOA" true !raised
+
+(* MaxOA and MinOA agree wherever both apply (§7: no clear winner, same
+   results). *)
+let prop_maxoa_eq_minoa (raw, lx, hx, ly, hy) =
+  let view = Compute.sequence (Frame.sliding ~l:lx ~h:hx) raw in
+  Seqdata.equal ~eps:1e-6 (Maxoa.derive view ~ly ~hy) (Minoa.derive view ~l:ly ~h:hy)
+
+(* ---- Chained derivation ----
+
+   Derived sequences are complete, so they can serve as views themselves:
+   view -> intermediate -> final must equal the direct computation. *)
+
+let gen_chain_case =
+  QCheck.Gen.(
+    let* raw = gen_raw in
+    let* l0 = int_range 0 3 in
+    let* h0 = int_range 0 3 in
+    let* dl1 = int_range 0 3 in
+    let* dh1 = int_range 0 3 in
+    let* dl2 = int_range 0 3 in
+    let* dh2 = int_range 0 3 in
+    return (raw, l0, h0, l0 + dl1, h0 + dh1, l0 + dl1 + dl2, h0 + dh1 + dh2))
+
+let arb_chain =
+  QCheck.make gen_chain_case ~print:(fun (raw, l0, h0, l1, h1, l2, h2) ->
+      Printf.sprintf "%s (%d,%d)->(%d,%d)->(%d,%d)" (print_raw raw) l0 h0 l1 h1 l2 h2)
+
+let prop_chained_minoa (raw, l0, h0, l1, h1, l2, h2) =
+  let v0 = Compute.sequence (Frame.sliding ~l:l0 ~h:h0) raw in
+  let v1 = Minoa.derive v0 ~l:l1 ~h:h1 in
+  let v2 = Minoa.derive v1 ~l:l2 ~h:h2 in
+  prop_against_direct raw (Frame.sliding ~l:l2 ~h:h2) v2
+
+let prop_chained_mixed (raw, l0, h0, l1, h1, l2, h2) =
+  (* MinOA step then, when admissible, a MaxOA step *)
+  let v0 = Compute.sequence (Frame.sliding ~l:l0 ~h:h0) raw in
+  let v1 = Minoa.derive v0 ~l:l1 ~h:h1 in
+  let dl = l2 - l1 and dh = h2 - h1 in
+  if (dl > 0 && dl > l1 + h1) || (dh > 0 && dh > h1 + l1) then true
+  else
+    prop_against_direct raw (Frame.sliding ~l:l2 ~h:h2) (Maxoa.derive v1 ~ly:l2 ~hy:h2)
+
+let prop_chain_through_cumulative (raw, l0, h0, l1, h1, _, _) =
+  (* sliding -> cumulative -> sliding round trip *)
+  let v0 = Compute.sequence (Frame.sliding ~l:l0 ~h:h0) raw in
+  let cum = Derive.cumulative_from_sliding v0 in
+  prop_against_direct raw (Frame.sliding ~l:l1 ~h:h1)
+    (Derive.sliding_from_cumulative cum ~l:l1 ~h:h1)
+
+(* ---- Dispatcher ---- *)
+
+let gen_dispatch_case =
+  QCheck.Gen.(
+    let* raw = gen_raw in
+    let* view_frame =
+      frequency
+        [ (1, return Frame.Cumulative);
+          (3, let* l = int_range 0 4 in let* h = int_range 0 4 in
+              return (Frame.sliding ~l ~h)) ]
+    in
+    let* query_frame =
+      frequency
+        [ (1, return Frame.Cumulative);
+          (3, let* l = int_range 0 8 in let* h = int_range 0 8 in
+              return (Frame.sliding ~l ~h)) ]
+    in
+    return (raw, view_frame, query_frame))
+
+let arb_dispatch =
+  QCheck.make gen_dispatch_case ~print:(fun (raw, vf, qf) ->
+      Printf.sprintf "%s view=%s query=%s" (print_raw raw) (Frame.to_string vf)
+        (Frame.to_string qf))
+
+let prop_dispatch (raw, view_frame, query_frame) =
+  let view = Compute.sequence view_frame raw in
+  match Derive.applicable_strategies ~view_frame ~view_agg:Agg.Sum ~query_frame with
+  | [] -> true
+  | strategies ->
+    List.for_all
+      (fun s ->
+        prop_against_direct raw query_frame (Derive.run s view query_frame))
+      strategies
+
+let test_dispatch_strategies () =
+  let open Derive in
+  Alcotest.(check (list string)) "cumulative -> sliding" [ "cumulative-difference" ]
+    (List.map strategy_name
+       (applicable_strategies ~view_frame:Frame.Cumulative ~view_agg:Agg.Sum
+          ~query_frame:(Frame.sliding ~l:2 ~h:1)));
+  Alcotest.(check (list string)) "sliding growth" [ "MinOA"; "MaxOA" ]
+    (List.map strategy_name
+       (applicable_strategies ~view_frame:(Frame.sliding ~l:2 ~h:1) ~view_agg:Agg.Sum
+          ~query_frame:(Frame.sliding ~l:3 ~h:2)));
+  Alcotest.(check (list string)) "sliding shrink: MinOA only" [ "MinOA" ]
+    (List.map strategy_name
+       (applicable_strategies ~view_frame:(Frame.sliding ~l:2 ~h:1) ~view_agg:Agg.Sum
+          ~query_frame:(Frame.sliding ~l:1 ~h:0)));
+  Alcotest.(check (list string)) "min view" [ "MaxOA-minmax" ]
+    (List.map strategy_name
+       (applicable_strategies ~view_frame:(Frame.sliding ~l:2 ~h:1) ~view_agg:Agg.Min
+          ~query_frame:(Frame.sliding ~l:3 ~h:1)))
+
+(* ---- §6: position function and reductions ---- *)
+
+let test_position_roundtrip () =
+  let sp = Position.create [ 3; 4; 2 ] in
+  Alcotest.(check int) "size" 24 (Position.size sp);
+  Alcotest.(check int) "pos(1,1,1)" 1 (Position.pos sp [| 1; 1; 1 |]);
+  Alcotest.(check int) "pos(3,4,2)" 24 (Position.pos sp [| 3; 4; 2 |]);
+  Alcotest.(check int) "pos(2,4,2)" 16 (Position.pos sp [| 2; 4; 2 |]);
+  for p = 1 to 24 do
+    Alcotest.(check int) "roundtrip" p (Position.pos sp (Position.coords sp p))
+  done
+
+let test_position_groups () =
+  let sp = Position.create [ 3; 4; 2 ] in
+  (* dropping the last column: group of prefix (2,3) *)
+  Alcotest.(check (pair int int)) "group range" (13, 14)
+    (Position.group_range sp ~keep:2 (Position.pos (Position.reduced sp ~keep:2) [| 2; 3 |]));
+  Alcotest.(check int) "first of prefix" 9 (Position.first_of_prefix sp [| 2 |]);
+  Alcotest.(check int) "last of prefix" 16 (Position.last_of_prefix sp [| 2 |])
+
+let test_position_invalid () =
+  let sp = Position.create [ 2; 2 ] in
+  let raised = ref false in
+  (try ignore (Position.pos sp [| 3; 1 |])
+   with Position.Invalid_coordinates _ -> raised := true);
+  Alcotest.(check bool) "out of range" true !raised
+
+(* Ordering reduction: collapse the last ordering column and check against
+   direct computation on collapsed data. *)
+let gen_ordering_case =
+  QCheck.Gen.(
+    let* d1 = int_range 1 5 in
+    let* d2 = int_range 1 4 in
+    let* d3 = int_range 1 3 in
+    let size = d1 * d2 * d3 in
+    let* data = array_size (return size) (map float_of_int (int_range (-20) 20)) in
+    let* keep = int_range 1 2 in
+    let* fl = int_range 0 3 in
+    let* fh = int_range 0 3 in
+    let* cum = bool in
+    let target = if cum then Frame.Cumulative else Frame.sliding ~l:fl ~h:fh in
+    let* vl = int_range 0 3 in
+    let* vh = int_range 0 3 in
+    return ([ d1; d2; d3 ], data, keep, Frame.sliding ~l:vl ~h:vh, target))
+
+let arb_ordering =
+  QCheck.make gen_ordering_case ~print:(fun (dims, _, keep, vf, tf) ->
+      Printf.sprintf "dims=%s keep=%d view=%s target=%s"
+        (String.concat "x" (List.map string_of_int dims))
+        keep (Frame.to_string vf) (Frame.to_string tf))
+
+let prop_ordering_reduction (dims, data, keep, view_frame, target_frame) =
+  let sp = Position.create dims in
+  let raw = Seqdata.raw_of_array data in
+  let view = Reporting.compute view_frame sp [ ([ "p" ], raw) ] in
+  let reduced = Reporting.ordering_reduction view ~keep ~target_frame in
+  (* reference: collapse trailing columns by summing groups, then compute *)
+  let red_space = Position.reduced sp ~keep in
+  let coarse_n = Position.size red_space in
+  let collapsed =
+    Array.init coarse_n (fun i ->
+        let a, b = Position.group_range sp ~keep (i + 1) in
+        let s = ref 0. in
+        for p = a to b do
+          s := !s +. Seqdata.raw_get raw p
+        done;
+        !s)
+  in
+  let reference = Compute.naive target_frame (Seqdata.raw_of_array collapsed) in
+  match Reporting.find_partition reduced [ "p" ] with
+  | None -> false
+  | Some seq -> Seqdata.equal ~eps:1e-6 reference seq
+
+(* Partitioning reduction: merge partitions and check against direct
+   computation on concatenated data. *)
+let gen_partition_case =
+  QCheck.Gen.(
+    let* nparts = int_range 1 5 in
+    let* plen = int_range 1 8 in
+    let* parts =
+      list_size (return nparts)
+        (array_size (return plen) (map float_of_int (int_range (-20) 20)))
+    in
+    let* agg = oneofl [ Agg.Sum; Agg.Min; Agg.Max ] in
+    let* cum = bool in
+    let* l = int_range 0 4 in
+    let* h = int_range 0 4 in
+    let frame = if cum then Frame.Cumulative else Frame.sliding ~l ~h in
+    (* group partitions pairwise: 0,1 -> A; 2,3 -> B; ... *)
+    return (parts, agg, frame))
+
+let arb_partition =
+  QCheck.make gen_partition_case ~print:(fun (parts, agg, frame) ->
+      Printf.sprintf "%d parts of %d, %s %s" (List.length parts)
+        (match parts with p :: _ -> Array.length p | [] -> 0)
+        (Agg.name agg) (Frame.to_string frame))
+
+let prop_partitioning_reduction (parts, agg, frame) =
+  let keyed =
+    List.mapi (fun i data -> ([ string_of_int i ], Seqdata.raw_of_array data)) parts
+  in
+  let group key =
+    match key with
+    | [ k ] -> [ string_of_int (int_of_string k / 2) ]
+    | _ -> key
+  in
+  let view = Reporting.compute ~agg frame (Position.create [ List.length parts |> fun _ ->
+    (match parts with p :: _ -> Array.length p | [] -> 1) ]) keyed in
+  let reduced = Reporting.partitioning_reduction view ~group in
+  let reference = Reporting.recompute_merged ~agg frame keyed ~group in
+  List.for_all2
+    (fun (k1, s1) (k2, s2) -> k1 = k2 && Seqdata.equal ~eps:1e-6 s1 s2)
+    reference (Reporting.partitions reduced)
+
+let test_partitioning_requires_complete () =
+  (* Incomplete sequence representations are rejected at construction
+     time, so reporting views are complete by construction. *)
+  let raw = raw_of_ints [ 1; 2; 3; 4 ] in
+  let frame = Frame.sliding ~l:1 ~h:1 in
+  let raised = ref false in
+  (try
+     (* body-only values for n=4 do not cover the complete range [0,6] *)
+     ignore (Seqdata.make frame Agg.Sum ~n:4 ~lo:1 (Array.make 4 0.))
+   with Invalid_argument _ -> raised := true);
+  Alcotest.(check bool) "incomplete representation rejected" true !raised;
+  Alcotest.(check bool) "complete by construction" true
+    (Reporting.is_complete
+       (Reporting.compute frame (Position.create [ 4 ]) [ ([ "a" ], raw) ]))
+
+(* ---- Suite ---- *)
+
+let () =
+  Alcotest.run "derivation"
+    [
+      ( "cumulative",
+        [
+          Alcotest.test_case "fig5 example" `Quick test_fig5_example;
+          qtest "sliding from cumulative" arb_cumulative_case prop_sliding_from_cumulative;
+          qtest "cumulative from sliding" arb_cumulative_case prop_cumulative_from_sliding;
+        ] );
+      ( "maxoa",
+        [
+          Alcotest.test_case "paper precondition" `Quick test_maxoa_paper_precondition;
+          Alcotest.test_case "rejects shrinking" `Quick test_maxoa_rejects_shrink;
+          Alcotest.test_case "rejects over-wide" `Quick test_maxoa_rejects_too_wide;
+          Alcotest.test_case "fig6 example" `Quick test_fig6_example;
+          Alcotest.test_case "minmax coverage" `Quick test_minmax_coverage_rejected;
+          qtest "single-sided left" arb_maxoa_left prop_maxoa_left;
+          qtest "single-sided left, explicit form" arb_maxoa_left prop_maxoa_left_explicit;
+          qtest "single-sided right (mirrored)" arb_maxoa_left prop_maxoa_right;
+          qtest "double-sided" arb_maxoa_double prop_maxoa_double;
+          qtest "MIN/MAX" arb_minmax prop_maxoa_minmax;
+        ] );
+      ( "minoa",
+        [
+          Alcotest.test_case "rejects MIN/MAX" `Quick test_minoa_rejects_minmax;
+          qtest "fast form" arb_minoa prop_minoa;
+          qtest "explicit form" arb_minoa prop_minoa_explicit;
+          qtest "MaxOA = MinOA where both apply" arb_maxoa_double prop_maxoa_eq_minoa;
+        ] );
+      ( "chained",
+        [
+          qtest ~count:300 "MinOA twice" arb_chain prop_chained_minoa;
+          qtest ~count:300 "MinOA then MaxOA" arb_chain prop_chained_mixed;
+          qtest ~count:300 "through cumulative" arb_chain prop_chain_through_cumulative;
+        ] );
+      ( "dispatch",
+        [
+          Alcotest.test_case "strategy table" `Quick test_dispatch_strategies;
+          qtest "all applicable strategies correct" arb_dispatch prop_dispatch;
+        ] );
+      ( "reporting",
+        [
+          Alcotest.test_case "position roundtrip" `Quick test_position_roundtrip;
+          Alcotest.test_case "position groups" `Quick test_position_groups;
+          Alcotest.test_case "position invalid" `Quick test_position_invalid;
+          Alcotest.test_case "complete by construction" `Quick
+            test_partitioning_requires_complete;
+          qtest ~count:200 "ordering reduction" arb_ordering prop_ordering_reduction;
+          qtest ~count:200 "partitioning reduction" arb_partition
+            prop_partitioning_reduction;
+        ] );
+    ]

@@ -1,0 +1,153 @@
+(* Tests of the logical optimizer (predicate pushdown) and of the
+   engine's error handling (failure injection). *)
+
+open Rfview_relalg
+module Db = Rfview_engine.Database
+module P = Rfview_planner
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let db3 () =
+  let db = Db.create () in
+  ignore (Db.exec db "CREATE TABLE a (x INT, u INT)");
+  ignore (Db.exec db "CREATE TABLE b (y INT, v INT)");
+  ignore (Db.exec db "CREATE TABLE c (z INT, w INT)");
+  ignore (Db.exec db "INSERT INTO a VALUES (1, 10), (2, 20), (3, 30)");
+  ignore (Db.exec db "INSERT INTO b VALUES (1, 100), (2, 200), (4, 400)");
+  ignore (Db.exec db "INSERT INTO c VALUES (1, 7), (3, 9)");
+  db
+
+(* ---- Pushdown shapes ---- *)
+
+let test_pushdown_into_join () =
+  let db = db3 () in
+  let e = Db.explain db "SELECT x FROM a, b WHERE x = y AND u > 15" in
+  (* the equality reached the join (hash), the left-only filter sank below *)
+  Alcotest.(check bool) "hash join chosen" true (contains e "[hash]");
+  Alcotest.(check bool) "filter below join" true
+    (contains e "Filter (($1 > 15))" || contains e "Filter ($1 > 15)")
+
+let test_pushdown_three_way () =
+  let db = db3 () in
+  let r =
+    Db.query db
+      "SELECT x, v, w FROM a, b, c WHERE x = y AND x = z ORDER BY x"
+  in
+  Alcotest.(check int) "rows" 1 (Relation.cardinality r);
+  let row = (Relation.rows r).(0) in
+  Alcotest.(check int) "x" 1 (Value.to_int (Row.get row 0));
+  Alcotest.(check int) "v" 100 (Value.to_int (Row.get row 1));
+  Alcotest.(check int) "w" 7 (Value.to_int (Row.get row 2))
+
+let test_left_join_where_not_pushed () =
+  (* a WHERE predicate on the nullable side must not become an ON
+     predicate (it filters after padding) *)
+  let db = db3 () in
+  let with_where =
+    Db.query db
+      "SELECT x, v FROM a LEFT OUTER JOIN b ON x = y WHERE v > 150"
+  in
+  Alcotest.(check int) "where filters padded rows" 1 (Relation.cardinality with_where);
+  let on_pred =
+    Db.query db "SELECT x, v FROM a LEFT OUTER JOIN b ON x = y AND v > 150"
+  in
+  Alcotest.(check int) "on keeps all left rows" 3 (Relation.cardinality on_pred)
+
+(* Random conjunctive queries: the optimizer must not change results. *)
+let prop_pushdown_preserves_semantics =
+  QCheck.Test.make ~count:200 ~name:"pushdown preserves results"
+    QCheck.(
+      make
+        ~print:(fun (c1, c2, c3) -> Printf.sprintf "%s AND %s AND %s" c1 c2 c3)
+        Gen.(
+          let atom =
+            oneofl
+              [ "a.x = b.y"; "a.x < b.y"; "a.u > 15"; "b.v <= 200"; "a.x + 1 = b.y";
+                "MOD(a.u, 3) = MOD(b.v, 3)"; "a.x BETWEEN 1 AND 2"; "b.y IN (1, 2)";
+                "a.x = 2 OR b.y = 1"; "TRUE" ]
+          in
+          triple atom atom atom))
+    (fun (c1, c2, c3) ->
+      let sql =
+        Printf.sprintf "SELECT a.x, b.y FROM a, b WHERE %s AND %s AND %s" c1 c2 c3
+      in
+      (* reference: force nested loops and no index by a fresh db without
+         indexes and hash joins disabled *)
+      let db1 = db3 () in
+      Db.set_hash_join db1 false;
+      let reference = Db.query db1 sql in
+      let db2 = db3 () in
+      ignore (Db.exec db2 "CREATE INDEX bi ON b (y)");
+      let optimized = Db.query db2 sql in
+      Relation.equal_bag reference optimized)
+
+(* ---- Failure injection ---- *)
+
+let test_engine_errors () =
+  let db = db3 () in
+  let engine_fails sql =
+    match Db.exec db sql with
+    | exception Db.Engine_error _ -> true
+    | exception Rfview_engine.Catalog.Catalog_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "insert arity" true
+    (engine_fails "INSERT INTO a (x) VALUES (1, 2)");
+  Alcotest.(check bool) "insert unknown column" true
+    (engine_fails "INSERT INTO a (nope) VALUES (1)");
+  Alcotest.(check bool) "incompatible type" true
+    (engine_fails "INSERT INTO a VALUES ('text', 1)");
+  Alcotest.(check bool) "unknown table update" true
+    (engine_fails "UPDATE nope SET x = 1");
+  Alcotest.(check bool) "duplicate index" true
+    (ignore (Db.exec db "CREATE INDEX i1 ON a (x)");
+     engine_fails "CREATE INDEX i1 ON a (x)");
+  Alcotest.(check bool) "index on unknown column" true
+    (engine_fails "CREATE INDEX i2 ON a (nope)");
+  Alcotest.(check bool) "refresh unknown view" true
+    (engine_fails "REFRESH MATERIALIZED VIEW nope")
+
+let test_runtime_type_errors () =
+  let db = db3 () in
+  let fails sql =
+    match Db.query db sql with
+    | exception Value.Type_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "division by zero" true (fails "SELECT x / 0 FROM a");
+  Alcotest.(check bool) "mod by zero" true (fails "SELECT MOD(x, 0) FROM a");
+  Alcotest.(check bool) "string arithmetic" true (fails "SELECT 'a' + 1 FROM a")
+
+let test_view_dependency_behaviour () =
+  (* dropping a base table leaves a materialized view answering from its
+     last contents; refresh then fails *)
+  let db = db3 () in
+  ignore (Db.exec db "CREATE MATERIALIZED VIEW mv AS SELECT x FROM a");
+  ignore (Db.exec db "DROP TABLE a");
+  Alcotest.(check int) "stale contents still served" 3
+    (Relation.cardinality (Db.query db "SELECT * FROM mv"));
+  Alcotest.(check bool) "refresh now fails" true
+    (match Db.exec db "REFRESH MATERIALIZED VIEW mv" with
+     | exception Rfview_planner.Binder.Bind_error _ -> true
+     | _ -> false)
+
+let () =
+  Alcotest.run "optimize"
+    [
+      ( "pushdown",
+        [
+          Alcotest.test_case "into join" `Quick test_pushdown_into_join;
+          Alcotest.test_case "three-way" `Quick test_pushdown_three_way;
+          Alcotest.test_case "left join semantics" `Quick test_left_join_where_not_pushed;
+          QCheck_alcotest.to_alcotest prop_pushdown_preserves_semantics;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "engine errors" `Quick test_engine_errors;
+          Alcotest.test_case "runtime type errors" `Quick test_runtime_type_errors;
+          Alcotest.test_case "view dependencies" `Quick test_view_dependency_behaviour;
+        ] );
+    ]

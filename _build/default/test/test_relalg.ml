@@ -1,0 +1,368 @@
+(* Tests of the relational substrate: values, expressions, indexes, joins,
+   grouping and the basic operators. *)
+
+open Rfview_relalg
+
+let value_testable =
+  Alcotest.testable Value.pp Value.equal
+
+let check_value = Alcotest.check value_testable
+
+(* ---- Values ---- *)
+
+let test_value_compare () =
+  Alcotest.(check int) "int" (-1) (Value.compare (Value.Int 1) (Value.Int 2));
+  Alcotest.(check int) "cross numeric" 0 (Value.compare (Value.Int 2) (Value.Float 2.));
+  Alcotest.(check int) "null first" (-1) (Value.compare Value.Null (Value.Int 0));
+  Alcotest.(check bool) "sql null compare" true
+    (Value.sql_compare Value.Null (Value.Int 1) = None)
+
+let test_value_arith () =
+  check_value "add ints" (Value.Int 7) (Value.add (Value.Int 3) (Value.Int 4));
+  check_value "add mixed" (Value.Float 7.5) (Value.add (Value.Int 3) (Value.Float 4.5));
+  check_value "null propagates" Value.Null (Value.add Value.Null (Value.Int 1));
+  check_value "neg" (Value.Int (-3)) (Value.neg (Value.Int 3));
+  check_value "div ints" (Value.Int 2) (Value.div (Value.Int 7) (Value.Int 3))
+
+let test_floored_mod () =
+  (* floored MOD keeps residue classes stable at negative positions *)
+  check_value "positive" (Value.Int 2) (Value.modulo (Value.Int 7) (Value.Int 5));
+  check_value "negative" (Value.Int 3) (Value.modulo (Value.Int (-7)) (Value.Int 5));
+  Alcotest.(check bool) "class agreement" true
+    (Value.modulo (Value.Int (-3)) (Value.Int 5) = Value.modulo (Value.Int 2) (Value.Int 5))
+
+let test_dates () =
+  let d = Value.date_of_ymd 2002 2 26 in
+  Alcotest.(check (triple int int int)) "roundtrip" (2002, 2, 26) (Value.ymd_of_date d);
+  Alcotest.(check int) "month" 2 (Value.date_month d);
+  Alcotest.(check string) "render" "2002-02-26" (Value.date_to_string d);
+  Alcotest.(check (option int)) "parse" (Some d) (Value.parse_date "2002-02-26");
+  (* leap years *)
+  Alcotest.(check bool) "2000 leap" true (Value.is_leap_year 2000);
+  Alcotest.(check bool) "1900 not leap" false (Value.is_leap_year 1900);
+  let a = Value.date_of_ymd 2001 12 31 and b = Value.date_of_ymd 2002 1 1 in
+  Alcotest.(check int) "consecutive" 1 (b - a)
+
+let prop_date_roundtrip =
+  QCheck.Test.make ~count:1000 ~name:"date roundtrip"
+    QCheck.(make Gen.(int_range (-200000) 200000))
+    (fun days ->
+      let y, m, d = Value.ymd_of_date days in
+      Value.date_of_ymd y m d = days)
+
+(* ---- Expressions ---- *)
+
+let schema2 =
+  Schema.make [ Schema.column "a" Dtype.Int; Schema.column "b" Dtype.Float ]
+
+let row2 a b : Row.t = [| Value.Int a; Value.Float b |]
+
+let test_expr_eval () =
+  let e = Expr.Binop (Expr.Add, Expr.Col 0, Expr.Const (Value.Int 10)) in
+  check_value "col + const" (Value.Int 13) (Expr.eval (row2 3 0.) e);
+  let c =
+    Expr.Case
+      ( [ (Expr.Binop (Expr.Gt, Expr.Col 0, Expr.Const (Value.Int 0)), Expr.Const (Value.String "pos")) ],
+        Some (Expr.Const (Value.String "nonpos")) )
+  in
+  check_value "case then" (Value.String "pos") (Expr.eval (row2 1 0.) c);
+  check_value "case else" (Value.String "nonpos") (Expr.eval (row2 (-1) 0.) c)
+
+let test_expr_three_valued () =
+  let null = Expr.Const Value.Null in
+  let tru = Expr.Const (Value.Bool true) and fls = Expr.Const (Value.Bool false) in
+  check_value "null and false" (Value.Bool false)
+    (Expr.eval [||] (Expr.Binop (Expr.And, null, fls)));
+  check_value "null and true" Value.Null
+    (Expr.eval [||] (Expr.Binop (Expr.And, null, tru)));
+  check_value "null or true" (Value.Bool true)
+    (Expr.eval [||] (Expr.Binop (Expr.Or, null, tru)));
+  check_value "not null" Value.Null (Expr.eval [||] (Expr.Unop (Expr.Not, null)));
+  Alcotest.(check bool) "filter drops unknown" false (Expr.holds [||] null)
+
+let test_expr_in_between () =
+  let e = Expr.In_list (Expr.Col 0, [ Expr.Const (Value.Int 1); Expr.Const (Value.Int 3) ]) in
+  check_value "in hit" (Value.Bool true) (Expr.eval (row2 3 0.) e);
+  check_value "in miss" (Value.Bool false) (Expr.eval (row2 2 0.) e);
+  let b = Expr.Between (Expr.Col 0, Expr.Const (Value.Int 2), Expr.Const (Value.Int 4)) in
+  check_value "between" (Value.Bool true) (Expr.eval (row2 3 0.) b);
+  check_value "between lo edge" (Value.Bool true) (Expr.eval (row2 2 0.) b);
+  check_value "between miss" (Value.Bool false) (Expr.eval (row2 5 0.) b)
+
+let test_expr_functions () =
+  let coalesce =
+    Expr.Call (Expr.Coalesce, [ Expr.Const Value.Null; Expr.Const (Value.Int 5) ])
+  in
+  check_value "coalesce" (Value.Int 5) (Expr.eval [||] coalesce);
+  let m =
+    Expr.Call (Expr.Month, [ Expr.Const (Value.Date (Value.date_of_ymd 2002 3 1)) ])
+  in
+  check_value "month" (Value.Int 3) (Expr.eval [||] m);
+  check_value "abs" (Value.Int 4)
+    (Expr.eval [||] (Expr.Call (Expr.Abs, [ Expr.Const (Value.Int (-4)) ])));
+  check_value "nullif equal" Value.Null
+    (Expr.eval [||] (Expr.Call (Expr.Nullif, [ Expr.Const (Value.Int 1); Expr.Const (Value.Int 1) ])))
+
+let dtype_testable = Alcotest.testable Dtype.pp Dtype.equal
+
+let test_expr_typing () =
+  Alcotest.(check (option dtype_testable))
+    "int + float" (Some Dtype.Float)
+    (Expr.infer_type schema2 (Expr.Binop (Expr.Add, Expr.Col 0, Expr.Col 1)));
+  Alcotest.(check bool) "conjuncts split" true
+    (List.length
+       (Expr.conjuncts
+          (Expr.Binop
+             ( Expr.And,
+               Expr.Binop (Expr.And, Expr.Const (Value.Bool true), Expr.Const (Value.Bool true)),
+               Expr.Const (Value.Bool true) )))
+    = 3)
+
+(* ---- Schema ---- *)
+
+let test_schema_lookup () =
+  let s =
+    Schema.make
+      [ Schema.column ~rel:"s1" "pos" Dtype.Int;
+        Schema.column ~rel:"s1" "val" Dtype.Float;
+        Schema.column ~rel:"s2" "pos" Dtype.Int ]
+  in
+  Alcotest.(check int) "qualified" 2 (Schema.find s ~rel:"s2" "pos");
+  Alcotest.(check int) "unqualified unique" 1 (Schema.find s "val");
+  Alcotest.(check bool) "ambiguous" true
+    (match Schema.find s "pos" with
+     | exception Schema.Ambiguous_column _ -> true
+     | _ -> false);
+  Alcotest.(check bool) "unknown" true
+    (match Schema.find s "nope" with
+     | exception Schema.Unknown_column _ -> true
+     | _ -> false);
+  Alcotest.(check int) "case insensitive" 1 (Schema.find s "VAL")
+
+(* ---- Index ---- *)
+
+let rows_of_ints ints =
+  Array.of_list (List.map (fun (p, v) -> [| Value.Int p; Value.Float v |]) ints)
+
+let test_index_eq () =
+  let rows = rows_of_ints [ (1, 10.); (2, 20.); (2, 21.); (5, 50.) ] in
+  List.iter
+    (fun kind ->
+      let idx = Index.build kind rows ~key_col:0 in
+      Alcotest.(check (list int)) "eq 2" [ 1; 2 ]
+        (List.sort compare (Index.lookup_eq idx (Value.Int 2)));
+      Alcotest.(check (list int)) "eq missing" [] (Index.lookup_eq idx (Value.Int 3));
+      Alcotest.(check (list int)) "null key" [] (Index.lookup_eq idx Value.Null))
+    [ Index.Hash; Index.Ordered ]
+
+let test_index_range () =
+  let rows = rows_of_ints [ (1, 10.); (2, 20.); (3, 30.); (5, 50.); (8, 80.) ] in
+  let idx = Index.build Index.Ordered rows ~key_col:0 in
+  Alcotest.(check (list int)) "closed range" [ 1; 2; 3 ]
+    (List.sort compare (Index.lookup_range idx ~lo:(Value.Int 2) ~hi:(Value.Int 5) ()));
+  Alcotest.(check (list int)) "open low" [ 0; 1 ]
+    (List.sort compare (Index.lookup_range idx ~hi:(Value.Int 2) ()));
+  Alcotest.(check (list int)) "open high" [ 3; 4 ]
+    (List.sort compare (Index.lookup_range idx ~lo:(Value.Int 4) ()));
+  Alcotest.(check (list int)) "empty" []
+    (Index.lookup_range idx ~lo:(Value.Int 6) ~hi:(Value.Int 7) ())
+
+(* ---- Joins ---- *)
+
+let rel schema rows = Relation.of_array schema (Array.of_list rows)
+
+let seq_schema name =
+  Schema.make
+    [ Schema.column ~rel:name "pos" Dtype.Int; Schema.column ~rel:name "val" Dtype.Float ]
+
+let seq_rel name data =
+  rel (seq_schema name) (List.mapi (fun i v -> [| Value.Int (i + 1); Value.Float v |]) data)
+
+let test_joins_agree () =
+  (* the three algorithms must produce the same bag on an equi-join *)
+  let l = seq_rel "s1" [ 10.; 20.; 30.; 40. ] in
+  let r = seq_rel "s2" [ 1.; 2.; 3.; 4. ] in
+  let cond = Expr.Binop (Expr.Eq, Expr.Col 0, Expr.Col 2) in
+  let nl = Joinop.nested_loop Joinop.Inner l r cond in
+  let hash =
+    Joinop.hash_join Joinop.Inner ~left:l ~right:r ~left_keys:[ Expr.Col 0 ]
+      ~right_keys:[ Expr.Col 0 ] ()
+  in
+  let idx = Index.build Index.Ordered (Relation.rows r) ~key_col:0 in
+  let ij =
+    Joinop.index_join Joinop.Inner ~left:l ~right:r ~index:idx
+      ~probe:(Joinop.Probe_eq (Expr.Col 0)) ()
+  in
+  Alcotest.(check bool) "hash = nl" true (Relation.equal_bag nl hash);
+  Alcotest.(check bool) "index = nl" true (Relation.equal_bag nl ij);
+  Alcotest.(check int) "cardinality" 4 (Relation.cardinality nl)
+
+let test_left_outer () =
+  let l = seq_rel "s1" [ 10.; 20.; 30. ] in
+  let r =
+    rel (seq_schema "s2") [ [| Value.Int 2; Value.Float 200. |] ]
+  in
+  let cond = Expr.Binop (Expr.Eq, Expr.Col 0, Expr.Col 2) in
+  let nl = Joinop.nested_loop Joinop.Left_outer l r cond in
+  Alcotest.(check int) "all left rows kept" 3 (Relation.cardinality nl);
+  let nulls =
+    Array.to_list (Relation.rows nl)
+    |> List.filter (fun row -> Value.is_null (Row.get row 2))
+  in
+  Alcotest.(check int) "two unmatched" 2 (List.length nulls);
+  (* agreement with hash and index variants *)
+  let hash =
+    Joinop.hash_join Joinop.Left_outer ~left:l ~right:r ~left_keys:[ Expr.Col 0 ]
+      ~right_keys:[ Expr.Col 0 ] ()
+  in
+  Alcotest.(check bool) "hash left outer" true (Relation.equal_bag nl hash);
+  let idx = Index.build Index.Hash (Relation.rows r) ~key_col:0 in
+  let ij =
+    Joinop.index_join Joinop.Left_outer ~left:l ~right:r ~index:idx
+      ~probe:(Joinop.Probe_eq (Expr.Col 0)) ()
+  in
+  Alcotest.(check bool) "index left outer" true (Relation.equal_bag nl ij)
+
+let test_range_join () =
+  (* the Fig. 2 self-join shape: s2.pos BETWEEN s1.pos-1 AND s1.pos+1 *)
+  let s = seq_rel "s1" [ 1.; 2.; 3.; 4.; 5. ] in
+  let cond =
+    Expr.Between
+      ( Expr.Col 2,
+        Expr.Binop (Expr.Sub, Expr.Col 0, Expr.Const (Value.Int 1)),
+        Expr.Binop (Expr.Add, Expr.Col 0, Expr.Const (Value.Int 1)) )
+  in
+  let nl = Joinop.nested_loop Joinop.Inner s s cond in
+  let idx = Index.build Index.Ordered (Relation.rows s) ~key_col:0 in
+  let ij =
+    Joinop.index_join Joinop.Inner ~left:s ~right:s ~index:idx
+      ~probe:
+        (Joinop.Probe_range
+           ( Some (Expr.Binop (Expr.Sub, Expr.Col 0, Expr.Const (Value.Int 1))),
+             Some (Expr.Binop (Expr.Add, Expr.Col 0, Expr.Const (Value.Int 1))) ))
+      ()
+  in
+  Alcotest.(check bool) "range join = nested loop" true (Relation.equal_bag nl ij);
+  Alcotest.(check int) "cardinality 3n-2" 13 (Relation.cardinality nl)
+
+let test_probe_in_dedup () =
+  let s = seq_rel "s" [ 1.; 2. ] in
+  let idx = Index.build Index.Hash (Relation.rows s) ~key_col:0 in
+  (* both IN items evaluate to the same key: must not double-count *)
+  let ij =
+    Joinop.index_join Joinop.Inner ~left:s ~right:s ~index:idx
+      ~probe:(Joinop.Probe_in [ Expr.Col 0; Expr.Col 0 ])
+      ()
+  in
+  Alcotest.(check int) "no duplicates" 2 (Relation.cardinality ij)
+
+(* ---- Grouping ---- *)
+
+let test_group_by () =
+  let schema =
+    Schema.make [ Schema.column "g" Dtype.String; Schema.column "v" Dtype.Int ]
+  in
+  let r =
+    rel schema
+      [
+        [| Value.String "a"; Value.Int 1 |];
+        [| Value.String "b"; Value.Int 10 |];
+        [| Value.String "a"; Value.Int 2 |];
+        [| Value.String "b"; Value.Null |];
+      ]
+  in
+  let out =
+    Groupop.group_by ~group:[ Expr.Col 0 ]
+      ~aggs:
+        [
+          { Groupop.kind = Aggregate.Sum; arg = Expr.Col 1; name = "s" };
+          { Groupop.kind = Aggregate.Count; arg = Expr.Col 1; name = "c" };
+          Groupop.star_count "n";
+        ]
+      r
+  in
+  let sorted = Relation.sorted_by_all out in
+  let rows = Relation.to_list sorted in
+  Alcotest.(check int) "two groups" 2 (List.length rows);
+  (match rows with
+   | [ ra; rb ] ->
+     check_value "sum a" (Value.Int 3) (Row.get ra 1);
+     check_value "count a" (Value.Int 2) (Row.get ra 2);
+     check_value "star a" (Value.Int 2) (Row.get ra 3);
+     check_value "sum b (null skipped)" (Value.Int 10) (Row.get rb 1);
+     check_value "count b" (Value.Int 1) (Row.get rb 2);
+     check_value "star b" (Value.Int 2) (Row.get rb 3)
+   | _ -> Alcotest.fail "expected two rows")
+
+let test_global_aggregate_empty () =
+  let schema = Schema.make [ Schema.column "v" Dtype.Int ] in
+  let out =
+    Groupop.group_by
+      ~aggs:[ { Groupop.kind = Aggregate.Sum; arg = Expr.Col 0; name = "s" };
+              Groupop.star_count "n" ]
+      (rel schema [])
+  in
+  Alcotest.(check int) "one row" 1 (Relation.cardinality out);
+  let row = (Relation.rows out).(0) in
+  check_value "sum null" Value.Null (Row.get row 0);
+  check_value "count 0" (Value.Int 0) (Row.get row 1)
+
+(* ---- Basic ops ---- *)
+
+let test_ops () =
+  let s = seq_rel "s" [ 5.; 1.; 3.; 1. ] in
+  let filtered =
+    Ops.filter (Expr.Binop (Expr.Gt, Expr.Col 1, Expr.Const (Value.Float 1.))) s
+  in
+  Alcotest.(check int) "filter" 2 (Relation.cardinality filtered);
+  let proj = Ops.project [ (Expr.Col 1, "v") ] s in
+  Alcotest.(check int) "project arity" 1 (Schema.arity (Relation.schema proj));
+  let sorted = Sortop.sort [ Sortop.key (Expr.Col 1) ] s in
+  check_value "sorted first" (Value.Float 1.) (Row.get (Relation.rows sorted).(0) 1);
+  let desc = Sortop.sort [ Sortop.key ~asc:false (Expr.Col 1) ] s in
+  check_value "sorted desc first" (Value.Float 5.) (Row.get (Relation.rows desc).(0) 1);
+  let dis = Ops.distinct (Ops.project [ (Expr.Col 1, "v") ] s) in
+  Alcotest.(check int) "distinct" 3 (Relation.cardinality dis);
+  Alcotest.(check int) "limit" 2 (Relation.cardinality (Ops.limit 2 s));
+  Alcotest.(check int) "union all" 8 (Relation.cardinality (Ops.union_all s s));
+  Alcotest.(check int) "union" 4 (Relation.cardinality (Ops.union s s))
+
+let () =
+  Alcotest.run "relalg"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "compare" `Quick test_value_compare;
+          Alcotest.test_case "arith" `Quick test_value_arith;
+          Alcotest.test_case "floored mod" `Quick test_floored_mod;
+          Alcotest.test_case "dates" `Quick test_dates;
+          QCheck_alcotest.to_alcotest prop_date_roundtrip;
+        ] );
+      ( "expr",
+        [
+          Alcotest.test_case "eval" `Quick test_expr_eval;
+          Alcotest.test_case "three-valued" `Quick test_expr_three_valued;
+          Alcotest.test_case "in/between" `Quick test_expr_in_between;
+          Alcotest.test_case "functions" `Quick test_expr_functions;
+          Alcotest.test_case "typing" `Quick test_expr_typing;
+        ] );
+      ("schema", [ Alcotest.test_case "lookup" `Quick test_schema_lookup ]);
+      ( "index",
+        [
+          Alcotest.test_case "equality" `Quick test_index_eq;
+          Alcotest.test_case "range" `Quick test_index_range;
+        ] );
+      ( "join",
+        [
+          Alcotest.test_case "algorithms agree" `Quick test_joins_agree;
+          Alcotest.test_case "left outer" `Quick test_left_outer;
+          Alcotest.test_case "range join" `Quick test_range_join;
+          Alcotest.test_case "IN-probe dedup" `Quick test_probe_in_dedup;
+        ] );
+      ( "group",
+        [
+          Alcotest.test_case "group by" `Quick test_group_by;
+          Alcotest.test_case "global empty" `Quick test_global_aggregate_empty;
+        ] );
+      ("ops", [ Alcotest.test_case "basics" `Quick test_ops ]);
+    ]

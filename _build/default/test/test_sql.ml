@@ -1,0 +1,379 @@
+(* Tests of the SQL layer: lexer, parser, pretty-printer round-trips. *)
+
+module Sql = Rfview_sql
+module Ast = Sql.Ast
+
+let parse = Sql.Parser.statement
+let parse_q = Sql.Parser.query
+let parse_e = Sql.Parser.expression
+
+(* ---- Lexer ---- *)
+
+let test_lexer_basics () =
+  let toks = Sql.Lexer.tokenize "SELECT a, 1.5 FROM t -- comment\nWHERE x <> 'it''s'" in
+  let kinds = List.map (fun l -> l.Sql.Lexer.token) toks in
+  Alcotest.(check int) "token count" 11 (List.length kinds);
+  (match kinds with
+   | Sql.Token.Ident "SELECT" :: Sql.Token.Ident "a" :: Sql.Token.Comma
+     :: Sql.Token.Float_lit 1.5 :: Sql.Token.Ident "FROM" :: Sql.Token.Ident "t"
+     :: Sql.Token.Ident "WHERE" :: Sql.Token.Ident "x" :: Sql.Token.Neq
+     :: Sql.Token.String_lit "it's" :: Sql.Token.Eof :: _ -> ()
+   | _ -> Alcotest.fail "unexpected token stream")
+
+let test_lexer_block_comment () =
+  let toks = Sql.Lexer.tokenize "SELECT /* hi */ 1" in
+  Alcotest.(check int) "tokens" 3 (List.length toks)
+
+let test_lexer_errors () =
+  Alcotest.(check bool) "unterminated string" true
+    (match Sql.Lexer.tokenize "SELECT 'oops" with
+     | exception Sql.Lexer.Lex_error _ -> true
+     | _ -> false);
+  Alcotest.(check bool) "bad char" true
+    (match Sql.Lexer.tokenize "SELECT #" with
+     | exception Sql.Lexer.Lex_error _ -> true
+     | _ -> false)
+
+(* ---- Parser: expressions ---- *)
+
+let test_precedence () =
+  (* 1 + 2 * 3 parses as 1 + (2 * 3) *)
+  match parse_e "1 + 2 * 3" with
+  | Ast.Binary (Ast.Add, Ast.Lit (Ast.L_int 1), Ast.Binary (Ast.Mul, _, _)) -> ()
+  | _ -> Alcotest.fail "precedence broken"
+
+let test_bool_precedence () =
+  (* a OR b AND c parses as a OR (b AND c) *)
+  match parse_e "a OR b AND c" with
+  | Ast.Binary (Ast.Or, Ast.Column (None, "a"), Ast.Binary (Ast.And, _, _)) -> ()
+  | _ -> Alcotest.fail "boolean precedence broken"
+
+let test_unary_minus () =
+  match parse_e "-x + 3" with
+  | Ast.Binary (Ast.Add, Ast.Neg (Ast.Column (None, "x")), Ast.Lit (Ast.L_int 3)) -> ()
+  | _ -> Alcotest.fail "unary minus broken"
+
+let test_case_expr () =
+  match parse_e "CASE WHEN a = 1 THEN 'x' ELSE 'y' END" with
+  | Ast.Case ([ (Ast.Binary (Ast.Eq, _, _), Ast.Lit (Ast.L_string "x")) ],
+              Some (Ast.Lit (Ast.L_string "y"))) -> ()
+  | _ -> Alcotest.fail "case broken"
+
+let test_between_in () =
+  (match parse_e "x BETWEEN 1 AND 3" with
+   | Ast.Between (_, Ast.Lit (Ast.L_int 1), Ast.Lit (Ast.L_int 3)) -> ()
+   | _ -> Alcotest.fail "between broken");
+  (match parse_e "x IN (1, 2, 3)" with
+   | Ast.In_list (_, [ _; _; _ ]) -> ()
+   | _ -> Alcotest.fail "in broken");
+  (match parse_e "x NOT IN (1)" with
+   | Ast.Not (Ast.In_list _) -> ()
+   | _ -> Alcotest.fail "not in broken");
+  (match parse_e "x IS NOT NULL" with
+   | Ast.Is_not_null _ -> ()
+   | _ -> Alcotest.fail "is not null broken")
+
+let test_qualified_and_functions () =
+  (match parse_e "s1.pos" with
+   | Ast.Column (Some "s1", "pos") -> ()
+   | _ -> Alcotest.fail "qualified column broken");
+  (match parse_e "MOD(s1.pos, 5)" with
+   | Ast.Call ("MOD", [ _; _ ]) -> ()
+   | _ -> Alcotest.fail "function call broken");
+  (match parse_e "COALESCE(val, 0)" with
+   | Ast.Call ("COALESCE", [ _; _ ]) -> ()
+   | _ -> Alcotest.fail "coalesce broken");
+  (match parse_e "DATE '2002-02-26'" with
+   | Ast.Lit (Ast.L_date "2002-02-26") -> ()
+   | _ -> Alcotest.fail "date literal broken")
+
+(* ---- Parser: window functions (the paper's Fig. 1 syntax) ---- *)
+
+let test_window_cumulative () =
+  match parse_e "SUM(v) OVER (ORDER BY d ROWS UNBOUNDED PRECEDING)" with
+  | Ast.Window
+      {
+        w_func = "SUM";
+        w_args = [ Ast.Column (None, "v") ];
+        w_partition = [];
+        w_order = [ { o_expr = Ast.Column (None, "d"); o_asc = true } ];
+        w_frame = Some { frame_mode = Ast.Frame_rows; frame_lo = Ast.Unbounded_preceding; frame_hi = Ast.Current_row };
+      } -> ()
+  | _ -> Alcotest.fail "cumulative window broken"
+
+let test_window_sliding () =
+  match
+    parse_e
+      "AVG(v) OVER (PARTITION BY m, r ORDER BY d ROWS BETWEEN 1 PRECEDING AND 1 \
+       FOLLOWING)"
+  with
+  | Ast.Window
+      {
+        w_func = "AVG";
+        w_partition = [ _; _ ];
+        w_frame = Some { frame_lo = Ast.Preceding 1; frame_hi = Ast.Following 1; _ };
+        _;
+      } -> ()
+  | _ -> Alcotest.fail "sliding window broken"
+
+let test_window_prospective () =
+  match parse_e "SUM(v) OVER (ORDER BY d ROWS BETWEEN CURRENT ROW AND 6 FOLLOWING)" with
+  | Ast.Window { w_frame = Some { frame_lo = Ast.Current_row; frame_hi = Ast.Following 6; _ }; _ }
+    -> ()
+  | _ -> Alcotest.fail "prospective window broken"
+
+let test_intro_query_parses () =
+  (* the paper's introduction query, almost verbatim *)
+  let q =
+    "SELECT c_date, c_transaction, \
+     SUM(c_transaction) OVER (ORDER BY c_date ROWS UNBOUNDED PRECEDING) AS cum_sum_total, \
+     SUM(c_transaction) OVER (PARTITION BY month(c_date) ORDER BY c_date \
+     ROWS UNBOUNDED PRECEDING) AS cum_sum_month, \
+     AVG(c_transaction) OVER (PARTITION BY month(c_date), l_region ORDER BY c_date \
+     ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS c_3mvg_avg, \
+     AVG(c_transaction) OVER (ORDER BY c_date \
+     ROWS BETWEEN CURRENT ROW AND 6 FOLLOWING) AS c_7mvg_avg \
+     FROM c_transactions, l_locations \
+     WHERE c_locid = l_locid AND c_custid = 4711"
+  in
+  match (parse_q q).Ast.body with
+  | Ast.Select s ->
+    Alcotest.(check int) "six select items" 6 (List.length s.Ast.items);
+    Alcotest.(check int) "two tables" 2 (List.length s.Ast.from);
+    let windows =
+      List.concat_map
+        (function Ast.Sel_expr (e, _) -> Ast.window_fns [] e | _ -> [])
+        s.Ast.items
+    in
+    Alcotest.(check int) "four reporting functions" 4 (List.length windows)
+  | _ -> Alcotest.fail "expected select"
+
+(* ---- Parser: queries and statements ---- *)
+
+let test_joins () =
+  let q = parse_q "SELECT * FROM a LEFT OUTER JOIN (SELECT x FROM b) c ON a.x = c.x" in
+  match q.Ast.body with
+  | Ast.Select { from = [ Ast.Join { kind = Ast.Join_left; right = Ast.Subquery _; _ } ]; _ }
+    -> ()
+  | _ -> Alcotest.fail "left outer join broken"
+
+let test_union_group () =
+  let q =
+    parse_q
+      "SELECT pos, SUM(sval) AS val FROM (SELECT 1 AS pos, 2 AS sval UNION ALL SELECT \
+       1, 3) u GROUP BY pos"
+  in
+  match q.Ast.body with
+  | Ast.Select { from = [ Ast.Subquery { query = { body = Ast.Union { all = true; _ }; _ }; _ } ];
+                 group_by = [ _ ]; _ } -> ()
+  | _ -> Alcotest.fail "union in subquery broken"
+
+let test_statements () =
+  (match parse "CREATE TABLE t (pos INT, val FLOAT, name VARCHAR(20))" with
+   | Ast.St_create_table { columns = [ _; _; _ ]; _ } -> ()
+   | _ -> Alcotest.fail "create table broken");
+  (match parse "CREATE INDEX i ON t (pos)" with
+   | Ast.St_create_index { ordered = true; _ } -> ()
+   | _ -> Alcotest.fail "create index broken");
+  (match parse "CREATE INDEX i ON t (pos) USING HASH" with
+   | Ast.St_create_index { ordered = false; _ } -> ()
+   | _ -> Alcotest.fail "hash index broken");
+  (match parse "CREATE MATERIALIZED VIEW v AS SELECT pos FROM t" with
+   | Ast.St_create_view { materialized = true; _ } -> ()
+   | _ -> Alcotest.fail "matview broken");
+  (match parse "INSERT INTO t (pos, val) VALUES (1, 2.5), (2, 3.5)" with
+   | Ast.St_insert { rows = [ _; _ ]; columns = [ _; _ ]; _ } -> ()
+   | _ -> Alcotest.fail "insert broken");
+  (match parse "UPDATE t SET val = val + 1 WHERE pos = 3" with
+   | Ast.St_update { assignments = [ _ ]; where = Some _; _ } -> ()
+   | _ -> Alcotest.fail "update broken");
+  (match parse "DELETE FROM t WHERE pos = 3" with
+   | Ast.St_delete { where = Some _; _ } -> ()
+   | _ -> Alcotest.fail "delete broken");
+  (match parse "DROP TABLE IF EXISTS t" with
+   | Ast.St_drop_table { if_exists = true; _ } -> ()
+   | _ -> Alcotest.fail "drop broken");
+  (match parse "EXPLAIN SELECT 1" with
+   | Ast.St_explain (Ast.St_query _) -> ()
+   | _ -> Alcotest.fail "explain broken");
+  match Sql.Parser.statements "SELECT 1; SELECT 2; DELETE FROM t" with
+  | [ _; _; _ ] -> ()
+  | _ -> Alcotest.fail "script broken"
+
+let test_parse_errors () =
+  let fails sql =
+    match parse sql with
+    | exception Sql.Parser.Parse_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "missing from item" true (fails "SELECT a FROM");
+  Alcotest.(check bool) "bad frame" true
+    (fails "SELECT SUM(v) OVER (ORDER BY d ROWS BETWEEN 1 AND 2) FROM t");
+  Alcotest.(check bool) "trailing garbage" true (fails "SELECT 1 extra stuff here ,");
+  Alcotest.(check bool) "unknown window function" true
+    (fails "SELECT NTILE(4) OVER (ORDER BY d) FROM t")
+
+(* ---- Pretty round-trip ---- *)
+
+let roundtrip_cases =
+  [
+    "SELECT pos, val FROM seq WHERE pos > 3 ORDER BY pos LIMIT 10";
+    "SELECT DISTINCT a FROM t GROUP BY a HAVING COUNT(*) > 1";
+    "SELECT s1.pos AS pos, SUM(s2.val) AS val FROM seq s1, seq s2 WHERE s2.pos \
+     BETWEEN s1.pos - 1 AND s1.pos + 1 GROUP BY s1.pos";
+    "SELECT pos, SUM(val) OVER (PARTITION BY g ORDER BY pos ROWS BETWEEN 2 \
+     PRECEDING AND 1 FOLLOWING) AS w FROM seq";
+    "SELECT a FROM t UNION ALL SELECT b FROM u";
+    "SELECT s.pos AS pos, s.val + COALESCE(c.val, 0) AS val FROM matseq s LEFT \
+     OUTER JOIN (SELECT 1 AS pos, 2.0 AS val) c ON c.pos = s.pos";
+    "SELECT CASE WHEN MOD(pos, 4) = 0 THEN val ELSE (-1) * val END AS v FROM seq";
+    "SELECT x, COUNT(*) AS n FROM t WHERE x IS NOT NULL GROUP BY x";
+  ]
+
+let test_roundtrip () =
+  List.iter
+    (fun sql ->
+      let ast1 = parse sql in
+      let printed = Sql.Pretty.statement ast1 in
+      let ast2 =
+        try parse printed
+        with Sql.Parser.Parse_error m ->
+          Alcotest.failf "re-parse failed for %s: %s" printed m
+      in
+      let printed2 = Sql.Pretty.statement ast2 in
+      Alcotest.(check string) ("stable print: " ^ sql) printed printed2)
+    roundtrip_cases
+
+(* Generated derivation patterns parse. *)
+let test_generated_sql_parses () =
+  let module Core = Rfview_core in
+  List.iter
+    (fun sql ->
+      match parse sql with
+      | Ast.St_query _ -> ()
+      | _ -> Alcotest.failf "expected query: %s" sql
+      | exception Sql.Parser.Parse_error m -> Alcotest.failf "parse error: %s (%s)" m sql)
+    [
+      Core.Sqlgen.native_window (Core.Frame.sliding ~l:1 ~h:1);
+      Core.Sqlgen.fig2_self_join (Core.Frame.sliding ~l:2 ~h:1);
+      Core.Sqlgen.fig2_self_join Core.Frame.Cumulative;
+      Core.Sqlgen.fig4_reconstruct ();
+      Core.Sqlgen.maxoa ~lx:2 ~h:1 ~ly:3 `Disjunctive;
+      Core.Sqlgen.maxoa ~lx:2 ~h:1 ~ly:3 `Union;
+      Core.Sqlgen.minoa ~lx:2 ~hx:1 ~ly:3 ~hy:2 `Disjunctive;
+      Core.Sqlgen.minoa ~lx:2 ~hx:1 ~ly:3 ~hy:2 `Union;
+    ]
+
+(* ---- Random-AST round trip ----
+
+   Generate random expression ASTs, pretty-print and re-parse them; the
+   result must be structurally equal (modulo case, which ast_equal
+   ignores).  Exercises precedence and parenthesization corners the fixed
+   cases cannot. *)
+
+let gen_expr : Ast.expr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let lit =
+    oneof
+      [
+        map (fun i -> Ast.Lit (Ast.L_int i)) (int_range 0 99);
+        map (fun f -> Ast.Lit (Ast.L_float (float_of_int f /. 4.))) (int_range 1 99);
+        map (fun s -> Ast.Lit (Ast.L_string s)) (oneofl [ "x"; "it's"; "a,b"; "" ]);
+        return (Ast.Lit Ast.L_null);
+        return (Ast.Lit (Ast.L_bool true));
+      ]
+  in
+  let col =
+    oneof
+      [
+        map (fun c -> Ast.Column (None, c)) (oneofl [ "a"; "b"; "pos"; "val" ]);
+        map (fun c -> Ast.Column (Some "t", c)) (oneofl [ "a"; "b" ]);
+      ]
+  in
+  let rec expr n =
+    if n = 0 then oneof [ lit; col ]
+    else
+      let sub = expr (n - 1) in
+      oneof
+        [
+          lit;
+          col;
+          (let* op =
+             oneofl
+               [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Mod; Ast.Eq; Ast.Neq;
+                 Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge; Ast.And; Ast.Or ]
+           in
+           let* a = sub in
+           let* b = sub in
+           return (Ast.Binary (op, a, b)));
+          map (fun e -> Ast.Neg e) sub;
+          map (fun e -> Ast.Not e) sub;
+          (let* c = sub in
+           let* v = sub in
+           let* e = option sub in
+           return (Ast.Case ([ (c, v) ], e)));
+          (let* f = oneofl [ "COALESCE"; "ABS"; "LEAST" ] in
+           let* args = list_size (int_range 1 3) sub in
+           return (Ast.Call (f, args)));
+          (let* e = sub in
+           let* items = list_size (int_range 1 3) sub in
+           return (Ast.In_list (e, items)));
+          (let* e = sub in
+           let* lo = sub in
+           let* hi = sub in
+           return (Ast.Between (e, lo, hi)));
+          map (fun e -> Ast.Is_null e) sub;
+          map (fun e -> Ast.Is_not_null e) sub;
+        ]
+  in
+  let* depth = int_range 0 3 in
+  expr depth
+
+let prop_ast_roundtrip =
+  QCheck.Test.make ~count:1000 ~name:"random AST: pretty |> parse = id"
+    (QCheck.make gen_expr ~print:Sql.Pretty.expr)
+    (fun ast ->
+      let printed = Sql.Pretty.expr ast in
+      match Sql.Parser.expression printed with
+      | parsed -> Rfview_planner.Binder.ast_equal ast parsed
+      | exception _ -> false)
+
+let () =
+  Alcotest.run "sql"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basics" `Quick test_lexer_basics;
+          Alcotest.test_case "block comment" `Quick test_lexer_block_comment;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "expr",
+        [
+          Alcotest.test_case "precedence" `Quick test_precedence;
+          Alcotest.test_case "bool precedence" `Quick test_bool_precedence;
+          Alcotest.test_case "unary minus" `Quick test_unary_minus;
+          Alcotest.test_case "case" `Quick test_case_expr;
+          Alcotest.test_case "between/in/is" `Quick test_between_in;
+          Alcotest.test_case "qualified/functions" `Quick test_qualified_and_functions;
+        ] );
+      ( "window",
+        [
+          Alcotest.test_case "cumulative" `Quick test_window_cumulative;
+          Alcotest.test_case "sliding" `Quick test_window_sliding;
+          Alcotest.test_case "prospective" `Quick test_window_prospective;
+          Alcotest.test_case "intro query" `Quick test_intro_query_parses;
+        ] );
+      ( "statements",
+        [
+          Alcotest.test_case "joins" `Quick test_joins;
+          Alcotest.test_case "union + group" `Quick test_union_group;
+          Alcotest.test_case "ddl/dml" `Quick test_statements;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "pretty",
+        [
+          Alcotest.test_case "round trip" `Quick test_roundtrip;
+          QCheck_alcotest.to_alcotest prop_ast_roundtrip;
+          Alcotest.test_case "generated patterns parse" `Quick test_generated_sql_parses;
+        ] );
+    ]

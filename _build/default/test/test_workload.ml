@@ -1,0 +1,154 @@
+(* Tests of the workload generators: PRNG determinism and distribution
+   sanity, sequence-table setup, and the credit-card star schema. *)
+
+open Rfview_relalg
+module W = Rfview_workload
+module Db = Rfview_engine.Database
+module Core = Rfview_core
+
+(* ---- PRNG ---- *)
+
+let test_prng_deterministic () =
+  let a = W.Prng.create ~seed:7 and b = W.Prng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (W.Prng.int a 1000) (W.Prng.int b 1000)
+  done;
+  let c = W.Prng.create ~seed:8 in
+  let diff = ref false in
+  for _ = 1 to 20 do
+    if W.Prng.int a 1000 <> W.Prng.int c 1000 then diff := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !diff
+
+let test_prng_ranges () =
+  let p = W.Prng.create ~seed:1 in
+  for _ = 1 to 1000 do
+    let v = W.Prng.int_range p ~lo:(-5) ~hi:5 in
+    if v < -5 || v > 5 then Alcotest.fail "int_range out of range";
+    let f = W.Prng.float p in
+    if f < 0. || f >= 1. then Alcotest.fail "float out of range"
+  done;
+  Alcotest.(check bool) "invalid bound" true
+    (match W.Prng.int p 0 with exception Invalid_argument _ -> true | _ -> false)
+
+let test_prng_uniformish () =
+  (* crude balance check over 10 buckets *)
+  let p = W.Prng.create ~seed:3 in
+  let buckets = Array.make 10 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let b = W.Prng.int p 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iter
+    (fun c ->
+      if c < n / 20 || c > n / 5 then
+        Alcotest.failf "bucket count %d looks non-uniform" c)
+    buckets
+
+let test_prng_gaussian_moments () =
+  let p = W.Prng.create ~seed:4 in
+  let n = 20_000 in
+  let sum = ref 0. and sq = ref 0. in
+  for _ = 1 to n do
+    let x = W.Prng.gaussian p ~mean:10. ~stddev:2. in
+    sum := !sum +. x;
+    sq := !sq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean close" true (Float.abs (mean -. 10.) < 0.1);
+  Alcotest.(check bool) "variance close" true (Float.abs (var -. 4.) < 0.3)
+
+let test_prng_shuffle_permutes () =
+  let p = W.Prng.create ~seed:5 in
+  let a = Array.init 50 Fun.id in
+  W.Prng.shuffle p a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "permutation" true (sorted = Array.init 50 Fun.id);
+  Alcotest.(check bool) "actually shuffled" true (a <> Array.init 50 Fun.id)
+
+(* ---- Seqgen ---- *)
+
+let test_seqgen_tables () =
+  let db = Db.create () in
+  let values = W.Seqgen.raw_values ~seed:9 100 in
+  W.Seqgen.create_seq_table ~indexed:true db values;
+  let r = Db.query db "SELECT COUNT(*) AS n FROM seq" in
+  Alcotest.(check int) "rows" 100 (Value.to_int (Row.get (Relation.rows r).(0) 0));
+  (* determinism *)
+  Alcotest.(check bool) "same seed same data" true
+    (W.Seqgen.raw_values ~seed:9 100 = values);
+  (* matseq holds the complete range *)
+  let seq = Core.Compute.sequence (Core.Frame.sliding ~l:2 ~h:1) (Core.Seqdata.raw_of_array values) in
+  W.Seqgen.create_matseq_table db seq;
+  let r = Db.query db "SELECT COUNT(*) AS n, MIN(pos) AS lo, MAX(pos) AS hi FROM matseq" in
+  let row = (Relation.rows r).(0) in
+  Alcotest.(check int) "complete rows" 103 (Value.to_int (Row.get row 0));
+  Alcotest.(check int) "header start" 0 (Value.to_int (Row.get row 1));
+  Alcotest.(check int) "trailer end" 102 (Value.to_int (Row.get row 2))
+
+(* ---- Transactions ---- *)
+
+let test_transactions_schema () =
+  let db = Db.create () in
+  let config = { W.Transactions.default_config with days = 10; transactions_per_day = 5 } in
+  W.Transactions.load ~config db;
+  let n =
+    Value.to_int
+      (Row.get (Relation.rows (Db.query db "SELECT COUNT(*) AS n FROM c_transactions")).(0) 0)
+  in
+  Alcotest.(check int) "transaction count" 50 n;
+  (* referential integrity of the location foreign key *)
+  let dangling =
+    Db.query db
+      "SELECT c_locid FROM c_transactions t LEFT OUTER JOIN l_locations l ON c_locid \
+       = l_locid WHERE l_locid IS NULL"
+  in
+  Alcotest.(check int) "no dangling locations" 0 (Relation.cardinality dangling);
+  (* dates stay in the configured window *)
+  let bad =
+    Db.query db
+      "SELECT c_date FROM c_transactions WHERE c_date < DATE '2002-01-01' OR c_date \
+       > DATE '2002-01-10'"
+  in
+  Alcotest.(check int) "dates in window" 0 (Relation.cardinality bad);
+  (* amounts positive *)
+  let neg = Db.query db "SELECT c_transaction FROM c_transactions WHERE c_transaction < 1" in
+  Alcotest.(check int) "amounts >= 1" 0 (Relation.cardinality neg)
+
+let test_intro_query_runs () =
+  let db = Db.create () in
+  W.Transactions.load
+    ~config:{ W.Transactions.default_config with days = 20; transactions_per_day = 10 }
+    db;
+  let r = Db.query db (W.Transactions.intro_query ~custid:3 ()) in
+  Alcotest.(check int) "six columns" 6 (Schema.arity (Relation.schema r));
+  (* the cumulative total is non-decreasing in date order *)
+  let prev = ref Float.neg_infinity in
+  Relation.iter
+    (fun row ->
+      let v = Value.to_float (Row.get row 2) in
+      if v < !prev then Alcotest.fail "cumulative total decreased";
+      prev := v)
+    r
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "ranges" `Quick test_prng_ranges;
+          Alcotest.test_case "uniform-ish" `Quick test_prng_uniformish;
+          Alcotest.test_case "gaussian moments" `Quick test_prng_gaussian_moments;
+          Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutes;
+        ] );
+      ("seqgen", [ Alcotest.test_case "tables" `Quick test_seqgen_tables ]);
+      ( "transactions",
+        [
+          Alcotest.test_case "schema + integrity" `Quick test_transactions_schema;
+          Alcotest.test_case "intro query" `Quick test_intro_query_runs;
+        ] );
+    ]
