@@ -1,0 +1,18 @@
+.PHONY: all build test lint check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Lint the example SQL corpus with the plan checker (`rfview lint`).
+lint:
+	dune build @lint
+
+check: build test lint
+
+clean:
+	dune clean

@@ -4,18 +4,25 @@
      run FILE        execute a SQL script and print every result
      repl            interactive SQL shell (line-based; ';' terminates)
      demo            start the repl with the credit-card demo schema loaded
+     lint FILE       run the plan checker and lint rules over a SQL script
 
    Options:
      --self-join     execute reporting functions via the Fig. 2 self-join
                      simulation instead of the native window operator
-     --naive-window  use the naive O(n·w) window strategy *)
+     --naive-window  use the naive O(n·w) window strategy
+     --verify-plans  checker-verify every plan and translation-validate
+                     every rewrite pass while executing
+     --explain-diagnostics (lint) append the registry explanation to each
+                     diagnostic; without FILE, print the whole registry *)
 
 module Db = Rfview_engine.Database
 module Relation = Rfview_relalg.Relation
+module Diag = Rfview_analysis.Diagnostic
 
-let configure db ~self_join ~naive_window =
+let configure db ~self_join ~naive_window ~verify =
   if self_join then Db.set_window_mode db `Self_join;
-  if naive_window then Db.set_window_strategy db Rfview_relalg.Window.Naive
+  if naive_window then Db.set_window_strategy db Rfview_relalg.Window.Naive;
+  if verify then Rfview_analysis.Verify.enable ()
 
 let print_result = function
   | Db.Relation r ->
@@ -37,14 +44,94 @@ let run_script db sql =
   | results -> List.iter print_result results
   | exception e -> report_error e
 
-let cmd_run file self_join naive_window =
-  let db = Db.create () in
-  configure db ~self_join ~naive_window;
+let read_file file =
   let ic = open_in file in
   let len = in_channel_length ic in
   let sql = really_input_string ic len in
   close_in ic;
-  run_script db sql
+  sql
+
+let cmd_run file self_join naive_window verify =
+  let db = Db.create () in
+  configure db ~self_join ~naive_window ~verify;
+  run_script db (read_file file)
+
+(* ---- lint ---- *)
+
+let print_registry () =
+  List.iter
+    (fun (i : Diag.info) ->
+      Printf.printf "%s %-8s %s\n    %s\n" i.Diag.r_code
+        (Diag.severity_name i.Diag.r_severity)
+        i.Diag.r_title i.Diag.r_explanation)
+    Diag.registry
+
+let cmd_lint file self_join explain =
+  match file with
+  | None ->
+    if explain then print_registry ()
+    else begin
+      prerr_endline
+        "rfview lint: a FILE is required (or --explain-diagnostics alone to \
+         print the rule registry)";
+      exit 2
+    end
+  | Some file ->
+    let module Check = Rfview_analysis.Check in
+    let module Lint = Rfview_analysis.Lint in
+    let module Ast = Rfview_sql.Ast in
+    let seen = ref [] in
+    let emit ~where d =
+      seen := d :: !seen;
+      Printf.printf "%s: %s\n" where (Diag.to_string d);
+      if explain then Printf.printf "    %s\n" (Diag.explain d.Diag.code)
+    in
+    let finish () =
+      let count s = List.length (List.filter (fun d -> d.Diag.severity = s) !seen) in
+      Printf.printf "%s: %d error(s), %d warning(s), %d note(s)\n" file
+        (count Diag.Error) (count Diag.Warning) (count Diag.Info);
+      exit (if List.exists Diag.is_error !seen then 1 else 0)
+    in
+    (match Rfview_sql.Parser.statements (read_file file) with
+     | exception e ->
+       let msg =
+         match e with
+         | Rfview_sql.Lexer.Lex_error (m, off) ->
+           Printf.sprintf "lex error at offset %d: %s" off m
+         | Rfview_sql.Parser.Parse_error m -> Printf.sprintf "parse error: %s" m
+         | e -> Printexc.to_string e
+       in
+       emit ~where:file (Diag.make ~code:"RF100" ~path:[] msg);
+       finish ()
+     | stmts ->
+       let db = Db.create () in
+       let lint_query where q =
+         match Rfview_planner.Binder.bind_query (Db.binder_catalog db) q with
+         | plan ->
+           List.iter (emit ~where) (Check.check plan @ Lint.plan ~self_join plan)
+         | exception Rfview_planner.Binder.Bind_error m ->
+           emit ~where (Diag.make ~code:"RF100" ~path:[] ("bind error: " ^ m))
+       in
+       List.iteri
+         (fun i st ->
+           let where = Printf.sprintf "%s:%d" file (i + 1) in
+           (match st with
+            | Ast.St_query q | Ast.St_create_view { query = q; _ } ->
+              lint_query where q
+            | _ -> ());
+           (* execute everything but plain queries, so later statements
+              see the tables and views this one defines *)
+           match st with
+           | Ast.St_query _ -> ()
+           | st ->
+             (match Db.exec_statement db st with
+              | _ -> ()
+              | exception e ->
+                emit ~where
+                  (Diag.make ~code:"RF100" ~path:[]
+                     (Printf.sprintf "statement failed: %s" (Printexc.to_string e)))))
+         stmts;
+       finish ())
 
 let repl db =
   Printf.printf
@@ -70,14 +157,14 @@ let repl db =
   in
   loop ()
 
-let cmd_repl self_join naive_window =
+let cmd_repl self_join naive_window verify =
   let db = Db.create () in
-  configure db ~self_join ~naive_window;
+  configure db ~self_join ~naive_window ~verify;
   repl db
 
-let cmd_demo self_join naive_window =
+let cmd_demo self_join naive_window verify =
   let db = Db.create () in
-  configure db ~self_join ~naive_window;
+  configure db ~self_join ~naive_window ~verify;
   Rfview_workload.Transactions.load db;
   Printf.printf
     "loaded demo schema: c_transactions (%d rows), l_locations (%d rows)\n"
@@ -94,23 +181,38 @@ let self_join =
 let naive_window =
   Arg.(value & flag & info [ "naive-window" ] ~doc:"Use the naive O(n*w) window evaluation strategy.")
 
+let verify_plans =
+  Arg.(value & flag & info [ "verify-plans" ]
+    ~doc:"Checker-verify every bound and optimized plan and translation-validate every rewrite pass.")
+
+let explain_diagnostics =
+  Arg.(value & flag & info [ "explain-diagnostics" ]
+    ~doc:"Append the registry explanation to each diagnostic; without FILE, print the whole rule registry.")
+
 let run_t =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   Cmd.v (Cmd.info "run" ~doc:"Execute a SQL script")
-    Term.(const cmd_run $ file $ self_join $ naive_window)
+    Term.(const cmd_run $ file $ self_join $ naive_window $ verify_plans)
 
 let repl_t =
   Cmd.v (Cmd.info "repl" ~doc:"Interactive SQL shell")
-    Term.(const cmd_repl $ self_join $ naive_window)
+    Term.(const cmd_repl $ self_join $ naive_window $ verify_plans)
 
 let demo_t =
   Cmd.v (Cmd.info "demo" ~doc:"SQL shell with the credit-card demo schema")
-    Term.(const cmd_demo $ self_join $ naive_window)
+    Term.(const cmd_demo $ self_join $ naive_window $ verify_plans)
+
+let lint_t =
+  let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Check and lint the plans of a SQL script without running its queries")
+    Term.(const cmd_lint $ file $ self_join $ explain_diagnostics)
 
 let main =
   Cmd.group
     (Cmd.info "rfview" ~version:"1.0.0"
        ~doc:"Reporting-function views in a data warehouse environment")
-    [ run_t; repl_t; demo_t ]
+    [ run_t; repl_t; demo_t; lint_t ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,32 @@
+-- The paper's credit-card analysis (introduction, Fig. 1 flavor):
+-- per-customer reporting functions over a transactions/locations star.
+-- Linted by `dune build @lint`; this script must stay diagnostic-clean.
+
+CREATE TABLE l_locations (l_locid INT, l_city VARCHAR, l_region VARCHAR);
+CREATE TABLE c_transactions (c_custid INT, c_locid INT, c_date DATE, c_transaction FLOAT);
+
+INSERT INTO l_locations VALUES
+  (1, 'Dresden', 'East'), (2, 'Munich', 'South'), (3, 'Hamburg', 'North');
+INSERT INTO c_transactions VALUES
+  (7, 1, DATE '2001-01-03', 120.0),
+  (7, 1, DATE '2001-01-17', 80.5),
+  (7, 2, DATE '2001-02-02', 45.0),
+  (7, 3, DATE '2001-02-21', 230.0),
+  (7, 2, DATE '2001-03-05', 17.25),
+  (9, 1, DATE '2001-01-09', 99.0);
+
+-- running balance and a trailing one-week average per customer
+SELECT c_custid, c_date, c_transaction,
+       SUM(c_transaction) OVER (PARTITION BY c_custid ORDER BY c_date
+                                ROWS UNBOUNDED PRECEDING) AS balance,
+       AVG(c_transaction) OVER (PARTITION BY c_custid ORDER BY c_date
+                                ROWS BETWEEN 6 PRECEDING AND CURRENT ROW) AS week_avg
+FROM c_transactions
+ORDER BY c_custid, c_date;
+
+-- join against the dimension and aggregate by region
+SELECT l_region, SUM(c_transaction) AS volume, COUNT(c_transaction) AS cnt
+FROM c_transactions, l_locations
+WHERE c_locid = l_locid
+GROUP BY l_region
+ORDER BY l_region;

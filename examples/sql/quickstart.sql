@@ -1,0 +1,22 @@
+-- Reporting functions over a simple sequence (paper §2.1).
+-- Linted by `dune build @lint`; this script must stay diagnostic-clean.
+
+CREATE TABLE seq (pos INT, val FLOAT);
+INSERT INTO seq VALUES (1, 3), (2, 1), (3, 4), (4, 1), (5, 5), (6, 9), (7, 2), (8, 6);
+
+-- cumulative sum and centered moving average
+SELECT pos, val,
+       SUM(val) OVER (ORDER BY pos ROWS UNBOUNDED PRECEDING) AS running_total,
+       AVG(val) OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS mvg3
+FROM seq ORDER BY pos;
+
+-- a materialized sequence view with window (2, 1)
+CREATE MATERIALIZED VIEW sv AS
+  SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS s
+  FROM seq;
+
+SELECT pos, s FROM sv WHERE pos <= 4 ORDER BY pos;
+
+-- ranking needs an ordering; frames here all contain the current row
+SELECT pos, val, RANK() OVER (ORDER BY val DESC) AS rk
+FROM seq ORDER BY pos;

@@ -1,0 +1,27 @@
+-- Materialized sequence views with different frames (paper §3-§4): the
+-- engine answers the later queries from the views where derivable.
+-- Linted by `dune build @lint`; this script must stay diagnostic-clean.
+
+CREATE TABLE seq (pos INT, val FLOAT);
+INSERT INTO seq VALUES (1, 2), (2, 7), (3, 1), (4, 8), (5, 2), (6, 8), (7, 1), (8, 8);
+
+-- a SUM view with window (2, 2): MinOA can derive narrower SUM windows
+CREATE MATERIALIZED VIEW sum22 AS
+  SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 2 FOLLOWING) AS s
+  FROM seq;
+
+-- a MAX view with window (1, 1): MaxOA can derive wider MAX windows as
+-- long as delta_l + delta_h <= lx + hx (here: up to 2 extra positions)
+CREATE MATERIALIZED VIEW max11 AS
+  SELECT pos, MAX(val) OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS m
+  FROM seq;
+
+-- derivable: (1, 1) SUM from the (2, 2) view
+SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS s
+FROM seq ORDER BY pos;
+
+-- derivable: (2, 1) MAX from the (1, 1) view (delta_l + delta_h = 1 <= 2)
+SELECT pos, MAX(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS m
+FROM seq ORDER BY pos;
+
+REFRESH MATERIALIZED VIEW sum22;

@@ -1,0 +1,311 @@
+(* Typed well-formedness checking of logical plans.
+
+   The walk is bottom-up and recomputes every node's output schema
+   itself (rather than calling [Logical.schema]) so that a broken
+   subtree yields diagnostics instead of an exception, and so that
+   checking continues in siblings of a broken branch.  When a node's
+   schema cannot be established its ancestors are skipped — their
+   expressions have nothing sound to be checked against. *)
+
+open Rfview_relalg
+module Logical = Rfview_planner.Logical
+
+let diag code path fmt = Format.kasprintf (Diagnostic.make ~code ~path) fmt
+
+let label : Logical.t -> string = function
+  | Logical.Scan { table; _ } -> Printf.sprintf "Scan(%s)" table
+  | Logical.Filter _ -> "Filter"
+  | Logical.Project _ -> "Project"
+  | Logical.Join _ -> "Join"
+  | Logical.Aggregate _ -> "Aggregate"
+  | Logical.Window_op _ -> "Window"
+  | Logical.Number _ -> "Number"
+  | Logical.Sort _ -> "Sort"
+  | Logical.Distinct _ -> "Distinct"
+  | Logical.Limit _ -> "Limit"
+  | Logical.Union_all _ -> "UnionAll"
+  | Logical.Alias _ -> "Alias"
+
+(* ---- Expression-level checks ---- *)
+
+(* Column bounds plus static typing; returns the inferred type when the
+   expression is clean ([Ok None] = always NULL). *)
+let check_expr ~path ~what (schema : Schema.t) (e : Expr.t) :
+    (Dtype.t option, Diagnostic.t list) result =
+  let arity = Schema.arity schema in
+  match List.filter (fun i -> i < 0 || i >= arity) (Expr.columns e) with
+  | _ :: _ as oob ->
+    Result.Error
+      (List.map
+         (fun i ->
+           diag "RF101" path "%s references column $%d but the input has %d columns"
+             what i arity)
+         oob)
+  | [] ->
+    (match Expr.infer_type schema e with
+     | ty -> Result.Ok ty
+     | exception Expr.Type_mismatch m ->
+       Result.Error [ diag "RF102" path "%s is ill-typed: %s" what m ])
+
+let expr_diags ~path ~what schema e =
+  match check_expr ~path ~what schema e with
+  | Result.Ok _ -> []
+  | Result.Error ds -> ds
+
+(* A predicate must type as boolean (None = the always-NULL literal,
+   which SQL accepts and treats as not-TRUE). *)
+let pred_diags ~path ~what schema e =
+  match check_expr ~path ~what schema e with
+  | Result.Error ds -> ds
+  | Result.Ok (Some Dtype.Bool) | Result.Ok None -> []
+  | Result.Ok (Some ty) ->
+    [ diag "RF103" path "%s must be boolean, not %s" what (Dtype.to_string ty) ]
+
+let keys_diags ~path ~what schema keys =
+  List.concat
+    (List.mapi
+       (fun i (k : Sortop.key) ->
+         expr_diags ~path ~what:(Printf.sprintf "%s %d" what (i + 1)) schema k.Sortop.expr)
+       keys)
+
+(* ---- Window frame sanity (RF104) ---- *)
+
+let bound_offset = function
+  | Window.Unbounded_preceding -> min_int
+  | Window.Preceding n -> -n
+  | Window.Current_row -> 0
+  | Window.Following n -> n
+  | Window.Unbounded_following -> max_int
+
+let frame_diags ~path ~name ~order (f : Window.frame) =
+  let negative =
+    List.filter_map
+      (fun b ->
+        match b with
+        | Window.Preceding n | Window.Following n when n < 0 ->
+          Some
+            (diag "RF104" path "window %s: negative frame offset %d" name n)
+        | _ -> None)
+      [ f.Window.lo; f.Window.hi ]
+  in
+  let ordering =
+    if negative = [] && bound_offset f.Window.lo > bound_offset f.Window.hi then
+      [ diag "RF104" path
+          "window %s: frame lower bound lies above the upper bound (the frame is empty)"
+          name ]
+    else []
+  in
+  let range =
+    if f.Window.mode = Window.Range && List.length order <> 1 then
+      [ diag "RF104" path
+          "window %s: RANGE frames require exactly one ORDER BY key, found %d" name
+          (List.length order) ]
+    else []
+  in
+  negative @ ordering @ range
+
+(* ---- Operator-level checks ---- *)
+
+let numeric_agg_diags ~path ~what schema (kind : Aggregate.kind) (arg : Expr.t) =
+  match kind with
+  | Aggregate.Sum | Aggregate.Avg ->
+    (match check_expr ~path ~what schema arg with
+     | Result.Ok (Some ty) when not (Dtype.is_numeric ty) ->
+       [ diag "RF106" path "%s: %s needs a numeric argument, got %s" what
+           (Aggregate.kind_name kind) (Dtype.to_string ty) ]
+     | _ -> [])
+  | Aggregate.Count | Aggregate.Min | Aggregate.Max -> []
+
+let window_fn_diags ~path schema (fn : Logical.window_fn) =
+  let name = fn.Logical.name in
+  let arg_what = Printf.sprintf "window %s argument" name in
+  let arg = expr_diags ~path ~what:arg_what schema fn.Logical.arg in
+  let partition =
+    List.concat
+      (List.mapi
+         (fun i e ->
+           expr_diags ~path
+             ~what:(Printf.sprintf "window %s partition key %d" name (i + 1))
+             schema e)
+         fn.Logical.partition)
+  in
+  let order =
+    keys_diags ~path ~what:(Printf.sprintf "window %s order key" name) schema
+      fn.Logical.order
+  in
+  let frame = frame_diags ~path ~name ~order:fn.Logical.order fn.Logical.frame in
+  let needs_order =
+    match fn.Logical.func with
+    | Window.Row_number | Window.Rank | Window.Dense_rank | Window.Lag _
+    | Window.Lead _ ->
+      if fn.Logical.order = [] then
+        [ diag "RF107" path "window %s: %s requires an ORDER BY clause" name
+            (Window.func_name fn.Logical.func) ]
+      else []
+    | Window.Agg _ | Window.First_value | Window.Last_value -> []
+  in
+  let numeric =
+    match fn.Logical.func with
+    | Window.Agg kind ->
+      numeric_agg_diags ~path ~what:(Printf.sprintf "window %s" name) schema kind
+        fn.Logical.arg
+    | _ -> []
+  in
+  arg @ partition @ order @ frame @ needs_order @ numeric
+
+(* Does [name] already exist (possibly several times) in [schema]? *)
+let name_exists schema name =
+  try Schema.find_opt schema name <> None
+  with Schema.Ambiguous_column _ -> true
+
+(* The walk: returns the node's output schema when it could be
+   established, plus all diagnostics of the subtree. *)
+let rec go parent (p : Logical.t) : Schema.t option * Diagnostic.t list =
+  let path = parent @ [ label p ] in
+  match p with
+  | Logical.Scan { schema; _ } -> (Some schema, [])
+  | Logical.Filter { input; pred } ->
+    let s, ds = go path input in
+    (match s with
+     | None -> (None, ds)
+     | Some sch -> (Some sch, ds @ pred_diags ~path ~what:"filter predicate" sch pred))
+  | Logical.Project { input; exprs } ->
+    let s, ds = go path input in
+    (match s with
+     | None -> (None, ds)
+     | Some sch ->
+       let cols, dss =
+         List.split
+           (List.map
+              (fun (e, name) ->
+                let what = Printf.sprintf "projected column %s" name in
+                match check_expr ~path ~what sch e with
+                | Result.Error es -> (None, es)
+                | Result.Ok None ->
+                  ( None,
+                    [ diag "RF105" path
+                        "%s has no inferable type (e.g. a bare NULL); the output \
+                         schema would be a guess"
+                        what ] )
+                | Result.Ok (Some ty) -> (Some (Schema.column name ty), []))
+              exprs)
+       in
+       let ds = ds @ List.concat dss in
+       if List.for_all Option.is_some cols then
+         (Some (Schema.make (List.map Option.get cols)), ds)
+       else (None, ds))
+  | Logical.Join { left; right; cond; _ } ->
+    let sl, dl = go path left in
+    let sr, dr = go path right in
+    (match sl, sr with
+     | Some l, Some r ->
+       let combined = Schema.append l r in
+       ( Some combined,
+         dl @ dr @ pred_diags ~path ~what:"join condition" combined cond )
+     | _ -> (None, dl @ dr))
+  | Logical.Aggregate { input; group; aggs } ->
+    let s, ds = go path input in
+    (match s with
+     | None -> (None, ds)
+     | Some sch ->
+       let gds =
+         List.concat
+           (List.mapi
+              (fun i e ->
+                expr_diags ~path ~what:(Printf.sprintf "group key %d" (i + 1)) sch e)
+              group)
+       in
+       let ads =
+         List.concat_map
+           (fun (a : Groupop.agg_spec) ->
+             let what = Printf.sprintf "aggregate %s" a.Groupop.name in
+             expr_diags ~path ~what sch a.Groupop.arg
+             @ numeric_agg_diags ~path ~what sch a.Groupop.kind a.Groupop.arg)
+           aggs
+       in
+       let ds = ds @ gds @ ads in
+       if ds = [] then (Some (Groupop.output_schema sch group aggs), ds)
+       else
+         ( (try Some (Groupop.output_schema sch group aggs) with _ -> None),
+           ds ))
+  | Logical.Window_op { input; fns } ->
+    let s, ds = go path input in
+    (match s with
+     | None -> (None, ds)
+     | Some sch ->
+       let fds = List.concat_map (window_fn_diags ~path sch) fns in
+       let out =
+         try Some (Window.output_schema sch (List.map Logical.to_relalg_fn fns))
+         with _ -> None
+       in
+       (out, ds @ fds))
+  | Logical.Number { input; partition; order; name } ->
+    let s, ds = go path input in
+    (match s with
+     | None -> (None, ds)
+     | Some sch ->
+       let pds =
+         List.concat
+           (List.mapi
+              (fun i e ->
+                expr_diags ~path
+                  ~what:(Printf.sprintf "Number partition key %d" (i + 1))
+                  sch e)
+              partition)
+       in
+       let ods = keys_diags ~path ~what:"Number order key" sch order in
+       let contract =
+         if name = "" then
+           [ diag "RF110" path "Number needs a non-empty output column name" ]
+         else if name_exists sch name then
+           [ diag "RF110" path
+               "Number output column %s collides with an input column" name ]
+         else []
+       in
+       ( Some (Schema.append sch (Schema.make [ Schema.column name Dtype.Int ])),
+         ds @ pds @ ods @ contract ))
+  | Logical.Sort { input; keys } ->
+    let s, ds = go path input in
+    (match s with
+     | None -> (None, ds)
+     | Some sch -> (Some sch, ds @ keys_diags ~path ~what:"sort key" sch keys))
+  | Logical.Distinct input -> go path input
+  | Logical.Limit { input; n } ->
+    let s, ds = go path input in
+    let nd =
+      if n < 0 then [ diag "RF108" path "LIMIT %d is negative" n ] else []
+    in
+    (s, ds @ nd)
+  | Logical.Union_all { left; right } ->
+    let sl, dl = go path left in
+    let sr, dr = go path right in
+    (match sl, sr with
+     | Some l, Some r ->
+       (* names come from the first operand; arity and types must agree *)
+       let compatible =
+         Schema.arity l = Schema.arity r
+         && List.for_all
+              (fun i -> (Schema.col l i).Schema.ty = (Schema.col r i).Schema.ty)
+              (List.init (Schema.arity l) Fun.id)
+       in
+       let mismatch =
+         if compatible then []
+         else
+           [ diag "RF109" path
+               "UNION operand schemas disagree: %s vs %s" (Schema.to_string l)
+               (Schema.to_string r) ]
+       in
+       (Some l, dl @ dr @ mismatch)
+     | _ -> (None, dl @ dr))
+  | Logical.Alias { input; rel } ->
+    let s, ds = go path input in
+    let contract =
+      if rel = "" then
+        [ diag "RF110" path "Alias needs a non-empty relation name" ]
+      else []
+    in
+    (Option.map (Schema.with_rel rel) s, ds @ contract)
+
+let check p = snd (go [] p)
+
+let well_formed p = check p = []

@@ -1,0 +1,29 @@
+(** Typed well-formedness checking of logical plans.
+
+    [check] walks a {!Rfview_planner.Logical.t} bottom-up and verifies,
+    at every node:
+    - every positional column reference is in bounds for the node's
+      input schema (RF101);
+    - every expression types consistently ({!Rfview_relalg.Expr.infer_type}
+      does not fail, RF102) and predicates are boolean (RF103);
+    - window frames are sane: non-negative offsets, lower bound not
+      above the upper bound, RANGE frames with exactly one ORDER BY key
+      (RF104), and rank/navigation functions carry an ordering (RF107);
+    - projection output types are inferable — no silent [String]
+      fallback (RF105);
+    - SUM/AVG arguments are numeric (RF106);
+    - LIMIT counts are non-negative (RF108), UNION operand schemas agree
+      (RF109), and the Number/Alias schema contracts hold (RF110).
+
+    All diagnostics produced here have severity [Error].  A plan with an
+    empty [check] result can compute its output schema without guessing
+    and evaluate without positional or static-type failures. *)
+
+val check : Rfview_planner.Logical.t -> Diagnostic.t list
+
+(** [true] iff {!check} reports nothing. *)
+val well_formed : Rfview_planner.Logical.t -> bool
+
+(** Constructor name used in diagnostic paths (e.g. ["Scan(t)"],
+    ["Filter"]); shared with {!Lint}. *)
+val label : Rfview_planner.Logical.t -> string

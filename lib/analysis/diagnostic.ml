@@ -1,0 +1,211 @@
+(* Diagnostics of the plan verifier and lint subsystem.  Codes are
+   stable: golden tests and external tooling match on them, so existing
+   codes must never be renumbered — add new ones instead (see
+   DESIGN.md, "The diagnostic code registry"). *)
+
+type severity =
+  | Error
+  | Warning
+  | Info
+
+type t = {
+  code : string;
+  severity : severity;
+  message : string;
+  path : string;
+}
+
+type info = {
+  r_code : string;
+  r_severity : severity;
+  r_title : string;
+  r_explanation : string;
+}
+
+let registry : info list =
+  [
+    {
+      r_code = "RF001";
+      r_severity = Warning;
+      r_title = "self-join rewrite on a frame excluding the current row";
+      r_explanation =
+        "The Fig. 2 self-join simulation keeps a row only if its frame \
+         join finds at least one partner, so a frame that does not \
+         contain the current row can silently drop rows with empty \
+         frames.  Use the native window operator for such frames, or \
+         widen the frame to include CURRENT ROW.";
+    };
+    {
+      r_code = "RF002";
+      r_severity = Warning;
+      r_title = "MaxOA coverage precondition violated";
+      r_explanation =
+        "Deriving a (ly, hy) MIN/MAX sequence from a materialized \
+         (lx, hx) view by maximal overlapping (paper S4.2) requires \
+         0 <= delta_l, 0 <= delta_h and delta_l + delta_h <= lx + hx: \
+         the two shifted view windows must cover the query window.  \
+         Outside that range the derivation is unsound; recompute from \
+         the base table or materialize a wider view.";
+    };
+    {
+      r_code = "RF003";
+      r_severity = Warning;
+      r_title = "derivation from an incomplete sequence view";
+      r_explanation =
+        "Derivability (paper S3.2) presumes a complete sequence: the \
+         header (positions -h+1..0) and trailer (n+1..n+l) must be \
+         materialized, otherwise derived values near the sequence \
+         borders are wrong.  Refresh or re-materialize the view with \
+         its header and trailer.";
+    };
+    {
+      r_code = "RF004";
+      r_severity = Warning;
+      r_title = "cumulative window planned as an O(n*w) self join";
+      r_explanation =
+        "A cumulative frame over an invertible aggregate is computable \
+         by the O(n) pipelined recursion x~_k = x~_{k-1} + x_k (paper \
+         S2.2); the relational self-join simulation costs O(n*w) with \
+         w growing to n.  Prefer the native window operator for \
+         cumulative frames (drop --self-join).";
+    };
+    {
+      r_code = "RF005";
+      r_severity = Warning;
+      r_title = "projected column is never used";
+      r_explanation =
+        "A projection computes a column no ancestor operator consumes.  \
+         The column costs evaluation time and width for nothing; drop \
+         it from the inner select list.";
+    };
+    {
+      r_code = "RF006";
+      r_severity = Info;
+      r_title = "constant-foldable predicate";
+      r_explanation =
+        "A filter conjunct references no columns, so its value is the \
+         same for every row and could be folded at plan time (TRUE: \
+         remove the conjunct; FALSE/NULL: the subtree is empty).";
+    };
+    {
+      r_code = "RF100";
+      r_severity = Error;
+      r_title = "statement failed to parse or bind";
+      r_explanation =
+        "The statement could not be turned into a logical plan; the \
+         message carries the parser or binder error.";
+    };
+    {
+      r_code = "RF101";
+      r_severity = Error;
+      r_title = "column reference out of bounds";
+      r_explanation =
+        "A positional column reference $i lies outside the operator's \
+         input schema.  This indicates a broken plan rewrite \
+         (mis-shifted column indices).";
+    };
+    {
+      r_code = "RF102";
+      r_severity = Error;
+      r_title = "ill-typed expression";
+      r_explanation =
+        "Static typing of the expression against the operator's input \
+         schema failed (e.g. arithmetic on non-numeric operands or \
+         incompatible CASE branches).";
+    };
+    {
+      r_code = "RF103";
+      r_severity = Error;
+      r_title = "predicate is not boolean";
+      r_explanation =
+        "A filter or join condition must type as BOOLEAN (or be the \
+         always-NULL literal); this one infers a different type.";
+    };
+    {
+      r_code = "RF104";
+      r_severity = Error;
+      r_title = "invalid window frame";
+      r_explanation =
+        "Window frames need non-negative offsets, a lower bound not \
+         above the upper bound, and RANGE frames exactly one ORDER BY \
+         key.";
+    };
+    {
+      r_code = "RF105";
+      r_severity = Error;
+      r_title = "projection type cannot be inferred";
+      r_explanation =
+        "The type of a projected expression is unknown (e.g. a bare \
+         NULL): the plan's output schema would be a guess.  Give the \
+         expression a typed context, e.g. COALESCE with a typed \
+         alternative.";
+    };
+    {
+      r_code = "RF106";
+      r_severity = Error;
+      r_title = "aggregate argument is not numeric";
+      r_explanation =
+        "SUM and AVG require a numeric argument; evaluation would fail \
+         on every row.";
+    };
+    {
+      r_code = "RF107";
+      r_severity = Error;
+      r_title = "rank/navigation window function without ORDER BY";
+      r_explanation =
+        "ROW_NUMBER, RANK, DENSE_RANK, LAG and LEAD are meaningless \
+         without an ordering; add an ORDER BY to the OVER clause.";
+    };
+    {
+      r_code = "RF108";
+      r_severity = Error;
+      r_title = "negative LIMIT";
+      r_explanation = "LIMIT takes a non-negative row count.";
+    };
+    {
+      r_code = "RF109";
+      r_severity = Error;
+      r_title = "set-operation schema mismatch";
+      r_explanation =
+        "UNION operands must agree on arity, column names and column \
+         types position by position.";
+    };
+    {
+      r_code = "RF110";
+      r_severity = Error;
+      r_title = "operator schema contract violation";
+      r_explanation =
+        "An operator's structural contract is broken: a Number operator \
+         needs a fresh, non-empty output column name and an Alias a \
+         non-empty relation name.";
+    };
+  ]
+
+let find_info code = List.find_opt (fun i -> i.r_code = code) registry
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let explain code =
+  match find_info code with
+  | Some i ->
+    Printf.sprintf "%s (%s): %s\n  %s" i.r_code (severity_name i.r_severity)
+      i.r_title i.r_explanation
+  | None -> Printf.sprintf "%s: unknown diagnostic code" code
+
+let make ~code ~path message =
+  let severity =
+    match find_info code with Some i -> i.r_severity | None -> Error
+  in
+  let path = match path with [] -> "plan" | p -> String.concat "/" p in
+  { code; severity; message; path }
+
+let is_error d = d.severity = Error
+
+let to_string d =
+  Printf.sprintf "%s %s: %s [at %s]" d.code (severity_name d.severity) d.message
+    d.path
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)

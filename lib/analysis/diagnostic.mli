@@ -1,0 +1,47 @@
+(** Diagnostics of the plan verifier and lint subsystem.
+
+    Every diagnostic carries a stable [RFxxx] code so tools (and golden
+    tests) can match on it, a severity, a human-readable message, and the
+    plan path of the offending node.  The code registry ({!registry})
+    documents every rule; [rfview lint --explain-diagnostics] prints it. *)
+
+type severity =
+  | Error    (** the plan is not well-formed / not executable as written *)
+  | Warning  (** the plan computes a suspect or needlessly expensive answer *)
+  | Info     (** stylistic or optimization note *)
+
+type t = {
+  code : string;     (** stable rule code, e.g. ["RF001"] *)
+  severity : severity;
+  message : string;
+  path : string;     (** plan location, root first, e.g. ["Project/Filter"] *)
+}
+
+(** Registry entry: what a code means and how to address it. *)
+type info = {
+  r_code : string;
+  r_severity : severity;
+  r_title : string;
+  r_explanation : string;
+}
+
+(** All known diagnostic codes, ascending. *)
+val registry : info list
+
+val find_info : string -> info option
+
+(** One-paragraph explanation of a code (title + remedy); a fallback
+    string for unknown codes. *)
+val explain : string -> string
+
+(** Build a diagnostic; the severity is looked up in the registry
+    (unknown codes default to [Error]).  [path] is given root-first. *)
+val make : code:string -> path:string list -> string -> t
+
+val severity_name : severity -> string
+val is_error : t -> bool
+
+(** ["RF006 info: ... [at Project/Filter]"]. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

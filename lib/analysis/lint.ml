@@ -1,0 +1,203 @@
+(* Lint rules over logical plans and view derivations.  See the .mli
+   for the rule inventory; Diagnostic.registry documents each code. *)
+
+open Rfview_relalg
+module Logical = Rfview_planner.Logical
+module Rewrite = Rfview_planner.Rewrite
+module Core = Rfview_core
+module Iset = Set.Make (Int)
+
+let diag code path fmt = Format.kasprintf (Diagnostic.make ~code ~path) fmt
+
+let is_cumulative (f : Window.frame) =
+  f.Window.lo = Window.Unbounded_preceding
+  && f.Window.hi = Window.Current_row
+  && f.Window.mode = Window.Rows
+
+let invertible = function
+  | Aggregate.Sum | Aggregate.Count | Aggregate.Avg -> true
+  | Aggregate.Min | Aggregate.Max -> false
+
+(* ---- RF001 / RF004 / RF006: a plain walk ---- *)
+
+let rec walk ~self_join parent (p : Logical.t) : Diagnostic.t list =
+  let path = parent @ [ Check.label p ] in
+  let mine =
+    match p with
+    | Logical.Filter { pred; _ } ->
+      List.filter_map
+        (fun c ->
+          if Expr.columns c = [] then
+            Some
+              (diag "RF006" path
+                 "filter conjunct %s references no columns and can be folded at \
+                  plan time"
+                 (Expr.to_string c))
+          else None)
+        (Expr.conjuncts pred)
+    | Logical.Window_op { fns; _ } when self_join ->
+      List.concat_map
+        (fun (fn : Logical.window_fn) ->
+          match fn.Logical.func with
+          | Window.Agg kind ->
+            let dropped =
+              if
+                fn.Logical.frame.Window.mode = Window.Rows
+                && not (Rewrite.frame_contains_current fn.Logical.frame)
+              then
+                [ diag "RF001" path
+                    "window %s: the frame does not contain the current row; the \
+                     Fig. 2 self-join simulation drops rows with empty frames"
+                    fn.Logical.name ]
+              else []
+            in
+            let pipelined =
+              if is_cumulative fn.Logical.frame && invertible kind then
+                [ diag "RF004" path
+                    "window %s: a cumulative %s is computable by the O(n) \
+                     pipelined recursion; the self-join simulation costs O(n*w)"
+                    fn.Logical.name (Aggregate.kind_name kind) ]
+              else []
+            in
+            dropped @ pipelined
+          | _ -> [])
+        fns
+    | _ -> []
+  in
+  let children =
+    match p with
+    | Logical.Scan _ -> []
+    | Logical.Filter { input; _ }
+    | Logical.Project { input; _ }
+    | Logical.Aggregate { input; _ }
+    | Logical.Window_op { input; _ }
+    | Logical.Number { input; _ }
+    | Logical.Sort { input; _ }
+    | Logical.Distinct input
+    | Logical.Limit { input; _ }
+    | Logical.Alias { input; _ } -> walk ~self_join path input
+    | Logical.Join { left; right; _ } | Logical.Union_all { left; right } ->
+      walk ~self_join path left @ walk ~self_join path right
+  in
+  mine @ children
+
+(* ---- RF005: unused projected columns ----
+
+   Top-down pass threading the set of output positions each node's
+   ancestors actually consume.  A Project output outside that set is
+   dead weight.  The root's outputs are the query result and therefore
+   always "used". *)
+
+let iset_of_list l = List.fold_left (fun s i -> Iset.add i s) Iset.empty l
+
+let all_cols schema = iset_of_list (List.init (Schema.arity schema) Fun.id)
+
+let cols_of_exprs exprs =
+  iset_of_list (List.concat_map Expr.columns exprs)
+
+let rec unused parent (required : Iset.t) (p : Logical.t) : Diagnostic.t list =
+  let path = parent @ [ Check.label p ] in
+  match p with
+  | Logical.Scan _ -> []
+  | Logical.Filter { input; pred } ->
+    unused path (Iset.union required (cols_of_exprs [ pred ])) input
+  | Logical.Project { input; exprs } ->
+    let mine =
+      List.concat
+        (List.mapi
+           (fun i (_, name) ->
+             if Iset.mem i required then []
+             else
+               [ diag "RF005" path
+                   "projected column %s is never used by any ancestor operator"
+                   name ])
+           exprs)
+    in
+    let live = List.filteri (fun i _ -> Iset.mem i required) (List.map fst exprs) in
+    mine @ unused path (cols_of_exprs live) input
+  | Logical.Join { left; right; cond; _ } ->
+    let la = Schema.arity (Logical.schema left) in
+    let wanted = Iset.union required (cols_of_exprs [ cond ]) in
+    let left_req = Iset.filter (fun i -> i < la) wanted in
+    let right_req =
+      Iset.filter_map (fun i -> if i >= la then Some (i - la) else None) wanted
+    in
+    unused path left_req left @ unused path right_req right
+  | Logical.Aggregate { input; group; aggs } ->
+    (* grouping semantics need every group key regardless of projection *)
+    let req =
+      cols_of_exprs (group @ List.map (fun (a : Groupop.agg_spec) -> a.Groupop.arg) aggs)
+    in
+    unused path req input
+  | Logical.Window_op { input; fns } ->
+    let n = Schema.arity (Logical.schema input) in
+    let internal =
+      cols_of_exprs
+        (List.concat_map
+           (fun (fn : Logical.window_fn) ->
+             (fn.Logical.arg :: fn.Logical.partition)
+             @ List.map (fun (k : Sortop.key) -> k.Sortop.expr) fn.Logical.order)
+           fns)
+    in
+    let passthrough = Iset.filter (fun i -> i < n) required in
+    unused path (Iset.union passthrough internal) input
+  | Logical.Number { input; partition; order; _ } ->
+    let n = Schema.arity (Logical.schema input) in
+    let internal =
+      cols_of_exprs
+        (partition @ List.map (fun (k : Sortop.key) -> k.Sortop.expr) order)
+    in
+    let passthrough = Iset.filter (fun i -> i < n) required in
+    unused path (Iset.union passthrough internal) input
+  | Logical.Sort { input; keys } ->
+    let key_cols = cols_of_exprs (List.map (fun (k : Sortop.key) -> k.Sortop.expr) keys) in
+    unused path (Iset.union required key_cols) input
+  | Logical.Distinct input ->
+    (* DISTINCT compares entire rows: every column is semantically used *)
+    unused path (all_cols (Logical.schema input)) input
+  | Logical.Limit { input; _ } -> unused path required input
+  | Logical.Union_all { left; right } ->
+    unused path required left @ unused path required right
+  | Logical.Alias { input; _ } -> unused path required input
+
+(* ---- Entry points ---- *)
+
+let plan ?(self_join = false) (p : Logical.t) : Diagnostic.t list =
+  if List.exists Diagnostic.is_error (Check.check p) then []
+  else
+    walk ~self_join [] p @ unused [] (all_cols (Logical.schema p)) p
+
+let derivation ~(view_frame : Core.Frame.t) ~(view_agg : Core.Agg.t)
+    ~(query_frame : Core.Frame.t) ~complete : Diagnostic.t list =
+  let path = [ "Derive" ] in
+  let completeness =
+    if complete then []
+    else
+      [ diag "RF003" path
+          "the source sequence view is incomplete (missing header/trailer \
+           positions); derived values at the sequence borders would be wrong" ]
+  in
+  let coverage =
+    match view_agg, view_frame, query_frame with
+    | (Core.Agg.Min | Core.Agg.Max), Core.Frame.Sliding { l = lx; h = hx },
+      Core.Frame.Sliding { l = ly; h = hy } ->
+      let dl = ly - lx and dh = hy - hx in
+      if dl < 0 || dh < 0 then
+        [ diag "RF002" path
+            "MaxOA cannot shrink a %s window (delta_l = %d, delta_h = %d must \
+             be non-negative)"
+            (Core.Agg.name view_agg) dl dh ]
+      else if dl + dh > lx + hx then
+        [ diag "RF002" path
+            "MaxOA coverage violated: delta_l + delta_h = %d exceeds lx + hx = \
+             %d; the shifted view windows cannot cover the %s query window"
+            (dl + dh) (lx + hx) (Core.Agg.name view_agg) ]
+      else []
+    | (Core.Agg.Min | Core.Agg.Max), Core.Frame.Cumulative, Core.Frame.Sliding _ ->
+      [ diag "RF002" path
+          "a sliding %s window cannot be derived from a cumulative view (only \
+           SUM supports the difference rule)"
+          (Core.Agg.name view_agg) ]
+    | _ -> []
+  in
+  completeness @ coverage

@@ -1,0 +1,36 @@
+(** Lint rules over logical plans and view derivations.
+
+    Unlike {!Check}, lint diagnoses plans that are {e well-formed} but
+    suspect or needlessly expensive — the paper-specific pitfalls:
+
+    - RF001: a framed aggregate whose frame does not contain the current
+      row while the Fig. 2 self-join rewrite is in effect (rows with
+      empty frames would vanish in the inner join);
+    - RF004: a cumulative frame over an invertible aggregate planned as
+      the O(n*w) self join although the O(n) pipelined recursion
+      applies;
+    - RF005: a projected column never used by any ancestor operator;
+    - RF006: a filter conjunct referencing no columns (constant-foldable).
+
+    Derivation-level rules ({!derivation}):
+
+    - RF002: MaxOA requested with delta_l + delta_h > lx + hx (the §4.2
+      coverage rule) or a shrinking window;
+    - RF003: derivation from an incomplete sequence view (missing
+      header/trailer). *)
+
+(** Lint a plan.  [self_join] states whether the Fig. 2 window-to-self-join
+    rewrite will be applied to this plan (enables RF001/RF004).  Plans
+    with well-formedness errors yield no lint output — run {!Check.check}
+    first. *)
+val plan : ?self_join:bool -> Rfview_planner.Logical.t -> Diagnostic.t list
+
+(** Lint a sequence-view derivation: can a [query_frame] window over
+    [view_agg] be derived from a [view_frame] view whose completeness is
+    [complete]? *)
+val derivation :
+  view_frame:Rfview_core.Frame.t ->
+  view_agg:Rfview_core.Agg.t ->
+  query_frame:Rfview_core.Frame.t ->
+  complete:bool ->
+  Diagnostic.t list

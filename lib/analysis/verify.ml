@@ -1,0 +1,55 @@
+(* Translation validation of plan rewrites (see the .mli).  The planner
+   cannot depend on this library (it would be a dependency cycle), so
+   rewrite passes report (before, after) pairs through
+   Rfview_planner.Hooks and [enable] installs the validator there. *)
+
+open Rfview_relalg
+module Logical = Rfview_planner.Logical
+module Hooks = Rfview_planner.Hooks
+
+exception Plan_invalid of string
+exception Not_preserved of string
+
+let flag = ref false
+
+let enabled () = !flag
+
+let check_plan ~context plan =
+  match List.filter Diagnostic.is_error (Check.check plan) with
+  | [] -> ()
+  | errs ->
+    raise
+      (Plan_invalid
+         (Printf.sprintf "%s failed the well-formedness checker:\n  %s" context
+            (String.concat "\n  " (List.map Diagnostic.to_string errs))))
+
+let schema_of ~pass ~side plan =
+  try Logical.schema plan
+  with e ->
+    raise
+      (Not_preserved
+         (Printf.sprintf "%s: the %s plan has no computable schema: %s" pass side
+            (Printexc.to_string e)))
+
+let validate ~pass ~before ~after =
+  check_plan ~context:(pass ^ " input") before;
+  check_plan ~context:(pass ^ " output") after;
+  let sb = schema_of ~pass ~side:"input" before in
+  let sa = schema_of ~pass ~side:"output" after in
+  if not (Schema.equal sb sa) then
+    raise
+      (Not_preserved
+         (Printf.sprintf "%s is not schema-preserving: %s became %s" pass
+            (Schema.to_string sb) (Schema.to_string sa)))
+
+let installed = ref false
+
+let enable () =
+  flag := true;
+  if not !installed then begin
+    installed := true;
+    Hooks.validator :=
+      fun ~pass ~before ~after -> if !flag then validate ~pass ~before ~after
+  end
+
+let disable () = flag := false

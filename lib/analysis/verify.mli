@@ -1,0 +1,39 @@
+(** Translation validation of plan rewrites.
+
+    When enabled, every rewrite pass reported through
+    {!Rfview_planner.Hooks} — predicate pushdown, the Fig. 2
+    window-to-self-join rewrite — is validated: the output plan must be
+    checker-clean ({!Check.check} reports no errors) and schema-equivalent
+    (names, arity, dtypes) to the input plan.  The engine additionally
+    checks every bound and optimized plan, and bag-compares incremental
+    materialized-view maintenance against full recomputation.
+
+    Verification is off by default (production plans pay nothing); the
+    test suite and [rfview --verify-plans] enable it globally. *)
+
+(** Raised when a plan fails the well-formedness checker. *)
+exception Plan_invalid of string
+
+(** Raised when a rewrite pass is not schema-preserving, or when an
+    incremental maintenance result diverges from recomputation. *)
+exception Not_preserved of string
+
+(** Turn verification on and install the translation validator into the
+    planner's rewrite hook (idempotent). *)
+val enable : unit -> unit
+
+(** Turn verification off (the hook stays installed but becomes inert). *)
+val disable : unit -> unit
+
+val enabled : unit -> bool
+
+(** Check a plan; @raise Plan_invalid listing the checker errors. *)
+val check_plan : context:string -> Rfview_planner.Logical.t -> unit
+
+(** Validate one rewrite pass: both sides checker-clean, schemas equal.
+    @raise Plan_invalid / Not_preserved accordingly. *)
+val validate :
+  pass:string ->
+  before:Rfview_planner.Logical.t ->
+  after:Rfview_planner.Logical.t ->
+  unit

@@ -13,6 +13,7 @@ module Ast = Rfview_sql.Ast
 module Parser = Rfview_sql.Parser
 module Pretty = Rfview_sql.Pretty
 module P = Rfview_planner
+module Verify = Rfview_analysis.Verify
 
 exception Engine_error of string
 
@@ -141,12 +142,14 @@ let invalidate_view_indexes db name =
 
 let plan_query db (q : Ast.query) : P.Physical.t =
   let logical = P.Binder.bind_query (binder_catalog db) q in
+  if Verify.enabled () then Verify.check_plan ~context:"bound plan" logical;
   let logical =
     match db.window_mode with
     | `Native -> logical
     | `Self_join -> P.Rewrite.window_to_self_join logical
   in
   let logical = P.Optimize.optimize logical in
+  if Verify.enabled () then Verify.check_plan ~context:"optimized plan" logical;
   let opts =
     {
       P.Physical.window_strategy = db.window_strategy;
@@ -192,6 +195,19 @@ let refresh_view_full db (v : Catalog.view) =
               ~base:(Catalog.table_relation tbl)
               ~out_schema:(Relation.schema contents)
           in
+          (* translation validation of the derivation rewrite: the
+             incremental core representation must reproduce the view
+             contents the full recomputation just produced *)
+          if
+            Verify.enabled ()
+            && not (Relation.equal_bag contents (Matview.render state))
+          then
+            raise
+              (Verify.Not_preserved
+                 (Printf.sprintf
+                    "matview %s: the incremental sequence state does not \
+                     reproduce the recomputed view contents"
+                    v.Catalog.view_name));
           Hashtbl.replace db.view_states (key v.Catalog.view_name) state
         with Matview.Not_maintainable _ -> ()))
 
@@ -223,7 +239,20 @@ let propagate db ~table change =
                   (fun (old_row, new_row) ->
                     Matview.apply_update state ~old_row ~new_row)
                   pairs);
-             v.Catalog.contents <- Some (Matview.render state);
+             let rendered = Matview.render state in
+             (* translation validation: incremental maintenance must agree
+                with recomputing the view definition from scratch *)
+             if
+               Verify.enabled ()
+               && not (Relation.equal_bag rendered (run_query db v.Catalog.definition))
+             then
+               raise
+                 (Verify.Not_preserved
+                    (Printf.sprintf
+                       "matview %s: incremental maintenance diverged from full \
+                        recomputation"
+                       v.Catalog.view_name));
+             v.Catalog.contents <- Some rendered;
              invalidate_view_indexes db v.Catalog.view_name
            with Matview.Not_maintainable _ -> refresh_view_full db v)
         | None -> refresh_view_full db v

@@ -647,7 +647,23 @@ and attach_windows plan (scope : Schema.t) (window_asts : Ast.window_fn list) =
     (plan, scope)
   end
 
+(* Every select item must have an inferable, consistent type — a silent
+   String fallback in the output schema would mask binder bugs and
+   mistype downstream consumers (ORDER BY, set operations, views). *)
 and finish_select plan exprs ~distinct =
+  let in_schema = Logical.schema plan in
+  List.iter
+    (fun (e, name) ->
+      match Expr.infer_type in_schema e with
+      | Some _ -> ()
+      | None ->
+        bind_error
+          "cannot infer the type of select item %s; give a bare NULL a typed \
+           context (e.g. COALESCE with a typed value)"
+          name
+      | exception Expr.Type_mismatch m ->
+        bind_error "select item %s is ill-typed: %s" name m)
+    exprs;
   let plan = Logical.Project { input = plan; exprs } in
   if distinct then Logical.Distinct plan else plan
 

@@ -1,0 +1,9 @@
+(* Injection point for the plan verifier — see the .mli.  Rewrite
+   passes call [validate]; the analysis library installs the real
+   validator at enable time. *)
+
+type validator = pass:string -> before:Logical.t -> after:Logical.t -> unit
+
+let validator : validator ref = ref (fun ~pass:_ ~before:_ ~after:_ -> ())
+
+let validate ~pass ~before ~after = !validator ~pass ~before ~after

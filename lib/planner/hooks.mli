@@ -1,0 +1,14 @@
+(** Injection point for the plan verifier.
+
+    The analysis library ([rfview_analysis]) depends on the planner, so
+    the planner cannot call it directly.  Instead every rewrite pass
+    reports its (before, after) plan pair here;
+    [Rfview_analysis.Verify.enable] installs the translation validator.
+    The default validator is a no-op, so un-verified runs pay nothing. *)
+
+type validator = pass:string -> before:Logical.t -> after:Logical.t -> unit
+
+val validator : validator ref
+
+(** Invoke the installed validator. *)
+val validate : validator

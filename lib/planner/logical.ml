@@ -40,6 +40,8 @@ let to_relalg_fn (fn : window_fn) : Window.fn =
     name = fn.name;
   }
 
+exception Schema_error of string
+
 let rec schema : t -> Schema.t = function
   | Scan { schema; _ } -> schema
   | Filter { input; _ } -> schema input
@@ -48,10 +50,17 @@ let rec schema : t -> Schema.t = function
     Schema.make
       (List.map
          (fun (e, name) ->
+           (* A projection with no inferable type (e.g. a bare NULL) must
+              not silently default — the binder rejects such select items
+              up front, so reaching this is a broken plan rewrite. *)
            let ty =
              match Expr.infer_type in_schema e with
              | Some t -> t
-             | None -> Dtype.String
+             | None ->
+               raise
+                 (Schema_error
+                    (Printf.sprintf
+                       "cannot infer the type of projected column %s" name))
            in
            Schema.column name ty)
          exprs)

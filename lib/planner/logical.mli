@@ -37,7 +37,14 @@ type t =
 (** Convert a plan-level window function to the executor's form. *)
 val to_relalg_fn : window_fn -> Window.fn
 
-(** The output schema of a plan (computed structurally). *)
+(** Raised by {!schema} when a projected expression has no inferable
+    type (e.g. a bare NULL) — the output schema would be a guess.  The
+    binder rejects such select items with a [Bind_error] before a plan
+    is ever built. *)
+exception Schema_error of string
+
+(** The output schema of a plan (computed structurally).
+    @raise Schema_error per above. *)
 val schema : t -> Schema.t
 
 (** EXPLAIN rendering. *)

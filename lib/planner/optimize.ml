@@ -17,26 +17,27 @@
 
 open Rfview_relalg
 
-let rec optimize (plan : Logical.t) : Logical.t =
+let rec optimize_plan (plan : Logical.t) : Logical.t =
   match plan with
   | Logical.Scan _ -> plan
   | Logical.Filter { input; pred } ->
-    push_filter (optimize input) (Expr.conjuncts pred)
+    push_filter (optimize_plan input) (Expr.conjuncts pred)
   | Logical.Project { input; exprs } ->
-    Logical.Project { input = optimize input; exprs }
+    Logical.Project { input = optimize_plan input; exprs }
   | Logical.Join { kind; left; right; cond } ->
-    Logical.Join { kind; left = optimize left; right = optimize right; cond }
+    Logical.Join { kind; left = optimize_plan left; right = optimize_plan right; cond }
   | Logical.Aggregate { input; group; aggs } ->
-    Logical.Aggregate { input = optimize input; group; aggs }
-  | Logical.Window_op { input; fns } -> Logical.Window_op { input = optimize input; fns }
+    Logical.Aggregate { input = optimize_plan input; group; aggs }
+  | Logical.Window_op { input; fns } ->
+    Logical.Window_op { input = optimize_plan input; fns }
   | Logical.Number { input; partition; order; name } ->
-    Logical.Number { input = optimize input; partition; order; name }
-  | Logical.Sort { input; keys } -> Logical.Sort { input = optimize input; keys }
-  | Logical.Distinct input -> Logical.Distinct (optimize input)
-  | Logical.Limit { input; n } -> Logical.Limit { input = optimize input; n }
+    Logical.Number { input = optimize_plan input; partition; order; name }
+  | Logical.Sort { input; keys } -> Logical.Sort { input = optimize_plan input; keys }
+  | Logical.Distinct input -> Logical.Distinct (optimize_plan input)
+  | Logical.Limit { input; n } -> Logical.Limit { input = optimize_plan input; n }
   | Logical.Union_all { left; right } ->
-    Logical.Union_all { left = optimize left; right = optimize right }
-  | Logical.Alias { input; rel } -> Logical.Alias { input = optimize input; rel }
+    Logical.Union_all { left = optimize_plan left; right = optimize_plan right }
+  | Logical.Alias { input; rel } -> Logical.Alias { input = optimize_plan input; rel }
 
 and push_filter (plan : Logical.t) (conjuncts : Expr.t list) : Logical.t =
   match conjuncts with
@@ -83,3 +84,10 @@ and push_filter (plan : Logical.t) (conjuncts : Expr.t list) : Logical.t =
        if rest = [] then join
        else Logical.Filter { input = join; pred = Expr.conjoin rest }
      | other -> Logical.Filter { input = other; pred = Expr.conjoin conjuncts })
+
+(* Translation-validated entry point: the installed verifier (if any)
+   asserts the pass is schema-preserving and checker-clean. *)
+let optimize (plan : Logical.t) : Logical.t =
+  let optimized = optimize_plan plan in
+  Hooks.validate ~pass:"Optimize.optimize" ~before:plan ~after:optimized;
+  optimized

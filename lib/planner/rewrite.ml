@@ -135,35 +135,42 @@ let rewrite_one (input : Logical.t) (fn : Logical.window_fn) : Logical.t =
    naming matters (directly on Window_op nodes). *)
 
 (* Replace every Window_op node in the plan by the self-join simulation. *)
-let rec window_to_self_join (plan : Logical.t) : Logical.t =
+let rec rewrite_windows (plan : Logical.t) : Logical.t =
   match plan with
   | Logical.Scan _ -> plan
   | Logical.Filter { input; pred } ->
-    Logical.Filter { input = window_to_self_join input; pred }
+    Logical.Filter { input = rewrite_windows input; pred }
   | Logical.Project { input; exprs } ->
-    Logical.Project { input = window_to_self_join input; exprs }
+    Logical.Project { input = rewrite_windows input; exprs }
   | Logical.Join { kind; left; right; cond } ->
     Logical.Join
-      { kind; left = window_to_self_join left; right = window_to_self_join right; cond }
+      { kind; left = rewrite_windows left; right = rewrite_windows right; cond }
   | Logical.Aggregate { input; group; aggs } ->
-    Logical.Aggregate { input = window_to_self_join input; group; aggs }
+    Logical.Aggregate { input = rewrite_windows input; group; aggs }
   | Logical.Window_op { input; fns } ->
-    let input = window_to_self_join input in
+    let input = rewrite_windows input in
     (* chain the functions; each rewrite preserves prior columns as a
        prefix, so the per-function expressions stay valid and the output
        column order matches the native operator *)
     List.fold_left rewrite_one input fns
   | Logical.Number { input; partition; order; name } ->
-    Logical.Number { input = window_to_self_join input; partition; order; name }
+    Logical.Number { input = rewrite_windows input; partition; order; name }
   | Logical.Sort { input; keys } ->
-    Logical.Sort { input = window_to_self_join input; keys }
-  | Logical.Distinct input -> Logical.Distinct (window_to_self_join input)
-  | Logical.Limit { input; n } -> Logical.Limit { input = window_to_self_join input; n }
+    Logical.Sort { input = rewrite_windows input; keys }
+  | Logical.Distinct input -> Logical.Distinct (rewrite_windows input)
+  | Logical.Limit { input; n } -> Logical.Limit { input = rewrite_windows input; n }
   | Logical.Union_all { left; right } ->
     Logical.Union_all
-      { left = window_to_self_join left; right = window_to_self_join right }
+      { left = rewrite_windows left; right = rewrite_windows right }
   | Logical.Alias { input; rel } ->
-    Logical.Alias { input = window_to_self_join input; rel }
+    Logical.Alias { input = rewrite_windows input; rel }
+
+(* Translation-validated entry point: the simulation must produce the
+   same output schema as the native window operator it replaces. *)
+let window_to_self_join (plan : Logical.t) : Logical.t =
+  let rewritten = rewrite_windows plan in
+  Hooks.validate ~pass:"Rewrite.window_to_self_join" ~before:plan ~after:rewritten;
+  rewritten
 
 let has_window_op plan =
   let rec go = function

@@ -1,0 +1,391 @@
+(* Tests of the analysis library: the well-formedness checker (RF1xx),
+   the lint rules (RF001-RF006) with golden firing / non-firing cases,
+   the diagnostic registry, and the translation validator. *)
+
+open Rfview_relalg
+module A = Rfview_analysis
+module Diagnostic = A.Diagnostic
+module Check = A.Check
+module Lint = A.Lint
+module Verify = A.Verify
+module P = Rfview_planner
+module Logical = Rfview_planner.Logical
+module Db = Rfview_engine.Database
+module Core = Rfview_core
+
+let () = Verify.enable ()
+
+(* ---- Fixtures ---- *)
+
+let db3 () =
+  let db = Db.create () in
+  ignore (Db.exec db "CREATE TABLE a (x INT, u INT)");
+  ignore (Db.exec db "CREATE TABLE b (y INT, v INT)");
+  ignore (Db.exec db "CREATE TABLE seq (pos INT, val FLOAT)");
+  ignore (Db.exec db "INSERT INTO a VALUES (1, 10), (2, 20), (3, 30)");
+  ignore (Db.exec db "INSERT INTO b VALUES (1, 100), (2, 200), (4, 400)");
+  ignore (Db.exec db "INSERT INTO seq VALUES (1, 1.5), (2, 2.5), (3, 3.5)");
+  db
+
+let bind db sql =
+  P.Binder.bind_query (Db.binder_catalog db) (Rfview_sql.Parser.query sql)
+
+let codes ds = List.sort_uniq compare (List.map (fun d -> d.Diagnostic.code) ds)
+
+(* [check_codes msg plan expected actual] — the plan argument only keeps
+   call sites readable next to the diagnostics they assert about. *)
+let check_codes msg _plan expected actual =
+  Alcotest.(check (list string)) msg expected actual
+
+let int_col name = Schema.column name Dtype.Int
+let str_col name = Schema.column name Dtype.String
+
+let scan schema = Logical.Scan { table = "t"; schema }
+let scan_xs = scan (Schema.make [ int_col "x"; str_col "s" ])
+
+let sum_window ?(order = [ Sortop.key (Expr.Col 0) ]) ~frame input =
+  Logical.Window_op
+    {
+      input;
+      fns =
+        [
+          {
+            Logical.func = Window.Agg Aggregate.Sum;
+            arg = Expr.Col 0;
+            partition = [];
+            order;
+            frame;
+            name = "w";
+          };
+        ];
+    }
+
+let rows_frame lo hi = { Window.mode = Window.Rows; lo; hi }
+
+(* ---- The checker: RF1xx on hand-built broken plans ---- *)
+
+let test_check_clean_plans () =
+  let db = db3 () in
+  List.iter
+    (fun sql ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "no checker diagnostics for %s" sql)
+        []
+        (codes (Check.check (bind db sql))))
+    [
+      "SELECT x, u FROM a WHERE x > 1";
+      "SELECT x, SUM(u) AS total FROM a GROUP BY x";
+      "SELECT a.x, b.v FROM a, b WHERE a.x = b.y";
+      "SELECT pos, val, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING \
+       AND 1 FOLLOWING) AS s FROM seq ORDER BY pos";
+      "SELECT DISTINCT x FROM a";
+      "SELECT x FROM a UNION ALL SELECT y FROM b";
+      "SELECT x FROM a LIMIT 2";
+    ]
+
+let test_check_col_out_of_bounds () =
+  let plan = Logical.Project { input = scan_xs; exprs = [ (Expr.Col 5, "boom") ] } in
+  check_codes "RF101" plan [ "RF101" ] (codes (Check.check plan));
+  let plan = Logical.Filter { input = scan_xs; pred = Expr.Col (-1) } in
+  check_codes "RF101 negative" plan [ "RF101" ] (codes (Check.check plan))
+
+let test_check_ill_typed () =
+  (* 's' + 1 cannot type *)
+  let plan =
+    Logical.Project
+      { input = scan_xs; exprs = [ (Expr.Binop (Expr.Add, Expr.Col 1, Expr.Col 0), "e") ] }
+  in
+  check_codes "RF102" plan [ "RF102" ] (codes (Check.check plan))
+
+let test_check_nonboolean_predicate () =
+  let plan = Logical.Filter { input = scan_xs; pred = Expr.Col 0 } in
+  check_codes "RF103" plan [ "RF103" ] (codes (Check.check plan))
+
+let test_check_bad_frames () =
+  let bad_neg = rows_frame (Window.Preceding (-2)) Window.Current_row in
+  check_codes "RF104 negative offset"
+    (sum_window ~frame:bad_neg scan_xs)
+    [ "RF104" ]
+    (codes (Check.check (sum_window ~frame:bad_neg scan_xs)));
+  let bad_empty = rows_frame (Window.Following 2) (Window.Preceding 2) in
+  check_codes "RF104 empty frame"
+    (sum_window ~frame:bad_empty scan_xs)
+    [ "RF104" ]
+    (codes (Check.check (sum_window ~frame:bad_empty scan_xs)));
+  let range = { Window.mode = Window.Range; lo = Window.Unbounded_preceding; hi = Window.Current_row } in
+  let no_order = sum_window ~order:[] ~frame:range scan_xs in
+  check_codes "RF104 range without single order key" no_order [ "RF104" ]
+    (codes (Check.check no_order))
+
+let test_check_uninferable_projection () =
+  let plan =
+    Logical.Project { input = scan_xs; exprs = [ (Expr.Const Value.Null, "n") ] }
+  in
+  check_codes "RF105" plan [ "RF105" ] (codes (Check.check plan))
+
+let test_check_nonnumeric_sum () =
+  let plan =
+    Logical.Aggregate
+      {
+        input = scan_xs;
+        group = [];
+        aggs = [ { Groupop.kind = Aggregate.Sum; arg = Expr.Col 1; name = "s" } ];
+      }
+  in
+  check_codes "RF106" plan [ "RF106" ] (codes (Check.check plan))
+
+let test_check_rank_without_order () =
+  let plan =
+    Logical.Window_op
+      {
+        input = scan_xs;
+        fns =
+          [
+            {
+              Logical.func = Window.Row_number;
+              arg = Expr.Col 0;
+              partition = [];
+              order = [];
+              frame = rows_frame Window.Unbounded_preceding Window.Current_row;
+              name = "rn";
+            };
+          ];
+      }
+  in
+  check_codes "RF107" plan [ "RF107" ] (codes (Check.check plan))
+
+let test_check_negative_limit () =
+  let plan = Logical.Limit { input = scan_xs; n = -1 } in
+  check_codes "RF108" plan [ "RF108" ] (codes (Check.check plan))
+
+let test_check_union_mismatch () =
+  let other = scan (Schema.make [ str_col "s" ]) in
+  let plan =
+    Logical.Union_all
+      { left = Logical.Project { input = scan_xs; exprs = [ (Expr.Col 0, "x") ] };
+        right = other }
+  in
+  check_codes "RF109" plan [ "RF109" ] (codes (Check.check plan))
+
+let test_check_number_alias_contracts () =
+  let plan =
+    Logical.Number { input = scan_xs; partition = []; order = []; name = "x" }
+  in
+  check_codes "RF110 collision" plan [ "RF110" ] (codes (Check.check plan));
+  let plan = Logical.Alias { input = scan_xs; rel = "" } in
+  check_codes "RF110 empty alias" plan [ "RF110" ] (codes (Check.check plan))
+
+let test_check_broken_subtree_reported_once () =
+  (* the broken Project poisons its schema; ancestors are skipped, not
+     crashed on *)
+  let broken =
+    Logical.Project { input = scan_xs; exprs = [ (Expr.Col 9, "boom") ] }
+  in
+  let plan = Logical.Sort { input = broken; keys = [ Sortop.key (Expr.Col 0) ] } in
+  check_codes "only the root cause" plan [ "RF101" ] (codes (Check.check plan));
+  Alcotest.(check bool) "not well-formed" false (Check.well_formed plan)
+
+(* ---- Lint: golden firing / non-firing cases ---- *)
+
+let test_lint_constant_conjunct () =
+  let db = db3 () in
+  let fires = Lint.plan (bind db "SELECT x FROM a WHERE 1 = 1") in
+  check_codes "RF006 fires" fires [ "RF006" ] (codes fires);
+  let quiet = Lint.plan (bind db "SELECT x FROM a WHERE x > 1") in
+  check_codes "RF006 quiet" quiet [] (codes quiet)
+
+let test_lint_unused_projection () =
+  let db = db3 () in
+  let fires = Lint.plan (bind db "SELECT x FROM (SELECT x, u FROM a) s") in
+  check_codes "RF005 fires" fires [ "RF005" ] (codes fires);
+  let quiet = Lint.plan (bind db "SELECT x, u FROM (SELECT x, u FROM a) s") in
+  check_codes "RF005 quiet" quiet [] (codes quiet);
+  (* DISTINCT consumes every column: nothing is dead *)
+  let distinct = Lint.plan (bind db "SELECT DISTINCT x, u FROM a") in
+  check_codes "RF005 distinct quiet" distinct [] (codes distinct)
+
+let test_lint_frame_excludes_current_row () =
+  let db = db3 () in
+  let sql =
+    "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 PRECEDING AND 1 \
+     PRECEDING) AS s FROM seq"
+  in
+  let fires = Lint.plan ~self_join:true (bind db sql) in
+  Alcotest.(check bool) "RF001 fires under self-join" true
+    (List.mem "RF001" (codes fires));
+  let quiet = Lint.plan ~self_join:false (bind db sql) in
+  Alcotest.(check bool) "RF001 quiet natively" false
+    (List.mem "RF001" (codes quiet))
+
+let test_lint_cumulative_self_join () =
+  let db = db3 () in
+  let sql =
+    "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS UNBOUNDED PRECEDING) AS s \
+     FROM seq"
+  in
+  let fires = Lint.plan ~self_join:true (bind db sql) in
+  check_codes "RF004 fires for invertible SUM" fires [ "RF004" ] (codes fires);
+  let quiet = Lint.plan ~self_join:false (bind db sql) in
+  check_codes "RF004 quiet natively" quiet [] (codes quiet);
+  (* MIN/MAX are not invertible: the recursion does not apply *)
+  let max_sql =
+    "SELECT pos, MAX(val) OVER (ORDER BY pos ROWS UNBOUNDED PRECEDING) AS s \
+     FROM seq"
+  in
+  let max_lint = Lint.plan ~self_join:true (bind db max_sql) in
+  check_codes "RF004 quiet for MAX" max_lint [] (codes max_lint)
+
+let test_lint_broken_plan_yields_nothing () =
+  let broken = Logical.Limit { input = scan_xs; n = -7 } in
+  Alcotest.(check (list string)) "lint defers to the checker" []
+    (codes (Lint.plan broken))
+
+let sliding l h = Core.Frame.sliding ~l ~h
+
+let test_lint_derivation_coverage () =
+  let lint ?(complete = true) view_frame view_agg query_frame =
+    codes (Lint.derivation ~view_frame ~view_agg ~query_frame ~complete)
+  in
+  (* §4.2: delta_l + delta_h <= lx + hx *)
+  Alcotest.(check (list string)) "covered MAX derivation is quiet" []
+    (lint (sliding 1 1) Core.Agg.Max (sliding 2 1));
+  Alcotest.(check (list string)) "uncovered MAX derivation fires" [ "RF002" ]
+    (lint (sliding 1 1) Core.Agg.Max (sliding 3 3));
+  Alcotest.(check (list string)) "shrinking MIN window fires" [ "RF002" ]
+    (lint (sliding 1 1) Core.Agg.Min (sliding 0 0));
+  Alcotest.(check (list string)) "cumulative MAX to sliding fires" [ "RF002" ]
+    (lint Core.Frame.Cumulative Core.Agg.Max (sliding 1 1));
+  (* SUM is invertible: MinOA handles shrink and growth alike *)
+  Alcotest.(check (list string)) "SUM derivation is quiet" []
+    (lint (sliding 1 1) Core.Agg.Sum (sliding 3 3))
+
+let test_lint_derivation_completeness () =
+  let ds =
+    Lint.derivation ~view_frame:(sliding 2 1) ~view_agg:Core.Agg.Sum
+      ~query_frame:(sliding 2 1) ~complete:false
+  in
+  Alcotest.(check (list string)) "incomplete view fires" [ "RF003" ] (codes ds);
+  let ok =
+    Lint.derivation ~view_frame:(sliding 2 1) ~view_agg:Core.Agg.Sum
+      ~query_frame:(sliding 2 1) ~complete:true
+  in
+  Alcotest.(check (list string)) "complete view is quiet" [] (codes ok)
+
+(* ---- The registry ---- *)
+
+let test_registry () =
+  let codes = List.map (fun i -> i.Diagnostic.r_code) Diagnostic.registry in
+  Alcotest.(check (list string)) "codes are unique and sorted"
+    (List.sort_uniq compare codes) codes;
+  Alcotest.(check bool) "at least the documented rules" true
+    (List.length codes >= 17);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s has an explanation" c)
+        true
+        (String.length (Diagnostic.explain c) > 0))
+    codes;
+  let d = Diagnostic.make ~code:"RF006" ~path:[ "Project"; "Filter" ] "msg" in
+  Alcotest.(check string) "rendering" "RF006 info: msg [at Project/Filter]"
+    (Diagnostic.to_string d);
+  Alcotest.(check bool) "info is not an error" false (Diagnostic.is_error d);
+  Alcotest.(check bool) "RF101 is an error" true
+    (Diagnostic.is_error (Diagnostic.make ~code:"RF101" ~path:[] "msg"))
+
+(* ---- The translation validator ---- *)
+
+let test_verify_schema_preservation () =
+  let before = scan_xs in
+  let after = Logical.Project { input = scan_xs; exprs = [ (Expr.Col 0, "x") ] } in
+  Alcotest.(check bool) "schema-changing pass is rejected" true
+    (match Verify.validate ~pass:"test" ~before ~after with
+     | exception Verify.Not_preserved _ -> true
+     | () -> false);
+  (* identity passes *)
+  Verify.validate ~pass:"test" ~before ~after:before
+
+let test_verify_rejects_broken_plans () =
+  let broken = Logical.Limit { input = scan_xs; n = -7 } in
+  Alcotest.(check bool) "broken after-plan is rejected" true
+    (match Verify.validate ~pass:"test" ~before:broken ~after:broken with
+     | exception Verify.Plan_invalid _ -> true
+     | () -> false);
+  Alcotest.(check bool) "check_plan raises" true
+    (match Verify.check_plan ~context:"test" broken with
+     | exception Verify.Plan_invalid _ -> true
+     | () -> false)
+
+let test_verify_hooks_optimizer () =
+  (* with verification enabled, binding + optimizing + running the whole
+     fixture workload is validated end to end *)
+  Alcotest.(check bool) "verification enabled" true (Verify.enabled ());
+  let db = db3 () in
+  let r =
+    Db.query db
+      "SELECT a.x, b.v FROM a, b WHERE a.x = b.y AND a.u > 5 ORDER BY a.x"
+  in
+  Alcotest.(check int) "validated query still answers" 2
+    (Relation.cardinality r)
+
+let test_binder_rejects_uninferable_select () =
+  let db = db3 () in
+  Alcotest.(check bool) "bare NULL select item is a bind error" true
+    (match bind db "SELECT NULL AS n FROM a" with
+     | exception P.Binder.Bind_error _ -> true
+     | _ -> false);
+  (* a typed context makes it fine *)
+  let plan = bind db "SELECT COALESCE(NULL, 1) AS n FROM a" in
+  Alcotest.(check (list string)) "typed NULL is clean" [] (codes (Check.check plan))
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "check",
+        [
+          Alcotest.test_case "clean plans" `Quick test_check_clean_plans;
+          Alcotest.test_case "col out of bounds" `Quick test_check_col_out_of_bounds;
+          Alcotest.test_case "ill-typed expr" `Quick test_check_ill_typed;
+          Alcotest.test_case "non-boolean predicate" `Quick
+            test_check_nonboolean_predicate;
+          Alcotest.test_case "bad frames" `Quick test_check_bad_frames;
+          Alcotest.test_case "uninferable projection" `Quick
+            test_check_uninferable_projection;
+          Alcotest.test_case "non-numeric SUM" `Quick test_check_nonnumeric_sum;
+          Alcotest.test_case "rank without order" `Quick
+            test_check_rank_without_order;
+          Alcotest.test_case "negative limit" `Quick test_check_negative_limit;
+          Alcotest.test_case "union mismatch" `Quick test_check_union_mismatch;
+          Alcotest.test_case "number/alias contracts" `Quick
+            test_check_number_alias_contracts;
+          Alcotest.test_case "broken subtree" `Quick
+            test_check_broken_subtree_reported_once;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "constant conjunct" `Quick test_lint_constant_conjunct;
+          Alcotest.test_case "unused projection" `Quick test_lint_unused_projection;
+          Alcotest.test_case "frame excludes current row" `Quick
+            test_lint_frame_excludes_current_row;
+          Alcotest.test_case "cumulative self-join" `Quick
+            test_lint_cumulative_self_join;
+          Alcotest.test_case "broken plan yields nothing" `Quick
+            test_lint_broken_plan_yields_nothing;
+          Alcotest.test_case "derivation coverage" `Quick
+            test_lint_derivation_coverage;
+          Alcotest.test_case "derivation completeness" `Quick
+            test_lint_derivation_completeness;
+        ] );
+      ( "registry",
+        [ Alcotest.test_case "registry" `Quick test_registry ] );
+      ( "verify",
+        [
+          Alcotest.test_case "schema preservation" `Quick
+            test_verify_schema_preservation;
+          Alcotest.test_case "rejects broken plans" `Quick
+            test_verify_rejects_broken_plans;
+          Alcotest.test_case "hooks the optimizer" `Quick test_verify_hooks_optimizer;
+          Alcotest.test_case "binder rejects uninferable select" `Quick
+            test_binder_rejects_uninferable_select;
+        ] );
+    ]

@@ -6,6 +6,10 @@
 open Rfview_relalg
 module Core = Rfview_core
 module Db = Rfview_engine.Database
+
+(* Checker-verify every bound plan and translation-validate every
+   rewrite pass while the suite runs. *)
+let () = Rfview_analysis.Verify.enable ()
 module Advisor = Rfview_engine.Advisor
 module Matview = Rfview_engine.Matview
 module Parser = Rfview_sql.Parser

@@ -5,6 +5,10 @@ open Rfview_relalg
 module Db = Rfview_engine.Database
 module P = Rfview_planner
 
+(* Translation-validate every optimizer/rewrite pass and checker-verify
+   every bound plan while the suite runs. *)
+let () = Rfview_analysis.Verify.enable ()
+
 let contains hay needle =
   let nl = String.length needle and hl = String.length hay in
   let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
@@ -55,6 +59,91 @@ let test_left_join_where_not_pushed () =
     Db.query db "SELECT x, v FROM a LEFT OUTER JOIN b ON x = y AND v > 150"
   in
   Alcotest.(check int) "on keeps all left rows" 3 (Relation.cardinality on_pred)
+
+(* Structural checks: where do WHERE conjuncts land around a LEFT OUTER
+   join after pushdown?  Only predicates on the preserved (left) side may
+   sink below the join; anything touching the nullable side must stay in
+   a Filter above it, or padded rows would be judged before padding. *)
+let optimized_plan db sql =
+  P.Optimize.optimize (P.Binder.bind_query (Db.binder_catalog db) (Rfview_sql.Parser.query sql))
+
+let rec find_left_outer (p : P.Logical.t) : P.Logical.t option =
+  match p with
+  | P.Logical.Join { kind = Joinop.Left_outer; _ } -> Some p
+  | P.Logical.Scan _ -> None
+  | P.Logical.Filter { input; _ }
+  | P.Logical.Project { input; _ }
+  | P.Logical.Window_op { input; _ }
+  | P.Logical.Number { input; _ }
+  | P.Logical.Sort { input; _ }
+  | P.Logical.Distinct input
+  | P.Logical.Limit { input; _ }
+  | P.Logical.Aggregate { input; _ }
+  | P.Logical.Alias { input; _ } -> find_left_outer input
+  | P.Logical.Join { left; right; _ } | P.Logical.Union_all { left; right } ->
+    (match find_left_outer left with Some _ as r -> r | None -> find_left_outer right)
+
+let rec filter_above_left_outer (p : P.Logical.t) : bool =
+  match p with
+  | P.Logical.Filter { input; _ } -> find_left_outer input <> None
+  | P.Logical.Project { input; _ }
+  | P.Logical.Window_op { input; _ }
+  | P.Logical.Number { input; _ }
+  | P.Logical.Sort { input; _ }
+  | P.Logical.Distinct input
+  | P.Logical.Limit { input; _ }
+  | P.Logical.Aggregate { input; _ }
+  | P.Logical.Alias { input; _ } -> filter_above_left_outer input
+  | P.Logical.Scan _ | P.Logical.Join _ | P.Logical.Union_all _ -> false
+
+let left_input_filtered plan =
+  match find_left_outer plan with
+  | Some (P.Logical.Join { left; _ }) ->
+    let rec has_filter = function
+      | P.Logical.Filter _ -> true
+      | P.Logical.Alias { input; _ } -> has_filter input
+      | _ -> false
+    in
+    has_filter left
+  | _ -> false
+
+let test_left_outer_pushdown_shapes () =
+  let db = db3 () in
+  (* left-only conjunct: sinks below the join, no residual filter *)
+  let p =
+    optimized_plan db
+      "SELECT x, v FROM a LEFT OUTER JOIN b ON x = y WHERE u > 15"
+  in
+  Alcotest.(check bool) "left conjunct sinks below join" true
+    (left_input_filtered p);
+  Alcotest.(check bool) "no residual filter above join" false
+    (filter_above_left_outer p);
+  (* right-side conjunct: must stay in a Filter above the join *)
+  let p =
+    optimized_plan db
+      "SELECT x, v FROM a LEFT OUTER JOIN b ON x = y WHERE v > 150"
+  in
+  Alcotest.(check bool) "right conjunct stays above join" true
+    (filter_above_left_outer p);
+  Alcotest.(check bool) "right conjunct did not sink left" false
+    (left_input_filtered p);
+  (* mixed conjunct (references both sides): also stays above *)
+  let p =
+    optimized_plan db
+      "SELECT x, v FROM a LEFT OUTER JOIN b ON x = y WHERE u + v > 100"
+  in
+  Alcotest.(check bool) "mixed conjunct stays above join" true
+    (filter_above_left_outer p);
+  Alcotest.(check bool) "mixed conjunct did not sink left" false
+    (left_input_filtered p);
+  (* split: the left part sinks, the rest stays above *)
+  let p =
+    optimized_plan db
+      "SELECT x, v FROM a LEFT OUTER JOIN b ON x = y WHERE u > 15 AND v > 150"
+  in
+  Alcotest.(check bool) "split: left part sinks" true (left_input_filtered p);
+  Alcotest.(check bool) "split: right part stays above" true
+    (filter_above_left_outer p)
 
 (* Random conjunctive queries: the optimizer must not change results. *)
 let prop_pushdown_preserves_semantics =
@@ -119,7 +208,11 @@ let test_runtime_type_errors () =
   in
   Alcotest.(check bool) "division by zero" true (fails "SELECT x / 0 FROM a");
   Alcotest.(check bool) "mod by zero" true (fails "SELECT MOD(x, 0) FROM a");
-  Alcotest.(check bool) "string arithmetic" true (fails "SELECT 'a' + 1 FROM a")
+  (* ill-typed expressions are rejected statically, before execution *)
+  Alcotest.(check bool) "string arithmetic" true
+    (match Db.query db "SELECT 'a' + 1 FROM a" with
+     | exception P.Binder.Bind_error _ -> true
+     | _ -> false)
 
 let test_view_dependency_behaviour () =
   (* dropping a base table leaves a materialized view answering from its
@@ -142,6 +235,8 @@ let () =
           Alcotest.test_case "into join" `Quick test_pushdown_into_join;
           Alcotest.test_case "three-way" `Quick test_pushdown_three_way;
           Alcotest.test_case "left join semantics" `Quick test_left_join_where_not_pushed;
+          Alcotest.test_case "left outer pushdown shapes" `Quick
+            test_left_outer_pushdown_shapes;
           QCheck_alcotest.to_alcotest prop_pushdown_preserves_semantics;
         ] );
       ( "failures",

@@ -6,6 +6,10 @@ open Rfview_relalg
 module Engine = Rfview_engine
 module Db = Rfview_engine.Database
 
+(* Checker-verify every bound plan and translation-validate every
+   rewrite pass while the suite runs. *)
+let () = Rfview_analysis.Verify.enable ()
+
 let fresh_db_with_seq ?(name = "seq") data =
   let db = Db.create () in
   ignore (Db.exec db (Printf.sprintf "CREATE TABLE %s (pos INT, val FLOAT)" name));

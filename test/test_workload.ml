@@ -4,6 +4,10 @@
 open Rfview_relalg
 module W = Rfview_workload
 module Db = Rfview_engine.Database
+
+(* Checker-verify every bound plan and translation-validate every
+   rewrite pass while the suite runs. *)
+let () = Rfview_analysis.Verify.enable ()
 module Core = Rfview_core
 
 (* ---- PRNG ---- *)
