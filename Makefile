@@ -1,4 +1,4 @@
-.PHONY: all build test lint check clean
+.PHONY: all build test lint chaos check clean
 
 all: build
 
@@ -12,7 +12,12 @@ test:
 lint:
 	dune build @lint
 
-check: build test lint
+# Fault-injection sweep: the chaos harness plus the rollback/quarantine
+# suite (test/test_fault.ml) against every registered site.
+chaos:
+	dune exec test/test_fault.exe
+
+check: build test lint chaos
 
 clean:
 	dune clean

@@ -12,17 +12,35 @@
      --naive-window  use the naive O(n·w) window strategy
      --verify-plans  checker-verify every plan and translation-validate
                      every rewrite pass while executing
+     --inject SITE:POLICY (repeatable) arm a fault-injection site; POLICY
+                     is always, nth=N or p=F[@SEED] (see Fault)
      --explain-diagnostics (lint) append the registry explanation to each
                      diagnostic; without FILE, print the whole registry *)
 
 module Db = Rfview_engine.Database
+module Fault = Rfview_engine.Fault
 module Relation = Rfview_relalg.Relation
 module Diag = Rfview_analysis.Diagnostic
 
-let configure db ~self_join ~naive_window ~verify =
+let arm_injections specs =
+  let bad spec msg =
+    Printf.eprintf "rfview: bad --inject spec %S: %s\nknown sites:\n%s\n" spec msg
+      (String.concat "\n" (List.map (fun s -> "  " ^ s) (Fault.sites ())));
+    exit 2
+  in
+  List.iter
+    (fun spec ->
+      match Fault.parse_spec spec with
+      | Ok (site, policy) ->
+        (try Fault.arm site policy with Invalid_argument msg -> bad spec msg)
+      | Error msg -> bad spec msg)
+    specs
+
+let configure db ~self_join ~naive_window ~verify ~inject =
   if self_join then Db.set_window_mode db `Self_join;
   if naive_window then Db.set_window_strategy db Rfview_relalg.Window.Naive;
-  if verify then Rfview_analysis.Verify.enable ()
+  if verify then Rfview_analysis.Verify.enable ();
+  arm_injections inject
 
 let print_result = function
   | Db.Relation r ->
@@ -30,19 +48,28 @@ let print_result = function
     Printf.printf "(%d rows)\n%!" (Relation.cardinality r)
   | Db.Done msg -> Printf.printf "%s\n%!" msg
 
-let report_error = function
+let rec report_error = function
   | Rfview_sql.Lexer.Lex_error (m, off) -> Printf.printf "lex error at %d: %s\n%!" off m
   | Rfview_sql.Parser.Parse_error m -> Printf.printf "parse error: %s\n%!" m
   | Rfview_planner.Binder.Bind_error m -> Printf.printf "bind error: %s\n%!" m
   | Rfview_engine.Catalog.Catalog_error m -> Printf.printf "catalog error: %s\n%!" m
   | Db.Engine_error m -> Printf.printf "error: %s\n%!" m
   | Rfview_relalg.Value.Type_error m -> Printf.printf "type error: %s\n%!" m
+  | Fault.Injected site -> Printf.printf "injected fault at site %s (statement rolled back)\n%!" site
+  | Db.Script_error { index; sql; cause } ->
+    Printf.printf "statement %d failed: %s\n%!" index sql;
+    report_error cause
   | e -> Printf.printf "error: %s\n%!" (Printexc.to_string e)
 
+(* [true] when the whole script succeeded *)
 let run_script db sql =
   match Db.exec_script db sql with
-  | results -> List.iter print_result results
-  | exception e -> report_error e
+  | results ->
+    List.iter print_result results;
+    true
+  | exception e ->
+    report_error e;
+    false
 
 let read_file file =
   let ic = open_in file in
@@ -51,10 +78,10 @@ let read_file file =
   close_in ic;
   sql
 
-let cmd_run file self_join naive_window verify =
+let cmd_run file self_join naive_window verify inject =
   let db = Db.create () in
-  configure db ~self_join ~naive_window ~verify;
-  run_script db (read_file file)
+  configure db ~self_join ~naive_window ~verify ~inject;
+  if not (run_script db (read_file file)) then exit 1
 
 (* ---- lint ---- *)
 
@@ -157,14 +184,14 @@ let repl db =
   in
   loop ()
 
-let cmd_repl self_join naive_window verify =
+let cmd_repl self_join naive_window verify inject =
   let db = Db.create () in
-  configure db ~self_join ~naive_window ~verify;
+  configure db ~self_join ~naive_window ~verify ~inject;
   repl db
 
-let cmd_demo self_join naive_window verify =
+let cmd_demo self_join naive_window verify inject =
   let db = Db.create () in
-  configure db ~self_join ~naive_window ~verify;
+  configure db ~self_join ~naive_window ~verify ~inject;
   Rfview_workload.Transactions.load db;
   Printf.printf
     "loaded demo schema: c_transactions (%d rows), l_locations (%d rows)\n"
@@ -185,6 +212,12 @@ let verify_plans =
   Arg.(value & flag & info [ "verify-plans" ]
     ~doc:"Checker-verify every bound and optimized plan and translation-validate every rewrite pass.")
 
+let inject =
+  Arg.(value & opt_all string [] & info [ "inject" ] ~docv:"SITE:POLICY"
+    ~doc:"Arm a fault-injection site (repeatable). POLICY is $(b,always), \
+          $(b,nth=N) or $(b,p=F[@SEED]); faulting statements roll back and \
+          faulting view maintenance quarantines the view.")
+
 let explain_diagnostics =
   Arg.(value & flag & info [ "explain-diagnostics" ]
     ~doc:"Append the registry explanation to each diagnostic; without FILE, print the whole rule registry.")
@@ -192,15 +225,15 @@ let explain_diagnostics =
 let run_t =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   Cmd.v (Cmd.info "run" ~doc:"Execute a SQL script")
-    Term.(const cmd_run $ file $ self_join $ naive_window $ verify_plans)
+    Term.(const cmd_run $ file $ self_join $ naive_window $ verify_plans $ inject)
 
 let repl_t =
   Cmd.v (Cmd.info "repl" ~doc:"Interactive SQL shell")
-    Term.(const cmd_repl $ self_join $ naive_window $ verify_plans)
+    Term.(const cmd_repl $ self_join $ naive_window $ verify_plans $ inject)
 
 let demo_t =
   Cmd.v (Cmd.info "demo" ~doc:"SQL shell with the credit-card demo schema")
-    Term.(const cmd_demo $ self_join $ naive_window $ verify_plans)
+    Term.(const cmd_demo $ self_join $ naive_window $ verify_plans $ inject)
 
 let lint_t =
   let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE") in

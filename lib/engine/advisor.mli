@@ -34,3 +34,8 @@ val proposals :
     (per-partition derivation; partitioning reduction when the query
     drops the view's PARTITION BY and concatenation order is sound). *)
 val answer : Database.t -> Ast.query -> (Relation.t * proposal) option
+
+(** Derive the answer from one specific proposal (as returned by
+    {!proposals}) — lets a caller attribute a derivation failure to the
+    entry it came from. *)
+val answer_with : Matview.state -> Matview.seq_spec -> proposal -> Relation.t

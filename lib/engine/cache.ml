@@ -22,7 +22,15 @@ module Parser = Rfview_sql.Parser
 type outcome =
   | Hit of Advisor.proposal  (* answered by derivation from a cache entry *)
   | Miss_cached of string    (* executed and admitted under this entry name *)
-  | Bypass                   (* not a sequence query; executed directly *)
+  | Bypass                   (* not a sequence query, or the cache degraded;
+                                executed directly against the base table *)
+
+(* Fault-injection sites (see Fault): entry admission and answering by
+   derivation.  A fault on either path degrades to a bypass — the query
+   re-runs against the base table, so the cache can delay answers but
+   never corrupt them. *)
+let site_admit = Fault.define "cache.admit"
+let site_answer = Fault.define "cache.derive_answer"
 
 type stats = {
   mutable hits : int;
@@ -45,34 +53,73 @@ let create ?(capacity = 8) db =
 let stats t = t.stats
 let entries t = List.rev t.entries
 
-let evict_excess t =
-  while List.length t.entries > t.capacity do
-    match List.rev t.entries with
-    | [] -> ()
-    | oldest :: _ ->
-      t.entries <- List.filter (fun e -> e <> oldest) t.entries;
-      ignore
-        (Database.exec_statement t.db
-           (Ast.St_drop_view { name = oldest; if_exists = true }))
-  done
+let drop_view t name =
+  ignore
+    (Database.exec_statement t.db (Ast.St_drop_view { name; if_exists = true }))
 
-(* Admit a recognized sequence query to the cache. *)
-let admit t (q : Ast.query) : string =
+(* Entries are newest-first: keep the first [capacity], drop the rest —
+   one split pass instead of a List.length/List.rev scan per evicted
+   entry. *)
+let evict_excess t =
+  let rec split kept n = function
+    | [] -> (List.rev kept, [])
+    | rest when n = 0 -> (List.rev kept, rest)
+    | e :: rest -> split (e :: kept) (n - 1) rest
+  in
+  let keep, evicted = split [] t.capacity t.entries in
+  t.entries <- keep;
+  List.iter (drop_view t) evicted
+
+(* Admit a recognized sequence query to the cache.  [None] when the
+   admission itself faulted: the entry is discarded (creation was rolled
+   back by the statement's own undo log) and the caller degrades to a
+   bypass — admission failures never lose the query's result. *)
+let admit t (q : Ast.query) : string option =
   t.counter <- t.counter + 1;
   let name = Printf.sprintf "cache_entry_%d" t.counter in
-  ignore
-    (Database.exec_statement t.db
-       (Ast.St_create_view { name; materialized = true; query = q }));
-  (* only keep it when the engine established an incremental/derivable
-     state; otherwise it cannot serve derivations *)
-  if Database.is_incrementally_maintained t.db name then begin
-    t.entries <- name :: t.entries;
-    evict_excess t
-  end
-  else
-    ignore
-      (Database.exec_statement t.db (Ast.St_drop_view { name; if_exists = true }));
-  name
+  match
+    Fault.hit site_admit;
+    Database.exec_statement t.db
+      (Ast.St_create_view { name; materialized = true; query = q })
+  with
+  | _ ->
+    (* only keep it when the engine established an incremental/derivable
+       state; otherwise it cannot serve derivations *)
+    if Database.is_incrementally_maintained t.db name then begin
+      t.entries <- name :: t.entries;
+      evict_excess t
+    end
+    else drop_view t name;
+    Some name
+  | exception e when Database.recoverable_exn e ->
+    drop_view t name;
+    None
+
+(* Drop one entry whose derivation raised — the offending view must not
+   poison later queries. *)
+let quarantine_entry t name =
+  t.entries <- List.filter (fun e -> e <> name) t.entries;
+  drop_view t name
+
+(* Answer from the newest cached entry able to serve the query.  A
+   derivation fault evicts the offending entry and reports [`Degraded]
+   so the caller re-runs the query uncached. *)
+let answer_from_cache t (q : Ast.query) =
+  let rec go = function
+    | [] -> `No_entry
+    | (p, state, qspec) :: rest ->
+      if not (List.mem p.Advisor.view_name t.entries) then go rest
+      else (
+        match
+          Fault.hit site_answer;
+          Advisor.answer_with state qspec p
+        with
+        | result -> `Answered (result, p)
+        | exception e when Database.recoverable_exn e ->
+          quarantine_entry t p.Advisor.view_name;
+          `Degraded)
+  in
+  go (Advisor.proposals t.db q)
 
 let query_ast (t : t) (q : Ast.query) : Relation.t * outcome =
   match Matview.recognize q with
@@ -80,16 +127,22 @@ let query_ast (t : t) (q : Ast.query) : Relation.t * outcome =
     t.stats.bypasses <- t.stats.bypasses + 1;
     (Database.run_query t.db q, Bypass)
   | Some _ ->
-    (match Advisor.answer t.db q with
-     | Some (result, proposal)
-       when List.mem proposal.Advisor.view_name t.entries ->
+    (match answer_from_cache t q with
+     | `Answered (result, proposal) ->
        t.stats.hits <- t.stats.hits + 1;
        (result, Hit proposal)
-     | _ ->
+     | `Degraded ->
+       t.stats.bypasses <- t.stats.bypasses + 1;
+       (Database.run_query t.db q, Bypass)
+     | `No_entry ->
        let result = Database.run_query t.db q in
-       let name = admit t q in
-       t.stats.misses <- t.stats.misses + 1;
-       (result, Miss_cached name))
+       (match admit t q with
+        | Some name ->
+          t.stats.misses <- t.stats.misses + 1;
+          (result, Miss_cached name)
+        | None ->
+          t.stats.bypasses <- t.stats.bypasses + 1;
+          (result, Bypass)))
 
 let query t (sql : string) : Relation.t * outcome = query_ast t (Parser.query sql)
 

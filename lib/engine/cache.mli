@@ -18,7 +18,10 @@ module Ast := Rfview_sql.Ast
 type outcome =
   | Hit of Advisor.proposal  (** answered by derivation from an entry *)
   | Miss_cached of string    (** executed and admitted under this name *)
-  | Bypass                   (** not a sequence query; executed directly *)
+  | Bypass
+      (** not a sequence query, or the cache degraded (a faulting entry
+          was evicted); executed directly against the base table —
+          degradation can delay answers but never corrupt them *)
 
 type stats = {
   mutable hits : int;

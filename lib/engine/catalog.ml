@@ -30,6 +30,9 @@ type view = {
   materialized : bool;
   definition : Ast.query;
   mutable contents : Relation.t option; (* Some for materialized views *)
+  (* quarantined: maintenance faulted, contents lag the base table until
+     the next read triggers a full refresh *)
+  mutable stale : bool;
 }
 
 type t = {
@@ -113,7 +116,7 @@ let view t name =
 let create_view t ~name ~materialized ~definition =
   if Hashtbl.mem t.tables (key name) || Hashtbl.mem t.views (key name) then
     catalog_error "relation %s already exists" name;
-  let v = { view_name = name; materialized; definition; contents = None } in
+  let v = { view_name = name; materialized; definition; contents = None; stale = false } in
   Hashtbl.replace t.views (key name) v;
   v
 
@@ -123,3 +126,13 @@ let drop_view t ~name ~if_exists =
 
 let all_views t = Hashtbl.fold (fun _ v acc -> v :: acc) t.views []
 let all_tables t = Hashtbl.fold (fun _ tbl acc -> tbl :: acc) t.tables []
+
+(* ---- Undo-log hooks ----
+
+   Re-bind or unbind a captured table/view record wholesale; only the
+   statement rollback in [Database] may call these. *)
+
+let restore_table t (tbl : table) = Hashtbl.replace t.tables (key tbl.table_name) tbl
+let forget_table t name = Hashtbl.remove t.tables (key name)
+let restore_view t (v : view) = Hashtbl.replace t.views (key v.view_name) v
+let forget_view t name = Hashtbl.remove t.views (key name)

@@ -26,6 +26,9 @@ type view = {
   materialized : bool;
   definition : Ast.query;
   mutable contents : Relation.t option;  (** [Some] for materialized views *)
+  mutable stale : bool;
+      (** quarantined: maintenance faulted, contents lag the base table
+          until the next read triggers a full refresh *)
 }
 
 type t
@@ -74,3 +77,13 @@ val create_view : t -> name:string -> materialized:bool -> definition:Ast.query 
 val drop_view : t -> name:string -> if_exists:bool -> unit
 val all_views : t -> view list
 val all_tables : t -> table list
+
+(** {1 Undo-log hooks}
+
+    Re-bind or unbind a captured record wholesale; only the statement
+    rollback in [Database] may call these. *)
+
+val restore_table : t -> table -> unit
+val forget_table : t -> string -> unit
+val restore_view : t -> view -> unit
+val forget_view : t -> string -> unit

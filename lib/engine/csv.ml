@@ -11,6 +11,11 @@ exception Csv_error of string
 
 let csv_error fmt = Format.kasprintf (fun s -> raise (Csv_error s)) fmt
 
+(* Fault-injection site: fires while converting one record, i.e. before
+   any table mutation — a faulted import leaves the database untouched
+   (the subsequent [Database.load_table] is atomic on its own). *)
+let site_load_row = Fault.define "csv.load_row"
+
 (* ---- Writing ---- *)
 
 let escape_field ?(sep = ',') s =
@@ -152,6 +157,7 @@ let import_string ?(sep = ',') ?(header = true) (db : Database.t) ~table text : 
   let rows =
     List.map
       (fun record ->
+        Fault.hit site_load_row;
         if List.length record <> List.length col_positions then
           csv_error "record has %d fields, expected %d" (List.length record)
             (List.length col_positions);

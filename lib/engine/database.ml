@@ -19,10 +19,48 @@ exception Engine_error of string
 
 let engine_error fmt = Format.kasprintf (fun s -> raise (Engine_error s)) fmt
 
+(* A script statement failed: 1-based index and SQL text of the culprit,
+   so multi-statement failures are locatable. *)
+exception Script_error of { index : int; sql : string; cause : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Script_error { index; sql; cause } ->
+      Some
+        (Printf.sprintf "statement %d (%s): %s" index sql
+           (Printexc.to_string cause))
+    | _ -> None)
+
+(* ---- Fault-injection sites (see Fault) ---- *)
+
+let site_apply_insert = Fault.define "database.apply_insert"
+let site_apply_delete = Fault.define "database.apply_delete"
+let site_apply_update = Fault.define "database.apply_update"
+let site_propagate = Fault.define "database.propagate_view"
+let site_refresh = Fault.define "database.refresh_view"
+
 type window_mode =
   [ `Native
   | `Self_join
   ]
+
+(* What happens when maintaining one materialized view fails mid
+   statement:
+   - [`Quarantine] (default): the view is marked stale and dropped from
+     incremental maintenance; the statement succeeds; the next read of
+     the view triggers a full refresh.
+   - [`Abort]: the exception propagates and the whole statement rolls
+     back. *)
+type degradation =
+  [ `Quarantine
+  | `Abort
+  ]
+
+(* Exceptions the degradation policies may absorb.  Verification
+   failures are bugs, not environmental faults — never absorb them. *)
+let recoverable_exn = function
+  | Verify.Not_preserved _ | Out_of_memory | Stack_overflow -> false
+  | _ -> true
 
 type view_index = {
   vi_view : string;
@@ -39,6 +77,8 @@ type t = {
   mutable window_strategy : Window.strategy;
   mutable hash_join_enabled : bool;
   mutable index_join_enabled : bool;
+  mutable degradation : degradation;
+  mutable undo : Undo.t option; (* Some while a statement is executing *)
 }
 
 type result =
@@ -54,9 +94,12 @@ let create () =
     window_strategy = Window.Incremental;
     hash_join_enabled = true;
     index_join_enabled = true;
+    degradation = `Quarantine;
+    undo = None;
   }
 
 let set_window_mode db mode = db.window_mode <- mode
+let set_degradation db mode = db.degradation <- mode
 let set_window_strategy db s = db.window_strategy <- s
 
 (* Disabling hash joins forces nested loops for equality predicates (how
@@ -68,11 +111,87 @@ let set_index_join db enabled = db.index_join_enabled <- enabled
 
 let key = String.lowercase_ascii
 
+(* ---- The undo log ----
+
+   Each mutation below first logs a restore action (an absolute snapshot
+   of the object about to change) into the statement's undo log; see
+   Undo.  [with_undo] brackets one statement: on success the log is
+   dropped, on any exception it is replayed and the exception re-raised,
+   so [exec] is all-or-nothing.  Nested statements (EXPLAIN wrapping,
+   cache admission inside a query) join the enclosing statement's log. *)
+
+let log_undo db restore =
+  match db.undo with
+  | Some u -> Undo.log u restore
+  | None -> ()
+
+let with_undo db f =
+  match db.undo with
+  | Some _ -> f () (* nested: join the enclosing statement *)
+  | None ->
+    let u = Undo.create () in
+    db.undo <- Some u;
+    (match f () with
+     | result ->
+       db.undo <- None;
+       Undo.commit u;
+       result
+     | exception e ->
+       db.undo <- None;
+       Undo.rollback u;
+       raise e)
+
+(* Snapshot a table: its rows array plus the built caches of its
+   secondary indexes. *)
+let log_table db (tbl : Catalog.table) =
+  let rows = tbl.Catalog.rows in
+  let indexes = tbl.Catalog.indexes in
+  let builts = List.map (fun (i : Catalog.index_def) -> (i, i.Catalog.built)) indexes in
+  log_undo db (fun () ->
+      tbl.Catalog.rows <- rows;
+      tbl.Catalog.indexes <- indexes;
+      List.iter (fun ((i : Catalog.index_def), b) -> i.Catalog.built <- b) builts)
+
+(* Snapshot the built caches of every view index on [name]. *)
+let log_view_index_caches db name =
+  let saved =
+    Hashtbl.fold
+      (fun _ vi acc -> if key vi.vi_view = key name then (vi, vi.vi_built) :: acc else acc)
+      db.view_indexes []
+  in
+  if saved <> [] then
+    log_undo db (fun () -> List.iter (fun (vi, b) -> vi.vi_built <- b) saved)
+
+(* Snapshot a materialized view: contents, quarantine flag, incremental
+   maintenance state (deep-copied: maintenance mutates it in place) and
+   index caches. *)
+let log_view db (v : Catalog.view) =
+  let contents = v.Catalog.contents in
+  let stale = v.Catalog.stale in
+  let state =
+    Option.map Matview.copy_state
+      (Hashtbl.find_opt db.view_states (key v.Catalog.view_name))
+  in
+  log_undo db (fun () ->
+      v.Catalog.contents <- contents;
+      v.Catalog.stale <- stale;
+      match state with
+      | Some s -> Hashtbl.replace db.view_states (key v.Catalog.view_name) s
+      | None -> Hashtbl.remove db.view_states (key v.Catalog.view_name));
+  log_view_index_caches db v.Catalog.view_name
+
 (* ---- Catalog adapters ---- *)
+
+(* Forward reference to [refresh_view_full], needed by the lazy
+   refresh-on-read of quarantined views below. *)
+let refresh_ref : (t -> Catalog.view -> unit) ref =
+  ref (fun _ _ -> assert false)
 
 let view_contents db name =
   match Catalog.find_view db.catalog name with
   | Some v when v.Catalog.materialized ->
+    (* quarantined views heal on first read *)
+    if v.Catalog.stale then !refresh_ref db v;
     (match v.Catalog.contents with
      | Some r -> Some r
      | None -> engine_error "materialized view %s has no contents" name)
@@ -178,8 +297,11 @@ and tables_of_ref = function
   | Ast.Join { left; right; _ } -> tables_of_ref left @ tables_of_ref right
 
 let refresh_view_full db (v : Catalog.view) =
+  Fault.hit site_refresh;
+  log_view db v;
   let contents = run_query db v.Catalog.definition in
   v.Catalog.contents <- Some contents;
+  v.Catalog.stale <- false;
   invalidate_view_indexes db v.Catalog.view_name;
   (* (re)try to establish the incremental state *)
   Hashtbl.remove db.view_states (key v.Catalog.view_name);
@@ -211,51 +333,72 @@ let refresh_view_full db (v : Catalog.view) =
           Hashtbl.replace db.view_states (key v.Catalog.view_name) state
         with Matview.Not_maintainable _ -> ()))
 
+let () = refresh_ref := refresh_view_full
+
 type dml_change =
   | Rows_inserted of Row.t list
   | Rows_deleted of Row.t list
   | Rows_updated of (Row.t * Row.t) list (* old, new *)
 
+(* Quarantine a view whose maintenance faulted mid statement: drop the
+   (possibly half-applied) incremental state and mark the contents
+   stale; the next read triggers a full refresh.  The base-table change
+   stands — a quarantined view is late, never wrong. *)
+let quarantine_view db (v : Catalog.view) =
+  Hashtbl.remove db.view_states (key v.Catalog.view_name);
+  v.Catalog.stale <- true;
+  invalidate_view_indexes db v.Catalog.view_name
+
 (* Propagate one base-table change to every materialized view that
    references the table: incrementally when a sequence-view state exists,
-   by full refresh otherwise. *)
+   by full refresh otherwise.  Already-quarantined views are skipped —
+   they will catch up wholesale on their next read. *)
 let propagate db ~table change =
   List.iter
     (fun (v : Catalog.view) ->
       if
         v.Catalog.materialized
+        && (not v.Catalog.stale)
         && List.exists
              (fun t -> key t = key table)
              (tables_of_query v.Catalog.definition)
       then begin
-        match Hashtbl.find_opt db.view_states (key v.Catalog.view_name) with
-        | Some state ->
-          (try
-             (match change with
-              | Rows_inserted rows -> List.iter (Matview.apply_insert state) rows
-              | Rows_deleted rows -> List.iter (Matview.apply_delete state) rows
-              | Rows_updated pairs ->
-                List.iter
-                  (fun (old_row, new_row) ->
-                    Matview.apply_update state ~old_row ~new_row)
-                  pairs);
-             let rendered = Matview.render state in
-             (* translation validation: incremental maintenance must agree
-                with recomputing the view definition from scratch *)
-             if
-               Verify.enabled ()
-               && not (Relation.equal_bag rendered (run_query db v.Catalog.definition))
-             then
-               raise
-                 (Verify.Not_preserved
-                    (Printf.sprintf
-                       "matview %s: incremental maintenance diverged from full \
-                        recomputation"
-                       v.Catalog.view_name));
-             v.Catalog.contents <- Some rendered;
-             invalidate_view_indexes db v.Catalog.view_name
-           with Matview.Not_maintainable _ -> refresh_view_full db v)
-        | None -> refresh_view_full db v
+        let maintain () =
+          Fault.hit site_propagate;
+          log_view db v;
+          match Hashtbl.find_opt db.view_states (key v.Catalog.view_name) with
+          | Some state ->
+            (try
+               (match change with
+                | Rows_inserted rows -> List.iter (Matview.apply_insert state) rows
+                | Rows_deleted rows -> List.iter (Matview.apply_delete state) rows
+                | Rows_updated pairs ->
+                  List.iter
+                    (fun (old_row, new_row) ->
+                      Matview.apply_update state ~old_row ~new_row)
+                    pairs);
+               let rendered = Matview.render state in
+               (* translation validation: incremental maintenance must agree
+                  with recomputing the view definition from scratch *)
+               if
+                 Verify.enabled ()
+                 && not (Relation.equal_bag rendered (run_query db v.Catalog.definition))
+               then
+                 raise
+                   (Verify.Not_preserved
+                      (Printf.sprintf
+                         "matview %s: incremental maintenance diverged from full \
+                          recomputation"
+                         v.Catalog.view_name));
+               v.Catalog.contents <- Some rendered;
+               invalidate_view_indexes db v.Catalog.view_name
+             with Matview.Not_maintainable _ -> refresh_view_full db v)
+          | None -> refresh_view_full db v
+        in
+        match maintain () with
+        | () -> ()
+        | exception e when db.degradation = `Quarantine && recoverable_exn e ->
+          quarantine_view db v
       end)
     (Catalog.all_views db.catalog)
 
@@ -313,7 +456,9 @@ let exec_insert db ~table ~columns ~rows =
         row)
       rows
   in
+  log_table db tbl;
   Catalog.set_rows tbl (Array.append tbl.Catalog.rows (Array.of_list new_rows));
+  Fault.hit site_apply_insert;
   propagate db ~table (Rows_inserted new_rows);
   Done (Printf.sprintf "INSERT %d" (List.length new_rows))
 
@@ -349,7 +494,9 @@ let exec_update db ~table ~assignments ~where =
         else row)
       tbl.Catalog.rows
   in
+  log_table db tbl;
   Catalog.set_rows tbl rows;
+  Fault.hit site_apply_update;
   propagate db ~table (Rows_updated (List.rev !pairs));
   Done (Printf.sprintf "UPDATE %d" (List.length !pairs))
 
@@ -367,13 +514,18 @@ let exec_delete db ~table ~where =
     (fun row ->
       if Expr.holds row pred then deleted := row :: !deleted else kept := row :: !kept)
     tbl.Catalog.rows;
+  log_table db tbl;
   Catalog.set_rows tbl (Array.of_list (List.rev !kept));
+  Fault.hit site_apply_delete;
   propagate db ~table (Rows_deleted (List.rev !deleted));
   Done (Printf.sprintf "DELETE %d" (List.length !deleted))
 
 (* ---- Statements ---- *)
 
-let rec exec_statement db (stmt : Ast.statement) : result =
+(* Execute one statement inside the enclosing undo scope; the public
+   [exec_statement] below brackets this with [with_undo], so every entry
+   is all-or-nothing. *)
+let rec exec_statement_in_scope db (stmt : Ast.statement) : result =
   match stmt with
   | Ast.St_query q -> Relation (run_query db q)
   | Ast.St_create_table { name; columns } ->
@@ -382,32 +534,51 @@ let rec exec_statement db (stmt : Ast.statement) : result =
         (List.map (fun c -> Schema.column c.Ast.col_name c.Ast.col_type) columns)
     in
     let _ = Catalog.create_table db.catalog ~name ~schema in
+    log_undo db (fun () -> Catalog.forget_table db.catalog name);
     Done (Printf.sprintf "CREATE TABLE %s" name)
   | Ast.St_create_index { name; table; column; ordered } ->
     let kind = if ordered then Index.Ordered else Index.Hash in
-    if Catalog.find_table db.catalog table <> None then begin
-      Catalog.create_index db.catalog ~name ~table ~column ~kind;
-      Done (Printf.sprintf "CREATE INDEX %s" name)
-    end
-    else if Catalog.find_view db.catalog table <> None then begin
-      if Hashtbl.mem db.view_indexes (key name) then
-        engine_error "index %s already exists" name;
-      Hashtbl.replace db.view_indexes (key name)
-        { vi_view = table; vi_column = column; vi_kind = kind; vi_built = None };
-      Done (Printf.sprintf "CREATE INDEX %s" name)
-    end
-    else engine_error "unknown relation %s" table
+    (match Catalog.find_table db.catalog table with
+     | Some tbl ->
+       log_table db tbl;
+       Catalog.create_index db.catalog ~name ~table ~column ~kind;
+       Done (Printf.sprintf "CREATE INDEX %s" name)
+     | None ->
+       if Catalog.find_view db.catalog table <> None then begin
+         if Hashtbl.mem db.view_indexes (key name) then
+           engine_error "index %s already exists" name;
+         Hashtbl.replace db.view_indexes (key name)
+           { vi_view = table; vi_column = column; vi_kind = kind; vi_built = None };
+         log_undo db (fun () -> Hashtbl.remove db.view_indexes (key name));
+         Done (Printf.sprintf "CREATE INDEX %s" name)
+       end
+       else engine_error "unknown relation %s" table)
   | Ast.St_create_view { name; materialized; query } ->
     let v = Catalog.create_view db.catalog ~name ~materialized ~definition:query in
+    log_undo db (fun () ->
+        Catalog.forget_view db.catalog name;
+        Hashtbl.remove db.view_states (key name));
     if materialized then refresh_view_full db v;
     Done (Printf.sprintf "CREATE %sVIEW %s" (if materialized then "MATERIALIZED " else "") name)
   | Ast.St_insert { table; columns; rows } -> exec_insert db ~table ~columns ~rows
   | Ast.St_update { table; assignments; where } -> exec_update db ~table ~assignments ~where
   | Ast.St_delete { table; where } -> exec_delete db ~table ~where
   | Ast.St_drop_table { name; if_exists } ->
+    (match Catalog.find_table db.catalog name with
+     | Some tbl -> log_undo db (fun () -> Catalog.restore_table db.catalog tbl)
+     | None -> ());
     Catalog.drop_table db.catalog ~name ~if_exists;
     Done (Printf.sprintf "DROP TABLE %s" name)
   | Ast.St_drop_view { name; if_exists } ->
+    (match Catalog.find_view db.catalog name with
+     | Some v ->
+       let state = Hashtbl.find_opt db.view_states (key name) in
+       log_undo db (fun () ->
+           Catalog.restore_view db.catalog v;
+           match state with
+           | Some s -> Hashtbl.replace db.view_states (key name) s
+           | None -> Hashtbl.remove db.view_states (key name))
+     | None -> ());
     Catalog.drop_view db.catalog ~name ~if_exists;
     Hashtbl.remove db.view_states (key name);
     Done (Printf.sprintf "DROP VIEW %s" name)
@@ -437,35 +608,48 @@ let rec exec_statement db (stmt : Ast.statement) : result =
             (P.Logical.to_string logical)
             (P.Logical.to_string logical')
             (P.Physical.to_string physical))
-     | other -> exec_statement db other)
+     | other -> exec_statement_in_scope db other)
   | Ast.St_explain_analyze inner ->
     (match inner with
      | Ast.St_query q ->
        let physical = plan_query db q in
        let _result, profile = P.Physical.execute_analyze (catalog_view db) physical in
        Done (P.Physical.render_profile profile)
-     | other -> exec_statement db other)
+     | other -> exec_statement_in_scope db other)
+
+(* Every statement is atomic: on any exception the undo log restores
+   tables, view contents, view states and index caches to the
+   pre-statement snapshot before re-raising. *)
+let exec_statement db stmt = with_undo db (fun () -> exec_statement_in_scope db stmt)
 
 (* Bulk-load rows into a table, bypassing the SQL layer (used by the
-   benchmark harness and the workload generators).  Materialized views on
-   the table are fully refreshed. *)
+   benchmark harness, CSV import and the workload generators).
+   Materialized views on the table are fully refreshed.  Atomic like a
+   statement: a failed refresh rolls the load back. *)
 let load_table db ~table rows =
-  let tbl = Catalog.table db.catalog table in
-  Catalog.set_rows tbl (Array.append tbl.Catalog.rows rows);
-  List.iter
-    (fun (v : Catalog.view) ->
-      if
-        v.Catalog.materialized
-        && List.exists (fun t -> key t = key table) (tables_of_query v.Catalog.definition)
-      then refresh_view_full db v)
-    (Catalog.all_views db.catalog)
+  with_undo db (fun () ->
+      let tbl = Catalog.table db.catalog table in
+      log_table db tbl;
+      Catalog.set_rows tbl (Array.append tbl.Catalog.rows rows);
+      List.iter
+        (fun (v : Catalog.view) ->
+          if
+            v.Catalog.materialized
+            && List.exists (fun t -> key t = key table) (tables_of_query v.Catalog.definition)
+          then refresh_view_full db v)
+        (Catalog.all_views db.catalog))
 
 (* ---- Entry points ---- *)
 
 let exec db (sql : string) : result = exec_statement db (Parser.statement sql)
 
 let exec_script db (sql : string) : result list =
-  List.map (exec_statement db) (Parser.statements sql)
+  List.mapi
+    (fun i stmt ->
+      try exec_statement db stmt
+      with cause ->
+        raise (Script_error { index = i + 1; sql = Pretty.statement stmt; cause }))
+    (Parser.statements sql)
 
 let query db (sql : string) : Relation.t =
   match exec db sql with
@@ -479,6 +663,18 @@ let explain db (sql : string) : string =
 
 (* Does a view currently have an incremental maintenance state? *)
 let is_incrementally_maintained db name = Hashtbl.mem db.view_states (key name)
+
+(* Is the view quarantined (pending a lazy full refresh)? *)
+let is_stale db name =
+  match Catalog.find_view db.catalog name with
+  | Some v -> v.Catalog.stale
+  | None -> false
+
+let stale_views db =
+  Catalog.all_views db.catalog
+  |> List.filter_map (fun (v : Catalog.view) ->
+         if v.Catalog.stale then Some v.Catalog.view_name else None)
+  |> List.sort String.compare
 
 let catalog db = db.catalog
 

@@ -7,6 +7,10 @@ module P := Rfview_planner
 
 exception Engine_error of string
 
+(** A script statement failed: 1-based index and SQL text of the
+    culprit, wrapping the original exception. *)
+exception Script_error of { index : int; sql : string; cause : exn }
+
 (** How reporting functions execute — the contrast of the paper's
     Table 1: the native window operator, or the Fig. 2 self-join
     simulation applied in query rewrite. *)
@@ -14,6 +18,21 @@ type window_mode =
   [ `Native
   | `Self_join
   ]
+
+(** What happens when maintaining one materialized view fails mid
+    statement: [`Quarantine] (default) marks the view stale — the
+    statement succeeds and the next read of the view triggers a full
+    refresh; [`Abort] propagates the exception, rolling the whole
+    statement back. *)
+type degradation =
+  [ `Quarantine
+  | `Abort
+  ]
+
+(** Exceptions the degradation policies may absorb: everything except
+    verification failures ([Verify.Not_preserved], a bug not an
+    environmental fault) and asynchronous exhaustion. *)
+val recoverable_exn : exn -> bool
 
 type t
 
@@ -33,14 +52,22 @@ val set_hash_join : t -> bool -> unit
 (** Disabling index joins as well yields pure nested-loop plans. *)
 val set_index_join : t -> bool -> unit
 
-(** {1 Execution} *)
+val set_degradation : t -> degradation -> unit
+
+(** {1 Execution}
+
+    Every statement is {e atomic}: on any exception an undo log restores
+    tables, view contents, view states and index caches to the
+    pre-statement snapshot before the exception re-raises. *)
 
 (** Execute one statement.
     @raise Engine_error / Binder.Bind_error / Parser.Parse_error /
            Catalog.Catalog_error on failure. *)
 val exec : t -> string -> result
 
-(** Execute a [;]-separated script. *)
+(** Execute a [;]-separated script.
+    @raise Script_error wrapping the failing statement's exception with
+    its 1-based index and SQL text. *)
 val exec_script : t -> string -> result list
 
 (** Execute a query statement.  @raise Engine_error if it is not one. *)
@@ -54,7 +81,8 @@ val run_query : t -> Ast.query -> Relation.t
 val plan_query : t -> Ast.query -> P.Physical.t
 
 (** Bulk-load rows, bypassing SQL parsing; materialized views on the
-    table are fully refreshed. *)
+    table are fully refreshed.  Atomic like a statement: a failed
+    refresh rolls the load back. *)
 val load_table : t -> table:string -> Row.t array -> unit
 
 (** {1 Introspection} *)
@@ -63,6 +91,12 @@ val catalog : t -> Catalog.t
 
 (** Does the view currently have an incremental maintenance state? *)
 val is_incrementally_maintained : t -> string -> bool
+
+(** Is the view quarantined (stale, pending a lazy full refresh)? *)
+val is_stale : t -> string -> bool
+
+(** Names of all quarantined views, sorted. *)
+val stale_views : t -> string list
 
 val view_state : t -> string -> Matview.state option
 

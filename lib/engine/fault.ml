@@ -1,0 +1,172 @@
+(* Fault injection: named sites at every maintenance-critical point of
+   the engine, each triggerable by a deterministic policy.
+
+   A *site* is a program point that may fail in production (an OOM-sized
+   query, a refresh error, a corrupt load).  Modules declare their sites
+   at load time with [define] and call [hit] when execution passes the
+   point; an armed site raises [Injected] according to its policy.  The
+   chaos harness (Rfview_workload.Chaos) arms every site in turn and
+   checks that statement atomicity and view quarantine hold; nothing is
+   armed by default, so [hit] is a counter bump on the production path.
+
+   Policies are deterministic — [Always], [Nth] (fire on the Nth hit
+   after arming, once) and [Probability] (seeded SplitMix64 coin per
+   hit) — so every failing run replays exactly. *)
+
+exception Injected of string
+
+type policy =
+  | Always
+  | Nth of int                       (* fire on the Nth hit after arming *)
+  | Probability of { p : float; seed : int }
+
+type armed = {
+  policy : policy;
+  mutable since : int;               (* hits since arming *)
+  mutable rng : int64;               (* SplitMix64 state for [Probability] *)
+}
+
+type site = {
+  name : string;
+  mutable hits : int;                (* lifetime hits, armed or not *)
+  mutable fired : int;               (* lifetime injections *)
+  mutable armed : armed option;
+}
+
+(* The global registry, populated by module initialisation of the
+   instrumented engine modules. *)
+let registry : (string, site) Hashtbl.t = Hashtbl.create 16
+
+let define name =
+  match Hashtbl.find_opt registry name with
+  | Some s -> s
+  | None ->
+    let s = { name; hits = 0; fired = 0; armed = None } in
+    Hashtbl.add registry name s;
+    s
+
+let sites () =
+  Hashtbl.fold (fun name _ acc -> name :: acc) registry []
+  |> List.sort String.compare
+
+let find name =
+  match Hashtbl.find_opt registry name with
+  | Some s -> s
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Fault: unknown site %s (known: %s)" name
+         (String.concat ", " (sites ())))
+
+(* Master switch: the consistency checks of the chaos harness must be
+   able to read the database without re-triggering the fault under
+   test. *)
+let suspended = ref false
+
+let with_suspended f =
+  let saved = !suspended in
+  suspended := true;
+  Fun.protect ~finally:(fun () -> suspended := saved) f
+
+(* SplitMix64 step (the same generator as Rfview_workload.Prng, inlined
+   to keep the engine free of a workload dependency). *)
+let splitmix state =
+  let open Int64 in
+  let state = add state 0x9E3779B97F4A7C15L in
+  let z = mul (logxor state (shift_right_logical state 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  (state, logxor z (shift_right_logical z 31))
+
+let uniform state =
+  let state, out = splitmix state in
+  (state, Int64.to_float (Int64.shift_right_logical out 11) /. 9007199254740992.)
+
+let should_fire (a : armed) =
+  a.since <- a.since + 1;
+  match a.policy with
+  | Always -> true
+  | Nth n -> a.since = n
+  | Probability { p; _ } ->
+    let state, u = uniform a.rng in
+    a.rng <- state;
+    u < p
+
+let hit (s : site) =
+  s.hits <- s.hits + 1;
+  if not !suspended then
+    match s.armed with
+    | None -> ()
+    | Some a ->
+      if should_fire a then begin
+        s.fired <- s.fired + 1;
+        raise (Injected s.name)
+      end
+
+let arm name policy =
+  (match policy with
+   | Nth n when n < 1 -> invalid_arg "Fault.arm: Nth must be >= 1"
+   | Probability { p; _ } when p < 0. || p > 1. ->
+     invalid_arg "Fault.arm: probability must be in [0, 1]"
+   | _ -> ());
+  let s = find name in
+  let rng = match policy with Probability { seed; _ } -> Int64.of_int seed | _ -> 0L in
+  s.armed <- Some { policy; since = 0; rng }
+
+let disarm name = (find name).armed <- None
+let disarm_all () = Hashtbl.iter (fun _ s -> s.armed <- None) registry
+
+let reset () =
+  Hashtbl.iter
+    (fun _ s ->
+      s.armed <- None;
+      s.hits <- 0;
+      s.fired <- 0)
+    registry
+
+let hits name = (find name).hits
+let fired name = (find name).fired
+let is_armed name = (find name).armed <> None
+
+(* ---- CLI spec parsing: SITE:POLICY ---- *)
+
+let describe_policy = function
+  | Always -> "always"
+  | Nth n -> Printf.sprintf "nth=%d" n
+  | Probability { p; seed } -> Printf.sprintf "p=%g@%d" p seed
+
+(* always | nth=N | p=F[@SEED] *)
+let parse_policy text : (policy, string) result =
+  match String.lowercase_ascii text with
+  | "always" -> Ok Always
+  | s when String.length s > 4 && String.sub s 0 4 = "nth=" ->
+    (match int_of_string_opt (String.sub s 4 (String.length s - 4)) with
+     | Some n when n >= 1 -> Ok (Nth n)
+     | _ -> Error (Printf.sprintf "invalid hit count in %S" text))
+  | s when String.length s > 2 && String.sub s 0 2 = "p=" ->
+    let body = String.sub s 2 (String.length s - 2) in
+    let prob, seed =
+      match String.index_opt body '@' with
+      | Some i ->
+        ( String.sub body 0 i,
+          int_of_string_opt (String.sub body (i + 1) (String.length body - i - 1)) )
+      | None -> (body, Some 0)
+    in
+    (match float_of_string_opt prob, seed with
+     | Some p, Some seed when p >= 0. && p <= 1. -> Ok (Probability { p; seed })
+     | _ -> Error (Printf.sprintf "invalid probability in %S" text))
+  | _ ->
+    Error
+      (Printf.sprintf "unknown policy %S (expected always, nth=N or p=F[@SEED])" text)
+
+let parse_spec spec : (string * policy, string) result =
+  match String.index_opt spec ':' with
+  | None -> Error (Printf.sprintf "expected SITE:POLICY, got %S" spec)
+  | Some i ->
+    let site = String.sub spec 0 i in
+    let policy = String.sub spec (i + 1) (String.length spec - i - 1) in
+    if site = "" then Error (Printf.sprintf "empty site name in %S" spec)
+    else Result.map (fun p -> (site, p)) (parse_policy policy)
+
+let () =
+  Printexc.register_printer (function
+    | Injected site -> Some (Printf.sprintf "injected fault at site %s" site)
+    | _ -> None)

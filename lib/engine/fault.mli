@@ -1,0 +1,52 @@
+(** Fault injection: named sites at every maintenance-critical point of
+    the engine, each triggerable by a deterministic policy.
+
+    Modules declare sites at load time with {!define} and call {!hit}
+    when execution passes the point; an armed site raises {!Injected}
+    per its policy.  Nothing is armed by default, so the production-path
+    cost of a site is one counter bump.  Policies are deterministic —
+    failing runs replay exactly. *)
+
+exception Injected of string  (** carries the site name *)
+
+type policy =
+  | Always                    (** fire on every hit *)
+  | Nth of int                (** fire on the Nth hit after arming, once *)
+  | Probability of { p : float; seed : int }
+      (** independent seeded coin per hit (SplitMix64) *)
+
+type site
+
+(** Register (or look up) a site.  Call at module initialisation. *)
+val define : string -> site
+
+(** Pass the site: counts the hit and raises {!Injected} when the armed
+    policy fires (never when {!with_suspended} is active). *)
+val hit : site -> unit
+
+(** All registered site names, sorted. *)
+val sites : unit -> string list
+
+(** @raise Invalid_argument on an unknown site or malformed policy. *)
+val arm : string -> policy -> unit
+
+val disarm : string -> unit
+val disarm_all : unit -> unit
+
+(** Disarm everything and zero all counters. *)
+val reset : unit -> unit
+
+val hits : string -> int
+val fired : string -> int
+val is_armed : string -> bool
+
+(** Run [f] with all injection suspended (hits still count) — used by
+    the chaos harness to read the database without re-triggering the
+    fault under test. *)
+val with_suspended : (unit -> 'a) -> 'a
+
+(** {1 CLI specs} — the [--inject SITE:POLICY] syntax:
+    [always], [nth=N] or [p=F[@SEED]]. *)
+
+val parse_spec : string -> (string * policy, string) result
+val describe_policy : policy -> string

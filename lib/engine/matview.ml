@@ -146,6 +146,13 @@ type state = {
 
 exception Not_maintainable of string
 
+(* Fault-injection sites (see Fault): state construction and the three
+   incremental maintenance entry points. *)
+let site_init = Fault.define "matview.init_state"
+let site_apply_insert = Fault.define "matview.apply_insert"
+let site_apply_delete = Fault.define "matview.apply_delete"
+let site_apply_update = Fault.define "matview.apply_update"
+
 let core_agg = function
   | Aggregate.Sum | Aggregate.Count | Aggregate.Avg -> Core.Agg.Sum
   | Aggregate.Min -> Core.Agg.Min
@@ -165,6 +172,7 @@ let compare_pkey a b =
    [Not_maintainable] when the value column contains NULLs or
    non-numerics. *)
 let init_state (spec : seq_spec) ~(base : Relation.t) ~(out_schema : Schema.t) : state =
+  Fault.hit site_init;
   let base_schema = Relation.schema base in
   let find c =
     match Schema.find_opt base_schema c with
@@ -213,6 +221,17 @@ let init_state (spec : seq_spec) ~(base : Relation.t) ~(out_schema : Schema.t) :
     |> List.sort (fun a b -> compare_pkey a.pkey b.pkey)
   in
   { spec; base_schema; out_schema; pcols; ocol; vcol; parts }
+
+(* Deep copy of the mutable layers, for undo-log snapshots.  Rows,
+   [Seqdata.raw] and [Seqdata.t] values are never mutated in place by the
+   maintenance path ([Maintain.apply] is functional), so sharing them is
+   safe; the partition records and their [base_rows] arrays are. *)
+let copy_state (st : state) : state =
+  {
+    st with
+    parts =
+      List.map (fun p -> { p with base_rows = Array.copy p.base_rows }) st.parts;
+  }
 
 (* ---- Rendering ---- *)
 
@@ -290,6 +309,7 @@ let insert_rank st (p : partition_state) row =
   go 0
 
 let apply_insert st row =
+  Fault.hit site_apply_insert;
   let pkey = pkey_of st row in
   match find_partition st pkey with
   | None ->
@@ -323,6 +343,7 @@ let find_rank (p : partition_state) row =
   go 0
 
 let apply_delete st row =
+  Fault.hit site_apply_delete;
   let pkey = pkey_of st row in
   match find_partition st pkey with
   | None -> raise (Not_maintainable "deleted row not found in view state")
@@ -343,6 +364,7 @@ let apply_delete st row =
        end)
 
 let apply_update st ~old_row ~new_row =
+  Fault.hit site_apply_update;
   let same_partition = compare_pkey (pkey_of st old_row) (pkey_of st new_row) = 0 in
   let same_order =
     Value.equal (Row.get old_row st.ocol) (Row.get new_row st.ocol)

@@ -61,6 +61,11 @@ exception Not_maintainable of string
     @raise Not_maintainable per the restrictions above. *)
 val init_state : seq_spec -> base:Relation.t -> out_schema:Schema.t -> state
 
+(** Deep copy of the mutable layers (for undo-log snapshots): immutable
+    rows and sequence values are shared, partition records and their
+    arrays are copied. *)
+val copy_state : state -> state
+
 (** Render the view contents from the state. *)
 val render : state -> Relation.t
 

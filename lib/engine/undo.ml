@@ -1,0 +1,29 @@
+(* The statement-level undo log.
+
+   Every mutation the engine performs while executing one statement is
+   preceded by logging a restore action that reinstates the prior state
+   (a captured rows array, view contents, a deep-copied maintenance
+   state, an index cache).  On success the log is dropped; on any
+   exception it is replayed newest-first, making [Database.exec]
+   all-or-nothing.
+
+   Restore actions must be absolute snapshots, not deltas: replaying a
+   prefix of them (or the same one twice, when a site was logged before
+   two successive mutations) must still land on the pre-statement
+   state. *)
+
+type t = { mutable actions : (unit -> unit) list }
+
+let create () = { actions = [] }
+
+(* [log t restore] records [restore] to run on rollback; call *before*
+   the mutation it protects. *)
+let log t restore = t.actions <- restore :: t.actions
+
+let commit t = t.actions <- []
+
+let rollback t =
+  List.iter (fun restore -> restore ()) t.actions;
+  t.actions <- []
+
+let depth t = List.length t.actions

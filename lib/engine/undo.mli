@@ -1,0 +1,21 @@
+(** The statement-level undo log: restore actions replayed newest-first
+    on rollback, making [Database.exec] all-or-nothing.
+
+    Restore actions must be absolute snapshots (captured rows arrays,
+    view contents, deep-copied maintenance states), not deltas — a
+    prefix replay must still reach the pre-statement state. *)
+
+type t
+
+val create : unit -> t
+
+(** Record a restore action; call {e before} the mutation it protects. *)
+val log : t -> (unit -> unit) -> unit
+
+(** Drop the log (the statement succeeded). *)
+val commit : t -> unit
+
+(** Replay all restore actions newest-first and clear the log. *)
+val rollback : t -> unit
+
+val depth : t -> int

@@ -1,0 +1,305 @@
+(* The chaos harness: randomized DML streams against a shadow oracle,
+   with faults injected at the engine's registered sites.
+
+   The stream runs INSERT/UPDATE/DELETE/CSV-load/REFRESH statements over
+   a (grp, pos, val) sequence table carrying three materialized sequence
+   views (cumulative SUM per group, sliding AVG, sliding MIN) and a
+   derivation cache.  A *shadow oracle* — a plain row list to which each
+   statement's effect is applied only when the engine reports success —
+   tracks what the base table must contain.
+
+   After every statement the harness checks, with injection suspended:
+   1. the base table equals the oracle (a failed statement must have
+      rolled back completely, a successful one applied completely);
+   2. every non-stale materialized view equals full recomputation of its
+      definition;
+   3. reading a stale (quarantined) view heals it: the lazy refresh
+      yields exactly the recomputed contents;
+   4. periodically, a cache answer equals uncached execution.
+
+   Any violation raises [Divergence].  Nothing here depends on the test
+   framework, so the harness also serves examples and the CLI. *)
+
+open Rfview_relalg
+module Db = Rfview_engine.Database
+module Catalog = Rfview_engine.Catalog
+module Cache = Rfview_engine.Cache
+module Csv = Rfview_engine.Csv
+module Fault = Rfview_engine.Fault
+module Parser = Rfview_sql.Parser
+
+exception Divergence of string
+
+let divergence fmt = Format.kasprintf (fun s -> raise (Divergence s)) fmt
+
+type config = {
+  seed : int;
+  ops : int;               (* length of the DML stream *)
+  cache_every : int;       (* probe the cache every Nth statement *)
+}
+
+let default_config = { seed = 11; ops = 60; cache_every = 5 }
+
+type report = {
+  statements : int;        (* statements attempted *)
+  failed : int;            (* statements that raised (and rolled back) *)
+  quarantines : int;       (* views observed stale after a statement *)
+  heals : int;             (* stale views healed by a read *)
+  cache_probes : int;
+  cache_hits : int;
+  checks : int;            (* invariant checkpoints passed *)
+}
+
+(* ---- Schema and views ---- *)
+
+let setup_sql =
+  [
+    "CREATE TABLE seq (grp INT, pos INT, val FLOAT)";
+    "CREATE MATERIALIZED VIEW v_cum AS SELECT grp, pos, val, SUM(val) OVER \
+     (PARTITION BY grp ORDER BY pos ROWS UNBOUNDED PRECEDING) AS s FROM seq";
+    "CREATE MATERIALIZED VIEW v_avg AS SELECT pos, val, AVG(val) OVER \
+     (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS a FROM seq";
+    "CREATE MATERIALIZED VIEW v_min AS SELECT pos, val, MIN(val) OVER \
+     (ORDER BY pos ROWS BETWEEN 3 PRECEDING AND CURRENT ROW) AS m FROM seq";
+  ]
+
+(* the query whose cache entry the probes derive from, and two probes
+   derivable from it (same frame; contained frame) *)
+let cache_seed_query =
+  "SELECT pos, val, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 PRECEDING AND 2 \
+   FOLLOWING) AS s FROM seq"
+
+let cache_probe_queries =
+  [
+    cache_seed_query;
+    "SELECT pos, val, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 \
+     FOLLOWING) AS s FROM seq";
+  ]
+
+(* ---- The DML stream ---- *)
+
+type op =
+  | Insert of { grp : int; pos : int; value : float }
+  | Insert_null of { grp : int; pos : int }  (* exercises the full-refresh fallback *)
+  | Update of { pos : int; value : float }
+  | Delete of { pos : int }
+  | Load_csv of (int * int * float) list
+  | Refresh of string
+
+(* Integer-valued floats only: their SQL and CSV text round-trips
+   exactly, keeping oracle and engine bit-identical. *)
+let gen_value prng = float_of_int (Prng.int_range prng ~lo:(-50) ~hi:50)
+let gen_pos prng = Prng.int_range prng ~lo:1 ~hi:20
+let gen_grp prng = Prng.int_range prng ~lo:1 ~hi:3
+
+let gen_op prng : op =
+  match Prng.int prng 20 with
+  | 0 | 1 | 2 | 3 | 4 | 5 | 6 ->
+    Insert { grp = gen_grp prng; pos = gen_pos prng; value = gen_value prng }
+  | 7 | 8 | 9 | 10 -> Update { pos = gen_pos prng; value = gen_value prng }
+  | 11 | 12 | 13 -> Delete { pos = gen_pos prng }
+  | 14 | 15 ->
+    let n = Prng.int_range prng ~lo:1 ~hi:4 in
+    Load_csv
+      (List.init n (fun _ -> (gen_grp prng, gen_pos prng, gen_value prng)))
+  | 16 -> Insert_null { grp = gen_grp prng; pos = gen_pos prng }
+  | _ -> Refresh (Prng.choose prng [ "v_cum"; "v_avg"; "v_min" ])
+
+let sql_of_op = function
+  | Insert { grp; pos; value } ->
+    Printf.sprintf "INSERT INTO seq VALUES (%d, %d, %g)" grp pos value
+  | Insert_null { grp; pos } ->
+    Printf.sprintf "INSERT INTO seq VALUES (%d, %d, NULL)" grp pos
+  | Update { pos; value } ->
+    Printf.sprintf "UPDATE seq SET val = %g WHERE pos = %d" value pos
+  | Delete { pos } -> Printf.sprintf "DELETE FROM seq WHERE pos = %d" pos
+  | Load_csv _ -> "(csv load)"
+  | Refresh name -> Printf.sprintf "REFRESH MATERIALIZED VIEW %s" name
+
+(* ---- The shadow oracle ----
+
+   Plain rows in engine insertion order; every constructor mirrors the
+   engine's statement semantics exactly. *)
+
+let row grp pos value : Row.t = [| Value.Int grp; Value.Int pos; value |]
+
+let apply_oracle (rows : Row.t list) (op : op) : Row.t list =
+  match op with
+  | Insert { grp; pos; value } -> rows @ [ row grp pos (Value.Float value) ]
+  | Insert_null { grp; pos } -> rows @ [ row grp pos Value.Null ]
+  | Update { pos; value } ->
+    List.map
+      (fun r ->
+        if Value.equal (Row.get r 1) (Value.Int pos) then
+          [| Row.get r 0; Row.get r 1; Value.Float value |]
+        else r)
+      rows
+  | Delete { pos } ->
+    List.filter (fun r -> not (Value.equal (Row.get r 1) (Value.Int pos))) rows
+  | Load_csv batch ->
+    rows @ List.map (fun (g, p, v) -> row g p (Value.Float v)) batch
+  | Refresh _ -> rows
+
+let csv_of_batch batch =
+  "grp,pos,val\n"
+  ^ String.concat ""
+      (List.map (fun (g, p, v) -> Printf.sprintf "%d,%d,%g\n" g p v) batch)
+
+(* ---- Invariant checks ---- *)
+
+let schema_seq =
+  Schema.make
+    [
+      Schema.column "grp" Dtype.Int;
+      Schema.column "pos" Dtype.Int;
+      Schema.column "val" Dtype.Float;
+    ]
+
+let check_base db (oracle : Row.t list) ~context =
+  let actual = Db.query db "SELECT grp, pos, val FROM seq" in
+  let expected = Relation.of_array schema_seq (Array.of_list oracle) in
+  if not (Relation.equal_bag actual expected) then
+    divergence "%s: base table diverged from the shadow oracle\nengine:\n%s\noracle:\n%s"
+      context
+      (Relation.render (Relation.sorted_by_all actual))
+      (Relation.render (Relation.sorted_by_all expected))
+
+let check_views db ~context =
+  List.iter
+    (fun (v : Catalog.view) ->
+      if v.Catalog.materialized && not v.Catalog.stale then
+        match v.Catalog.contents with
+        | None -> divergence "%s: view %s has no contents" context v.Catalog.view_name
+        | Some contents ->
+          let recomputed = Db.run_query db v.Catalog.definition in
+          if not (Relation.equal_bag contents recomputed) then
+            divergence
+              "%s: non-stale view %s diverged from full recomputation\nstored:\n%s\nrecomputed:\n%s"
+              context v.Catalog.view_name
+              (Relation.render (Relation.sorted_by_all contents))
+              (Relation.render (Relation.sorted_by_all recomputed)))
+    (Catalog.all_views (Db.catalog db))
+
+(* Read every stale view, which must heal it (lazy full refresh), and
+   compare the healed contents with recomputation.  Returns the number
+   of views healed. *)
+let heal_stale db ~context =
+  let stale = Db.stale_views db in
+  List.iter
+    (fun name ->
+      let read = Db.query db (Printf.sprintf "SELECT * FROM %s" name) in
+      if Db.is_stale db name then
+        divergence "%s: reading stale view %s did not heal it" context name;
+      let v = Catalog.view (Db.catalog db) name in
+      let recomputed = Db.run_query db v.Catalog.definition in
+      if not (Relation.equal_bag read recomputed) then
+        divergence "%s: healed view %s diverged from full recomputation" context name)
+    stale;
+  List.length stale
+
+(* ---- The harness ---- *)
+
+let run ?(config = default_config) ?inject () : report =
+  let db = Db.create () in
+  let cache = Cache.create ~capacity:4 db in
+  List.iter (fun sql -> ignore (Db.exec db sql)) setup_sql;
+  (* seed the cache so probes can hit by derivation *)
+  ignore (Cache.query cache cache_seed_query);
+  let prng = Prng.create ~seed:config.seed in
+  let oracle = ref [] in
+  let report =
+    ref
+      {
+        statements = 0;
+        failed = 0;
+        quarantines = 0;
+        heals = 0;
+        cache_probes = 0;
+        cache_hits = 0;
+        checks = 0;
+      }
+  in
+  (match inject with
+   | Some (site, policy) -> Fault.arm site policy
+   | None -> ());
+  Fun.protect
+    ~finally:(fun () -> Fault.disarm_all ())
+    (fun () ->
+      for i = 1 to config.ops do
+        let op = gen_op prng in
+        let context = Printf.sprintf "op %d (%s)" i (sql_of_op op) in
+        let applied =
+          match op with
+          | Load_csv batch ->
+            (match Csv.import_string db ~table:"seq" (csv_of_batch batch) with
+             | _ -> true
+             | exception _ -> false)
+          | op ->
+            (match Db.exec db (sql_of_op op) with
+             | _ -> true
+             | exception _ -> false)
+        in
+        if applied then oracle := apply_oracle !oracle op
+        else report := { !report with failed = !report.failed + 1 };
+        report := { !report with statements = !report.statements + 1 };
+        (* all consistency checks run with injection suspended: they must
+           observe the state the fault left behind, not re-trigger it *)
+        Fault.with_suspended (fun () ->
+            let stale_now = List.length (Db.stale_views db) in
+            report := { !report with quarantines = !report.quarantines + stale_now };
+            check_base db !oracle ~context;
+            check_views db ~context;
+            let healed = heal_stale db ~context in
+            report := { !report with heals = !report.heals + healed; checks = !report.checks + 1 });
+        (* cache probe: runs with faults live (the cache must degrade,
+           never corrupt); the reference runs suspended *)
+        if i mod config.cache_every = 0 then begin
+          List.iter
+            (fun sql ->
+              let result, outcome = Cache.query cache sql in
+              let reference =
+                Fault.with_suspended (fun () -> Db.run_query db (Parser.query sql))
+              in
+              if not (Relation.equal_bag result reference) then
+                divergence "op %d: cache answer diverged from uncached execution (%s)"
+                  i
+                  (Cache.describe_outcome outcome);
+              report :=
+                {
+                  !report with
+                  cache_probes = !report.cache_probes + 1;
+                  cache_hits =
+                    (!report.cache_hits
+                    + match outcome with Cache.Hit _ -> 1 | _ -> 0);
+                })
+            cache_probe_queries
+        end
+      done;
+      !report)
+
+(* ---- State fingerprint (rollback-idempotence checks) ----
+
+   A textual dump of everything a statement may mutate: table rows in
+   physical order, view contents, quarantine flags and the rendered
+   incremental states.  Two fingerprints are equal iff the logical
+   database states are bit-identical. *)
+
+let fingerprint (db : Db.t) : string =
+  let buf = Buffer.create 1024 in
+  let cat = Db.catalog db in
+  Catalog.all_tables cat
+  |> List.sort (fun (a : Catalog.table) b -> compare a.Catalog.table_name b.Catalog.table_name)
+  |> List.iter (fun (tbl : Catalog.table) ->
+         Buffer.add_string buf (Printf.sprintf "table %s\n" tbl.Catalog.table_name);
+         Buffer.add_string buf (Relation.render (Catalog.table_relation tbl)));
+  Catalog.all_views cat
+  |> List.sort (fun (a : Catalog.view) b -> compare a.Catalog.view_name b.Catalog.view_name)
+  |> List.iter (fun (v : Catalog.view) ->
+         Buffer.add_string buf
+           (Printf.sprintf "view %s stale=%b incremental=%b\n" v.Catalog.view_name
+              v.Catalog.stale
+              (Db.is_incrementally_maintained db v.Catalog.view_name));
+         match v.Catalog.contents with
+         | Some r -> Buffer.add_string buf (Relation.render r)
+         | None -> ());
+  Buffer.contents buf

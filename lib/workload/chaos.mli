@@ -1,0 +1,51 @@
+(** The chaos harness: randomized DML streams against a shadow oracle,
+    with faults injected at the engine's registered sites.
+
+    The stream runs INSERT/UPDATE/DELETE/CSV-load/REFRESH statements
+    over a [(grp, pos, val)] sequence table carrying three materialized
+    sequence views and a derivation cache, mirroring each successful
+    statement's effect onto a plain row-list oracle.  After every
+    statement it checks, with injection suspended, that
+
+    - the base table equals the oracle (failed statements rolled back
+      completely, successful ones applied completely);
+    - every non-stale materialized view equals full recomputation;
+    - reading a stale (quarantined) view heals it to exactly the
+      recomputed contents;
+    - periodic cache answers equal uncached execution.
+
+    Violations raise {!Divergence}; a completed run returns counters
+    proving the interesting paths were actually exercised. *)
+
+module Db := Rfview_engine.Database
+
+exception Divergence of string
+
+type config = {
+  seed : int;
+  ops : int;          (** length of the DML stream *)
+  cache_every : int;  (** probe the cache every Nth statement *)
+}
+
+val default_config : config
+
+type report = {
+  statements : int;    (** statements attempted *)
+  failed : int;        (** statements that raised (and rolled back) *)
+  quarantines : int;   (** views observed stale after a statement *)
+  heals : int;         (** stale views healed by a read *)
+  cache_probes : int;
+  cache_hits : int;
+  checks : int;        (** invariant checkpoints passed *)
+}
+
+(** Run one stream; [inject] arms one fault site for the whole run
+    (always disarmed again on exit).
+    @raise Divergence on any consistency violation. *)
+val run : ?config:config -> ?inject:string * Rfview_engine.Fault.policy -> unit -> report
+
+(** A textual dump of everything a statement may mutate: table rows in
+    physical order, view contents, quarantine flags, incremental-state
+    presence.  Equal fingerprints iff the logical database states are
+    identical — the rollback-idempotence oracle for the property tests. *)
+val fingerprint : Db.t -> string
