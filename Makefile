@@ -1,4 +1,4 @@
-.PHONY: all build test lint chaos check clean
+.PHONY: all build test lint chaos crash-chaos check clean
 
 all: build
 
@@ -17,7 +17,13 @@ lint:
 chaos:
 	dune exec test/test_fault.exe
 
-check: build test lint chaos
+# Crash-recovery chaos: the durability suite (test/test_crash.ml) — WAL
+# round trips, torn tails, checkpoint/recovery faults, and the seed
+# matrix of randomized crash streams against the shadow oracle.
+crash-chaos:
+	dune exec test/test_crash.exe
+
+check: build test lint chaos crash-chaos
 
 clean:
 	dune clean

@@ -5,8 +5,12 @@
      repl            interactive SQL shell (line-based; ';' terminates)
      demo            start the repl with the credit-card demo schema loaded
      lint FILE       run the plan checker and lint rules over a SQL script
+     recover DIR     recover a durable database directory and report
+     checkpoint DIR  recover DIR, then write a fresh checkpoint
 
    Options:
+     --db DIR        (run, repl) open DIR as a durable database: recover
+                     it first, write-ahead log every statement
      --self-join     execute reporting functions via the Fig. 2 self-join
                      simulation instead of the native window operator
      --naive-window  use the naive O(n·w) window strategy
@@ -23,17 +27,29 @@ module Relation = Rfview_relalg.Relation
 module Diag = Rfview_analysis.Diagnostic
 
 let arm_injections specs =
-  let bad spec msg =
-    Printf.eprintf "rfview: bad --inject spec %S: %s\nknown sites:\n%s\n" spec msg
-      (String.concat "\n" (List.map (fun s -> "  " ^ s) (Fault.sites ())));
+  let fail spec msg ~hint =
+    Printf.eprintf "rfview: bad --inject argument %S: %s\n%s%!" spec msg hint;
     exit 2
   in
+  let known_sites =
+    lazy
+      ("known sites:\n"
+      ^ String.concat "\n" (List.map (fun s -> "  " ^ s) (Fault.sites ()))
+      ^ "\n")
+  in
+  let policy_help = "expected SITE:always, SITE:nth=N or SITE:p=F[@SEED]\n" in
   List.iter
     (fun spec ->
       match Fault.parse_spec spec with
+      | Error msg -> fail spec msg ~hint:policy_help
       | Ok (site, policy) ->
-        (try Fault.arm site policy with Invalid_argument msg -> bad spec msg)
-      | Error msg -> bad spec msg)
+        if not (List.mem site (Fault.sites ())) then
+          fail spec
+            (Printf.sprintf "unknown site %s" site)
+            ~hint:(Lazy.force known_sites)
+        else (
+          try Fault.arm site policy
+          with Invalid_argument msg -> fail spec msg ~hint:(Lazy.force known_sites)))
     specs
 
 let configure db ~self_join ~naive_window ~verify ~inject =
@@ -78,10 +94,58 @@ let read_file file =
   close_in ic;
   sql
 
-let cmd_run file self_join naive_window verify inject =
-  let db = Db.create () in
+let describe_recovery dir (r : Db.recovery_report) =
+  Printf.printf "recovered %s: checkpoint %s, %d WAL record(s) replayed%s%s\n%!" dir
+    (match r.Db.checkpoint_epoch with
+     | None -> "none"
+     | Some e -> Printf.sprintf "epoch %d" e)
+    r.Db.replayed
+    (if r.Db.torn then ", torn tail truncated" else "")
+    (match r.Db.quarantined with
+     | [] -> ""
+     | q -> ", quarantined: " ^ String.concat ", " q)
+
+(* Open the working database: durable (recovering [dir] first) when
+   --db was given, in-memory otherwise. *)
+let open_db = function
+  | None -> Db.create ()
+  | Some dir ->
+    (match Db.recover dir with
+     | db, r ->
+       if r.Db.replayed > 0 || r.Db.torn || r.Db.quarantined <> [] then
+         describe_recovery dir r;
+       db
+     | exception Db.Recovery_error m ->
+       Printf.eprintf "rfview: %s: recovery failed: %s\n" dir m;
+       exit 1)
+
+let cmd_run file db_dir self_join naive_window verify inject =
+  let db = open_db db_dir in
   configure db ~self_join ~naive_window ~verify ~inject;
-  if not (run_script db (read_file file)) then exit 1
+  let ok = run_script db (read_file file) in
+  Db.close db;
+  if not ok then exit 1
+
+let cmd_recover dir =
+  match Db.recover dir with
+  | db, r ->
+    describe_recovery dir r;
+    Db.close db
+  | exception Db.Recovery_error m ->
+    Printf.eprintf "rfview: %s: recovery failed: %s\n" dir m;
+    exit 1
+
+let cmd_checkpoint dir =
+  match Db.recover dir with
+  | db, r ->
+    Db.checkpoint db;
+    Printf.printf "checkpointed %s: epoch %d, %d WAL record(s) folded in\n%!" dir
+      ((match r.Db.checkpoint_epoch with None -> 0 | Some e -> e) + 1)
+      r.Db.replayed;
+    Db.close db
+  | exception Db.Recovery_error m ->
+    Printf.eprintf "rfview: %s: recovery failed: %s\n" dir m;
+    exit 1
 
 (* ---- lint ---- *)
 
@@ -184,10 +248,11 @@ let repl db =
   in
   loop ()
 
-let cmd_repl self_join naive_window verify inject =
-  let db = Db.create () in
+let cmd_repl db_dir self_join naive_window verify inject =
+  let db = open_db db_dir in
   configure db ~self_join ~naive_window ~verify ~inject;
-  repl db
+  repl db;
+  Db.close db
 
 let cmd_demo self_join naive_window verify inject =
   let db = Db.create () in
@@ -218,6 +283,11 @@ let inject =
           $(b,nth=N) or $(b,p=F[@SEED]); faulting statements roll back and \
           faulting view maintenance quarantines the view.")
 
+let db_dir =
+  Arg.(value & opt (some string) None & info [ "db" ] ~docv:"DIR"
+    ~doc:"Open $(docv) as a durable database: recover it first (creating it if \
+          missing), then write-ahead log and fsync every statement.")
+
 let explain_diagnostics =
   Arg.(value & flag & info [ "explain-diagnostics" ]
     ~doc:"Append the registry explanation to each diagnostic; without FILE, print the whole rule registry.")
@@ -225,11 +295,11 @@ let explain_diagnostics =
 let run_t =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   Cmd.v (Cmd.info "run" ~doc:"Execute a SQL script")
-    Term.(const cmd_run $ file $ self_join $ naive_window $ verify_plans $ inject)
+    Term.(const cmd_run $ file $ db_dir $ self_join $ naive_window $ verify_plans $ inject)
 
 let repl_t =
   Cmd.v (Cmd.info "repl" ~doc:"Interactive SQL shell")
-    Term.(const cmd_repl $ self_join $ naive_window $ verify_plans $ inject)
+    Term.(const cmd_repl $ db_dir $ self_join $ naive_window $ verify_plans $ inject)
 
 let demo_t =
   Cmd.v (Cmd.info "demo" ~doc:"SQL shell with the credit-card demo schema")
@@ -242,10 +312,25 @@ let lint_t =
        ~doc:"Check and lint the plans of a SQL script without running its queries")
     Term.(const cmd_lint $ file $ self_join $ explain_diagnostics)
 
+let recover_t =
+  let dir = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR") in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Recover a durable database directory (checkpoint + WAL replay) and \
+             report what recovery did")
+    Term.(const cmd_recover $ dir)
+
+let checkpoint_t =
+  let dir = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR") in
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:"Recover DIR, write a fresh checkpoint and truncate its WAL")
+    Term.(const cmd_checkpoint $ dir)
+
 let main =
   Cmd.group
     (Cmd.info "rfview" ~version:"1.0.0"
        ~doc:"Reporting-function views in a data warehouse environment")
-    [ run_t; repl_t; demo_t; lint_t ]
+    [ run_t; repl_t; demo_t; lint_t; recover_t; checkpoint_t ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,283 @@
+(* Versioned checkpoints: a snapshot of base tables, index DDL, view
+   definitions and per-view materialized state.
+
+   File layout — a sequence of CRC-framed records (Wal.frame_payload):
+
+     H epoch                      header
+     T name schema rows           one per base table
+     I ddl                        one per index (tables and views)
+     V name materialized sql      one per view, definition only
+     S name stale incr contents?  state, right after its view's V record
+     Z count                      trailer: number of records before it
+
+   Written to [checkpoint.tmp], fsynced, renamed over [checkpoint] —
+   a visible checkpoint file is always complete, so on read a short
+   file or missing trailer means real corruption, not a torn write.
+
+   Damage policy on read: a CRC-mismatched record sitting where a
+   materialized view's S record belongs marks that view [`Damaged] (the
+   recovery quarantines it — restored stale, healed by full refresh on
+   first read); a mismatch anywhere else raises [Corrupt].  This is what
+   lets recovery always terminate with a readable database: per-view
+   state damage degrades one view, it never sinks the snapshot. *)
+
+open Rfview_relalg
+module Codec = Wal.Codec
+
+exception Corrupt of string
+
+let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt s)) fmt
+
+let site_write = Fault.define "checkpoint.write"
+
+let file ~dir = Filename.concat dir "checkpoint"
+
+type table_snap = {
+  t_name : string;
+  t_schema : Schema.t;
+  t_rows : Row.t array;
+}
+
+type state_snap = {
+  s_stale : bool;
+  s_contents : Relation.t option;
+  s_incremental : bool;
+}
+
+type view_entry = {
+  v_name : string;
+  v_materialized : bool;
+  v_sql : string;
+  v_state : [ `None | `Snap of state_snap | `Damaged ];
+}
+
+type snapshot = {
+  epoch : int;
+  tables : table_snap list;
+  index_ddl : string list;
+  views : view_entry list;
+}
+
+(* ---- Record payloads ---- *)
+
+let header_payload epoch =
+  let buf = Buffer.create 16 in
+  Buffer.add_char buf 'H';
+  Codec.put_int buf epoch;
+  Buffer.contents buf
+
+let table_payload (t : table_snap) =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf 'T';
+  Codec.put_string buf t.t_name;
+  Codec.put_schema buf t.t_schema;
+  Codec.put_int buf (Array.length t.t_rows);
+  Array.iter (Codec.put_row buf) t.t_rows;
+  Buffer.contents buf
+
+let index_payload ddl =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf 'I';
+  Codec.put_string buf ddl;
+  Buffer.contents buf
+
+let view_payload (v : view_entry) =
+  let buf = Buffer.create 128 in
+  Buffer.add_char buf 'V';
+  Codec.put_string buf v.v_name;
+  Codec.put_bool buf v.v_materialized;
+  Codec.put_string buf v.v_sql;
+  Buffer.contents buf
+
+let state_payload name (s : state_snap) =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf 'S';
+  Codec.put_string buf name;
+  Codec.put_bool buf s.s_stale;
+  Codec.put_bool buf s.s_incremental;
+  (match s.s_contents with
+   | None -> Codec.put_bool buf false
+   | Some r ->
+     Codec.put_bool buf true;
+     Codec.put_relation buf r);
+  Buffer.contents buf
+
+let trailer_payload count =
+  let buf = Buffer.create 16 in
+  Buffer.add_char buf 'Z';
+  Codec.put_int buf count;
+  Buffer.contents buf
+
+(* ---- Writing ---- *)
+
+let write ~dir ~epoch ~tables ~index_ddl ~views =
+  let payloads =
+    header_payload epoch
+    :: List.map table_payload tables
+    @ List.map index_payload index_ddl
+    @ List.concat_map
+        (fun v ->
+          view_payload v
+          ::
+          (match v.v_state with
+           | `Snap s -> [ state_payload v.v_name s ]
+           | `None | `Damaged -> []))
+        views
+  in
+  let payloads = payloads @ [ trailer_payload (List.length payloads) ] in
+  let path = file ~dir in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     List.iter
+       (fun payload ->
+         Fault.hit site_write;
+         output_string oc (Wal.frame_payload payload))
+       payloads;
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with _ -> ());
+     raise e);
+  Unix.rename tmp path;
+  (* make the rename itself durable (best-effort: not every platform
+     lets a directory be opened for fsync) *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    (try Unix.fsync fd with _ -> ());
+    (try Unix.close fd with _ -> ())
+  | exception _ -> ()
+
+(* ---- Reading ---- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let read ~dir : snapshot option =
+  let path = file ~dir in
+  if not (Sys.file_exists path) then None
+  else begin
+    let frames, torn = Wal.parse_frames (read_file path) in
+    if torn then corrupt "%s: short file (checkpoints are rename-atomic)" path;
+    let epoch = ref None in
+    let tables = ref [] in
+    let index_ddl = ref [] in
+    let views = ref [] in (* reversed; head is the most recent V record *)
+    let seen = ref 0 in
+    let trailer = ref None in
+    let with_reader payload f =
+      let r = Codec.reader payload in
+      match f r with
+      | v -> v
+      | exception Codec.Decode m -> corrupt "%s: %s" path m
+    in
+    List.iter
+      (fun (payload, _off) ->
+        if !trailer <> None then corrupt "%s: record after the trailer" path;
+        incr seen;
+        match payload with
+        | None ->
+          (* a CRC-mismatched record: tolerable only in the position of a
+             materialized view's state record *)
+          (match !views with
+           | v :: rest when v.v_materialized && v.v_state = `None ->
+             views := { v with v_state = `Damaged } :: rest
+           | _ -> corrupt "%s: damaged record %d is not a view state" path !seen)
+        | Some payload ->
+          with_reader payload (fun r ->
+              match Codec.get_char r with
+              | 'H' ->
+                if !epoch <> None then corrupt "%s: duplicate header" path;
+                epoch := Some (Codec.get_int r)
+              | 'T' ->
+                let t_name = Codec.get_string r in
+                let t_schema = Codec.get_schema r in
+                let n = Codec.get_int r in
+                if n < 0 then corrupt "%s: negative row count" path;
+                let t_rows = Array.init n (fun _ -> Codec.get_row r) in
+                tables := { t_name; t_schema; t_rows } :: !tables
+              | 'I' -> index_ddl := Codec.get_string r :: !index_ddl
+              | 'V' ->
+                let v_name = Codec.get_string r in
+                let v_materialized = Codec.get_bool r in
+                let v_sql = Codec.get_string r in
+                views := { v_name; v_materialized; v_sql; v_state = `None } :: !views
+              | 'S' ->
+                let name = Codec.get_string r in
+                let s_stale = Codec.get_bool r in
+                let s_incremental = Codec.get_bool r in
+                let s_contents =
+                  if Codec.get_bool r then Some (Codec.get_relation r) else None
+                in
+                (match !views with
+                 | v :: rest
+                   when String.lowercase_ascii v.v_name = String.lowercase_ascii name
+                        && v.v_state = `None ->
+                   views :=
+                     { v with v_state = `Snap { s_stale; s_contents; s_incremental } }
+                     :: rest
+                 | _ -> corrupt "%s: state record for %s has no matching view" path name)
+              | 'Z' ->
+                (* the trailer counts every record before it *)
+                trailer := Some (Codec.get_int r)
+              | c -> corrupt "%s: unknown record tag %C" path c))
+      frames;
+    (match !trailer with
+     | None -> corrupt "%s: missing trailer" path
+     | Some n ->
+       if n <> !seen - 1 then
+         corrupt "%s: trailer counts %d records, file has %d" path n (!seen - 1));
+    match !epoch with
+    | None -> corrupt "%s: missing header" path
+    | Some epoch ->
+      Some
+        {
+          epoch;
+          tables = List.rev !tables;
+          index_ddl = List.rev !index_ddl;
+          views = List.rev !views;
+        }
+  end
+
+(* ---- Test helper: damage one view's state record in place ---- *)
+
+let corrupt_state ~dir ~view : bool =
+  let path = file ~dir in
+  if not (Sys.file_exists path) then false
+  else begin
+    let frames, _ = Wal.parse_frames (read_file path) in
+    let target =
+      List.find_opt
+        (fun (payload, _off) ->
+          match payload with
+          | Some p when String.length p > 0 && p.[0] = 'S' ->
+            let r = Codec.reader p in
+            (match
+               let _tag = Codec.get_char r in
+               Codec.get_string r
+             with
+             | name -> String.lowercase_ascii name = String.lowercase_ascii view
+             | exception Codec.Decode _ -> false)
+          | _ -> false)
+        frames
+    in
+    match target with
+    | None -> false
+    | Some (Some payload, off) ->
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with _ -> ())
+        (fun () ->
+          (* flip the last payload byte: the frame CRC no longer matches *)
+          let at = off + String.length payload - 1 in
+          let byte = Char.code payload.[String.length payload - 1] lxor 0xFF in
+          ignore (Unix.lseek fd at Unix.SEEK_SET);
+          ignore (Unix.write_substring fd (String.make 1 (Char.chr byte)) 0 1));
+      true
+    | Some (None, _) -> false
+  end

@@ -1,0 +1,72 @@
+(** Versioned checkpoints: a snapshot of base tables, index DDL, view
+    definitions and per-view materialized state, written atomically
+    (temp file + fsync + rename) with every record CRC-framed like a
+    WAL record.
+
+    The checkpoint carries an {e epoch}: the WAL installed after a
+    successful checkpoint opens with the same epoch, so recovery can
+    discard a stale log left by a crash between the checkpoint rename
+    and the log reset.
+
+    Damage policy on read: a corrupt {e view-state} record quarantines
+    just that view (it is restored stale, to heal by full refresh on
+    first read); corruption anywhere else raises {!Corrupt} — a
+    checkpoint file is rename-atomic, so structural damage means the
+    snapshot cannot be trusted.
+
+    Fault-injection site: [checkpoint.write] (before each record). *)
+
+open Rfview_relalg
+
+exception Corrupt of string
+
+type table_snap = {
+  t_name : string;
+  t_schema : Schema.t;
+  t_rows : Row.t array;
+}
+
+type state_snap = {
+  s_stale : bool;  (** quarantined at checkpoint time *)
+  s_contents : Relation.t option;
+  s_incremental : bool;  (** had an incremental maintenance state *)
+}
+
+type view_entry = {
+  v_name : string;
+  v_materialized : bool;
+  v_sql : string;  (** the definition query's SQL text *)
+  v_state : [ `None | `Snap of state_snap | `Damaged ];
+      (** [`None] for non-materialized views; [`Damaged] only on read,
+          when the view's state record failed its CRC *)
+}
+
+type snapshot = {
+  epoch : int;
+  tables : table_snap list;
+  index_ddl : string list;  (** CREATE INDEX statements, tables and views *)
+  views : view_entry list;
+}
+
+(** The checkpoint file inside a database directory. *)
+val file : dir:string -> string
+
+(** Write a checkpoint atomically.  On any failure (including an armed
+    [checkpoint.write] site) the temp file is discarded and the previous
+    checkpoint is untouched. *)
+val write :
+  dir:string ->
+  epoch:int ->
+  tables:table_snap list ->
+  index_ddl:string list ->
+  views:view_entry list ->
+  unit
+
+(** Read the current checkpoint; [None] when no checkpoint exists.
+    @raise Corrupt on structural damage (see the damage policy above). *)
+val read : dir:string -> snapshot option
+
+(** Flip one byte inside the named view's state record (test helper for
+    the recovery chaos suite).  Returns false when the view has no state
+    record. *)
+val corrupt_state : dir:string -> view:string -> bool

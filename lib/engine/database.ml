@@ -31,6 +31,17 @@ let () =
            (Printexc.to_string cause))
     | _ -> None)
 
+(* A durable database directory could not be brought back to a usable
+   state (structural checkpoint corruption, a failing WAL replay). *)
+exception Recovery_error of string
+
+let recovery_error fmt = Format.kasprintf (fun s -> raise (Recovery_error s)) fmt
+
+let () =
+  Printexc.register_printer (function
+    | Recovery_error m -> Some (Printf.sprintf "recovery error: %s" m)
+    | _ -> None)
+
 (* ---- Fault-injection sites (see Fault) ---- *)
 
 let site_apply_insert = Fault.define "database.apply_insert"
@@ -38,6 +49,7 @@ let site_apply_delete = Fault.define "database.apply_delete"
 let site_apply_update = Fault.define "database.apply_update"
 let site_propagate = Fault.define "database.propagate_view"
 let site_refresh = Fault.define "database.refresh_view"
+let site_replay = Fault.define "recover.replay"
 
 type window_mode =
   [ `Native
@@ -69,6 +81,18 @@ type view_index = {
   mutable vi_built : Index.t option;
 }
 
+(* Attached by [open_durable]/[recover]: the WAL writer for the database
+   directory.  [epoch] matches the current checkpoint generation (0
+   before the first checkpoint); [appended] counts records in the
+   current log and drives [checkpoint_every]. *)
+type durability = {
+  dir : string;
+  mutable wal : Wal.writer;
+  mutable epoch : int;
+  mutable appended : int;
+  mutable checkpoint_every : int option;
+}
+
 type t = {
   catalog : Catalog.t;
   view_states : (string, Matview.state) Hashtbl.t; (* incremental matviews *)
@@ -79,6 +103,8 @@ type t = {
   mutable index_join_enabled : bool;
   mutable degradation : degradation;
   mutable undo : Undo.t option; (* Some while a statement is executing *)
+  mutable durable : durability option;
+  mutable wal_pending : Wal.record list; (* this statement's records, reversed *)
 }
 
 type result =
@@ -96,6 +122,8 @@ let create () =
     index_join_enabled = true;
     degradation = `Quarantine;
     undo = None;
+    durable = None;
+    wal_pending = [];
   }
 
 let set_window_mode db mode = db.window_mode <- mode
@@ -125,19 +153,72 @@ let log_undo db restore =
   | Some u -> Undo.log u restore
   | None -> ()
 
+(* ---- WAL commit protocol ----
+
+   Mutations queue logical records on [wal_pending] as they execute
+   (deltas carry the exact rows, DDL its SQL text).  The outermost
+   [with_undo] flushes the queue to the WAL and fsyncs *inside* the undo
+   scope: the statement is committed iff its records are durable.  A
+   failing append/fsync truncates the partial record back off the log
+   and rolls the whole statement back — disk and memory agree either
+   way.  During recovery [durable] is [None], so replay re-queues
+   nothing. *)
+
+let wal_log db record = if db.durable <> None then db.wal_pending <- record :: db.wal_pending
+
+let wal_log_stmt db (stmt : Ast.statement) =
+  match stmt with
+  | Ast.St_create_table _ | Ast.St_create_index _ | Ast.St_create_view _
+  | Ast.St_drop_table _ | Ast.St_drop_view _ | Ast.St_refresh_view _ ->
+    wal_log db (Wal.Statement (Pretty.statement stmt))
+  | _ -> ()
+
+let flush_wal db =
+  match db.durable with
+  | Some d when db.wal_pending <> [] ->
+    let records = List.rev db.wal_pending in
+    db.wal_pending <- [];
+    let pos = Wal.position d.wal in
+    (try
+       List.iter (Wal.append d.wal) records;
+       Wal.sync d.wal;
+       d.appended <- d.appended + List.length records
+     with e ->
+       (try Wal.truncate_to d.wal pos with _ -> ());
+       raise e)
+  | _ -> db.wal_pending <- []
+
+(* Forward reference to [checkpoint] for the auto-checkpoint hook. *)
+let checkpoint_ref : (t -> unit) ref = ref (fun _ -> ())
+
+(* A failed automatic checkpoint is degradation, not an error: the old
+   checkpoint and the (longer) WAL still recover the same state. *)
+let maybe_auto_checkpoint db =
+  match db.durable with
+  | Some { checkpoint_every = Some n; appended; _ } when appended >= n ->
+    (try !checkpoint_ref db with e when recoverable_exn e -> ())
+  | _ -> ()
+
 let with_undo db f =
   match db.undo with
   | Some _ -> f () (* nested: join the enclosing statement *)
   | None ->
     let u = Undo.create () in
     db.undo <- Some u;
-    (match f () with
+    db.wal_pending <- [];
+    (match
+       let result = f () in
+       flush_wal db;
+       result
+     with
      | result ->
        db.undo <- None;
        Undo.commit u;
+       maybe_auto_checkpoint db;
        result
      | exception e ->
        db.undo <- None;
+       db.wal_pending <- [];
        Undo.rollback u;
        raise e)
 
@@ -429,6 +510,16 @@ let coerce_value ty (v : Value.t) : Value.t =
     engine_error "value %s is not compatible with type %s" (Value.to_string v)
       (Dtype.to_string ty)
 
+(* Apply an insert delta: shared by [exec_insert] and WAL replay, so a
+   replayed statement takes exactly the committed statement's path. *)
+let insert_rows db ~table (new_rows : Row.t list) =
+  let tbl = Catalog.table db.catalog table in
+  log_table db tbl;
+  Catalog.set_rows tbl (Array.append tbl.Catalog.rows (Array.of_list new_rows));
+  Fault.hit site_apply_insert;
+  wal_log db (Wal.Insert { table; rows = Array.of_list new_rows });
+  propagate db ~table (Rows_inserted new_rows)
+
 let exec_insert db ~table ~columns ~rows =
   let tbl = Catalog.table db.catalog table in
   let schema = tbl.Catalog.schema in
@@ -456,11 +547,27 @@ let exec_insert db ~table ~columns ~rows =
         row)
       rows
   in
-  log_table db tbl;
-  Catalog.set_rows tbl (Array.append tbl.Catalog.rows (Array.of_list new_rows));
-  Fault.hit site_apply_insert;
-  propagate db ~table (Rows_inserted new_rows);
+  insert_rows db ~table new_rows;
   Done (Printf.sprintf "INSERT %d" (List.length new_rows))
+
+(* Shared apply steps for update/delete deltas (statement path and WAL
+   replay).  [rows]/[kept] is the table's full new contents; [pairs]/
+   [deleted] the delta that maintains dependent views and the log. *)
+let update_rows db ~table ~rows ~pairs =
+  let tbl = Catalog.table db.catalog table in
+  log_table db tbl;
+  Catalog.set_rows tbl rows;
+  Fault.hit site_apply_update;
+  wal_log db (Wal.Update { table; pairs = Array.of_list pairs });
+  propagate db ~table (Rows_updated pairs)
+
+let delete_rows db ~table ~kept ~deleted =
+  let tbl = Catalog.table db.catalog table in
+  log_table db tbl;
+  Catalog.set_rows tbl kept;
+  Fault.hit site_apply_delete;
+  wal_log db (Wal.Delete { table; rows = Array.of_list deleted });
+  propagate db ~table (Rows_deleted deleted)
 
 let exec_update db ~table ~assignments ~where =
   let tbl = Catalog.table db.catalog table in
@@ -494,10 +601,7 @@ let exec_update db ~table ~assignments ~where =
         else row)
       tbl.Catalog.rows
   in
-  log_table db tbl;
-  Catalog.set_rows tbl rows;
-  Fault.hit site_apply_update;
-  propagate db ~table (Rows_updated (List.rev !pairs));
+  update_rows db ~table ~rows ~pairs:(List.rev !pairs);
   Done (Printf.sprintf "UPDATE %d" (List.length !pairs))
 
 let exec_delete db ~table ~where =
@@ -514,10 +618,9 @@ let exec_delete db ~table ~where =
     (fun row ->
       if Expr.holds row pred then deleted := row :: !deleted else kept := row :: !kept)
     tbl.Catalog.rows;
-  log_table db tbl;
-  Catalog.set_rows tbl (Array.of_list (List.rev !kept));
-  Fault.hit site_apply_delete;
-  propagate db ~table (Rows_deleted (List.rev !deleted));
+  delete_rows db ~table
+    ~kept:(Array.of_list (List.rev !kept))
+    ~deleted:(List.rev !deleted);
   Done (Printf.sprintf "DELETE %d" (List.length !deleted))
 
 (* ---- Statements ---- *)
@@ -526,7 +629,8 @@ let exec_delete db ~table ~where =
    [exec_statement] below brackets this with [with_undo], so every entry
    is all-or-nothing. *)
 let rec exec_statement_in_scope db (stmt : Ast.statement) : result =
-  match stmt with
+  let result =
+    match stmt with
   | Ast.St_query q -> Relation (run_query db q)
   | Ast.St_create_table { name; columns } ->
     let schema =
@@ -616,6 +720,12 @@ let rec exec_statement_in_scope db (stmt : Ast.statement) : result =
        let _result, profile = P.Physical.execute_analyze (catalog_view db) physical in
        Done (P.Physical.render_profile profile)
      | other -> exec_statement_in_scope db other)
+  in
+  (* DDL/REFRESH reaches the log as SQL text; DML already queued its row
+     deltas on the apply path (an EXPLAIN'd statement logs as itself via
+     the recursive call — the EXPLAIN wrapper matches nothing here). *)
+  wal_log_stmt db stmt;
+  result
 
 (* Every statement is atomic: on any exception the undo log restores
    tables, view contents, view states and index caches to the
@@ -631,6 +741,7 @@ let load_table db ~table rows =
       let tbl = Catalog.table db.catalog table in
       log_table db tbl;
       Catalog.set_rows tbl (Array.append tbl.Catalog.rows rows);
+      wal_log db (Wal.Load { table; rows });
       List.iter
         (fun (v : Catalog.view) ->
           if
@@ -670,12 +781,349 @@ let is_stale db name =
   | Some v -> v.Catalog.stale
   | None -> false
 
+(* Deterministic order: the catalog hashtable iterates in an arbitrary
+   order, and names are case-insensitive, so sort by folded name (exact
+   name breaking ties). *)
 let stale_views db =
   Catalog.all_views db.catalog
   |> List.filter_map (fun (v : Catalog.view) ->
          if v.Catalog.stale then Some v.Catalog.view_name else None)
-  |> List.sort String.compare
+  |> List.sort (fun a b ->
+         match String.compare (key a) (key b) with
+         | 0 -> String.compare a b
+         | c -> c)
 
 let catalog db = db.catalog
 
 let view_state db name = Hashtbl.find_opt db.view_states (key name)
+
+(* ---- Durability: checkpoint, recovery, the database directory ----
+
+   A durable database lives in a directory holding [checkpoint] (see
+   Checkpoint) and [log.wal] (see Wal).  Opening recovers: restore the
+   checkpoint, replay the WAL suffix, truncate a torn tail, attach the
+   writer.  The epoch ties the two files together — a WAL whose epoch is
+   below the checkpoint's is a stale log left by a crash between the
+   checkpoint rename and the log reset, and is discarded (its records
+   are already inside the checkpoint). *)
+
+type recovery_report = {
+  checkpoint_epoch : int option; (* [None]: no checkpoint existed *)
+  replayed : int;                (* WAL records applied *)
+  torn : bool;                   (* a torn tail was truncated *)
+  quarantined : string list;     (* views restored stale (damaged state) *)
+}
+
+let wal_path dir = Filename.concat dir "log.wal"
+
+let ensure_dir dir =
+  if Sys.file_exists dir then begin
+    if not (Sys.is_directory dir) then recovery_error "%s: not a directory" dir
+  end
+  else
+    try Sys.mkdir dir 0o755
+    with Sys_error m -> recovery_error "cannot create %s: %s" dir m
+
+(* ---- Replay ----
+
+   DML records replay through the same apply functions the original
+   statements used ([insert_rows]/[update_rows]/[delete_rows]), so view
+   maintenance, fault sites and quarantine behave identically.  Deltas
+   carry exact rows; pre-images are matched by value (first match), which
+   is multiset-correct: rows equal by value are interchangeable. *)
+
+let row_equal (a : Row.t) (b : Row.t) =
+  Array.length a = Array.length b
+  && (try
+        Array.iter2 (fun x y -> if not (Value.equal x y) then raise Exit) a b;
+        true
+      with Exit -> false)
+
+let replay_delete db ~table rows =
+  let tbl = Catalog.table db.catalog table in
+  let pending = ref (Array.to_list rows) in
+  let kept = ref [] in
+  Array.iter
+    (fun row ->
+      let rec take acc = function
+        | [] -> None
+        | r :: rest when row_equal r row -> Some (List.rev_append acc rest)
+        | r :: rest -> take (r :: acc) rest
+      in
+      match take [] !pending with
+      | Some rest -> pending := rest
+      | None -> kept := row :: !kept)
+    tbl.Catalog.rows;
+  if !pending <> [] then engine_error "replay: DELETE pre-image missing from %s" table;
+  delete_rows db ~table
+    ~kept:(Array.of_list (List.rev !kept))
+    ~deleted:(Array.to_list rows)
+
+let replay_update db ~table pairs =
+  let tbl = Catalog.table db.catalog table in
+  let rows = Array.copy tbl.Catalog.rows in
+  (* consume a distinct row per pair: equal pre-images evaluate the same
+     assignments, so any matching is multiset-equivalent — but a row
+     already rewritten must not satisfy a later pair's pre-image *)
+  let used = Array.make (Array.length rows) false in
+  Array.iter
+    (fun (old_row, new_row) ->
+      let rec find i =
+        if i >= Array.length rows then
+          engine_error "replay: UPDATE pre-image missing from %s" table
+        else if (not used.(i)) && row_equal rows.(i) old_row then begin
+          rows.(i) <- new_row;
+          used.(i) <- true
+        end
+        else find (i + 1)
+      in
+      find 0)
+    pairs;
+  update_rows db ~table ~rows ~pairs:(Array.to_list pairs)
+
+let replay_record db (record : Wal.record) =
+  match record with
+  | Wal.Begin _ -> ()
+  | Wal.Statement sql -> ignore (exec db sql)
+  | Wal.Insert { table; rows } ->
+    ignore (with_undo db (fun () -> insert_rows db ~table (Array.to_list rows)))
+  | Wal.Delete { table; rows } ->
+    ignore (with_undo db (fun () -> replay_delete db ~table rows))
+  | Wal.Update { table; pairs } ->
+    ignore (with_undo db (fun () -> replay_update db ~table pairs))
+  | Wal.Load { table; rows } -> load_table db ~table rows
+
+(* ---- Recovery ---- *)
+
+(* Rebuild a restored matview's incremental maintenance state from the
+   restored base table, cross-checked against the restored contents.
+   Returns false when the state cannot be rebuilt or disagrees. *)
+let rebuild_state db (view : Catalog.view) =
+  match Matview.recognize view.Catalog.definition, view.Catalog.contents with
+  | Some spec, Some contents ->
+    (match Catalog.find_table db.catalog spec.Matview.source with
+     | None -> false
+     | Some tbl ->
+       (try
+          let state =
+            Matview.init_state spec
+              ~base:(Catalog.table_relation tbl)
+              ~out_schema:(Relation.schema contents)
+          in
+          if Relation.equal_bag contents (Matview.render state) then begin
+            Hashtbl.replace db.view_states (key view.Catalog.view_name) state;
+            true
+          end
+          else false
+        with Matview.Not_maintainable _ -> false))
+  | _ -> false
+
+let recover dir =
+  ensure_dir dir;
+  let db = create () in
+  let quarantined = ref [] in
+  let quarantine (v : Catalog.view) =
+    v.Catalog.stale <- true;
+    quarantined := v.Catalog.view_name :: !quarantined
+  in
+  let snap =
+    try Checkpoint.read ~dir with Checkpoint.Corrupt m -> recovery_error "%s" m
+  in
+  (match snap with
+   | None -> ()
+   | Some snap ->
+     List.iter
+       (fun (t : Checkpoint.table_snap) ->
+         let tbl =
+           Catalog.create_table db.catalog ~name:t.Checkpoint.t_name
+             ~schema:t.Checkpoint.t_schema
+         in
+         Catalog.set_rows tbl t.Checkpoint.t_rows)
+       snap.Checkpoint.tables;
+     List.iter
+       (fun (v : Checkpoint.view_entry) ->
+         let definition =
+           try Parser.query v.Checkpoint.v_sql
+           with e ->
+             recovery_error "checkpoint: view %s: unreadable definition (%s)"
+               v.Checkpoint.v_name (Printexc.to_string e)
+         in
+         let view =
+           Catalog.create_view db.catalog ~name:v.Checkpoint.v_name
+             ~materialized:v.Checkpoint.v_materialized ~definition
+         in
+         if v.Checkpoint.v_materialized then
+           match v.Checkpoint.v_state with
+           | `Snap
+               {
+                 Checkpoint.s_stale;
+                 s_contents = Some contents;
+                 s_incremental;
+               } ->
+             view.Catalog.contents <- Some contents;
+             view.Catalog.stale <- s_stale;
+             if s_stale then quarantined := view.Catalog.view_name :: !quarantined
+             else if s_incremental then
+               (* the CRC-validated contents are authoritative; when the
+                  rebuilt incremental state cannot be proven to reproduce
+                  them (e.g. float drift between incremental and from-
+                  scratch summation), serve the contents without a state —
+                  the next DML falls back to a full refresh *)
+               ignore (rebuild_state db view)
+           | `Snap { Checkpoint.s_contents = None; _ } | `Damaged | `None ->
+             (* damaged or missing state: restore the definition only and
+                let the first read heal it by full refresh *)
+             quarantine view)
+       snap.Checkpoint.views;
+     List.iter
+       (fun ddl ->
+         try ignore (exec db ddl)
+         with e ->
+           recovery_error "checkpoint: replaying %S: %s" ddl (Printexc.to_string e))
+       snap.Checkpoint.index_ddl);
+  let ckpt_epoch = match snap with None -> 0 | Some s -> s.Checkpoint.epoch in
+  let wpath = wal_path dir in
+  let replayed = ref 0 in
+  let torn = ref false in
+  let need_fresh = ref true in
+  if Sys.file_exists wpath then begin
+    let scan = try Wal.scan wpath with Wal.Wal_error m -> recovery_error "%s" m in
+    if scan.Wal.epoch < ckpt_epoch then
+      (* stale log from before the checkpoint: everything in it is
+         already inside the snapshot — discard, install a fresh log *)
+      need_fresh := true
+    else if scan.Wal.epoch > ckpt_epoch then
+      recovery_error "%s: log epoch %d is ahead of checkpoint epoch %d" wpath
+        scan.Wal.epoch ckpt_epoch
+    else begin
+      need_fresh := false;
+      torn := scan.Wal.torn;
+      List.iteri
+        (fun i record ->
+          try
+            Fault.hit site_replay;
+            replay_record db record
+          with e ->
+            recovery_error "%s: record %d (%s): %s" wpath (i + 1)
+              (Wal.describe record) (Printexc.to_string e))
+        scan.Wal.records;
+      replayed := List.length scan.Wal.records;
+      if scan.Wal.torn then begin
+        try Wal.truncate wpath scan.Wal.valid_bytes
+        with e ->
+          recovery_error "%s: truncating torn tail: %s" wpath (Printexc.to_string e)
+      end
+    end
+  end;
+  let wal =
+    if !need_fresh then Wal.create wpath ~epoch:ckpt_epoch else Wal.open_append wpath
+  in
+  db.durable <-
+    Some { dir; wal; epoch = ckpt_epoch; appended = !replayed; checkpoint_every = None };
+  let report =
+    {
+      checkpoint_epoch = Option.map (fun (s : Checkpoint.snapshot) -> s.Checkpoint.epoch) snap;
+      replayed = !replayed;
+      torn = !torn;
+      quarantined = List.sort_uniq String.compare (List.rev !quarantined);
+    }
+  in
+  (db, report)
+
+let open_durable dir = fst (recover dir)
+
+(* ---- Checkpoint ---- *)
+
+let checkpoint db =
+  match db.durable with
+  | None -> engine_error "checkpoint: database has no directory (open it with open_durable)"
+  | Some d ->
+    let epoch' = d.epoch + 1 in
+    let by_name name_of a b = String.compare (key (name_of a)) (key (name_of b)) in
+    let tables =
+      Catalog.all_tables db.catalog
+      |> List.sort (by_name (fun (t : Catalog.table) -> t.Catalog.table_name))
+      |> List.map (fun (t : Catalog.table) ->
+             {
+               Checkpoint.t_name = t.Catalog.table_name;
+               t_schema = t.Catalog.schema;
+               t_rows = t.Catalog.rows;
+             })
+    in
+    let index_ddl =
+      let table_indexes =
+        Catalog.all_tables db.catalog
+        |> List.sort (by_name (fun (t : Catalog.table) -> t.Catalog.table_name))
+        |> List.concat_map (fun (t : Catalog.table) ->
+               t.Catalog.indexes
+               |> List.sort (by_name (fun (i : Catalog.index_def) -> i.Catalog.index_name))
+               |> List.map (fun (i : Catalog.index_def) ->
+                      Pretty.statement
+                        (Ast.St_create_index
+                           {
+                             name = i.Catalog.index_name;
+                             table = t.Catalog.table_name;
+                             column = i.Catalog.column;
+                             ordered = i.Catalog.kind = Index.Ordered;
+                           })))
+      in
+      let view_indexes =
+        Hashtbl.fold (fun name vi acc -> (name, vi) :: acc) db.view_indexes []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        |> List.map (fun (name, vi) ->
+               Pretty.statement
+                 (Ast.St_create_index
+                    {
+                      name;
+                      table = vi.vi_view;
+                      column = vi.vi_column;
+                      ordered = vi.vi_kind = Index.Ordered;
+                    }))
+      in
+      table_indexes @ view_indexes
+    in
+    let views =
+      Catalog.all_views db.catalog
+      |> List.sort (by_name (fun (v : Catalog.view) -> v.Catalog.view_name))
+      |> List.map (fun (v : Catalog.view) ->
+             {
+               Checkpoint.v_name = v.Catalog.view_name;
+               v_materialized = v.Catalog.materialized;
+               v_sql = Pretty.query v.Catalog.definition;
+               v_state =
+                 (if not v.Catalog.materialized then `None
+                  else
+                    `Snap
+                      {
+                        Checkpoint.s_stale = v.Catalog.stale;
+                        s_contents = v.Catalog.contents;
+                        s_incremental =
+                          Hashtbl.mem db.view_states (key v.Catalog.view_name);
+                      });
+             })
+    in
+    Checkpoint.write ~dir:d.dir ~epoch:epoch' ~tables ~index_ddl ~views;
+    (* the snapshot is durable: install a fresh log for the new epoch
+       (a crash right here leaves a stale log, which recovery discards) *)
+    let old = d.wal in
+    let wal = Wal.create (wal_path d.dir) ~epoch:epoch' in
+    (try Wal.close old with _ -> ());
+    d.wal <- wal;
+    d.epoch <- epoch';
+    d.appended <- 0
+
+let () = checkpoint_ref := checkpoint
+
+let set_checkpoint_every db n =
+  match db.durable with
+  | Some d -> d.checkpoint_every <- n
+  | None -> ()
+
+let durable_dir db = Option.map (fun d -> d.dir) db.durable
+
+let close db =
+  match db.durable with
+  | None -> ()
+  | Some d ->
+    (try Wal.close d.wal with _ -> ());
+    db.durable <- None

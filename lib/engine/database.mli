@@ -11,6 +11,12 @@ exception Engine_error of string
     culprit, wrapping the original exception. *)
 exception Script_error of { index : int; sql : string; cause : exn }
 
+(** A durable database directory could not be brought back to a usable
+    state: structural checkpoint corruption, or a WAL record that fails
+    to replay.  Per-view state damage does {e not} raise this — such
+    views are quarantined and recovery proceeds. *)
+exception Recovery_error of string
+
 (** How reporting functions execute — the contrast of the paper's
     Table 1: the native window operator, or the Fig. 2 self-join
     simulation applied in query rewrite. *)
@@ -84,6 +90,49 @@ val plan_query : t -> Ast.query -> P.Physical.t
     table are fully refreshed.  Atomic like a statement: a failed
     refresh rolls the load back. *)
 val load_table : t -> table:string -> Row.t array -> unit
+
+(** {1 Durability}
+
+    A durable database lives in a directory holding a checkpoint (see
+    {!module:Checkpoint}) and a write-ahead log (see {!module:Wal}).
+    Every statement's logical records are appended and fsynced before it
+    commits; a statement whose records cannot be made durable rolls
+    back.  Opening the directory recovers: checkpoint + WAL suffix
+    replay, with torn-tail truncation and per-view quarantine of damaged
+    state, so recovery always terminates with a readable database. *)
+
+type recovery_report = {
+  checkpoint_epoch : int option;  (** [None] when no checkpoint existed *)
+  replayed : int;  (** WAL records applied after the checkpoint *)
+  torn : bool;  (** a torn/corrupt WAL tail was detected and truncated *)
+  quarantined : string list;
+      (** views restored stale because their checkpoint state was
+          damaged or could not be validated (sorted) *)
+}
+
+(** Open (creating if necessary) a durable database directory.
+    @raise Recovery_error when the directory cannot be recovered. *)
+val open_durable : string -> t
+
+(** Like {!open_durable}, also returning what recovery did. *)
+val recover : string -> t * recovery_report
+
+(** Write a checkpoint: an atomic snapshot of tables, index DDL, views
+    and materialized state, then start a fresh WAL epoch.
+    @raise Engine_error when the database has no directory. *)
+val checkpoint : t -> unit
+
+(** Checkpoint automatically once the WAL holds at least [n] records
+    ([None] disables, the default).  A failing automatic checkpoint is
+    ignored — the longer WAL still recovers the same state. *)
+val set_checkpoint_every : t -> int option -> unit
+
+(** The database directory, when opened with {!open_durable}/{!recover}. *)
+val durable_dir : t -> string option
+
+(** Close the WAL writer and detach the directory (the in-memory
+    database remains usable, but is no longer durable). *)
+val close : t -> unit
 
 (** {1 Introspection} *)
 

@@ -1,0 +1,426 @@
+(* The write-ahead log: an append-only file of logical statement
+   records, each framed as [length ∥ crc32 ∥ payload] (both u32 LE) so a
+   torn tail — a record cut short by a crash mid-write — is detected and
+   truncated, never replayed.
+
+   Records are logical: DML deltas carry the exact rows in a binary
+   value encoding (no text round-trip, so float payloads survive
+   bit-identically), DDL and REFRESH carry SQL text, bulk/CSV loads
+   carry the loaded rows.  Every log opens with [Begin epoch]; a
+   checkpoint bumps the epoch and atomically installs a fresh log, so
+   recovery distinguishes the new log from a stale one left by a crash
+   between the checkpoint rename and the log reset.
+
+   The writer is an unbuffered Unix fd: a record is on its way to disk
+   the moment [append] returns and durable once [sync] returns.  The
+   commit protocol in Database captures [position] first and
+   [truncate_to]s back on any append/sync failure, so a rolled-back
+   statement leaves no record behind. *)
+
+open Rfview_relalg
+
+exception Wal_error of string
+
+let wal_error fmt = Format.kasprintf (fun s -> raise (Wal_error s)) fmt
+
+(* ---- Fault-injection sites ---- *)
+
+let site_append = Fault.define "wal.append"
+let site_fsync = Fault.define "wal.fsync"
+
+(* ---- CRC32 (IEEE 802.3 / zlib polynomial, reflected) ---- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 (s : string) : int32 =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let i = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl) in
+      c := Int32.logxor table.(i) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+(* ---- Binary codec ---- *)
+
+module Codec = struct
+  exception Decode of string
+
+  let decode_error fmt = Format.kasprintf (fun s -> raise (Decode s)) fmt
+
+  let put_bool buf b = Buffer.add_char buf (if b then '\001' else '\000')
+
+  let put_int buf (i : int) =
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 (Int64.of_int i);
+    Buffer.add_bytes buf b
+
+  let put_i64 buf (i : int64) =
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 i;
+    Buffer.add_bytes buf b
+
+  let put_string buf s =
+    put_int buf (String.length s);
+    Buffer.add_string buf s
+
+  let put_value buf (v : Value.t) =
+    match v with
+    | Value.Null -> Buffer.add_char buf 'N'
+    | Value.Bool b ->
+      Buffer.add_char buf 'B';
+      put_bool buf b
+    | Value.Int i ->
+      Buffer.add_char buf 'I';
+      put_int buf i
+    | Value.Float f ->
+      Buffer.add_char buf 'F';
+      put_i64 buf (Int64.bits_of_float f)
+    | Value.String s ->
+      Buffer.add_char buf 'S';
+      put_string buf s
+    | Value.Date d ->
+      Buffer.add_char buf 'D';
+      put_int buf d
+
+  let put_row buf (row : Row.t) =
+    put_int buf (Array.length row);
+    Array.iter (put_value buf) row
+
+  let put_schema buf (schema : Schema.t) =
+    put_int buf (Schema.arity schema);
+    Array.iter
+      (fun (c : Schema.column) ->
+        (match c.Schema.rel with
+         | None -> put_bool buf false
+         | Some r ->
+           put_bool buf true;
+           put_string buf r);
+        put_string buf c.Schema.name;
+        put_string buf (Dtype.to_string c.Schema.ty))
+      schema
+
+  let put_relation buf (r : Relation.t) =
+    put_schema buf (Relation.schema r);
+    let rows = Relation.rows r in
+    put_int buf (Array.length rows);
+    Array.iter (put_row buf) rows
+
+  type reader = { data : string; mutable pos : int }
+
+  let reader data = { data; pos = 0 }
+  let at_end r = r.pos >= String.length r.data
+
+  let need r n =
+    if r.pos + n > String.length r.data then
+      decode_error "payload truncated (want %d bytes at %d of %d)" n r.pos
+        (String.length r.data)
+
+  let get_char r =
+    need r 1;
+    let c = r.data.[r.pos] in
+    r.pos <- r.pos + 1;
+    c
+
+  let get_bool r =
+    match get_char r with
+    | '\000' -> false
+    | '\001' -> true
+    | c -> decode_error "bad bool byte %C" c
+
+  let get_i64 r =
+    need r 8;
+    let v = Bytes.get_int64_le (Bytes.unsafe_of_string r.data) r.pos in
+    r.pos <- r.pos + 8;
+    v
+
+  let get_int r = Int64.to_int (get_i64 r)
+
+  let get_string r =
+    let n = get_int r in
+    if n < 0 then decode_error "negative string length %d" n;
+    need r n;
+    let s = String.sub r.data r.pos n in
+    r.pos <- r.pos + n;
+    s
+
+  let get_value r : Value.t =
+    match get_char r with
+    | 'N' -> Value.Null
+    | 'B' -> Value.Bool (get_bool r)
+    | 'I' -> Value.Int (get_int r)
+    | 'F' -> Value.Float (Int64.float_of_bits (get_i64 r))
+    | 'S' -> Value.String (get_string r)
+    | 'D' -> Value.Date (get_int r)
+    | c -> decode_error "bad value tag %C" c
+
+  let get_row r : Row.t =
+    let n = get_int r in
+    if n < 0 then decode_error "negative row arity %d" n;
+    Array.init n (fun _ -> get_value r)
+
+  let get_schema r : Schema.t =
+    let n = get_int r in
+    if n < 0 then decode_error "negative schema arity %d" n;
+    Schema.make
+      (List.init n (fun _ ->
+           let rel = if get_bool r then Some (get_string r) else None in
+           let name = get_string r in
+           let ty_name = get_string r in
+           match Dtype.of_string ty_name with
+           | Some ty -> { Schema.rel; name; ty }
+           | None -> decode_error "bad column type %S" ty_name))
+
+  let get_relation r : Relation.t =
+    let schema = get_schema r in
+    let n = get_int r in
+    if n < 0 then decode_error "negative row count %d" n;
+    Relation.of_array schema (Array.init n (fun _ -> get_row r))
+end
+
+(* ---- Records ---- *)
+
+type record =
+  | Begin of int
+  | Statement of string
+  | Insert of { table : string; rows : Row.t array }
+  | Delete of { table : string; rows : Row.t array }
+  | Update of { table : string; pairs : (Row.t * Row.t) array }
+  | Load of { table : string; rows : Row.t array }
+
+let describe = function
+  | Begin epoch -> Printf.sprintf "BEGIN epoch=%d" epoch
+  | Statement sql -> Printf.sprintf "STATEMENT %s" sql
+  | Insert { table; rows } -> Printf.sprintf "INSERT %d row(s) into %s" (Array.length rows) table
+  | Delete { table; rows } -> Printf.sprintf "DELETE %d row(s) from %s" (Array.length rows) table
+  | Update { table; pairs } -> Printf.sprintf "UPDATE %d row(s) of %s" (Array.length pairs) table
+  | Load { table; rows } -> Printf.sprintf "LOAD %d row(s) into %s" (Array.length rows) table
+
+let payload_of_record (r : record) : string =
+  let buf = Buffer.create 64 in
+  (match r with
+   | Begin epoch ->
+     Buffer.add_char buf 'E';
+     Codec.put_int buf epoch
+   | Statement sql ->
+     Buffer.add_char buf 's';
+     Codec.put_string buf sql
+   | Insert { table; rows } ->
+     Buffer.add_char buf 'i';
+     Codec.put_string buf table;
+     Codec.put_int buf (Array.length rows);
+     Array.iter (Codec.put_row buf) rows
+   | Delete { table; rows } ->
+     Buffer.add_char buf 'd';
+     Codec.put_string buf table;
+     Codec.put_int buf (Array.length rows);
+     Array.iter (Codec.put_row buf) rows
+   | Update { table; pairs } ->
+     Buffer.add_char buf 'u';
+     Codec.put_string buf table;
+     Codec.put_int buf (Array.length pairs);
+     Array.iter
+       (fun (old_row, new_row) ->
+         Codec.put_row buf old_row;
+         Codec.put_row buf new_row)
+       pairs
+   | Load { table; rows } ->
+     Buffer.add_char buf 'l';
+     Codec.put_string buf table;
+     Codec.put_int buf (Array.length rows);
+     Array.iter (Codec.put_row buf) rows);
+  Buffer.contents buf
+
+let record_of_payload (payload : string) : record =
+  let r = Codec.reader payload in
+  let get_rows () =
+    let table = Codec.get_string r in
+    let n = Codec.get_int r in
+    if n < 0 then raise (Codec.Decode "negative record row count");
+    (table, Array.init n (fun _ -> Codec.get_row r))
+  in
+  match Codec.get_char r with
+  | 'E' -> Begin (Codec.get_int r)
+  | 's' -> Statement (Codec.get_string r)
+  | 'i' ->
+    let table, rows = get_rows () in
+    Insert { table; rows }
+  | 'd' ->
+    let table, rows = get_rows () in
+    Delete { table; rows }
+  | 'u' ->
+    let table = Codec.get_string r in
+    let n = Codec.get_int r in
+    if n < 0 then raise (Codec.Decode "negative record row count");
+    let pairs =
+      Array.init n (fun _ ->
+          let old_row = Codec.get_row r in
+          let new_row = Codec.get_row r in
+          (old_row, new_row))
+    in
+    Update { table; pairs }
+  | 'l' ->
+    let table, rows = get_rows () in
+    Load { table; rows }
+  | c -> raise (Codec.Decode (Printf.sprintf "bad record tag %C" c))
+
+(* ---- Framing: [length ∥ crc32 ∥ payload], both u32 LE ---- *)
+
+let frame_payload (payload : string) : string =
+  let n = String.length payload in
+  let b = Bytes.create (8 + n) in
+  Bytes.set_int32_le b 0 (Int32.of_int n);
+  Bytes.set_int32_le b 4 (crc32 payload);
+  Bytes.blit_string payload 0 b 8 n;
+  Bytes.unsafe_to_string b
+
+let frame r = frame_payload (payload_of_record r)
+
+(* Sanity bound on a record length: a corrupt length field must not make
+   the scanner skip gigabytes of file (or allocate them). *)
+let max_record = 1 lsl 30
+
+let parse_frames (data : string) : (string option * int) list * bool =
+  let len = String.length data in
+  let out = ref [] in
+  let torn = ref false in
+  let pos = ref 0 in
+  (try
+     while !pos + 8 <= len do
+       let b = Bytes.unsafe_of_string data in
+       let n = Int32.to_int (Bytes.get_int32_le b !pos) in
+       if n < 0 || n > max_record || !pos + 8 + n > len then begin
+         torn := true;
+         raise Exit
+       end;
+       let stored_crc = Bytes.get_int32_le b (!pos + 4) in
+       let payload = String.sub data (!pos + 8) n in
+       let entry = if crc32 payload = stored_crc then Some payload else None in
+       out := (entry, !pos + 8) :: !out;
+       pos := !pos + 8 + n
+     done;
+     if !pos < len then torn := true
+   with Exit -> ());
+  (List.rev !out, !torn)
+
+(* ---- The writer ---- *)
+
+type writer = { path : string; fd : Unix.file_descr; mutable pos : int }
+
+let really_write fd (s : string) =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Atomically install a fresh log: write [Begin epoch] to a temp file,
+   fsync, rename over [path].  A crash at any point leaves either the
+   old log or the complete new one. *)
+let create path ~epoch : writer =
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  (try
+     really_write fd (frame (Begin epoch));
+     Unix.fsync fd;
+     Unix.close fd
+   with e ->
+     (try Unix.close fd with _ -> ());
+     (try Sys.remove tmp with _ -> ());
+     raise e);
+  Unix.rename tmp path;
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+  { path; fd; pos = (Unix.fstat fd).Unix.st_size }
+
+let open_append path : writer =
+  if not (Sys.file_exists path) then wal_error "no log at %s" path;
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+  { path; fd; pos = (Unix.fstat fd).Unix.st_size }
+
+let position w = w.pos
+
+let append w (r : record) =
+  Fault.hit site_append;
+  let framed = frame r in
+  really_write w.fd framed;
+  w.pos <- w.pos + String.length framed
+
+let sync w =
+  Fault.hit site_fsync;
+  Unix.fsync w.fd
+
+let truncate_to w pos =
+  Unix.ftruncate w.fd pos;
+  w.pos <- pos
+
+let close w = Unix.close w.fd
+
+(* ---- Scanning ---- *)
+
+type scan = {
+  epoch : int;
+  records : record list;
+  torn : bool;
+  valid_bytes : int;
+}
+
+let scan path : scan =
+  if not (Sys.file_exists path) then wal_error "no log at %s" path;
+  let data = read_file path in
+  let frames, short_tail = parse_frames data in
+  (* stop at the first damaged or undecodable record: for an append-only
+     log everything from there on is a torn tail *)
+  let records = ref [] in
+  let valid_bytes = ref 0 in
+  let torn = ref short_tail in
+  (try
+     List.iter
+       (fun (payload, off) ->
+         match payload with
+         | None ->
+           torn := true;
+           raise Exit
+         | Some payload ->
+           (match record_of_payload payload with
+            | record ->
+              records := record :: !records;
+              valid_bytes := off + String.length payload
+            | exception Codec.Decode _ ->
+              torn := true;
+              raise Exit))
+       frames
+   with Exit -> ());
+  match List.rev !records with
+  | Begin epoch :: records -> { epoch; records; torn = !torn; valid_bytes = !valid_bytes }
+  | _ -> wal_error "%s: missing or unreadable BEGIN record" path
+
+let truncate path valid_bytes =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with _ -> ())
+    (fun () ->
+      Unix.ftruncate fd valid_bytes;
+      Unix.fsync fd)
+
+let () =
+  Printexc.register_printer (function
+    | Wal_error m -> Some (Printf.sprintf "WAL error: %s" m)
+    | Codec.Decode m -> Some (Printf.sprintf "WAL decode error: %s" m)
+    | _ -> None)

@@ -1,0 +1,130 @@
+(** The write-ahead log: an append-only file of logical statement
+    records, each framed with its length and CRC32 so a torn tail is
+    detected and truncated rather than replayed.
+
+    Records are {e logical}: DML deltas carry the exact rows (binary
+    value encoding — no text round-trip), DDL and REFRESH carry their
+    SQL text, and bulk/CSV batches carry the loaded rows.  Every log
+    starts with a {!Begin} record naming its epoch; a checkpoint bumps
+    the epoch and replaces the log, so recovery can tell a fresh log
+    from a stale one left by a crash between the two steps.
+
+    Fault-injection sites: [wal.append] (before a record's bytes are
+    written) and [wal.fsync] (before the durability barrier). *)
+
+open Rfview_relalg
+
+exception Wal_error of string
+
+(** CRC32 (IEEE 802.3, the zlib polynomial) of a string. *)
+val crc32 : string -> int32
+
+(** {1 Records} *)
+
+type record =
+  | Begin of int  (** epoch header: the first record of every log *)
+  | Statement of string  (** SQL text of a committed DDL/REFRESH statement *)
+  | Insert of { table : string; rows : Row.t array }
+  | Delete of { table : string; rows : Row.t array }
+  | Update of { table : string; pairs : (Row.t * Row.t) array }
+      (** (old, new) row pairs *)
+  | Load of { table : string; rows : Row.t array }
+      (** bulk/CSV batch load (full-refresh maintenance on replay) *)
+
+(** One line for reports and error messages. *)
+val describe : record -> string
+
+(** The on-disk bytes of one record: [length ∥ crc32 ∥ payload].
+    Exposed so the chaos harness can simulate torn writes by appending
+    a strict prefix. *)
+val frame : record -> string
+
+(** {1 Writing} *)
+
+type writer
+
+(** Atomically install a fresh log containing only [Begin epoch]
+    (written to a temp file, fsynced, renamed over [path]) and return
+    an append handle to it. *)
+val create : string -> epoch:int -> writer
+
+(** Open an existing log for appending. *)
+val open_append : string -> writer
+
+(** Byte offset of the log's end — capture before {!append} so a failed
+    commit can {!truncate_to} the record back off. *)
+val position : writer -> int
+
+(** Append one framed record ({e not} synced).
+    @raise Fault.Injected when [wal.append] is armed. *)
+val append : writer -> record -> unit
+
+(** Durability barrier (fsync).
+    @raise Fault.Injected when [wal.fsync] is armed. *)
+val sync : writer -> unit
+
+(** Chop the log back to [pos] (a failed commit must not leave its
+    record behind for recovery to replay). *)
+val truncate_to : writer -> int -> unit
+
+val close : writer -> unit
+
+(** {1 Reading} *)
+
+type scan = {
+  epoch : int;  (** from the leading {!Begin} record *)
+  records : record list;  (** valid records after {!Begin}, in order *)
+  torn : bool;  (** a torn or corrupt tail was found (and not included) *)
+  valid_bytes : int;  (** file prefix ending at the last valid record *)
+}
+
+(** Read a log, stopping at the first missing/short/CRC-mismatched
+    record: everything before it is returned, everything from it on is
+    a torn tail.  @raise Wal_error when the file is missing or its
+    [Begin] record is unreadable. *)
+val scan : string -> scan
+
+(** Truncate the file to [valid_bytes], discarding a torn tail. *)
+val truncate : string -> int -> unit
+
+(** {1 Framing and value codec}
+
+    Shared with {!module:Checkpoint}, which frames its own records the
+    same way. *)
+
+module Codec : sig
+  exception Decode of string
+
+  val put_bool : Buffer.t -> bool -> unit
+  val put_int : Buffer.t -> int -> unit
+  val put_string : Buffer.t -> string -> unit
+  val put_value : Buffer.t -> Value.t -> unit
+  val put_row : Buffer.t -> Row.t -> unit
+  val put_schema : Buffer.t -> Schema.t -> unit
+  val put_relation : Buffer.t -> Relation.t -> unit
+
+  type reader
+
+  val reader : string -> reader
+  val at_end : reader -> bool
+
+  (** @raise Decode on truncation or a malformed tag. *)
+
+  val get_char : reader -> char
+  val get_bool : reader -> bool
+  val get_int : reader -> int
+  val get_string : reader -> string
+  val get_value : reader -> Value.t
+  val get_row : reader -> Row.t
+  val get_schema : reader -> Schema.t
+  val get_relation : reader -> Relation.t
+end
+
+(** Frame an arbitrary payload as [length ∥ crc32 ∥ payload]. *)
+val frame_payload : string -> string
+
+(** Parse a string of framed records into [(payload, offset)] pairs —
+    [None] for a record whose CRC does not match (skipped by its length
+    field); [offset] is the payload's byte offset.  The boolean is true
+    when a torn tail (short frame) was cut off. *)
+val parse_frames : string -> (string option * int) list * bool

@@ -277,6 +277,197 @@ let run ?(config = default_config) ?inject () : report =
       done;
       !report)
 
+(* ---- Crash-recovery chaos ----
+
+   The same randomized stream and shadow oracle, but over a *durable*
+   database directory, with simulated crashes: the process never dies,
+   the in-memory database object is simply abandoned (per-statement
+   fsync makes that an accurate kill model) and the directory reopened
+   through recovery.  Crash variants also tear the WAL tail mid-record,
+   arm the wal/checkpoint/recovery fault sites, and crash between
+   checkpoints — after every recovery the database must equal the oracle
+   at the last committed statement. *)
+
+type crash_config = {
+  cc_seed : int;
+  cc_ops : int;              (* statements across the whole run *)
+  cc_crash_every : int;      (* crash once per this many statements *)
+  cc_checkpoint_every : int; (* checkpoint period in statements; 0 = never *)
+}
+
+let default_crash_config =
+  { cc_seed = 7; cc_ops = 80; cc_crash_every = 7; cc_checkpoint_every = 11 }
+
+type crash_report = {
+  cr_statements : int;
+  cr_crashes : int;           (* crash + recovery cycles *)
+  cr_torn : int;              (* recoveries that truncated a torn tail *)
+  cr_wal_faults : int;        (* statements rejected by armed wal sites *)
+  cr_checkpoints : int;       (* successful checkpoints *)
+  cr_checkpoint_faults : int; (* checkpoint attempts killed by the site *)
+  cr_recover_faults : int;    (* first recovery attempts killed mid-replay *)
+  cr_replayed : int;          (* WAL records replayed across recoveries *)
+  cr_quarantined : int;       (* views restored in quarantine *)
+  cr_heals : int;
+}
+
+(* Remove a previous run's files so the directory starts empty (the
+   engine creates the directory itself if missing). *)
+let fresh_dir dir =
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f ->
+        let p = Filename.concat dir f in
+        if not (Sys.is_directory p) then Sys.remove p)
+      (Sys.readdir dir)
+
+let run_crash ?(config = default_crash_config) ~dir () : crash_report =
+  let module Wal = Rfview_engine.Wal in
+  fresh_dir dir;
+  let db = ref (Db.open_durable dir) in
+  List.iter (fun sql -> ignore (Db.exec !db sql)) setup_sql;
+  let prng = Prng.create ~seed:config.cc_seed in
+  let oracle = ref [] in
+  let report =
+    ref
+      {
+        cr_statements = 0;
+        cr_crashes = 0;
+        cr_torn = 0;
+        cr_wal_faults = 0;
+        cr_checkpoints = 0;
+        cr_checkpoint_faults = 0;
+        cr_recover_faults = 0;
+        cr_replayed = 0;
+        cr_quarantined = 0;
+        cr_heals = 0;
+      }
+  in
+  let check ~context =
+    Fault.with_suspended (fun () ->
+        check_base !db !oracle ~context;
+        check_views !db ~context;
+        let healed = heal_stale !db ~context in
+        report := { !report with cr_heals = !report.cr_heals + healed })
+  in
+  (* Reopen [dir] and fold the recovery report into the counters; the
+     recovered database must match the oracle at the last commit. *)
+  let recover ~context =
+    let db', (r : Db.recovery_report) = Db.recover dir in
+    db := db';
+    report :=
+      {
+        !report with
+        cr_crashes = !report.cr_crashes + 1;
+        cr_torn = (!report.cr_torn + if r.Db.torn then 1 else 0);
+        cr_replayed = !report.cr_replayed + r.Db.replayed;
+        cr_quarantined = !report.cr_quarantined + List.length r.Db.quarantined;
+      };
+    check ~context;
+    r
+  in
+  let crash variant i =
+    let context = Printf.sprintf "crash after op %d (variant %d)" i variant in
+    match variant with
+    | 0 ->
+      (* clean kill: abandon the handle, recover from disk *)
+      Db.close !db;
+      ignore (recover ~context)
+    | 1 ->
+      (* torn write: a strict prefix of a valid frame lands on the log
+         tail — recovery must truncate it, not replay it *)
+      Db.close !db;
+      let frame = Wal.frame (Wal.Statement "CREATE TABLE torn_marker (x INT)") in
+      let cut = 1 + Prng.int prng (String.length frame - 1) in
+      let oc =
+        open_out_gen [ Open_append; Open_binary ] 0o644 (Filename.concat dir "log.wal")
+      in
+      output_string oc (String.sub frame 0 cut);
+      close_out oc;
+      let r = recover ~context in
+      if not r.Db.torn then
+        divergence "%s: recovery did not report the torn tail" context;
+      if Catalog.find_table (Db.catalog !db) "torn_marker" <> None then
+        divergence "%s: recovery replayed a torn record" context
+    | 2 ->
+      (* durability failure: an armed WAL site must reject the statement
+         (rolled back, not on disk) — the oracle is not updated *)
+      let site = Prng.choose prng [ "wal.append"; "wal.fsync" ] in
+      Fault.arm site Fault.Always;
+      (match Db.exec !db "INSERT INTO seq VALUES (1, 99, 5)" with
+       | _ -> divergence "%s: statement committed with %s armed" context site
+       | exception _ ->
+         report := { !report with cr_wal_faults = !report.cr_wal_faults + 1 });
+      Fault.disarm site;
+      check ~context;
+      Db.close !db;
+      ignore (recover ~context)
+    | 3 ->
+      (* checkpoint crash: the write faults partway, the temp file is
+         discarded — the previous checkpoint plus the longer WAL must
+         still recover the oracle state *)
+      let nth = 1 + Prng.int prng 6 in
+      Fault.arm "checkpoint.write" (Fault.Nth nth);
+      (match Db.checkpoint !db with
+       | () -> report := { !report with cr_checkpoints = !report.cr_checkpoints + 1 }
+       | exception _ ->
+         report :=
+           { !report with cr_checkpoint_faults = !report.cr_checkpoint_faults + 1 });
+      Fault.disarm "checkpoint.write";
+      Db.close !db;
+      ignore (recover ~context)
+    | _ ->
+      (* recovery-time fault: replay dies mid-WAL on the first attempt;
+         a retry with the site disarmed must succeed cleanly *)
+      Db.close !db;
+      Fault.arm "recover.replay" (Fault.Nth 1);
+      (match Db.recover dir with
+       | db', _ ->
+         (* an empty WAL suffix replays nothing, so the site never fires *)
+         Fault.disarm "recover.replay";
+         db := db';
+         report := { !report with cr_crashes = !report.cr_crashes + 1 };
+         check ~context
+       | exception Db.Recovery_error _ ->
+         Fault.disarm "recover.replay";
+         report := { !report with cr_recover_faults = !report.cr_recover_faults + 1 };
+         ignore (recover ~context))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.disarm_all ();
+      Db.close !db)
+    (fun () ->
+      for i = 1 to config.cc_ops do
+        let op = gen_op prng in
+        let context = Printf.sprintf "op %d (%s)" i (sql_of_op op) in
+        let applied =
+          match op with
+          | Load_csv batch ->
+            (match Csv.import_string !db ~table:"seq" (csv_of_batch batch) with
+             | _ -> true
+             | exception _ -> false)
+          | op ->
+            (match Db.exec !db (sql_of_op op) with
+             | _ -> true
+             | exception _ -> false)
+        in
+        if applied then oracle := apply_oracle !oracle op;
+        report := { !report with cr_statements = !report.cr_statements + 1 };
+        check ~context;
+        if config.cc_checkpoint_every > 0 && i mod config.cc_checkpoint_every = 0
+        then begin
+          Db.checkpoint !db;
+          report := { !report with cr_checkpoints = !report.cr_checkpoints + 1 }
+        end;
+        if i mod config.cc_crash_every = 0 then crash (Prng.int prng 5) i
+      done;
+      (* final kill + recovery: the directory alone must reproduce the
+         oracle *)
+      Db.close !db;
+      ignore (recover ~context:"final recovery");
+      !report)
+
 (* ---- State fingerprint (rollback-idempotence checks) ----
 
    A textual dump of everything a statement may mutate: table rows in

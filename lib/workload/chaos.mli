@@ -44,6 +44,46 @@ type report = {
     @raise Divergence on any consistency violation. *)
 val run : ?config:config -> ?inject:string * Rfview_engine.Fault.policy -> unit -> report
 
+(** {1 Crash-recovery chaos}
+
+    The same stream and oracle over a {e durable} database directory,
+    with simulated crashes: the in-memory handle is abandoned (the
+    engine fsyncs per statement, so that is an accurate kill model) and
+    the directory reopened through recovery.  Crash variants: clean
+    kill; a torn mid-record WAL tail (must be truncated, never
+    replayed); armed [wal.append]/[wal.fsync] (the statement must roll
+    back and stay off disk); a faulting checkpoint write (the previous
+    checkpoint plus the longer WAL must still recover); a faulting first
+    recovery ([recover.replay]) followed by a clean retry.  After every
+    recovery the database must equal the oracle at the last committed
+    statement. *)
+
+type crash_config = {
+  cc_seed : int;
+  cc_ops : int;               (** statements across the whole run *)
+  cc_crash_every : int;       (** crash once per this many statements *)
+  cc_checkpoint_every : int;  (** checkpoint period in statements; 0 = never *)
+}
+
+val default_crash_config : crash_config
+
+type crash_report = {
+  cr_statements : int;
+  cr_crashes : int;            (** crash + recovery cycles *)
+  cr_torn : int;               (** recoveries that truncated a torn tail *)
+  cr_wal_faults : int;         (** statements rejected by armed WAL sites *)
+  cr_checkpoints : int;        (** successful checkpoints *)
+  cr_checkpoint_faults : int;  (** checkpoint attempts killed by the site *)
+  cr_recover_faults : int;     (** first recovery attempts killed mid-replay *)
+  cr_replayed : int;           (** WAL records replayed across recoveries *)
+  cr_quarantined : int;        (** views restored in quarantine *)
+  cr_heals : int;
+}
+
+(** Run one crash-recovery stream in [dir] (created if missing, previous
+    run's files removed).  @raise Divergence on any violation. *)
+val run_crash : ?config:crash_config -> dir:string -> unit -> crash_report
+
 (** A textual dump of everything a statement may mutate: table rows in
     physical order, view contents, quarantine flags, incremental-state
     presence.  Equal fingerprints iff the logical database states are

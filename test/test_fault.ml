@@ -444,9 +444,17 @@ let test_chaos_sweep_all_sites () =
         [ Fault.Nth 1; Fault.Nth 3; Fault.Probability { p = 0.4; seed = 7 } ]
       in
       let seeds = [ 11; 23; 47; 91 ] in
+      (* durability sites (wal, checkpoint, recover prefixes) are only
+         reachable through a durable database directory; test_crash.ml's
+         crash matrix applies the same fired-at-least-once bar to them *)
+      let durability_site site =
+        List.exists
+          (fun p -> String.length site > String.length p && String.sub site 0 (String.length p) = p)
+          [ "wal."; "checkpoint."; "recover." ]
+      in
       List.iter
         (fun site ->
-          if site <> "test.site" then begin
+          if site <> "test.site" && not (durability_site site) then begin
             List.iter
               (fun policy ->
                 List.iter
@@ -462,6 +470,94 @@ let test_chaos_sweep_all_sites () =
               (Fault.fired site > 0)
           end)
         (Fault.sites ()))
+
+(* ---- Undo with nested/overlapping snapshots ----
+
+   Restore actions are absolute snapshots, so logging the same table
+   twice in one statement (e.g. a DML apply followed by a full-refresh
+   fallback) must still roll back to the oldest snapshot — and a replay
+   interrupted partway (a double fault during rollback) must be safely
+   restartable without re-corrupting already-restored rows. *)
+
+module Undo = Rfview_engine.Undo
+
+let test_undo_overlapping_snapshots () =
+  let state = ref [| 1; 2; 3 |] in
+  let u = Undo.create () in
+  let snap1 = !state in
+  Undo.log u (fun () -> state := snap1);
+  state := Array.append !state [| 4 |];
+  let snap2 = !state in
+  Undo.log u (fun () -> state := snap2) (* second snapshot, same object *);
+  state := [| 0 |];
+  Undo.rollback u;
+  Alcotest.(check (array int)) "oldest snapshot wins" [| 1; 2; 3 |] !state;
+  Alcotest.(check int) "log cleared" 0 (Undo.depth u)
+
+let test_undo_double_fault_rollback () =
+  let state = ref [| 1; 2; 3 |] in
+  let u = Undo.create () in
+  let snap1 = !state in
+  Undo.log u (fun () -> state := snap1);
+  state := [| 1; 2; 3; 4 |];
+  let snap2 = !state in
+  let fault = ref true in
+  Undo.log u (fun () ->
+      state := snap2;
+      if !fault then begin
+        fault := false;
+        failwith "transient restore fault"
+      end);
+  state := [| 99 |];
+  (match Undo.rollback u with
+   | () -> Alcotest.fail "first rollback should have faulted"
+   | exception Failure _ -> ());
+  (* the interrupted log is still intact: the retry replays the absolute
+     snapshots from the newest again and lands on the oldest state *)
+  Undo.rollback u;
+  Alcotest.(check (array int)) "retry restores the pre-statement rows"
+    [| 1; 2; 3 |] !state;
+  Alcotest.(check int) "log cleared after the retry" 0 (Undo.depth u)
+
+(* Engine-level overlap: INSERT NULL makes incremental maintenance fall
+   back to a full refresh inside the same statement, so the view is
+   snapshotted twice (once by the maintain path, once by the refresh);
+   faulting after both with [`Abort] must roll back through both
+   restores to the exact pre-statement state. *)
+let test_undo_overlapping_view_snapshots () =
+  with_clean_faults (fun () ->
+      let db = db_with_view [ 1.; 2.; 3. ] in
+      Db.set_degradation db `Abort;
+      let before = Chaos.fingerprint db in
+      Fault.arm "matview.init_state" Fault.Always;
+      (match Db.exec db "INSERT INTO seq VALUES (10, NULL)" with
+       | _ -> Alcotest.fail "statement should have aborted"
+       | exception Fault.Injected "matview.init_state" -> ());
+      Fault.disarm "matview.init_state";
+      Alcotest.(check string) "identical after overlapped rollback" before
+        (Chaos.fingerprint db))
+
+(* Quarantine every view at once: [stale_views] must list them in
+   deterministic case-insensitive name order regardless of hashtable
+   iteration order. *)
+let test_stale_views_sorted () =
+  with_clean_faults (fun () ->
+      let db = Db.create () in
+      ignore (Db.exec db "CREATE TABLE seq (pos INT, val FLOAT)");
+      List.iter
+        (fun name ->
+          ignore
+            (Db.exec db
+               (Printf.sprintf
+                  "CREATE MATERIALIZED VIEW %s AS SELECT pos, val, SUM(val) \
+                   OVER (ORDER BY pos ROWS UNBOUNDED PRECEDING) AS s FROM seq"
+                  name)))
+        [ "Beta"; "alpha"; "GAMMA"; "delta" ];
+      Fault.arm "database.propagate_view" Fault.Always;
+      ignore (Db.exec db "INSERT INTO seq VALUES (1, 10)");
+      Fault.disarm "database.propagate_view";
+      Alcotest.(check (list string)) "case-insensitive name order"
+        [ "alpha"; "Beta"; "delta"; "GAMMA" ] (Db.stale_views db))
 
 let () =
   Alcotest.run "fault"
@@ -484,11 +580,22 @@ let () =
           Alcotest.test_case "script error context" `Quick test_script_error_context;
           qtest "rollback idempotence" arb_fault_case prop_rollback_idempotent;
         ] );
+      ( "undo",
+        [
+          Alcotest.test_case "overlapping snapshots" `Quick
+            test_undo_overlapping_snapshots;
+          Alcotest.test_case "double fault during rollback" `Quick
+            test_undo_double_fault_rollback;
+          Alcotest.test_case "overlapping view snapshots" `Quick
+            test_undo_overlapping_view_snapshots;
+        ] );
       ( "quarantine",
         [
           Alcotest.test_case "quarantine and lazy heal" `Quick test_quarantine_and_heal;
           Alcotest.test_case "quarantine isolates views" `Quick
             test_quarantine_isolates_views;
+          Alcotest.test_case "stale_views deterministic order" `Quick
+            test_stale_views_sorted;
         ] );
       ( "cache degradation",
         [
