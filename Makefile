@@ -1,4 +1,4 @@
-.PHONY: all build test lint chaos crash-chaos check clean
+.PHONY: all build test lint analyze chaos crash-chaos check clean
 
 all: build
 
@@ -8,9 +8,18 @@ build:
 test:
 	dune runtest
 
-# Lint the example SQL corpus with the plan checker (`rfview lint`).
+# Lint the example SQL corpus with the plan checker (`rfview lint`),
+# plus the SQL string literals embedded in the test/ and examples/
+# OCaml drivers (extracted-literal mode).
 lint:
 	dune build @lint
+
+# Abstract interpretation over the example corpus (`rfview analyze`):
+# fails on any RF2xx diagnostic — statically-empty predicates,
+# guaranteed division by zero, NULL-poisoned aggregates, cumulative-SUM
+# overflow risk — and prints derivability certificates for each query.
+analyze:
+	dune build @analyze
 
 # Fault-injection sweep: the chaos harness plus the rollback/quarantine
 # suite (test/test_fault.ml) against every registered site.
@@ -23,7 +32,7 @@ chaos:
 crash-chaos:
 	dune exec test/test_crash.exe
 
-check: build test lint chaos crash-chaos
+check: build test lint analyze chaos crash-chaos
 
 clean:
 	dune clean

@@ -4,7 +4,11 @@
      run FILE        execute a SQL script and print every result
      repl            interactive SQL shell (line-based; ';' terminates)
      demo            start the repl with the credit-card demo schema loaded
-     lint FILE       run the plan checker and lint rules over a SQL script
+     lint FILE       run the plan checker and lint rules over a SQL script,
+                     or over the SQL embedded in an OCaml driver (.ml)
+     analyze FILE    abstract-interpret every query of a SQL script: print
+                     the output abstraction, RF2xx diagnostics, and the
+                     derivability certificates of matching views
      recover DIR     recover a durable database directory and report
      checkpoint DIR  recover DIR, then write a fresh checkpoint
 
@@ -19,7 +23,10 @@
      --inject SITE:POLICY (repeatable) arm a fault-injection site; POLICY
                      is always, nth=N or p=F[@SEED] (see Fault)
      --explain-diagnostics (lint) append the registry explanation to each
-                     diagnostic; without FILE, print the whole registry *)
+                     diagnostic; without FILE, print the whole registry
+     --explain RFxxx (lint) print the registry entry for one code
+     --codes-md      (lint) print the registry as a markdown table (the
+                     generator behind the DESIGN.md diagnostics table) *)
 
 module Db = Rfview_engine.Database
 module Fault = Rfview_engine.Fault
@@ -157,7 +164,28 @@ let print_registry () =
         i.Diag.r_title i.Diag.r_explanation)
     Diag.registry
 
-let cmd_lint file self_join explain =
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* Bind errors carry a message but no code; recover the specific
+   diagnostic where the message shape identifies it. *)
+let bind_error_code m =
+  if contains_sub m "is ill-typed" then "RF102"
+  else if contains_sub m "cannot infer the type" then "RF105"
+  else "RF100"
+
+let cmd_lint file self_join explain explain_code codes_md =
+  (match explain_code with
+   | Some code ->
+     print_endline (Diag.explain code);
+     exit (match Diag.find_info code with Some _ -> 0 | None -> 2)
+   | None -> ());
+  if codes_md then begin
+    print_string (Diag.registry_markdown ());
+    exit 0
+  end;
   match file with
   | None ->
     if explain then print_registry ()
@@ -183,46 +211,148 @@ let cmd_lint file self_join explain =
         (count Diag.Error) (count Diag.Warning) (count Diag.Info);
       exit (if List.exists Diag.is_error !seen then 1 else 0)
     in
-    (match Rfview_sql.Parser.statements (read_file file) with
-     | exception e ->
-       let msg =
-         match e with
-         | Rfview_sql.Lexer.Lex_error (m, off) ->
-           Printf.sprintf "lex error at offset %d: %s" off m
-         | Rfview_sql.Parser.Parse_error m -> Printf.sprintf "parse error: %s" m
-         | e -> Printexc.to_string e
-       in
-       emit ~where:file (Diag.make ~code:"RF100" ~path:[] msg);
-       finish ()
-     | stmts ->
-       let db = Db.create () in
-       let lint_query where q =
-         match Rfview_planner.Binder.bind_query (Db.binder_catalog db) q with
-         | plan ->
-           List.iter (emit ~where) (Check.check plan @ Lint.plan ~self_join plan)
-         | exception Rfview_planner.Binder.Bind_error m ->
-           emit ~where (Diag.make ~code:"RF100" ~path:[] ("bind error: " ^ m))
-       in
-       List.iteri
-         (fun i st ->
-           let where = Printf.sprintf "%s:%d" file (i + 1) in
-           (match st with
-            | Ast.St_query q | Ast.St_create_view { query = q; _ } ->
-              lint_query where q
-            | _ -> ());
-           (* execute everything but plain queries, so later statements
-              see the tables and views this one defines *)
-           match st with
-           | Ast.St_query _ -> ()
-           | st ->
-             (match Db.exec_statement db st with
-              | _ -> ()
-              | exception e ->
-                emit ~where
-                  (Diag.make ~code:"RF100" ~path:[]
-                     (Printf.sprintf "statement failed: %s" (Printexc.to_string e)))))
-         stmts;
-       finish ())
+    let db = Db.create () in
+    let lint_query ?stmt where q =
+      match Rfview_planner.Binder.bind_query ?stmt (Db.binder_catalog db) q with
+      | plan -> List.iter (emit ~where) (Check.check plan @ Lint.plan ~self_join plan)
+      | exception Rfview_planner.Binder.Bind_error m ->
+        emit ~where
+          (Diag.make ~code:(bind_error_code m) ~path:[] ("bind error: " ^ m))
+    in
+    if Filename.check_suffix file ".ml" then begin
+      (* extracted mode: lint the SQL embedded in an OCaml driver.  The
+         driver may create tables through non-SQL APIs (load_table), so
+         an unknown relation is reported as a note, not an error. *)
+      match Rfview_analysis.Extract.extract_file file with
+      | exception e ->
+        emit ~where:file
+          (Diag.make ~code:"RF100" ~path:[]
+             (Printf.sprintf "extraction failed: %s" (Printexc.to_string e)));
+        finish ()
+      | extracted ->
+        List.iter
+          (fun (x : Rfview_analysis.Extract.extracted) ->
+            let where = Printf.sprintf "%s:%d" file x.Rfview_analysis.Extract.line in
+            (match x.Rfview_analysis.Extract.stmt with
+             | Ast.St_query q | Ast.St_create_view { query = q; _ } ->
+               (match
+                  Rfview_planner.Binder.bind_query (Db.binder_catalog db) q
+                with
+                | plan ->
+                  List.iter (emit ~where)
+                    (Check.check plan @ Lint.plan ~self_join plan)
+                | exception Rfview_planner.Binder.Bind_error m ->
+                  (* missing context is expected in extracted snippets *)
+                  emit ~where
+                    { Diag.code = "RF100"; severity = Diag.Info;
+                      message = "bind error (extracted snippet): " ^ m;
+                      path = "plan" })
+             | _ -> ());
+            match x.Rfview_analysis.Extract.stmt with
+            | Ast.St_query _ -> ()
+            | st -> (try ignore (Db.exec_statement db st) with _ -> ()))
+          extracted;
+        Printf.printf "%s: %d embedded statement(s)\n" file (List.length extracted);
+        finish ()
+    end
+    else
+      (match Rfview_sql.Parser.statements (read_file file) with
+       | exception e ->
+         let msg =
+           match e with
+           | Rfview_sql.Lexer.Lex_error (m, off) ->
+             Printf.sprintf "lex error at offset %d: %s" off m
+           | Rfview_sql.Parser.Parse_error m -> Printf.sprintf "parse error: %s" m
+           | e -> Printexc.to_string e
+         in
+         emit ~where:file (Diag.make ~code:"RF100" ~path:[] msg);
+         finish ()
+       | stmts ->
+         List.iteri
+           (fun i st ->
+             let where = Printf.sprintf "%s:%d" file (i + 1) in
+             (match st with
+              | Ast.St_query q | Ast.St_create_view { query = q; _ } ->
+                lint_query ~stmt:(i + 1) where q
+              | _ -> ());
+             (* execute everything but plain queries, so later statements
+                see the tables and views this one defines *)
+             match st with
+             | Ast.St_query _ -> ()
+             | st ->
+               (match Db.exec_statement db st with
+                | _ -> ()
+                | exception e ->
+                  emit ~where
+                    (Diag.make ~code:"RF100" ~path:[]
+                       (Printf.sprintf "statement failed: %s"
+                          (Printexc.to_string e)))))
+           stmts;
+         finish ())
+
+(* ---- analyze ---- *)
+
+let cmd_analyze file =
+  let module Ast = Rfview_sql.Ast in
+  let module Absint = Rfview_analysis.Absint in
+  let module Cert = Rfview_analysis.Cert in
+  let module Advisor = Rfview_engine.Advisor in
+  let rf2xx = ref 0 and errors = ref 0 in
+  (match Rfview_sql.Parser.statements (read_file file) with
+   | exception e ->
+     Printf.printf "%s: cannot parse: %s\n" file (Printexc.to_string e);
+     incr errors
+   | stmts ->
+     let db = Db.create () in
+     let analyze_query ~stmt where q =
+       match Rfview_planner.Binder.bind_query ~stmt (Db.binder_catalog db) q with
+       | exception Rfview_planner.Binder.Bind_error m ->
+         Printf.printf "%s: bind error: %s\n" where m;
+         incr errors
+       | plan ->
+         let cat = Db.catalog_view db in
+         let env name =
+           try Some (cat.Rfview_planner.Physical.table_contents name)
+           with _ -> None
+         in
+         Printf.printf "-- %s\n" where;
+         print_string (Absint.report ~env plan);
+         let diags = Absint.diagnostics ~env plan in
+         List.iter
+           (fun d ->
+             Printf.printf "%s\n" (Diag.to_string d);
+             if String.length d.Diag.code >= 3 && d.Diag.code.[2] = '2' then
+               incr rf2xx)
+           diags;
+         (* derivability certificates of every matching materialized view *)
+         List.iter
+           (fun (view, certs) ->
+             Printf.printf "derivability from %s:\n" view;
+             List.iter
+               (fun c -> print_string (Cert.to_string c))
+               certs)
+           (Advisor.certificates db q);
+         print_newline ()
+     in
+     List.iteri
+       (fun i st ->
+         let where = Printf.sprintf "%s:%d" file (i + 1) in
+         (match st with
+          | Ast.St_query q | Ast.St_create_view { query = q; _ } ->
+            analyze_query ~stmt:(i + 1) where q
+          | _ -> ());
+         match st with
+         | Ast.St_query _ -> ()
+         | st ->
+           (match Db.exec_statement db st with
+            | _ -> ()
+            | exception e ->
+              Printf.printf "%s: statement failed: %s\n" where
+                (Printexc.to_string e);
+              incr errors))
+       stmts);
+  Printf.printf "%s: %d RF2xx diagnostic(s), %d error(s)\n" file !rf2xx !errors;
+  exit (if !rf2xx > 0 || !errors > 0 then 1 else 0)
 
 let repl db =
   Printf.printf
@@ -292,6 +422,15 @@ let explain_diagnostics =
   Arg.(value & flag & info [ "explain-diagnostics" ]
     ~doc:"Append the registry explanation to each diagnostic; without FILE, print the whole rule registry.")
 
+let explain_code =
+  Arg.(value & opt (some string) None & info [ "explain" ] ~docv:"RFxxx"
+    ~doc:"Print the registry entry for one diagnostic code and exit.")
+
+let codes_md =
+  Arg.(value & flag & info [ "codes-md" ]
+    ~doc:"Print the diagnostic code registry as a markdown table and exit \
+          (the generator behind the DESIGN.md table).")
+
 let run_t =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   Cmd.v (Cmd.info "run" ~doc:"Execute a SQL script")
@@ -309,8 +448,19 @@ let lint_t =
   let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE") in
   Cmd.v
     (Cmd.info "lint"
-       ~doc:"Check and lint the plans of a SQL script without running its queries")
-    Term.(const cmd_lint $ file $ self_join $ explain_diagnostics)
+       ~doc:"Check and lint the plans of a SQL script (or of the SQL embedded \
+             in an OCaml driver) without running its queries")
+    Term.(const cmd_lint $ file $ self_join $ explain_diagnostics $ explain_code
+          $ codes_md)
+
+let analyze_t =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Abstract-interpret every query of a SQL script: print the output \
+             abstraction, any RF2xx diagnostics, and the derivability \
+             certificates of matching materialized views (exit 1 on any RF2xx)")
+    Term.(const cmd_analyze $ file)
 
 let recover_t =
   let dir = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR") in
@@ -331,6 +481,6 @@ let main =
   Cmd.group
     (Cmd.info "rfview" ~version:"1.0.0"
        ~doc:"Reporting-function views in a data warehouse environment")
-    [ run_t; repl_t; demo_t; lint_t; recover_t; checkpoint_t ]
+    [ run_t; repl_t; demo_t; lint_t; analyze_t; recover_t; checkpoint_t ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,64 @@
+-- Derivability certificate corpus (paper §3-§5): materialized sequence
+-- views with frames chosen so that `rfview analyze` shows both admitted
+-- and statically-rejected candidate strategies for the queries below.
+-- Analyzed by `make analyze`; the script must stay free of RF2xx
+-- diagnostics (certificate rejections are printed, not diagnostics).
+
+CREATE TABLE trades (day INT, amount FLOAT);
+INSERT INTO trades VALUES
+  (1, 12), (2, 5), (3, 30), (4, 2), (5, 14), (6, 9), (7, 21), (8, 4),
+  (9, 17), (10, 6);
+
+-- cumulative SUM view: the §3.1 difference rule derives every sliding
+-- SUM window from it
+CREATE MATERIALIZED VIEW cumsum AS
+  SELECT day, SUM(amount) OVER (ORDER BY day ROWS UNBOUNDED PRECEDING) AS s
+  FROM trades;
+
+-- sliding SUM view (1, 1): MinOA derives any SUM window; MaxOA only
+-- growing ones within twice the view window
+CREATE MATERIALIZED VIEW sum11 AS
+  SELECT day, SUM(amount) OVER (ORDER BY day ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS s
+  FROM trades;
+
+-- sliding MIN view (2, 1): only the MaxOA coverage rule applies, and
+-- only while delta_l + delta_h <= lx + hx = 3
+CREATE MATERIALIZED VIEW min21 AS
+  SELECT day, MIN(amount) OVER (ORDER BY day ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS m
+  FROM trades;
+
+-- certificate: cumulative-difference VALID from cumsum (§3.1)
+SELECT day, SUM(amount) OVER (ORDER BY day ROWS BETWEEN 3 PRECEDING AND 2 FOLLOWING) AS s
+FROM trades ORDER BY day;
+
+-- certificates from sum11: copy VALID (identical frames, ∆l = 0)
+SELECT day, SUM(amount) OVER (ORDER BY day ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS s
+FROM trades ORDER BY day;
+
+-- certificates from sum11: MinOA and MaxOA both VALID
+-- (∆l = 2 <= lx+hx = 2, so the left residue ∆p = 1)
+SELECT day, SUM(amount) OVER (ORDER BY day ROWS BETWEEN 3 PRECEDING AND 1 FOLLOWING) AS s
+FROM trades ORDER BY day;
+
+-- certificates from sum11: MinOA VALID, MaxOA REJECTED
+-- (∆l = 3 > lx+hx = 2: the left residue condition ∆p >= 1 fails)
+SELECT day, SUM(amount) OVER (ORDER BY day ROWS BETWEEN 4 PRECEDING AND 1 FOLLOWING) AS s
+FROM trades ORDER BY day;
+
+-- certificates from sum11: MinOA VALID (it may shrink), MaxOA REJECTED
+-- (no-shrink: ∆l = -1 < 0)
+SELECT day, SUM(amount) OVER (ORDER BY day ROWS BETWEEN 0 PRECEDING AND 1 FOLLOWING) AS s
+FROM trades ORDER BY day;
+
+-- certificate from min21: MaxOA-minmax VALID (∆l + ∆h = 2 <= 3)
+SELECT day, MIN(amount) OVER (ORDER BY day ROWS BETWEEN 3 PRECEDING AND 2 FOLLOWING) AS m
+FROM trades ORDER BY day;
+
+-- certificate from min21: every strategy REJECTED
+-- (coverage ∆l + ∆h = 4 > lx+hx = 3, and MIN is not invertible)
+SELECT day, MIN(amount) OVER (ORDER BY day ROWS BETWEEN 4 PRECEDING AND 3 FOLLOWING) AS m
+FROM trades ORDER BY day;
+
+-- certificate from cumsum: copy VALID (the frames agree exactly)
+SELECT day, SUM(amount) OVER (ORDER BY day ROWS UNBOUNDED PRECEDING) AS s
+FROM trades ORDER BY day;

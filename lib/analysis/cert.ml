@@ -1,0 +1,263 @@
+(* Derivability certificates.  Each obligation list mirrors, condition
+   for condition, what the corresponding runtime entry point checks:
+
+     Copy                Derive.run (frame equality)
+     From_cumulative     Derive.sliding_from_cumulative
+     Min_overlap         Minoa.check_view / Reconstruct.telescoped_sums
+     Max_overlap         Maxoa.view_params + Maxoa.derive
+     Max_overlap_minmax  Maxoa.view_params + Maxoa.derive_minmax
+
+   Keep them in lockstep: the golden tests in test_cert.ml assert
+   valid(certify_seq v qf s) <=> Derive.run s v qf succeeds. *)
+
+module Core = Rfview_core
+module Frame = Core.Frame
+module Agg = Core.Agg
+module Derive = Core.Derive
+
+type obligation = {
+  ob_name : string;
+  ob_holds : bool;
+  ob_detail : string;
+}
+
+type t = {
+  strategy : Derive.strategy;
+  view_frame : Frame.t;
+  view_agg : Agg.t;
+  query_frame : Frame.t;
+  fact : Domain.Seqfact.t option;
+  obligations : obligation list;
+  notes : string list;
+}
+
+let valid t = List.for_all (fun o -> o.ob_holds) t.obligations
+
+let ob name holds detail = { ob_name = name; ob_holds = holds; ob_detail = detail }
+
+(* Completeness of the view sequence: checked against the fact when one
+   is available, otherwise assumed (Seqdata.make refuses to build a
+   sequence whose stored range does not cover the complete range, so
+   every engine-materialized sequence is complete by construction). *)
+let complete_ob fact =
+  match fact with
+  | None ->
+    ob "view-complete" true
+      "assumed: materialized sequences are complete by construction"
+  | Some (f : Domain.Seqfact.t) ->
+    ob "view-complete"
+      (f.Domain.Seqfact.complete)
+      (Printf.sprintf "stored [%d, %d] for n=%d %s (header %s, trailer %s)"
+         f.Domain.Seqfact.stored_lo f.Domain.Seqfact.stored_hi f.Domain.Seqfact.n
+         (Frame.to_string f.Domain.Seqfact.frame)
+         (if Domain.Seqfact.header_covered f then "covered" else "missing")
+         (if Domain.Seqfact.trailer_covered f then "covered" else "missing"))
+
+let frame_desc f = Frame.to_string f
+
+let obligations_of ?fact ~view_frame ~view_agg ~query_frame strategy :
+    obligation list * string list =
+  match strategy with
+  | Derive.Copy ->
+    ( [
+        ob "frames-equal"
+          (Frame.equal view_frame query_frame)
+          (Printf.sprintf "view %s vs query %s" (frame_desc view_frame)
+             (frame_desc query_frame));
+      ],
+      [] )
+  | Derive.From_cumulative ->
+    ( [
+        ob "view-cumulative"
+          (Frame.is_cumulative view_frame)
+          (Printf.sprintf "view frame is %s" (frame_desc view_frame));
+        ob "view-sum" (view_agg = Agg.Sum)
+          (Printf.sprintf "view aggregate is %s" (Agg.name view_agg));
+        ob "query-sliding"
+          (not (Frame.is_cumulative query_frame))
+          "the §3.1 difference rule produces sliding sequences";
+      ],
+      [ "y~_k = x~_(k+h) - x~_(k-l-1) on the cumulative view (§3.1)" ] )
+  | Derive.Min_overlap ->
+    let sum_ob =
+      ob "view-sum" (view_agg = Agg.Sum)
+        (Printf.sprintf "MinOA needs an invertible aggregate, view has %s"
+           (Agg.name view_agg))
+    in
+    (match query_frame with
+     | Frame.Cumulative ->
+       (* cumulative_from_sliding: prefix telescoping works on any SUM
+          view — complete sliding ones, and (trivially) cumulative ones *)
+       let shape_ok, shape_detail, notes =
+         if Frame.is_cumulative view_frame then
+           (true, "cumulative view: prefix sums are the view itself", [])
+         else
+           let complete = complete_ob fact in
+           ( complete.ob_holds,
+             "sliding view: telescoping needs the complete stored range ("
+             ^ complete.ob_detail ^ ")",
+             [ "C_j reconstructed by one ascending telescoping pass (§3.2)" ] )
+       in
+       ([ sum_ob; ob "view-telescopable" shape_ok shape_detail ], notes)
+     | Frame.Sliding { l = ly; h = hy } ->
+       let sliding_ob =
+         ob "view-sliding"
+           (not (Frame.is_cumulative view_frame))
+           (Printf.sprintf "view frame is %s" (frame_desc view_frame))
+       in
+       let notes =
+         match Frame.params view_frame with
+         | Some (lx, hx) ->
+           let wx = 1 + lx + hx in
+           [
+             Printf.sprintf "wx=%d, ∆l=%d, ∆h=%d (may be negative: MinOA shrinks)"
+               wx (ly - lx) (hy - hx);
+             Printf.sprintf "cut-off i_up = ceil((k+hy)/wx): %d at k=1"
+               (int_of_float (Float.ceil (float_of_int (1 + hy) /. float_of_int wx)));
+           ]
+         | None -> []
+       in
+       ([ sum_ob; sliding_ob; complete_ob fact ], notes))
+  | Derive.Max_overlap ->
+    (match query_frame with
+     | Frame.Cumulative ->
+       ( [ ob "query-sliding" false "MaxOA does not produce cumulative sequences" ],
+         [] )
+     | Frame.Sliding { l = ly; h = hy } ->
+       let base =
+         [
+           ob "view-sliding"
+             (not (Frame.is_cumulative view_frame))
+             (Printf.sprintf "view frame is %s" (frame_desc view_frame));
+           complete_ob fact;
+           ob "view-sum" (view_agg = Agg.Sum)
+             (Printf.sprintf "double-sided MaxOA applies to SUM, view has %s"
+                (Agg.name view_agg));
+         ]
+       in
+       (match Frame.params view_frame with
+        | None -> (base, [])
+        | Some (lx, hx) ->
+          let dl = ly - lx and dh = hy - hx in
+          let grow =
+            ob "no-shrink"
+              (dl >= 0 && dh >= 0)
+              (Printf.sprintf "∆l=%d, ∆h=%d must both be >= 0" dl dh)
+          in
+          let left =
+            ob "left-residue"
+              (dl = 0 || dl <= lx + hx)
+              (if dl = 0 then "∆l=0: left pass is the identity"
+               else
+                 Printf.sprintf "∆l=%d <= lx+h=%d so ∆p=1+lx+h-∆l=%d >= 1" dl
+                   (lx + hx)
+                   (Core.Maxoa.overlap_factor ~lx ~h:hx ~dl))
+          in
+          let right =
+            ob "right-residue"
+              (dh = 0 || dh <= hx + lx)
+              (if dh = 0 then "∆h=0: right pass is the identity"
+               else
+                 Printf.sprintf
+                   "∆h=%d <= hx+l=%d so the mirrored ∆q=1+hx+l-∆h=%d >= 1" dh
+                   (hx + lx)
+                   (1 + hx + lx - dh))
+          in
+          let notes =
+            if dl = 0 && dh = 0 then [ "identity derivation (copy of the view)" ]
+            else
+              [
+                Printf.sprintf "coverage factors ∆l=%d, ∆h=%d" dl dh;
+                (if dl > 0 && dl <= lx + hx then
+                   Printf.sprintf "left overlap factor ∆p=%d"
+                     (Core.Maxoa.overlap_factor ~lx ~h:hx ~dl)
+                 else "left pass: identity or inapplicable");
+                (if dh > 0 && dh <= hx + lx then
+                   Printf.sprintf "right overlap factor ∆q=%d" (1 + hx + lx - dh)
+                 else "right pass: identity or inapplicable");
+              ]
+          in
+          (base @ [ grow; left; right ], notes)))
+  | Derive.Max_overlap_minmax ->
+    (match query_frame with
+     | Frame.Cumulative ->
+       ( [ ob "query-sliding" false "MaxOA does not produce cumulative sequences" ],
+         [] )
+     | Frame.Sliding { l = ly; h = hy } ->
+       let base =
+         [
+           ob "view-sliding"
+             (not (Frame.is_cumulative view_frame))
+             (Printf.sprintf "view frame is %s" (frame_desc view_frame));
+           complete_ob fact;
+           ob "view-minmax"
+             (match view_agg with Agg.Min | Agg.Max -> true | Agg.Sum -> false)
+             (Printf.sprintf
+                "the coverage rule applies to MIN/MAX sequences, view has %s"
+                (Agg.name view_agg));
+         ]
+       in
+       (match Frame.params view_frame with
+        | None -> (base, [])
+        | Some (lx, hx) ->
+          let dl = ly - lx and dh = hy - hx in
+          ( base
+            @ [
+                ob "coverage"
+                  (Core.Maxoa.minmax_coverage ~lx ~hx ~ly ~hy)
+                  (Printf.sprintf
+                     "need 0 <= ∆l=%d, 0 <= ∆h=%d and ∆l+∆h=%d <= lx+hx=%d" dl dh
+                     (dl + dh) (lx + hx));
+              ],
+            [
+              Printf.sprintf
+                "y~_k = %s(x~_(k-∆l), x~_(k+∆h)) with ∆l=%d, ∆h=%d (§4.2)"
+                (Agg.name view_agg) dl dh;
+            ] )))
+
+let certify ?fact ~view_frame ~view_agg ~query_frame strategy =
+  let obligations, notes =
+    obligations_of ?fact ~view_frame ~view_agg ~query_frame strategy
+  in
+  { strategy; view_frame; view_agg; query_frame; fact; obligations; notes }
+
+let certify_seq seq ~query_frame strategy =
+  certify
+    ~fact:(Domain.Seqfact.of_seq seq)
+    ~view_frame:(Core.Seqdata.frame seq) ~view_agg:(Core.Seqdata.agg seq)
+    ~query_frame strategy
+
+let all_strategies =
+  [
+    Derive.Copy;
+    Derive.From_cumulative;
+    Derive.Min_overlap;
+    Derive.Max_overlap;
+    Derive.Max_overlap_minmax;
+  ]
+
+let candidates ?fact ~view_frame ~view_agg ~query_frame () =
+  List.map (certify ?fact ~view_frame ~view_agg ~query_frame) all_strategies
+
+let best ?fact ~view_frame ~view_agg ~query_frame () =
+  List.find_opt valid (candidates ?fact ~view_frame ~view_agg ~query_frame ())
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s: %s %s from %s %s — %s\n"
+       (Derive.strategy_name t.strategy)
+       (Agg.name t.view_agg)
+       (Frame.to_string t.query_frame)
+       (Agg.name t.view_agg)
+       (Frame.to_string t.view_frame)
+       (if valid t then "VALID" else "REJECTED"));
+  List.iter
+    (fun o ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s %s: %s\n"
+           (if o.ob_holds then "ok  " else "FAIL")
+           o.ob_name o.ob_detail))
+    t.obligations;
+  List.iter (fun n -> Buffer.add_string buf (Printf.sprintf "  note %s\n" n)) t.notes;
+  Buffer.contents buf

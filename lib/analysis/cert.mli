@@ -1,0 +1,82 @@
+(** Derivability certificates (paper §3–§5).
+
+    A certificate is a typed artifact stating {e why} a requested query
+    frame is (or is not) derivable from a materialized sequence view by
+    one specific {!Rfview_core.Derive.strategy}: the list of proof
+    obligations the strategy's runtime entry point checks, each
+    discharged or failed statically.
+
+    The obligations mirror the runtime preconditions {e exactly}, so the
+    defining property (covered by golden tests) is:
+
+    [valid (certify_seq view ~query_frame s)] iff
+    [Derive.run s view query_frame] succeeds.
+
+    Consumers: {!Rfview_engine.Advisor} proposes a derivation only with
+    a valid certificate, and [rfview analyze] prints certificates for
+    the catalog/query pairs it inspects. *)
+
+module Core := Rfview_core
+
+(** One proof obligation: a named precondition with its discharge
+    status and a human-readable instantiation ("∆l=2 <= lx+hx=3"). *)
+type obligation = {
+  ob_name : string;
+  ob_holds : bool;
+  ob_detail : string;
+}
+
+type t = {
+  strategy : Core.Derive.strategy;
+  view_frame : Core.Frame.t;
+  view_agg : Core.Agg.t;
+  query_frame : Core.Frame.t;
+  fact : Domain.Seqfact.t option;
+      (** completeness facts of the inspected sequence, when one was *)
+  obligations : obligation list;
+  notes : string list;
+      (** derived quantities: [∆l], [∆p], [∆h], [∆q], [wx], [i_up] … *)
+}
+
+(** All obligations discharged: the derivation is proven applicable. *)
+val valid : t -> bool
+
+(** Certify one strategy from frame/aggregate knowledge alone.  When
+    [fact] is omitted, completeness obligations are discharged under the
+    recorded assumption that engine-materialized sequences are complete
+    by construction (see {!Rfview_core.Seqdata.make}). *)
+val certify :
+  ?fact:Domain.Seqfact.t ->
+  view_frame:Core.Frame.t ->
+  view_agg:Core.Agg.t ->
+  query_frame:Core.Frame.t ->
+  Core.Derive.strategy ->
+  t
+
+(** Certify against an actual materialized sequence (its completeness
+    facts are inspected, not assumed). *)
+val certify_seq : Core.Seqdata.t -> query_frame:Core.Frame.t -> Core.Derive.strategy -> t
+
+(** Certificates for every strategy, in the planner's preference order
+    ([Copy], [From_cumulative], [Min_overlap], [Max_overlap],
+    [Max_overlap_minmax]) — including the failed ones, for reporting. *)
+val candidates :
+  ?fact:Domain.Seqfact.t ->
+  view_frame:Core.Frame.t ->
+  view_agg:Core.Agg.t ->
+  query_frame:Core.Frame.t ->
+  unit ->
+  t list
+
+(** The first valid candidate, if any. *)
+val best :
+  ?fact:Domain.Seqfact.t ->
+  view_frame:Core.Frame.t ->
+  view_agg:Core.Agg.t ->
+  query_frame:Core.Frame.t ->
+  unit ->
+  t option
+
+(** Multi-line rendering: header with VALID/REJECTED, one ["  ok ..."] /
+    ["  FAIL ..."] line per obligation, then the notes. *)
+val to_string : t -> string

@@ -179,6 +179,50 @@ let registry : info list =
          needs a fresh, non-empty output column name and an Alias a \
          non-empty relation name.";
     };
+    {
+      r_code = "RF201";
+      r_severity = Warning;
+      r_title = "statically empty subtree";
+      r_explanation =
+        "Abstract interpretation proves the filter or join predicate can \
+         never evaluate to TRUE (its conjuncts are contradictory, or its \
+         outcome set under three-valued logic excludes TRUE), so the \
+         operator keeps no row.  The query computes an empty relation at \
+         full cost; fix or drop the predicate.";
+    };
+    {
+      r_code = "RF202";
+      r_severity = Warning;
+      r_title = "guaranteed division by zero";
+      r_explanation =
+        "The divisor of a division or modulo is the non-NULL constant 0 \
+         on every row that reaches it.  Integer division will raise at \
+         runtime and float division yields infinity; guard the divisor \
+         with NULLIF(x, 0) or a CASE.";
+    };
+    {
+      r_code = "RF203";
+      r_severity = Warning;
+      r_title = "NULL-poisoned aggregate or window argument";
+      r_explanation =
+        "The argument of an aggregate or window function is NULL on \
+         every row, so the aggregate skips every input and the result is \
+         NULL in every group/frame (COUNT: 0).  This usually indicates a \
+         frame or join that padded the column, or a misplaced outer \
+         join; aggregate the pre-padding column instead.";
+    };
+    {
+      r_code = "RF204";
+      r_severity = Warning;
+      r_title = "cumulative SUM overflow/precision risk";
+      r_explanation =
+        "The abstract bound on a SUM over INT inputs provably exceeds \
+         2^53.  Sequence materialization and derivation accumulate in \
+         IEEE doubles, which are exact for integers only below 2^53; \
+         beyond it derived cumulative/sliding values can silently lose \
+         low-order digits.  Scale the measure down or aggregate over \
+         narrower frames.";
+    };
   ]
 
 let find_info code = List.find_opt (fun i -> i.r_code = code) registry
@@ -194,6 +238,17 @@ let explain code =
     Printf.sprintf "%s (%s): %s\n  %s" i.r_code (severity_name i.r_severity)
       i.r_title i.r_explanation
   | None -> Printf.sprintf "%s: unknown diagnostic code" code
+
+let registry_markdown () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "| Code | Severity | Title |\n|------|----------|-------|\n";
+  List.iter
+    (fun i ->
+      Buffer.add_string buf
+        (Printf.sprintf "| %s | %s | %s |\n" i.r_code
+           (severity_name i.r_severity) i.r_title))
+    registry;
+  Buffer.contents buf
 
 let make ~code ~path message =
   let severity =

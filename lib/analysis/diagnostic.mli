@@ -34,6 +34,11 @@ val find_info : string -> info option
     string for unknown codes. *)
 val explain : string -> string
 
+(** GitHub-flavoured markdown table of the registry (code, severity,
+    title) — the generator behind the DESIGN.md diagnostics table and
+    [rfview lint --codes-md]. *)
+val registry_markdown : unit -> string
+
 (** Build a diagnostic; the severity is looked up in the registry
     (unknown codes default to [Error]).  [path] is given root-first. *)
 val make : code:string -> path:string list -> string -> t

@@ -1,0 +1,512 @@
+(* Abstract domains of the plan-level abstract interpreter — see the
+   .mli for the conventions (intervals constrain non-NULL values only;
+   float bounds with IEEE infinities; relative-epsilon containment). *)
+
+open Rfview_relalg
+module Core = Rfview_core
+
+(* ---- Numeric intervals ---- *)
+
+module Itv = struct
+  type t =
+    | Bot
+    | Itv of { lo : float; hi : float }
+
+  let top = Itv { lo = neg_infinity; hi = infinity }
+  let bot = Bot
+  let const v = Itv { lo = v; hi = v }
+
+  let of_bounds lo hi =
+    if Float.is_nan lo || Float.is_nan hi || lo > hi then Bot
+    else Itv { lo; hi }
+
+  let is_bot t = t = Bot
+  let is_top = function
+    | Bot -> false
+    | Itv { lo; hi } -> lo = neg_infinity && hi = infinity
+
+  let equal a b =
+    match a, b with
+    | Bot, Bot -> true
+    | Itv a, Itv b -> a.lo = b.lo && a.hi = b.hi
+    | _ -> false
+
+  let join a b =
+    match a, b with
+    | Bot, x | x, Bot -> x
+    | Itv a, Itv b -> Itv { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+
+  let meet a b =
+    match a, b with
+    | Bot, _ | _, Bot -> Bot
+    | Itv a, Itv b -> of_bounds (Float.max a.lo b.lo) (Float.min a.hi b.hi)
+
+  let widen old next =
+    match old, next with
+    | Bot, x -> x
+    | x, Bot -> x
+    | Itv o, Itv n ->
+      Itv
+        {
+          lo = (if n.lo < o.lo then neg_infinity else o.lo);
+          hi = (if n.hi > o.hi then infinity else o.hi);
+        }
+
+  let leq a b =
+    match a, b with
+    | Bot, _ -> true
+    | _, Bot -> false
+    | Itv a, Itv b -> b.lo <= a.lo && a.hi <= b.hi
+
+  (* Bound arithmetic with the interval conventions 0 * inf = 0 (a zero
+     factor forces a zero product over any set of finite concrete
+     values) and finite / inf = 0. *)
+  let mulb a b = if a = 0. || b = 0. then 0. else a *. b
+
+  let divb a b =
+    if a = 0. then 0.
+    else if Float.is_finite a && not (Float.is_finite b) then 0.
+    else if (not (Float.is_finite a)) && not (Float.is_finite b) then 0.
+    else a /. b
+
+  let lift2 f a b =
+    match a, b with
+    | Bot, _ | _, Bot -> Bot
+    | Itv { lo = al; hi = ah }, Itv { lo = bl; hi = bh } -> f (al, ah) (bl, bh)
+
+  let add = lift2 (fun (al, ah) (bl, bh) -> of_bounds (al +. bl) (ah +. bh))
+
+  let neg = function
+    | Bot -> Bot
+    | Itv { lo; hi } -> Itv { lo = -.hi; hi = -.lo }
+
+  let sub a b = add a (neg b)
+
+  let mul =
+    lift2 (fun (al, ah) (bl, bh) ->
+        let ps = [ mulb al bl; mulb al bh; mulb ah bl; mulb ah bh ] in
+        of_bounds (List.fold_left Float.min infinity ps)
+          (List.fold_left Float.max neg_infinity ps))
+
+  (* Division must cover float semantics (divisor 0 gives ±inf) and the
+     truncating INT division (off by < 1 toward zero from the real
+     quotient), so: top when the divisor can be 0, and one unit of slack
+     on both bounds otherwise. *)
+  let div a b =
+    lift2
+      (fun (al, ah) (bl, bh) ->
+        if bl <= 0. && bh >= 0. then top
+        else
+          let qs = [ divb al bl; divb al bh; divb ah bl; divb ah bh ] in
+          let lo = List.fold_left Float.min infinity qs in
+          let hi = List.fold_left Float.max neg_infinity qs in
+          of_bounds (lo -. 1.) (hi +. 1.))
+      a b
+
+  (* Both floored int modulo and float remainder are bounded in
+     magnitude by the largest divisor magnitude. *)
+  let modulo a b =
+    lift2
+      (fun _ (bl, bh) ->
+        let m = Float.max (Float.abs bl) (Float.abs bh) in
+        of_bounds (-.m) m)
+      a b
+
+  let abs = function
+    | Bot -> Bot
+    | Itv { lo; hi } ->
+      if lo >= 0. then Itv { lo; hi }
+      else if hi <= 0. then Itv { lo = -.hi; hi = -.lo }
+      else Itv { lo = 0.; hi = Float.max (-.lo) hi }
+
+  (* Hull of sums of n in [max lo 1, hi] summands, each drawn from the
+     interval (SUM yields NULL, not 0, on an empty input, so n = 0 never
+     produces a value and the lower count is clamped to 1). *)
+  let sum_n t ~lo ~hi =
+    match t with
+    | Bot -> Bot
+    | Itv { lo = a; hi = b } ->
+      let nlo = float_of_int (max lo 1) in
+      let nhi = match hi with None -> infinity | Some h -> float_of_int (max h 1) in
+      of_bounds
+        (Float.min (mulb nlo a) (mulb nhi a))
+        (Float.max (mulb nlo b) (mulb nhi b))
+
+  let contains ?(eps = 1e-6) t v =
+    match t with
+    | Bot -> false
+    | Itv { lo; hi } ->
+      let scale =
+        List.fold_left
+          (fun m x -> if Float.is_finite x then Float.max m (Float.abs x) else m)
+          1. [ lo; hi; v ]
+      in
+      let slack = eps *. scale in
+      v >= lo -. slack && v <= hi +. slack
+
+  let fstr v =
+    if Float.is_integer v && Float.abs v < 1e15 then
+      Printf.sprintf "%.0f" v
+    else Printf.sprintf "%g" v
+
+  let to_string = function
+    | Bot -> "⊥"
+    | Itv { lo; hi } ->
+      let left = if lo = neg_infinity then "(-inf" else "[" ^ fstr lo in
+      let right = if hi = infinity then "+inf)" else fstr hi ^ "]" in
+      left ^ ", " ^ right
+end
+
+(* ---- Nullability ---- *)
+
+module Null = struct
+  type t =
+    | Never
+    | Maybe
+    | Always
+
+  let join a b = if a = b then a else Maybe
+
+  let leq a b =
+    match a, b with
+    | _, Maybe -> true
+    | a, b -> a = b
+
+  let to_string = function
+    | Never -> "never-null"
+    | Maybe -> "maybe-null"
+    | Always -> "always-null"
+end
+
+(* ---- Cardinality ranges ---- *)
+
+module Card = struct
+  type t = {
+    lo : int;
+    hi : int option;
+  }
+
+  let exact n = { lo = n; hi = Some n }
+  let of_bounds lo hi = { lo; hi }
+  let top = { lo = 0; hi = None }
+  let zero = exact 0
+  let equal a b = a.lo = b.lo && a.hi = b.hi
+
+  let join a b =
+    {
+      lo = min a.lo b.lo;
+      hi = (match a.hi, b.hi with Some x, Some y -> Some (max x y) | _ -> None);
+    }
+
+  let widen old next =
+    {
+      lo = (if next.lo < old.lo then 0 else old.lo);
+      hi =
+        (match old.hi, next.hi with
+         | Some o, Some n when n <= o -> Some o
+         | _ -> None);
+    }
+
+  let leq a b =
+    b.lo <= a.lo
+    && (match a.hi, b.hi with
+        | _, None -> true
+        | None, Some _ -> false
+        | Some x, Some y -> x <= y)
+
+  let add a b =
+    {
+      lo = a.lo + b.lo;
+      hi = (match a.hi, b.hi with Some x, Some y -> Some (x + y) | _ -> None);
+    }
+
+  let mul a b =
+    {
+      lo = a.lo * b.lo;
+      hi = (match a.hi, b.hi with Some x, Some y -> Some (x * y) | _ -> None);
+    }
+
+  let cap t n =
+    {
+      lo = min t.lo n;
+      hi = (match t.hi with Some h -> Some (min h n) | None -> Some n);
+    }
+
+  let relax_lo t n = { t with lo = min t.lo n }
+
+  let contains t n =
+    n >= t.lo && (match t.hi with None -> true | Some h -> n <= h)
+
+  let to_string t =
+    match t.hi with
+    | Some h when h = t.lo -> string_of_int t.lo
+    | Some h -> Printf.sprintf "%d..%d" t.lo h
+    | None -> Printf.sprintf "%d..*" t.lo
+end
+
+(* ---- Three-valued abstract booleans ---- *)
+
+module B3 = struct
+  type t = {
+    can_t : bool;
+    can_f : bool;
+    can_null : bool;
+  }
+
+  let top = { can_t = true; can_f = true; can_null = true }
+  let const b = { can_t = b; can_f = not b; can_null = false }
+  let null = { can_t = false; can_f = false; can_null = true }
+
+  let join a b =
+    {
+      can_t = a.can_t || b.can_t;
+      can_f = a.can_f || b.can_f;
+      can_null = a.can_null || b.can_null;
+    }
+
+  let equal (a : t) (b : t) = a = b
+  let not3 t = { t with can_t = t.can_f; can_f = t.can_t }
+
+  (* Kleene AND over outcome sets: F dominates, T is neutral. *)
+  let and3 a b =
+    {
+      can_t = a.can_t && b.can_t;
+      can_f = a.can_f || b.can_f;
+      can_null =
+        (a.can_null && (b.can_t || b.can_null))
+        || (b.can_null && (a.can_t || a.can_null));
+    }
+
+  let or3 a b = not3 (and3 (not3 a) (not3 b))
+  let never_true t = not t.can_t
+
+  let to_string t =
+    let outcomes =
+      (if t.can_t then [ "T" ] else [])
+      @ (if t.can_f then [ "F" ] else [])
+      @ if t.can_null then [ "N" ] else []
+    in
+    "{" ^ String.concat "," outcomes ^ "}"
+end
+
+(* ---- Column and relation abstractions ---- *)
+
+type aval = {
+  itv : Itv.t;
+  null : Null.t;
+  b3 : B3.t;
+}
+
+let aval_top = { itv = Itv.top; null = Null.Maybe; b3 = B3.top }
+
+let aval_bot =
+  { itv = Itv.bot; null = Null.Never; b3 = { B3.can_t = false; can_f = false; can_null = false } }
+
+let aval_join a b =
+  { itv = Itv.join a.itv b.itv; null = Null.join a.null b.null; b3 = B3.join a.b3 b.b3 }
+
+let aval_equal a b =
+  Itv.equal a.itv b.itv && a.null = b.null && B3.equal a.b3 b.b3
+
+type col_abs = {
+  av : aval;
+  distinct : Card.t;
+}
+
+type rel_abs = {
+  cols : col_abs array;
+  rows : Card.t;
+}
+
+(* ---- Concretization checks ---- *)
+
+let contains_value ?eps a (v : Value.t) =
+  match v with
+  | Value.Null -> a.null <> Null.Never
+  | Value.Bool b ->
+    a.null <> Null.Always && (if b then a.b3.B3.can_t else a.b3.B3.can_f)
+  | Value.Int i -> a.null <> Null.Always && Itv.contains ?eps a.itv (float_of_int i)
+  | Value.Float f -> a.null <> Null.Always && Itv.contains ?eps a.itv f
+  | Value.Date d -> a.null <> Null.Always && Itv.contains ?eps a.itv (float_of_int d)
+  | Value.String _ -> a.null <> Null.Always
+
+(* Distinct non-NULL values under Value.equal — the one notion of
+   distinctness shared by the abstraction and the sanitizer check. *)
+let distinct_count (vs : Value.t array) =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun v ->
+      if not (Value.is_null v) then begin
+        let key = Value.hash v in
+        let bucket = try Hashtbl.find tbl key with Not_found -> [] in
+        if not (List.exists (Value.equal v) bucket) then
+          Hashtbl.replace tbl key (v :: bucket)
+      end)
+    vs;
+  Hashtbl.fold (fun _ b n -> n + List.length b) tbl 0
+
+let numeric_of (v : Value.t) : float option =
+  match v with
+  | Value.Int i -> Some (float_of_int i)
+  | Value.Float f -> Some f
+  | Value.Date d -> Some (float_of_int d)
+  | Value.Null | Value.Bool _ | Value.String _ -> None
+
+let abstract_column (vs : Value.t array) : col_abs =
+  let itv = ref Itv.bot in
+  let saw_null = ref false and saw_val = ref false in
+  let b3 = ref { B3.can_t = false; can_f = false; can_null = false } in
+  Array.iter
+    (fun v ->
+      (match v with
+       | Value.Null ->
+         saw_null := true;
+         b3 := { !b3 with B3.can_null = true }
+       | v ->
+         saw_val := true;
+         (match v with
+          | Value.Bool true -> b3 := { !b3 with B3.can_t = true }
+          | Value.Bool false -> b3 := { !b3 with B3.can_f = true }
+          | _ -> ());
+         (match numeric_of v with
+          | Some f -> itv := Itv.join !itv (Itv.const f)
+          | None -> ())))
+    vs;
+  let null =
+    match !saw_null, !saw_val with
+    | false, _ -> Null.Never
+    | true, false -> Null.Always
+    | true, true -> Null.Maybe
+  in
+  (* non-numeric, non-bool columns keep top components *)
+  let has_nonnum =
+    Array.exists
+      (fun v ->
+        match v with
+        | Value.String _ -> true
+        | _ -> false)
+      vs
+  in
+  let itv = if has_nonnum then Itv.top else !itv in
+  let b3 =
+    if Array.exists (function Value.Bool _ -> true | _ -> false) vs then !b3
+    else B3.top
+  in
+  { av = { itv; null; b3 }; distinct = Card.exact (distinct_count vs) }
+
+let abstract_relation (r : Relation.t) : rel_abs =
+  let n = Relation.cardinality r in
+  let arity = Schema.arity (Relation.schema r) in
+  {
+    rows = Card.exact n;
+    cols = Array.init arity (fun i -> abstract_column (Relation.column_values r i));
+  }
+
+let check_relation ?eps (a : rel_abs) (r : Relation.t) : (unit, string) result =
+  let schema = Relation.schema r in
+  let arity = Schema.arity schema in
+  let n = Relation.cardinality r in
+  if Array.length a.cols <> arity then
+    Error
+      (Printf.sprintf "arity mismatch: abstract state has %d column(s), relation %d"
+         (Array.length a.cols) arity)
+  else if not (Card.contains a.rows n) then
+    Error
+      (Printf.sprintf "row count %d outside abstract range %s" n
+         (Card.to_string a.rows))
+  else begin
+    let err = ref None in
+    let rows = Relation.rows r in
+    for c = 0 to arity - 1 do
+      if !err = None then begin
+        let ca = a.cols.(c) in
+        let name = (Schema.col schema c).Schema.name in
+        (* every concrete value inside the abstract value *)
+        Array.iteri
+          (fun i row ->
+            let v = Row.get row c in
+            if !err = None && not (contains_value ?eps ca.av v) then
+              err :=
+                Some
+                  (Printf.sprintf
+                     "row %d, column %s: value %s outside abstract state %s" i name
+                     (Value.to_string v)
+                     (Printf.sprintf "{%s; %s; %s}" (Itv.to_string ca.av.itv)
+                        (Null.to_string ca.av.null) (B3.to_string ca.av.b3))))
+          rows;
+        (* NULL/not-NULL obligations over the whole column *)
+        (match ca.av.null with
+         | Null.Always ->
+           Array.iteri
+             (fun i row ->
+               if !err = None && not (Value.is_null (Row.get row c)) then
+                 err :=
+                   Some
+                     (Printf.sprintf
+                        "row %d, column %s: non-NULL value in an always-NULL column"
+                        i name))
+             rows
+         | Null.Never | Null.Maybe -> ());
+        (* distinct-count range *)
+        if !err = None then begin
+          let d = distinct_count (Relation.column_values r c) in
+          if not (Card.contains ca.distinct d) then
+            err :=
+              Some
+                (Printf.sprintf
+                   "column %s: %d distinct value(s) outside abstract range %s" name d
+                   (Card.to_string ca.distinct))
+        end
+      end
+    done;
+    match !err with None -> Ok () | Some m -> Error m
+  end
+
+let col_to_string (c : col_abs) =
+  Printf.sprintf "%s  %s  distinct %s" (Itv.to_string c.av.itv)
+    (Null.to_string c.av.null) (Card.to_string c.distinct)
+
+let rel_to_string (a : rel_abs) =
+  Printf.sprintf "rows %s; %s" (Card.to_string a.rows)
+    (String.concat "; " (Array.to_list (Array.map col_to_string a.cols)))
+
+(* ---- Sequence-completeness facts ---- *)
+
+module Seqfact = struct
+  type t = {
+    frame : Core.Frame.t;
+    n : int;
+    stored_lo : int;
+    stored_hi : int;
+    complete : bool;
+  }
+
+  let of_seq (s : Core.Seqdata.t) =
+    {
+      frame = Core.Seqdata.frame s;
+      n = Core.Seqdata.length s;
+      stored_lo = Core.Seqdata.stored_lo s;
+      stored_hi = Core.Seqdata.stored_hi s;
+      complete = Core.Seqdata.is_complete s;
+    }
+
+  let header_covered t =
+    match Core.Frame.params t.frame with
+    | None -> t.stored_lo <= min 1 t.n
+    | Some (_, h) -> t.stored_lo <= 1 - h
+
+  let trailer_covered t =
+    match Core.Frame.params t.frame with
+    | None -> t.stored_hi >= t.n
+    | Some (l, _) -> t.stored_hi >= t.n + l
+
+  let to_string t =
+    Printf.sprintf "%s over n=%d stored %d..%d (%s)"
+      (Core.Frame.to_string t.frame) t.n t.stored_lo t.stored_hi
+      (if t.complete then "complete"
+       else
+         "incomplete: "
+         ^ String.concat ", "
+             ((if header_covered t then [] else [ "header missing" ])
+             @ if trailer_covered t then [] else [ "trailer missing" ]))
+end

@@ -1,0 +1,229 @@
+(** Abstract domains of the plan-level abstract interpreter
+    ({!Absint}): the product of a numeric interval domain (with
+    widening), a nullability lattice, cardinality ranges for row and
+    distinct counts, three-valued abstract booleans, and
+    sequence-completeness facts for materialized sequence views.
+
+    Conventions shared by every consumer:
+    - an interval constrains only the {e non-NULL} values of a column;
+      whether NULL occurs is tracked separately by {!Null};
+    - all numeric reasoning is over floats with IEEE infinities as
+      "unbounded" — sound for INT columns because every int the engine
+      produces is magnitude-representable (the overflow lint {b RF204}
+      flags the cases where that stops being exact);
+    - containment checks accept a small relative epsilon so that a
+      mathematically tight bound is not flagged over float rounding in
+      the concrete evaluator. *)
+
+open Rfview_relalg
+module Core := Rfview_core
+
+(** {1 Numeric intervals} *)
+
+module Itv : sig
+  (** [Bot] is the empty interval (no non-NULL value ever observed);
+      otherwise [lo <= hi] with IEEE infinities as open ends. *)
+  type t =
+    | Bot
+    | Itv of { lo : float; hi : float }
+
+  val top : t
+  val bot : t
+  val const : float -> t
+
+  (** Normalizes an empty ([lo > hi] or NaN) pair to [Bot]. *)
+  val of_bounds : float -> float -> t
+
+  val is_bot : t -> bool
+  val is_top : t -> bool
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+  val meet : t -> t -> t
+
+  (** Classic interval widening: bounds that grew jump to infinity.
+      [widen old new] stabilizes any ascending chain in <= 2 steps. *)
+  val widen : t -> t -> t
+
+  val leq : t -> t -> bool
+
+  (** Interval arithmetic (sound over-approximations; [Bot] absorbs). *)
+
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val mul : t -> t -> t
+
+  (** Sound for both SQL division semantics: float division (divisor 0
+      gives ±infinity) and truncating INT division (result may round
+      toward zero by < 1 from the real quotient). *)
+  val div : t -> t -> t
+
+  (** Floored modulo / float remainder: bounded by the modulus magnitude. *)
+  val modulo : t -> t -> t
+
+  val abs : t -> t
+
+  (** Hull of [n] summands from [t], for [n] in a cardinality range —
+      the transfer function of SUM. *)
+  val sum_n : t -> lo:int -> hi:int option -> t
+
+  (** [contains ~eps t v]: [v] within [t] up to relative slack [eps]
+      (default 1e-6). *)
+  val contains : ?eps:float -> t -> float -> bool
+
+  val to_string : t -> string
+end
+
+(** {1 Nullability} *)
+
+module Null : sig
+  type t =
+    | Never
+    | Maybe
+    | Always
+
+  val join : t -> t -> t
+  val leq : t -> t -> bool
+  val to_string : t -> string
+end
+
+(** {1 Cardinality ranges} *)
+
+module Card : sig
+  (** [lo <= hi]; [hi = None] means unbounded above. *)
+  type t = {
+    lo : int;
+    hi : int option;
+  }
+
+  val exact : int -> t
+  val of_bounds : int -> int option -> t
+  val top : t
+  val zero : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+
+  (** Widening: a lower bound that shrank drops to 0, an upper bound
+      that grew jumps to unbounded. *)
+  val widen : t -> t -> t
+
+  val leq : t -> t -> bool
+  val add : t -> t -> t
+  val mul : t -> t -> t
+
+  (** Clamp above by [n] (the LIMIT transfer). *)
+  val cap : t -> int -> t
+
+  (** Force the lower bound down to [n] (e.g. 0 after a filter). *)
+  val relax_lo : t -> int -> t
+
+  val contains : t -> int -> bool
+  val to_string : t -> string
+end
+
+(** {1 Three-valued abstract booleans}
+
+    The set of outcomes a predicate can take under SQL three-valued
+    logic. *)
+
+module B3 : sig
+  type t = {
+    can_t : bool;
+    can_f : bool;
+    can_null : bool;
+  }
+
+  val top : t
+  val const : bool -> t
+  val null : t
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+
+  (** Kleene connectives lifted to outcome sets. *)
+
+  val not3 : t -> t
+  val and3 : t -> t -> t
+  val or3 : t -> t -> t
+
+  (** No outcome is TRUE: a filter with this predicate keeps no row. *)
+  val never_true : t -> bool
+
+  val to_string : t -> string
+end
+
+(** {1 Column and relation abstractions} *)
+
+(** Abstract value of one column/expression: interval over its non-NULL
+    values, nullability, and (for boolean expressions) the outcome set.
+    [b3] is {!B3.top} for non-boolean values, [itv] is {!Itv.top} for
+    non-numeric ones. *)
+type aval = {
+  itv : Itv.t;
+  null : Null.t;
+  b3 : B3.t;
+}
+
+val aval_top : aval
+
+(** The abstraction of an expression that can never produce a value
+    (empty input). *)
+val aval_bot : aval
+
+val aval_join : aval -> aval -> aval
+val aval_equal : aval -> aval -> bool
+
+type col_abs = {
+  av : aval;
+  distinct : Card.t;  (** distinct non-NULL values (NULL not counted) *)
+}
+
+type rel_abs = {
+  cols : col_abs array;
+  rows : Card.t;
+}
+
+(** {1 Concretization checks (the differential sanitizer's oracle)} *)
+
+(** [contains_value ~eps a v]: the concrete value lies inside the
+    abstract one. *)
+val contains_value : ?eps:float -> aval -> Value.t -> bool
+
+(** Exact abstraction of a concrete relation: per-column value hull,
+    nullability and distinct count, exact row count.  This is the [Scan]
+    transfer function when table contents are known. *)
+val abstract_relation : Relation.t -> rel_abs
+
+(** Check every row, column and cardinality of [r] against [a].
+    [Error msg] names the first violated fact. *)
+val check_relation : ?eps:float -> rel_abs -> Relation.t -> (unit, string) result
+
+val col_to_string : col_abs -> string
+val rel_to_string : rel_abs -> string
+
+(** {1 Sequence-completeness facts (paper §3.2)}
+
+    What the analyzer knows about a materialized sequence: its frame,
+    raw length [n], the stored position range, and whether that range
+    covers the header ([-h+1..0]) and trailer ([n+1..n+l]) required for
+    derivability. *)
+
+module Seqfact : sig
+  type t = {
+    frame : Core.Frame.t;
+    n : int;
+    stored_lo : int;
+    stored_hi : int;
+    complete : bool;
+  }
+
+  val of_seq : Core.Seqdata.t -> t
+
+  (** Header coverage: positions [-h+1..0] all stored (vacuous for
+      cumulative frames). *)
+  val header_covered : t -> bool
+
+  (** Trailer coverage: positions [n+1..n+l] all stored. *)
+  val trailer_covered : t -> bool
+
+  val to_string : t -> string
+end

@@ -1,0 +1,157 @@
+(* SQL extraction from OCaml sources — see the .mli.  A small hand
+   scanner: we only need to be right about what is and is not a string
+   literal, and OCaml's lexical conventions for those are simple enough
+   to handle directly (regular strings with backslash escapes, quoted
+   strings {id|...|id}, (* *) comments that nest, and character
+   literals, whose quote must not open a string). *)
+
+module Parser = Rfview_sql.Parser
+
+type extracted = {
+  line : int;
+  sql : string;
+  stmt : Rfview_sql.Ast.statement;
+}
+
+let string_literals (src : string) : (int * string) list =
+  let n = String.length src in
+  let out = ref [] in
+  let line = ref 1 in
+  let bump c = if c = '\n' then incr line in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  (* skip a (possibly nested) comment; cursor on the '(' of "(*" *)
+  let skip_comment () =
+    i := !i + 2;
+    let depth = ref 1 in
+    while !depth > 0 && !i < n do
+      (match src.[!i], peek 1 with
+       | '(', Some '*' ->
+         incr depth;
+         incr i
+       | '*', Some ')' ->
+         decr depth;
+         incr i
+       | c, _ -> bump c);
+      incr i
+    done
+  in
+  let read_regular_string start_line =
+    (* cursor on the opening quote *)
+    incr i;
+    let buf = Buffer.create 32 in
+    let fin = ref false in
+    while (not !fin) && !i < n do
+      (match src.[!i], peek 1 with
+       | '\\', Some ('\\' | '"' | '\'' | 'n' | 't' | 'r' | 'b' | ' ') ->
+         (* decoded escapes: enough for embedded SQL (numeric escapes in
+            SQL text do not occur in this codebase) *)
+         (match src.[!i + 1] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 'b' -> Buffer.add_char buf '\b'
+          | c -> Buffer.add_char buf c);
+         incr i
+       | '\\', Some '\n' ->
+         (* line continuation: skip the newline and following blanks *)
+         incr i;
+         bump '\n';
+         incr i;
+         while !i < n && (src.[!i] = ' ' || src.[!i] = '\t') do
+           incr i
+         done;
+         i := !i - 1
+       | '"', _ -> fin := true
+       | c, _ ->
+         bump c;
+         Buffer.add_char buf c);
+      incr i
+    done;
+    out := (start_line, Buffer.contents buf) :: !out
+  in
+  let read_quoted_string start_line =
+    (* cursor on the '{' of "{id|" *)
+    let j = ref (!i + 1) in
+    let idbuf = Buffer.create 4 in
+    while
+      !j < n
+      && (match src.[!j] with 'a' .. 'z' | '_' -> true | _ -> false)
+    do
+      Buffer.add_char idbuf src.[!j];
+      incr j
+    done;
+    if !j < n && src.[!j] = '|' then begin
+      let id = Buffer.contents idbuf in
+      let closer = "|" ^ id ^ "}" in
+      let body_start = !j + 1 in
+      let stop =
+        let rec find k =
+          if k + String.length closer > n then n
+          else if String.sub src k (String.length closer) = closer then k
+          else find (k + 1)
+        in
+        find body_start
+      in
+      let body = String.sub src body_start (min stop n - body_start) in
+      String.iter bump (String.sub src !i (min (stop + String.length closer) n - !i));
+      out := (start_line, body) :: !out;
+      i := min (stop + String.length closer) n
+    end
+    else incr i
+  in
+  while !i < n do
+    (match src.[!i], peek 1 with
+     | '(', Some '*' -> skip_comment ()
+     | '"', _ -> read_regular_string !line
+     | '{', Some ('a' .. 'z' | '_' | '|') -> read_quoted_string !line
+     | '\'', Some c when peek 2 = Some '\'' ->
+       (* simple character literal 'x' *)
+       bump c;
+       i := !i + 3
+     | '\'', Some '\\' ->
+       (* escaped character literal: skip to the closing quote *)
+       i := !i + 2;
+       while !i < n && src.[!i] <> '\'' do
+         bump src.[!i];
+         incr i
+       done;
+       incr i
+     | c, _ ->
+       bump c;
+       incr i)
+  done;
+  List.rev !out
+
+(* First word of a literal, uppercased. *)
+let first_word s =
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n && (s.[!i] = ' ' || s.[!i] = '\n' || s.[!i] = '\t' || s.[!i] = '\r') do
+    incr i
+  done;
+  let j = ref !i in
+  while
+    !j < n && (match s.[!j] with 'a' .. 'z' | 'A' .. 'Z' -> true | _ -> false)
+  do
+    incr j
+  done;
+  String.uppercase_ascii (String.sub s !i (!j - !i))
+
+let statement_starter = function
+  | "SELECT" | "CREATE" | "INSERT" | "UPDATE" | "DELETE" | "DROP" | "REFRESH"
+  | "WITH" -> true
+  | _ -> false
+
+let extract (src : string) : extracted list =
+  string_literals src
+  |> List.concat_map (fun (line, s) ->
+         if not (statement_starter (first_word s)) then []
+         else
+           (* one literal may hold a whole ;-separated script *)
+           match Parser.statements s with
+           | stmts -> List.map (fun stmt -> { line; sql = s; stmt }) stmts
+           | exception _ -> [])
+
+let extract_file path =
+  extract (In_channel.with_open_text path In_channel.input_all)

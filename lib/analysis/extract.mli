@@ -1,0 +1,28 @@
+(** Extraction of SQL embedded in OCaml sources, so [make lint] can
+    cover the statements test and example drivers feed the engine, not
+    just the [.sql] corpus.
+
+    The scanner tokenizes string literals only — regular ["..."]
+    literals (with escapes) and quoted-string [{|...|}] / [{id|...|id}]
+    literals — skipping comments and character literals.  A literal is
+    kept when it {e parses} as a SQL statement and its first keyword is a
+    statement starter (SELECT/CREATE/INSERT/…); printf templates and
+    other prose never parse, so they are dropped silently. *)
+
+(** One extracted statement: the 1-based line where the literal starts,
+    and the parsed statement. *)
+type extracted = {
+  line : int;
+  sql : string;
+  stmt : Rfview_sql.Ast.statement;
+}
+
+(** All string literals of the source text (line, contents) — exposed
+    for tests of the scanner itself. *)
+val string_literals : string -> (int * string) list
+
+(** The SQL statements embedded in an OCaml source text. *)
+val extract : string -> extracted list
+
+(** [extract] over a file's contents. *)
+val extract_file : string -> extracted list

@@ -12,6 +12,7 @@
 open Rfview_relalg
 module Ast = Rfview_sql.Ast
 module Core = Rfview_core
+module Cert = Rfview_analysis.Cert
 
 type proposal = {
   view_name : string;
@@ -20,12 +21,16 @@ type proposal = {
   (* the paper's relational operator pattern that a plain-relational
      engine would run for this derivation, if one applies *)
   relational_sql : string option;
+  (* the statically-discharged proof obligations of the strategy: the
+     advisor never proposes a derivation without a valid certificate *)
+  certificate : Cert.t;
 }
 
 let describe p =
-  Printf.sprintf "derive from %s via %s%s" p.view_name
+  Printf.sprintf "derive from %s via %s%s (certified: %d obligations)" p.view_name
     (Core.Derive.strategy_name p.strategy)
     (if p.partition_reduced then " after partitioning reduction" else "")
+    (List.length p.certificate.Cert.obligations)
 
 (* Aggregates answerable from a view with the given core aggregate. *)
 let agg_compatible ~(view : Aggregate.kind) ~(query : Aggregate.kind) =
@@ -114,9 +119,30 @@ let proposals (db : Database.t) (q : Ast.query) : (proposal * Matview.state * Ma
                       ~view_agg:(core_agg_of vspec)
                       ~query_frame:(core_frame_of qspec)
                   in
-                  (match strategies with
+                  (* certify each applicable strategy against the actual
+                     materialized data (completeness facts included) and
+                     keep the first that is proven derivable *)
+                  let fact =
+                    match state.Matview.parts with
+                    | part :: _ ->
+                      Some
+                        (Rfview_analysis.Domain.Seqfact.of_seq part.Matview.seq)
+                    | [] -> None
+                  in
+                  let certified =
+                    List.filter_map
+                      (fun s ->
+                        let c =
+                          Cert.certify ?fact ~view_frame:(core_frame_of vspec)
+                            ~view_agg:(core_agg_of vspec)
+                            ~query_frame:(core_frame_of qspec) s
+                        in
+                        if Cert.valid c then Some (s, c) else None)
+                      strategies
+                  in
+                  (match certified with
                    | [] -> None
-                   | strategy :: _ ->
+                   | (strategy, certificate) :: _ ->
                      let partition_reduced = kind = Reduce_partition in
                      if partition_reduced && not (concat_order_sound state) then None
                      else
@@ -129,9 +155,42 @@ let proposals (db : Database.t) (q : Ast.query) : (proposal * Matview.state * Ma
                                relational_sql_for ~view_name:v.Catalog.view_name
                                  ~view_frame:(core_frame_of vspec)
                                  ~query_frame:(core_frame_of qspec) strategy;
+                             certificate;
                            },
                            state,
                            qspec ))))
+
+(* Certificate candidates for every matching materialized view —
+   including the rejected ones, which [proposals] filters out.  This is
+   what [rfview analyze] prints: the full picture of why each candidate
+   strategy is admitted or refused. *)
+let certificates (db : Database.t) (q : Ast.query) : (string * Cert.t list) list =
+  match Matview.recognize q with
+  | None -> []
+  | Some qspec ->
+    Catalog.all_views (Database.catalog db)
+    |> List.filter_map (fun (v : Catalog.view) ->
+           if not v.Catalog.materialized then None
+           else
+             match Database.view_state db v.Catalog.view_name with
+             | None -> None
+             | Some state ->
+               let vspec = state.Matview.spec in
+               (match match_view qspec vspec with
+                | None -> None
+                | Some _ ->
+                  let fact =
+                    match state.Matview.parts with
+                    | part :: _ ->
+                      Some
+                        (Rfview_analysis.Domain.Seqfact.of_seq part.Matview.seq)
+                    | [] -> None
+                  in
+                  Some
+                    ( v.Catalog.view_name,
+                      Cert.candidates ?fact ~view_frame:(core_frame_of vspec)
+                        ~view_agg:(core_agg_of vspec)
+                        ~query_frame:(core_frame_of qspec) () )))
 
 (* ---- Answering ---- *)
 

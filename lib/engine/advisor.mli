@@ -20,6 +20,10 @@ type proposal = {
   relational_sql : string option;
       (** the Fig. 10/13 operator pattern a plain-relational engine would
           run for this derivation, when one applies *)
+  certificate : Rfview_analysis.Cert.t;
+      (** the derivability certificate the strategy was admitted under:
+          always valid — a strategy whose obligations cannot be
+          discharged statically is never proposed *)
 }
 
 val describe : proposal -> string
@@ -29,6 +33,13 @@ val describe : proposal -> string
     or no view matches. *)
 val proposals :
   Database.t -> Ast.query -> (proposal * Matview.state * Matview.seq_spec) list
+
+(** Per matching materialized view, the certificate of {e every}
+    candidate strategy — valid and rejected alike ([proposals] keeps
+    only views with a valid one).  Empty when the query is not a
+    sequence query or no view matches its spec. *)
+val certificates :
+  Database.t -> Ast.query -> (string * Rfview_analysis.Cert.t list) list
 
 (** Answer the query from the best matching view at the core level
     (per-partition derivation; partitioning reduction when the query

@@ -350,6 +350,10 @@ let plan_query db (q : Ast.query) : P.Physical.t =
   in
   let logical = P.Optimize.optimize logical in
   if Verify.enabled () then Verify.check_plan ~context:"optimized plan" logical;
+  (* differential sanitizer (no-op unless Sanitize.enable installed it);
+     its sub-plan executions must not consume injected-fault budget *)
+  Fault.with_suspended (fun () ->
+      P.Hooks.sanitize ~catalog:(catalog_view db) logical);
   let opts =
     {
       P.Physical.window_strategy = db.window_strategy;

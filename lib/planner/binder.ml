@@ -300,10 +300,16 @@ let item_name i (e : Ast.expr) (alias : string option) =
 
 (* ---- Query binding ---- *)
 
-let rec bind_query (cat : catalog) (q : Ast.query) : Logical.t =
-  let plan = bind_query_body cat q.Ast.body in
-  let plan = bind_order_limit plan ~order_by:q.Ast.order_by ~limit:q.Ast.limit in
-  plan
+let rec bind_query ?stmt (cat : catalog) (q : Ast.query) : Logical.t =
+  (* [stmt] is the 1-based statement index within a script: lint drivers
+     pass it so binder diagnostics carry a source position (statement
+     index + the offending column name already in the message) instead of
+     only a plan path *)
+  try
+    let plan = bind_query_body cat q.Ast.body in
+    bind_order_limit plan ~order_by:q.Ast.order_by ~limit:q.Ast.limit
+  with Bind_error m when stmt <> None ->
+    raise (Bind_error (Printf.sprintf "statement %d: %s" (Option.get stmt) m))
 
 and bind_query_body (cat : catalog) (body : Ast.query_body) : Logical.t =
   match body with

@@ -26,8 +26,12 @@ val empty_catalog : catalog
     functions.  @raise Bind_error on unknown/ambiguous names. *)
 val bind_scalar : Schema.t -> Ast.expr -> Expr.t
 
-(** Bind a full query.  @raise Bind_error on any scoping error. *)
-val bind_query : catalog -> Ast.query -> Logical.t
+(** Bind a full query.  [stmt], when given, is the 1-based statement
+    index within a script; binder errors are then prefixed with
+    ["statement N: "] so lint diagnostics carry the source position
+    (statement index + offending column name) rather than only a plan
+    path.  @raise Bind_error on any scoping error. *)
+val bind_query : ?stmt:int -> catalog -> Ast.query -> Logical.t
 
 (** {2 Exposed for tests} *)
 

@@ -7,3 +7,9 @@ type validator = pass:string -> before:Logical.t -> after:Logical.t -> unit
 let validator : validator ref = ref (fun ~pass:_ ~before:_ ~after:_ -> ())
 
 let validate ~pass ~before ~after = !validator ~pass ~before ~after
+
+type sanitizer = catalog:Physical.catalog_view -> Logical.t -> unit
+
+let sanitizer : sanitizer ref = ref (fun ~catalog:_ _ -> ())
+
+let sanitize ~catalog plan = !sanitizer ~catalog plan

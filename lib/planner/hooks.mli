@@ -12,3 +12,15 @@ val validator : validator ref
 
 (** Invoke the installed validator. *)
 val validate : validator
+
+(** The differential sanitizer: given the execution catalog and a final
+    logical plan, execute every sub-plan and check the concrete
+    intermediate relations against the abstract interpreter's states
+    ([Rfview_analysis.Sanitize.enable] installs it; the default is a
+    no-op). *)
+type sanitizer = catalog:Physical.catalog_view -> Logical.t -> unit
+
+val sanitizer : sanitizer ref
+
+(** Invoke the installed sanitizer. *)
+val sanitize : sanitizer

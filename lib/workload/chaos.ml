@@ -199,7 +199,16 @@ let heal_stale db ~context =
 
 (* ---- The harness ---- *)
 
-let run ?(config = default_config) ?inject () : report =
+let run ?(config = default_config) ?inject ?(sanitize = false) () : report =
+  (* the differential sanitizer hooks into plan_query, so enabling it
+     here covers every query the harness runs: cache probes, view
+     recomputation checks and heal reads *)
+  let sanitize_was = Rfview_analysis.Sanitize.enabled () in
+  if sanitize then Rfview_analysis.Sanitize.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      if sanitize && not sanitize_was then Rfview_analysis.Sanitize.disable ())
+  @@ fun () ->
   let db = Db.create () in
   let cache = Cache.create ~capacity:4 db in
   List.iter (fun sql -> ignore (Db.exec db sql)) setup_sql;

@@ -40,9 +40,20 @@ type report = {
 }
 
 (** Run one stream; [inject] arms one fault site for the whole run
-    (always disarmed again on exit).
-    @raise Divergence on any consistency violation. *)
-val run : ?config:config -> ?inject:string * Rfview_engine.Fault.policy -> unit -> report
+    (always disarmed again on exit).  [sanitize] enables the
+    differential sanitizer ({!Rfview_analysis.Sanitize}) for the run:
+    every query the harness executes — cache probes, view recomputation
+    checks, heal reads — then has each sub-plan's concrete relation
+    checked against the abstract interpreter's state.
+    @raise Divergence on any consistency violation.
+    @raise Rfview_analysis.Sanitize.Disagreement
+      on any abstract/concrete mismatch (with [sanitize]). *)
+val run :
+  ?config:config ->
+  ?inject:string * Rfview_engine.Fault.policy ->
+  ?sanitize:bool ->
+  unit ->
+  report
 
 (** {1 Crash-recovery chaos}
 

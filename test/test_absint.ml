@@ -1,0 +1,409 @@
+(* Tests of the abstract interpreter (lib/analysis/absint.ml) and its
+   domains: interval/cardinality lattice laws and widening, transfer
+   golden cases over bound plans with known table contents, RF201-RF204
+   firing AND non-firing cases, the differential sanitizer over the
+   example corpus and a sanitized chaos seed matrix, and the registry
+   sync check (every RFxxx code mentioned in lib/analysis sources is
+   registered, and every registered code is documented in DESIGN.md). *)
+
+open Rfview_relalg
+module A = Rfview_analysis
+module Domain = A.Domain
+module Absint = A.Absint
+module Diagnostic = A.Diagnostic
+module Sanitize = A.Sanitize
+module Itv = Domain.Itv
+module Card = Domain.Card
+module B3 = Domain.B3
+module Null = Domain.Null
+module P = Rfview_planner
+module Logical = Rfview_planner.Logical
+module Db = Rfview_engine.Database
+module Chaos = Rfview_workload.Chaos
+module Core = Rfview_core
+
+(* ---- Fixtures ---- *)
+
+let db3 () =
+  let db = Db.create () in
+  ignore (Db.exec db "CREATE TABLE a (x INT, u INT)");
+  ignore (Db.exec db "CREATE TABLE seq (pos INT, val FLOAT)");
+  ignore (Db.exec db "INSERT INTO a VALUES (1, 10), (2, 20), (3, 30)");
+  ignore (Db.exec db "INSERT INTO seq VALUES (1, 1.5), (2, 2.5), (3, 3.5)");
+  db
+
+let env_of db =
+  let cat = Db.catalog_view db in
+  fun name ->
+    try Some (cat.Rfview_planner.Physical.table_contents name) with _ -> None
+
+let bind db sql =
+  P.Binder.bind_query (Db.binder_catalog db) (Rfview_sql.Parser.query sql)
+
+(* Repo-root-relative paths work both under `dune runtest` (cwd is the
+   sandboxed test/ directory, whose parent holds the declared deps) and
+   under a bare `dune exec test/...` from the checkout root. *)
+let at_root f = if Sys.file_exists f then f else Filename.concat ".." f
+
+let analyze db sql = Absint.analyze ~env:(env_of db) (bind db sql)
+let codes ds = List.sort_uniq compare (List.map (fun d -> d.Diagnostic.code) ds)
+let diag_codes db sql = codes (Absint.diagnostics ~env:(env_of db) (bind db sql))
+
+let itv =
+  Alcotest.testable
+    (fun ppf t -> Format.pp_print_string ppf (Itv.to_string t))
+    Itv.equal
+
+let card =
+  Alcotest.testable
+    (fun ppf t -> Format.pp_print_string ppf (Card.to_string t))
+    Card.equal
+
+(* ---- Domains ---- *)
+
+let test_itv_lattice () =
+  let i a b = Itv.of_bounds a b in
+  Alcotest.check itv "join" (i 0. 10.) (Itv.join (i 0. 3.) (i 7. 10.));
+  Alcotest.check itv "meet" (i 2. 3.) (Itv.meet (i 0. 3.) (i 2. 10.));
+  Alcotest.check itv "empty meet is bot" Itv.bot (Itv.meet (i 0. 1.) (i 2. 3.));
+  Alcotest.check itv "bot absorbs join" (i 1. 2.) (Itv.join Itv.bot (i 1. 2.));
+  Alcotest.(check bool) "leq" true (Itv.leq (i 1. 2.) (i 0. 3.));
+  Alcotest.(check bool) "not leq" false (Itv.leq (i 0. 3.) (i 1. 2.))
+
+let test_itv_widen () =
+  let i a b = Itv.of_bounds a b in
+  (* a grown bound jumps to infinity; a stable one is kept *)
+  Alcotest.check itv "upper widens" (i 0. infinity) (Itv.widen (i 0. 5.) (i 0. 10.));
+  Alcotest.check itv "lower widens" (i neg_infinity 5.) (Itv.widen (i 0. 5.) (i (-1.) 5.));
+  Alcotest.check itv "stable is fixed" (i 0. 5.) (Itv.widen (i 0. 5.) (i 0. 5.));
+  (* any ascending chain stabilizes after widening *)
+  let w = Itv.widen (i 0. 5.) (i (-3.) 9.) in
+  Alcotest.check itv "stabilized" w (Itv.widen w (Itv.join w (i (-100.) 100.)))
+
+let test_itv_arith () =
+  let i a b = Itv.of_bounds a b in
+  Alcotest.check itv "add" (i 3. 7.) (Itv.add (i 1. 3.) (i 2. 4.));
+  Alcotest.check itv "mul signs" (i (-8.) 12.) (Itv.mul (i (-2.) 3.) (i 2. 4.));
+  Alcotest.(check bool) "div by zero-straddling is wide" true
+    (Itv.contains (Itv.div (i 1. 1.) (i (-1.) 1.)) 1000.);
+  (* the interval constrains non-NULL results only, so the hull starts
+     at one summand even when zero rows are possible (SUM of none = NULL) *)
+  Alcotest.check itv "sum_n hull" (i 1. 30.)
+    (Itv.sum_n (i 1. 10.) ~lo:0 ~hi:(Some 3));
+  Alcotest.(check bool) "sum_n unbounded" true
+    (Itv.contains (Itv.sum_n (i 1. 10.) ~lo:1 ~hi:None) 1e12)
+
+let test_card () =
+  Alcotest.check card "join" (Card.of_bounds 1 (Some 5))
+    (Card.join (Card.exact 1) (Card.exact 5));
+  Alcotest.check card "widen grows to top" (Card.of_bounds 0 None)
+    (Card.widen (Card.of_bounds 1 (Some 2)) (Card.of_bounds 0 (Some 3)));
+  Alcotest.check card "mul" (Card.of_bounds 2 (Some 12))
+    (Card.mul (Card.of_bounds 1 (Some 3)) (Card.of_bounds 2 (Some 4)));
+  Alcotest.check card "cap" (Card.of_bounds 1 (Some 2))
+    (Card.cap (Card.of_bounds 1 (Some 9)) 2);
+  Alcotest.(check bool) "contains" true (Card.contains Card.top 17)
+
+let test_b3 () =
+  Alcotest.(check bool) "const true can't be false" false (B3.const true).B3.can_f;
+  Alcotest.(check bool) "not3 flips" true (B3.not3 (B3.const true)).B3.can_f;
+  (* Kleene AND: false dominates NULL *)
+  let a = B3.and3 (B3.const false) B3.null in
+  Alcotest.(check bool) "false AND null is false" true
+    (a.B3.can_f && (not a.B3.can_t) && not a.B3.can_null);
+  Alcotest.(check bool) "never_true" true (B3.never_true (B3.const false));
+  Alcotest.(check bool) "top may be true" false (B3.never_true B3.top)
+
+let test_abstraction_roundtrip () =
+  let db = db3 () in
+  let r = Db.query db "SELECT x, u FROM a ORDER BY x" in
+  let abs = Domain.abstract_relation r in
+  Alcotest.(check bool) "exact abstraction contains its relation" true
+    (Result.is_ok (Domain.check_relation abs r));
+  (* shrink the first column's interval: the check must name a violation *)
+  let narrowed =
+    { abs with
+      Domain.cols =
+        Array.mapi
+          (fun i c ->
+            if i = 0 then { c with Domain.av = { c.Domain.av with Domain.itv = Itv.const 1. } }
+            else c)
+          abs.Domain.cols }
+  in
+  Alcotest.(check bool) "violation detected" true
+    (Result.is_error (Domain.check_relation narrowed r))
+
+let test_seqfact () =
+  let frame = Core.Frame.sliding ~l:1 ~h:1 in
+  let lo, hi = Core.Seqdata.complete_range frame ~n:5 in
+  let seq =
+    Core.Seqdata.make frame Core.Agg.Sum ~n:5 ~lo
+      (Array.init (hi - lo + 1) float_of_int)
+  in
+  let f = Domain.Seqfact.of_seq seq in
+  Alcotest.(check bool) "complete" true f.Domain.Seqfact.complete;
+  Alcotest.(check bool) "header" true (Domain.Seqfact.header_covered f);
+  Alcotest.(check bool) "trailer" true (Domain.Seqfact.trailer_covered f);
+  Alcotest.(check int) "n" 5 f.Domain.Seqfact.n
+
+(* ---- Transfer golden cases (known table contents) ---- *)
+
+let test_transfer_scan_project () =
+  let db = db3 () in
+  let abs = analyze db "SELECT x + u AS s FROM a" in
+  Alcotest.check card "rows exact" (Card.exact 3) abs.Domain.rows;
+  let c = abs.Domain.cols.(0) in
+  Alcotest.check itv "x+u hull" (Itv.of_bounds 11. 33.) c.Domain.av.Domain.itv;
+  Alcotest.(check bool) "never null" true (c.Domain.av.Domain.null = Null.Never)
+
+let test_transfer_filter_refines () =
+  let db = db3 () in
+  let abs = analyze db "SELECT x FROM a WHERE x >= 2" in
+  (* the predicate refines the column interval and relaxes the row floor *)
+  let c = abs.Domain.cols.(0) in
+  Alcotest.check itv "interval refined to [2,3]" (Itv.of_bounds 2. 3.)
+    c.Domain.av.Domain.itv;
+  Alcotest.check card "rows [0,3]" (Card.of_bounds 0 (Some 3)) abs.Domain.rows
+
+let test_transfer_aggregate () =
+  let db = db3 () in
+  let abs = analyze db "SELECT SUM(u) AS s FROM a" in
+  Alcotest.check card "one group" (Card.exact 1) abs.Domain.rows;
+  let c = abs.Domain.cols.(0) in
+  Alcotest.(check bool) "concrete 60 inside" true
+    (Itv.contains c.Domain.av.Domain.itv 60.)
+
+let test_transfer_window_cumsum () =
+  let db = db3 () in
+  let abs =
+    analyze db
+      "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS UNBOUNDED PRECEDING) AS s \
+       FROM seq ORDER BY pos"
+  in
+  let s = abs.Domain.cols.(1) in
+  (* concrete running totals are 1.5, 4.0, 7.5 — all inside the hull *)
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%g inside" v)
+        true
+        (Itv.contains s.Domain.av.Domain.itv v))
+    [ 1.5; 4.0; 7.5 ];
+  Alcotest.(check bool) "never null" true (s.Domain.av.Domain.null = Null.Never)
+
+let test_transfer_union_limit () =
+  let db = db3 () in
+  let abs = analyze db "SELECT x FROM a UNION ALL SELECT x FROM a" in
+  Alcotest.check card "union adds" (Card.exact 6) abs.Domain.rows;
+  let abs = analyze db "SELECT x FROM a LIMIT 2" in
+  Alcotest.check card "limit caps" (Card.exact 2) abs.Domain.rows
+
+(* ---- RF2xx diagnostics: firing and non-firing ---- *)
+
+let test_rf201 () =
+  let db = db3 () in
+  Alcotest.(check (list string)) "contradictory conjuncts fire" [ "RF201" ]
+    (diag_codes db "SELECT x FROM a WHERE x > 5 AND x < 3");
+  Alcotest.(check (list string)) "constant-false fires" [ "RF201" ]
+    (diag_codes db "SELECT x FROM a WHERE 1 = 2");
+  Alcotest.(check (list string)) "satisfiable is quiet" []
+    (diag_codes db "SELECT x FROM a WHERE x > 1 AND x < 3");
+  (* the statically-empty branch also pins the row count to zero *)
+  let abs = analyze db "SELECT x FROM a WHERE x > 5 AND x < 3" in
+  Alcotest.check card "empty rows" Card.zero abs.Domain.rows
+
+let test_rf202 () =
+  let db = db3 () in
+  Alcotest.(check (list string)) "x / 0 fires" [ "RF202" ]
+    (diag_codes db "SELECT x / 0 AS q FROM a");
+  Alcotest.(check (list string)) "x / 2 is quiet" []
+    (diag_codes db "SELECT x / 2 AS q FROM a");
+  (* a zero-straddling non-constant divisor is possible, not guaranteed *)
+  Alcotest.(check (list string)) "x / (u - 20) is quiet" []
+    (diag_codes db "SELECT x / (u - 20) AS q FROM a")
+
+let test_rf203 () =
+  (* a column whose every stored value is NULL abstracts to
+     [Null.Always]; SUM over it warns, COUNT does not *)
+  let schema =
+    Schema.make [ Schema.column "x" Dtype.Int; Schema.column "n" Dtype.Int ]
+  in
+  let rel =
+    Relation.make schema
+      [ [| Value.Int 1; Value.Null |]; [| Value.Int 2; Value.Null |] ]
+  in
+  let env name = if name = "t" then Some rel else None in
+  let scan = Logical.Scan { table = "t"; schema } in
+  let agg kind arg =
+    Logical.Aggregate
+      { input = scan; group = []; aggs = [ { Groupop.kind; arg; name = "s" } ] }
+  in
+  Alcotest.(check (list string)) "SUM over always-NULL fires" [ "RF203" ]
+    (codes (Absint.diagnostics ~env (agg Aggregate.Sum (Expr.Col 1))));
+  Alcotest.(check (list string)) "COUNT over always-NULL is quiet" []
+    (codes (Absint.diagnostics ~env (agg Aggregate.Count (Expr.Col 1))));
+  Alcotest.(check (list string)) "SUM over a live column is quiet" []
+    (codes (Absint.diagnostics ~env (agg Aggregate.Sum (Expr.Col 0))))
+
+let test_rf204 () =
+  let db = Db.create () in
+  ignore (Db.exec db "CREATE TABLE big (pos INT, v INT)");
+  ignore
+    (Db.exec db
+       "INSERT INTO big VALUES (1, 4503599627370496), (2, 4503599627370496), \
+        (3, 4503599627370496)");
+  (* 3 summands of 2^52 provably exceed 2^53 *)
+  Alcotest.(check (list string)) "huge SUM fires" [ "RF204" ]
+    (diag_codes db "SELECT SUM(v) AS s FROM big");
+  Alcotest.(check (list string)) "huge cumulative window fires" [ "RF204" ]
+    (diag_codes db
+       "SELECT pos, SUM(v) OVER (ORDER BY pos ROWS UNBOUNDED PRECEDING) AS s \
+        FROM big");
+  let db3 = db3 () in
+  Alcotest.(check (list string)) "small SUM is quiet" []
+    (diag_codes db3 "SELECT SUM(u) AS s FROM a")
+
+let test_report_and_annotate () =
+  let db = db3 () in
+  let r = Absint.report ~env:(env_of db) (bind db "SELECT x FROM a WHERE x > 1") in
+  Alcotest.(check bool) "report names the column" true
+    (String.length r > 0 && String.sub r 0 1 <> " ");
+  let states, diags = Absint.annotate ~env:(env_of db) (bind db "SELECT x FROM a") in
+  Alcotest.(check bool) "root first" true
+    (match states with (path, _) :: _ -> String.length path > 0 | [] -> false);
+  Alcotest.(check int) "clean plan, no diagnostics" 0 (List.length diags)
+
+(* ---- The differential sanitizer ---- *)
+
+let test_sanitizer_corpus () =
+  let was = Sanitize.enabled () in
+  Sanitize.enable ();
+  Fun.protect ~finally:(fun () -> if not was then Sanitize.disable ()) @@ fun () ->
+  let before = Sanitize.checks_run () in
+  let run file =
+    let db = Db.create () in
+    let sql = In_channel.with_open_text file In_channel.input_all in
+    Rfview_sql.Parser.statements sql
+    |> List.iter (fun stmt -> ignore (Db.exec_statement db stmt))
+  in
+  List.iter
+    (fun f -> run (at_root (Filename.concat "examples/sql" f)))
+    [ "quickstart.sql"; "credit_analysis.sql"; "view_derivation.sql";
+      "derivability.sql" ];
+  Alcotest.(check bool) "sanitizer actually ran" true
+    (Sanitize.checks_run () - before > 50)
+
+let test_sanitizer_chaos_matrix () =
+  (* 10 seeds; any abstract/concrete disagreement raises and fails *)
+  let before = Sanitize.checks_run () in
+  for seed = 1 to 10 do
+    let r =
+      Chaos.run ~config:{ Chaos.default_config with seed; ops = 40 } ~sanitize:true ()
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d ran" seed)
+      true (r.Chaos.statements = 40)
+  done;
+  Alcotest.(check bool) "sanitizer covered the chaos queries" true
+    (Sanitize.checks_run () - before > 100);
+  Alcotest.(check bool) "sanitizer left disabled" false (Sanitize.enabled ())
+
+(* ---- Registry sync: sources, registry, DESIGN.md ---- *)
+
+(* Every "RFxxx" string occurring in lib/analysis sources (emission
+   sites, comments, registry) must be a registered code, and every
+   registered code must appear in DESIGN.md and in the generated
+   markdown table. *)
+let scan_codes text =
+  let out = ref [] in
+  let n = String.length text in
+  for i = 0 to n - 5 do
+    if
+      text.[i] = 'R' && text.[i + 1] = 'F'
+      && (i = 0 || not (Char.uppercase_ascii text.[i - 1] = text.[i - 1]
+                        && text.[i - 1] >= 'A' && text.[i - 1] <= 'Z'))
+    then
+      let d j = text.[i + 2 + j] >= '0' && text.[i + 2 + j] <= '9' in
+      if d 0 && d 1 && d 2 && (i + 5 >= n || not (text.[i + 5] >= '0' && text.[i + 5] <= '9'))
+      then out := String.sub text i 5 :: !out
+  done;
+  List.sort_uniq compare !out
+
+let read_file f = In_channel.with_open_text f In_channel.input_all
+
+let test_registry_sync () =
+  let registered = List.map (fun i -> i.Diagnostic.r_code) Diagnostic.registry in
+  (* the new RF2xx family is registered with explanations *)
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (c ^ " registered") true (List.mem c registered);
+      Alcotest.(check bool)
+        (c ^ " explained")
+        true
+        (String.length (Diagnostic.explain c) > 0))
+    [ "RF201"; "RF202"; "RF203"; "RF204" ];
+  (* every code mentioned anywhere in lib/analysis is registered *)
+  let src_dir = at_root "lib/analysis" in
+  let sources =
+    Sys.readdir src_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli")
+  in
+  Alcotest.(check bool) "analysis sources visible" true (List.length sources > 5);
+  List.iter
+    (fun f ->
+      let mentioned = scan_codes (read_file (Filename.concat src_dir f)) in
+      List.iter
+        (fun c ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s mentioned in %s is registered" c f)
+            true (List.mem c registered))
+        mentioned)
+    sources;
+  (* every registered code is documented: DESIGN.md + generated table *)
+  let design = read_file (at_root "DESIGN.md") in
+  let table = Diagnostic.registry_markdown () in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (c ^ " in DESIGN.md") true
+        (List.mem c (scan_codes design));
+      Alcotest.(check bool) (c ^ " in --codes-md table") true
+        (List.mem c (scan_codes table)))
+    registered
+
+let () =
+  Alcotest.run "absint"
+    [
+      ( "domain",
+        [
+          Alcotest.test_case "interval lattice" `Quick test_itv_lattice;
+          Alcotest.test_case "interval widening" `Quick test_itv_widen;
+          Alcotest.test_case "interval arithmetic" `Quick test_itv_arith;
+          Alcotest.test_case "cardinality" `Quick test_card;
+          Alcotest.test_case "three-valued booleans" `Quick test_b3;
+          Alcotest.test_case "abstraction round trip" `Quick test_abstraction_roundtrip;
+          Alcotest.test_case "sequence facts" `Quick test_seqfact;
+        ] );
+      ( "transfer",
+        [
+          Alcotest.test_case "scan + project" `Quick test_transfer_scan_project;
+          Alcotest.test_case "filter refinement" `Quick test_transfer_filter_refines;
+          Alcotest.test_case "aggregate" `Quick test_transfer_aggregate;
+          Alcotest.test_case "cumulative window" `Quick test_transfer_window_cumsum;
+          Alcotest.test_case "union + limit" `Quick test_transfer_union_limit;
+          Alcotest.test_case "report + annotate" `Quick test_report_and_annotate;
+        ] );
+      ( "rf2xx",
+        [
+          Alcotest.test_case "RF201 empty predicate" `Quick test_rf201;
+          Alcotest.test_case "RF202 division by zero" `Quick test_rf202;
+          Alcotest.test_case "RF203 NULL-poisoned aggregate" `Quick test_rf203;
+          Alcotest.test_case "RF204 overflow risk" `Quick test_rf204;
+        ] );
+      ( "sanitizer",
+        [
+          Alcotest.test_case "example corpus" `Quick test_sanitizer_corpus;
+          Alcotest.test_case "chaos seed matrix" `Slow test_sanitizer_chaos_matrix;
+        ] );
+      ( "registry",
+        [ Alcotest.test_case "sources/registry/docs in sync" `Quick test_registry_sync ] );
+    ]

@@ -1,0 +1,330 @@
+(* Tests of the derivability certificates (lib/analysis/cert.ml): golden
+   boundary cases where the certificate verdict must match the runtime
+   Derive/MaxOA outcome exactly (delta_l = 0 identity, residue limits,
+   shrinking windows, empty sequences, i_up cut-offs), the exhaustive
+   cert<->runtime equivalence matrix, the Advisor integration (a rewrite
+   fires only with a valid certificate), and the Binder's
+   statement-position diagnostics. *)
+
+module Core = Rfview_core
+module Cert = Rfview_analysis.Cert
+module Frame = Core.Frame
+module Agg = Core.Agg
+module Derive = Core.Derive
+module Seqdata = Core.Seqdata
+module P = Rfview_planner
+module Db = Rfview_engine.Database
+module Advisor = Rfview_engine.Advisor
+
+let sliding l h = Frame.sliding ~l ~h
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* A complete materialized sequence for [frame] over n raw positions. *)
+let mk_seq frame agg n =
+  let lo, hi = Seqdata.complete_range frame ~n in
+  Seqdata.make frame agg ~n ~lo
+    (Array.init (hi - lo + 1) (fun i -> float_of_int ((i * 3) mod 7)))
+
+let runtime_ok strategy view query_frame =
+  match Derive.run strategy view query_frame with
+  | _ -> true
+  | exception _ -> false
+
+let check_golden ~name ~view_frame ~view_agg ~n ~query_frame strategy expected =
+  let view = mk_seq view_frame view_agg n in
+  let cert = Cert.certify_seq view ~query_frame strategy in
+  Alcotest.(check bool) (name ^ ": certificate verdict") expected (Cert.valid cert);
+  Alcotest.(check bool) (name ^ ": runtime agrees") expected
+    (runtime_ok strategy view query_frame);
+  (* a rejected certificate names at least one failed obligation *)
+  if not expected then
+    Alcotest.(check bool) (name ^ ": a FAIL obligation is printed") true
+      (List.exists (fun o -> not o.Cert.ob_holds) cert.Cert.obligations)
+
+(* ---- Golden boundary cases (paper §3-§5) ---- *)
+
+let test_golden_copy_identity () =
+  (* delta_l = delta_h = 0: plain copy, and MaxOA degenerates to it *)
+  check_golden ~name:"copy (1,1)->(1,1)" ~view_frame:(sliding 1 1)
+    ~view_agg:Agg.Sum ~n:6 ~query_frame:(sliding 1 1) Derive.Copy true;
+  check_golden ~name:"MaxOA at delta_l=0" ~view_frame:(sliding 1 1)
+    ~view_agg:Agg.Sum ~n:6 ~query_frame:(sliding 1 1) Derive.Max_overlap true;
+  check_golden ~name:"copy frames differ" ~view_frame:(sliding 1 1)
+    ~view_agg:Agg.Sum ~n:6 ~query_frame:(sliding 2 1) Derive.Copy false
+
+let test_golden_from_cumulative () =
+  (* §3.1 difference rule: any sliding SUM from the cumulative view *)
+  check_golden ~name:"cumulative -> (3,2)" ~view_frame:Frame.Cumulative
+    ~view_agg:Agg.Sum ~n:8 ~query_frame:(sliding 3 2) Derive.From_cumulative true;
+  check_golden ~name:"sliding view rejected" ~view_frame:(sliding 1 1)
+    ~view_agg:Agg.Sum ~n:8 ~query_frame:(sliding 3 2) Derive.From_cumulative false;
+  check_golden ~name:"MIN is not invertible" ~view_frame:Frame.Cumulative
+    ~view_agg:Agg.Min ~n:8 ~query_frame:(sliding 3 2) Derive.From_cumulative false
+
+let test_golden_maxoa_residues () =
+  (* §5: the left residue needs delta_p = 1 + lx + hx - delta_l >= 1 *)
+  check_golden ~name:"MaxOA delta_l = lx+hx (boundary, delta_p = 1)"
+    ~view_frame:(sliding 1 1) ~view_agg:Agg.Sum ~n:8 ~query_frame:(sliding 3 1)
+    Derive.Max_overlap true;
+  (* statically rejected rewrite #1: one past the residue boundary *)
+  check_golden ~name:"MaxOA delta_l = lx+hx+1 (delta_p = 0)"
+    ~view_frame:(sliding 1 1) ~view_agg:Agg.Sum ~n:8 ~query_frame:(sliding 4 1)
+    Derive.Max_overlap false;
+  (* statically rejected rewrite #2: MaxOA never shrinks a window *)
+  check_golden ~name:"MaxOA shrink (delta_l < 0)" ~view_frame:(sliding 1 1)
+    ~view_agg:Agg.Sum ~n:8 ~query_frame:(sliding 0 1) Derive.Max_overlap false;
+  (* the right residue mirrors the left one *)
+  check_golden ~name:"MaxOA delta_h = hx+lx (boundary)" ~view_frame:(sliding 1 1)
+    ~view_agg:Agg.Sum ~n:8 ~query_frame:(sliding 1 3) Derive.Max_overlap true;
+  check_golden ~name:"MaxOA delta_h = hx+lx+1" ~view_frame:(sliding 1 1)
+    ~view_agg:Agg.Sum ~n:8 ~query_frame:(sliding 1 4) Derive.Max_overlap false
+
+let test_golden_minoa () =
+  (* MinOA inverts SUM: growth and shrink alike, any deltas *)
+  check_golden ~name:"MinOA grows" ~view_frame:(sliding 1 1) ~view_agg:Agg.Sum
+    ~n:8 ~query_frame:(sliding 4 3) Derive.Min_overlap true;
+  check_golden ~name:"MinOA shrinks" ~view_frame:(sliding 2 2) ~view_agg:Agg.Sum
+    ~n:8 ~query_frame:(sliding 0 0) Derive.Min_overlap true;
+  check_golden ~name:"MinOA needs SUM" ~view_frame:(sliding 1 1)
+    ~view_agg:Agg.Max ~n:8 ~query_frame:(sliding 2 1) Derive.Min_overlap false;
+  (* i_up cut-off boundary: the derivation must stay inside the stored
+     range right where i_up = ceil((k + hy) / wx) tops out at the last
+     stored position — exercised with the widest derivable query *)
+  check_golden ~name:"MinOA i_up at the stored end" ~view_frame:(sliding 1 1)
+    ~view_agg:Agg.Sum ~n:5 ~query_frame:(sliding 4 4) Derive.Min_overlap true
+
+let test_golden_minmax_coverage () =
+  (* §4.2 coverage: delta_l + delta_h <= lx + hx, both non-negative *)
+  check_golden ~name:"minmax covered" ~view_frame:(sliding 2 1) ~view_agg:Agg.Min
+    ~n:8 ~query_frame:(sliding 3 2) Derive.Max_overlap_minmax true;
+  check_golden ~name:"minmax at the coverage boundary" ~view_frame:(sliding 2 1)
+    ~view_agg:Agg.Max ~n:8 ~query_frame:(sliding 4 2) Derive.Max_overlap_minmax
+    true;
+  check_golden ~name:"minmax one past coverage" ~view_frame:(sliding 2 1)
+    ~view_agg:Agg.Min ~n:8 ~query_frame:(sliding 4 3) Derive.Max_overlap_minmax
+    false;
+  check_golden ~name:"minmax rejects SUM views" ~view_frame:(sliding 2 1)
+    ~view_agg:Agg.Sum ~n:8 ~query_frame:(sliding 3 2) Derive.Max_overlap_minmax
+    false
+
+let test_golden_empty_sequence () =
+  (* n = 0: every strategy's verdict still matches the runtime *)
+  List.iter
+    (fun s ->
+      check_golden
+        ~name:(Derive.strategy_name s ^ " on empty view")
+        ~view_frame:(sliding 1 1) ~view_agg:Agg.Sum ~n:0
+        ~query_frame:(sliding 2 1) s
+        (match s with Derive.Min_overlap | Derive.Max_overlap -> true | _ -> false))
+    Derive.[ Copy; From_cumulative; Min_overlap; Max_overlap; Max_overlap_minmax ]
+
+(* ---- The defining property, exhaustively ----
+
+   valid (certify_seq view ~query_frame s)  iff  Derive.run s view
+   query_frame succeeds, over every (n, view frame, aggregate, query
+   frame, strategy) in a grid that crosses all residue and coverage
+   boundaries. *)
+
+let test_equivalence_matrix () =
+  let frames =
+    Frame.Cumulative
+    :: List.concat_map
+         (fun l -> List.map (fun h -> sliding l h) [ 0; 1; 2; 4 ])
+         [ 0; 1; 2; 4 ]
+  in
+  let strategies =
+    Derive.[ Copy; From_cumulative; Min_overlap; Max_overlap; Max_overlap_minmax ]
+  in
+  let total = ref 0 in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun vf ->
+          List.iter
+            (fun agg ->
+              let view = mk_seq vf agg n in
+              List.iter
+                (fun qf ->
+                  List.iter
+                    (fun s ->
+                      incr total;
+                      let cert = Cert.certify_seq view ~query_frame:qf s in
+                      let ok = runtime_ok s view qf in
+                      if Cert.valid cert <> ok then
+                        Alcotest.failf
+                          "certificate disagrees with runtime: n=%d %s view %s %s \
+                           -> query %s: cert=%b run=%b\n%s"
+                          n (Derive.strategy_name s) (Agg.name agg)
+                          (Frame.to_string vf) (Frame.to_string qf)
+                          (Cert.valid cert) ok (Cert.to_string cert))
+                    strategies)
+                frames)
+            [ Agg.Sum; Agg.Min; Agg.Max ])
+        frames)
+    [ 0; 1; 5 ];
+  Alcotest.(check bool) "matrix is large" true (!total > 10_000)
+
+(* ---- Frame-level certification (no sequence at hand) ---- *)
+
+let test_certify_without_fact () =
+  (* without a Seqfact, completeness is an assumption recorded on the
+     certificate, not a checked fact *)
+  let c =
+    Cert.certify ~view_frame:(sliding 1 1) ~view_agg:Agg.Sum
+      ~query_frame:(sliding 2 1) Derive.Max_overlap
+  in
+  Alcotest.(check bool) "valid" true (Cert.valid c);
+  Alcotest.(check bool) "completeness assumption recorded" true
+    (List.exists
+       (fun o -> o.Cert.ob_holds && contains_sub o.Cert.ob_detail "assumed")
+       c.Cert.obligations)
+
+let test_candidates_order_and_best () =
+  let cands =
+    Cert.candidates ~view_frame:Frame.Cumulative ~view_agg:Agg.Sum
+      ~query_frame:(sliding 2 1) ()
+  in
+  Alcotest.(check int) "all five strategies reported" 5 (List.length cands);
+  (match Cert.best ~view_frame:Frame.Cumulative ~view_agg:Agg.Sum
+           ~query_frame:(sliding 2 1) () with
+   | Some c ->
+     Alcotest.(check bool) "best is the difference rule" true
+       (c.Cert.strategy = Derive.From_cumulative)
+   | None -> Alcotest.fail "a valid candidate exists");
+  Alcotest.(check bool) "no candidate for an impossible pair" true
+    (Cert.best ~view_frame:(sliding 1 1) ~view_agg:Agg.Min
+       ~query_frame:(sliding 4 4) () = None)
+
+(* ---- Advisor integration: rewrites fire only with a certificate ---- *)
+
+let seq_db () =
+  let db = Db.create () in
+  ignore (Db.exec db "CREATE TABLE t (pos INT, val FLOAT)");
+  ignore
+    (Db.exec db
+       "INSERT INTO t VALUES (1, 3), (2, 1), (3, 4), (4, 1), (5, 5), (6, 9), \
+        (7, 2), (8, 6)");
+  ignore
+    (Db.exec db
+       "CREATE MATERIALIZED VIEW v11 AS SELECT pos, SUM(val) OVER (ORDER BY pos \
+        ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS s FROM t");
+  ignore
+    (Db.exec db
+       "CREATE MATERIALIZED VIEW vmin21 AS SELECT pos, MIN(val) OVER (ORDER BY \
+        pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS m FROM t");
+  db
+
+let query sql = Rfview_sql.Parser.query sql
+
+let test_advisor_proposals_carry_certificates () =
+  let db = seq_db () in
+  let props =
+    Advisor.proposals db
+      (query
+         "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 PRECEDING AND \
+          1 FOLLOWING) AS s FROM t ORDER BY pos")
+  in
+  Alcotest.(check bool) "a derivation is proposed" true (List.length props > 0);
+  List.iter
+    (fun (p, _, _) ->
+      Alcotest.(check bool)
+        ("proposal " ^ Derive.strategy_name p.Advisor.strategy ^ " is certified")
+        true
+        (Cert.valid p.Advisor.certificate))
+    props
+
+let test_advisor_rejects_uncertified () =
+  let db = seq_db () in
+  (* the MIN view matches the query's spec, but (4,3) exceeds the §4.2
+     coverage bound lx+hx = 3 and MIN is not invertible: no proposal,
+     and every candidate certificate is rejected *)
+  let q =
+    query
+      "SELECT pos, MIN(val) OVER (ORDER BY pos ROWS BETWEEN 4 PRECEDING AND 3 \
+       FOLLOWING) AS m FROM t ORDER BY pos"
+  in
+  Alcotest.(check int) "no proposal" 0 (List.length (Advisor.proposals db q));
+  let certs = Advisor.certificates db q in
+  Alcotest.(check bool) "candidates are still reported" true
+    (List.length certs > 0);
+  List.iter
+    (fun (_view, cs) ->
+      List.iter
+        (fun c ->
+          Alcotest.(check bool) "every candidate rejected" false (Cert.valid c))
+        cs)
+    certs
+
+let test_advisor_answer_matches_native () =
+  let db = seq_db () in
+  let sql =
+    "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 \
+     FOLLOWING) AS s FROM t ORDER BY pos"
+  in
+  match Advisor.answer db (query sql) with
+  | None -> Alcotest.fail "expected a certified derivation"
+  | Some (derived, p) ->
+    Alcotest.(check bool) "certificate valid" true (Cert.valid p.Advisor.certificate);
+    let native = Db.query db sql in
+    Alcotest.(check bool) "derived answer equals native execution" true
+      (Rfview_relalg.Relation.equal_ordered derived native)
+
+(* ---- Binder statement-position diagnostics ---- *)
+
+let test_binder_statement_position () =
+  let db = Db.create () in
+  ignore (Db.exec db "CREATE TABLE a (x INT, u INT)");
+  let cat = Db.binder_catalog db in
+  let q = Rfview_sql.Parser.query "SELECT nope FROM a" in
+  (match P.Binder.bind_query ~stmt:3 cat q with
+   | exception P.Binder.Bind_error m ->
+     Alcotest.(check bool) "message carries the statement index" true
+       (String.length m >= 12 && String.sub m 0 12 = "statement 3:")
+   | _ -> Alcotest.fail "expected a bind error");
+  (* without ~stmt the message is unprefixed (interactive callers) *)
+  match P.Binder.bind_query cat q with
+  | exception P.Binder.Bind_error m ->
+    Alcotest.(check bool) "no index without ~stmt" false
+      (String.length m >= 9 && String.sub m 0 9 = "statement")
+  | _ -> Alcotest.fail "expected a bind error"
+
+let () =
+  Alcotest.run "cert"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "copy identity" `Quick test_golden_copy_identity;
+          Alcotest.test_case "cumulative difference" `Quick
+            test_golden_from_cumulative;
+          Alcotest.test_case "MaxOA residues" `Quick test_golden_maxoa_residues;
+          Alcotest.test_case "MinOA" `Quick test_golden_minoa;
+          Alcotest.test_case "minmax coverage" `Quick test_golden_minmax_coverage;
+          Alcotest.test_case "empty sequences" `Quick test_golden_empty_sequence;
+        ] );
+      ( "equivalence",
+        [ Alcotest.test_case "cert iff runtime" `Slow test_equivalence_matrix ] );
+      ( "frame-level",
+        [
+          Alcotest.test_case "assumed completeness" `Quick test_certify_without_fact;
+          Alcotest.test_case "candidates and best" `Quick
+            test_candidates_order_and_best;
+        ] );
+      ( "advisor",
+        [
+          Alcotest.test_case "proposals carry certificates" `Quick
+            test_advisor_proposals_carry_certificates;
+          Alcotest.test_case "uncertified is rejected" `Quick
+            test_advisor_rejects_uncertified;
+          Alcotest.test_case "derived equals native" `Quick
+            test_advisor_answer_matches_native;
+        ] );
+      ( "binder",
+        [
+          Alcotest.test_case "statement position" `Quick
+            test_binder_statement_position;
+        ] );
+    ]
