@@ -1,4 +1,4 @@
-.PHONY: all build test lint analyze chaos crash-chaos check clean
+.PHONY: all build test lint analyze chaos crash-chaos bench-smoke check clean
 
 all: build
 
@@ -32,7 +32,16 @@ chaos:
 crash-chaos:
 	dune exec test/test_crash.exe
 
-check: build test lint analyze chaos crash-chaos
+# Scaled-down run of the delta-maintenance experiment (batched vs
+# per-row vs full-refresh propagation): asserts the modes agree
+# bit-for-bit, writes BENCH_delta.json, and fails unless the report is
+# well-formed.
+bench-smoke:
+	dune exec bench/main.exe -- delta --smoke
+	@grep -q '"acceptance"' BENCH_delta.json && grep -q '"speedup"' BENCH_delta.json \
+	  && echo "BENCH_delta.json well-formed"
+
+check: build test lint analyze chaos crash-chaos bench-smoke
 
 clean:
 	dune clean

@@ -17,13 +17,21 @@
    setting; the *shape* (who wins, crossovers, super-linear growth of the
    unindexed self join) is what EXPERIMENTS.md records.
 
-   Usage: main.exe [table1|table2|ablations|bechamel|all] [--full]
+   - Delta maintenance: per-row vs batched vs full-refresh view
+     maintenance under bulk inserts (writes BENCH_delta.json).
+
+   Usage: main.exe [table1|table2|ablations|delta|bechamel|all] [--full] [--smoke]
    --full uses the paper's original row counts (slow: the unindexed self
-   join is quadratic). *)
+   join is quadratic); --smoke shrinks the delta experiment to a
+   seconds-long CI check. *)
 
 module Core = Rfview_core
 module Db = Rfview_engine.Database
+module Session = Rfview.Session
+module Fault = Rfview_engine.Fault
 module Seqgen = Rfview_workload.Seqgen
+module Chaos = Rfview_workload.Chaos
+module Prng = Rfview_workload.Prng
 open Rfview_relalg
 
 (* ---- Timing ---- *)
@@ -167,9 +175,16 @@ let run_table2_variant ~sizes ~hash_joins =
       let raw = Core.Seqdata.raw_of_array values in
       let view = Core.Compute.sequence t2_view_frame raw in
       let run variant =
-        let db = Db.create () in
-        Db.set_hash_join db hash_joins;
-        Db.set_index_join db hash_joins;
+        let db =
+          Db.create
+            ~config:
+              {
+                Db.default_config with
+                Db.hash_join = hash_joins;
+                index_join = hash_joins;
+              }
+            ()
+        in
         Seqgen.create_matseq_table ~indexed:true db view;
         let sql = t2_sql variant in
         verify_table2 values (Db.query db sql);
@@ -279,6 +294,229 @@ let run_ablations () =
           "  " ^ fmt_time t_minf; "  " ^ fmt_time t_mine; "  " ^ fmt_time t_re ])
     [ 1; 2; 3 ]
 
+(* ---- Delta maintenance: per-row vs batched vs full refresh ----
+
+   The batched delta engine's experiment: apply B inserts to a base
+   table carrying V materialized sequence views, as (a) B single-row
+   statements (one propagation per view per statement), (b) one
+   [with_batch] scope (one propagation per view per batch), (c) with
+   propagation quarantined and a full REFRESH per view at the end.
+   Strategies (a) and (b) must land on bit-identical states
+   (Chaos.fingerprint); results go to BENCH_delta.json. *)
+
+let delta_view_sqls =
+  [
+    ("v_cum",
+     "CREATE MATERIALIZED VIEW v_cum AS SELECT pos, SUM(val) OVER (ORDER BY \
+      pos ROWS UNBOUNDED PRECEDING) AS s FROM seq");
+    ("v_s21",
+     "CREATE MATERIALIZED VIEW v_s21 AS SELECT pos, SUM(val) OVER (ORDER BY \
+      pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS s FROM seq");
+    ("v_min",
+     "CREATE MATERIALIZED VIEW v_min AS SELECT pos, MIN(val) OVER (ORDER BY \
+      pos ROWS BETWEEN 3 PRECEDING AND CURRENT ROW) AS m FROM seq");
+    ("v_avg",
+     "CREATE MATERIALIZED VIEW v_avg AS SELECT pos, AVG(val) OVER (ORDER BY \
+      pos ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS a FROM seq");
+  ]
+
+(* Integer-valued floats keep every aggregate exact, so per-row and
+   batched maintenance can be compared bit for bit. *)
+let delta_session ~views ~n0 ~seed =
+  let s = Session.open_in_memory () in
+  let db = Session.database s in
+  ignore (Db.exec db "CREATE TABLE seq (pos INT, val FLOAT)");
+  let rng = Prng.create ~seed in
+  let rows =
+    Array.init n0 (fun i ->
+        [|
+          Value.Int (i + 1);
+          Value.Float (float_of_int (Prng.int_range rng ~lo:(-50) ~hi:50));
+        |])
+  in
+  Db.load_table db ~table:"seq" rows;
+  List.iteri
+    (fun i (_, sql) -> if i < views then ignore (Db.exec db sql))
+    delta_view_sqls;
+  s
+
+(* The same statement stream feeds every strategy. *)
+let delta_inserts ~n0 ~b ~seed =
+  let rng = Prng.create ~seed:(seed * 31 + 7) in
+  List.init b (fun _ ->
+      let pos = Prng.int_range rng ~lo:1 ~hi:(n0 + b) in
+      let v = Prng.int_range rng ~lo:(-50) ~hi:50 in
+      Printf.sprintf "INSERT INTO seq VALUES (%d, %d)" pos v)
+
+(* Best-of-[repeat] wall clock over fresh sessions ([f] mutates state,
+   so each run gets its own); returns one surviving session for the
+   fingerprint comparison. *)
+let delta_time ~repeat setup f =
+  let best = ref infinity in
+  let keep = ref None in
+  for _ = 1 to repeat do
+    let s = setup () in
+    let (), t = time_once (fun () -> f s) in
+    if t < !best then best := t;
+    keep := Some s
+  done;
+  (!best, Option.get !keep)
+
+let run_delta ~smoke =
+  header "Delta maintenance: per-row vs batched vs full refresh";
+  let n0 = if smoke then 300 else 5_000 in
+  let repeat = if smoke then 1 else 3 in
+  let batch_sizes = if smoke then [ 1; 10; 50 ] else [ 1; 10; 100; 1_000 ] in
+  let accept_batch = if smoke then 50 else 1_000 in
+  let fanout_batch = accept_batch in
+  let view_counts = [ 1; 2; 4 ] in
+  Printf.printf
+    "base table: %d rows; views: cumulative SUM, SUM(2,1), MIN(3,0), AVG(1,1)\n\n"
+    n0;
+  let apply_per_row db stmts = List.iter (fun sql -> ignore (Db.exec db sql)) stmts in
+  let apply_batched db stmts =
+    Db.with_batch db (fun () -> List.iter (fun sql -> ignore (Db.exec db sql)) stmts)
+  in
+  let apply_full_refresh db stmts views =
+    (* quarantine the views up front (armed propagation), then one full
+       REFRESH per view at the end — the §2.3 baseline *)
+    Fault.arm "database.propagate_view" Fault.Always;
+    Fun.protect
+      ~finally:(fun () -> Fault.disarm "database.propagate_view")
+      (fun () -> List.iter (fun sql -> ignore (Db.exec db sql)) stmts);
+    List.iteri
+      (fun i (name, _) ->
+        if i < views then
+          ignore (Db.exec db (Printf.sprintf "REFRESH MATERIALIZED VIEW %s" name)))
+      delta_view_sqls
+  in
+  let run_case ~b ~views =
+    let seed = (1_000 * b) + views in
+    let stmts = delta_inserts ~n0 ~b ~seed in
+    let setup () = delta_session ~views ~n0 ~seed in
+    let t_row, s_row =
+      delta_time ~repeat setup (fun s -> apply_per_row (Session.database s) stmts)
+    in
+    let t_batch, s_batch =
+      delta_time ~repeat setup (fun s -> apply_batched (Session.database s) stmts)
+    in
+    let t_full, s_full =
+      delta_time ~repeat setup (fun s ->
+          apply_full_refresh (Session.database s) stmts views)
+    in
+    (* per-row vs batched must be bit-identical, incremental states and
+       all; the full-refresh baseline legitimately drops incremental
+       state (quarantine + REFRESH), so it is compared logically *)
+    let fp_row = Chaos.fingerprint (Session.database s_row) in
+    let fp_batch = Chaos.fingerprint (Session.database s_batch) in
+    if fp_row <> fp_batch then
+      failwith
+        (Printf.sprintf
+           "delta: per-row and batched states differ (B=%d, views=%d)" b views);
+    let logical s =
+      let db = Session.database s in
+      let dump sql = Relation.render (Relation.sorted_by_all (Db.query db sql)) in
+      dump "SELECT * FROM seq"
+      ^ String.concat ""
+          (List.filteri (fun i _ -> i < views) delta_view_sqls
+          |> List.map (fun (name, _) -> dump ("SELECT * FROM " ^ name)))
+    in
+    if logical s_row <> logical s_full then
+      failwith
+        (Printf.sprintf
+           "delta: per-row and full-refresh states differ (B=%d, views=%d)" b
+           views);
+    row_line
+      [ Printf.sprintf "%6d" b; Printf.sprintf "%5d" views;
+        "  " ^ fmt_time t_row; "  " ^ fmt_time t_batch; "  " ^ fmt_time t_full;
+        Printf.sprintf "  %6.1fx" (t_row /. t_batch) ];
+    Printf.printf "%!";
+    (b, views, t_row, t_batch, t_full)
+  in
+  row_line
+    [ Printf.sprintf "%6s" "B"; Printf.sprintf "%5s" "views"; "per-row    ";
+      "  batched    "; "  full refresh"; "  speedup" ];
+  (* left-to-right: batch-size sweep at full fan-out, then fan-out sweep *)
+  let runs_sweep = List.map (fun b -> run_case ~b ~views:4) batch_sizes in
+  let runs_fanout =
+    List.map
+      (fun v -> run_case ~b:fanout_batch ~views:v)
+      (List.filter (fun v -> v <> 4) view_counts)
+  in
+  let runs = runs_sweep @ runs_fanout in
+  (* acceptance: batched >= 5x faster than per-row at the large batch
+     with full view fan-out *)
+  let accept_speedup =
+    match
+      List.find_opt (fun (b, v, _, _, _) -> b = accept_batch && v = 4) runs
+    with
+    | Some (_, _, t_row, t_batch, _) -> t_row /. t_batch
+    | None -> 0.
+  in
+  let required = 5.0 in
+  let pass = (not smoke) && accept_speedup >= required in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"experiment\": \"delta-maintenance\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"mode\": \"%s\",\n" (if smoke then "smoke" else "full"));
+  Buffer.add_string buf (Printf.sprintf "  \"base_rows\": %d,\n" n0);
+  Buffer.add_string buf "  \"runs\": [\n";
+  List.iteri
+    (fun i (b, v, t_row, t_batch, t_full) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"batch\": %d, \"views\": %d, \"per_row_s\": %.6f, \
+            \"batched_s\": %.6f, \"full_refresh_s\": %.6f, \"speedup\": %.2f, \
+            \"identical\": true}%s\n"
+           b v t_row t_batch t_full (t_row /. t_batch)
+           (if i = List.length runs - 1 then "" else ",")))
+    runs;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"acceptance\": {\"batch\": %d, \"views\": 4, \"speedup\": %.2f, \
+        \"required\": %.1f, \"pass\": %b}\n"
+       accept_batch accept_speedup required
+       (if smoke then accept_speedup >= 1.0 else pass));
+  Buffer.add_string buf "}\n";
+  let out = "BENCH_delta.json" in
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  (* well-formedness self-check: reread and verify the keys and brace
+     balance a consumer relies on *)
+  let written =
+    let ic = open_in out in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let balanced =
+    let d = ref 0 in
+    String.iter (fun c -> if c = '{' then incr d else if c = '}' then decr d) written;
+    !d = 0
+  in
+  if
+    not
+      (balanced
+      && contains written "\"acceptance\""
+      && contains written "\"runs\""
+      && contains written "\"speedup\"")
+  then failwith "BENCH_delta.json failed its well-formedness self-check";
+  Printf.printf "\nwrote %s (acceptance speedup at B=%d, 4 views: %.1fx)\n%!" out
+    accept_batch accept_speedup;
+  if (not smoke) && not pass then begin
+    Printf.eprintf "delta acceptance FAILED: %.1fx < %.1fx\n%!" accept_speedup
+      required;
+    exit 1
+  end
+
 (* ---- Bechamel micro-benchmarks: one Test group per table ---- *)
 
 let bechamel_tests () =
@@ -362,18 +600,22 @@ let () =
     if full then [ 100; 500; 1_000; 1_500; 2_000; 3_000; 5_000 ]
     else [ 100; 500; 1_000; 1_500; 2_000 ]
   in
+  let smoke = List.mem "--smoke" args in
   (match which with
    | "table1" -> run_table1 ~sizes:t1_sizes
    | "table2" -> run_table2 ~sizes:t2_sizes
    | "ablations" -> run_ablations ()
+   | "delta" -> run_delta ~smoke
    | "bechamel" -> run_bechamel ()
    | "all" ->
      run_table1 ~sizes:t1_sizes;
      run_table2 ~sizes:t2_sizes;
      run_ablations ();
+     run_delta ~smoke:(not full);
      run_bechamel ()
    | other ->
-     Printf.eprintf "unknown experiment %s (use table1|table2|ablations|bechamel|all)\n"
+     Printf.eprintf
+       "unknown experiment %s (use table1|table2|ablations|delta|bechamel|all)\n"
        other;
      exit 1);
   Printf.printf "\ndone.\n"

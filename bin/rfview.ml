@@ -1,5 +1,8 @@
 (* rfview — command-line front end for the reporting-function engine.
 
+   Built on the stable [Rfview.Session] API; the lint/analyze tooling
+   reaches the engine internals through [Session.database].
+
    Subcommands:
      run FILE        execute a SQL script and print every result
      repl            interactive SQL shell (line-based; ';' terminates)
@@ -15,6 +18,8 @@
    Options:
      --db DIR        (run, repl) open DIR as a durable database: recover
                      it first, write-ahead log every statement
+     --batch N       (run) group-commit every N statements of the script
+                     (default: the whole script is one batch)
      --self-join     execute reporting functions via the Fig. 2 self-join
                      simulation instead of the native window operator
      --naive-window  use the naive O(n·w) window strategy
@@ -28,6 +33,8 @@
      --codes-md      (lint) print the registry as a markdown table (the
                      generator behind the DESIGN.md diagnostics table) *)
 
+module Session = Rfview.Session
+module Config = Rfview.Config
 module Db = Rfview_engine.Database
 module Fault = Rfview_engine.Fault
 module Relation = Rfview_relalg.Relation
@@ -59,39 +66,33 @@ let arm_injections specs =
           with Invalid_argument msg -> fail spec msg ~hint:(Lazy.force known_sites)))
     specs
 
-let configure db ~self_join ~naive_window ~verify ~inject =
-  if self_join then Db.set_window_mode db `Self_join;
-  if naive_window then Db.set_window_strategy db Rfview_relalg.Window.Naive;
+(* The execution knobs are fixed at open time now: flags become a config. *)
+let build_config ~self_join ~naive_window =
+  {
+    Config.default with
+    Config.window_mode = (if self_join then `Self_join else `Native);
+    window_strategy =
+      (if naive_window then Config.Naive else Config.Incremental);
+  }
+
+let configure ~verify ~inject =
   if verify then Rfview_analysis.Verify.enable ();
   arm_injections inject
 
 let print_result = function
-  | Db.Relation r ->
+  | Session.Relation r ->
     Relation.print ~max_rows:100 r;
     Printf.printf "(%d rows)\n%!" (Relation.cardinality r)
-  | Db.Done msg -> Printf.printf "%s\n%!" msg
-
-let rec report_error = function
-  | Rfview_sql.Lexer.Lex_error (m, off) -> Printf.printf "lex error at %d: %s\n%!" off m
-  | Rfview_sql.Parser.Parse_error m -> Printf.printf "parse error: %s\n%!" m
-  | Rfview_planner.Binder.Bind_error m -> Printf.printf "bind error: %s\n%!" m
-  | Rfview_engine.Catalog.Catalog_error m -> Printf.printf "catalog error: %s\n%!" m
-  | Db.Engine_error m -> Printf.printf "error: %s\n%!" m
-  | Rfview_relalg.Value.Type_error m -> Printf.printf "type error: %s\n%!" m
-  | Fault.Injected site -> Printf.printf "injected fault at site %s (statement rolled back)\n%!" site
-  | Db.Script_error { index; sql; cause } ->
-    Printf.printf "statement %d failed: %s\n%!" index sql;
-    report_error cause
-  | e -> Printf.printf "error: %s\n%!" (Printexc.to_string e)
+  | Session.Done msg -> Printf.printf "%s\n%!" msg
 
 (* [true] when the whole script succeeded *)
-let run_script db sql =
-  match Db.exec_script db sql with
-  | results ->
+let run_script ?batch session sql =
+  match Session.exec_script ?batch session sql with
+  | Ok results ->
     List.iter print_result results;
     true
-  | exception e ->
-    report_error e;
+  | Error e ->
+    Printf.printf "%s\n%!" (Session.describe_error e);
     false
 
 let read_file file =
@@ -101,57 +102,80 @@ let read_file file =
   close_in ic;
   sql
 
-let describe_recovery dir (r : Db.recovery_report) =
+let describe_recovery dir (r : Session.recovery_report) =
   Printf.printf "recovered %s: checkpoint %s, %d WAL record(s) replayed%s%s\n%!" dir
-    (match r.Db.checkpoint_epoch with
+    (match r.Session.checkpoint_epoch with
      | None -> "none"
      | Some e -> Printf.sprintf "epoch %d" e)
-    r.Db.replayed
-    (if r.Db.torn then ", torn tail truncated" else "")
-    (match r.Db.quarantined with
+    r.Session.replayed
+    (if r.Session.torn then ", torn tail truncated" else "")
+    (match r.Session.quarantined with
      | [] -> ""
      | q -> ", quarantined: " ^ String.concat ", " q)
 
-(* Open the working database: durable (recovering [dir] first) when
+(* Open the working session: durable (recovering [dir] first) when
    --db was given, in-memory otherwise. *)
-let open_db = function
-  | None -> Db.create ()
+let open_session ~config = function
+  | None -> Session.open_in_memory ~config ()
   | Some dir ->
-    (match Db.recover dir with
-     | db, r ->
-       if r.Db.replayed > 0 || r.Db.torn || r.Db.quarantined <> [] then
-         describe_recovery dir r;
-       db
-     | exception Db.Recovery_error m ->
-       Printf.eprintf "rfview: %s: recovery failed: %s\n" dir m;
+    (match Session.open_durable ~config dir with
+     | Ok s ->
+       (match Session.recovery s with
+        | Some r
+          when r.Session.replayed > 0 || r.Session.torn
+               || r.Session.quarantined <> [] ->
+          describe_recovery dir r
+        | _ -> ());
+       s
+     | Error e ->
+       Printf.eprintf "rfview: %s: %s\n" dir (Session.describe_error e);
        exit 1)
 
-let cmd_run file db_dir self_join naive_window verify inject =
-  let db = open_db db_dir in
-  configure db ~self_join ~naive_window ~verify ~inject;
-  let ok = run_script db (read_file file) in
-  Db.close db;
+let cmd_run file db_dir batch self_join naive_window verify inject =
+  (match batch with
+   | Some n when n < 0 ->
+     Printf.eprintf "rfview: --batch must be non-negative (got %d)\n" n;
+     exit 2
+   | _ -> ());
+  configure ~verify ~inject;
+  let s = open_session ~config:(build_config ~self_join ~naive_window) db_dir in
+  let ok = run_script ?batch s (read_file file) in
+  Session.close s;
   if not ok then exit 1
 
 let cmd_recover dir =
-  match Db.recover dir with
-  | db, r ->
-    describe_recovery dir r;
-    Db.close db
-  | exception Db.Recovery_error m ->
-    Printf.eprintf "rfview: %s: recovery failed: %s\n" dir m;
+  match Session.open_durable dir with
+  | Ok s ->
+    (match Session.recovery s with
+     | Some r -> describe_recovery dir r
+     | None -> ());
+    Session.close s
+  | Error e ->
+    Printf.eprintf "rfview: %s: %s\n" dir (Session.describe_error e);
     exit 1
 
 let cmd_checkpoint dir =
-  match Db.recover dir with
-  | db, r ->
-    Db.checkpoint db;
-    Printf.printf "checkpointed %s: epoch %d, %d WAL record(s) folded in\n%!" dir
-      ((match r.Db.checkpoint_epoch with None -> 0 | Some e -> e) + 1)
-      r.Db.replayed;
-    Db.close db
-  | exception Db.Recovery_error m ->
-    Printf.eprintf "rfview: %s: recovery failed: %s\n" dir m;
+  match Session.open_durable dir with
+  | Ok s ->
+    (match Session.checkpoint s with
+     | Ok () ->
+       let epoch, replayed =
+         match Session.recovery s with
+         | Some r ->
+           ((match r.Session.checkpoint_epoch with None -> 0 | Some e -> e) + 1,
+            r.Session.replayed)
+         | None -> (1, 0)
+       in
+       Printf.printf "checkpointed %s: epoch %d, %d WAL record(s) folded in\n%!"
+         dir epoch replayed;
+       Session.close s
+     | Error e ->
+       Printf.eprintf "rfview: %s: checkpoint failed: %s\n" dir
+         (Session.describe_error e);
+       Session.close s;
+       exit 1)
+  | Error e ->
+    Printf.eprintf "rfview: %s: %s\n" dir (Session.describe_error e);
     exit 1
 
 (* ---- lint ---- *)
@@ -211,7 +235,7 @@ let cmd_lint file self_join explain explain_code codes_md =
         (count Diag.Error) (count Diag.Warning) (count Diag.Info);
       exit (if List.exists Diag.is_error !seen then 1 else 0)
     in
-    let db = Db.create () in
+    let db = Session.database (Session.open_in_memory ()) in
     let lint_query ?stmt where q =
       match Rfview_planner.Binder.bind_query ?stmt (Db.binder_catalog db) q with
       | plan -> List.iter (emit ~where) (Check.check plan @ Lint.plan ~self_join plan)
@@ -303,7 +327,7 @@ let cmd_analyze file =
      Printf.printf "%s: cannot parse: %s\n" file (Printexc.to_string e);
      incr errors
    | stmts ->
-     let db = Db.create () in
+     let db = Session.database (Session.open_in_memory ()) in
      let analyze_query ~stmt where q =
        match Rfview_planner.Binder.bind_query ~stmt (Db.binder_catalog db) q with
        | exception Rfview_planner.Binder.Bind_error m ->
@@ -354,7 +378,7 @@ let cmd_analyze file =
   Printf.printf "%s: %d RF2xx diagnostic(s), %d error(s)\n" file !rf2xx !errors;
   exit (if !rf2xx > 0 || !errors > 0 then 1 else 0)
 
-let repl db =
+let repl session =
   Printf.printf
     "rfview SQL shell — terminate statements with ';', exit with \\q or Ctrl-D\n%!";
   let buf = Buffer.create 256 in
@@ -370,30 +394,31 @@ let repl db =
       let text = Buffer.contents buf in
       if String.contains line ';' then begin
         Buffer.clear buf;
-        (match Db.exec_script db text with
-         | results -> List.iter print_result results
-         | exception e -> report_error e)
+        ignore (run_script session text)
       end;
       loop ()
   in
   loop ()
 
 let cmd_repl db_dir self_join naive_window verify inject =
-  let db = open_db db_dir in
-  configure db ~self_join ~naive_window ~verify ~inject;
-  repl db;
-  Db.close db
+  configure ~verify ~inject;
+  let s = open_session ~config:(build_config ~self_join ~naive_window) db_dir in
+  repl s;
+  Session.close s
 
 let cmd_demo self_join naive_window verify inject =
-  let db = Db.create () in
-  configure db ~self_join ~naive_window ~verify ~inject;
+  configure ~verify ~inject;
+  let s =
+    Session.open_in_memory ~config:(build_config ~self_join ~naive_window) ()
+  in
+  let db = Session.database s in
   Rfview_workload.Transactions.load db;
   Printf.printf
     "loaded demo schema: c_transactions (%d rows), l_locations (%d rows)\n"
     (Relation.cardinality (Db.query db "SELECT * FROM c_transactions"))
     (Relation.cardinality (Db.query db "SELECT * FROM l_locations"));
   Printf.printf "try: %s;\n\n" (Rfview_workload.Transactions.intro_query ~custid:7 ());
-  repl db
+  repl s
 
 open Cmdliner
 
@@ -418,6 +443,12 @@ let db_dir =
     ~doc:"Open $(docv) as a durable database: recover it first (creating it if \
           missing), then write-ahead log and fsync every statement.")
 
+let batch =
+  Arg.(value & opt (some int) None & info [ "batch" ] ~docv:"N"
+    ~doc:"Group-commit every $(docv) statements: view deltas propagate once \
+          per batch and the WAL is fsynced once per batch. Without this \
+          option the whole script commits as one batch.")
+
 let explain_diagnostics =
   Arg.(value & flag & info [ "explain-diagnostics" ]
     ~doc:"Append the registry explanation to each diagnostic; without FILE, print the whole rule registry.")
@@ -434,7 +465,8 @@ let codes_md =
 let run_t =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   Cmd.v (Cmd.info "run" ~doc:"Execute a SQL script")
-    Term.(const cmd_run $ file $ db_dir $ self_join $ naive_window $ verify_plans $ inject)
+    Term.(const cmd_run $ file $ db_dir $ batch $ self_join $ naive_window
+          $ verify_plans $ inject)
 
 let repl_t =
   Cmd.v (Cmd.info "repl" ~doc:"Interactive SQL shell")

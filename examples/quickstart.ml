@@ -30,12 +30,12 @@ let () =
         FROM seq ORDER BY pos");
 
   section "3. The same query through the paper's self-join simulation (Fig. 2)";
-  Db.set_window_mode db `Self_join;
+  Db.reconfigure db { (Db.config db) with Db.window_mode = `Self_join };
   Relation.print
     (Db.query db
        "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 \
         FOLLOWING) AS w FROM seq ORDER BY pos");
-  Db.set_window_mode db `Native;
+  Db.reconfigure db { (Db.config db) with Db.window_mode = `Native };
 
   section "4. A materialized sequence view with window (2,1)";
   ignore

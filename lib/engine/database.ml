@@ -74,6 +74,26 @@ let recoverable_exn = function
   | Verify.Not_preserved _ | Out_of_memory | Stack_overflow -> false
   | _ -> true
 
+(* All tuning knobs in one record, taken at open time; [reconfigure]
+   swaps the whole record (the legacy per-field setters are deprecated
+   shims over it). *)
+type config = {
+  window_mode : window_mode;
+  window_strategy : Window.strategy;
+  hash_join : bool;
+  index_join : bool;
+  degradation : degradation;
+}
+
+let default_config =
+  {
+    window_mode = `Native;
+    window_strategy = Window.Incremental;
+    hash_join = true;
+    index_join = true;
+    degradation = `Quarantine;
+  }
+
 type view_index = {
   vi_view : string;
   vi_column : string;
@@ -93,49 +113,50 @@ type durability = {
   mutable checkpoint_every : int option;
 }
 
+(* An open batch scope: the accumulated delta plus the undo log that
+   spans the whole batch (each statement's scope is absorbed into it on
+   success, so an aborted batch rolls everything back together). *)
+type batch = {
+  mutable b_delta : Delta.t;
+  b_undo : Undo.t;
+}
+
 type t = {
   catalog : Catalog.t;
   view_states : (string, Matview.state) Hashtbl.t; (* incremental matviews *)
   view_indexes : (string, view_index) Hashtbl.t;    (* keyed by index name *)
-  mutable window_mode : window_mode;
-  mutable window_strategy : Window.strategy;
-  mutable hash_join_enabled : bool;
-  mutable index_join_enabled : bool;
-  mutable degradation : degradation;
+  mutable cfg : config;
   mutable undo : Undo.t option; (* Some while a statement is executing *)
+  mutable batch : batch option; (* Some while a batch scope is open *)
   mutable durable : durability option;
-  mutable wal_pending : Wal.record list; (* this statement's records, reversed *)
+  mutable wal_pending : Wal.record list; (* this scope's records, reversed *)
 }
 
 type result =
   | Relation of Relation.t
   | Done of string
 
-let create () =
+let create ?(config = default_config) () =
   {
     catalog = Catalog.create ();
     view_states = Hashtbl.create 8;
     view_indexes = Hashtbl.create 8;
-    window_mode = `Native;
-    window_strategy = Window.Incremental;
-    hash_join_enabled = true;
-    index_join_enabled = true;
-    degradation = `Quarantine;
+    cfg = config;
     undo = None;
+    batch = None;
     durable = None;
     wal_pending = [];
   }
 
-let set_window_mode db mode = db.window_mode <- mode
-let set_degradation db mode = db.degradation <- mode
-let set_window_strategy db s = db.window_strategy <- s
+let reconfigure db config = db.cfg <- config
+let config db = db.cfg
 
-(* Disabling hash joins forces nested loops for equality predicates (how
-   the paper's engine executed both Table 2 variants). *)
-let set_hash_join db enabled = db.hash_join_enabled <- enabled
-
-(* Disabling index joins as well yields pure nested-loop plans. *)
-let set_index_join db enabled = db.index_join_enabled <- enabled
+(* Deprecated shims (see the .mli): each rewrites one field of [cfg]. *)
+let set_window_mode db mode = db.cfg <- { db.cfg with window_mode = mode }
+let set_degradation db mode = db.cfg <- { db.cfg with degradation = mode }
+let set_window_strategy db s = db.cfg <- { db.cfg with window_strategy = s }
+let set_hash_join db enabled = db.cfg <- { db.cfg with hash_join = enabled }
+let set_index_join db enabled = db.cfg <- { db.cfg with index_join = enabled }
 
 let key = String.lowercase_ascii
 
@@ -200,9 +221,27 @@ let maybe_auto_checkpoint db =
   | _ -> ()
 
 let with_undo db f =
-  match db.undo with
-  | Some _ -> f () (* nested: join the enclosing statement *)
-  | None ->
+  match db.undo, db.batch with
+  | Some _, _ -> f () (* nested: join the enclosing statement *)
+  | None, Some b ->
+    (* inside a batch: the statement gets its own scope so it stays
+       individually atomic, but on success the scope folds into the
+       batch's log and the WAL records stay queued for the batch's
+       group commit (no flush, no sync, no checkpoint here) *)
+    let u = Undo.create () in
+    db.undo <- Some u;
+    let mark = db.wal_pending in
+    (match f () with
+     | result ->
+       db.undo <- None;
+       Undo.absorb b.b_undo u;
+       result
+     | exception e ->
+       db.undo <- None;
+       db.wal_pending <- mark;
+       Undo.rollback u;
+       raise e)
+  | None, None ->
     let u = Undo.create () in
     db.undo <- Some u;
     db.wal_pending <- [];
@@ -268,7 +307,13 @@ let log_view db (v : Catalog.view) =
 let refresh_ref : (t -> Catalog.view -> unit) ref =
   ref (fun _ _ -> assert false)
 
+(* Forward reference to [flush_delta] (defined after [propagate]):
+   reading view contents mid-batch must first propagate the pending
+   delta so no pre-batch result is ever served. *)
+let flush_delta_ref : (t -> unit) ref = ref (fun _ -> ())
+
 let view_contents db name =
+  !flush_delta_ref db;
   match Catalog.find_view db.catalog name with
   | Some v when v.Catalog.materialized ->
     (* quarantined views heal on first read *)
@@ -344,7 +389,7 @@ let plan_query db (q : Ast.query) : P.Physical.t =
   let logical = P.Binder.bind_query (binder_catalog db) q in
   if Verify.enabled () then Verify.check_plan ~context:"bound plan" logical;
   let logical =
-    match db.window_mode with
+    match db.cfg.window_mode with
     | `Native -> logical
     | `Self_join -> P.Rewrite.window_to_self_join logical
   in
@@ -356,9 +401,9 @@ let plan_query db (q : Ast.query) : P.Physical.t =
       P.Hooks.sanitize ~catalog:(catalog_view db) logical);
   let opts =
     {
-      P.Physical.window_strategy = db.window_strategy;
-      enable_hash_join = db.hash_join_enabled;
-      enable_index_join = db.index_join_enabled;
+      P.Physical.window_strategy = db.cfg.window_strategy;
+      enable_hash_join = db.cfg.hash_join;
+      enable_index_join = db.cfg.index_join;
     }
   in
   P.Physical.plan ~opts (catalog_view db) logical
@@ -402,19 +447,22 @@ let refresh_view_full db (v : Catalog.view) =
               ~base:(Catalog.table_relation tbl)
               ~out_schema:(Relation.schema contents)
           in
+          let rendered = Matview.render state in
           (* translation validation of the derivation rewrite: the
              incremental core representation must reproduce the view
              contents the full recomputation just produced *)
-          if
-            Verify.enabled ()
-            && not (Relation.equal_bag contents (Matview.render state))
-          then
+          if Verify.enabled () && not (Relation.equal_bag contents rendered) then
             raise
               (Verify.Not_preserved
                  (Printf.sprintf
                     "matview %s: the incremental sequence state does not \
                      reproduce the recomputed view contents"
                     v.Catalog.view_name));
+          (* serve the state's rendering, so a refresh and incremental
+             maintenance leave the same physical row order behind — this
+             keeps batched maintenance (whose wide deltas fall back to
+             this path) bit-identical to per-row maintenance *)
+          v.Catalog.contents <- Some rendered;
           Hashtbl.replace db.view_states (key v.Catalog.view_name) state
         with Matview.Not_maintainable _ -> ()))
 
@@ -424,6 +472,7 @@ type dml_change =
   | Rows_inserted of Row.t list
   | Rows_deleted of Row.t list
   | Rows_updated of (Row.t * Row.t) list (* old, new *)
+  | Rows_batch of Delta.table_delta (* consolidated batch delta *)
 
 (* Quarantine a view whose maintenance faulted mid statement: drop the
    (possibly half-applied) incremental state and mark the contents
@@ -439,6 +488,14 @@ let quarantine_view db (v : Catalog.view) =
    by full refresh otherwise.  Already-quarantined views are skipped —
    they will catch up wholesale on their next read. *)
 let propagate db ~table change =
+  (* a delta at least as wide as the (post-change) base table gains
+     nothing over recomputation: route it to the full-refresh path *)
+  let wide =
+    match change with
+    | Rows_batch td ->
+      Delta.weight td >= Array.length (Catalog.table db.catalog table).Catalog.rows
+    | _ -> false
+  in
   List.iter
     (fun (v : Catalog.view) ->
       if
@@ -451,7 +508,10 @@ let propagate db ~table change =
         let maintain () =
           Fault.hit site_propagate;
           log_view db v;
-          match Hashtbl.find_opt db.view_states (key v.Catalog.view_name) with
+          match
+            if wide then None
+            else Hashtbl.find_opt db.view_states (key v.Catalog.view_name)
+          with
           | Some state ->
             (try
                (match change with
@@ -461,7 +521,10 @@ let propagate db ~table change =
                   List.iter
                     (fun (old_row, new_row) ->
                       Matview.apply_update state ~old_row ~new_row)
-                    pairs);
+                    pairs
+                | Rows_batch td ->
+                  Matview.apply_batch state ~inserts:td.Delta.inserted
+                    ~deletes:td.Delta.deleted ~updates:td.Delta.updated);
                let rendered = Matview.render state in
                (* translation validation: incremental maintenance must agree
                   with recomputing the view definition from scratch *)
@@ -482,10 +545,106 @@ let propagate db ~table change =
         in
         match maintain () with
         | () -> ()
-        | exception e when db.degradation = `Quarantine && recoverable_exn e ->
+        | exception e when db.cfg.degradation = `Quarantine && recoverable_exn e ->
           quarantine_view db v
       end)
     (Catalog.all_views db.catalog)
+
+(* ---- Batch scopes ----
+
+   Inside [with_batch] the DML apply functions record their change into
+   the batch's delta instead of propagating immediately; [flush_delta]
+   consolidates and propagates once per dependent view (and runs early
+   whenever a read or a DDL statement needs fresh views mid-batch).  The
+   batch's WAL records are framed as one [Wal.Batch] record and fsynced
+   once — the group commit. *)
+
+let record_or_propagate db ~table change =
+  (* a DML statement that matched nothing must not touch the views at
+     all — in batch mode [Delta.find] drops empty deltas, so the
+     immediate path has to skip them too or the two modes would leave
+     different physical view contents (render order) behind *)
+  match change with
+  | Rows_inserted [] | Rows_deleted [] | Rows_updated [] -> ()
+  | _ ->
+  match db.batch with
+  | Some b ->
+    let d = b.b_delta in
+    log_undo db (fun () -> b.b_delta <- d);
+    b.b_delta <-
+      (match change with
+       | Rows_inserted rows -> Delta.insert d ~table rows
+       | Rows_deleted rows -> Delta.delete d ~table rows
+       | Rows_updated pairs -> Delta.update d ~table pairs
+       | Rows_batch _ -> assert false (* batches never nest into deltas *))
+  | None -> propagate db ~table change
+
+let flush_delta db =
+  match db.batch with
+  | None -> ()
+  | Some b when Delta.is_empty b.b_delta -> ()
+  | Some b ->
+    let run () =
+      let d = b.b_delta in
+      log_undo db (fun () -> b.b_delta <- d);
+      (* clear before propagating: queries issued by the propagation
+         itself (view recomputation, verification) re-enter
+         [view_contents] and must not flush again *)
+      b.b_delta <- Delta.empty;
+      List.iter
+        (fun table ->
+          match Delta.find d table with
+          | Some td -> propagate db ~table (Rows_batch td)
+          | None -> ())
+        (Delta.tables d)
+    in
+    (match db.undo with
+     | Some _ -> run () (* mid-statement: join its scope *)
+     | None ->
+       (* between statements (batch commit, or a bare read): give the
+          flush its own scope and fold it into the batch on success *)
+       let u = Undo.create () in
+       db.undo <- Some u;
+       (match run () with
+        | () ->
+          db.undo <- None;
+          Undo.absorb b.b_undo u
+        | exception e ->
+          db.undo <- None;
+          Undo.rollback u;
+          raise e))
+
+let () = flush_delta_ref := flush_delta
+
+let commit_batch db =
+  flush_delta db;
+  (match db.wal_pending with
+   | [] | [ _ ] -> () (* zero/one record: keep the unwrapped framing *)
+   | records -> db.wal_pending <- [ Wal.Batch (List.rev records) ]);
+  flush_wal db
+
+let with_batch db f =
+  match db.batch, db.undo with
+  | Some _, _ | _, Some _ -> f () (* nested or mid-statement: join *)
+  | None, None ->
+    let b = { b_delta = Delta.empty; b_undo = Undo.create () } in
+    db.batch <- Some b;
+    db.wal_pending <- [];
+    (match
+       let result = f () in
+       commit_batch db;
+       result
+     with
+     | result ->
+       db.batch <- None;
+       Undo.commit b.b_undo;
+       maybe_auto_checkpoint db;
+       result
+     | exception e ->
+       db.batch <- None;
+       db.wal_pending <- [];
+       Undo.rollback b.b_undo;
+       raise e)
 
 (* ---- DML ---- *)
 
@@ -522,7 +681,7 @@ let insert_rows db ~table (new_rows : Row.t list) =
   Catalog.set_rows tbl (Array.append tbl.Catalog.rows (Array.of_list new_rows));
   Fault.hit site_apply_insert;
   wal_log db (Wal.Insert { table; rows = Array.of_list new_rows });
-  propagate db ~table (Rows_inserted new_rows)
+  record_or_propagate db ~table (Rows_inserted new_rows)
 
 let exec_insert db ~table ~columns ~rows =
   let tbl = Catalog.table db.catalog table in
@@ -563,7 +722,7 @@ let update_rows db ~table ~rows ~pairs =
   Catalog.set_rows tbl rows;
   Fault.hit site_apply_update;
   wal_log db (Wal.Update { table; pairs = Array.of_list pairs });
-  propagate db ~table (Rows_updated pairs)
+  record_or_propagate db ~table (Rows_updated pairs)
 
 let delete_rows db ~table ~kept ~deleted =
   let tbl = Catalog.table db.catalog table in
@@ -571,7 +730,7 @@ let delete_rows db ~table ~kept ~deleted =
   Catalog.set_rows tbl kept;
   Fault.hit site_apply_delete;
   wal_log db (Wal.Delete { table; rows = Array.of_list deleted });
-  propagate db ~table (Rows_deleted deleted)
+  record_or_propagate db ~table (Rows_deleted deleted)
 
 let exec_update db ~table ~assignments ~where =
   let tbl = Catalog.table db.catalog table in
@@ -633,6 +792,12 @@ let exec_delete db ~table ~where =
    [exec_statement] below brackets this with [with_undo], so every entry
    is all-or-nothing. *)
 let rec exec_statement_in_scope db (stmt : Ast.statement) : result =
+  (* DDL that creates, refreshes or drops relations must observe views
+     consistent with every earlier statement of the batch *)
+  (match stmt with
+   | Ast.St_create_view _ | Ast.St_refresh_view _ | Ast.St_drop_table _
+   | Ast.St_drop_view _ -> flush_delta db
+   | _ -> ());
   let result =
     match stmt with
   | Ast.St_query q -> Relation (run_query db q)
@@ -699,15 +864,15 @@ let rec exec_statement_in_scope db (stmt : Ast.statement) : result =
        let logical = P.Binder.bind_query (binder_catalog db) q in
        let logical' =
          P.Optimize.optimize
-           (match db.window_mode with
+           (match db.cfg.window_mode with
             | `Native -> logical
             | `Self_join -> P.Rewrite.window_to_self_join logical)
        in
        let opts =
          {
-           P.Physical.window_strategy = db.window_strategy;
-           enable_hash_join = db.hash_join_enabled;
-           enable_index_join = db.index_join_enabled;
+           P.Physical.window_strategy = db.cfg.window_strategy;
+           enable_hash_join = db.cfg.hash_join;
+           enable_index_join = db.cfg.index_join;
          }
        in
        let physical = P.Physical.plan ~opts (catalog_view db) logical' in
@@ -737,34 +902,47 @@ let rec exec_statement_in_scope db (stmt : Ast.statement) : result =
 let exec_statement db stmt = with_undo db (fun () -> exec_statement_in_scope db stmt)
 
 (* Bulk-load rows into a table, bypassing the SQL layer (used by the
-   benchmark harness, CSV import and the workload generators).
-   Materialized views on the table are fully refreshed.  Atomic like a
-   statement: a failed refresh rolls the load back. *)
+   benchmark harness, CSV import and the workload generators).  The load
+   is its own batch: dependent views are maintained once through the
+   delta path (with the usual full-refresh fallback when the load is at
+   least as wide as the table).  Atomic like a statement: a failed
+   maintenance rolls the load back. *)
 let load_table db ~table rows =
-  with_undo db (fun () ->
-      let tbl = Catalog.table db.catalog table in
-      log_table db tbl;
-      Catalog.set_rows tbl (Array.append tbl.Catalog.rows rows);
-      wal_log db (Wal.Load { table; rows });
-      List.iter
-        (fun (v : Catalog.view) ->
-          if
-            v.Catalog.materialized
-            && List.exists (fun t -> key t = key table) (tables_of_query v.Catalog.definition)
-          then refresh_view_full db v)
-        (Catalog.all_views db.catalog))
+  with_batch db (fun () ->
+      with_undo db (fun () ->
+          let tbl = Catalog.table db.catalog table in
+          log_table db tbl;
+          Catalog.set_rows tbl (Array.append tbl.Catalog.rows rows);
+          wal_log db (Wal.Load { table; rows });
+          record_or_propagate db ~table (Rows_inserted (Array.to_list rows))))
 
 (* ---- Entry points ---- *)
 
 let exec db (sql : string) : result = exec_statement db (Parser.statement sql)
 
+(* A script runs as one batch: statements stay individually atomic, the
+   first failure stops the script (later statements never run), and the
+   batch still commits what succeeded before re-raising — matching the
+   per-statement semantics scripts always had, at one group commit. *)
 let exec_script db (sql : string) : result list =
-  List.mapi
-    (fun i stmt ->
-      try exec_statement db stmt
-      with cause ->
-        raise (Script_error { index = i + 1; sql = Pretty.statement stmt; cause }))
-    (Parser.statements sql)
+  let stmts = Parser.statements sql in
+  let results = ref [] in
+  let failure = ref None in
+  with_batch db (fun () ->
+      List.iteri
+        (fun i stmt ->
+          if Option.is_none !failure then
+            match exec_statement db stmt with
+            | r -> results := r :: !results
+            | exception cause ->
+              failure :=
+                Some
+                  (Script_error
+                     { index = i + 1; sql = Pretty.statement stmt; cause }))
+        stmts);
+  match !failure with
+  | Some e -> raise e
+  | None -> List.rev !results
 
 let query db (sql : string) : Relation.t =
   match exec db sql with
@@ -799,7 +977,11 @@ let stale_views db =
 
 let catalog db = db.catalog
 
-let view_state db name = Hashtbl.find_opt db.view_states (key name)
+let view_state db name =
+  (* an open batch may hold unpropagated deltas; observing the state
+     must reflect them *)
+  flush_delta db;
+  Hashtbl.find_opt db.view_states (key name)
 
 (* ---- Durability: checkpoint, recovery, the database directory ----
 
@@ -885,7 +1067,7 @@ let replay_update db ~table pairs =
     pairs;
   update_rows db ~table ~rows ~pairs:(Array.to_list pairs)
 
-let replay_record db (record : Wal.record) =
+let rec replay_record db (record : Wal.record) =
   match record with
   | Wal.Begin _ -> ()
   | Wal.Statement sql -> ignore (exec db sql)
@@ -896,6 +1078,10 @@ let replay_record db (record : Wal.record) =
   | Wal.Update { table; pairs } ->
     ignore (with_undo db (fun () -> replay_update db ~table pairs))
   | Wal.Load { table; rows } -> load_table db ~table rows
+  | Wal.Batch records ->
+    (* a group-committed batch replays through the same batched delta
+       path the original run used *)
+    with_batch db (fun () -> List.iter (replay_record db) records)
 
 (* ---- Recovery ---- *)
 
@@ -922,9 +1108,9 @@ let rebuild_state db (view : Catalog.view) =
         with Matview.Not_maintainable _ -> false))
   | _ -> false
 
-let recover dir =
+let recover ?config dir =
   ensure_dir dir;
-  let db = create () in
+  let db = create ?config () in
   let quarantined = ref [] in
   let quarantine (v : Catalog.view) =
     v.Catalog.stale <- true;
@@ -1034,11 +1220,12 @@ let recover dir =
   in
   (db, report)
 
-let open_durable dir = fst (recover dir)
+let open_durable ?config dir = fst (recover ?config dir)
 
 (* ---- Checkpoint ---- *)
 
 let checkpoint db =
+  if db.batch <> None then engine_error "checkpoint: a batch is open";
   match db.durable with
   | None -> engine_error "checkpoint: database has no directory (open it with open_durable)"
   | Some d ->

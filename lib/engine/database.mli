@@ -40,25 +40,58 @@ type degradation =
     environmental fault) and asynchronous exhaustion. *)
 val recoverable_exn : exn -> bool
 
+(** {1 Configuration}
+
+    All execution knobs live in one record, fixed at {!create} (or
+    {!open_durable}) time and changeable wholesale with {!reconfigure}.
+
+    - [window_mode] / [window_strategy]: how reporting functions
+      execute and how the window operator evaluates.
+    - [hash_join]: disabling hash joins forces nested loops for
+      equality predicates — how the paper's engine executed both
+      Table 2 variants.  [index_join] additionally off yields pure
+      nested-loop plans.
+    - [degradation]: the view-maintenance failure policy. *)
+type config = {
+  window_mode : window_mode;
+  window_strategy : Window.strategy;
+  hash_join : bool;
+  index_join : bool;
+  degradation : degradation;
+}
+
+(** [`Native], [Incremental], hash and index joins on, [`Quarantine]. *)
+val default_config : config
+
 type t
 
 type result =
   | Relation of Relation.t
   | Done of string  (** acknowledgement of a DDL/DML statement *)
 
-val create : unit -> t
+val create : ?config:config -> unit -> t
+
+(** Replace the whole configuration.  Plans are built per statement, so
+    the change takes effect on the next one. *)
+val reconfigure : t -> config -> unit
+
+(** The current configuration. *)
+val config : t -> config
 
 val set_window_mode : t -> window_mode -> unit
+  [@@deprecated "pass a config at open time, or use reconfigure"]
+
 val set_window_strategy : t -> Window.strategy -> unit
+  [@@deprecated "pass a config at open time, or use reconfigure"]
 
-(** Disabling hash joins forces nested loops for equality predicates —
-    how the paper's engine executed both Table 2 variants. *)
 val set_hash_join : t -> bool -> unit
+  [@@deprecated "pass a config at open time, or use reconfigure"]
 
-(** Disabling index joins as well yields pure nested-loop plans. *)
 val set_index_join : t -> bool -> unit
+  [@@deprecated "pass a config at open time, or use reconfigure"]
 
 val set_degradation : t -> degradation -> unit
+  [@@deprecated "pass a config at open time, or use reconfigure"]
 
 (** {1 Execution}
 
@@ -71,10 +104,27 @@ val set_degradation : t -> degradation -> unit
            Catalog.Catalog_error on failure. *)
 val exec : t -> string -> result
 
-(** Execute a [;]-separated script.
+(** Execute a [;]-separated script.  The whole script runs as one
+    {!with_batch} scope: statements keep their individual atomicity and
+    the first failure stops the script, but view maintenance and the
+    WAL fsync happen once at the end (group commit).
     @raise Script_error wrapping the failing statement's exception with
     its 1-based index and SQL text. *)
 val exec_script : t -> string -> result list
+
+(** [with_batch db f] runs [f] inside a batch scope: base-table deltas
+    from DML statements are accumulated (consolidated per table) and
+    propagated to each dependent materialized view {e once}, at scope
+    exit, using the multi-row §2.3 rules; on a durable database the
+    batch's WAL records are framed into a single record and fsynced
+    once (group commit).  Statements inside the batch remain
+    individually atomic; if [f] raises, the {e whole batch} is rolled
+    back (and nothing of it reaches the WAL).  Reads inside the batch
+    — view queries, {!view_state}, DDL on the touched tables — force an
+    early propagation of the pending delta, so results are never stale.
+    Nested calls (and calls inside a statement scope) are no-ops
+    joining the enclosing scope. *)
+val with_batch : t -> (unit -> 'a) -> 'a
 
 (** Execute a query statement.  @raise Engine_error if it is not one. *)
 val query : t -> string -> Relation.t
@@ -87,8 +137,9 @@ val run_query : t -> Ast.query -> Relation.t
 val plan_query : t -> Ast.query -> P.Physical.t
 
 (** Bulk-load rows, bypassing SQL parsing; materialized views on the
-    table are fully refreshed.  Atomic like a statement: a failed
-    refresh rolls the load back. *)
+    table are maintained through the batched delta path (one
+    propagation per view).  Atomic like a statement: a failed
+    propagation rolls the load back. *)
 val load_table : t -> table:string -> Row.t array -> unit
 
 (** {1 Durability}
@@ -112,10 +163,10 @@ type recovery_report = {
 
 (** Open (creating if necessary) a durable database directory.
     @raise Recovery_error when the directory cannot be recovered. *)
-val open_durable : string -> t
+val open_durable : ?config:config -> string -> t
 
 (** Like {!open_durable}, also returning what recovery did. *)
-val recover : string -> t * recovery_report
+val recover : ?config:config -> string -> t * recovery_report
 
 (** Write a checkpoint: an atomic snapshot of tables, index DDL, views
     and materialized state, then start a fresh WAL epoch.

@@ -389,3 +389,202 @@ let apply_update st ~old_row ~new_row =
     apply_delete st old_row;
     apply_insert st new_row
   end
+
+(* ---- Batched maintenance (multi-row §2.3) ----
+
+   One partition's consolidated edits are merged into the ordered row
+   array in a single two-pointer pass; the merge records, per new rank,
+   which old rank it came from (0 for an inserted row) plus the edit
+   events.  Each event dirties the window span it touches — [k-h, k+l]
+   for an insert/update landing at new rank k, [g-h, g+l-1] for a
+   deletion gap at g — and the dirty positions are recomputed with one
+   pipelined span scan per contiguous run (Maintain.recompute_span).
+   Clean positions copy the old sequence value under the run-local rank
+   shift: a clean position's window contains no edit, so every raw value
+   in it moved by the same offset.  When at least half the sequence is
+   dirty the partition is recomputed outright. *)
+
+let site_apply_batch = Fault.define "matview.apply_batch"
+
+let apply_partition_batch st pkey ~inserts ~deletes ~updates =
+  let agg = core_agg st.spec.agg in
+  let frame = st.spec.frame in
+  (* stable by arrival on equal order values, matching per-row
+     insert_rank (a new row lands after existing rows with order <= it) *)
+  let sorted_inserts =
+    List.stable_sort
+      (fun a b -> Value.compare (Row.get a st.ocol) (Row.get b st.ocol))
+      inserts
+  in
+  match find_partition st pkey with
+  | None ->
+    if deletes <> [] || updates <> [] then
+      raise (Not_maintainable "edited row not found in view state");
+    if sorted_inserts <> [] then begin
+      let rows = Array.of_list sorted_inserts in
+      let raw = Core.Seqdata.raw_of_array (Array.map (value_of st) rows) in
+      let seq = Core.Compute.sequence ~agg frame raw in
+      st.parts <-
+        List.sort
+          (fun a b -> compare_pkey a.pkey b.pkey)
+          ({ pkey; base_rows = rows; raw; seq } :: st.parts)
+    end
+  | Some p ->
+    let n = Array.length p.base_rows in
+    (* claim one old rank per delete / per in-place update *)
+    let status = Array.make n `Keep in
+    let claim row f =
+      let rec go k =
+        if k >= n then raise (Not_maintainable "edited row not found in view state")
+        else
+          match status.(k) with
+          | `Keep when Row.equal p.base_rows.(k) row -> status.(k) <- f
+          | _ -> go (k + 1)
+      in
+      go 0
+    in
+    List.iter (fun r -> claim r `Drop) deletes;
+    List.iter (fun (o, nw) -> claim o (`Set nw)) updates;
+    (* two-pointer merge over old ranks and sorted inserts *)
+    let new_rows = ref [] and n2o = ref [] in
+    let touches = ref [] and gaps = ref [] in
+    let nk = ref 0 in
+    let take row ~old_rank ~event =
+      incr nk;
+      new_rows := row :: !new_rows;
+      n2o := old_rank :: !n2o;
+      if event then touches := !nk :: !touches
+    in
+    let rec merge old_k ins =
+      if old_k > n then List.iter (fun r -> take r ~old_rank:0 ~event:true) ins
+      else
+        let old_row = p.base_rows.(old_k - 1) in
+        match ins with
+        | r :: rest
+          when Value.compare (Row.get r st.ocol) (Row.get old_row st.ocol) < 0 ->
+          take r ~old_rank:0 ~event:true;
+          merge old_k rest
+        | _ ->
+          (match status.(old_k - 1) with
+           | `Keep -> take old_row ~old_rank:old_k ~event:false
+           | `Set nr -> take nr ~old_rank:old_k ~event:true
+           | `Drop -> gaps := (!nk + 1) :: !gaps);
+          merge (old_k + 1) ins
+    in
+    merge 1 sorted_inserts;
+    let n' = !nk in
+    if n' = 0 then st.parts <- List.filter (fun q -> q != p) st.parts
+    else begin
+      let rows' = Array.of_list (List.rev !new_rows) in
+      let n2o = Array.of_list (List.rev !n2o) in
+      let raw' = Core.Seqdata.raw_of_array (Array.map (value_of st) rows') in
+      let lo', hi' = Core.Seqdata.complete_range frame ~n:n' in
+      let l, h =
+        match frame with
+        | Core.Frame.Sliding { l; h } -> (l, h)
+        | Core.Frame.Cumulative -> (max n' n, 0)
+      in
+      let size = hi' - lo' + 1 in
+      let dirty = Array.make size false in
+      let mark lo hi =
+        for i = max lo' lo to min hi' hi do
+          dirty.(i - lo') <- true
+        done
+      in
+      List.iter (fun k -> mark (k - h) (k + l)) !touches;
+      List.iter (fun g -> mark (g - h) (g + l - 1)) !gaps;
+      let dirty_count =
+        Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 dirty
+      in
+      let seq' =
+        if 2 * dirty_count >= size then
+          (* the delta is wider than the view: recompute the partition *)
+          Core.Compute.sequence ~agg frame raw'
+        else begin
+          let out = Array.make size 0. in
+          for i = lo' to hi' do
+            if not dirty.(i - lo') then begin
+              let anchor = max 1 (min n' i) in
+              let s = n2o.(anchor - 1) - anchor in
+              out.(i - lo') <- Core.Seqdata.get p.seq (i + s)
+            end
+          done;
+          let i = ref lo' in
+          while !i <= hi' do
+            if not dirty.(!i - lo') then incr i
+            else begin
+              let rlo = !i in
+              let rhi = ref rlo in
+              while !rhi < hi' && dirty.(!rhi + 1 - lo') do
+                incr rhi
+              done;
+              let span =
+                match frame with
+                | Core.Frame.Sliding _ ->
+                  Core.Maintain.recompute_span ~agg ~l ~h raw' ~lo:rlo ~hi:!rhi
+                | Core.Frame.Cumulative ->
+                  let seed =
+                    if rlo = 1 then
+                      match agg with
+                      | Core.Agg.Sum -> 0.
+                      | Core.Agg.Min | Core.Agg.Max -> Core.Agg.absent
+                    else out.(rlo - 1 - lo')
+                  in
+                  Core.Maintain.recompute_cumulative_span ~agg raw' ~seed ~lo:rlo
+                    ~hi:!rhi
+              in
+              Array.blit span 0 out (rlo - lo') (Array.length span);
+              i := !rhi + 1
+            end
+          done;
+          Core.Seqdata.make frame agg ~n:n' ~lo:lo' out
+        end
+      in
+      p.base_rows <- rows';
+      p.raw <- raw';
+      p.seq <- seq'
+    end
+
+let apply_batch st ~inserts ~deletes ~updates =
+  Fault.hit site_apply_batch;
+  (* updates that move a row (order or partition changed) normalize to
+     delete + insert; their inserts sort after same-order arrivals *)
+  let in_place, moved =
+    List.partition
+      (fun (o, nw) ->
+        compare_pkey (pkey_of st o) (pkey_of st nw) = 0
+        && Value.equal (Row.get o st.ocol) (Row.get nw st.ocol))
+      updates
+  in
+  let deletes = deletes @ List.map fst moved in
+  let inserts = inserts @ List.map snd moved in
+  (* group everything by partition key, first-seen order *)
+  let groups = ref [] in
+  let group_of pkey =
+    match List.find_opt (fun (k, _) -> compare_pkey k pkey = 0) !groups with
+    | Some (_, g) -> g
+    | None ->
+      let g = (ref [], ref [], ref []) in
+      groups := !groups @ [ (pkey, g) ];
+      g
+  in
+  List.iter
+    (fun r ->
+      let ins, _, _ = group_of (pkey_of st r) in
+      ins := r :: !ins)
+    inserts;
+  List.iter
+    (fun r ->
+      let _, del, _ = group_of (pkey_of st r) in
+      del := r :: !del)
+    deletes;
+  List.iter
+    (fun ((o, _) as pr) ->
+      let _, _, upd = group_of (pkey_of st o) in
+      upd := pr :: !upd)
+    in_place;
+  List.iter
+    (fun (pkey, (ins, del, upd)) ->
+      apply_partition_batch st pkey ~inserts:(List.rev !ins)
+        ~deletes:(List.rev !del) ~updates:(List.rev !upd))
+    !groups

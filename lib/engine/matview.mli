@@ -77,3 +77,17 @@ val render : state -> Relation.t
 val apply_insert : state -> Row.t -> unit
 val apply_delete : state -> Row.t -> unit
 val apply_update : state -> old_row:Row.t -> new_row:Row.t -> unit
+
+(** Batched application of one table's consolidated delta (multi-row
+    §2.3): per partition, edits are merged into the ordered rows in one
+    two-pointer pass and each contiguous run of dirty sequence positions
+    is recomputed with a single pipelined span scan; positions outside
+    every touched window copy their old value under the rank shift.  A
+    partition at least half-dirty is recomputed outright.
+    @raise Not_maintainable as for the per-row entry points. *)
+val apply_batch :
+  state ->
+  inserts:Row.t list ->
+  deletes:Row.t list ->
+  updates:(Row.t * Row.t) list ->
+  unit

@@ -27,3 +27,10 @@ let rollback t =
   t.actions <- []
 
 let depth t = List.length t.actions
+
+(* Fold a finished inner scope into an enclosing one: the child's
+   restore actions (newest-first) are prepended so a later rollback of
+   the parent replays them before anything the parent logged earlier. *)
+let absorb parent child =
+  parent.actions <- child.actions @ parent.actions;
+  child.actions <- []

@@ -19,3 +19,9 @@ val commit : t -> unit
 val rollback : t -> unit
 
 val depth : t -> int
+
+(** [absorb parent child] moves the child scope's restore actions into
+    [parent] (ahead of what [parent] already holds, preserving
+    newest-first replay) and empties [child].  Used to fold a
+    per-statement scope into an enclosing batch scope. *)
+val absorb : t -> t -> unit

@@ -198,6 +198,7 @@ type record =
   | Delete of { table : string; rows : Row.t array }
   | Update of { table : string; pairs : (Row.t * Row.t) array }
   | Load of { table : string; rows : Row.t array }
+  | Batch of record list
 
 let describe = function
   | Begin epoch -> Printf.sprintf "BEGIN epoch=%d" epoch
@@ -206,8 +207,9 @@ let describe = function
   | Delete { table; rows } -> Printf.sprintf "DELETE %d row(s) from %s" (Array.length rows) table
   | Update { table; pairs } -> Printf.sprintf "UPDATE %d row(s) of %s" (Array.length pairs) table
   | Load { table; rows } -> Printf.sprintf "LOAD %d row(s) into %s" (Array.length rows) table
+  | Batch records -> Printf.sprintf "BATCH of %d record(s)" (List.length records)
 
-let payload_of_record (r : record) : string =
+let rec payload_of_record (r : record) : string =
   let buf = Buffer.create 64 in
   (match r with
    | Begin epoch ->
@@ -239,10 +241,16 @@ let payload_of_record (r : record) : string =
      Buffer.add_char buf 'l';
      Codec.put_string buf table;
      Codec.put_int buf (Array.length rows);
-     Array.iter (Codec.put_row buf) rows);
+     Array.iter (Codec.put_row buf) rows
+   | Batch records ->
+     (* group commit: the sub-records nest as length-prefixed payloads,
+        so one frame (and one fsync) covers the whole batch *)
+     Buffer.add_char buf 'b';
+     Codec.put_int buf (List.length records);
+     List.iter (fun sub -> Codec.put_string buf (payload_of_record sub)) records);
   Buffer.contents buf
 
-let record_of_payload (payload : string) : record =
+let rec record_of_payload (payload : string) : record =
   let r = Codec.reader payload in
   let get_rows () =
     let table = Codec.get_string r in
@@ -273,6 +281,10 @@ let record_of_payload (payload : string) : record =
   | 'l' ->
     let table, rows = get_rows () in
     Load { table; rows }
+  | 'b' ->
+    let n = Codec.get_int r in
+    if n < 0 then raise (Codec.Decode "negative batch record count");
+    Batch (List.init n (fun _ -> record_of_payload (Codec.get_string r)))
   | c -> raise (Codec.Decode (Printf.sprintf "bad record tag %C" c))
 
 (* ---- Framing: [length ∥ crc32 ∥ payload], both u32 LE ---- *)

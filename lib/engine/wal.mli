@@ -30,6 +30,10 @@ type record =
       (** (old, new) row pairs *)
   | Load of { table : string; rows : Row.t array }
       (** bulk/CSV batch load (full-refresh maintenance on replay) *)
+  | Batch of record list
+      (** group commit: the records of one batch scope, framed as a
+          single record so the whole batch shares one fsync and recovery
+          replays it atomically through the delta path *)
 
 (** One line for reports and error messages. *)
 val describe : record -> string

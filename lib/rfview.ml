@@ -1,0 +1,151 @@
+(* Stable public façade: Config + Session over the engine. *)
+
+module Relation = Rfview_relalg.Relation
+module Db = Rfview_engine.Database
+module Catalog = Rfview_engine.Catalog
+module Fault = Rfview_engine.Fault
+module Lexer = Rfview_sql.Lexer
+module Parser = Rfview_sql.Parser
+module Pretty = Rfview_sql.Pretty
+module Binder = Rfview_planner.Binder
+
+module Config = struct
+  type window_mode = Db.window_mode
+
+  type window_strategy = Rfview_relalg.Window.strategy =
+    | Naive
+    | Incremental
+
+  type degradation = Db.degradation
+
+  type t = Db.config = {
+    window_mode : window_mode;
+    window_strategy : window_strategy;
+    hash_join : bool;
+    index_join : bool;
+    degradation : degradation;
+  }
+
+  let default = Db.default_config
+end
+
+module Session = struct
+  type t = { db : Db.t; mutable report : Db.recovery_report option }
+
+  type error =
+    | Parse of string
+    | Bind of string
+    | Runtime of string
+    | Quarantined of { views : string list; detail : string }
+    | Recovery of string
+    | Script of { index : int; sql : string; cause : error }
+
+  type result = Db.result =
+    | Relation of Relation.t
+    | Done of string
+
+  type recovery_report = Db.recovery_report = {
+    checkpoint_epoch : int option;
+    replayed : int;
+    torn : bool;
+    quarantined : string list;
+  }
+
+  let rec describe_error = function
+    | Parse m -> "parse error: " ^ m
+    | Bind m -> "bind error: " ^ m
+    | Runtime m -> m
+    | Quarantined { views; detail } ->
+      Printf.sprintf "%s (quarantined: %s)" detail (String.concat ", " views)
+    | Recovery m -> "recovery failed: " ^ m
+    | Script { index; sql; cause } ->
+      Printf.sprintf "statement %d (%s): %s" index sql (describe_error cause)
+
+  let describe_exn = function
+    | Db.Engine_error m -> m
+    | Catalog.Catalog_error m -> m
+    | Rfview_relalg.Value.Type_error m -> "type error: " ^ m
+    | Fault.Injected site -> "injected fault at " ^ site
+    | e -> Printexc.to_string e
+
+  (* [fresh] = views quarantined by this very operation (present after,
+     absent before): a runtime failure that left fresh quarantines is
+     surfaced as [Quarantined]. *)
+  let rec error_of_exn ~fresh exn =
+    match exn with
+    | Lexer.Lex_error (m, off) -> Parse (Printf.sprintf "%s (at byte %d)" m off)
+    | Parser.Parse_error m -> Parse m
+    | Binder.Bind_error m -> Bind m
+    | Db.Recovery_error m -> Recovery m
+    | Db.Script_error { index; sql; cause } ->
+      Script { index; sql; cause = error_of_exn ~fresh cause }
+    | e when fresh <> [] -> Quarantined { views = fresh; detail = describe_exn e }
+    | e -> Runtime (describe_exn e)
+
+  let wrap session f =
+    let before = Db.stale_views session.db in
+    match f () with
+    | v -> Ok v
+    | exception e ->
+      let fresh =
+        List.filter
+          (fun v -> not (List.mem v before))
+          (Db.stale_views session.db)
+      in
+      Error (error_of_exn ~fresh e)
+
+  let open_in_memory ?config () =
+    { db = Db.create ?config (); report = None }
+
+  let open_durable ?config dir =
+    match Db.recover ?config dir with
+    | db, report -> Ok { db; report = Some report }
+    | exception Db.Recovery_error m -> Error (Recovery m)
+
+  let recovery session = session.report
+  let close session = Db.close session.db
+  let exec session sql = wrap session (fun () -> Db.exec session.db sql)
+
+  (* Chunked script execution: consecutive runs of [n] statements each
+     group-commit in their own batch scope; the failing statement keeps
+     its global 1-based index. *)
+  let exec_script_chunked session n sql =
+    let stmts = Array.of_list (Parser.statements sql) in
+    let total = Array.length stmts in
+    let results = ref [] in
+    let failure = ref None in
+    let i = ref 0 in
+    while !i < total && Option.is_none !failure do
+      let hi = min total (!i + n) in
+      Db.with_batch session.db (fun () ->
+          while !i < hi && Option.is_none !failure do
+            let stmt = stmts.(!i) in
+            (match Db.exec_statement session.db stmt with
+             | r -> results := r :: !results
+             | exception cause ->
+               failure :=
+                 Some
+                   (Db.Script_error
+                      { index = !i + 1; sql = Pretty.statement stmt; cause }));
+            incr i
+          done);
+    done;
+    match !failure with
+    | Some e -> raise e
+    | None -> List.rev !results
+
+  let exec_script ?batch session sql =
+    match batch with
+    | None | Some 0 -> wrap session (fun () -> Db.exec_script session.db sql)
+    | Some n when n < 0 -> invalid_arg "Session.exec_script: negative batch"
+    | Some n -> wrap session (fun () -> exec_script_chunked session n sql)
+
+  let query session sql = wrap session (fun () -> Db.query session.db sql)
+  let with_batch session f = Db.with_batch session.db f
+  let checkpoint session = wrap session (fun () -> Db.checkpoint session.db)
+  let set_checkpoint_every session n = Db.set_checkpoint_every session.db n
+  let stale_views session = Db.stale_views session.db
+  let config session = Db.config session.db
+  let reconfigure session cfg = Db.reconfigure session.db cfg
+  let database session = session.db
+end

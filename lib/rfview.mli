@@ -1,0 +1,133 @@
+(** Stable public API of the reporting-function-view engine.
+
+    This is the façade downstream code should program against: the
+    [Rfview.Session] handle wraps the engine behind a result-typed
+    surface with structured errors, and [Rfview.Config] fixes all
+    execution knobs at open time.  Everything underneath
+    ({!Session.database} and the [Rfview_*] libraries) remains
+    reachable but is {e not} covered by the stability promise. *)
+
+module Relation = Rfview_relalg.Relation
+
+(** {1 Configuration} *)
+
+module Config : sig
+  (** Reporting functions execute through the native window operator
+      ([`Native]) or the paper's Fig. 2 self-join simulation
+      ([`Self_join]). *)
+  type window_mode = Rfview_engine.Database.window_mode
+
+  (** Per-partition window evaluation: the §2.2 naive form or the
+      pipelined incremental computation. *)
+  type window_strategy = Rfview_relalg.Window.strategy =
+    | Naive
+    | Incremental
+
+  (** What happens when maintaining one materialized view fails mid
+      statement: [`Quarantine] marks the view stale (healed on next
+      read), [`Abort] rolls the statement back. *)
+  type degradation = Rfview_engine.Database.degradation
+
+  type t = Rfview_engine.Database.config = {
+    window_mode : window_mode;
+    window_strategy : window_strategy;
+    hash_join : bool;
+    index_join : bool;
+    degradation : degradation;
+  }
+
+  (** [`Native], [Incremental], hash and index joins on,
+      [`Quarantine]. *)
+  val default : t
+end
+
+(** {1 Sessions} *)
+
+module Session : sig
+  (** A handle on one open database (in-memory or durable). *)
+  type t
+
+  (** Structured failure of a session operation. *)
+  type error =
+    | Parse of string  (** the SQL text does not lex/parse *)
+    | Bind of string  (** names/types do not resolve *)
+    | Runtime of string  (** execution failed; the statement rolled back *)
+    | Quarantined of { views : string list; detail : string }
+        (** the failure quarantined materialized views (they heal by
+            full refresh on their next read) *)
+    | Recovery of string  (** a durable directory could not be recovered *)
+    | Script of { index : int; sql : string; cause : error }
+        (** statement [index] (1-based) of a script failed; prior
+            statements committed *)
+
+  (** One line, human-readable. *)
+  val describe_error : error -> string
+
+  type result = Rfview_engine.Database.result =
+    | Relation of Relation.t
+    | Done of string
+
+  type recovery_report = Rfview_engine.Database.recovery_report = {
+    checkpoint_epoch : int option;
+    replayed : int;
+    torn : bool;
+    quarantined : string list;
+  }
+
+  (** {2 Opening} *)
+
+  val open_in_memory : ?config:Config.t -> unit -> t
+
+  (** Open (creating if necessary) a durable database directory;
+      [Error (Recovery _)] when it cannot be recovered. *)
+  val open_durable : ?config:Config.t -> string -> (t, error) Stdlib.result
+
+  (** What recovery did, for sessions opened with {!open_durable}. *)
+  val recovery : t -> recovery_report option
+
+  (** Close the underlying WAL writer (the handle stays usable in
+      memory).  Idempotent. *)
+  val close : t -> unit
+
+  (** {2 Execution} *)
+
+  (** Execute one statement. *)
+  val exec : t -> string -> (result, error) Stdlib.result
+
+  (** Execute a [;]-separated script.  By default the whole script is
+      one batch (one view propagation per dependent view, one WAL
+      fsync); [~batch:n] with [n >= 1] group-commits every [n]
+      statements instead.  On [Error (Script _)], the statements before
+      the failing one have committed. *)
+  val exec_script : ?batch:int -> t -> string -> (result list, error) Stdlib.result
+
+  (** Execute a query statement and return its rows. *)
+  val query : t -> string -> (Relation.t, error) Stdlib.result
+
+  (** Run [f] inside a batch scope (see {!Rfview_engine.Database.with_batch}):
+      deltas accumulate and propagate once per view at scope exit, with
+      one group-commit fsync.  Exceptions from [f] roll the whole batch
+      back and re-raise. *)
+  val with_batch : t -> (unit -> 'a) -> 'a
+
+  (** {2 Durability} *)
+
+  val checkpoint : t -> (unit, error) Stdlib.result
+
+  (** Checkpoint automatically once the WAL holds at least [n] records
+      ([None] disables). *)
+  val set_checkpoint_every : t -> int option -> unit
+
+  (** {2 Introspection} *)
+
+  (** Names of quarantined views, sorted. *)
+  val stale_views : t -> string list
+
+  val config : t -> Config.t
+  val reconfigure : t -> Config.t -> unit
+
+  (** The underlying engine handle — the escape hatch for tooling
+      (lint, analysis, benchmarks).  Everything reached through it is
+      outside the stability promise of this module. *)
+  val database : t -> Rfview_engine.Database.t
+end

@@ -36,9 +36,11 @@ type config = {
   seed : int;
   ops : int;               (* length of the DML stream *)
   cache_every : int;       (* probe the cache every Nth statement *)
+  batch : int;             (* > 1: group-commit chunks of this many
+                              statements; checks at chunk boundaries *)
 }
 
-let default_config = { seed = 11; ops = 60; cache_every = 5 }
+let default_config = { seed = 11; ops = 60; cache_every = 5; batch = 0 }
 
 type report = {
   statements : int;        (* statements attempted *)
@@ -234,9 +236,10 @@ let run ?(config = default_config) ?inject ?(sanitize = false) () : report =
   Fun.protect
     ~finally:(fun () -> Fault.disarm_all ())
     (fun () ->
-      for i = 1 to config.ops do
+      let last_sql = ref "(none)" in
+      let exec_op () =
         let op = gen_op prng in
-        let context = Printf.sprintf "op %d (%s)" i (sql_of_op op) in
+        last_sql := sql_of_op op;
         let applied =
           match op with
           | Load_csv batch ->
@@ -250,7 +253,34 @@ let run ?(config = default_config) ?inject ?(sanitize = false) () : report =
         in
         if applied then oracle := apply_oracle !oracle op
         else report := { !report with failed = !report.failed + 1 };
-        report := { !report with statements = !report.statements + 1 };
+        report := { !report with statements = !report.statements + 1 }
+      in
+      (* [batch <= 1]: one statement per chunk, checks after each —
+         the original per-statement stream.  [batch > 1]: chunks run
+         inside [with_batch] (group commit, one propagation per view)
+         and the invariants are only checkable at commit boundaries. *)
+      let i = ref 1 in
+      while !i <= config.ops do
+        let chunk =
+          if config.batch <= 1 then 1
+          else min config.batch (config.ops - !i + 1)
+        in
+        let first = !i and last = !i + chunk - 1 in
+        let oracle0 = !oracle in
+        (match
+           if chunk = 1 then exec_op ()
+           else Db.with_batch db (fun () -> for _ = first to last do exec_op () done)
+         with
+         | () -> ()
+         | exception _ ->
+           (* a commit-time failure rolls the whole batch back; the
+              oracle must forget the chunk with it *)
+           oracle := oracle0;
+           report := { !report with failed = !report.failed + 1 });
+        let context =
+          if chunk = 1 then Printf.sprintf "op %d (%s)" first !last_sql
+          else Printf.sprintf "ops %d-%d (batch; last: %s)" first last !last_sql
+        in
         (* all consistency checks run with injection suspended: they must
            observe the state the fault left behind, not re-trigger it *)
         Fault.with_suspended (fun () ->
@@ -261,8 +291,10 @@ let run ?(config = default_config) ?inject ?(sanitize = false) () : report =
             let healed = heal_stale db ~context in
             report := { !report with heals = !report.heals + healed; checks = !report.checks + 1 });
         (* cache probe: runs with faults live (the cache must degrade,
-           never corrupt); the reference runs suspended *)
-        if i mod config.cache_every = 0 then begin
+           never corrupt); the reference runs suspended.  A batched chunk
+           probes when it crossed a probe point — after its commit, so a
+           hit must never serve a pre-batch answer. *)
+        if last / config.cache_every > (first - 1) / config.cache_every then begin
           List.iter
             (fun sql ->
               let result, outcome = Cache.query cache sql in
@@ -271,7 +303,7 @@ let run ?(config = default_config) ?inject ?(sanitize = false) () : report =
               in
               if not (Relation.equal_bag result reference) then
                 divergence "op %d: cache answer diverged from uncached execution (%s)"
-                  i
+                  last
                   (Cache.describe_outcome outcome);
               report :=
                 {
@@ -282,7 +314,8 @@ let run ?(config = default_config) ?inject ?(sanitize = false) () : report =
                     + match outcome with Cache.Hit _ -> 1 | _ -> 0);
                 })
             cache_probe_queries
-        end
+        end;
+        i := last + 1
       done;
       !report)
 
@@ -302,10 +335,12 @@ type crash_config = {
   cc_ops : int;              (* statements across the whole run *)
   cc_crash_every : int;      (* crash once per this many statements *)
   cc_checkpoint_every : int; (* checkpoint period in statements; 0 = never *)
+  cc_batch : int;            (* > 1: group-commit chunks of this size *)
 }
 
 let default_crash_config =
-  { cc_seed = 7; cc_ops = 80; cc_crash_every = 7; cc_checkpoint_every = 11 }
+  { cc_seed = 7; cc_ops = 80; cc_crash_every = 7; cc_checkpoint_every = 11;
+    cc_batch = 0 }
 
 type crash_report = {
   cr_statements : int;
@@ -447,9 +482,10 @@ let run_crash ?(config = default_crash_config) ~dir () : crash_report =
       Fault.disarm_all ();
       Db.close !db)
     (fun () ->
-      for i = 1 to config.cc_ops do
+      let last_sql = ref "(none)" in
+      let exec_op () =
         let op = gen_op prng in
-        let context = Printf.sprintf "op %d (%s)" i (sql_of_op op) in
+        last_sql := sql_of_op op;
         let applied =
           match op with
           | Load_csv batch ->
@@ -462,14 +498,39 @@ let run_crash ?(config = default_crash_config) ~dir () : crash_report =
              | exception _ -> false)
         in
         if applied then oracle := apply_oracle !oracle op;
-        report := { !report with cr_statements = !report.cr_statements + 1 };
+        report := { !report with cr_statements = !report.cr_statements + 1 }
+      in
+      (* crossed p = "a period-[p] boundary lies inside this chunk";
+         at chunk size 1 this is exactly [i mod p = 0].  Checkpoints and
+         crashes only happen at chunk boundaries, so a crash never finds
+         an open batch: the directory holds either the whole chunk (one
+         WAL batch record) or none of it. *)
+      let i = ref 1 in
+      while !i <= config.cc_ops do
+        let chunk =
+          if config.cc_batch <= 1 then 1
+          else min config.cc_batch (config.cc_ops - !i + 1)
+        in
+        let first = !i and last = !i + chunk - 1 in
+        let crossed p = p > 0 && last / p > (first - 1) / p in
+        let oracle0 = !oracle in
+        (match
+           if chunk = 1 then exec_op ()
+           else Db.with_batch !db (fun () -> for _ = first to last do exec_op () done)
+         with
+         | () -> ()
+         | exception _ -> oracle := oracle0);
+        let context =
+          if chunk = 1 then Printf.sprintf "op %d (%s)" first !last_sql
+          else Printf.sprintf "ops %d-%d (batch; last: %s)" first last !last_sql
+        in
         check ~context;
-        if config.cc_checkpoint_every > 0 && i mod config.cc_checkpoint_every = 0
-        then begin
+        if crossed config.cc_checkpoint_every then begin
           Db.checkpoint !db;
           report := { !report with cr_checkpoints = !report.cr_checkpoints + 1 }
         end;
-        if i mod config.cc_crash_every = 0 then crash (Prng.int prng 5) i
+        if crossed config.cc_crash_every then crash (Prng.int prng 5) last;
+        i := last + 1
       done;
       (* final kill + recovery: the directory alone must reproduce the
          oracle *)

@@ -25,6 +25,11 @@ type config = {
   seed : int;
   ops : int;          (** length of the DML stream *)
   cache_every : int;  (** probe the cache every Nth statement *)
+  batch : int;
+      (** [> 1]: run the stream in [Db.with_batch] chunks of this many
+          statements, with all consistency checks and cache probes at
+          chunk (batch-commit) boundaries; [<= 1] (default 0) keeps the
+          per-statement stream *)
 }
 
 val default_config : config
@@ -74,6 +79,11 @@ type crash_config = {
   cc_ops : int;               (** statements across the whole run *)
   cc_crash_every : int;       (** crash once per this many statements *)
   cc_checkpoint_every : int;  (** checkpoint period in statements; 0 = never *)
+  cc_batch : int;
+      (** [> 1]: group-commit the stream in chunks of this many
+          statements; checks, checkpoints and crashes happen at batch
+          boundaries (there is never an open batch at a crash).
+          [<= 1] (default 0) keeps the per-statement stream *)
 }
 
 val default_crash_config : crash_config

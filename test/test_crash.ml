@@ -274,6 +274,97 @@ let test_replay_fault_then_retry () =
       check_same_bag "base table" base (dump db');
       Db.close db')
 
+(* ---- Batched durability ----
+
+   A batch is atomic on disk: one framed [Wal.Batch] record, one fsync.
+   A crash therefore recovers either the pre-batch state (open batch
+   abandoned, or the group commit itself faulted) or the post-batch
+   state (record on disk) — never a prefix of the batch. *)
+
+let test_crash_mid_batch_rolls_back () =
+  with_clean_faults (fun () ->
+      let dir = fresh_dir "midbatch" in
+      let db = build dir in
+      let pre = Chaos.fingerprint db in
+      (* the process dies mid-batch: nothing of the batch may survive *)
+      (match
+         Db.with_batch db (fun () ->
+             ignore (Db.exec db "INSERT INTO seq VALUES (8, 80)");
+             ignore (Db.exec db "DELETE FROM seq WHERE pos = 1");
+             raise Exit)
+       with
+       | () -> Alcotest.fail "the batch must not complete"
+       | exception Exit -> ());
+      Alcotest.(check string) "in memory: exactly the pre-batch state" pre
+        (Chaos.fingerprint db);
+      Db.close db;
+      let db', _ = Db.recover dir in
+      Alcotest.(check string) "recovered: exactly the pre-batch state" pre
+        (Chaos.fingerprint db');
+      Db.close db')
+
+let test_batch_group_commit_replay () =
+  with_clean_faults (fun () ->
+      let dir = fresh_dir "groupcommit" in
+      let db = build dir in
+      Db.checkpoint db (* fresh log: [replayed] counts only the batch *);
+      Db.with_batch db (fun () ->
+          ignore (Db.exec db "INSERT INTO seq VALUES (8, 80)");
+          ignore (Db.exec db "INSERT INTO seq VALUES (9, 90)");
+          ignore (Db.exec db "DELETE FROM seq WHERE pos = 1");
+          (* a checkpoint would truncate the log under the open batch *)
+          match Db.checkpoint db with
+          | () -> Alcotest.fail "checkpoint inside a batch must be rejected"
+          | exception Db.Engine_error _ -> ());
+      let post = Chaos.fingerprint db in
+      Db.close db;
+      let db', r = Db.recover dir in
+      Alcotest.(check int) "three statements replay as one batch record" 1
+        r.Db.replayed;
+      Alcotest.(check string) "recovered: exactly the post-batch state" post
+        (Chaos.fingerprint db');
+      Db.close db')
+
+let test_batch_commit_fault_no_prefix () =
+  with_clean_faults (fun () ->
+      let dir = fresh_dir "batchwal" in
+      let db = build dir in
+      let pre = Chaos.fingerprint db in
+      (* statements inside the batch only buffer their WAL records, so an
+         armed WAL site fires at the group commit — and must take the
+         whole batch down with it *)
+      List.iter
+        (fun site ->
+          Fault.arm site Fault.Always;
+          (match
+             Db.with_batch db (fun () ->
+                 ignore (Db.exec db "INSERT INTO seq VALUES (8, 80)");
+                 ignore (Db.exec db "UPDATE seq SET val = 11 WHERE pos = 1"))
+           with
+           | () -> Alcotest.failf "the batch must not commit with %s armed" site
+           | exception Fault.Injected _ -> ());
+          Fault.disarm site;
+          Alcotest.(check string) (site ^ ": whole batch rolled back") pre
+            (Chaos.fingerprint db))
+        [ "wal.append"; "wal.fsync" ];
+      Db.close db;
+      let db' = Db.open_durable dir in
+      Alcotest.(check string) "no batch left anything on disk" pre
+        (Chaos.fingerprint db');
+      Db.close db')
+
+let test_crash_chaos_batched () =
+  with_clean_faults (fun () ->
+      let r =
+        Chaos.run_crash
+          ~config:
+            { Chaos.default_crash_config with Chaos.cc_seed = 13; Chaos.cc_batch = 5 }
+          ~dir:(fresh_dir "chaosbatched") ()
+      in
+      Alcotest.(check bool) "statements exercised" true (r.Chaos.cr_statements > 0);
+      Alcotest.(check bool) "crash/recovery cycles" true (r.Chaos.cr_crashes > 0);
+      Alcotest.(check bool) "records replayed" true (r.Chaos.cr_replayed > 0))
+
 (* ---- The crash-recovery chaos matrix ----
 
    A few seeds of the randomized crash stream; aggregated across the
@@ -363,6 +454,18 @@ let () =
           Alcotest.test_case "recover.replay then retry" `Quick
             test_replay_fault_then_retry;
         ] );
+      ( "batched durability",
+        [
+          Alcotest.test_case "crash mid-batch rolls back" `Quick
+            test_crash_mid_batch_rolls_back;
+          Alcotest.test_case "group commit replays as one record" `Quick
+            test_batch_group_commit_replay;
+          Alcotest.test_case "commit fault leaves no prefix" `Quick
+            test_batch_commit_fault_no_prefix;
+        ] );
       ( "chaos",
-        [ Alcotest.test_case "crash matrix" `Slow test_crash_chaos_matrix ] );
+        [
+          Alcotest.test_case "crash matrix" `Slow test_crash_chaos_matrix;
+          Alcotest.test_case "batched crash stream" `Slow test_crash_chaos_batched;
+        ] );
     ]

@@ -163,7 +163,7 @@ let test_rollback_per_site () =
       List.iter
         (fun (site, sql, mutates) ->
           let db = db_with_view [ 1.; 2.; 3.; 4. ] in
-          Db.set_degradation db `Abort;
+          Db.reconfigure db { (Db.config db) with Db.degradation = `Abort };
           let before = Chaos.fingerprint db in
           Fault.arm site Fault.Always;
           (match Db.exec db sql with
@@ -205,7 +205,7 @@ let test_ddl_rollback () =
      computation faults must not leave the name behind. *)
   with_clean_faults (fun () ->
       let db = db_with_view [ 1.; 2. ] in
-      Db.set_degradation db `Abort;
+      Db.reconfigure db { (Db.config db) with Db.degradation = `Abort };
       Fault.arm "matview.init_state" Fault.Always;
       (match
          Db.exec db "CREATE MATERIALIZED VIEW broken AS SELECT pos, val, SUM(val) \
@@ -388,7 +388,7 @@ let prop_rollback_idempotent (site_idx, nth, seed) =
   with_clean_faults (fun () ->
       let db = db_with_view [ 1.; 2.; 3. ] in
       let twin = db_with_view [ 1.; 2.; 3. ] in
-      Db.set_degradation db `Abort;
+      Db.reconfigure db { (Db.config db) with Db.degradation = `Abort };
       Fault.arm (List.nth prop_sites site_idx) (Fault.Nth nth);
       List.for_all
         (fun sql ->
@@ -527,7 +527,7 @@ let test_undo_double_fault_rollback () =
 let test_undo_overlapping_view_snapshots () =
   with_clean_faults (fun () ->
       let db = db_with_view [ 1.; 2.; 3. ] in
-      Db.set_degradation db `Abort;
+      Db.reconfigure db { (Db.config db) with Db.degradation = `Abort };
       let before = Chaos.fingerprint db in
       Fault.arm "matview.init_state" Fault.Always;
       (match Db.exec db "INSERT INTO seq VALUES (10, NULL)" with
@@ -558,6 +558,121 @@ let test_stale_views_sorted () =
       Fault.disarm "database.propagate_view";
       Alcotest.(check (list string)) "case-insensitive name order"
         [ "alpha"; "Beta"; "delta"; "GAMMA" ] (Db.stale_views db))
+
+(* ---- Batched delta maintenance ----
+
+   The group-commit path must be observationally identical to per-row
+   maintenance: same final state (bit-identical fingerprint), one
+   propagation per dependent view per batch instead of per statement,
+   and cache entries that never serve a pre-batch answer after commit. *)
+
+let test_batch_vs_per_row () =
+  with_clean_faults (fun () ->
+      let stream = gen_stream 42 in
+      let per_row = db_with_view [ 1.; 2.; 3. ] in
+      List.iter (fun sql -> ignore (Db.exec per_row sql)) stream;
+      let batched = db_with_view [ 1.; 2.; 3. ] in
+      Db.with_batch batched (fun () ->
+          List.iter (fun sql -> ignore (Db.exec batched sql)) stream);
+      Alcotest.(check string) "batched state bit-identical to per-row"
+        (Chaos.fingerprint per_row) (Chaos.fingerprint batched))
+
+(* Random streams, random chunking: running the stream in [with_batch]
+   chunks of any size must land on exactly the per-row state. *)
+let prop_batch_equivalence (seed, chunk) =
+  with_clean_faults (fun () ->
+      let stream = Array.of_list (gen_stream seed) in
+      let n = Array.length stream in
+      let per_row = db_with_view [ 1.; 2.; 3. ] in
+      Array.iter (fun sql -> ignore (Db.exec per_row sql)) stream;
+      let batched = db_with_view [ 1.; 2.; 3. ] in
+      let i = ref 0 in
+      while !i < n do
+        let last = min n (!i + chunk) in
+        Db.with_batch batched (fun () ->
+            for j = !i to last - 1 do
+              ignore (Db.exec batched stream.(j))
+            done);
+        i := last
+      done;
+      let ok = Chaos.fingerprint per_row = Chaos.fingerprint batched in
+      if not ok then
+        QCheck.Test.fail_reportf "batched (chunk=%d) diverged from per-row" chunk;
+      ok)
+
+let arb_batch_case =
+  QCheck.make
+    QCheck.Gen.(
+      let* seed = int_range 0 10_000 in
+      let* chunk = int_range 1 12 in
+      return (seed, chunk))
+    ~print:(fun (seed, chunk) -> Printf.sprintf "seed=%d chunk=%d" seed chunk)
+
+let test_batch_propagates_once_per_view () =
+  with_clean_faults (fun () ->
+      let db = db_with_view [ 1.; 2.; 3. ] in
+      ignore
+        (Db.exec db
+           "CREATE MATERIALIZED VIEW v2 AS SELECT pos, val, MIN(val) OVER \
+            (ORDER BY pos ROWS UNBOUNDED PRECEDING) AS m FROM seq");
+      let inserts lo =
+        List.iter
+          (fun i ->
+            ignore (Db.exec db (Printf.sprintf "INSERT INTO seq VALUES (%d, 1)" (lo + i))))
+          [ 0; 1; 2; 3 ]
+      in
+      let base = Fault.hits "database.propagate_view" in
+      inserts 10;
+      Alcotest.(check int) "per-row: one propagation per view per statement"
+        (base + 8) (Fault.hits "database.propagate_view");
+      let base = Fault.hits "database.propagate_view" in
+      Db.with_batch db (fun () -> inserts 20);
+      Alcotest.(check int) "batched: one propagation per view per batch"
+        (base + 2) (Fault.hits "database.propagate_view");
+      check_same_bag "view fresh after the batch" (recompute db)
+        (Db.query db "SELECT * FROM v"))
+
+(* Cache entries are materialized views maintained by the same
+   propagation, so a batch commit refreshes them exactly once — and a
+   post-commit hit must equal uncached execution, never the pre-batch
+   answer.  A mid-batch probe must already see the buffered rows (reads
+   force an early flush). *)
+let test_batch_cache_freshness () =
+  with_clean_faults (fun () ->
+      let db = db_with_view [ 1.; 2.; 3. ] in
+      let cache = Cache.create ~capacity:4 db in
+      let seed_sql =
+        "SELECT pos, val, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 PRECEDING \
+         AND 2 FOLLOWING) AS s FROM seq"
+      in
+      (match Cache.query cache seed_sql with
+       | _, Cache.Miss_cached _ -> ()
+       | _, o -> Alcotest.failf "seed not admitted: %s" (Cache.describe_outcome o));
+      let pre_batch, _ = Cache.query cache seed_sql in
+      Db.with_batch db (fun () ->
+          ignore (Db.exec db "INSERT INTO seq VALUES (4, 10), (5, 20)");
+          (* mid-batch: the probe must see the buffered rows *)
+          let mid, _ = Cache.query cache seed_sql in
+          check_same_bag "mid-batch cache answer is fresh" mid
+            (Db.run_query db (Rfview_sql.Parser.query seed_sql)));
+      let post, outcome = Cache.query cache seed_sql in
+      (match outcome with
+       | Cache.Hit _ -> ()
+       | o -> Alcotest.failf "post-commit probe missed: %s" (Cache.describe_outcome o));
+      check_same_bag "post-commit hit equals uncached execution" post
+        (Db.run_query db (Rfview_sql.Parser.query seed_sql));
+      if Relation.equal_bag post pre_batch then
+        Alcotest.fail "post-commit hit served the pre-batch answer")
+
+let test_chaos_batched_clean () =
+  with_clean_faults (fun () ->
+      let r = Chaos.run ~config:{ Chaos.default_config with Chaos.batch = 4 } () in
+      Alcotest.(check int) "all statements attempted" r.Chaos.statements
+        Chaos.default_config.Chaos.ops;
+      Alcotest.(check int) "nothing failed without injection" 0 r.Chaos.failed;
+      Alcotest.(check int) "nothing quarantined without injection" 0
+        r.Chaos.quarantines;
+      Alcotest.(check bool) "cache exercised" true (r.Chaos.cache_probes > 0))
 
 let () =
   Alcotest.run "fault"
@@ -609,5 +724,16 @@ let () =
         [
           Alcotest.test_case "clean run, no site fires" `Quick test_chaos_clean;
           Alcotest.test_case "sweep fires every site" `Slow test_chaos_sweep_all_sites;
+          Alcotest.test_case "batched clean run" `Quick test_chaos_batched_clean;
+        ] );
+      ( "batched maintenance",
+        [
+          Alcotest.test_case "batch equals per-row" `Quick test_batch_vs_per_row;
+          Alcotest.test_case "one propagation per view per batch" `Quick
+            test_batch_propagates_once_per_view;
+          Alcotest.test_case "cache fresh across a batch commit" `Quick
+            test_batch_cache_freshness;
+          qtest ~count:100 "batch/per-row equivalence" arb_batch_case
+            prop_batch_equivalence;
         ] );
     ]

@@ -166,7 +166,7 @@ let prop_pushdown_preserves_semantics =
       (* reference: force nested loops and no index by a fresh db without
          indexes and hash joins disabled *)
       let db1 = db3 () in
-      Db.set_hash_join db1 false;
+      Db.reconfigure db1 { (Db.config db1) with Db.hash_join = false };
       let reference = Db.query db1 sql in
       let db2 = db3 () in
       ignore (Db.exec db2 "CREATE INDEX bi ON b (y)");

@@ -10,6 +10,12 @@ module Db = Rfview_engine.Database
    rewrite pass while the suite runs. *)
 let () = Rfview_analysis.Verify.enable ()
 
+let set_window_mode db mode =
+  Db.reconfigure db { (Db.config db) with Db.window_mode = mode }
+
+let set_window_strategy db strategy =
+  Db.reconfigure db { (Db.config db) with Db.window_strategy = strategy }
+
 let fresh_db_with_seq ?(name = "seq") data =
   let db = Db.create () in
   ignore (Db.exec db (Printf.sprintf "CREATE TABLE %s (pos INT, val FLOAT)" name));
@@ -197,9 +203,9 @@ let test_native_equals_self_join () =
   List.iter
     (fun sql ->
       let db = fresh_db_with_seq data in
-      Db.set_window_mode db `Native;
+      set_window_mode db `Native;
       let native = Db.query db sql in
-      Db.set_window_mode db `Self_join;
+      set_window_mode db `Self_join;
       let simulated = Db.query db sql in
       if not (Relation.equal_bag native simulated) then
         Alcotest.failf "rewrite mismatch for: %s@.native:@.%s@.simulated:@.%s" sql
@@ -230,9 +236,9 @@ let test_self_join_rewrite_qcheck =
           "SELECT pos, SUM(val) OVER (%sORDER BY pos %s) AS w FROM seq" partition frame
       in
       let db = fresh_db_with_seq vals in
-      Db.set_window_mode db `Native;
+      set_window_mode db `Native;
       let native = Db.query db sql in
-      Db.set_window_mode db `Self_join;
+      set_window_mode db `Self_join;
       let simulated = Db.query db sql in
       Relation.equal_bag native simulated)
 
@@ -308,9 +314,9 @@ let test_window_strategy_equivalence () =
      FOLLOWING) AS w FROM seq"
   in
   let db = fresh_db_with_seq data in
-  Db.set_window_strategy db Window.Naive;
+  set_window_strategy db Window.Naive;
   let naive = Db.query db sql in
-  Db.set_window_strategy db Window.Incremental;
+  set_window_strategy db Window.Incremental;
   let incr = Db.query db sql in
   Alcotest.(check bool) "strategies agree" true (Relation.equal_bag naive incr)
 
