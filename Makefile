@@ -35,11 +35,16 @@ crash-chaos:
 # Scaled-down run of the delta-maintenance experiment (batched vs
 # per-row vs full-refresh propagation): asserts the modes agree
 # bit-for-bit, writes BENCH_delta.json, and fails unless the report is
-# well-formed.
+# well-formed.  Then the generalized-IVM experiment (derived delta
+# plans vs full refresh on join/GROUP BY views), writing BENCH_IVM.json
+# under the same checks.
 bench-smoke:
 	dune exec bench/main.exe -- delta --smoke
 	@grep -q '"acceptance"' BENCH_delta.json && grep -q '"speedup"' BENCH_delta.json \
 	  && echo "BENCH_delta.json well-formed"
+	dune exec bench/main.exe -- delta-ivm --smoke
+	@grep -q '"acceptance"' BENCH_IVM.json && grep -q '"speedup"' BENCH_IVM.json \
+	  && echo "BENCH_IVM.json well-formed"
 
 check: build test lint analyze chaos crash-chaos bench-smoke
 

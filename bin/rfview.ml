@@ -328,7 +328,7 @@ let cmd_analyze file =
      incr errors
    | stmts ->
      let db = Session.database (Session.open_in_memory ()) in
-     let analyze_query ~stmt where q =
+     let analyze_query ~stmt ?ivm_view where q =
        match Rfview_planner.Binder.bind_query ~stmt (Db.binder_catalog db) q with
        | exception Rfview_planner.Binder.Bind_error m ->
          Printf.printf "%s: bind error: %s\n" where m;
@@ -356,14 +356,29 @@ let cmd_analyze file =
                (fun c -> print_string (Cert.to_string c))
                certs)
            (Advisor.certificates db q);
+         (* incrementality certificate of a materialized view: can the
+            deriver maintain it by delta plan, and if not, why not
+            (RF30x, warnings only — full refresh remains available) *)
+         (match ivm_view with
+          | None -> ()
+          | Some view ->
+            let module Ivmcert = Rfview_analysis.Ivmcert in
+            let cert = Ivmcert.certify ~view plan in
+            print_string (Ivmcert.to_string cert);
+            List.iter
+              (fun d -> Printf.printf "%s\n" (Diag.to_string d))
+              cert.Ivmcert.diags);
          print_newline ()
      in
      List.iteri
        (fun i st ->
          let where = Printf.sprintf "%s:%d" file (i + 1) in
          (match st with
-          | Ast.St_query q | Ast.St_create_view { query = q; _ } ->
-            analyze_query ~stmt:(i + 1) where q
+          | Ast.St_query q -> analyze_query ~stmt:(i + 1) where q
+          | Ast.St_create_view { name; materialized; query = q } ->
+            analyze_query ~stmt:(i + 1)
+              ?ivm_view:(if materialized then Some name else None)
+              where q
           | _ -> ());
          match st with
          | Ast.St_query _ -> ()

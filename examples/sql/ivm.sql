@@ -1,0 +1,49 @@
+-- Generalized IVM corpus: materialized views beyond the paper's §2.3
+-- sequence shape.  `rfview analyze` prints each view's incrementality
+-- certificate — the machine-checked obligations under which the
+-- delta-plan deriver (Planner.Deriv) maintains it incrementally — and
+-- an RF30x warning for every statically-rejected view (those keep full
+-- refresh).  Analyzed by `make analyze`; the script must stay free of
+-- RF2xx diagnostics.
+
+CREATE TABLE sales (cust INT, region INT, amount FLOAT);
+CREATE TABLE customers (cust INT, name VARCHAR);
+INSERT INTO sales VALUES
+  (1, 10, 12.5), (1, 20, 3.25), (2, 10, 8.0), (3, 20, 41.0), (4, 10, -2.5);
+INSERT INTO customers VALUES (1, 'ada'), (2, 'bob'), (3, 'cyd');
+
+-- DERIVED: inner join of the two base tables.  Join deltas are
+-- bilinear; at batch commit the view changes by
+-- dS |x| C_new + S_new |x| dC - dS |x| dC.
+CREATE MATERIALIZED VIEW sales_named AS
+  SELECT s.cust AS cust, c.name AS name, s.amount AS amount
+  FROM sales s JOIN customers c ON s.cust = c.cust;
+
+-- DERIVED: GROUP BY regrouping over affected keys.  Touched groups are
+-- removed by key and recomputed from the restricted post-state child,
+-- bit-identical to a full refresh.
+CREATE MATERIALIZED VIEW region_totals AS
+  SELECT region, SUM(amount) AS total, COUNT(*) AS n
+  FROM sales GROUP BY region;
+
+-- DERIVED: reporting function localized to its PARTITION BY key; only
+-- affected partitions are re-extended.
+CREATE MATERIALIZED VIEW region_share AS
+  SELECT region, cust, amount, SUM(amount) OVER (PARTITION BY region) AS s
+  FROM sales;
+
+-- REJECTED (RF302): the outer join's NULL padding breaks bilinearity —
+-- an insert on the inner side can retract padded rows.
+CREATE MATERIALIZED VIEW all_sales_named AS
+  SELECT s.cust AS cust, c.name AS name
+  FROM sales s LEFT OUTER JOIN customers c ON s.cust = c.cust;
+
+-- REJECTED (RF301): DISTINCT has no per-operator delta rule here; the
+-- view keeps full refresh.
+CREATE MATERIALIZED VIEW active_regions AS
+  SELECT DISTINCT region FROM sales;
+
+-- REJECTED (RF304): without PARTITION BY the reporting function spans
+-- the whole table — no partition-local maintenance exists.
+CREATE MATERIALIZED VIEW running_total AS
+  SELECT cust, SUM(amount) OVER (ORDER BY cust) AS s FROM sales;

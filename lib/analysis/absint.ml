@@ -550,11 +550,21 @@ let rec go ~env ~sink path (p : Logical.t) : rel_abs * (string * rel_abs) list =
               })
           group
       in
+      (* Per-group row population: a group that exists holds at least
+         one row, and holds *all* of the input's rows only when it is
+         provably the sole group.  Feeding the total population to the
+         aggregate transfer would abstract a count over a 4-row input
+         with 2 groups as [4, 4] — unsound for any group of fewer
+         rows. *)
+      let group_rows =
+        if (not grouped) || rows_out.Card.hi = Some 1 then ia.rows
+        else Card.of_bounds (min ia.rows.Card.lo 1) ia.rows.Card.hi
+      in
       let agg_cols =
         List.map
           (fun (a : Groupop.agg_spec) ->
             let arg_av = eval ~sink:sink_here ~schema ia a.Groupop.arg in
-            let cnt = nonnull_count ~null:arg_av.null ~rows:ia.rows ~one_min:grouped in
+            let cnt = nonnull_count ~null:arg_av.null ~rows:group_rows ~one_min:grouped in
             let what =
               Printf.sprintf "%s(%s)" (Aggregate.kind_name a.Groupop.kind)
                 (Expr.to_string a.Groupop.arg)

@@ -223,6 +223,57 @@ let registry : info list =
          low-order digits.  Scale the measure down or aggregate over \
          narrower frames.";
     };
+    {
+      r_code = "RF301";
+      r_severity = Warning;
+      r_title = "operator without a delta rule";
+      r_explanation =
+        "Generalized incremental maintenance derives per-operator delta \
+         rules, and DISTINCT, LIMIT, ORDER BY and row numbering have \
+         none: their output depends on the whole input, not linearly on \
+         each row.  The view is maintained by full refresh; drop the \
+         operator from the view definition (order and limit results at \
+         query time instead) to make it derivable.";
+    };
+    {
+      r_code = "RF302";
+      r_severity = Warning;
+      r_title = "outer join breaks delta bilinearity";
+      r_explanation =
+        "The join delta rule d(A |x| B) = dA |x| B + A |x| dB - dA |x| dB \
+         relies on the inner join being bilinear in its inputs.  An \
+         outer join pads unmatched rows with NULLs, so a single inserted \
+         row can retract padding produced earlier — an effect no signed \
+         row delta expresses.  The view is maintained by full refresh; \
+         use an inner join, or materialize the padded side separately.";
+    };
+    {
+      r_code = "RF303";
+      r_severity = Warning;
+      r_title = "GROUP BY regrouping is not localizable";
+      r_explanation =
+        "Incremental GROUP BY maintenance removes the groups whose key \
+         appears in the child delta and recomputes exactly those from \
+         the post-state input.  That needs a non-empty grouping key that \
+         survives into the view's output columns, and a single-table \
+         select/project input whose row order is stable under DML (so \
+         recomputed float aggregates fold in refresh order).  The view \
+         is maintained by full refresh; keep the grouping columns in \
+         the select list and group directly over one table.";
+    };
+    {
+      r_code = "RF304";
+      r_severity = Warning;
+      r_title = "window maintenance is not partition-local";
+      r_explanation =
+        "Incremental reporting-function maintenance recomputes only the \
+         partitions whose key appears in the child delta.  That needs a \
+         non-empty PARTITION BY shared by every window function in the \
+         view, preserved into the view's output columns, over a \
+         single-table select/project input.  A window without PARTITION \
+         BY spans the whole relation — every change dirties everything. \
+         The view is maintained by full refresh.";
+    };
   ]
 
 let find_info code = List.find_opt (fun i -> i.r_code = code) registry

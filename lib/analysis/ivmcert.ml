@@ -1,0 +1,268 @@
+(* Incrementality certificates for generalized view maintenance.
+
+   Planner.Deriv derives per-operator delta rules; this module is the
+   *independent* static mirror of its preconditions: a walk over the
+   same logical plan producing one named proof obligation per rule
+   condition (linearity of every operator, join bilinearity, GROUP BY
+   key locality and preservation, window partition locality), each
+   discharged or failed, plus an RF3xx diagnostic per failure.
+
+   Keep the two walks in lockstep: the cert-iff-derive matrix in
+   test/test_ivm.ml asserts
+
+     valid (certify plan)  <=>  Result.is_ok (Deriv.derive plan)
+
+   and the engine installs a derived maintenance plan only when both
+   agree. *)
+
+module Logical = Rfview_planner.Logical
+open Rfview_relalg
+
+type obligation = Cert.obligation = {
+  ob_name : string;
+  ob_holds : bool;
+  ob_detail : string;
+}
+
+type t = {
+  view : string;
+  shape : string;  (* "linear" | "group-by" | "window" *)
+  obligations : obligation list;
+  diags : Diagnostic.t list;
+}
+
+let valid t = List.for_all (fun o -> o.ob_holds) t.obligations
+
+let ob name holds detail = { ob_name = name; ob_holds = holds; ob_detail = detail }
+
+(* ---- Offender collection in a linear context ---- *)
+
+type offender =
+  | Off_nonlinear of string  (* Distinct/Limit/Sort/Number *)
+  | Off_outer_join
+  | Off_nested_group
+  | Off_nested_window
+
+let rec offenders acc (plan : Logical.t) =
+  match plan with
+  | Logical.Scan _ -> acc
+  | Filter { input; _ } | Project { input; _ } | Alias { input; _ } ->
+    offenders acc input
+  | Join { kind; left; right; _ } ->
+    let acc = if kind = Joinop.Left_outer then Off_outer_join :: acc else acc in
+    offenders (offenders acc left) right
+  | Union_all { left; right } -> offenders (offenders acc left) right
+  | Aggregate { input; _ } -> offenders (Off_nested_group :: acc) input
+  | Window_op { input; _ } -> offenders (Off_nested_window :: acc) input
+  | Number { input; _ } -> offenders (Off_nonlinear "Number" :: acc) input
+  | Sort { input; _ } -> offenders (Off_nonlinear "Sort" :: acc) input
+  | Distinct input -> offenders (Off_nonlinear "Distinct" :: acc) input
+  | Limit { input; _ } -> offenders (Off_nonlinear "Limit" :: acc) input
+
+let named p l = List.filter_map p (List.rev l)
+
+(* ---- Shared structural predicates (mirrors of Deriv's) ---- *)
+
+let rec local_chain = function
+  | Logical.Scan _ -> true
+  | Logical.Filter { input; _ }
+  | Logical.Project { input; _ }
+  | Logical.Alias { input; _ } -> local_chain input
+  | _ -> false
+
+(* Peel Filter/Project/Alias off the top; wraps innermost-first as
+   projection column lists ([None] for filters, transparent for key
+   recovery). *)
+let rec peel wraps (plan : Logical.t) =
+  match plan with
+  | Logical.Filter { input; _ } -> peel wraps input
+  | Logical.Project { input; exprs } -> peel (List.map fst exprs :: wraps) input
+  | Logical.Alias { input; _ } -> peel wraps input
+  | node -> (wraps, node)
+
+(* Is a node-schema expression recoverable from the view's output rows
+   through the projection chain?  Exactly Deriv.remap_through_wraps'
+   success condition: every projection on the way up is made of bare
+   column references covering the expression's columns. *)
+let preserved_through (wraps : Expr.t list list) (e : Expr.t) : bool =
+  List.fold_left
+    (fun acc exprs ->
+      match acc with
+      | None -> None
+      | Some e ->
+        let table =
+          List.concat
+            (List.mapi
+               (fun i pe ->
+                 match pe with Expr.Col c -> [ (c, i) ] | _ -> [])
+               exprs)
+        in
+        let ok = ref true in
+        let e' =
+          Expr.map_cols
+            (fun c ->
+              match List.assoc_opt c table with
+              | Some i -> i
+              | None ->
+                ok := false;
+                c)
+            e
+        in
+        if !ok then Some e' else None)
+    (Some e) wraps
+  |> Option.is_some
+
+(* ---- Certification ---- *)
+
+let diag code msg = Diagnostic.make ~code ~path:[ "view" ] msg
+
+let linear_obligations node =
+  let offs = offenders [] node in
+  let nonlinear = named (function Off_nonlinear n -> Some n | _ -> None) offs in
+  let outer = List.exists (( = ) Off_outer_join) offs in
+  let nested_g = List.exists (( = ) Off_nested_group) offs in
+  let nested_w = List.exists (( = ) Off_nested_window) offs in
+  let obs =
+    [
+      ob "ops-linear" (nonlinear = [])
+        (if nonlinear = [] then
+           "every operator commutes with signed row deltas"
+         else
+           Printf.sprintf "no delta rule for: %s"
+             (String.concat ", " (List.sort_uniq String.compare nonlinear)));
+      ob "joins-inner" (not outer)
+        (if outer then "an outer join pads unmatched rows"
+         else "all joins are inner (bilinear)");
+      ob "spine-only-grouping"
+        ((not nested_g) && not nested_w)
+        (if nested_g || nested_w then
+           "an aggregate/window below a join or union cannot be localized"
+         else "no aggregation below joins or unions");
+    ]
+  in
+  let diags =
+    (if nonlinear = [] then []
+     else
+       [
+         diag "RF301"
+           (Printf.sprintf "no delta rule for %s; the view keeps full refresh"
+              (String.concat ", " (List.sort_uniq String.compare nonlinear)));
+       ])
+    @ (if outer then
+         [ diag "RF302" "outer join breaks delta bilinearity; the view keeps full refresh" ]
+       else [])
+    @ (if nested_g then
+         [ diag "RF303" "GROUP BY below a join or union is not localizable; the view keeps full refresh" ]
+       else [])
+    @
+    if nested_w then
+      [ diag "RF304" "window below a join or union is not partition-local; the view keeps full refresh" ]
+    else []
+  in
+  (obs, diags)
+
+let certify ?(view = "view") (plan : Logical.t) : t =
+  let wraps, node = peel [] plan in
+  match node with
+  | Logical.Aggregate { input; group; _ } ->
+    let keyed = group <> [] in
+    let local = local_chain input in
+    let preserved =
+      List.for_all
+        (fun i -> preserved_through wraps (Expr.Col i))
+        (List.init (List.length group) Fun.id)
+    in
+    let obs =
+      [
+        ob "group-keyed" keyed
+          (if keyed then
+             Printf.sprintf "%d grouping key column(s) localize the delta"
+               (List.length group)
+           else "a global aggregate has no key to localize on");
+        ob "group-child-local" local
+          (if local then
+             "the aggregate input is a single-table select/project chain"
+           else "the aggregate input reaches beyond one table");
+        ob "group-keys-preserved" preserved
+          (if preserved then
+             "every grouping key survives into the view's output columns"
+           else "a grouping key is projected away above the aggregate");
+      ]
+    in
+    let fails = List.filter (fun o -> not o.ob_holds) obs in
+    {
+      view;
+      shape = "group-by";
+      obligations = obs;
+      diags =
+        List.map
+          (fun o ->
+            diag "RF303"
+              (Printf.sprintf "%s (%s); the view keeps full refresh" o.ob_detail
+                 o.ob_name))
+          fails;
+    }
+  | Logical.Window_op { input; fns } ->
+    let partition =
+      match fns with [] -> [] | f :: _ -> f.Logical.partition
+    in
+    let partitioned = fns = [] || partition <> [] in
+    let shared =
+      match fns with
+      | [] -> true
+      | f :: rest ->
+        List.for_all (fun g -> g.Logical.partition = f.Logical.partition) rest
+    in
+    let local = local_chain input in
+    let preserved =
+      (not partitioned) || not shared
+      || List.for_all (preserved_through wraps) partition
+    in
+    let obs =
+      [
+        ob "window-partitioned" partitioned
+          (if partitioned then "PARTITION BY bounds the dirty region"
+           else "a window without PARTITION BY spans the whole relation");
+        ob "window-shared-partition" shared
+          (if shared then "all window functions share one PARTITION BY key"
+           else "window functions partition by different keys");
+        ob "window-child-local" local
+          (if local then
+             "the window input is a single-table select/project chain"
+           else "the window input reaches beyond one table");
+        ob "window-keys-preserved" preserved
+          (if preserved then
+             "every partition key survives into the view's output columns"
+           else "a partition key is projected away above the window");
+      ]
+    in
+    let fails = List.filter (fun o -> not o.ob_holds) obs in
+    {
+      view;
+      shape = "window";
+      obligations = obs;
+      diags =
+        List.map
+          (fun o ->
+            diag "RF304"
+              (Printf.sprintf "%s (%s); the view keeps full refresh" o.ob_detail
+                 o.ob_name))
+          fails;
+    }
+  | node ->
+    let obs, diags = linear_obligations node in
+    { view; shape = "linear"; obligations = obs; diags }
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "ivm %s: %s maintenance — %s\n" t.view t.shape
+       (if valid t then "DERIVED" else "REJECTED (full refresh)"));
+  List.iter
+    (fun o ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s %s: %s\n"
+           (if o.ob_holds then "ok  " else "FAIL")
+           o.ob_name o.ob_detail))
+    t.obligations;
+  Buffer.contents buf

@@ -1,0 +1,38 @@
+(** Incrementality certificates for generalized view maintenance.
+
+    The machine-checkable mirror of {!Rfview_planner.Deriv}'s
+    preconditions: {!certify} walks a view's logical plan independently
+    of the deriver and discharges (or fails) one named proof obligation
+    per delta-rule condition — operator linearity, join bilinearity,
+    GROUP BY key locality/preservation, window partition locality.
+    Failed obligations carry RF30x diagnostics for [rfview analyze].
+
+    The defining property, enforced by the cert-iff-derive matrix in
+    [test/test_ivm.ml] and relied on by the engine (which installs a
+    derived maintenance plan only when certificate and deriver agree):
+
+    [valid (certify plan)] iff [Result.is_ok (Deriv.derive plan)]. *)
+
+(** Same record as {!Cert.obligation}: a named precondition with its
+    discharge status and a human-readable instantiation. *)
+type obligation = Cert.obligation = {
+  ob_name : string;
+  ob_holds : bool;
+  ob_detail : string;
+}
+
+type t = {
+  view : string;
+  shape : string;  (** ["linear"], ["group-by"] or ["window"] *)
+  obligations : obligation list;
+  diags : Diagnostic.t list;  (** one RF30x diagnostic per failure *)
+}
+
+(** All obligations discharged: the delta plan derivation is sound. *)
+val valid : t -> bool
+
+val certify : ?view:string -> Rfview_planner.Logical.t -> t
+
+(** Multi-line rendering: header with DERIVED/REJECTED, one
+    ["  ok ..."] / ["  FAIL ..."] line per obligation. *)
+val to_string : t -> string

@@ -42,6 +42,21 @@ let validate ~pass ~before ~after =
          (Printf.sprintf "%s is not schema-preserving: %s became %s" pass
             (Schema.to_string sb) (Schema.to_string sa)))
 
+(* Translation validation of view maintenance: the incrementally
+   maintained contents must be bag-equal to recomputing the view's
+   definition from scratch.  Shared by the engine's sequence-view,
+   derived-delta and state-initialization paths so all maintenance
+   strategies answer to the same check. *)
+let check_view_maintenance ~view ~context ~incremental ~recomputed =
+  if enabled () && not (Relation.equal_bag incremental recomputed) then
+    raise
+      (Not_preserved
+         (Printf.sprintf
+            "matview %s: %s diverged from full recomputation (%d rows vs %d)"
+            view context
+            (Relation.cardinality incremental)
+            (Relation.cardinality recomputed)))
+
 let installed = ref false
 
 let enable () =

@@ -37,3 +37,16 @@ val validate :
   before:Rfview_planner.Logical.t ->
   after:Rfview_planner.Logical.t ->
   unit
+
+(** Translation-validate one view-maintenance step: when verification is
+    enabled, [incremental] (the maintained contents) must be bag-equal
+    to [recomputed] (the view definition evaluated from scratch).
+    [context] names the maintenance strategy for the error message.
+    No-op when verification is off.
+    @raise Not_preserved on divergence. *)
+val check_view_maintenance :
+  view:string ->
+  context:string ->
+  incremental:Rfview_relalg.Relation.t ->
+  recomputed:Rfview_relalg.Relation.t ->
+  unit

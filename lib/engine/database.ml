@@ -75,8 +75,7 @@ let recoverable_exn = function
   | _ -> true
 
 (* All tuning knobs in one record, taken at open time; [reconfigure]
-   swaps the whole record (the legacy per-field setters are deprecated
-   shims over it). *)
+   swaps the whole record. *)
 type config = {
   window_mode : window_mode;
   window_strategy : Window.strategy;
@@ -123,7 +122,9 @@ type batch = {
 
 type t = {
   catalog : Catalog.t;
-  view_states : (string, Matview.state) Hashtbl.t; (* incremental matviews *)
+  view_states : (string, Matview.state) Hashtbl.t; (* incremental seq views *)
+  derived_views : (string, Matview.Derived.t) Hashtbl.t;
+      (* views maintained by derived delta plans (generalized IVM) *)
   view_indexes : (string, view_index) Hashtbl.t;    (* keyed by index name *)
   mutable cfg : config;
   mutable undo : Undo.t option; (* Some while a statement is executing *)
@@ -140,6 +141,7 @@ let create ?(config = default_config) () =
   {
     catalog = Catalog.create ();
     view_states = Hashtbl.create 8;
+    derived_views = Hashtbl.create 8;
     view_indexes = Hashtbl.create 8;
     cfg = config;
     undo = None;
@@ -150,13 +152,6 @@ let create ?(config = default_config) () =
 
 let reconfigure db config = db.cfg <- config
 let config db = db.cfg
-
-(* Deprecated shims (see the .mli): each rewrites one field of [cfg]. *)
-let set_window_mode db mode = db.cfg <- { db.cfg with window_mode = mode }
-let set_degradation db mode = db.cfg <- { db.cfg with degradation = mode }
-let set_window_strategy db s = db.cfg <- { db.cfg with window_strategy = s }
-let set_hash_join db enabled = db.cfg <- { db.cfg with hash_join = enabled }
-let set_index_join db enabled = db.cfg <- { db.cfg with index_join = enabled }
 
 let key = String.lowercase_ascii
 
@@ -283,7 +278,8 @@ let log_view_index_caches db name =
     log_undo db (fun () -> List.iter (fun (vi, b) -> vi.vi_built <- b) saved)
 
 (* Snapshot a materialized view: contents, quarantine flag, incremental
-   maintenance state (deep-copied: maintenance mutates it in place) and
+   maintenance state (deep-copied: maintenance mutates it in place;
+   derived-plan states are immutable, so their binding suffices) and
    index caches. *)
 let log_view db (v : Catalog.view) =
   let contents = v.Catalog.contents in
@@ -292,12 +288,16 @@ let log_view db (v : Catalog.view) =
     Option.map Matview.copy_state
       (Hashtbl.find_opt db.view_states (key v.Catalog.view_name))
   in
+  let derived = Hashtbl.find_opt db.derived_views (key v.Catalog.view_name) in
   log_undo db (fun () ->
       v.Catalog.contents <- contents;
       v.Catalog.stale <- stale;
-      match state with
-      | Some s -> Hashtbl.replace db.view_states (key v.Catalog.view_name) s
-      | None -> Hashtbl.remove db.view_states (key v.Catalog.view_name));
+      (match state with
+       | Some s -> Hashtbl.replace db.view_states (key v.Catalog.view_name) s
+       | None -> Hashtbl.remove db.view_states (key v.Catalog.view_name));
+      match derived with
+      | Some d -> Hashtbl.replace db.derived_views (key v.Catalog.view_name) d
+      | None -> Hashtbl.remove db.derived_views (key v.Catalog.view_name));
   log_view_index_caches db v.Catalog.view_name
 
 (* ---- Catalog adapters ---- *)
@@ -426,6 +426,35 @@ and tables_of_ref = function
   | Ast.Subquery { query; _ } -> tables_of_query query
   | Ast.Join { left; right; _ } -> tables_of_ref left @ tables_of_ref right
 
+(* Attempt to install a derived delta-plan maintenance state for a view
+   the sequence machinery does not cover (generalized IVM).  The
+   derivation must succeed AND its independent incrementality
+   certificate (Ivmcert) must be valid — the engine never trusts one
+   without the other.  Under the self-join window mode a windowed plan
+   is not installed: the rewritten refresh path and the native
+   partition recompute could disagree bit-wise.  Returns whether a
+   state was installed. *)
+let try_derive db (v : Catalog.view) =
+  match
+    let logical = P.Binder.bind_query (binder_catalog db) v.Catalog.definition in
+    match P.Deriv.derive logical with
+    | Error _ -> None
+    | Ok rules ->
+      if
+        not
+          (Rfview_analysis.Ivmcert.valid
+             (Rfview_analysis.Ivmcert.certify ~view:v.Catalog.view_name logical))
+      then None
+      else if P.Deriv.has_window rules && db.cfg.window_mode = `Self_join then
+        None
+      else Some (Matview.Derived.make rules)
+  with
+  | Some der ->
+    Hashtbl.replace db.derived_views (key v.Catalog.view_name) der;
+    true
+  | None -> false
+  | exception e when recoverable_exn e -> false
+
 let refresh_view_full db (v : Catalog.view) =
   Fault.hit site_refresh;
   log_view db v;
@@ -433,38 +462,40 @@ let refresh_view_full db (v : Catalog.view) =
   v.Catalog.contents <- Some contents;
   v.Catalog.stale <- false;
   invalidate_view_indexes db v.Catalog.view_name;
-  (* (re)try to establish the incremental state *)
+  (* (re)try to establish an incremental state: the §2.3 sequence
+     machinery first, the derived delta plans for everything else *)
   Hashtbl.remove db.view_states (key v.Catalog.view_name);
-  match Matview.recognize v.Catalog.definition with
-  | None -> ()
-  | Some spec ->
-    (match Catalog.find_table db.catalog spec.Matview.source with
-     | None -> ()
-     | Some tbl ->
-       (try
-          let state =
-            Matview.init_state spec
-              ~base:(Catalog.table_relation tbl)
-              ~out_schema:(Relation.schema contents)
-          in
-          let rendered = Matview.render state in
-          (* translation validation of the derivation rewrite: the
-             incremental core representation must reproduce the view
-             contents the full recomputation just produced *)
-          if Verify.enabled () && not (Relation.equal_bag contents rendered) then
-            raise
-              (Verify.Not_preserved
-                 (Printf.sprintf
-                    "matview %s: the incremental sequence state does not \
-                     reproduce the recomputed view contents"
-                    v.Catalog.view_name));
-          (* serve the state's rendering, so a refresh and incremental
-             maintenance leave the same physical row order behind — this
-             keeps batched maintenance (whose wide deltas fall back to
-             this path) bit-identical to per-row maintenance *)
-          v.Catalog.contents <- Some rendered;
-          Hashtbl.replace db.view_states (key v.Catalog.view_name) state
-        with Matview.Not_maintainable _ -> ()))
+  Hashtbl.remove db.derived_views (key v.Catalog.view_name);
+  let seq_installed =
+    match Matview.recognize v.Catalog.definition with
+    | None -> false
+    | Some spec ->
+      (match Catalog.find_table db.catalog spec.Matview.source with
+       | None -> false
+       | Some tbl ->
+         (try
+            let state =
+              Matview.init_state spec
+                ~base:(Catalog.table_relation tbl)
+                ~out_schema:(Relation.schema contents)
+            in
+            let rendered = Matview.render state in
+            (* translation validation of the derivation rewrite: the
+               incremental core representation must reproduce the view
+               contents the full recomputation just produced *)
+            Verify.check_view_maintenance ~view:v.Catalog.view_name
+              ~context:"the incremental sequence state" ~incremental:rendered
+              ~recomputed:contents;
+            (* serve the state's rendering, so a refresh and incremental
+               maintenance leave the same physical row order behind — this
+               keeps batched maintenance (whose wide deltas fall back to
+               this path) bit-identical to per-row maintenance *)
+            v.Catalog.contents <- Some rendered;
+            Hashtbl.replace db.view_states (key v.Catalog.view_name) state;
+            true
+          with Matview.Not_maintainable _ -> false))
+  in
+  if not seq_installed then ignore (try_derive db v)
 
 let () = refresh_ref := refresh_view_full
 
@@ -480,13 +511,18 @@ type dml_change =
    stands — a quarantined view is late, never wrong. *)
 let quarantine_view db (v : Catalog.view) =
   Hashtbl.remove db.view_states (key v.Catalog.view_name);
+  Hashtbl.remove db.derived_views (key v.Catalog.view_name);
   v.Catalog.stale <- true;
   invalidate_view_indexes db v.Catalog.view_name
 
 (* Propagate one base-table change to every materialized view that
    references the table: incrementally when a sequence-view state exists,
-   by full refresh otherwise.  Already-quarantined views are skipped —
-   they will catch up wholesale on their next read. *)
+   by full refresh otherwise.  Views under derived delta-plan
+   maintenance are skipped here — they are maintained once per change
+   set with the full consolidated delta ([maintain_derived] below),
+   because per-table propagation would double-count the dA |x| dB cross
+   term of multi-table join deltas.  Already-quarantined views are
+   skipped — they will catch up wholesale on their next read. *)
 let propagate db ~table change =
   (* a delta at least as wide as the (post-change) base table gains
      nothing over recomputation: route it to the full-refresh path *)
@@ -501,6 +537,7 @@ let propagate db ~table change =
       if
         v.Catalog.materialized
         && (not v.Catalog.stale)
+        && (not (Hashtbl.mem db.derived_views (key v.Catalog.view_name)))
         && List.exists
              (fun t -> key t = key table)
              (tables_of_query v.Catalog.definition)
@@ -528,16 +565,11 @@ let propagate db ~table change =
                let rendered = Matview.render state in
                (* translation validation: incremental maintenance must agree
                   with recomputing the view definition from scratch *)
-               if
-                 Verify.enabled ()
-                 && not (Relation.equal_bag rendered (run_query db v.Catalog.definition))
-               then
-                 raise
-                   (Verify.Not_preserved
-                      (Printf.sprintf
-                         "matview %s: incremental maintenance diverged from full \
-                          recomputation"
-                         v.Catalog.view_name));
+               if Verify.enabled () then
+                 Verify.check_view_maintenance ~view:v.Catalog.view_name
+                   ~context:"incremental sequence maintenance"
+                   ~incremental:rendered
+                   ~recomputed:(run_query db v.Catalog.definition);
                v.Catalog.contents <- Some rendered;
                invalidate_view_indexes db v.Catalog.view_name
              with Matview.Not_maintainable _ -> refresh_view_full db v)
@@ -549,6 +581,117 @@ let propagate db ~table change =
           quarantine_view db v
       end)
     (Catalog.all_views db.catalog)
+
+(* ---- Derived delta-plan maintenance ----
+
+   Views under Planner.Deriv maintenance are updated once per change
+   set, against the *full* consolidated delta: the join rule's cross
+   term couples the per-table deltas, so per-table propagation would be
+   wrong for multi-table views.  The evaluation environment routes
+   sub-plan evaluation through the standard physical pipeline (checked
+   and sanitized like any query plan) and reads deltas out of the
+   consolidated batch delta. *)
+
+let signed_of_td (td : Delta.table_delta) : (Row.t * int) list =
+  List.map (fun r -> (r, 1)) td.Delta.inserted
+  @ List.map (fun r -> (r, -1)) td.Delta.deleted
+  @ List.concat_map (fun (o, n) -> [ (o, -1); (n, 1) ]) td.Delta.updated
+
+let deriv_env db (d : Delta.t) : P.Deriv.env =
+  {
+    P.Deriv.delta_of =
+      (fun table ->
+        match Delta.find d table with
+        | None -> []
+        | Some td -> signed_of_td td);
+    eval =
+      (fun logical ->
+        if Verify.enabled () then
+          Verify.check_plan ~context:"derived maintenance sub-plan" logical;
+        (* differential sanitizer coverage for the derived sub-plans,
+           with injected-fault budget suspended as in [plan_query] *)
+        Fault.with_suspended (fun () ->
+            P.Hooks.sanitize ~catalog:(catalog_view db) logical);
+        let opts =
+          {
+            P.Physical.window_strategy = db.cfg.window_strategy;
+            enable_hash_join = db.cfg.hash_join;
+            enable_index_join = db.cfg.index_join;
+          }
+        in
+        P.Physical.execute (catalog_view db)
+          (P.Physical.plan ~opts (catalog_view db) logical));
+    window_strategy = db.cfg.window_strategy;
+  }
+
+let maintain_derived db (d : Delta.t) =
+  if not (Delta.is_empty d) then
+    List.iter
+      (fun (v : Catalog.view) ->
+        if v.Catalog.materialized && not v.Catalog.stale then
+          match Hashtbl.find_opt db.derived_views (key v.Catalog.view_name) with
+          | None -> ()
+          | Some der ->
+            let sources = Matview.Derived.sources der in
+            let touched =
+              List.exists (fun t -> Delta.find d t <> None) sources
+            in
+            if touched then begin
+              let maintain () =
+                Fault.hit site_propagate;
+                log_view db v;
+                (* a delta at least as wide as the sources gains nothing
+                   over recomputation: route it to the refresh path *)
+                let weight =
+                  List.fold_left
+                    (fun acc t ->
+                      match Delta.find d t with
+                      | Some td -> acc + Delta.weight td
+                      | None -> acc)
+                    0 sources
+                in
+                let size =
+                  List.fold_left
+                    (fun acc t ->
+                      match Catalog.find_table db.catalog t with
+                      | Some tbl -> acc + Array.length tbl.Catalog.rows
+                      | None -> acc)
+                    0 sources
+                in
+                match v.Catalog.contents with
+                | Some contents when weight < size ->
+                  (match
+                     Matview.Derived.apply_batch der ~env:(deriv_env db d)
+                       ~contents
+                   with
+                   | contents' ->
+                     (* translation validation: the derived delta plan
+                        must agree with recomputing the definition *)
+                     if Verify.enabled () then
+                       Verify.check_view_maintenance ~view:v.Catalog.view_name
+                         ~context:"derived delta maintenance"
+                         ~incremental:contents'
+                         ~recomputed:(run_query db v.Catalog.definition);
+                     v.Catalog.contents <- Some contents';
+                     invalidate_view_indexes db v.Catalog.view_name
+                   | exception P.Deriv.Divergence _ -> refresh_view_full db v)
+                | _ -> refresh_view_full db v
+              in
+              match maintain () with
+              | () -> ()
+              | exception e
+                when db.cfg.degradation = `Quarantine && recoverable_exn e ->
+                quarantine_view db v
+            end)
+      (Catalog.all_views db.catalog)
+
+(* The consolidated single-statement delta for the immediate
+   (non-batch) path. *)
+let delta_of_change ~table = function
+  | Rows_inserted rows -> Delta.insert Delta.empty ~table rows
+  | Rows_deleted rows -> Delta.delete Delta.empty ~table rows
+  | Rows_updated pairs -> Delta.update Delta.empty ~table pairs
+  | Rows_batch _ -> assert false (* batch deltas never reach this path *)
 
 (* ---- Batch scopes ----
 
@@ -577,7 +720,9 @@ let record_or_propagate db ~table change =
        | Rows_deleted rows -> Delta.delete d ~table rows
        | Rows_updated pairs -> Delta.update d ~table pairs
        | Rows_batch _ -> assert false (* batches never nest into deltas *))
-  | None -> propagate db ~table change
+  | None ->
+    propagate db ~table change;
+    maintain_derived db (delta_of_change ~table change)
 
 let flush_delta db =
   match db.batch with
@@ -596,7 +741,9 @@ let flush_delta db =
           match Delta.find d table with
           | Some td -> propagate db ~table (Rows_batch td)
           | None -> ())
-        (Delta.tables d)
+        (Delta.tables d);
+      (* derived views see the whole consolidated delta at once *)
+      maintain_derived db d
     in
     (match db.undo with
      | Some _ -> run () (* mid-statement: join its scope *)
@@ -830,7 +977,8 @@ let rec exec_statement_in_scope db (stmt : Ast.statement) : result =
     let v = Catalog.create_view db.catalog ~name ~materialized ~definition:query in
     log_undo db (fun () ->
         Catalog.forget_view db.catalog name;
-        Hashtbl.remove db.view_states (key name));
+        Hashtbl.remove db.view_states (key name);
+        Hashtbl.remove db.derived_views (key name));
     if materialized then refresh_view_full db v;
     Done (Printf.sprintf "CREATE %sVIEW %s" (if materialized then "MATERIALIZED " else "") name)
   | Ast.St_insert { table; columns; rows } -> exec_insert db ~table ~columns ~rows
@@ -846,14 +994,19 @@ let rec exec_statement_in_scope db (stmt : Ast.statement) : result =
     (match Catalog.find_view db.catalog name with
      | Some v ->
        let state = Hashtbl.find_opt db.view_states (key name) in
+       let derived = Hashtbl.find_opt db.derived_views (key name) in
        log_undo db (fun () ->
            Catalog.restore_view db.catalog v;
-           match state with
-           | Some s -> Hashtbl.replace db.view_states (key name) s
-           | None -> Hashtbl.remove db.view_states (key name))
+           (match state with
+            | Some s -> Hashtbl.replace db.view_states (key name) s
+            | None -> Hashtbl.remove db.view_states (key name));
+           match derived with
+           | Some d -> Hashtbl.replace db.derived_views (key name) d
+           | None -> Hashtbl.remove db.derived_views (key name))
      | None -> ());
     Catalog.drop_view db.catalog ~name ~if_exists;
     Hashtbl.remove db.view_states (key name);
+    Hashtbl.remove db.derived_views (key name);
     Done (Printf.sprintf "DROP VIEW %s" name)
   | Ast.St_refresh_view name ->
     refresh_view_full db (Catalog.view db.catalog name);
@@ -954,8 +1107,19 @@ let explain db (sql : string) : string =
   | Done s -> s
   | Relation _ -> assert false
 
-(* Does a view currently have an incremental maintenance state? *)
-let is_incrementally_maintained db name = Hashtbl.mem db.view_states (key name)
+(* Does a view currently have an incremental maintenance state?  Either
+   flavor counts: the §2.3 sequence machinery or a derived delta plan. *)
+let is_incrementally_maintained db name =
+  Hashtbl.mem db.view_states (key name)
+  || Hashtbl.mem db.derived_views (key name)
+
+(* Is the view maintained by a derived delta plan (generalized IVM)? *)
+let is_derived_maintained db name = Hashtbl.mem db.derived_views (key name)
+
+(* The derived maintenance state, for introspection (CLI, tests). *)
+let derived_state db name =
+  flush_delta db;
+  Hashtbl.find_opt db.derived_views (key name)
 
 (* Is the view quarantined (pending a lazy full refresh)? *)
 let is_stale db name =
@@ -1086,8 +1250,10 @@ let rec replay_record db (record : Wal.record) =
 (* ---- Recovery ---- *)
 
 (* Rebuild a restored matview's incremental maintenance state from the
-   restored base table, cross-checked against the restored contents.
-   Returns false when the state cannot be rebuilt or disagrees. *)
+   restored base table, cross-checked against the restored contents; a
+   view outside the sequence shape re-derives its delta plan instead
+   (the CRC-validated contents stay authoritative either way).
+   Returns false when no state could be established. *)
 let rebuild_state db (view : Catalog.view) =
   match Matview.recognize view.Catalog.definition, view.Catalog.contents with
   | Some spec, Some contents ->
@@ -1106,6 +1272,7 @@ let rebuild_state db (view : Catalog.view) =
           end
           else false
         with Matview.Not_maintainable _ -> false))
+  | None, Some _ -> try_derive db view
   | _ -> false
 
 let recover ?config dir =
@@ -1289,7 +1456,9 @@ let checkpoint db =
                         Checkpoint.s_stale = v.Catalog.stale;
                         s_contents = v.Catalog.contents;
                         s_incremental =
-                          Hashtbl.mem db.view_states (key v.Catalog.view_name);
+                          Hashtbl.mem db.view_states (key v.Catalog.view_name)
+                          || Hashtbl.mem db.derived_views
+                               (key v.Catalog.view_name);
                       });
              })
     in

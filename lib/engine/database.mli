@@ -78,21 +78,6 @@ val reconfigure : t -> config -> unit
 (** The current configuration. *)
 val config : t -> config
 
-val set_window_mode : t -> window_mode -> unit
-  [@@deprecated "pass a config at open time, or use reconfigure"]
-
-val set_window_strategy : t -> Window.strategy -> unit
-  [@@deprecated "pass a config at open time, or use reconfigure"]
-
-val set_hash_join : t -> bool -> unit
-  [@@deprecated "pass a config at open time, or use reconfigure"]
-
-val set_index_join : t -> bool -> unit
-  [@@deprecated "pass a config at open time, or use reconfigure"]
-
-val set_degradation : t -> degradation -> unit
-  [@@deprecated "pass a config at open time, or use reconfigure"]
-
 (** {1 Execution}
 
     Every statement is {e atomic}: on any exception an undo log restores
@@ -189,8 +174,17 @@ val close : t -> unit
 
 val catalog : t -> Catalog.t
 
-(** Does the view currently have an incremental maintenance state? *)
+(** Does the view currently have an incremental maintenance state —
+    either the §2.3 sequence machinery or a derived delta plan? *)
 val is_incrementally_maintained : t -> string -> bool
+
+(** Is the view maintained by a derived delta plan (generalized IVM,
+    {!Rfview_planner.Deriv})? *)
+val is_derived_maintained : t -> string -> bool
+
+(** The derived maintenance state, when one is installed (flushes any
+    open batch delta first, like {!view_state}). *)
+val derived_state : t -> string -> Matview.Derived.t option
 
 (** Is the view quarantined (stale, pending a lazy full refresh)? *)
 val is_stale : t -> string -> bool

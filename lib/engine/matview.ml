@@ -588,3 +588,35 @@ let apply_batch st ~inserts ~deletes ~updates =
       apply_partition_batch st pkey ~inserts:(List.rev !ins)
         ~deletes:(List.rev !del) ~updates:(List.rev !upd))
     !groups
+
+(* ---- Derived views (generalized IVM) ----
+
+   Views beyond the sequence shape — joins, GROUP BY, partition-local
+   window sets — maintain through the algebraic delta plans of
+   Planner.Deriv.  The engine derives the rules once at refresh time
+   (gated on a valid Ivmcert incrementality certificate) and replays
+   them here at each batch commit; the state is immutable (rules plus
+   source tables), so undo snapshots are just the binding. *)
+
+module Derived = struct
+  module Deriv = Rfview_planner.Deriv
+
+  type t = {
+    rules : Deriv.t;
+    sources : string list; (* lowercased base tables the rules read *)
+  }
+
+  let site_apply = Fault.define "matview.apply_derived"
+
+  let make rules = { rules; sources = Deriv.sources rules }
+  let sources t = t.sources
+  let shape_name t = Deriv.shape_name t.rules
+  let has_window t = Deriv.has_window t.rules
+
+  (* Apply one consolidated batch delta to the view's contents.
+     @raise Deriv.Divergence when an exact removal finds no row (the
+     engine falls back to a full refresh). *)
+  let apply_batch t ~(env : Deriv.env) ~(contents : Relation.t) : Relation.t =
+    Fault.hit site_apply;
+    Deriv.splice contents (Deriv.apply env t.rules)
+end

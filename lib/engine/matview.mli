@@ -91,3 +91,29 @@ val apply_batch :
   deletes:Row.t list ->
   updates:(Row.t * Row.t) list ->
   unit
+
+(** Derived views (generalized IVM): immutable maintenance state for
+    views beyond the sequence shape — the delta rules of
+    {!Rfview_planner.Deriv} plus their source tables.  The engine
+    installs one per view whose derivation succeeded under a valid
+    {!Rfview_analysis.Ivmcert} certificate and replays it at each batch
+    commit. *)
+module Derived : sig
+  module Deriv := Rfview_planner.Deriv
+
+  type t
+
+  val make : Deriv.t -> t
+
+  (** Source base tables, lowercased. *)
+  val sources : t -> string list
+
+  val shape_name : t -> string
+  val has_window : t -> bool
+
+  (** Apply one consolidated batch delta to the view's contents,
+      returning the new contents.
+      @raise Deriv.Divergence when the delta disagrees with the
+      materialized rows; the engine then falls back to full refresh. *)
+  val apply_batch : t -> env:Deriv.env -> contents:Relation.t -> Relation.t
+end

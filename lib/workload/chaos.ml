@@ -63,6 +63,16 @@ let setup_sql =
      (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS a FROM seq";
     "CREATE MATERIALIZED VIEW v_min AS SELECT pos, val, MIN(val) OVER \
      (ORDER BY pos ROWS BETWEEN 3 PRECEDING AND CURRENT ROW) AS m FROM seq";
+    (* derived-delta views (DESIGN.md §14): a static dimension table, a
+       join view and a GROUP BY view, so generalized IVM runs under the
+       same fault sites, sanitizer checks and crash harness as the
+       sequence machinery *)
+    "CREATE TABLE dim (grp INT, tag VARCHAR)";
+    "INSERT INTO dim VALUES (1, 'low'), (2, 'mid'), (3, 'high')";
+    "CREATE MATERIALIZED VIEW v_tag AS SELECT s.grp AS grp, s.pos AS pos, \
+     s.val AS val, d.tag AS tag FROM seq s JOIN dim d ON s.grp = d.grp";
+    "CREATE MATERIALIZED VIEW v_tot AS SELECT grp, SUM(val) AS total, \
+     COUNT(*) AS n FROM seq GROUP BY grp";
   ]
 
 (* the query whose cache entry the probes derive from, and two probes
@@ -105,7 +115,7 @@ let gen_op prng : op =
     Load_csv
       (List.init n (fun _ -> (gen_grp prng, gen_pos prng, gen_value prng)))
   | 16 -> Insert_null { grp = gen_grp prng; pos = gen_pos prng }
-  | _ -> Refresh (Prng.choose prng [ "v_cum"; "v_avg"; "v_min" ])
+  | _ -> Refresh (Prng.choose prng [ "v_cum"; "v_avg"; "v_min"; "v_tag"; "v_tot" ])
 
 let sql_of_op = function
   | Insert { grp; pos; value } ->
