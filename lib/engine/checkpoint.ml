@@ -53,6 +53,7 @@ type view_entry = {
 
 type snapshot = {
   epoch : int;
+  lsn : int;
   tables : table_snap list;
   index_ddl : string list;
   views : view_entry list;
@@ -60,10 +61,11 @@ type snapshot = {
 
 (* ---- Record payloads ---- *)
 
-let header_payload epoch =
+let header_payload epoch lsn =
   let buf = Buffer.create 16 in
   Buffer.add_char buf 'H';
   Codec.put_int buf epoch;
+  Codec.put_int buf lsn;
   Buffer.contents buf
 
 let table_payload (t : table_snap) =
@@ -110,9 +112,9 @@ let trailer_payload count =
 
 (* ---- Writing ---- *)
 
-let write ~dir ~epoch ~tables ~index_ddl ~views =
+let write ~dir ~lsn ~epoch ~tables ~index_ddl ~views =
   let payloads =
-    header_payload epoch
+    header_payload epoch lsn
     :: List.map table_payload tables
     @ List.map index_payload index_ddl
     @ List.concat_map
@@ -158,91 +160,106 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+let read_data ~name data : snapshot =
+  let frames, torn = Wal.parse_frames data in
+  if torn then corrupt "%s: short file (checkpoints are rename-atomic)" name;
+  let epoch = ref None in
+  let lsn = ref 0 in
+  let tables = ref [] in
+  let index_ddl = ref [] in
+  let views = ref [] in (* reversed; head is the most recent V record *)
+  let seen = ref 0 in
+  let trailer = ref None in
+  let with_reader payload off f =
+    let r = Codec.reader payload in
+    match f r with
+    | v -> v
+    | exception Codec.Decode m -> corrupt "%s: at byte %d: %s" name off m
+  in
+  List.iter
+    (fun (payload, off) ->
+      if !trailer <> None then
+        corrupt "%s: record after the trailer at byte %d" name off;
+      incr seen;
+      match payload with
+      | None ->
+        (* a CRC-mismatched record: tolerable only in the position of a
+           materialized view's state record *)
+        (match !views with
+         | v :: rest when v.v_materialized && v.v_state = `None ->
+           views := { v with v_state = `Damaged } :: rest
+         | _ ->
+           corrupt "%s: damaged record %d at byte %d is not a view state" name
+             !seen off)
+      | Some payload ->
+        with_reader payload off (fun r ->
+            match Codec.get_char r with
+            | 'H' ->
+              if !epoch <> None then corrupt "%s: duplicate header" name;
+              epoch := Some (Codec.get_int r);
+              (* pre-replication checkpoints have no lsn field *)
+              lsn := if Codec.at_end r then 0 else Codec.get_int r
+            | 'T' ->
+              let t_name = Codec.get_string r in
+              let t_schema = Codec.get_schema r in
+              let n = Codec.get_int r in
+              if n < 0 then corrupt "%s: negative row count" name;
+              let t_rows = Array.init n (fun _ -> Codec.get_row r) in
+              tables := { t_name; t_schema; t_rows } :: !tables
+            | 'I' -> index_ddl := Codec.get_string r :: !index_ddl
+            | 'V' ->
+              let v_name = Codec.get_string r in
+              let v_materialized = Codec.get_bool r in
+              let v_sql = Codec.get_string r in
+              views := { v_name; v_materialized; v_sql; v_state = `None } :: !views
+            | 'S' ->
+              let sname = Codec.get_string r in
+              let s_stale = Codec.get_bool r in
+              let s_incremental = Codec.get_bool r in
+              let s_contents =
+                if Codec.get_bool r then Some (Codec.get_relation r) else None
+              in
+              (match !views with
+               | v :: rest
+                 when String.lowercase_ascii v.v_name = String.lowercase_ascii sname
+                      && v.v_state = `None ->
+                 views :=
+                   { v with v_state = `Snap { s_stale; s_contents; s_incremental } }
+                   :: rest
+               | _ ->
+                 corrupt "%s: state record for %s has no matching view" name sname)
+            | 'Z' ->
+              (* the trailer counts every record before it *)
+              trailer := Some (Codec.get_int r)
+            | c -> corrupt "%s: unknown record tag %C at byte %d" name c off))
+    frames;
+  (match !trailer with
+   | None -> corrupt "%s: missing trailer" name
+   | Some n ->
+     if n <> !seen - 1 then
+       corrupt "%s: trailer counts %d records, file has %d" name n (!seen - 1));
+  match !epoch with
+  | None -> corrupt "%s: missing header" name
+  | Some epoch ->
+    {
+      epoch;
+      lsn = !lsn;
+      tables = List.rev !tables;
+      index_ddl = List.rev !index_ddl;
+      views = List.rev !views;
+    }
+
+let read_bytes ?(name = "<checkpoint bytes>") data = read_data ~name data
+
+(* Raw file bytes, for shipping the artifact to a replica feed. *)
+let contents ~dir =
+  let path = file ~dir in
+  if Sys.file_exists path then Some (read_file path) else None
+
 let read ~dir : snapshot option =
   let path = file ~dir in
   if not (Sys.file_exists path) then None
-  else begin
-    let frames, torn = Wal.parse_frames (read_file path) in
-    if torn then corrupt "%s: short file (checkpoints are rename-atomic)" path;
-    let epoch = ref None in
-    let tables = ref [] in
-    let index_ddl = ref [] in
-    let views = ref [] in (* reversed; head is the most recent V record *)
-    let seen = ref 0 in
-    let trailer = ref None in
-    let with_reader payload f =
-      let r = Codec.reader payload in
-      match f r with
-      | v -> v
-      | exception Codec.Decode m -> corrupt "%s: %s" path m
-    in
-    List.iter
-      (fun (payload, _off) ->
-        if !trailer <> None then corrupt "%s: record after the trailer" path;
-        incr seen;
-        match payload with
-        | None ->
-          (* a CRC-mismatched record: tolerable only in the position of a
-             materialized view's state record *)
-          (match !views with
-           | v :: rest when v.v_materialized && v.v_state = `None ->
-             views := { v with v_state = `Damaged } :: rest
-           | _ -> corrupt "%s: damaged record %d is not a view state" path !seen)
-        | Some payload ->
-          with_reader payload (fun r ->
-              match Codec.get_char r with
-              | 'H' ->
-                if !epoch <> None then corrupt "%s: duplicate header" path;
-                epoch := Some (Codec.get_int r)
-              | 'T' ->
-                let t_name = Codec.get_string r in
-                let t_schema = Codec.get_schema r in
-                let n = Codec.get_int r in
-                if n < 0 then corrupt "%s: negative row count" path;
-                let t_rows = Array.init n (fun _ -> Codec.get_row r) in
-                tables := { t_name; t_schema; t_rows } :: !tables
-              | 'I' -> index_ddl := Codec.get_string r :: !index_ddl
-              | 'V' ->
-                let v_name = Codec.get_string r in
-                let v_materialized = Codec.get_bool r in
-                let v_sql = Codec.get_string r in
-                views := { v_name; v_materialized; v_sql; v_state = `None } :: !views
-              | 'S' ->
-                let name = Codec.get_string r in
-                let s_stale = Codec.get_bool r in
-                let s_incremental = Codec.get_bool r in
-                let s_contents =
-                  if Codec.get_bool r then Some (Codec.get_relation r) else None
-                in
-                (match !views with
-                 | v :: rest
-                   when String.lowercase_ascii v.v_name = String.lowercase_ascii name
-                        && v.v_state = `None ->
-                   views :=
-                     { v with v_state = `Snap { s_stale; s_contents; s_incremental } }
-                     :: rest
-                 | _ -> corrupt "%s: state record for %s has no matching view" path name)
-              | 'Z' ->
-                (* the trailer counts every record before it *)
-                trailer := Some (Codec.get_int r)
-              | c -> corrupt "%s: unknown record tag %C" path c))
-      frames;
-    (match !trailer with
-     | None -> corrupt "%s: missing trailer" path
-     | Some n ->
-       if n <> !seen - 1 then
-         corrupt "%s: trailer counts %d records, file has %d" path n (!seen - 1));
-    match !epoch with
-    | None -> corrupt "%s: missing header" path
-    | Some epoch ->
-      Some
-        {
-          epoch;
-          tables = List.rev !tables;
-          index_ddl = List.rev !index_ddl;
-          views = List.rev !views;
-        }
-  end
+  else Some (read_data ~name:path (read_file path))
 
 (* ---- Test helper: damage one view's state record in place ---- *)
 

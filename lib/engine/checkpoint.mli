@@ -43,6 +43,10 @@ type view_entry = {
 
 type snapshot = {
   epoch : int;
+  lsn : int;
+      (** global WAL position the snapshot captures: the number of
+          top-level records appended since the database was created.
+          0 for checkpoints written before replication existed. *)
   tables : table_snap list;
   index_ddl : string list;  (** CREATE INDEX statements, tables and views *)
   views : view_entry list;
@@ -56,6 +60,7 @@ val file : dir:string -> string
     checkpoint is untouched. *)
 val write :
   dir:string ->
+  lsn:int ->
   epoch:int ->
   tables:table_snap list ->
   index_ddl:string list ->
@@ -65,6 +70,15 @@ val write :
 (** Read the current checkpoint; [None] when no checkpoint exists.
     @raise Corrupt on structural damage (see the damage policy above). *)
 val read : dir:string -> snapshot option
+
+(** Parse checkpoint bytes that travelled outside a database directory
+    (a replication feed artifact).  [name] labels error messages.
+    @raise Corrupt on structural damage, as {!read}. *)
+val read_bytes : ?name:string -> string -> snapshot
+
+(** The checkpoint file's raw bytes, for shipping to a replica feed;
+    [None] when no checkpoint exists. *)
+val contents : dir:string -> string option
 
 (** Flip one byte inside the named view's state record (test helper for
     the recovery chaos suite).  Returns false when the view has no state

@@ -1,0 +1,33 @@
+(** Dependency-free LZSS compression for WAL batch records and
+    replication feeds.
+
+    The stream format is internal (both ends are this module): 8-token
+    flag groups of literals and 12-bit-distance/4-bit-length back
+    references over a 4 KiB window.  Compression is linear-time
+    (bounded hash chains) and decompression verifies the expected raw
+    length carried by the enclosing record. *)
+
+exception Corrupt of string
+
+(** Compress a string.  Worst-case expansion is 1/8 (one flag byte per
+    8 literals) — {!pack} falls back to raw storage before that ever
+    reaches a record. *)
+val compress : string -> string
+
+(** Invert {!compress}.  @raise Corrupt on a malformed stream or when
+    the output is not exactly [expected] bytes. *)
+val decompress : string -> expected:int -> string
+
+(** Append [raw_len ∥ flag ∥ stored_len ∥ data] to the buffer: flag
+    ['z'] (compressed) when compression shrank the payload, ['r'] (raw)
+    otherwise.  Payloads under 64 bytes are always stored raw. *)
+val pack : Buffer.t -> string -> unit
+
+(** Read one {!pack}ed payload through caller-supplied reader
+    primitives (composes with [Wal.Codec]).
+    @raise Corrupt on flag/length mismatch or a damaged stream. *)
+val unpack :
+  get_int:(unit -> int) ->
+  get_char:(unit -> char) ->
+  get_bytes:(int -> string) ->
+  string

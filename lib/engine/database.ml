@@ -51,6 +51,10 @@ let site_propagate = Fault.define "database.propagate_view"
 let site_refresh = Fault.define "database.refresh_view"
 let site_replay = Fault.define "recover.replay"
 
+(* Between the checkpoint rename and the WAL reset: a crash here leaves
+   a new checkpoint beside a stale log, which recovery must discard. *)
+let site_install = Fault.define "checkpoint.install"
+
 type window_mode =
   [ `Native
   | `Self_join
@@ -103,13 +107,17 @@ type view_index = {
 (* Attached by [open_durable]/[recover]: the WAL writer for the database
    directory.  [epoch] matches the current checkpoint generation (0
    before the first checkpoint); [appended] counts records in the
-   current log and drives [checkpoint_every]. *)
+   current log and drives [checkpoint_every]; [base_lsn] is the global
+   record count the current log starts at (the checkpoint's lsn), so
+   [base_lsn + appended] is the database's log sequence number. *)
 type durability = {
   dir : string;
   mutable wal : Wal.writer;
   mutable epoch : int;
+  mutable base_lsn : int;
   mutable appended : int;
   mutable checkpoint_every : int option;
+  mutable checkpoint_bytes : int option;
 }
 
 (* An open batch scope: the accumulated delta plus the undo log that
@@ -211,9 +219,20 @@ let checkpoint_ref : (t -> unit) ref = ref (fun _ -> ())
    checkpoint and the (longer) WAL still recover the same state. *)
 let maybe_auto_checkpoint db =
   match db.durable with
-  | Some { checkpoint_every = Some n; appended; _ } when appended >= n ->
-    (try !checkpoint_ref db with e when recoverable_exn e -> ())
-  | _ -> ()
+  | Some d ->
+    let by_count =
+      match d.checkpoint_every with Some n -> d.appended >= n | None -> false
+    in
+    let by_bytes =
+      (* accumulated WAL bytes, the compaction trigger: a handful of huge
+         batch records should compact as eagerly as many small ones *)
+      match d.checkpoint_bytes with
+      | Some b -> d.appended > 0 && Wal.position d.wal >= b
+      | None -> false
+    in
+    if by_count || by_bytes then
+      (try !checkpoint_ref db with e when recoverable_exn e -> ())
+  | None -> ()
 
 let with_undo db f =
   match db.undo, db.batch with
@@ -1275,12 +1294,77 @@ let rebuild_state db (view : Catalog.view) =
   | None, Some _ -> try_derive db view
   | _ -> false
 
+(* Restore a checkpoint snapshot into a fresh database: tables, then
+   views with their materialized state, then index DDL.  [quarantine]
+   marks a view stale and records its name; shared by directory
+   recovery and replica bootstrap (which restores from feed bytes). *)
+let restore_snapshot_into db ~quarantine (snap : Checkpoint.snapshot) =
+  List.iter
+    (fun (t : Checkpoint.table_snap) ->
+      let tbl =
+        Catalog.create_table db.catalog ~name:t.Checkpoint.t_name
+          ~schema:t.Checkpoint.t_schema
+      in
+      Catalog.set_rows tbl t.Checkpoint.t_rows)
+    snap.Checkpoint.tables;
+  List.iter
+    (fun (v : Checkpoint.view_entry) ->
+      let definition =
+        try Parser.query v.Checkpoint.v_sql
+        with e ->
+          recovery_error "checkpoint: view %s: unreadable definition (%s)"
+            v.Checkpoint.v_name (Printexc.to_string e)
+      in
+      let view =
+        Catalog.create_view db.catalog ~name:v.Checkpoint.v_name
+          ~materialized:v.Checkpoint.v_materialized ~definition
+      in
+      if v.Checkpoint.v_materialized then
+        match v.Checkpoint.v_state with
+        | `Snap
+            {
+              Checkpoint.s_stale;
+              s_contents = Some contents;
+              s_incremental;
+            } ->
+          view.Catalog.contents <- Some contents;
+          view.Catalog.stale <- s_stale;
+          if s_stale then quarantine ~already:true view
+          else if s_incremental then
+            (* the CRC-validated contents are authoritative; when the
+               rebuilt incremental state cannot be proven to reproduce
+               them (e.g. float drift between incremental and from-
+               scratch summation), serve the contents without a state —
+               the next DML falls back to a full refresh *)
+            ignore (rebuild_state db view)
+        | `Snap { Checkpoint.s_contents = None; _ } | `Damaged | `None ->
+          (* damaged or missing state: restore the definition only and
+             let the first read heal it by full refresh *)
+          quarantine ~already:false view)
+    snap.Checkpoint.views;
+  List.iter
+    (fun ddl ->
+      try ignore (exec db ddl)
+      with e ->
+        recovery_error "checkpoint: replaying %S: %s" ddl (Printexc.to_string e))
+    snap.Checkpoint.index_ddl
+
+let restore_snapshot ?config (snap : Checkpoint.snapshot) =
+  let db = create ?config () in
+  let quarantined = ref [] in
+  let quarantine ~already (v : Catalog.view) =
+    if not already then v.Catalog.stale <- true;
+    quarantined := v.Catalog.view_name :: !quarantined
+  in
+  restore_snapshot_into db ~quarantine snap;
+  (db, List.sort_uniq String.compare !quarantined)
+
 let recover ?config dir =
   ensure_dir dir;
   let db = create ?config () in
   let quarantined = ref [] in
-  let quarantine (v : Catalog.view) =
-    v.Catalog.stale <- true;
+  let quarantine ~already (v : Catalog.view) =
+    if not already then v.Catalog.stale <- true;
     quarantined := v.Catalog.view_name :: !quarantined
   in
   let snap =
@@ -1288,57 +1372,9 @@ let recover ?config dir =
   in
   (match snap with
    | None -> ()
-   | Some snap ->
-     List.iter
-       (fun (t : Checkpoint.table_snap) ->
-         let tbl =
-           Catalog.create_table db.catalog ~name:t.Checkpoint.t_name
-             ~schema:t.Checkpoint.t_schema
-         in
-         Catalog.set_rows tbl t.Checkpoint.t_rows)
-       snap.Checkpoint.tables;
-     List.iter
-       (fun (v : Checkpoint.view_entry) ->
-         let definition =
-           try Parser.query v.Checkpoint.v_sql
-           with e ->
-             recovery_error "checkpoint: view %s: unreadable definition (%s)"
-               v.Checkpoint.v_name (Printexc.to_string e)
-         in
-         let view =
-           Catalog.create_view db.catalog ~name:v.Checkpoint.v_name
-             ~materialized:v.Checkpoint.v_materialized ~definition
-         in
-         if v.Checkpoint.v_materialized then
-           match v.Checkpoint.v_state with
-           | `Snap
-               {
-                 Checkpoint.s_stale;
-                 s_contents = Some contents;
-                 s_incremental;
-               } ->
-             view.Catalog.contents <- Some contents;
-             view.Catalog.stale <- s_stale;
-             if s_stale then quarantined := view.Catalog.view_name :: !quarantined
-             else if s_incremental then
-               (* the CRC-validated contents are authoritative; when the
-                  rebuilt incremental state cannot be proven to reproduce
-                  them (e.g. float drift between incremental and from-
-                  scratch summation), serve the contents without a state —
-                  the next DML falls back to a full refresh *)
-               ignore (rebuild_state db view)
-           | `Snap { Checkpoint.s_contents = None; _ } | `Damaged | `None ->
-             (* damaged or missing state: restore the definition only and
-                let the first read heal it by full refresh *)
-             quarantine view)
-       snap.Checkpoint.views;
-     List.iter
-       (fun ddl ->
-         try ignore (exec db ddl)
-         with e ->
-           recovery_error "checkpoint: replaying %S: %s" ddl (Printexc.to_string e))
-       snap.Checkpoint.index_ddl);
+   | Some snap -> restore_snapshot_into db ~quarantine snap);
   let ckpt_epoch = match snap with None -> 0 | Some s -> s.Checkpoint.epoch in
+  let ckpt_lsn = match snap with None -> 0 | Some s -> s.Checkpoint.lsn in
   let wpath = wal_path dir in
   let replayed = ref 0 in
   let torn = ref false in
@@ -1376,7 +1412,16 @@ let recover ?config dir =
     if !need_fresh then Wal.create wpath ~epoch:ckpt_epoch else Wal.open_append wpath
   in
   db.durable <-
-    Some { dir; wal; epoch = ckpt_epoch; appended = !replayed; checkpoint_every = None };
+    Some
+      {
+        dir;
+        wal;
+        epoch = ckpt_epoch;
+        base_lsn = ckpt_lsn;
+        appended = !replayed;
+        checkpoint_every = None;
+        checkpoint_bytes = None;
+      };
   let report =
     {
       checkpoint_epoch = Option.map (fun (s : Checkpoint.snapshot) -> s.Checkpoint.epoch) snap;
@@ -1462,14 +1507,17 @@ let checkpoint db =
                       });
              })
     in
-    Checkpoint.write ~dir:d.dir ~epoch:epoch' ~tables ~index_ddl ~views;
+    let lsn = d.base_lsn + d.appended in
+    Checkpoint.write ~dir:d.dir ~lsn ~epoch:epoch' ~tables ~index_ddl ~views;
     (* the snapshot is durable: install a fresh log for the new epoch
        (a crash right here leaves a stale log, which recovery discards) *)
+    Fault.hit site_install;
     let old = d.wal in
     let wal = Wal.create (wal_path d.dir) ~epoch:epoch' in
     (try Wal.close old with _ -> ());
     d.wal <- wal;
     d.epoch <- epoch';
+    d.base_lsn <- lsn;
     d.appended <- 0
 
 let () = checkpoint_ref := checkpoint
@@ -1479,7 +1527,91 @@ let set_checkpoint_every db n =
   | Some d -> d.checkpoint_every <- n
   | None -> ()
 
+let set_checkpoint_bytes db n =
+  match db.durable with
+  | Some d -> d.checkpoint_bytes <- n
+  | None -> ()
+
 let durable_dir db = Option.map (fun d -> d.dir) db.durable
+
+let epoch db = match db.durable with Some d -> d.epoch | None -> 0
+
+(* ---- Replication support ----
+
+   The log sequence number is the global count of top-level WAL records
+   since the database was created; it survives checkpoints (the
+   checkpoint header carries it) and orders every shipped record. *)
+
+let lsn db =
+  match db.durable with
+  | Some d -> d.base_lsn + d.appended
+  | None -> 0
+
+let in_batch db = db.batch <> None
+
+(* Replay one WAL record through the regular apply path.  Replicas call
+   this on shipped records; with no [durable] attached nothing is
+   re-logged, so application is pure state transition. *)
+let apply_record db record = replay_record db record
+
+(* A textual dump of the logical database state: table and view rows in
+   sorted order, plus quarantine flags.  Two databases with equal
+   fingerprints answer every query identically.  Rows are sorted before
+   rendering because physical order is not logical state: a replica
+   bootstrapped from a checkpoint may rebuild a view by full refresh
+   where the primary maintained it incrementally — same bag of rows,
+   different order.  Likewise excludes whether an *incremental
+   maintenance state* is present at all. *)
+let fingerprint db : string =
+  let buf = Buffer.create 1024 in
+  let render r = Buffer.add_string buf (Relation.render (Relation.sorted_by_all r)) in
+  Catalog.all_tables db.catalog
+  |> List.sort (fun (a : Catalog.table) b ->
+         compare a.Catalog.table_name b.Catalog.table_name)
+  |> List.iter (fun (tbl : Catalog.table) ->
+         Buffer.add_string buf (Printf.sprintf "table %s\n" tbl.Catalog.table_name);
+         render (Catalog.table_relation tbl));
+  Catalog.all_views db.catalog
+  |> List.sort (fun (a : Catalog.view) b ->
+         compare a.Catalog.view_name b.Catalog.view_name)
+  |> List.iter (fun (v : Catalog.view) ->
+         Buffer.add_string buf
+           (Printf.sprintf "view %s stale=%b\n" v.Catalog.view_name v.Catalog.stale);
+         match v.Catalog.contents with
+         | Some r -> render r
+         | None -> ());
+  Buffer.contents buf
+
+(* Promotion: turn an in-memory database (a replica's applied state)
+   into a durable primary directory.  Writes a checkpoint carrying
+   [lsn] — the replica's applied position — and installs a fresh WAL,
+   so the promoted primary's log sequence continues where the shipped
+   history ended. *)
+let make_durable db ~dir ~lsn =
+  if db.durable <> None then engine_error "make_durable: database is already durable";
+  if db.batch <> None then engine_error "make_durable: a batch is open";
+  ensure_dir dir;
+  let wal = Wal.create (wal_path dir) ~epoch:0 in
+  db.durable <-
+    Some
+      {
+        dir;
+        wal;
+        epoch = 0;
+        base_lsn = lsn;
+        appended = 0;
+        checkpoint_every = None;
+        checkpoint_bytes = None;
+      };
+  (* reuse the regular checkpoint path: bumps to epoch 1, snapshots the
+     whole catalog with the carried lsn, installs the epoch-1 log *)
+  try checkpoint db
+  with e ->
+    (match db.durable with
+     | Some d -> (try Wal.close d.wal with _ -> ())
+     | None -> ());
+    db.durable <- None;
+    raise e
 
 let close db =
   match db.durable with

@@ -163,8 +163,66 @@ val checkpoint : t -> unit
     ignored — the longer WAL still recovers the same state. *)
 val set_checkpoint_every : t -> int option -> unit
 
+(** Checkpoint automatically once the WAL file reaches [n] bytes
+    ([None] disables, the default) — the log-compaction trigger: a few
+    huge batch records compact as eagerly as many small ones.  Composes
+    with {!set_checkpoint_every}; either threshold fires. *)
+val set_checkpoint_bytes : t -> int option -> unit
+
 (** The database directory, when opened with {!open_durable}/{!recover}. *)
 val durable_dir : t -> string option
+
+(** The current checkpoint epoch (0 before the first checkpoint, and
+    for non-durable databases). *)
+val epoch : t -> int
+
+(** {1 Replication support}
+
+    Primitives the replication layer ({!module:Rfview_replica}) builds
+    on: a global log position, record application outside the WAL
+    commit path, bootstrap from shipped checkpoint bytes, a logical
+    state fingerprint for divergence detection, and promotion. *)
+
+(** The log sequence number: the global count of top-level WAL records
+    appended since the database was created.  Survives checkpoints (the
+    checkpoint header carries it forward).  0 for a non-durable
+    database. *)
+val lsn : t -> int
+
+(** Is a {!with_batch} scope currently open?  (A shipper must not read
+    the log position mid-batch: the batch's record is not sealed yet.) *)
+val in_batch : t -> bool
+
+(** Apply one WAL record through the regular replay path (view
+    maintenance, fault sites and quarantine behave as on the primary).
+    On a non-durable database nothing is re-logged: application is a
+    pure state transition — this is how replicas consume shipped
+    records.
+    @raise Engine_error when the record does not apply (e.g. a missing
+    pre-image), which a replica should treat as divergence. *)
+val apply_record : t -> Wal.record -> unit
+
+(** Build an in-memory (non-durable) database from a checkpoint
+    snapshot; returns it with the names of views restored stale.
+    Replica bootstrap: the snapshot typically comes from
+    {!Checkpoint.read_bytes} on a shipped artifact.
+    @raise Recovery_error when the snapshot does not restore. *)
+val restore_snapshot : ?config:config -> Checkpoint.snapshot -> t * string list
+
+(** A textual dump of the logical database state: table rows, view
+    contents, quarantine flags.  Equal fingerprints mean every query
+    answers identically.  Excludes incremental-maintenance {e presence}
+    (a checkpoint-bootstrapped replica may maintain by full refresh
+    where the primary is incremental — same logical state). *)
+val fingerprint : t -> string
+
+(** Promote an in-memory database (a replica's applied state) into a
+    durable primary at [dir]: writes an epoch-1 checkpoint carrying
+    [lsn] and installs a fresh WAL, so the promoted primary's log
+    sequence continues where the shipped history ended.
+    @raise Engine_error when the database is already durable or a batch
+    is open. *)
+val make_durable : t -> dir:string -> lsn:int -> unit
 
 (** Close the WAL writer and detach the directory (the in-memory
     database remains usable, but is no longer durable). *)

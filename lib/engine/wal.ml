@@ -155,6 +155,15 @@ module Codec = struct
     r.pos <- r.pos + n;
     s
 
+  (* [n] raw bytes, no length prefix (the compression wrapper carries
+     its own lengths) *)
+  let get_raw r n =
+    if n < 0 then decode_error "negative raw length %d" n;
+    need r n;
+    let s = String.sub r.data r.pos n in
+    r.pos <- r.pos + n;
+    s
+
   let get_value r : Value.t =
     match get_char r with
     | 'N' -> Value.Null
@@ -244,10 +253,22 @@ let rec payload_of_record (r : record) : string =
      Array.iter (Codec.put_row buf) rows
    | Batch records ->
      (* group commit: the sub-records nest as length-prefixed payloads,
-        so one frame (and one fsync) covers the whole batch *)
-     Buffer.add_char buf 'b';
-     Codec.put_int buf (List.length records);
-     List.iter (fun sub -> Codec.put_string buf (payload_of_record sub)) records);
+        so one frame (and one fsync) covers the whole batch.  Large
+        batch bodies are LZSS-compressed (tag 'z'); [Compress.pack]
+        falls back to raw storage when compression does not win, and
+        small bodies keep the plain 'b' framing. *)
+     let body = Buffer.create 256 in
+     Codec.put_int body (List.length records);
+     List.iter (fun sub -> Codec.put_string body (payload_of_record sub)) records;
+     let body = Buffer.contents body in
+     if String.length body >= 256 then begin
+       Buffer.add_char buf 'z';
+       Compress.pack buf body
+     end
+     else begin
+       Buffer.add_char buf 'b';
+       Buffer.add_string buf body
+     end);
   Buffer.contents buf
 
 let rec record_of_payload (payload : string) : record =
@@ -285,6 +306,21 @@ let rec record_of_payload (payload : string) : record =
     let n = Codec.get_int r in
     if n < 0 then raise (Codec.Decode "negative batch record count");
     Batch (List.init n (fun _ -> record_of_payload (Codec.get_string r)))
+  | 'z' ->
+    (* compressed batch body: unwrap, then parse as the 'b' body *)
+    let body =
+      try
+        Compress.unpack
+          ~get_int:(fun () -> Codec.get_int r)
+          ~get_char:(fun () -> Codec.get_char r)
+          ~get_bytes:(fun n -> Codec.get_raw r n)
+      with Compress.Corrupt m ->
+        raise (Codec.Decode (Printf.sprintf "compressed batch: %s" m))
+    in
+    let br = Codec.reader body in
+    let n = Codec.get_int br in
+    if n < 0 then raise (Codec.Decode "negative batch record count");
+    Batch (List.init n (fun _ -> record_of_payload (Codec.get_string br)))
   | c -> raise (Codec.Decode (Printf.sprintf "bad record tag %C" c))
 
 (* ---- Framing: [length ∥ crc32 ∥ payload], both u32 LE ---- *)
@@ -422,6 +458,63 @@ let scan path : scan =
   match List.rev !records with
   | Begin epoch :: records -> { epoch; records; torn = !torn; valid_bytes = !valid_bytes }
   | _ -> wal_error "%s: missing or unreadable BEGIN record" path
+
+(* ---- Detailed scanning (wal-info, the replication shipper) ----
+
+   Unlike [scan], this keeps walking past a damaged record (the length
+   field still frames it) and reports every frame with its byte span
+   and CRC status.  A record that fails to decode despite a matching
+   CRC is reported as undecodable rather than aborting the walk. *)
+
+type entry = {
+  e_index : int;      (* 1-based position in the file *)
+  e_offset : int;     (* byte offset of the frame (length field) *)
+  e_bytes : int;      (* total frame size: 8 + payload length *)
+  e_crc_ok : bool;
+  e_record : record option; (* decoded record; [None] when CRC or decode failed *)
+}
+
+type detail = {
+  d_entries : entry list;
+  d_torn : int option; (* byte offset of a torn tail, when present *)
+  d_size : int;        (* file size in bytes *)
+}
+
+let scan_detail path : detail =
+  if not (Sys.file_exists path) then wal_error "no log at %s" path;
+  let data = read_file path in
+  let len = String.length data in
+  let out = ref [] in
+  let torn = ref None in
+  let pos = ref 0 in
+  let index = ref 0 in
+  (try
+     while !pos + 8 <= len do
+       let b = Bytes.unsafe_of_string data in
+       let n = Int32.to_int (Bytes.get_int32_le b !pos) in
+       if n < 0 || n > max_record || !pos + 8 + n > len then begin
+         torn := Some !pos;
+         raise Exit
+       end;
+       let stored_crc = Bytes.get_int32_le b (!pos + 4) in
+       let payload = String.sub data (!pos + 8) n in
+       let crc_ok = crc32 payload = stored_crc in
+       let record =
+         if not crc_ok then None
+         else match record_of_payload payload with
+           | r -> Some r
+           | exception Codec.Decode _ -> None
+       in
+       incr index;
+       out :=
+         { e_index = !index; e_offset = !pos; e_bytes = 8 + n; e_crc_ok = crc_ok;
+           e_record = record }
+         :: !out;
+       pos := !pos + 8 + n
+     done;
+     if !pos < len then torn := Some !pos
+   with Exit -> ());
+  { d_entries = List.rev !out; d_torn = !torn; d_size = len }
 
 let truncate path valid_bytes =
   let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in

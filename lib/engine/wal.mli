@@ -43,6 +43,13 @@ val describe : record -> string
     a strict prefix. *)
 val frame : record -> string
 
+(** A record's payload bytes without the frame — the replication feed
+    carries record payloads inside its own framed entries. *)
+val payload_of_record : record -> string
+
+(** Invert {!payload_of_record}.  @raise Codec.Decode when malformed. *)
+val record_of_payload : string -> record
+
 (** {1 Writing} *)
 
 type writer
@@ -91,6 +98,32 @@ val scan : string -> scan
 (** Truncate the file to [valid_bytes], discarding a torn tail. *)
 val truncate : string -> int -> unit
 
+(** {1 Detailed scanning}
+
+    Used by [rfview wal-info] and the replication shipper.  Unlike
+    {!scan}, the walk continues past CRC-mismatched records (their
+    length field still frames them) and reports every frame with its
+    byte span and status. *)
+
+type entry = {
+  e_index : int;  (** 1-based position in the file *)
+  e_offset : int;  (** byte offset of the frame (its length field) *)
+  e_bytes : int;  (** total frame size: 8-byte header + payload *)
+  e_crc_ok : bool;
+  e_record : record option;
+      (** the decoded record; [None] when the CRC mismatched or the
+          payload does not decode *)
+}
+
+type detail = {
+  d_entries : entry list;
+  d_torn : int option;  (** byte offset of a torn tail, when present *)
+  d_size : int;  (** file size in bytes *)
+}
+
+(** @raise Wal_error when the file is missing. *)
+val scan_detail : string -> detail
+
 (** {1 Framing and value codec}
 
     Shared with {!module:Checkpoint}, which frames its own records the
@@ -118,6 +151,9 @@ module Codec : sig
   val get_bool : reader -> bool
   val get_int : reader -> int
   val get_string : reader -> string
+
+  (** [n] raw bytes, no length prefix. *)
+  val get_raw : reader -> int -> string
   val get_value : reader -> Value.t
   val get_row : reader -> Row.t
   val get_schema : reader -> Schema.t

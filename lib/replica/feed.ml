@@ -1,0 +1,209 @@
+(* A replication feed: the append-only stream one replica consumes.
+
+   The file is a sequence of CRC-framed entries (Wal.frame_payload):
+
+     C lsn epoch fp? data        a checkpoint artifact — the primary's
+                                 whole checkpoint file, packed
+     R lsn epoch fp? payload     one shipped WAL record, packed
+
+   Record payloads and checkpoint bytes travel through Compress.pack,
+   so the feed is the compact wire format even when the primary's own
+   files are not.  [fp], when present, is the CRC32 of the primary's
+   logical fingerprint at exactly [lsn]: the shipper attaches it to the
+   entry at the tip of a pump, and the replica compares after applying
+   to detect divergence.
+
+   Fault-injection sites: [ship.append] (before an entry's bytes are
+   written) and [ship.fsync] (before the durability barrier). *)
+
+open Rfview_engine
+module Codec = Wal.Codec
+
+exception Corrupt of string
+
+let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt s)) fmt
+
+let site_append = Fault.define "ship.append"
+let site_sync = Fault.define "ship.fsync"
+
+type entry =
+  | Artifact of { lsn : int; epoch : int; fp : int32 option; data : string }
+  | Record of { lsn : int; epoch : int; fp : int32 option; record : Wal.record }
+
+let lsn_of = function Artifact { lsn; _ } | Record { lsn; _ } -> lsn
+
+(* ---- Encoding ---- *)
+
+let put_fp buf = function
+  | None -> Codec.put_bool buf false
+  | Some fp ->
+    Codec.put_bool buf true;
+    Codec.put_int buf (Int32.to_int fp)
+
+let encode (e : entry) : string =
+  let buf = Buffer.create 256 in
+  (match e with
+   | Artifact { lsn; epoch; fp; data } ->
+     Buffer.add_char buf 'C';
+     Codec.put_int buf lsn;
+     Codec.put_int buf epoch;
+     put_fp buf fp;
+     Compress.pack buf data
+   | Record { lsn; epoch; fp; record } ->
+     Buffer.add_char buf 'R';
+     Codec.put_int buf lsn;
+     Codec.put_int buf epoch;
+     put_fp buf fp;
+     Compress.pack buf (Wal.payload_of_record record));
+  Buffer.contents buf
+
+let decode (payload : string) : entry =
+  let r = Codec.reader payload in
+  try
+    let tag = Codec.get_char r in
+    let lsn = Codec.get_int r in
+    let epoch = Codec.get_int r in
+    let fp =
+      if Codec.get_bool r then Some (Int32.of_int (Codec.get_int r)) else None
+    in
+    let data =
+      Compress.unpack
+        ~get_int:(fun () -> Codec.get_int r)
+        ~get_char:(fun () -> Codec.get_char r)
+        ~get_bytes:(Codec.get_raw r)
+    in
+    match tag with
+    | 'C' -> Artifact { lsn; epoch; fp; data }
+    | 'R' -> Record { lsn; epoch; fp; record = Wal.record_of_payload data }
+    | c -> corrupt "unknown feed entry tag %C" c
+  with
+  | Codec.Decode m -> corrupt "%s" m
+  | Compress.Corrupt m -> corrupt "%s" m
+
+(* ---- Writer ---- *)
+
+type writer = { fd : Unix.file_descr; mutable pos : int }
+
+let really_write fd (s : string) =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let create path : writer =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  { fd; pos = 0 }
+
+(* Same sanity bound as the WAL scanner: a corrupt length field must not
+   make a walk skip (or allocate) gigabytes. *)
+let max_entry = 1 lsl 30
+
+(* Byte length of the well-framed prefix: frames are hopped by their
+   length field (CRC is not checked — a complete-but-corrupt frame still
+   frames itself); the walk stops at the first short frame. *)
+let framed_prefix (data : string) : int =
+  let len = String.length data in
+  let b = Bytes.unsafe_of_string data in
+  let pos = ref 0 in
+  (try
+     while !pos + 8 <= len do
+       let n = Int32.to_int (Bytes.get_int32_le b !pos) in
+       if n < 0 || n > max_entry || !pos + 8 + n > len then raise Exit;
+       pos := !pos + 8 + n
+     done
+   with Exit -> ());
+  !pos
+
+(* Reopening after a shipper crash: a torn tail (an append the crash cut
+   short) is chopped off before appending resumes, so the frame stream
+   stays parseable.  Complete-but-corrupt frames are left in place — the
+   replica detects them and quarantines. *)
+let open_append path : writer =
+  if not (Sys.file_exists path) then create path
+  else begin
+    let data = read_file path in
+    let valid = framed_prefix data in
+    let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+    if valid < String.length data then Unix.ftruncate fd valid;
+    ignore (Unix.lseek fd valid Unix.SEEK_SET);
+    { fd; pos = valid }
+  end
+
+let position w = w.pos
+
+let append w (e : entry) =
+  Fault.hit site_append;
+  let framed = Wal.frame_payload (encode e) in
+  really_write w.fd framed;
+  w.pos <- w.pos + String.length framed
+
+let sync w =
+  Fault.hit site_sync;
+  Unix.fsync w.fd
+
+let truncate_to w pos =
+  Unix.ftruncate w.fd pos;
+  ignore (Unix.lseek w.fd pos Unix.SEEK_SET);
+  w.pos <- pos
+
+let close w = Unix.close w.fd
+
+(* ---- Reader ---- *)
+
+type item =
+  | Entry of entry
+  | Damage of { offset : int }
+
+let size path = if Sys.file_exists path then (Unix.stat path).Unix.st_size else 0
+
+(* Walk the feed from [offset].  Each item is paired with the byte
+   offset just past its frame — the reader's resume point.  A
+   CRC-mismatched or undecodable frame becomes [Damage] and the walk
+   continues past it (its length field still frames it); a short tail
+   (an append in flight, or one a crash cut off) stops the walk and is
+   reported so the reader can retry from there. *)
+let read_from path ~offset : (item * int) list * int option =
+  if not (Sys.file_exists path) then ([], None)
+  else begin
+    let data = read_file path in
+    let len = String.length data in
+    if offset > len then
+      (* the file shrank under us: it is not the feed we were reading *)
+      ([ (Damage { offset }, offset) ], None)
+    else begin
+      let b = Bytes.unsafe_of_string data in
+      let items = ref [] in
+      let torn_at = ref None in
+      let pos = ref offset in
+      (try
+         while !pos + 8 <= len do
+           let n = Int32.to_int (Bytes.get_int32_le b !pos) in
+           if n < 0 || n > max_entry || !pos + 8 + n > len then begin
+             torn_at := Some !pos;
+             raise Exit
+           end;
+           let stored_crc = Bytes.get_int32_le b (!pos + 4) in
+           let payload = String.sub data (!pos + 8) n in
+           let finish = !pos + 8 + n in
+           let item =
+             if Wal.crc32 payload <> stored_crc then Damage { offset = !pos }
+             else
+               match decode payload with
+               | e -> Entry e
+               | exception Corrupt _ -> Damage { offset = !pos }
+           in
+           items := (item, finish) :: !items;
+           pos := finish
+         done;
+         if !pos < len then torn_at := Some !pos
+       with Exit -> ());
+      (List.rev !items, !torn_at)
+    end
+  end

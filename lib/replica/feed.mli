@@ -1,0 +1,65 @@
+(** A replication feed: the append-only stream one replica consumes.
+
+    Entries are CRC-framed like WAL records; bodies travel through
+    {!Rfview_engine.Compress}.  An entry is either a {e checkpoint
+    artifact} (the primary's whole checkpoint file, the replica's
+    bootstrap and resync point) or one {e shipped WAL record}.  Both
+    carry the global LSN and checkpoint epoch; [fp], when present, is
+    the CRC32 of the primary's logical fingerprint at exactly that LSN
+    (attached at the tip of a pump), which the replica checks after
+    applying to detect divergence.
+
+    Fault-injection sites: [ship.append], [ship.fsync]. *)
+
+open Rfview_engine
+
+exception Corrupt of string
+
+type entry =
+  | Artifact of { lsn : int; epoch : int; fp : int32 option; data : string }
+      (** [data]: raw checkpoint-file bytes ({!Checkpoint.read_bytes}) *)
+  | Record of { lsn : int; epoch : int; fp : int32 option; record : Wal.record }
+
+val lsn_of : entry -> int
+
+(** {1 Writing} (the shipper's side) *)
+
+type writer
+
+(** Create (or truncate) a feed. *)
+val create : string -> writer
+
+(** Reopen an existing feed for appending, chopping off a torn tail
+    left by a crash mid-append; creates the feed when missing. *)
+val open_append : string -> writer
+
+(** Byte offset of the feed's end — capture before {!append} so a
+    failed ship can {!truncate_to} the partial entry back off. *)
+val position : writer -> int
+
+(** @raise Fault.Injected when [ship.append] is armed. *)
+val append : writer -> entry -> unit
+
+(** @raise Fault.Injected when [ship.fsync] is armed. *)
+val sync : writer -> unit
+
+val truncate_to : writer -> int -> unit
+val close : writer -> unit
+
+(** {1 Reading} (the replica's side) *)
+
+type item =
+  | Entry of entry
+  | Damage of { offset : int }
+      (** a complete frame whose CRC mismatched or whose payload does
+          not decode — shipped corruption, not a torn tail *)
+
+(** Feed file size in bytes (0 when missing) — the byte-lag basis. *)
+val size : string -> int
+
+(** Read every complete entry from byte [offset] on.  Each item is
+    paired with the offset just past its frame (the resume point); the
+    second component is the byte offset of a torn tail when one is
+    present (an append still in flight — retry from there later).  A
+    missing feed reads as empty. *)
+val read_from : string -> offset:int -> (item * int) list * int option

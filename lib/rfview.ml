@@ -8,6 +8,8 @@ module Lexer = Rfview_sql.Lexer
 module Parser = Rfview_sql.Parser
 module Pretty = Rfview_sql.Pretty
 module Binder = Rfview_planner.Binder
+module Rep = Rfview_replica.Replica
+module Ship = Rfview_replica.Ship
 
 module Config = struct
   type window_mode = Db.window_mode
@@ -32,6 +34,8 @@ end
 module Session = struct
   type t = { db : Db.t; mutable report : Db.recovery_report option }
 
+  type lag = Rep.lag = { records : int; bytes : int }
+
   type error =
     | Parse of string
     | Bind of string
@@ -39,6 +43,7 @@ module Session = struct
     | Quarantined of { views : string list; detail : string }
     | Recovery of string
     | Script of { index : int; sql : string; cause : error }
+    | Stale of { applied_lsn : int; tip_lsn : int; lag : lag }
 
   type result = Db.result =
     | Relation of Relation.t
@@ -60,6 +65,11 @@ module Session = struct
     | Recovery m -> "recovery failed: " ^ m
     | Script { index; sql; cause } ->
       Printf.sprintf "statement %d (%s): %s" index sql (describe_error cause)
+    | Stale { applied_lsn; tip_lsn; lag } ->
+      Printf.sprintf
+        "stale read refused: applied lsn %d is %d records (%d feed bytes) \
+         behind tip %d"
+        applied_lsn lag.records lag.bytes tip_lsn
 
   let describe_exn = function
     | Db.Engine_error m -> m
@@ -79,6 +89,8 @@ module Session = struct
     | Db.Recovery_error m -> Recovery m
     | Db.Script_error { index; sql; cause } ->
       Script { index; sql; cause = error_of_exn ~fresh cause }
+    | Ship.Ship_error m -> Runtime ("ship: " ^ m)
+    | Rep.Replica_error m -> Runtime ("replica: " ^ m)
     | e when fresh <> [] -> Quarantined { views = fresh; detail = describe_exn e }
     | e -> Runtime (describe_exn e)
 
@@ -144,8 +156,60 @@ module Session = struct
   let with_batch session f = Db.with_batch session.db f
   let checkpoint session = wrap session (fun () -> Db.checkpoint session.db)
   let set_checkpoint_every session n = Db.set_checkpoint_every session.db n
+  let set_checkpoint_bytes session n = Db.set_checkpoint_bytes session.db n
   let stale_views session = Db.stale_views session.db
   let config session = Db.config session.db
   let reconfigure session cfg = Db.reconfigure session.db cfg
   let database session = session.db
+  let lsn session = Db.lsn session.db
+
+  (* ---- Replication ----
+
+     Thin result-typed wrappers over [Rfview_replica]; no session-level
+     quarantine tracking applies here, so errors wrap directly. *)
+
+  let wrap_rep f =
+    match f () with v -> Ok v | exception e -> Error (error_of_exn ~fresh:[] e)
+
+  type shipper = Ship.t
+
+  let shipper session = wrap_rep (fun () -> Ship.create session.db)
+
+  (* attach when the feed file does not exist yet, reattach (resuming
+     where the previous shipper stopped) when it does *)
+  let attach_feed sh ~name ~path =
+    wrap_rep (fun () ->
+        if Sys.file_exists path then Ship.reattach sh ~name ~path
+        else Ship.attach sh ~name ~path)
+
+  let ship sh = wrap_rep (fun () -> Ship.pump sh)
+  let resync_feed sh ~name = wrap_rep (fun () -> Ship.resync sh ~name)
+  let shipped sh ~name = Ship.shipped sh ~name
+  let close_shipper sh = Ship.close sh
+
+  type replica = Rep.t
+
+  let open_replica ?config ~name ~feed () = Rep.attach ?config ~name ~feed ()
+  let poll_replica r = wrap_rep (fun () -> Rep.poll r)
+  let replica_applied_lsn r = Rep.applied_lsn r
+  let replica_lag r ~tip = Rep.lag r ~tip
+
+  let replica_status r =
+    match Rep.status r with
+    | Rep.Syncing -> `Syncing
+    | Rep.Ready -> `Ready
+    | Rep.Quarantined { at_lsn; reason } -> `Quarantined (at_lsn, reason)
+
+  let read_replica r ~tip ?max_records ?max_bytes sql =
+    match Rep.read r ~tip ?max_records ?max_bytes sql with
+    | Ok (rel, at) -> Ok (rel, at)
+    | Error (Rep.Stale { applied_lsn; tip_lsn; lag }) ->
+      Error (Stale { applied_lsn; tip_lsn; lag })
+    | Error (Rep.Unavailable m) -> Error (Runtime ("replica: " ^ m))
+    | exception e -> Error (error_of_exn ~fresh:[] e)
+
+  let promote r ~dir =
+    wrap_rep (fun () ->
+        let db = Rep.promote r ~dir in
+        { db; report = None })
 end

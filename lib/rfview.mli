@@ -47,6 +47,12 @@ module Session : sig
   (** A handle on one open database (in-memory or durable). *)
   type t
 
+  (** How far a replica trails its primary. *)
+  type lag = Rfview_replica.Replica.lag = {
+    records : int;  (** LSNs behind the primary tip *)
+    bytes : int;  (** feed bytes not yet consumed *)
+  }
+
   (** Structured failure of a session operation. *)
   type error =
     | Parse of string  (** the SQL text does not lex/parse *)
@@ -59,6 +65,9 @@ module Session : sig
     | Script of { index : int; sql : string; cause : error }
         (** statement [index] (1-based) of a script failed; prior
             statements committed *)
+    | Stale of { applied_lsn : int; tip_lsn : int; lag : lag }
+        (** a {!read_replica} whose staleness bound the replica could
+            not meet; nothing was evaluated *)
 
   (** One line, human-readable. *)
   val describe_error : error -> string
@@ -117,6 +126,86 @@ module Session : sig
   (** Checkpoint automatically once the WAL holds at least [n] records
       ([None] disables). *)
   val set_checkpoint_every : t -> int option -> unit
+
+  (** Checkpoint automatically once the WAL file reaches [n] bytes
+      ([None] disables) — the log-compaction trigger that keeps a
+      replica's bootstrap replay suffix bounded. *)
+  val set_checkpoint_bytes : t -> int option -> unit
+
+  (** The session's log sequence number: the global count of WAL records
+      since the database was created (0 when not durable).  This is the
+      [tip] replicas measure their lag against. *)
+  val lsn : t -> int
+
+  (** {2 Replication}
+
+      A durable session ships its WAL to per-replica feed files
+      ({!shipper} side); a {!replica} consumes one feed and serves
+      snapshot reads bounded in staleness.  See {!Rfview_replica} for
+      the underlying machinery. *)
+
+  (** The primary-side shipper fanning the session's log out to feeds. *)
+  type shipper
+
+  (** [Error (Runtime _)] when the session is not durable. *)
+  val shipper : t -> (shipper, error) Stdlib.result
+
+  (** Attach feed [path] under [name]: created (and seeded with the
+      current checkpoint artifact) when the file does not exist,
+      reopened — resuming where the previous shipper stopped — when it
+      does. *)
+  val attach_feed :
+    shipper -> name:string -> path:string -> (unit, error) Stdlib.result
+
+  (** Ship every unshipped record to every feed; the number of
+      (record, feed) deliveries. *)
+  val ship : shipper -> (int, error) Stdlib.result
+
+  (** Checkpoint the primary and ship the artifact to the named feed —
+      repairs a quarantined (diverged) replica. *)
+  val resync_feed : shipper -> name:string -> (unit, error) Stdlib.result
+
+  (** Highest LSN the named feed holds. *)
+  val shipped : shipper -> name:string -> int
+
+  val close_shipper : shipper -> unit
+
+  (** A replica consuming one feed. *)
+  type replica
+
+  val open_replica :
+    ?config:Config.t -> name:string -> feed:string -> unit -> replica
+
+  (** Consume every complete feed entry not yet applied; the number of
+      entries that advanced the state. *)
+  val poll_replica : replica -> (int, error) Stdlib.result
+
+  (** The LSN the replica's state corresponds to. *)
+  val replica_applied_lsn : replica -> int
+
+  (** Lag relative to a primary tip (see {!lsn}). *)
+  val replica_lag : replica -> tip:int -> lag
+
+  val replica_status :
+    replica -> [ `Syncing | `Ready | `Quarantined of int * string ]
+
+  (** Snapshot read against the replica's applied state, refused with
+      [Error (Stale _)] when it trails [tip] by more than [max_records]
+      LSNs or [max_bytes] unconsumed feed bytes (omitted bounds don't
+      constrain).  [Ok (rows, lsn)] tags the rows with the LSN they
+      reflect. *)
+  val read_replica :
+    replica ->
+    tip:int ->
+    ?max_records:int ->
+    ?max_bytes:int ->
+    string ->
+    (Relation.t * int, error) Stdlib.result
+
+  (** Promote the replica's applied state into a durable primary at
+      [dir]; the returned session continues the shipped history's LSN
+      sequence.  [Error (Runtime _)] when the replica is quarantined. *)
+  val promote : replica -> dir:string -> (t, error) Stdlib.result
 
   (** {2 Introspection} *)
 

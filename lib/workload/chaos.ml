@@ -548,6 +548,457 @@ let run_crash ?(config = default_crash_config) ~dir () : crash_report =
       ignore (recover ~context:"final recovery");
       !report)
 
+(* ---- Replication chaos ----
+
+   The same randomized stream over a durable primary, shipped through
+   per-replica feeds (Rfview_replica) while the harness records the
+   oracle's row list *at every commit boundary*, keyed by the primary's
+   LSN.  Every read served by any replica is tagged with an LSN; the
+   harness asserts it equals the oracle's state at exactly that LSN — a
+   replica may be stale, it may never be wrong.
+
+   Chaos events between statements: kill a replica (rebuilt from the
+   feed alone: checkpoint artifact + record suffix), corrupt an
+   unconsumed feed entry (the replica must quarantine, then heal via
+   [Ship.resync]), lag a replica (its bounded reads must refuse with
+   [Stale]), arm [replica.apply] (the interrupted poll must resume
+   exactly), arm [ship.append] (the half-shipped entry must come back
+   off the feed), and crash + recover the primary (LSNs must carry
+   across recovery, the shipper reattaching every feed).
+
+   The run ends with failover: the primary dies with an unshipped tail,
+   the freshest replica is promoted, and the promoted directory must
+   hold the oracle state at the promoted LSN — losing at most the tail
+   that was never pumped. *)
+
+module Replica = Rfview_replica.Replica
+module Ship = Rfview_replica.Ship
+module Feed = Rfview_replica.Feed
+
+type replica_config = {
+  rp_seed : int;
+  rp_ops : int;               (* statements across the whole run *)
+  rp_replicas : int;          (* feeds fanned out *)
+  rp_pump_every : int;        (* ship once per this many statements *)
+  rp_read_every : int;        (* replica read once per this many *)
+  rp_event_every : int;       (* chaos event once per this many *)
+  rp_checkpoint_bytes : int;  (* primary log-compaction threshold; 0 = off *)
+  rp_batch : int;             (* > 1: group-commit chunks of this size *)
+  rp_max_lag : int;           (* staleness bound for bounded reads *)
+}
+
+let default_replica_config =
+  {
+    rp_seed = 23;
+    rp_ops = 60;
+    rp_replicas = 3;
+    rp_pump_every = 2;
+    rp_read_every = 3;
+    rp_event_every = 9;
+    rp_checkpoint_bytes = 16 * 1024;
+    rp_batch = 0;
+    rp_max_lag = 4;
+  }
+
+type replica_report = {
+  rp_statements : int;
+  rp_pumps : int;
+  rp_deliveries : int;        (* (record, feed) deliveries shipped *)
+  rp_reads : int;             (* replica reads served and verified *)
+  rp_stale_reads : int;       (* reads refused by the staleness bound *)
+  rp_kills : int;             (* replica kill + feed-rebootstrap cycles *)
+  rp_corruptions : int;       (* feed entries corrupted *)
+  rp_quarantines : int;       (* replica quarantines observed *)
+  rp_resyncs : int;           (* resync artifacts shipped *)
+  rp_ship_faults : int;       (* pumps interrupted by ship.* sites *)
+  rp_apply_faults : int;      (* polls interrupted by replica.apply *)
+  rp_primary_crashes : int;   (* mid-run primary crash + reattach cycles *)
+  rp_compactions : int;       (* byte-triggered checkpoints observed *)
+  rp_promoted_lsn : int;      (* failover: LSN the promoted replica held *)
+  rp_lost_tail : int;         (* failover: records lost with the primary *)
+}
+
+(* One replica plus its harness bookkeeping. *)
+type rep_slot = {
+  rs_name : string;
+  rs_path : string;
+  mutable rs_rep : Replica.t;
+  mutable rs_lag_until : int; (* skip polls until this op index *)
+  mutable rs_corrupted : bool; (* this feed was damaged at some point *)
+}
+
+let run_replica ?(config = default_replica_config) ~dir () : replica_report =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let pdir = Filename.concat dir "primary" in
+  let promoted_dir = Filename.concat dir "promoted" in
+  fresh_dir pdir;
+  fresh_dir promoted_dir;
+  let prng = Prng.create ~seed:config.rp_seed in
+  let report =
+    ref
+      {
+        rp_statements = 0;
+        rp_pumps = 0;
+        rp_deliveries = 0;
+        rp_reads = 0;
+        rp_stale_reads = 0;
+        rp_kills = 0;
+        rp_corruptions = 0;
+        rp_quarantines = 0;
+        rp_resyncs = 0;
+        rp_ship_faults = 0;
+        rp_apply_faults = 0;
+        rp_primary_crashes = 0;
+        rp_compactions = 0;
+        rp_promoted_lsn = 0;
+        rp_lost_tail = 0;
+      }
+  in
+  let bump f = report := f !report in
+  (* primary + shipper *)
+  let pdb = ref (Db.open_durable pdir) in
+  List.iter (fun sql -> ignore (Db.exec !pdb sql)) setup_sql;
+  if config.rp_checkpoint_bytes > 0 then
+    Db.set_checkpoint_bytes !pdb (Some config.rp_checkpoint_bytes);
+  let ship = ref (Ship.create !pdb) in
+  let slots =
+    List.init config.rp_replicas (fun i ->
+        let rs_name = Printf.sprintf "r%d" i in
+        let rs_path = Filename.concat dir ("feed_" ^ rs_name) in
+        Ship.attach !ship ~name:rs_name ~path:rs_path;
+        {
+          rs_name;
+          rs_path;
+          rs_rep = Replica.attach ~name:rs_name ~feed:rs_path ();
+          rs_lag_until = 0;
+          rs_corrupted = false;
+        })
+  in
+  (* the oracle's row list at every commit boundary, keyed by LSN *)
+  let history : (int, Row.t list) Hashtbl.t = Hashtbl.create 64 in
+  let oracle = ref [] in
+  let remember () = Hashtbl.replace history (Db.lsn !pdb) !oracle in
+  remember ();
+  let last_pump_tip = ref 0 in
+  let pump ~context =
+    match Ship.pump !ship with
+    | n ->
+      last_pump_tip := Db.lsn !pdb;
+      bump (fun r -> { r with rp_pumps = r.rp_pumps + 1; rp_deliveries = r.rp_deliveries + n })
+    | exception e -> divergence "%s: pump failed: %s" context (Printexc.to_string e)
+  in
+  let poll slot ~context =
+    match Replica.poll slot.rs_rep with
+    | _ -> ()
+    | exception Fault.Injected _ ->
+      divergence "%s: unexpected injected fault in poll of %s" context slot.rs_name
+    | exception e ->
+      divergence "%s: poll of %s failed: %s" context slot.rs_name
+        (Printexc.to_string e)
+  in
+  (* a quarantine is legitimate iff this feed really was damaged *)
+  let note_quarantine slot ~context reason =
+    if not slot.rs_corrupted then
+      divergence "%s: replica %s quarantined without feed damage (%s)" context
+        slot.rs_name reason;
+    bump (fun r -> { r with rp_quarantines = r.rp_quarantines + 1 })
+  in
+  (* heal a quarantined replica: ship a fresh tip artifact, re-poll, and
+     demand it comes back Ready (the artifact carries a fingerprint, so
+     a wrong rebuild would re-quarantine) *)
+  let repair slot ~context =
+    Ship.resync !ship ~name:slot.rs_name;
+    bump (fun r -> { r with rp_resyncs = r.rp_resyncs + 1 });
+    last_pump_tip := Db.lsn !pdb;
+    poll slot ~context;
+    match Replica.status slot.rs_rep with
+    | Replica.Ready -> ()
+    | Replica.Syncing -> divergence "%s: %s still syncing after resync" context slot.rs_name
+    | Replica.Quarantined { reason; _ } ->
+      divergence "%s: %s still quarantined after resync: %s" context slot.rs_name reason
+  in
+  let check_replica_read slot ~context ~tip =
+    match Replica.status slot.rs_rep with
+    | Replica.Quarantined { reason; _ } ->
+      note_quarantine slot ~context reason;
+      repair slot ~context
+    | Replica.Syncing -> ()
+    | Replica.Ready ->
+      let bound = Prng.int prng (config.rp_max_lag + 1) in
+      let kind = if Prng.int prng 3 = 0 then `Tot else `Base in
+      let sql =
+        match kind with
+        | `Base -> "SELECT grp, pos, val FROM seq"
+        | `Tot -> "SELECT * FROM v_tot"
+      in
+      (match Replica.read slot.rs_rep ~tip ~max_records:bound sql with
+       | Ok (rel, at) ->
+         (match Hashtbl.find_opt history at with
+          | None ->
+            divergence "%s: %s served a read at lsn %d, not a committed state"
+              context slot.rs_name at
+          | Some rows ->
+            let expected =
+              match kind with
+              | `Base -> Relation.of_array schema_seq (Array.of_list rows)
+              | `Tot ->
+                (* evaluate the view's definition over the historical rows *)
+                let scratch = Db.create () in
+                ignore (Db.exec scratch "CREATE TABLE seq (grp INT, pos INT, val FLOAT)");
+                Db.load_table scratch ~table:"seq" (Array.of_list rows);
+                Db.query scratch
+                  "SELECT grp, SUM(val) AS total, COUNT(*) AS n FROM seq GROUP BY grp"
+            in
+            if not (Relation.equal_bag rel expected) then
+              divergence
+                "%s: %s read at lsn %d is not the historical state\nserved:\n%s\nexpected:\n%s"
+                context slot.rs_name at
+                (Relation.render (Relation.sorted_by_all rel))
+                (Relation.render (Relation.sorted_by_all expected));
+            if tip - at > bound then
+              divergence "%s: %s served lag %d past the bound %d" context
+                slot.rs_name (tip - at) bound;
+            bump (fun r -> { r with rp_reads = r.rp_reads + 1 }))
+       | Error (Replica.Stale { applied_lsn; tip_lsn; _ }) ->
+         if tip_lsn - applied_lsn <= bound then
+           divergence "%s: %s refused a read within the bound (lag %d <= %d)"
+             context slot.rs_name (tip_lsn - applied_lsn) bound;
+         bump (fun r -> { r with rp_stale_reads = r.rp_stale_reads + 1 })
+       | Error (Replica.Unavailable reason) ->
+         divergence "%s: ready replica %s refused a read: %s" context slot.rs_name
+           reason)
+  in
+  let chaos_event ~context i =
+    let slot = List.nth slots (Prng.int prng (List.length slots)) in
+    match Prng.int prng 6 with
+    | 0 ->
+      (* kill: the replica object is abandoned; the rebuilt one must
+         bootstrap from the feed alone *)
+      slot.rs_rep <- Replica.attach ~name:slot.rs_name ~feed:slot.rs_path ();
+      slot.rs_lag_until <- 0;
+      poll slot ~context;
+      (match Replica.status slot.rs_rep with
+       | Replica.Quarantined { reason; _ } ->
+         note_quarantine slot ~context reason;
+         repair slot ~context
+       | _ -> ());
+      bump (fun r -> { r with rp_kills = r.rp_kills + 1 })
+    | 1 ->
+      (* corrupt a payload byte of the feed's LAST entry (its CRC then
+         mismatches), abandon the replica and rebootstrap it from the
+         damaged feed: the walk must end on the damage and quarantine,
+         never serve state derived from it; resync must heal *)
+      let items, _ = Feed.read_from slot.rs_path ~offset:0 in
+      (match List.rev items with
+       | [] -> () (* empty feed: nothing to damage *)
+       | (_, finish) :: earlier ->
+         let start = match earlier with [] -> 0 | (_, f) :: _ -> f in
+         let at = start + 8 + Prng.int prng (max 1 (finish - start - 8)) in
+         let fd = Unix.openfile slot.rs_path [ Unix.O_RDWR ] 0o644 in
+         Fun.protect
+           ~finally:(fun () -> try Unix.close fd with _ -> ())
+           (fun () ->
+             ignore (Unix.lseek fd at Unix.SEEK_SET);
+             let b = Bytes.create 1 in
+             ignore (Unix.read fd b 0 1);
+             Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xFF));
+             ignore (Unix.lseek fd at Unix.SEEK_SET);
+             ignore (Unix.write fd b 0 1));
+         slot.rs_corrupted <- true;
+         slot.rs_rep <- Replica.attach ~name:slot.rs_name ~feed:slot.rs_path ();
+         slot.rs_lag_until <- 0;
+         bump (fun r -> { r with rp_corruptions = r.rp_corruptions + 1 });
+         poll slot ~context;
+         (match Replica.status slot.rs_rep with
+          | Replica.Quarantined { reason; _ } ->
+            note_quarantine slot ~context reason;
+            repair slot ~context
+          | _ ->
+            divergence "%s: %s consumed a corrupt feed entry without quarantining"
+              context slot.rs_name))
+    | 2 ->
+      (* lag: stop polling this replica for a stretch — its bounded
+         reads must refuse once the primary moves past the bound *)
+      slot.rs_lag_until <- i + config.rp_event_every
+    | 3 ->
+      (* the poll is interrupted before a record applies; the next poll
+         must resume exactly where it stopped.  Pump first so the feed
+         actually has unconsumed entries to trip over. *)
+      pump ~context;
+      Fault.arm "replica.apply" (Fault.Nth 1);
+      (match Replica.poll slot.rs_rep with
+       | _ -> ()
+       | exception Fault.Injected _ ->
+         bump (fun r -> { r with rp_apply_faults = r.rp_apply_faults + 1 }));
+      Fault.disarm "replica.apply";
+      poll slot ~context
+    | 4 ->
+      (* the pump is interrupted mid-entry; the partial entry must be
+         truncated back off and the retry must ship cleanly *)
+      Fault.arm "ship.append" (Fault.Nth 1);
+      (match Ship.pump !ship with
+       | _ -> last_pump_tip := Db.lsn !pdb
+       | exception Fault.Injected _ ->
+         bump (fun r -> { r with rp_ship_faults = r.rp_ship_faults + 1 }));
+      Fault.disarm "ship.append";
+      pump ~context
+    | _ ->
+      (* primary crash: recover the directory (LSNs must carry across)
+         and reattach every feed where it stopped *)
+      Db.close !pdb;
+      Ship.close !ship;
+      let db', _ = Db.recover pdir in
+      pdb := db';
+      if config.rp_checkpoint_bytes > 0 then
+        Db.set_checkpoint_bytes !pdb (Some config.rp_checkpoint_bytes);
+      ship := Ship.create !pdb;
+      List.iter
+        (fun s -> Ship.reattach !ship ~name:s.rs_name ~path:s.rs_path)
+        slots;
+      bump (fun r -> { r with rp_primary_crashes = r.rp_primary_crashes + 1 })
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.disarm_all ();
+      Ship.close !ship;
+      (try Db.close !pdb with _ -> ()))
+    (fun () ->
+      (* first sync: every replica bootstraps to the setup state *)
+      pump ~context:"initial sync";
+      List.iter (fun s -> poll s ~context:"initial sync") slots;
+      let last_epoch = ref (Db.epoch !pdb) in
+      let note_compactions () =
+        let e = Db.epoch !pdb in
+        if e > !last_epoch then begin
+          bump (fun r ->
+              { r with rp_compactions = r.rp_compactions + (e - !last_epoch) });
+          last_epoch := e
+        end
+        else if e < !last_epoch then last_epoch := e
+      in
+      let last_sql = ref "(none)" in
+      let exec_op () =
+        let op = gen_op prng in
+        last_sql := sql_of_op op;
+        let applied =
+          match op with
+          | Load_csv batch ->
+            (match Csv.import_string !pdb ~table:"seq" (csv_of_batch batch) with
+             | _ -> true
+             | exception _ -> false)
+          | op ->
+            (match Db.exec !pdb (sql_of_op op) with
+             | _ -> true
+             | exception _ -> false)
+        in
+        if applied then oracle := apply_oracle !oracle op;
+        (* history is recorded at chunk boundaries only: inside a batch
+           the LSN has not advanced yet, so a per-statement record here
+           would overwrite the boundary state with mid-batch ones *)
+        bump (fun r -> { r with rp_statements = r.rp_statements + 1 })
+      in
+      let i = ref 1 in
+      while !i <= config.rp_ops do
+        let chunk =
+          if config.rp_batch <= 1 then 1
+          else min config.rp_batch (config.rp_ops - !i + 1)
+        in
+        let first = !i and last = !i + chunk - 1 in
+        let crossed p = p > 0 && last / p > (first - 1) / p in
+        let oracle0 = !oracle in
+        (match
+           if chunk = 1 then exec_op ()
+           else Db.with_batch !pdb (fun () -> for _ = first to last do exec_op () done)
+         with
+         | () -> ()
+         | exception _ -> oracle := oracle0);
+        remember ();
+        note_compactions ();
+        let context =
+          if chunk = 1 then Printf.sprintf "op %d (%s)" first !last_sql
+          else Printf.sprintf "ops %d-%d (batch; last: %s)" first last !last_sql
+        in
+        if crossed config.rp_pump_every then begin
+          pump ~context;
+          List.iter
+            (fun s -> if s.rs_lag_until <= last then poll s ~context)
+            slots
+        end;
+        if crossed config.rp_read_every then
+          List.iter
+            (fun s -> check_replica_read s ~context ~tip:(Db.lsn !pdb))
+            slots;
+        if crossed config.rp_event_every then chaos_event ~context last;
+        i := last + 1
+      done;
+      (* ---- failover ----
+         Heal every quarantined replica while the primary still lives,
+         then kill the primary with its unshipped tail and promote the
+         freshest replica.  The promoted directory must reproduce the
+         oracle at the promoted LSN — at most the unpumped tail is
+         lost. *)
+      let context = "failover" in
+      List.iter
+        (fun s ->
+          if s.rs_lag_until > 0 then s.rs_lag_until <- 0;
+          poll s ~context;
+          match Replica.status s.rs_rep with
+          | Replica.Quarantined { reason; _ } ->
+            note_quarantine s ~context reason;
+            repair s ~context
+          | _ -> ())
+        slots;
+      let tip = Db.lsn !pdb in
+      Db.close !pdb;
+      Ship.close !ship;
+      let winner =
+        List.fold_left
+          (fun best s ->
+            match Replica.status s.rs_rep with
+            | Replica.Ready | Replica.Syncing ->
+              (match best with
+               | Some b
+                 when Replica.applied_lsn b.rs_rep >= Replica.applied_lsn s.rs_rep
+                 -> best
+               | _ -> Some s)
+            | Replica.Quarantined _ -> best)
+          None slots
+      in
+      let winner =
+        match winner with
+        | Some s -> s
+        | None -> divergence "failover: no promotable replica"
+      in
+      let promoted_lsn = Replica.applied_lsn winner.rs_rep in
+      if promoted_lsn < !last_pump_tip then
+        divergence "failover: promoted lsn %d lost shipped history (pumped to %d)"
+          promoted_lsn !last_pump_tip;
+      let promoted = Replica.promote winner.rs_rep ~dir:promoted_dir in
+      let check_promoted db ~context =
+        match Hashtbl.find_opt history promoted_lsn with
+        | None -> divergence "%s: promoted lsn %d has no oracle state" context promoted_lsn
+        | Some rows -> check_base db rows ~context
+      in
+      check_promoted promoted ~context:"promoted state";
+      (* the promoted primary must accept writes and recover on its own *)
+      ignore (Db.exec promoted "INSERT INTO seq VALUES (1, 98, 4)");
+      let after =
+        (Hashtbl.find history promoted_lsn) @ [ row 1 98 (Value.Float 4.) ]
+      in
+      check_base promoted after ~context:"promoted write";
+      Db.close promoted;
+      let reopened, _ = Db.recover promoted_dir in
+      check_base reopened after ~context:"promoted recovery";
+      check_views reopened ~context:"promoted recovery";
+      Db.close reopened;
+      bump (fun r ->
+          {
+            r with
+            rp_promoted_lsn = promoted_lsn;
+            rp_lost_tail = tip - promoted_lsn;
+          });
+      !report)
+
 (* ---- State fingerprint (rollback-idempotence checks) ----
 
    A textual dump of everything a statement may mutate: table rows in

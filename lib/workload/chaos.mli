@@ -105,6 +105,60 @@ type crash_report = {
     run's files removed).  @raise Divergence on any violation. *)
 val run_crash : ?config:crash_config -> dir:string -> unit -> crash_report
 
+(** {1 Replication chaos}
+
+    The same stream over a durable primary shipped to N replica feeds
+    ({!Rfview_replica}), with the oracle's state recorded {e at every
+    commit boundary, keyed by LSN}.  The central assertion: every read
+    any replica serves, tagged with LSN [l], equals the oracle's state
+    at exactly [l] — replicas may be stale, they may never be wrong.
+    Chaos events: replica kills (rebuilt from checkpoint artifact +
+    record suffix), feed corruption (must quarantine, then heal via
+    resync), lag injection (bounded reads must refuse with [Stale]),
+    interrupted polls ([replica.apply]) and pumps ([ship.append]), and
+    primary crash + recovery with feed reattach.  The run ends with
+    failover: the freshest replica is promoted and its directory must
+    reproduce the oracle at the promoted LSN, losing at most the
+    never-pumped tail. *)
+
+type replica_config = {
+  rp_seed : int;
+  rp_ops : int;               (** statements across the whole run *)
+  rp_replicas : int;          (** feeds fanned out *)
+  rp_pump_every : int;        (** ship once per this many statements *)
+  rp_read_every : int;        (** replica read once per this many *)
+  rp_event_every : int;       (** chaos event once per this many *)
+  rp_checkpoint_bytes : int;  (** primary compaction threshold; 0 = off *)
+  rp_batch : int;             (** [> 1]: group-commit chunks of this size *)
+  rp_max_lag : int;           (** staleness bound for bounded reads *)
+}
+
+val default_replica_config : replica_config
+
+type replica_report = {
+  rp_statements : int;
+  rp_pumps : int;
+  rp_deliveries : int;        (** (record, feed) deliveries shipped *)
+  rp_reads : int;             (** replica reads served and verified *)
+  rp_stale_reads : int;       (** reads refused by the staleness bound *)
+  rp_kills : int;             (** replica kill + rebootstrap cycles *)
+  rp_corruptions : int;       (** feed entries corrupted *)
+  rp_quarantines : int;       (** replica quarantines observed *)
+  rp_resyncs : int;           (** resync artifacts shipped *)
+  rp_ship_faults : int;       (** pumps interrupted by [ship.*] sites *)
+  rp_apply_faults : int;      (** polls interrupted by [replica.apply] *)
+  rp_primary_crashes : int;   (** primary crash + reattach cycles *)
+  rp_compactions : int;       (** byte-triggered checkpoints observed *)
+  rp_promoted_lsn : int;      (** failover: LSN the promoted replica held *)
+  rp_lost_tail : int;         (** failover: records lost with the primary *)
+}
+
+(** Run one replication-chaos stream under [dir] (created if missing;
+    [dir/primary], [dir/promoted] and the feed files are reset).
+    @raise Divergence on any violation — including any replica read
+    that is not a true historical state at its reported LSN. *)
+val run_replica : ?config:replica_config -> dir:string -> unit -> replica_report
+
 (** A textual dump of everything a statement may mutate: table rows in
     physical order, view contents, quarantine flags, incremental-state
     presence.  Equal fingerprints iff the logical database states are

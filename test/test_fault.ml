@@ -445,12 +445,14 @@ let test_chaos_sweep_all_sites () =
       in
       let seeds = [ 11; 23; 47; 91 ] in
       (* durability sites (wal, checkpoint, recover prefixes) are only
-         reachable through a durable database directory; test_crash.ml's
-         crash matrix applies the same fired-at-least-once bar to them *)
+         reachable through a durable database directory, and replication
+         sites (ship, replica prefixes) only through a feed pipeline;
+         test_crash.ml's crash matrix and test_replica.ml apply the same
+         fired-at-least-once bar to them *)
       let durability_site site =
         List.exists
           (fun p -> String.length site > String.length p && String.sub site 0 (String.length p) = p)
-          [ "wal."; "checkpoint."; "recover." ]
+          [ "wal."; "checkpoint."; "recover."; "ship."; "replica." ]
       in
       List.iter
         (fun site ->
