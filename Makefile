@@ -1,4 +1,4 @@
-.PHONY: all build test lint analyze chaos crash-chaos replica-chaos bench-smoke check clean
+.PHONY: all build test lint analyze chaos crash-chaos replica-chaos storage-chaos scrub-smoke bench-smoke check clean
 
 all: build
 
@@ -41,6 +41,31 @@ crash-chaos:
 replica-chaos:
 	dune exec test/test_replica.exe
 
+# Storage-fault chaos: the storage suite (test/test_storage.ml) — the
+# simulated disk (ENOSPC byte budgets with torn writes, EIO, seeded bit
+# flips, power cuts losing unsynced bytes), disk-full degraded mode and
+# the space-probe resume, the io.* fault-site sweep, the scrub property,
+# cross-source WAL repair with bit-identity, and the multi-seed
+# storage-chaos matrix against the shadow oracle.
+storage-chaos:
+	dune exec test/test_storage.exe
+
+# End-to-end scrub/repair smoke over a real fixture: build a durable
+# database from the quickstart script, corrupt one WAL byte with dd,
+# and check that `rfview scrub` flags it (exit 1), `--repair` heals it,
+# and a final scrub comes back clean.
+scrub-smoke:
+	rm -rf _scrub_smoke
+	dune exec bin/rfview.exe -- run examples/sql/quickstart.sql \
+	  --db _scrub_smoke > /dev/null
+	printf '\377' | dd of=_scrub_smoke/log.wal bs=1 seek=20 \
+	  conv=notrunc status=none
+	@if dune exec bin/rfview.exe -- scrub _scrub_smoke; then \
+	  echo "scrub missed the corrupted WAL byte"; exit 1; fi
+	dune exec bin/rfview.exe -- scrub _scrub_smoke --repair
+	dune exec bin/rfview.exe -- scrub _scrub_smoke
+	rm -rf _scrub_smoke
+
 # Scaled-down run of the delta-maintenance experiment (batched vs
 # per-row vs full-refresh propagation): asserts the modes agree
 # bit-for-bit, writes BENCH_delta.json, and fails unless the report is
@@ -58,7 +83,7 @@ bench-smoke:
 	@grep -q '"acceptance"' BENCH_replica.json && grep -q '"speedup"' BENCH_replica.json \
 	  && echo "BENCH_replica.json well-formed"
 
-check: build test lint analyze chaos crash-chaos replica-chaos bench-smoke
+check: build test lint analyze chaos crash-chaos replica-chaos storage-chaos scrub-smoke bench-smoke
 
 clean:
 	dune clean

@@ -265,6 +265,39 @@ let cmd_ship dir feeds =
     Session.close_shipper sh;
     Session.close s
 
+(* ---- scrub / repair ---- *)
+
+let print_scrub_report (r : Session.scrub_report) =
+  List.iter
+    (fun a -> Printf.printf "scanned %s\n" (Rfview_engine.Scrub.describe_artifact a))
+    r.Rfview_engine.Scrub.scanned;
+  (match r.Rfview_engine.Scrub.damage with
+   | [] -> Printf.printf "clean\n%!"
+   | ds ->
+     List.iter
+       (fun d ->
+         Printf.printf "DAMAGE %s\n" (Rfview_engine.Scrub.describe_damage d))
+       ds;
+     Printf.printf "%d damaged artifact record(s)\n%!" (List.length ds))
+
+let cmd_scrub dir feeds do_repair =
+  if not do_repair then begin
+    let report = Session.scrub_dir ~feeds dir in
+    print_scrub_report report;
+    if not (Rfview_engine.Scrub.clean report) then exit 1
+  end
+  else begin
+    let outcome = Session.repair_dir ~feeds dir in
+    List.iter
+      (fun a ->
+        Printf.printf "repair: %s\n"
+          (Rfview_replica.Repair.describe_action a))
+      outcome.Rfview_replica.Repair.o_actions;
+    print_scrub_report outcome.Rfview_replica.Repair.o_after;
+    if not (Rfview_engine.Scrub.clean outcome.Rfview_replica.Repair.o_after)
+    then exit 1
+  end
+
 let print_replica_state r =
   Printf.printf "applied lsn %d (%s)\n%!" (Session.replica_applied_lsn r)
     (match Session.replica_status r with
@@ -676,6 +709,26 @@ let ship_t =
        ~doc:"Recover DIR and ship its unshipped WAL records to each FEED file")
     Term.(const cmd_ship $ dir $ feeds)
 
+let scrub_t =
+  let dir = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR") in
+  let feeds =
+    Arg.(value & pos_right 0 string [] & info [] ~docv:"FEED"
+      ~doc:"Replication feed file to verify (and repair from/of); repeatable.")
+  in
+  let repair =
+    Arg.(value & flag & info [ "repair" ]
+      ~doc:"Repair what scrubbing finds: sweep stale temp files, rebuild a \
+            damaged WAL from the longest fingerprint-verified record chain a \
+            FEED carries, re-seed damaged feeds from the primary.")
+  in
+  Cmd.v
+    (Cmd.info "scrub"
+       ~doc:"Verify every artifact of durable directory DIR — WAL frames, \
+             checkpoint records, stray temp files, FEED entries and LSN \
+             continuity — and report typed damage (exit 1 when damage \
+             remains)")
+    Term.(const cmd_scrub $ dir $ feeds $ repair)
+
 let replica_sql =
   Arg.(value & opt (some string) None & info [ "sql" ] ~docv:"SQL"
     ~doc:"Run one query against the replica's applied state after polling.")
@@ -713,6 +766,6 @@ let main =
     (Cmd.info "rfview" ~version:"1.0.0"
        ~doc:"Reporting-function views in a data warehouse environment")
     [ run_t; repl_t; demo_t; lint_t; analyze_t; recover_t; checkpoint_t;
-      wal_info_t; ship_t; replica_t; promote_t ]
+      wal_info_t; scrub_t; ship_t; replica_t; promote_t ]
 
 let () = exit (Cmd.eval main)

@@ -129,28 +129,23 @@ let write ~dir ~lsn ~epoch ~tables ~index_ddl ~views =
   let payloads = payloads @ [ trailer_payload (List.length payloads) ] in
   let path = file ~dir in
   let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
+  let f = Io.openf tmp ~mode:Io.Create_trunc in
   (try
      List.iter
        (fun payload ->
          Fault.hit site_write;
-         output_string oc (Wal.frame_payload payload))
+         Io.write f (Wal.frame_payload payload))
        payloads;
-     flush oc;
-     Unix.fsync (Unix.descr_of_out_channel oc);
-     close_out oc
+     Io.fsync f;
+     Io.close f
    with e ->
-     close_out_noerr oc;
-     (try Sys.remove tmp with _ -> ());
+     Io.close f;
+     Io.remove tmp;
      raise e);
-  Unix.rename tmp path;
+  Io.rename tmp path;
   (* make the rename itself durable (best-effort: not every platform
      lets a directory be opened for fsync) *)
-  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
-  | fd ->
-    (try Unix.fsync fd with _ -> ());
-    (try Unix.close fd with _ -> ())
-  | exception _ -> ()
+  Io.fsync_dir dir
 
 (* ---- Reading ---- *)
 
@@ -286,15 +281,14 @@ let corrupt_state ~dir ~view : bool =
     match target with
     | None -> false
     | Some (Some payload, off) ->
-      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+      let f = Io.openf path ~mode:Io.Write in
       Fun.protect
-        ~finally:(fun () -> try Unix.close fd with _ -> ())
+        ~finally:(fun () -> Io.close f)
         (fun () ->
           (* flip the last payload byte: the frame CRC no longer matches *)
           let at = off + String.length payload - 1 in
           let byte = Char.code payload.[String.length payload - 1] lxor 0xFF in
-          ignore (Unix.lseek fd at Unix.SEEK_SET);
-          ignore (Unix.write_substring fd (String.make 1 (Char.chr byte)) 0 1));
+          Io.pwrite f ~at (String.make 1 (Char.chr byte)));
       true
     | Some (None, _) -> false
   end

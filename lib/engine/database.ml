@@ -118,6 +118,26 @@ type durability = {
   mutable appended : int;
   mutable checkpoint_every : int option;
   mutable checkpoint_bytes : int option;
+  (* Disk-full degraded mode (see [check_degraded] below): while
+     [degraded] is [Some reason] every write is rejected with
+     [Degraded_error] and reads keep serving; a space probe runs every
+     [probe_backoff]-th rejection and lifts the mode once it succeeds. *)
+  mutable degraded : string option;
+  mutable rejected : int;
+  mutable probe_backoff : int;
+  mutable probe_countdown : int;
+  mutable pending_fresh : (int * int) option;
+      (* (epoch, lsn) of a checkpoint that became durable but whose
+         fresh WAL could not be installed: appending to the old-epoch
+         log would silently lose those records at recovery (stale-epoch
+         logs are discarded), so the probe must finish the install
+         before the session leaves degraded mode *)
+  mutable pending_truncate : int option;
+      (* byte offset a failed commit could not be truncated back to: the
+         rolled-back record is still on the log, and a later synced
+         commit would make it durable — recovery would then replay a
+         statement the session rejected.  The probe must chop it off
+         before the session leaves degraded mode. *)
 }
 
 (* An open batch scope: the accumulated delta plus the undo log that
@@ -197,9 +217,123 @@ let wal_log_stmt db (stmt : Ast.statement) =
     wal_log db (Wal.Statement (Pretty.statement stmt))
   | _ -> ()
 
+(* ---- Disk-full degraded mode ----
+
+   ENOSPC during a WAL append or a checkpoint must not corrupt state
+   and must not kill the session: the failed write rolls back, the
+   session enters a typed read-only mode (reads keep serving, every
+   write raises [Degraded_error]), and a cheap space probe — run with
+   exponential backoff, counted in rejected writes — lifts the mode
+   once the disk has room again. *)
+
+exception Degraded_error of { reason : string }
+
+type health = Healthy | Degraded of { reason : string; rejected_writes : int }
+
+let wal_path dir = Filename.concat dir "log.wal"
+
+let max_probe_backoff = 64
+
+let enter_degraded d reason =
+  if d.degraded = None then begin
+    d.degraded <- Some reason;
+    d.rejected <- 0;
+    d.probe_backoff <- 1;
+    d.probe_countdown <- 1
+  end
+
+(* Can the disk take writes again?  A tiny write+fsync to a scratch
+   file: cheap, and exercises the same failure surface as a commit. *)
+let probe_space d =
+  let path = Filename.concat d.dir ".space-probe" in
+  match
+    let f = Io.openf path ~mode:Io.Create_trunc in
+    Fun.protect
+      ~finally:(fun () -> Io.close f)
+      (fun () ->
+        Io.write f (String.make 64 'p');
+        Io.fsync f)
+  with
+  | () ->
+    Io.remove path;
+    true
+  | exception (Io.Io_error _ | Unix.Unix_error _) ->
+    Io.remove path;
+    false
+
+(* Leaving degraded mode may have unfinished business: a rolled-back
+   record that could not be truncated off the log, or a checkpoint that
+   became durable while its fresh WAL never got installed.  Finish both
+   first — otherwise recovery would replay a rejected statement, or
+   silently drop everything appended since (the old-epoch log is
+   discarded). *)
+let lift_degraded d =
+  (match d.pending_truncate with
+   | Some pos ->
+     Wal.truncate_back d.wal pos;
+     d.pending_truncate <- None
+   | None -> ());
+  (match d.pending_fresh with
+   | Some (epoch', lsn') ->
+     Wal.close d.wal;
+     d.wal <- Wal.create (wal_path d.dir) ~epoch:epoch';
+     d.epoch <- epoch';
+     d.base_lsn <- lsn';
+     d.appended <- 0;
+     d.pending_fresh <- None
+   | None -> ());
+  d.degraded <- None;
+  d.rejected <- 0;
+  d.probe_backoff <- 1;
+  d.probe_countdown <- 1
+
+(* Gate at the head of every write path.  No-op while healthy; while
+   degraded, every call counts as a rejected write, and every
+   [probe_backoff]-th rejection runs the space probe (backoff doubles
+   up to [max_probe_backoff] while the disk stays full). *)
+let check_degraded d =
+  match d.degraded with
+  | None -> ()
+  | Some reason ->
+    d.rejected <- d.rejected + 1;
+    d.probe_countdown <- d.probe_countdown - 1;
+    if d.probe_countdown <= 0 then begin
+      if probe_space d then
+        match lift_degraded d with
+        | () -> ()
+        | exception e ->
+          (* the pending truncate / fresh-WAL install failed: stay
+             degraded *)
+          d.probe_backoff <- min (d.probe_backoff * 2) max_probe_backoff;
+          d.probe_countdown <- d.probe_backoff;
+          if recoverable_exn e then
+            raise (Degraded_error { reason })
+          else raise e
+      else begin
+        d.probe_backoff <- min (d.probe_backoff * 2) max_probe_backoff;
+        d.probe_countdown <- d.probe_backoff;
+        raise (Degraded_error { reason })
+      end
+    end
+    else raise (Degraded_error { reason })
+
+let health db =
+  match db.durable with
+  | Some d ->
+    (match d.degraded with
+     | Some reason -> Degraded { reason; rejected_writes = d.rejected }
+     | None -> Healthy)
+  | None -> Healthy
+
+let is_enospc = function
+  | Io.Io_error { kind = Io.Enospc; _ } -> true
+  | Unix.Unix_error (Unix.ENOSPC, _, _) -> true
+  | _ -> false
+
 let flush_wal db =
   match db.durable with
   | Some d when db.wal_pending <> [] ->
+    check_degraded d;
     let records = List.rev db.wal_pending in
     db.wal_pending <- [];
     let pos = Wal.position d.wal in
@@ -208,7 +342,17 @@ let flush_wal db =
        Wal.sync d.wal;
        d.appended <- d.appended + List.length records
      with e ->
-       (try Wal.truncate_to d.wal pos with _ -> ());
+       (try Wal.truncate_back d.wal pos
+        with Wal.Truncate_error _ ->
+          (* the rolled-back record is still on the log, and a later
+             synced commit would make it durable: stop writing until
+             the probe chops it off *)
+          d.pending_truncate <- Some pos;
+          enter_degraded d "WAL rollback failed: a rejected record is still on the log");
+       if is_enospc e then begin
+         enter_degraded d "WAL commit failed: disk full";
+         raise (Degraded_error { reason = "WAL commit failed: disk full" })
+       end;
        raise e)
   | _ -> db.wal_pending <- []
 
@@ -1181,9 +1325,8 @@ type recovery_report = {
   replayed : int;                (* WAL records applied *)
   torn : bool;                   (* a torn tail was truncated *)
   quarantined : string list;     (* views restored stale (damaged state) *)
+  swept : string list;           (* stale *.tmp files removed at open *)
 }
-
-let wal_path dir = Filename.concat dir "log.wal"
 
 let ensure_dir dir =
   if Sys.file_exists dir then begin
@@ -1359,8 +1502,28 @@ let restore_snapshot ?config (snap : Checkpoint.snapshot) =
   restore_snapshot_into db ~quarantine snap;
   (db, List.sort_uniq String.compare !quarantined)
 
+(* A crash between writing [foo.tmp] and renaming it over [foo] leaves
+   the temp file behind; nothing ever reads one (installs are
+   rename-atomic), so sweep them at open instead of letting them
+   accumulate forever. *)
+let sweep_tmp dir =
+  match Sys.readdir dir with
+  | entries ->
+    Array.to_list entries
+    |> List.filter (fun e -> Filename.check_suffix e ".tmp")
+    |> List.sort String.compare
+    |> List.filter_map (fun e ->
+           let path = Filename.concat dir e in
+           if Sys.is_directory path then None
+           else begin
+             Io.remove path;
+             Some path
+           end)
+  | exception Sys_error _ -> []
+
 let recover ?config dir =
   ensure_dir dir;
+  let swept = sweep_tmp dir in
   let db = create ?config () in
   let quarantined = ref [] in
   let quarantine ~already (v : Catalog.view) =
@@ -1421,6 +1584,12 @@ let recover ?config dir =
         appended = !replayed;
         checkpoint_every = None;
         checkpoint_bytes = None;
+        degraded = None;
+        rejected = 0;
+        probe_backoff = 1;
+        probe_countdown = 1;
+        pending_fresh = None;
+        pending_truncate = None;
       };
   let report =
     {
@@ -1428,6 +1597,7 @@ let recover ?config dir =
       replayed = !replayed;
       torn = !torn;
       quarantined = List.sort_uniq String.compare (List.rev !quarantined);
+      swept;
     }
   in
   (db, report)
@@ -1441,6 +1611,7 @@ let checkpoint db =
   match db.durable with
   | None -> engine_error "checkpoint: database has no directory (open it with open_durable)"
   | Some d ->
+    check_degraded d;
     let epoch' = d.epoch + 1 in
     let by_name name_of a b = String.compare (key (name_of a)) (key (name_of b)) in
     let tables =
@@ -1508,17 +1679,40 @@ let checkpoint db =
              })
     in
     let lsn = d.base_lsn + d.appended in
-    Checkpoint.write ~dir:d.dir ~lsn ~epoch:epoch' ~tables ~index_ddl ~views;
-    (* the snapshot is durable: install a fresh log for the new epoch
-       (a crash right here leaves a stale log, which recovery discards) *)
-    Fault.hit site_install;
-    let old = d.wal in
-    let wal = Wal.create (wal_path d.dir) ~epoch:epoch' in
-    (try Wal.close old with _ -> ());
-    d.wal <- wal;
-    d.epoch <- epoch';
-    d.base_lsn <- lsn;
-    d.appended <- 0
+    (try Checkpoint.write ~dir:d.dir ~lsn ~epoch:epoch' ~tables ~index_ddl ~views
+     with e when is_enospc e ->
+       (* the tmp file is already removed; the old checkpoint + WAL are
+          intact, but the disk is full: stop taking writes *)
+       enter_degraded d "checkpoint failed: disk full";
+       raise (Degraded_error { reason = "checkpoint failed: disk full" }));
+    (* The snapshot is durable: install a fresh log for the new epoch.
+       From here on a failure is dangerous, not just inconvenient —
+       appending to the old-epoch log would be silently discarded at
+       recovery (its epoch is behind the new checkpoint's).  Any
+       failure therefore enters degraded mode carrying the pending
+       install, which the space probe finishes before lifting it. *)
+    (try
+       Fault.hit site_install;
+       let old = d.wal in
+       let wal = Wal.create (wal_path d.dir) ~epoch:epoch' in
+       (try Wal.close old with _ -> ());
+       d.wal <- wal;
+       d.epoch <- epoch';
+       d.base_lsn <- lsn;
+       d.appended <- 0
+     with
+     | Fault.Injected _ as e ->
+       (* a bare armed [checkpoint.install] simulates a crash here; the
+          harness closes and recovers, which handles the stale log *)
+       raise e
+     | e when recoverable_exn e ->
+       let reason =
+         Printf.sprintf "fresh WAL install failed after checkpoint: %s"
+           (Printexc.to_string e)
+       in
+       enter_degraded d reason;
+       d.pending_fresh <- Some (epoch', lsn);
+       raise (Degraded_error { reason }))
 
 let () = checkpoint_ref := checkpoint
 
@@ -1602,6 +1796,12 @@ let make_durable db ~dir ~lsn =
         appended = 0;
         checkpoint_every = None;
         checkpoint_bytes = None;
+        degraded = None;
+        rejected = 0;
+        probe_backoff = 1;
+        probe_countdown = 1;
+        pending_fresh = None;
+        pending_truncate = None;
       };
   (* reuse the regular checkpoint path: bumps to epoch 1, snapshots the
      whole catalog with the carried lsn, installs the epoch-1 log *)

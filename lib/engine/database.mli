@@ -17,6 +17,10 @@ exception Script_error of { index : int; sql : string; cause : exn }
     views are quarantined and recovery proceeds. *)
 exception Recovery_error of string
 
+(** The session is in disk-full degraded mode: the write was rejected
+    (state unchanged, reads keep serving).  See {!health}. *)
+exception Degraded_error of { reason : string }
+
 (** How reporting functions execute — the contrast of the paper's
     Table 1: the native window operator, or the Fig. 2 self-join
     simulation applied in query rewrite. *)
@@ -144,6 +148,9 @@ type recovery_report = {
   quarantined : string list;
       (** views restored stale because their checkpoint state was
           damaged or could not be validated (sorted) *)
+  swept : string list;
+      (** stale [*.tmp] files (left by a crash between an artifact
+          write and its rename) removed when the directory was opened *)
 }
 
 (** Open (creating if necessary) a durable database directory.
@@ -155,8 +162,25 @@ val recover : ?config:config -> string -> t * recovery_report
 
 (** Write a checkpoint: an atomic snapshot of tables, index DDL, views
     and materialized state, then start a fresh WAL epoch.
-    @raise Engine_error when the database has no directory. *)
+    @raise Engine_error when the database has no directory.
+    @raise Degraded_error when the disk is full (the previous checkpoint
+    and WAL stay intact; see {!health}). *)
 val checkpoint : t -> unit
+
+(** {2 Disk-full degraded mode}
+
+    ENOSPC during a WAL commit or a checkpoint never corrupts state: the
+    failed write is rolled back and the session enters a read-only
+    degraded mode.  Reads keep serving; every write raises
+    {!Degraded_error}.  A cheap space probe (write + fsync of a scratch
+    file) runs with exponential backoff — counted in rejected writes —
+    and normal operation resumes automatically once it succeeds. *)
+
+type health =
+  | Healthy
+  | Degraded of { reason : string; rejected_writes : int }
+
+val health : t -> health
 
 (** Checkpoint automatically once the WAL holds at least [n] records
     ([None] disables, the default).  A failing automatic checkpoint is

@@ -1,0 +1,62 @@
+(** The artifact scrubber: walk every durable artifact of a database
+    directory — the WAL, the checkpoint, optionally replication feeds —
+    verify frame CRCs, lengths, structure and the epoch protocol, and
+    return a typed damage report.
+
+    This module checks what the {e engine} can check without decoding
+    feed entries (frame-level CRC and torn tails); feed {e content}
+    verification (entry decode, LSN continuity) lives in
+    [Rfview_replica.Repair.scrub], which folds its findings into the
+    same report type.
+
+    Scrubbing only reads; nothing is repaired here. *)
+
+type artifact =
+  | Wal_file of string
+  | Checkpoint_file of string
+  | Feed_file of string
+  | Tmp_file of string  (** a stale [*.tmp] left by a crashed install *)
+
+type kind =
+  | Crc of { offset : int }  (** frame CRC mismatch *)
+  | Torn of { offset : int }  (** short frame at the end of the file *)
+  | Undecodable of { offset : int; detail : string }
+      (** CRC matches but the payload does not decode *)
+  | Missing  (** the artifact should exist but does not *)
+  | Structure of string  (** malformed beyond frame damage *)
+  | Epoch of { wal : int; checkpoint : int }
+      (** the WAL's epoch is ahead of the checkpoint's *)
+  | Gap of { expected : int; found : int; offset : int }
+      (** LSN continuity broken (feeds only) *)
+  | Stray_tmp
+
+type damage = { d_artifact : artifact; d_kind : kind }
+
+type report = {
+  scanned : artifact list;  (** every artifact examined, in scan order *)
+  damage : damage list;
+}
+
+val clean : report -> bool
+val path_of_artifact : artifact -> string
+val describe_artifact : artifact -> string
+val describe_damage : damage -> string
+
+(** One line per damage ("clean" when none). *)
+val describe : report -> string
+
+val merge : report -> report -> report
+
+(** Scrub [log.wal] against the checkpoint epoch ([None]: no
+    checkpoint). *)
+val wal_damage : path:string -> checkpoint_epoch:int option -> damage list
+
+val checkpoint_damage : string -> damage list
+
+(** Frame-level feed checks only (CRC, torn tail). *)
+val feed_frame_damage : string -> damage list
+
+(** Scrub a database directory: checkpoint, WAL, stray [*.tmp] files,
+    and frame-level checks over [feeds].  An empty or nonexistent
+    directory is clean. *)
+val scrub_dir : ?feeds:string list -> string -> report

@@ -11,15 +11,19 @@
    recovery distinguishes the new log from a stale one left by a crash
    between the checkpoint rename and the log reset.
 
-   The writer is an unbuffered Unix fd: a record is on its way to disk
-   the moment [append] returns and durable once [sync] returns.  The
-   commit protocol in Database captures [position] first and
-   [truncate_to]s back on any append/sync failure, so a rolled-back
-   statement leaves no record behind. *)
+   The writer is an unbuffered handle on the [Io] seam: a record is on
+   its way to disk the moment [append] returns and durable once [sync]
+   returns.  The commit protocol in Database captures [position] first
+   and [truncate_back]s on any append/sync failure, so a rolled-back
+   statement leaves no record behind.  All byte traffic routes through
+   {!Io}, so the simulated disk (ENOSPC budgets, bit flips, crash-lost
+   tails) applies to the log like every other artifact. *)
 
 open Rfview_relalg
 
 exception Wal_error of string
+
+exception Truncate_error of { path : string; target : int; detail : string }
 
 let wal_error fmt = Format.kasprintf (fun s -> raise (Wal_error s)) fmt
 
@@ -364,61 +368,60 @@ let parse_frames (data : string) : (string option * int) list * bool =
 
 (* ---- The writer ---- *)
 
-type writer = { path : string; fd : Unix.file_descr; mutable pos : int }
+type writer = { file : Io.file; mutable pos : int }
 
-let really_write fd (s : string) =
-  let n = String.length s in
-  let off = ref 0 in
-  while !off < n do
-    off := !off + Unix.write_substring fd s !off (n - !off)
-  done
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+let read_file = Io.read_file
 
 (* Atomically install a fresh log: write [Begin epoch] to a temp file,
    fsync, rename over [path].  A crash at any point leaves either the
    old log or the complete new one. *)
 let create path ~epoch : writer =
   let tmp = path ^ ".tmp" in
-  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let f = Io.openf tmp ~mode:Io.Create_trunc in
   (try
-     really_write fd (frame (Begin epoch));
-     Unix.fsync fd;
-     Unix.close fd
+     Io.write f (frame (Begin epoch));
+     Io.fsync f;
+     Io.close f
    with e ->
-     (try Unix.close fd with _ -> ());
-     (try Sys.remove tmp with _ -> ());
+     Io.close f;
+     Io.remove tmp;
      raise e);
-  Unix.rename tmp path;
-  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
-  { path; fd; pos = (Unix.fstat fd).Unix.st_size }
+  Io.rename tmp path;
+  let f = Io.openf path ~mode:Io.Append in
+  { file = f; pos = Io.size f }
 
 let open_append path : writer =
   if not (Sys.file_exists path) then wal_error "no log at %s" path;
-  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
-  { path; fd; pos = (Unix.fstat fd).Unix.st_size }
+  let f = Io.openf path ~mode:Io.Append in
+  { file = f; pos = Io.size f }
 
 let position w = w.pos
 
 let append w (r : record) =
   Fault.hit site_append;
   let framed = frame r in
-  really_write w.fd framed;
+  Io.write w.file framed;
   w.pos <- w.pos + String.length framed
 
 let sync w =
   Fault.hit site_fsync;
-  Unix.fsync w.fd
+  Io.fsync w.file
 
-let truncate_to w pos =
-  Unix.ftruncate w.fd pos;
+(* Chop a failed commit's partial record back off.  A truncate that
+   itself fails surfaces as the typed [Truncate_error] carrying the path
+   and target offset — never a raw [Unix_error]. *)
+let truncate_back w pos =
+  (try Io.ftruncate w.file pos
+   with
+   | Io.Io_error { detail; _ } ->
+     raise (Truncate_error { path = Io.path_of w.file; target = pos; detail })
+   | Unix.Unix_error (e, _, _) ->
+     raise
+       (Truncate_error
+          { path = Io.path_of w.file; target = pos; detail = Unix.error_message e }));
   w.pos <- pos
 
-let close w = Unix.close w.fd
+let close w = Io.close w.file
 
 (* ---- Scanning ---- *)
 
@@ -517,15 +520,19 @@ let scan_detail path : detail =
   { d_entries = List.rev !out; d_torn = !torn; d_size = len }
 
 let truncate path valid_bytes =
-  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  let f = Io.openf path ~mode:Io.Write in
   Fun.protect
-    ~finally:(fun () -> try Unix.close fd with _ -> ())
+    ~finally:(fun () -> Io.close f)
     (fun () ->
-      Unix.ftruncate fd valid_bytes;
-      Unix.fsync fd)
+      Io.ftruncate f valid_bytes;
+      Io.fsync f)
 
 let () =
   Printexc.register_printer (function
     | Wal_error m -> Some (Printf.sprintf "WAL error: %s" m)
+    | Truncate_error { path; target; detail } ->
+      Some
+        (Printf.sprintf "WAL truncate error: %s: cannot truncate to %d: %s" path
+           target detail)
     | Codec.Decode m -> Some (Printf.sprintf "WAL decode error: %s" m)
     | _ -> None)

@@ -9,12 +9,20 @@
     the epoch and replaces the log, so recovery can tell a fresh log
     from a stale one left by a crash between the two steps.
 
-    Fault-injection sites: [wal.append] (before a record's bytes are
-    written) and [wal.fsync] (before the durability barrier). *)
+    All bytes move through the {!module:Io} seam, so the storage-level
+    [io.*] fault sites and the simulated disk ({!Io.Sim}) apply to every
+    WAL write.  Logical fault-injection sites: [wal.append] (before a
+    record's bytes are written) and [wal.fsync] (before the durability
+    barrier). *)
 
 open Rfview_relalg
 
 exception Wal_error of string
+
+(** A failed {!truncate_back}: the log could not be chopped back to
+    [target] bytes.  Typed (instead of a leaked [Unix_error]) because
+    the caller must decide between degraded mode and quarantine. *)
+exception Truncate_error of { path : string; target : int; detail : string }
 
 (** CRC32 (IEEE 802.3, the zlib polynomial) of a string. *)
 val crc32 : string -> int32
@@ -63,20 +71,23 @@ val create : string -> epoch:int -> writer
 val open_append : string -> writer
 
 (** Byte offset of the log's end — capture before {!append} so a failed
-    commit can {!truncate_to} the record back off. *)
+    commit can {!truncate_back} the record back off. *)
 val position : writer -> int
 
 (** Append one framed record ({e not} synced).
-    @raise Fault.Injected when [wal.append] is armed. *)
+    @raise Fault.Injected when [wal.append] is armed.
+    @raise Io.Io_error when the disk (or an [io.*] site) fails. *)
 val append : writer -> record -> unit
 
 (** Durability barrier (fsync).
-    @raise Fault.Injected when [wal.fsync] is armed. *)
+    @raise Fault.Injected when [wal.fsync] is armed.
+    @raise Io.Io_error when the disk (or an [io.*] site) fails. *)
 val sync : writer -> unit
 
 (** Chop the log back to [pos] (a failed commit must not leave its
-    record behind for recovery to replay). *)
-val truncate_to : writer -> int -> unit
+    record behind for recovery to replay).
+    @raise Truncate_error when the truncate itself fails. *)
+val truncate_back : writer -> int -> unit
 
 val close : writer -> unit
 

@@ -80,26 +80,22 @@ let decode (payload : string) : entry =
   | Codec.Decode m -> corrupt "%s" m
   | Compress.Corrupt m -> corrupt "%s" m
 
-(* ---- Writer ---- *)
+(* ---- Writer ----
 
-type writer = { fd : Unix.file_descr; mutable pos : int }
+   All bytes go through the [Io] seam, so the [io.*] storage fault
+   sites and the simulated disk apply to feed writes too.  A stale
+   [path.tmp] from a crashed atomic install is swept when the feed is
+   (re)opened. *)
 
-let really_write fd (s : string) =
-  let n = String.length s in
-  let off = ref 0 in
-  while !off < n do
-    off := !off + Unix.write_substring fd s !off (n - !off)
-  done
+type writer = { f : Io.file; mutable pos : int }
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+let read_file = Io.read_file
+
+let sweep_tmp path = Io.remove (path ^ ".tmp")
 
 let create path : writer =
-  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  { fd; pos = 0 }
+  sweep_tmp path;
+  { f = Io.openf path ~mode:Io.Create_trunc; pos = 0 }
 
 (* Same sanity bound as the WAL scanner: a corrupt length field must not
    make a walk skip (or allocate) gigabytes. *)
@@ -128,12 +124,13 @@ let framed_prefix (data : string) : int =
 let open_append path : writer =
   if not (Sys.file_exists path) then create path
   else begin
+    sweep_tmp path;
     let data = read_file path in
     let valid = framed_prefix data in
-    let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
-    if valid < String.length data then Unix.ftruncate fd valid;
-    ignore (Unix.lseek fd valid Unix.SEEK_SET);
-    { fd; pos = valid }
+    let f = Io.openf path ~mode:Io.Write in
+    if valid < String.length data then Io.ftruncate f valid;
+    Io.seek f valid;
+    { f; pos = valid }
   end
 
 let position w = w.pos
@@ -141,19 +138,19 @@ let position w = w.pos
 let append w (e : entry) =
   Fault.hit site_append;
   let framed = Wal.frame_payload (encode e) in
-  really_write w.fd framed;
+  Io.write w.f framed;
   w.pos <- w.pos + String.length framed
 
 let sync w =
   Fault.hit site_sync;
-  Unix.fsync w.fd
+  Io.fsync w.f
 
 let truncate_to w pos =
-  Unix.ftruncate w.fd pos;
-  ignore (Unix.lseek w.fd pos Unix.SEEK_SET);
+  Io.ftruncate w.f pos;
+  Io.seek w.f pos;
   w.pos <- pos
 
-let close w = Unix.close w.fd
+let close w = Io.close w.f
 
 (* ---- Reader ---- *)
 
@@ -161,7 +158,7 @@ type item =
   | Entry of entry
   | Damage of { offset : int }
 
-let size path = if Sys.file_exists path then (Unix.stat path).Unix.st_size else 0
+let size = Io.file_size
 
 (* Walk the feed from [offset].  Each item is paired with the byte
    offset just past its frame — the reader's resume point.  A

@@ -9,7 +9,13 @@
     (attached at the tip of a pump), which the replica checks after
     applying to detect divergence.
 
-    Fault-injection sites: [ship.append], [ship.fsync]. *)
+    All bytes move through the {!Rfview_engine.Io} seam (so feeds fall
+    under the simulated disk's budgets, flips and crashes), and opening
+    a feed for append sweeps a stale sibling [*.tmp] left by an
+    interrupted install.
+
+    Fault-injection sites: [ship.append], [ship.fsync], plus the
+    byte-level [io.*] sites underneath. *)
 
 open Rfview_engine
 

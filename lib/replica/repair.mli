@@ -1,0 +1,60 @@
+(** Scrubbing and cross-source repair over a primary directory and its
+    replication feeds.
+
+    {!scrub} extends the engine scrubber ({!Rfview_engine.Scrub}) with
+    feed {e content} checks: entry decoding and LSN continuity, which
+    need the feed codec this library owns.
+
+    {!repair} then fixes what it can, cheapest-and-safest first:
+
+    - stale [*.tmp] files are swept;
+    - a damaged WAL is rebuilt from its own valid prefix plus the
+      longest continuous record chain any attached feed carries for the
+      same epoch and LSN range — the rebuilt state is verified against
+      the feed's recorded fingerprint before the new log atomically
+      replaces the old (no verifiable chain: the log is truncated back
+      to its valid prefix instead, an explicit, reported loss);
+    - a damaged feed is re-seeded from the (recovered) primary with a
+      fresh checkpoint artifact, the same mechanism {!Ship.resync}
+      uses online.
+
+    Every decision is returned as a typed {!action}; {!outcome} carries
+    the before/after scrub reports so callers can see exactly what was
+    wrong and what remains. *)
+
+open Rfview_engine
+
+(** Feed content checks (decode + LSN continuity) for one feed. *)
+val feed_damage : string -> Scrub.damage list
+
+(** Engine scrub of [dir] plus frame {e and} content checks over
+    [feeds]. *)
+val scrub : ?feeds:string list -> string -> Scrub.report
+
+type action =
+  | Swept_tmp of string
+  | Truncated_wal of { path : string; at : int }
+      (** no verifiable peer chain: damage (and anything after it)
+          chopped off *)
+  | Rebuilt_wal of {
+      path : string;
+      from_feed : string;
+      records : int;  (** records in the rebuilt log (prefix + chain) *)
+      tip_lsn : int;
+      verified : bool;
+          (** the rebuilt state matched a fingerprint the feed recorded
+              at some chained LSN *)
+    }
+  | Reseeded_feed of { path : string }
+
+val describe_action : action -> string
+
+type outcome = {
+  o_actions : action list;
+  o_before : Scrub.report;
+  o_after : Scrub.report;
+}
+
+(** Scrub, repair, scrub again.  Never raises on damage it cannot fix —
+    the residue shows in [o_after]. *)
+val repair : ?feeds:string list -> string -> outcome

@@ -36,6 +36,10 @@ module Session = struct
 
   type lag = Rep.lag = { records : int; bytes : int }
 
+  type health = Db.health =
+    | Healthy
+    | Degraded of { reason : string; rejected_writes : int }
+
   type error =
     | Parse of string
     | Bind of string
@@ -44,6 +48,7 @@ module Session = struct
     | Recovery of string
     | Script of { index : int; sql : string; cause : error }
     | Stale of { applied_lsn : int; tip_lsn : int; lag : lag }
+    | Degraded_mode of { reason : string }
 
   type result = Db.result =
     | Relation of Relation.t
@@ -54,6 +59,7 @@ module Session = struct
     replayed : int;
     torn : bool;
     quarantined : string list;
+    swept : string list;
   }
 
   let rec describe_error = function
@@ -70,6 +76,8 @@ module Session = struct
         "stale read refused: applied lsn %d is %d records (%d feed bytes) \
          behind tip %d"
         applied_lsn lag.records lag.bytes tip_lsn
+    | Degraded_mode { reason } ->
+      Printf.sprintf "write rejected, session is degraded (read-only): %s" reason
 
   let describe_exn = function
     | Db.Engine_error m -> m
@@ -87,6 +95,7 @@ module Session = struct
     | Parser.Parse_error m -> Parse m
     | Binder.Bind_error m -> Bind m
     | Db.Recovery_error m -> Recovery m
+    | Db.Degraded_error { reason } -> Degraded_mode { reason }
     | Db.Script_error { index; sql; cause } ->
       Script { index; sql; cause = error_of_exn ~fresh cause }
     | Ship.Ship_error m -> Runtime ("ship: " ^ m)
@@ -113,6 +122,10 @@ module Session = struct
     match Db.recover ?config dir with
     | db, report -> Ok { db; report = Some report }
     | exception Db.Recovery_error m -> Error (Recovery m)
+    | exception (Rfview_engine.Io.Io_error _ as e) ->
+      (* the directory could not be opened — e.g. ENOSPC while
+         installing the post-recovery fresh WAL *)
+      Error (Recovery (describe_exn e))
 
   let recovery session = session.report
   let close session = Db.close session.db
@@ -212,4 +225,19 @@ module Session = struct
     wrap_rep (fun () ->
         let db = Rep.promote r ~dir in
         { db; report = None })
+
+  (* ---- Storage health, scrubbing, repair ---- *)
+
+  let health session = Db.health session.db
+
+  type scrub_report = Rfview_engine.Scrub.report
+  type repair_outcome = Rfview_replica.Repair.outcome
+
+  let scrub_dir ?feeds dir = Rfview_replica.Repair.scrub ?feeds dir
+  let repair_dir ?feeds dir = Rfview_replica.Repair.repair ?feeds dir
+
+  let scrub ?feeds session =
+    match Db.durable_dir session.db with
+    | None -> Error (Runtime "scrub needs a durable session (open_durable)")
+    | Some dir -> wrap_rep (fun () -> scrub_dir ?feeds dir)
 end

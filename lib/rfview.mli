@@ -53,6 +53,15 @@ module Session : sig
     bytes : int;  (** feed bytes not yet consumed *)
   }
 
+  (** Storage health of a durable session.  ENOSPC during a WAL commit
+      or checkpoint never corrupts state: the session enters a
+      read-only degraded mode (reads keep serving, writes fail with
+      {!error.Degraded_mode}) and resumes automatically — via a
+      backoff-probed space check — once the disk has room again. *)
+  type health = Rfview_engine.Database.health =
+    | Healthy
+    | Degraded of { reason : string; rejected_writes : int }
+
   (** Structured failure of a session operation. *)
   type error =
     | Parse of string  (** the SQL text does not lex/parse *)
@@ -68,6 +77,10 @@ module Session : sig
     | Stale of { applied_lsn : int; tip_lsn : int; lag : lag }
         (** a {!read_replica} whose staleness bound the replica could
             not meet; nothing was evaluated *)
+    | Degraded_mode of { reason : string }
+        (** the write was rejected: the session is in disk-full
+            degraded mode (see {!health}); state is unchanged and reads
+            keep serving *)
 
   (** One line, human-readable. *)
   val describe_error : error -> string
@@ -81,6 +94,8 @@ module Session : sig
     replayed : int;
     torn : bool;
     quarantined : string list;
+    swept : string list;
+        (** stale [*.tmp] files removed when the directory was opened *)
   }
 
   (** {2 Opening} *)
@@ -206,6 +221,34 @@ module Session : sig
       [dir]; the returned session continues the shipped history's LSN
       sequence.  [Error (Runtime _)] when the replica is quarantined. *)
   val promote : replica -> dir:string -> (t, error) Stdlib.result
+
+  (** {2 Storage health, scrubbing, repair} *)
+
+  (** {!Healthy}, or the disk-full degraded mode the session is in
+      (always {!Healthy} for in-memory sessions). *)
+  val health : t -> health
+
+  (** Typed damage report over a directory's artifacts; see
+      {!Rfview_engine.Scrub}. *)
+  type scrub_report = Rfview_engine.Scrub.report
+
+  (** What a repair did; see {!Rfview_replica.Repair}. *)
+  type repair_outcome = Rfview_replica.Repair.outcome
+
+  (** Verify every artifact of the session's directory — WAL frames,
+      checkpoint records, stray temp files, and (with [?feeds]) feed
+      entries and their LSN continuity.  Read-only.  [Error (Runtime _)]
+      when the session is not durable. *)
+  val scrub : ?feeds:string list -> t -> (scrub_report, error) Stdlib.result
+
+  (** {!scrub} over a directory nobody has open. *)
+  val scrub_dir : ?feeds:string list -> string -> scrub_report
+
+  (** Offline repair of a directory nobody has open: sweep stale temp
+      files, rebuild a damaged WAL from the longest verifiable record
+      chain any of [feeds] carries, re-seed damaged feeds from the
+      primary.  See {!Rfview_replica.Repair.repair}. *)
+  val repair_dir : ?feeds:string list -> string -> repair_outcome
 
   (** {2 Introspection} *)
 

@@ -1025,3 +1025,331 @@ let fingerprint (db : Db.t) : string =
          | Some r -> Buffer.add_string buf (Relation.render r)
          | None -> ());
   Buffer.contents buf
+
+(* ---- Storage-fault chaos ----
+
+   The same stream and oracle over a durable primary whose every disk
+   byte moves through the Io seam, with the simulated-disk backend
+   driving the faults the other harnesses cannot express: disk-full
+   episodes (a byte budget that tears writes), power cuts that lose
+   every unsynced byte, and silent media corruption that only the
+   scrubber can see.  One feed is kept pumped to the primary's tip so
+   the cross-source repair path has a peer to rebuild from; every WAL
+   rebuild is checked for *bit*-identity against a copy taken before
+   the damage (the codec is canonical, so anything less is a wrong
+   rebuild).  The central assertion is the usual one: the database is
+   never silently wrong — committed statements survive every event,
+   failed ones roll back completely, and damage is always *reported*
+   before it is repaired. *)
+
+module Io = Rfview_engine.Io
+module Scrub = Rfview_engine.Scrub
+module Repair = Rfview_replica.Repair
+
+type storage_config = {
+  st_seed : int;
+  st_ops : int;               (* statements across the whole run *)
+  st_event_every : int;       (* storage event once per this many *)
+  st_checkpoint_every : int;  (* checkpoint period in statements; 0 = never *)
+  st_batch : int;             (* > 1: group-commit chunks of this size *)
+}
+
+let default_storage_config =
+  { st_seed = 31; st_ops = 60; st_event_every = 8; st_checkpoint_every = 13;
+    st_batch = 0 }
+
+type storage_report = {
+  st_statements : int;
+  st_io_faults : int;         (* armed io.* faults: statement rolled back *)
+  st_enospc : int;            (* disk-full episodes entered *)
+  st_degraded_writes : int;   (* writes rejected while degraded *)
+  st_resumes : int;           (* degraded -> healthy via the space probe *)
+  st_crashes : int;           (* power cuts (lost unsynced bytes) survived *)
+  st_corruptions : int;       (* artifact bytes the harness damaged *)
+  st_scrub_findings : int;    (* damage items the scrubber reported *)
+  st_repairs : int;           (* WAL rebuilds / truncations performed *)
+  st_reseeds : int;           (* feeds re-seeded from the primary *)
+  st_checks : int;            (* invariant checkpoints passed *)
+}
+
+let run_storage ?(config = default_storage_config) ~dir () : storage_report =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let pdir = Filename.concat dir "primary" in
+  fresh_dir pdir;
+  let feed_path = Filename.concat dir "storage.feed" in
+  if Sys.file_exists feed_path then Sys.remove feed_path;
+  let wal = Filename.concat pdir "log.wal" in
+  Fault.disarm_all ();
+  Io.Sim.reset ();
+  let prng = Prng.create ~seed:config.st_seed in
+  let report =
+    ref
+      {
+        st_statements = 0;
+        st_io_faults = 0;
+        st_enospc = 0;
+        st_degraded_writes = 0;
+        st_resumes = 0;
+        st_crashes = 0;
+        st_corruptions = 0;
+        st_scrub_findings = 0;
+        st_repairs = 0;
+        st_reseeds = 0;
+        st_checks = 0;
+      }
+  in
+  let bump f = report := f !report in
+  let db = ref (Db.open_durable pdir) in
+  List.iter (fun sql -> ignore (Db.exec !db sql)) setup_sql;
+  let ship = ref (Ship.create !db) in
+  Ship.attach !ship ~name:"storage" ~path:feed_path;
+  let oracle = ref [] in
+  let check ~context =
+    Fault.with_suspended (fun () ->
+        check_base !db !oracle ~context;
+        check_views !db ~context;
+        ignore (heal_stale !db ~context);
+        bump (fun r -> { r with st_checks = r.st_checks + 1 }))
+  in
+  (* keep the feed at the tip: it is the repair peer, so it must carry
+     every record (and a fingerprint there) before damage strikes *)
+  let pump ~context =
+    match Ship.pump !ship with
+    | _ -> ()
+    | exception e ->
+      divergence "%s: pump failed: %s" context (Printexc.to_string e)
+  in
+  (* close everything so the offline tools (scrub, repair, Sim.crash)
+     own the directory *)
+  let shutdown () =
+    Ship.close !ship;
+    Db.close !db
+  in
+  let reopen ~context =
+    let db', _ = Db.recover pdir in
+    db := db';
+    ship := Ship.create !db;
+    Ship.reattach !ship ~name:"storage" ~path:feed_path;
+    check ~context
+  in
+  let scrub_counting () =
+    let r = Repair.scrub ~feeds:[ feed_path ] pdir in
+    bump (fun rep ->
+        {
+          rep with
+          st_scrub_findings =
+            rep.st_scrub_findings + List.length r.Scrub.damage;
+        });
+    r
+  in
+  (* silent media corruption: XOR one byte in place, through the
+     positioned-write primitive that bypasses the simulation *)
+  let flip_byte path ~at =
+    let bytes = Io.read_file path in
+    let c = Char.chr (Char.code bytes.[at] lxor 0xff) in
+    let f = Io.openf path ~mode:Io.Write in
+    Fun.protect
+      ~finally:(fun () -> Io.close f)
+      (fun () -> Io.pwrite f ~at (String.make 1 c));
+    bump (fun r -> { r with st_corruptions = r.st_corruptions + 1 })
+  in
+  (* the damaged directory must (1) scrub dirty, (2) repair to a clean
+     scrub, and (3) — when the WAL was the victim — end up bit-identical
+     to the bytes it held before the damage *)
+  let repair_and_verify ~context ~pristine_wal =
+    let before = scrub_counting () in
+    if Scrub.clean before then
+      divergence "%s: scrub missed the damage" context;
+    let outcome = Repair.repair ~feeds:[ feed_path ] pdir in
+    if not (Scrub.clean outcome.Repair.o_after) then
+      divergence "%s: damage survived repair: %s" context
+        (Scrub.describe outcome.Repair.o_after);
+    (match pristine_wal with
+     | Some bytes ->
+       if Io.read_file wal <> bytes then
+         divergence "%s: repaired WAL is not bit-identical to the pre-damage log"
+           context
+     | None -> ());
+    List.iter
+      (function
+        | Repair.Rebuilt_wal _ | Repair.Truncated_wal _ ->
+          bump (fun r -> { r with st_repairs = r.st_repairs + 1 })
+        | Repair.Reseeded_feed _ ->
+          bump (fun r -> { r with st_reseeds = r.st_reseeds + 1 })
+        | Repair.Swept_tmp _ -> ())
+      outcome.Repair.o_actions
+  in
+  let storage_event ~context =
+    match Prng.int prng 6 with
+    | 0 ->
+      (* a one-shot EIO at a seam site: the statement must fail, roll
+         back completely, and NOT drop the session to degraded mode
+         (only ENOSPC is a disk-state condition worth waiting out) *)
+      let site = Prng.choose prng [ "io.write"; "io.fsync" ] in
+      Io.Sim.set_error_kind Io.Eio;
+      Fault.arm site (Fault.Nth 1);
+      (match Db.exec !db "INSERT INTO seq VALUES (2, 99, 6)" with
+       | _ -> divergence "%s: statement committed with %s armed" context site
+       | exception Db.Degraded_error _ ->
+         divergence "%s: an EIO fault must not enter degraded mode" context
+       | exception _ ->
+         bump (fun r -> { r with st_io_faults = r.st_io_faults + 1 }));
+      Fault.disarm site;
+      check ~context
+    | 1 ->
+      (* disk full: the commit tears, rolls back, and the session drops
+         to read-only degraded mode; once space frees, the backoff
+         probe must lift it and the retried statement must commit *)
+      Io.Sim.set_budget (Some (Prng.int prng 16));
+      (match Db.exec !db "INSERT INTO seq VALUES (3, 99, 7)" with
+       | _ -> divergence "%s: statement committed on a full disk" context
+       | exception Db.Degraded_error _ ->
+         bump (fun r -> { r with st_enospc = r.st_enospc + 1 })
+       | exception e ->
+         divergence "%s: expected Degraded_error on ENOSPC, got %s" context
+           (Printexc.to_string e));
+      (match Db.health !db with
+       | Db.Degraded _ -> ()
+       | Db.Healthy ->
+         divergence "%s: ENOSPC did not enter degraded mode" context);
+      (* reads keep serving the pre-failure state while degraded *)
+      Fault.with_suspended (fun () -> check_base !db !oracle ~context);
+      (* further writes are rejected while the probe keeps failing *)
+      for _ = 1 to 2 do
+        match Db.exec !db "INSERT INTO seq VALUES (3, 99, 7)" with
+        | _ -> divergence "%s: degraded session accepted a write" context
+        | exception Db.Degraded_error _ ->
+          bump (fun r -> { r with st_degraded_writes = r.st_degraded_writes + 1 })
+      done;
+      (* free the disk: within the probe backoff bound (capped at 64
+         rejections between probes) a retried write must go through *)
+      Io.Sim.set_budget None;
+      let lifted = ref false in
+      let attempts = ref 0 in
+      while (not !lifted) && !attempts < 200 do
+        incr attempts;
+        match Db.exec !db "INSERT INTO seq VALUES (1, 7, 3)" with
+        | _ ->
+          oracle := apply_oracle !oracle (Insert { grp = 1; pos = 7; value = 3. });
+          lifted := true
+        | exception Db.Degraded_error _ -> ()
+      done;
+      if not !lifted then
+        divergence "%s: degraded mode never lifted after space freed" context;
+      (match Db.health !db with
+       | Db.Healthy -> bump (fun r -> { r with st_resumes = r.st_resumes + 1 })
+       | Db.Degraded { reason; _ } ->
+         divergence "%s: still degraded after a committed write: %s" context
+           reason);
+      check ~context
+    | 2 ->
+      (* power cut: abandon everything, lose every unsynced byte.  The
+         engine fsyncs per commit, so recovery reproduces the oracle
+         and the scrubber finds only frame-aligned artifacts. *)
+      shutdown ();
+      Io.Sim.crash ();
+      let r = scrub_counting () in
+      if not (Scrub.clean r) then
+        divergence "%s: artifacts damaged after a power cut: %s" context
+          (Scrub.describe r);
+      bump (fun rep -> { rep with st_crashes = rep.st_crashes + 1 });
+      reopen ~context
+    | 3 ->
+      (* bit rot in the log: only the scrubber sees it, and the feed
+         carries the affected records — the rebuilt log must be
+         bit-identical to the pre-damage bytes *)
+      pump ~context;
+      shutdown ();
+      let pristine = Io.read_file wal in
+      if String.length pristine > 0 then begin
+        flip_byte wal ~at:(Prng.int prng (String.length pristine));
+        repair_and_verify ~context ~pristine_wal:(Some pristine)
+      end;
+      reopen ~context
+    | 4 ->
+      (* the WAL deleted outright: with a checkpoint on disk the
+         scrubber reports the hole and repair rebuilds the whole
+         suffix from the feed, bit-identical *)
+      if Db.epoch !db = 0 then Db.checkpoint !db;
+      pump ~context;
+      shutdown ();
+      let pristine = Io.read_file wal in
+      Io.remove wal;
+      bump (fun r -> { r with st_corruptions = r.st_corruptions + 1 });
+      repair_and_verify ~context ~pristine_wal:(Some pristine);
+      reopen ~context
+    | _ ->
+      (* feed corruption: scrub sees it, repair re-seeds the feed from
+         the (healthy) primary, and the shipper resumes on the fresh
+         artifact *)
+      pump ~context;
+      shutdown ();
+      let bytes = Io.read_file feed_path in
+      if String.length bytes > 0 then begin
+        flip_byte feed_path ~at:(Prng.int prng (String.length bytes));
+        repair_and_verify ~context ~pristine_wal:None
+      end;
+      reopen ~context
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.disarm_all ();
+      Io.Sim.reset ();
+      (try Ship.close !ship with _ -> ());
+      (try Db.close !db with _ -> ()))
+    (fun () ->
+      let last_sql = ref "(none)" in
+      let exec_op () =
+        let op = gen_op prng in
+        last_sql := sql_of_op op;
+        let applied =
+          match op with
+          | Load_csv batch ->
+            (match Csv.import_string !db ~table:"seq" (csv_of_batch batch) with
+             | _ -> true
+             | exception _ -> false)
+          | op ->
+            (match Db.exec !db (sql_of_op op) with
+             | _ -> true
+             | exception _ -> false)
+        in
+        if applied then oracle := apply_oracle !oracle op;
+        bump (fun r -> { r with st_statements = r.st_statements + 1 })
+      in
+      let i = ref 1 in
+      while !i <= config.st_ops do
+        let chunk =
+          if config.st_batch <= 1 then 1
+          else min config.st_batch (config.st_ops - !i + 1)
+        in
+        let first = !i and last = !i + chunk - 1 in
+        let crossed p = p > 0 && last / p > (first - 1) / p in
+        let oracle0 = !oracle in
+        (match
+           if chunk = 1 then exec_op ()
+           else Db.with_batch !db (fun () -> for _ = first to last do exec_op () done)
+         with
+         | () -> ()
+         | exception _ -> oracle := oracle0);
+        let context =
+          if chunk = 1 then Printf.sprintf "op %d (%s)" first !last_sql
+          else Printf.sprintf "ops %d-%d (batch; last: %s)" first last !last_sql
+        in
+        check ~context;
+        if crossed config.st_checkpoint_every then Db.checkpoint !db;
+        pump ~context;
+        if crossed config.st_event_every then storage_event ~context;
+        i := last + 1
+      done;
+      (* final: the directory must scrub clean and, alone, reproduce
+         the oracle *)
+      pump ~context:"final pump";
+      shutdown ();
+      let r = scrub_counting () in
+      if not (Scrub.clean r) then
+        divergence "final scrub: %s" (Scrub.describe r);
+      let db', _ = Db.recover pdir in
+      db := db';
+      check_base !db !oracle ~context:"final recovery";
+      check_views !db ~context:"final recovery";
+      !report)

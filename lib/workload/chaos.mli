@@ -164,3 +164,48 @@ val run_replica : ?config:replica_config -> dir:string -> unit -> replica_report
     presence.  Equal fingerprints iff the logical database states are
     identical — the rollback-idempotence oracle for the property tests. *)
 val fingerprint : Db.t -> string
+
+(** {1 Storage-fault chaos}
+
+    The same stream and oracle over a durable primary whose every disk
+    byte moves through the {!Rfview_engine.Io} seam, with the simulated
+    disk driving the faults the other harnesses cannot express:
+    one-shot EIO at the [io.*] sites (the statement must roll back),
+    disk-full episodes (the session must drop to read-only degraded
+    mode and resume via the space probe once the budget clears), power
+    cuts that lose every unsynced byte (recovery must reproduce the
+    oracle and scrub clean), bit rot in the WAL, WAL deletion, and feed
+    corruption.  One feed is kept pumped to the tip as the repair peer;
+    every WAL repair is checked for {e bit}-identity against the
+    pre-damage bytes, and every scrub/repair cycle must end clean. *)
+
+type storage_config = {
+  st_seed : int;
+  st_ops : int;               (** statements across the whole run *)
+  st_event_every : int;       (** storage event once per this many *)
+  st_checkpoint_every : int;  (** checkpoint period in statements; 0 = never *)
+  st_batch : int;             (** [> 1]: group-commit chunks of this size *)
+}
+
+val default_storage_config : storage_config
+
+type storage_report = {
+  st_statements : int;
+  st_io_faults : int;         (** armed [io.*] faults: statement rolled back *)
+  st_enospc : int;            (** disk-full episodes entered *)
+  st_degraded_writes : int;   (** writes rejected while degraded *)
+  st_resumes : int;           (** degraded → healthy via the space probe *)
+  st_crashes : int;           (** power cuts (lost unsynced bytes) survived *)
+  st_corruptions : int;       (** artifact bytes the harness damaged *)
+  st_scrub_findings : int;    (** damage items the scrubber reported *)
+  st_repairs : int;           (** WAL rebuilds / truncations performed *)
+  st_reseeds : int;           (** feeds re-seeded from the primary *)
+  st_checks : int;            (** invariant checkpoints passed *)
+}
+
+(** Run one storage-fault stream under [dir] (created if missing;
+    [dir/primary] and the feed file are reset).  The simulated disk is
+    reset on entry and exit.  @raise Divergence on any violation —
+    including a repaired WAL that is not bit-identical to its
+    pre-damage bytes. *)
+val run_storage : ?config:storage_config -> dir:string -> unit -> storage_report

@@ -444,15 +444,16 @@ let test_chaos_sweep_all_sites () =
         [ Fault.Nth 1; Fault.Nth 3; Fault.Probability { p = 0.4; seed = 7 } ]
       in
       let seeds = [ 11; 23; 47; 91 ] in
-      (* durability sites (wal, checkpoint, recover prefixes) are only
-         reachable through a durable database directory, and replication
-         sites (ship, replica prefixes) only through a feed pipeline;
-         test_crash.ml's crash matrix and test_replica.ml apply the same
-         fired-at-least-once bar to them *)
+      (* durability sites (wal, checkpoint, recover, io prefixes) are
+         only reachable through a durable database directory, and
+         replication sites (ship, replica prefixes) only through a feed
+         pipeline; test_crash.ml's crash matrix, test_replica.ml and
+         test_storage.ml apply the same fired-at-least-once bar to
+         them *)
       let durability_site site =
         List.exists
           (fun p -> String.length site > String.length p && String.sub site 0 (String.length p) = p)
-          [ "wal."; "checkpoint."; "recover."; "ship."; "replica." ]
+          [ "wal."; "checkpoint."; "recover."; "ship."; "replica."; "io." ]
       in
       List.iter
         (fun site ->
