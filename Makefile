@@ -70,8 +70,11 @@ scrub-smoke:
 # per-row vs full-refresh propagation): asserts the modes agree
 # bit-for-bit, writes BENCH_delta.json, and fails unless the report is
 # well-formed.  Then the generalized-IVM experiment (derived delta
-# plans vs full refresh on join/GROUP BY views), writing BENCH_IVM.json
-# under the same checks.
+# plans vs full refresh on join/GROUP BY views), writing BENCH_IVM.json,
+# the scan-sharing experiment (certified shared base scans vs per-view
+# batched maintenance, bit-identical fingerprints), writing
+# BENCH_share.json, and the replica experiment, all under the same
+# checks.
 bench-smoke:
 	dune exec bench/main.exe -- delta --smoke
 	@grep -q '"acceptance"' BENCH_delta.json && grep -q '"speedup"' BENCH_delta.json \
@@ -79,6 +82,9 @@ bench-smoke:
 	dune exec bench/main.exe -- delta-ivm --smoke
 	@grep -q '"acceptance"' BENCH_IVM.json && grep -q '"speedup"' BENCH_IVM.json \
 	  && echo "BENCH_IVM.json well-formed"
+	dune exec bench/main.exe -- share --smoke
+	@grep -q '"acceptance"' BENCH_share.json && grep -q '"speedup"' BENCH_share.json \
+	  && echo "BENCH_share.json well-formed"
 	dune exec bench/main.exe -- replica --smoke
 	@grep -q '"acceptance"' BENCH_replica.json && grep -q '"speedup"' BENCH_replica.json \
 	  && echo "BENCH_replica.json well-formed"

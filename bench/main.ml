@@ -21,8 +21,12 @@
      maintenance under bulk inserts (writes BENCH_delta.json).
    - Generalized IVM: derived delta-plan maintenance of join/GROUP BY
      views vs full refresh (writes BENCH_IVM.json).
+   - Scan sharing: certificate-gated shared base scans for same-keyed
+     sequence views vs per-view batched maintenance (writes
+     BENCH_share.json).
 
-   Usage: main.exe [table1|table2|ablations|delta|delta-ivm|replica|bechamel|all]
+   Usage: main.exe
+   [table1|table2|ablations|delta|delta-ivm|share|replica|bechamel|all]
    [--full] [--smoke]
    --full uses the paper's original row counts (slow: the unindexed self
    join is quadratic); --smoke shrinks the delta experiment to a
@@ -709,6 +713,223 @@ let run_delta_ivm ~smoke =
     exit 1
   end
 
+(* ---- Scan sharing: certificate-gated shared base scans ----
+
+   The Analysis.Share experiment (writes BENCH_share.json): V sequence
+   views share one (PARTITION BY grp ORDER BY pos) key over one base
+   table, so batch maintenance can run the claim-matching merge once
+   per class instead of once per view.  The same update/delete-heavy
+   batched stream runs with [share_scans] on and off; claim matching is
+   O(partition) per edit, so it dominates and the shared iterator's
+   saving scales with fan-out.  Final states must be bit-identical
+   (Chaos.fingerprint). *)
+
+let share_view_sqls =
+  [
+    ("sv_cum",
+     "CREATE MATERIALIZED VIEW sv_cum AS SELECT grp, pos, val, SUM(val) OVER \
+      (PARTITION BY grp ORDER BY pos ROWS UNBOUNDED PRECEDING) AS s FROM seq");
+    ("sv_avg",
+     "CREATE MATERIALIZED VIEW sv_avg AS SELECT grp, pos, val, AVG(val) OVER \
+      (PARTITION BY grp ORDER BY pos ROWS BETWEEN 3 PRECEDING AND CURRENT \
+      ROW) AS a FROM seq");
+    ("sv_min",
+     "CREATE MATERIALIZED VIEW sv_min AS SELECT grp, pos, val, MIN(val) OVER \
+      (PARTITION BY grp ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 2 \
+      FOLLOWING) AS m FROM seq");
+    ("sv_s21",
+     "CREATE MATERIALIZED VIEW sv_s21 AS SELECT grp, pos, val, SUM(val) OVER \
+      (PARTITION BY grp ORDER BY pos ROWS BETWEEN 2 PRECEDING AND 1 \
+      FOLLOWING) AS s FROM seq");
+  ]
+
+let share_groups = 4
+
+(* Integer-valued floats keep every aggregate exact, so the two
+   configurations' final states compare bit for bit. *)
+let share_db ~share ~views ~n0 ~seed =
+  let db =
+    Db.create ~config:{ Db.default_config with Db.share_scans = share } ()
+  in
+  ignore (Db.exec db "CREATE TABLE seq (grp INT, pos INT, val FLOAT)");
+  let rng = Prng.create ~seed in
+  let rows =
+    Array.init n0 (fun i ->
+        [|
+          Value.Int (i mod share_groups);
+          Value.Int ((i / share_groups) + 1);
+          Value.Float (float_of_int (Prng.int_range rng ~lo:(-50) ~hi:50));
+        |])
+  in
+  Db.load_table db ~table:"seq" rows;
+  List.iteri
+    (fun i (_, sql) -> if i < views then ignore (Db.exec db sql))
+    share_view_sqls;
+  db
+
+(* Update/delete-heavy, with multi-row statements: each range update
+   pays one base-table predicate scan (shared work in both
+   configurations) but yields [width] in-place edits, every one
+   claim-matched against the partition state — the per-view cost the
+   shared iterator factors out.  Deletes drop a thin range; inserts land
+   at fresh positions (unique order keys, per the §2.3 contract). *)
+let share_dml ~n0 ~b ~width ~seed =
+  let rng = Prng.create ~seed:(seed * 53 + 17) in
+  let per_grp = n0 / share_groups in
+  let fresh = ref per_grp in
+  List.init b (fun i ->
+      let g = Prng.int_range rng ~lo:0 ~hi:(share_groups - 1) in
+      match i mod 10 with
+      | 7 ->
+        let a = Prng.int_range rng ~lo:1 ~hi:per_grp in
+        Printf.sprintf
+          "DELETE FROM seq WHERE grp = %d AND pos >= %d AND pos < %d" g a
+          (a + (width / 8) + 1)
+      | 8 | 9 ->
+        incr fresh;
+        Printf.sprintf "INSERT INTO seq VALUES (%d, %d, %d)" g !fresh
+          (Prng.int_range rng ~lo:(-50) ~hi:50)
+      | _ ->
+        let a = Prng.int_range rng ~lo:1 ~hi:(max 1 (per_grp - width)) in
+        Printf.sprintf
+          "UPDATE seq SET val = val + 1 WHERE grp = %d AND pos >= %d AND pos \
+           < %d"
+          g a (a + width))
+
+let run_share ~smoke =
+  header "Scan sharing: shared vs per-view batched maintenance";
+  let n0 = if smoke then 400 else 8_000 in
+  let b = if smoke then 40 else 200 in
+  let width = if smoke then 6 else 40 in
+  let chunks = if smoke then 2 else 4 in
+  let repeat = if smoke then 1 else 3 in
+  let view_counts = [ 2; 4 ] in
+  Printf.printf
+    "base table: %d rows in %d groups; views share PARTITION BY grp ORDER BY \
+     pos; %d update/delete-heavy statements (range width %d) in %d batches\n\n"
+    n0 share_groups b width chunks;
+  let run_case ~views =
+    let seed = 500 + views in
+    let stmts = share_dml ~n0 ~b ~width ~seed in
+    let chunk_size = (b + chunks - 1) / chunks in
+    let batches =
+      List.init chunks (fun c ->
+          List.filteri
+            (fun i _ -> i / chunk_size = c)
+            stmts)
+    in
+    let apply db =
+      List.iter
+        (fun batch ->
+          Db.with_batch db (fun () ->
+              List.iter (fun sql -> ignore (Db.exec db sql)) batch))
+        batches
+    in
+    let time ~share =
+      let best = ref infinity in
+      let keep = ref None in
+      for _ = 1 to repeat do
+        let db = share_db ~share ~views ~n0 ~seed in
+        let (), t = time_once (fun () -> apply db) in
+        if t < !best then best := t;
+        keep := Some db
+      done;
+      (!best, Option.get !keep)
+    in
+    let t_on, db_on = time ~share:true in
+    let t_off, db_off = time ~share:false in
+    (* certificate check: the class the engine maintains must be exactly
+       the shared-key views *)
+    let expect =
+      List.filteri (fun i _ -> i < views) share_view_sqls
+      |> List.map fst
+      |> List.sort compare
+    in
+    (match Db.share_classes db_on ~table:"seq" with
+     | [ members ] when List.sort compare members = expect -> ()
+     | _ -> failwith "share: engine share class disagrees with the view set");
+    if Chaos.fingerprint db_on <> Chaos.fingerprint db_off then
+      failwith
+        (Printf.sprintf "share: shared and per-view states differ (views=%d)"
+           views);
+    let speedup = t_off /. t_on in
+    row_line
+      [ Printf.sprintf "%5d" views; "  " ^ fmt_time t_on; "  " ^ fmt_time t_off;
+        Printf.sprintf "  %6.2fx" speedup ];
+    Printf.printf "%!";
+    (views, t_on, t_off, speedup)
+  in
+  row_line
+    [ Printf.sprintf "%5s" "views"; "shared     "; "  per-view   "; "  speedup" ];
+  let runs = List.map (fun v -> run_case ~views:v) view_counts in
+  let speedup =
+    match List.find_opt (fun (v, _, _, _) -> v = 4) runs with
+    | Some (_, _, _, s) -> s
+    | None -> 0.
+  in
+  let required = 1.5 in
+  let pass = if smoke then speedup >= 1.0 else speedup >= required in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"experiment\": \"scan-sharing\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"mode\": \"%s\",\n" (if smoke then "smoke" else "full"));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"base_rows\": %d, \"groups\": %d, \"dml_statements\": %d, \
+        \"batches\": %d,\n"
+       n0 share_groups b chunks);
+  Buffer.add_string buf "  \"runs\": [\n";
+  List.iteri
+    (fun i (v, t_on, t_off, s) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"views\": %d, \"shared_s\": %.6f, \"per_view_s\": %.6f, \
+            \"speedup\": %.2f, \"identical\": true}%s\n"
+           v t_on t_off s
+           (if i = List.length runs - 1 then "" else ",")))
+    runs;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"acceptance\": {\"views\": 4, \"speedup\": %.2f, \"required\": \
+        %.1f, \"pass\": %b}\n"
+       speedup required pass);
+  Buffer.add_string buf "}\n";
+  let out = "BENCH_share.json" in
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  let written =
+    let ic = open_in out in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let balanced =
+    let d = ref 0 in
+    String.iter (fun c -> if c = '{' then incr d else if c = '}' then decr d) written;
+    !d = 0
+  in
+  if
+    not
+      (balanced
+      && contains written "\"acceptance\""
+      && contains written "\"runs\""
+      && contains written "\"speedup\"")
+  then failwith "BENCH_share.json failed its well-formedness self-check";
+  Printf.printf "\nwrote %s (shared vs per-view at 4 views: %.2fx)\n%!" out
+    speedup;
+  if (not smoke) && not pass then begin
+    Printf.eprintf "share acceptance FAILED: %.2fx < %.1fx\n%!" speedup required;
+    exit 1
+  end
+
 (* ---- Replication: read fan-out and checkpoint-bounded bootstrap ----
 
    Two questions (writes BENCH_replica.json):
@@ -1061,6 +1282,7 @@ let () =
    | "ablations" -> run_ablations ()
    | "delta" -> run_delta ~smoke
    | "delta-ivm" -> run_delta_ivm ~smoke
+   | "share" -> run_share ~smoke
    | "replica" -> run_replica_bench ~smoke
    | "bechamel" -> run_bechamel ()
    | "all" ->
@@ -1069,12 +1291,13 @@ let () =
      run_ablations ();
      run_delta ~smoke:(not full);
      run_delta_ivm ~smoke:(not full);
+     run_share ~smoke:(not full);
      run_replica_bench ~smoke:(not full);
      run_bechamel ()
    | other ->
      Printf.eprintf
        "unknown experiment %s (use \
-        table1|table2|ablations|delta|delta-ivm|replica|bechamel|all)\n"
+        table1|table2|ablations|delta|delta-ivm|share|replica|bechamel|all)\n"
        other;
      exit 1);
   Printf.printf "\ndone.\n"

@@ -480,22 +480,83 @@ let cmd_lint file self_join explain explain_code codes_md =
 
 (* ---- analyze ---- *)
 
-let cmd_analyze file =
+(* Minimal JSON emission for [analyze --json]: one object per statement
+   plus a trailing summary object, one per line (JSON Lines). *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jstr s = "\"" ^ json_escape s ^ "\""
+let jobj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields) ^ "}"
+let jlist items = "[" ^ String.concat "," items ^ "]"
+let jint_opt = function None -> "null" | Some n -> string_of_int n
+
+let jcard (c : Rfview_analysis.Domain.Card.t) =
+  jobj [ ("lo", string_of_int c.lo); ("hi", jint_opt c.hi) ]
+
+let jdiag (d : Diag.t) =
+  jobj
+    [
+      ("code", jstr d.Diag.code);
+      ("severity", jstr (Diag.severity_name d.Diag.severity));
+      ("path", jstr d.Diag.path);
+      ("message", jstr d.Diag.message);
+    ]
+
+let jobligation (o : Rfview_analysis.Cert.obligation) =
+  jobj
+    [
+      ("name", jstr o.ob_name);
+      ("holds", string_of_bool o.ob_holds);
+      ("detail", jstr o.ob_detail);
+    ]
+
+let cmd_analyze file json budget =
   let module Ast = Rfview_sql.Ast in
   let module Absint = Rfview_analysis.Absint in
   let module Cert = Rfview_analysis.Cert in
+  let module Cost = Rfview_analysis.Cost in
+  let module Share = Rfview_analysis.Share in
+  let module Ivmcert = Rfview_analysis.Ivmcert in
   let module Advisor = Rfview_engine.Advisor in
   let rf2xx = ref 0 and errors = ref 0 in
+  let shared_specs = ref [] in
+  let count_rf2xx d =
+    if String.length d.Diag.code >= 3 && d.Diag.code.[2] = '2' then incr rf2xx
+  in
   (match Rfview_sql.Parser.statements (read_file file) with
    | exception e ->
-     Printf.printf "%s: cannot parse: %s\n" file (Printexc.to_string e);
+     let msg = Printf.sprintf "cannot parse: %s" (Printexc.to_string e) in
+     if json then
+       print_endline (jobj [ ("file", jstr file); ("error", jstr msg) ])
+     else Printf.printf "%s: %s\n" file msg;
      incr errors
    | stmts ->
      let db = Session.database (Session.open_in_memory ()) in
      let analyze_query ~stmt ?ivm_view where q =
        match Rfview_planner.Binder.bind_query ~stmt (Db.binder_catalog db) q with
        | exception Rfview_planner.Binder.Bind_error m ->
-         Printf.printf "%s: bind error: %s\n" where m;
+         if json then
+           print_endline
+             (jobj
+                [
+                  ("statement", string_of_int stmt);
+                  ("error", jstr ("bind error: " ^ m));
+                ])
+         else Printf.printf "%s: bind error: %s\n" where m;
          incr errors
        | plan ->
          let cat = Db.catalog_view db in
@@ -503,36 +564,96 @@ let cmd_analyze file =
            try Some (cat.Rfview_planner.Physical.table_contents name)
            with _ -> None
          in
-         Printf.printf "-- %s\n" where;
-         print_string (Absint.report ~env plan);
+         let abs = Absint.analyze ~env plan in
          let diags = Absint.diagnostics ~env plan in
-         List.iter
-           (fun d ->
-             Printf.printf "%s\n" (Diag.to_string d);
-             if String.length d.Diag.code >= 3 && d.Diag.code.[2] = '2' then
-               incr rf2xx)
-           diags;
-         (* derivability certificates of every matching materialized view *)
-         List.iter
-           (fun (view, certs) ->
-             Printf.printf "derivability from %s:\n" view;
-             List.iter
-               (fun c -> print_string (Cert.to_string c))
-               certs)
-           (Advisor.certificates db q);
-         (* incrementality certificate of a materialized view: can the
-            deriver maintain it by delta plan, and if not, why not
-            (RF30x, warnings only — full refresh remains available) *)
-         (match ivm_view with
-          | None -> ()
-          | Some view ->
-            let module Ivmcert = Rfview_analysis.Ivmcert in
-            let cert = Ivmcert.certify ~view plan in
-            print_string (Ivmcert.to_string cert);
-            List.iter
-              (fun d -> Printf.printf "%s\n" (Diag.to_string d))
-              cert.Ivmcert.diags);
-         print_newline ()
+         let cost = Cost.analyze ~env ?budget plan in
+         let ivm = Option.map (fun view -> Ivmcert.certify ~view plan) ivm_view in
+         List.iter count_rf2xx diags;
+         List.iter count_rf2xx cost.Cost.diags;
+         if json then begin
+           let fields =
+             [ ("statement", string_of_int stmt) ]
+             @ (match ivm_view with
+                | Some v -> [ ("view", jstr v) ]
+                | None -> [])
+             @ [
+                 ( "columns",
+                   jlist
+                     (List.map jstr
+                        (Rfview_relalg.Schema.names
+                           (Rfview_planner.Logical.schema plan))) );
+                 ("rows", jcard abs.Rfview_analysis.Domain.rows);
+                 ( "diagnostics",
+                   jlist
+                     (List.map jdiag
+                        (diags
+                        @ cost.Cost.diags
+                        @
+                        match ivm with
+                        | Some c -> c.Ivmcert.diags
+                        | None -> [])) );
+                 ( "footprint",
+                   jobj
+                     [
+                       ("total_bytes", jint_opt cost.Cost.total_bytes);
+                       ( "ops",
+                         jlist
+                           (List.map
+                              (fun (o : Cost.op_cost) ->
+                                jobj
+                                  [
+                                    ("op", jstr o.Cost.oc_op);
+                                    ("rows", jcard o.Cost.oc_rows);
+                                    ("width", string_of_int o.Cost.oc_width);
+                                    ("state_rows", jcard o.Cost.oc_state_rows);
+                                    ("bytes", jint_opt o.Cost.oc_bytes);
+                                  ])
+                              cost.Cost.ops) );
+                     ] );
+               ]
+             @
+             match ivm with
+             | Some c ->
+               [
+                 ( "ivm",
+                   jobj
+                     [
+                       ("valid", string_of_bool (Ivmcert.valid c));
+                       ( "obligations",
+                         jlist (List.map jobligation c.Ivmcert.obligations) );
+                     ] );
+               ]
+             | None -> []
+           in
+           print_endline (jobj fields)
+         end
+         else begin
+           Printf.printf "-- %s\n" where;
+           print_string (Absint.report ~env plan);
+           List.iter (fun d -> Printf.printf "%s\n" (Diag.to_string d)) diags;
+           (* resource analysis: footprint bound + RF402/RF403 *)
+           print_string (Cost.to_string cost);
+           List.iter
+             (fun d -> Printf.printf "%s\n" (Diag.to_string d))
+             cost.Cost.diags;
+           (* derivability certificates of every matching materialized view *)
+           List.iter
+             (fun (view, certs) ->
+               Printf.printf "derivability from %s:\n" view;
+               List.iter (fun c -> print_string (Cert.to_string c)) certs)
+             (Advisor.certificates db q);
+           (* incrementality certificate of a materialized view: can the
+              deriver maintain it by delta plan, and if not, why not
+              (RF30x, warnings only — full refresh remains available) *)
+           (match ivm with
+            | None -> ()
+            | Some cert ->
+              print_string (Ivmcert.to_string cert);
+              List.iter
+                (fun d -> Printf.printf "%s\n" (Diag.to_string d))
+                cert.Ivmcert.diags);
+           print_newline ()
+         end
      in
      List.iteri
        (fun i st ->
@@ -542,7 +663,12 @@ let cmd_analyze file =
           | Ast.St_create_view { name; materialized; query = q } ->
             analyze_query ~stmt:(i + 1)
               ?ivm_view:(if materialized then Some name else None)
-              where q
+              where q;
+            (* collect the scan footprint for the sharing report *)
+            if materialized then
+              Option.iter
+                (fun sp -> shared_specs := sp :: !shared_specs)
+                (Share.scan_spec ~view:name q)
           | _ -> ());
          match st with
          | Ast.St_query _ -> ()
@@ -550,11 +676,60 @@ let cmd_analyze file =
            (match Db.exec_statement db st with
             | _ -> ()
             | exception e ->
-              Printf.printf "%s: statement failed: %s\n" where
-                (Printexc.to_string e);
+              let msg =
+                Printf.sprintf "statement failed: %s" (Printexc.to_string e)
+              in
+              if json then
+                print_endline
+                  (jobj
+                     [ ("statement", string_of_int (i + 1)); ("error", jstr msg) ])
+              else Printf.printf "%s: %s\n" where msg;
               incr errors))
        stmts);
-  Printf.printf "%s: %d RF2xx diagnostic(s), %d error(s)\n" file !rf2xx !errors;
+  (* scan-share classes over the script's materialized sequence views:
+     which views the engine would drive from one shared base scan
+     (RF401 advisories — informational, never exit-affecting) *)
+  let groups = Rfview_analysis.Share.classify (List.rev !shared_specs) in
+  let share_diags = Rfview_analysis.Share.diagnostics groups in
+  if json then
+    print_endline
+      (jobj
+         [
+           ( "scan_sharing",
+             jlist
+               (List.map
+                  (fun (g : Rfview_analysis.Share.group) ->
+                    jobj
+                      [
+                        ("base", jstr g.g_base);
+                        ("key", jstr (Rfview_analysis.Share.scan_key g));
+                        ( "shared",
+                          string_of_bool (Rfview_analysis.Share.shareable g) );
+                        ( "views",
+                          jlist
+                            (List.map
+                               (fun (sp : Rfview_analysis.Share.scan_spec) ->
+                                 jstr sp.sp_view)
+                               g.g_members) );
+                        ( "obligations",
+                          jlist (List.map jobligation g.g_obligations) );
+                        ("diagnostics", jlist (List.map jdiag g.g_diags));
+                      ])
+                  groups) );
+           ("rf2xx", string_of_int !rf2xx);
+           ("errors", string_of_int !errors);
+         ])
+  else begin
+    if groups <> [] then begin
+      Printf.printf "-- scan sharing\n";
+      List.iter
+        (fun g -> print_string (Rfview_analysis.Share.to_string g))
+        groups;
+      List.iter (fun d -> Printf.printf "%s\n" (Diag.to_string d)) share_diags;
+      print_newline ()
+    end;
+    Printf.printf "%s: %d RF2xx diagnostic(s), %d error(s)\n" file !rf2xx !errors
+  end;
   exit (if !rf2xx > 0 || !errors > 0 then 1 else 0)
 
 let repl session =
@@ -666,12 +841,27 @@ let lint_t =
 
 let analyze_t =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+      ~doc:"Emit machine-readable output: one JSON object per analyzed \
+            statement plus a trailing summary object with the scan-share \
+            classes (JSON Lines).")
+  in
+  let budget =
+    Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"BYTES"
+      ~doc:"Memory budget for the footprint analysis (default 64 MiB); plans \
+            whose resident state exceeds or cannot be bounded against it get \
+            an RF403 warning.")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Abstract-interpret every query of a SQL script: print the output \
-             abstraction, any RF2xx diagnostics, and the derivability \
-             certificates of matching materialized views (exit 1 on any RF2xx)")
-    Term.(const cmd_analyze $ file)
+             abstraction, any RF2xx diagnostics, per-operator memory \
+             footprint bounds (RF402/RF403), the derivability certificates \
+             of matching materialized views, and the scan-share classes of \
+             its materialized sequence views (RF401). Exit 1 on any RF2xx; \
+             RF4xx are advisory.")
+    Term.(const cmd_analyze $ file $ json $ budget)
 
 let recover_t =
   let dir = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR") in

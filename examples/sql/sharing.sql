@@ -1,0 +1,58 @@
+-- Scan sharing and resource analysis (rfview analyze: RF401-RF403).
+--
+-- Four materialized sequence views over one base table.  The first
+-- three agree on the (PARTITION BY grp ORDER BY pos) scan key, so the
+-- engine drives them from ONE shared partition iterator at batch
+-- commit (RF401 advisory, sharing certificate printed by `analyze`).
+-- The last two are deliberately incompatible: a coarser PARTITION BY
+-- prefix and a different ORDER BY column each need their own merge
+-- pass, so they land in singleton (SOLO) classes.
+
+CREATE TABLE seq (grp INT, pos INT, val FLOAT);
+INSERT INTO seq VALUES (1, 1, 10.0);
+INSERT INTO seq VALUES (1, 2, 20.0);
+INSERT INTO seq VALUES (1, 3, 15.0);
+INSERT INTO seq VALUES (2, 1, 5.0);
+INSERT INTO seq VALUES (2, 2, 25.0);
+
+-- scan-share class {v_cum, v_mvg, v_low}: same base, same partition
+-- prefix, same sort order, bounded per-view frame state
+CREATE MATERIALIZED VIEW v_cum AS
+SELECT grp, pos, val,
+       SUM(val) OVER (PARTITION BY grp ORDER BY pos
+                      ROWS UNBOUNDED PRECEDING) AS running
+FROM seq;
+
+CREATE MATERIALIZED VIEW v_mvg AS
+SELECT grp, pos, val,
+       AVG(val) OVER (PARTITION BY grp ORDER BY pos
+                      ROWS BETWEEN 2 PRECEDING AND CURRENT ROW) AS avg3
+FROM seq;
+
+CREATE MATERIALIZED VIEW v_low AS
+SELECT grp, pos, val,
+       MIN(val) OVER (PARTITION BY grp ORDER BY pos
+                      ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS low3
+FROM seq;
+
+-- incompatible: no PARTITION BY — the coarser prefix would re-walk the
+-- whole table as one partition, so it cannot ride the shared scan
+CREATE MATERIALIZED VIEW v_all AS
+SELECT grp, pos, val,
+       SUM(val) OVER (ORDER BY pos ROWS UNBOUNDED PRECEDING) AS total
+FROM seq;
+
+-- incompatible: different ORDER BY column — the sort order is not
+-- subsumed by the class's order
+CREATE MATERIALIZED VIEW v_byval AS
+SELECT grp, pos, val,
+       SUM(val) OVER (PARTITION BY grp ORDER BY val
+                      ROWS UNBOUNDED PRECEDING) AS byval
+FROM seq;
+
+-- RF402: a RANGE frame cannot use the w+2 frame cache — the whole
+-- partition must stay resident (and RF403 under a tiny --budget)
+SELECT grp, pos,
+       SUM(val) OVER (PARTITION BY grp ORDER BY pos
+                      RANGE BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW) AS r
+FROM seq;

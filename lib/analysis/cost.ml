@@ -1,0 +1,240 @@
+(* Per-operator resource analysis over logical plans.
+
+   "Support Aggregate Analytic Window Function over Large Data by
+   Spilling" observes that a cumulative or bounded sliding ROWS frame
+   needs only a pipeline cache of w+2 positions, while RANGE frames and
+   frames reaching an unbounded following edge require the whole
+   partition resident.  This pass is the static side of that spill
+   decision: it walks the plan bottom-up, pairs every operator with a
+   resident-state bound — row widths from the schema, cardinality
+   ranges from the abstract interpreter (Absint), frame caches for
+   window operators — and emits RF402 ("unbounded window state") for
+   frames whose memory grows with the data instead of the frame, and
+   RF403 ("estimated footprint exceeds budget") when the plan's total
+   resident bytes exceed (or cannot be bounded against) the budget. *)
+
+module Logical = Rfview_planner.Logical
+open Rfview_relalg
+
+type op_cost = {
+  oc_op : string;           (* operator label, root-first path segment *)
+  oc_rows : Domain.Card.t;  (* input row range the state is built from *)
+  oc_width : int;           (* input row width estimate, bytes *)
+  oc_state_rows : Domain.Card.t;  (* resident rows *)
+  oc_bytes : int option;    (* resident byte bound; None = unbounded *)
+}
+
+type report = {
+  ops : op_cost list;       (* pre-order, root first *)
+  total_bytes : int option; (* sum over operators; None = unbounded *)
+  diags : Diagnostic.t list;
+}
+
+let default_budget = 64 * 1024 * 1024
+
+(* Row width estimate: the boxed in-memory footprint of one row, one
+   word per field plus the payload. *)
+let width_of_type = function
+  | Dtype.Bool -> 9
+  | Dtype.Int -> 16
+  | Dtype.Float -> 16
+  | Dtype.Date -> 16
+  | Dtype.String -> 40 (* header + short payload estimate *)
+
+let width_of_schema (s : Schema.t) =
+  Array.fold_left (fun acc c -> acc + width_of_type c.Schema.ty) 8 s
+
+let mul_bytes (c : Domain.Card.t) width =
+  match c.Domain.Card.hi with
+  | None -> None
+  | Some hi -> Some (hi * width)
+
+let diag code msg = Diagnostic.make ~code ~path:[ "plan" ] msg
+
+(* Resident window state in rows for one window function: [Ok rows]
+   when bounded by the frame alone, [Error reason] when the whole
+   partition must be resident (over-approximated by the input rows). *)
+let window_state_rows (fn : Logical.window_fn) : (int, string) result =
+  let frame_state (f : Window.frame) =
+    match f.Window.mode with
+    | Window.Range -> Error "RANGE frame measures key distance"
+    | Window.Rows ->
+      (match (f.Window.lo, f.Window.hi) with
+       | _, Window.Unbounded_following ->
+         Error "ROWS frame reaches UNBOUNDED FOLLOWING"
+       | Window.Unbounded_following, _ ->
+         Error "ROWS frame starts at UNBOUNDED FOLLOWING"
+       | Window.Unbounded_preceding, Window.Current_row
+       | Window.Unbounded_preceding, Window.Preceding _
+       | Window.Unbounded_preceding, Window.Unbounded_preceding ->
+         Ok 2 (* cumulative: running value + current row *)
+       | Window.Unbounded_preceding, Window.Following h -> Ok (h + 2)
+       | (Window.Preceding l | Window.Following l), hi ->
+         let h =
+           match hi with
+           | Window.Preceding h | Window.Following h -> h
+           | Window.Current_row -> 0
+           | Window.Unbounded_preceding -> 0
+           | Window.Unbounded_following -> assert false
+         in
+         (* frame cache of w+2 positions, w = frame width *)
+         Ok (l + h + 1 + 2)
+       | Window.Current_row, hi ->
+         let h =
+           match hi with
+           | Window.Preceding h | Window.Following h -> h
+           | Window.Current_row -> 0
+           | Window.Unbounded_preceding -> 0
+           | Window.Unbounded_following -> assert false
+         in
+         Ok (h + 3))
+  in
+  match fn.Logical.func with
+  | Window.Row_number | Window.Rank | Window.Dense_rank ->
+    Ok 2 (* rank family streams with peer lookahead *)
+  | Window.Lag n | Window.Lead n -> Ok (n + 2)
+  | Window.Agg _ | Window.First_value | Window.Last_value ->
+    frame_state fn.Logical.frame
+
+let card_min (c : Domain.Card.t) n =
+  match c.Domain.Card.hi with
+  | None -> Domain.Card.of_bounds (min c.Domain.Card.lo n) (Some n)
+  | Some hi -> Domain.Card.of_bounds (min c.Domain.Card.lo n) (Some (min hi n))
+
+(* ---- The walk ---- *)
+
+let analyze ?env ?(budget = default_budget) (plan : Logical.t) : report =
+  let ops = ref [] in
+  let diags = ref [] in
+  let abs p = Absint.analyze ?env p in
+  (* returns the input abstraction of every node's parent, i.e. the
+     node's own output abstraction, while accumulating costs root-last;
+     [ops] is reversed into pre-order at the end *)
+  let record ~op ~input ~state_rows ~width =
+    let bytes = mul_bytes state_rows width in
+    ops :=
+      {
+        oc_op = op;
+        oc_rows = (abs input).Domain.rows;
+        oc_width = width;
+        oc_state_rows = state_rows;
+        oc_bytes = bytes;
+      }
+      :: !ops
+  in
+  let rec walk (p : Logical.t) =
+    (match p with
+     | Logical.Scan _ | Logical.Filter _ | Logical.Project _
+     | Logical.Alias _ | Logical.Limit _ | Logical.Union_all _ ->
+       () (* streaming: no resident state beyond the current row *)
+     | Logical.Sort { input; _ } ->
+       let r = (abs input).Domain.rows in
+       record ~op:"Sort" ~input ~state_rows:r
+         ~width:(width_of_schema (Logical.schema input))
+     | Logical.Distinct input ->
+       let r = (abs input).Domain.rows in
+       record ~op:"Distinct" ~input ~state_rows:r
+         ~width:(width_of_schema (Logical.schema input))
+     | Logical.Aggregate { input; _ } ->
+       (* resident state: one accumulator row per group = output rows *)
+       record ~op:"Aggregate" ~input ~state_rows:(abs p).Domain.rows
+         ~width:(width_of_schema (Logical.schema p))
+     | Logical.Join { right; _ } ->
+       (* hash build side *)
+       record ~op:"Join" ~input:right ~state_rows:(abs right).Domain.rows
+         ~width:(width_of_schema (Logical.schema right))
+     | Logical.Number { input; _ } ->
+       (* numbering sorts each partition: whole input resident *)
+       record ~op:"Number" ~input ~state_rows:(abs input).Domain.rows
+         ~width:(width_of_schema (Logical.schema input))
+     | Logical.Window_op { input; fns } ->
+       let in_rows = (abs input).Domain.rows in
+       let width = width_of_schema (Logical.schema input) in
+       List.iter
+         (fun fn ->
+           match window_state_rows fn with
+           | Ok w ->
+             record
+               ~op:(Printf.sprintf "Window(%s)" fn.Logical.name)
+               ~input ~state_rows:(card_min in_rows w) ~width
+           | Error reason ->
+             (* whole partition resident: bounded only by the input *)
+             record
+               ~op:(Printf.sprintf "Window(%s)" fn.Logical.name)
+               ~input ~state_rows:in_rows ~width;
+             diags :=
+               diag "RF402"
+                 (Printf.sprintf
+                    "unbounded window state for %s: %s, so the whole \
+                     partition must be resident; a cumulative or bounded \
+                     ROWS frame needs only a w+2 cache"
+                    fn.Logical.name reason)
+               :: !diags)
+         fns);
+    match p with
+    | Logical.Scan _ -> ()
+    | Logical.Filter { input; _ }
+    | Logical.Project { input; _ }
+    | Logical.Alias { input; _ }
+    | Logical.Limit { input; _ }
+    | Logical.Sort { input; _ }
+    | Logical.Number { input; _ }
+    | Logical.Window_op { input; _ }
+    | Logical.Aggregate { input; _ } -> walk input
+    | Logical.Distinct input -> walk input
+    | Logical.Join { left; right; _ } ->
+      walk left;
+      walk right
+    | Logical.Union_all { left; right } ->
+      walk left;
+      walk right
+  in
+  walk plan;
+  let ops = List.rev !ops in
+  let total_bytes =
+    List.fold_left
+      (fun acc oc ->
+        match (acc, oc.oc_bytes) with
+        | Some a, Some b -> Some (a + b)
+        | _ -> None)
+      (Some 0) ops
+  in
+  let diags =
+    List.rev !diags
+    @
+    match total_bytes with
+    | None ->
+      [
+        diag "RF403"
+          (Printf.sprintf
+             "estimated footprint cannot be bounded against the %d-byte \
+              budget (unbounded operator state)"
+             budget);
+      ]
+    | Some t when t > budget ->
+      [
+        diag "RF403"
+          (Printf.sprintf "estimated footprint %d bytes exceeds the %d-byte budget"
+             t budget);
+      ]
+    | Some _ -> []
+  in
+  { ops; total_bytes; diags }
+
+let to_string r =
+  let buf = Buffer.create 256 in
+  (match r.total_bytes with
+   | Some t -> Buffer.add_string buf (Printf.sprintf "footprint: <= %d bytes\n" t)
+   | None -> Buffer.add_string buf "footprint: unbounded\n");
+  List.iter
+    (fun oc ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-18s rows %s * %d B -> state %s%s\n" oc.oc_op
+           (Domain.Card.to_string oc.oc_rows)
+           oc.oc_width
+           (Domain.Card.to_string oc.oc_state_rows)
+           (match oc.oc_bytes with
+            | Some b -> Printf.sprintf " (<= %d B)" b
+            | None -> " (unbounded)")))
+    r.ops;
+  Buffer.contents buf

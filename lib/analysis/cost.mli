@@ -1,0 +1,42 @@
+(** Per-operator resource analysis: static memory-footprint bounds over
+    logical plans.
+
+    The static side of the out-of-core/spill decision: row widths from
+    the schema, cardinality ranges from the abstract interpreter
+    ({!Absint}), and per-operator resident-state transfer functions —
+    streaming operators hold nothing, sorts/builds hold their input,
+    aggregates hold one row per group, and window operators hold a
+    [w+2] frame cache for cumulative/bounded ROWS frames versus the
+    whole partition for RANGE or unbounded-following frames.
+
+    Emits {b RF402} ("unbounded window state") per whole-partition
+    frame and {b RF403} ("estimated footprint exceeds budget") when the
+    plan's total resident bytes exceed, or cannot be bounded against,
+    the budget. *)
+
+module Logical := Rfview_planner.Logical
+
+type op_cost = {
+  oc_op : string;           (** operator label *)
+  oc_rows : Domain.Card.t;  (** input row range the state is built from *)
+  oc_width : int;           (** input row width estimate, bytes *)
+  oc_state_rows : Domain.Card.t;  (** resident rows *)
+  oc_bytes : int option;    (** resident byte bound; [None] = unbounded *)
+}
+
+type report = {
+  ops : op_cost list;        (** stateful operators, root first *)
+  total_bytes : int option;  (** sum over operators; [None] = unbounded *)
+  diags : Diagnostic.t list; (** RF402 / RF403 *)
+}
+
+(** 64 MiB. *)
+val default_budget : int
+
+(** Walk the plan and bound its resident state.  [env] supplies table
+    contents exactly as for {!Absint.analyze}; [budget] defaults to
+    {!default_budget} bytes. *)
+val analyze : ?env:Absint.env -> ?budget:int -> Logical.t -> report
+
+(** One header line (total bound) plus one line per stateful operator. *)
+val to_string : report -> string

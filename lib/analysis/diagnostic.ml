@@ -274,6 +274,45 @@ let registry : info list =
          BY spans the whole relation — every change dirties everything. \
          The view is maintained by full refresh.";
     };
+    {
+      r_code = "RF401";
+      r_severity = Info;
+      r_title = "redundant re-scan: views are scan-shareable";
+      r_explanation =
+        "Two or more materialized sequence views read the same base \
+         table with compatible PARTITION BY prefixes and the same ORDER \
+         BY column, so batch maintenance can drive all of them from one \
+         shared partition iterator instead of re-walking the same \
+         partitions once per view.  The engine shares the scan \
+         automatically when the group's sharing certificate is valid; \
+         this advisory names the views in the scan-share class.";
+    };
+    {
+      r_code = "RF402";
+      r_severity = Warning;
+      r_title = "unbounded window state";
+      r_explanation =
+        "A cumulative or sliding ROWS frame needs only a bounded \
+         pipeline cache of w+2 positions, but this window's frame \
+         (RANGE, or a ROWS frame reaching an unbounded following edge) \
+         requires the whole partition resident before the first output \
+         row, so its memory grows with the data instead of with the \
+         frame.  Rewrite the frame as a bounded ROWS frame, or expect \
+         the operator to fall off the incremental/spillable path.";
+    };
+    {
+      r_code = "RF403";
+      r_severity = Warning;
+      r_title = "estimated footprint exceeds budget";
+      r_explanation =
+        "The per-operator resource analysis (row widths from the \
+         schema, cardinality ranges from the abstract interpreter, \
+         frame caches for window operators) bounds this plan's resident \
+         state above the configured memory budget — or cannot bound it \
+         at all.  Reduce the working set (narrower rows, bounded \
+         frames, filters below sorts) or raise the budget \
+         (rfview analyze --budget).";
+    };
   ]
 
 let find_info code = List.find_opt (fun i -> i.r_code = code) registry

@@ -1,0 +1,292 @@
+(* Static scan-sharing analysis for sequence views.
+
+   At batch commit every dependent sequence view of a base table walks
+   the same partitions: the consolidated delta is grouped by partition
+   key, merged into the ordered row array, and the dirty spans are
+   recomputed — once per view, even though the grouping, the claim
+   matching and the structural merge depend only on (base table,
+   PARTITION BY, ORDER BY), not on the view's aggregate or frame.
+   "Optimization of Analytic Window Functions" gives the reuse rule:
+   window computations whose partition prefixes are compatible and whose
+   sort orders subsume each other can share one scan.
+
+   This module is the *static certificate* side of that optimization,
+   in the mold of Cert/Ivmcert: [scan_spec] re-derives a view's scan
+   footprint from its definition independently of the engine's
+   recognizer, [classify] groups the footprints into scan-share
+   classes, and each class with two or more members carries a sharing
+   certificate (named obligations: same-base,
+   partition-prefix-compatible, order-subsumed, no-cross-view-state)
+   plus an RF401 advisory naming the shareable views.
+
+   The defining lockstep property (cert-iff-runtime, enforced by
+   test/test_share.ml): the engine drives a set of live sequence-view
+   states from one shared partition iterator exactly when this module
+   puts their definitions in one shareable class. *)
+
+module Ast = Rfview_sql.Ast
+open Rfview_relalg
+
+type obligation = Cert.obligation = {
+  ob_name : string;
+  ob_holds : bool;
+  ob_detail : string;
+}
+
+(* Frame shapes a sequence view can carry (mirrors the engine's
+   recognizer: cumulative or bounded sliding ROWS frames only). *)
+type frame =
+  | Cumulative
+  | Sliding of int * int  (* l preceding, h following *)
+
+type scan_spec = {
+  sp_view : string;
+  sp_base : string;            (* base table, lowercased *)
+  sp_partition : string list;  (* PARTITION BY columns, lowercased *)
+  sp_order : string;           (* ORDER BY column (single, ascending) *)
+  sp_frame : frame;
+}
+
+(* ---- Spec extraction ----
+
+   An independent mirror of the engine's sequence-view recognizer
+   (Matview.recognize): SELECT of simple columns plus exactly one
+   framed aggregate window over a single table, no WHERE/GROUP
+   BY/HAVING/DISTINCT, single ascending ORDER BY column, all PARTITION
+   BY entries simple columns, and a cumulative or bounded sliding ROWS
+   frame.  Keep the two walks in lockstep — the cert-iff-runtime
+   matrix in test/test_share.ml depends on it. *)
+
+let simple_col = function
+  | Ast.Column (_, name) -> Some (String.lowercase_ascii name)
+  | _ -> None
+
+let frame_of (w : Ast.window_fn) : frame option =
+  match w.Ast.w_frame with
+  | None -> if w.Ast.w_order <> [] then Some Cumulative else None
+  | Some { Ast.frame_mode = Ast.Frame_range; _ } -> None
+  | Some { Ast.frame_mode = Ast.Frame_rows; frame_lo; frame_hi } ->
+    let lo_off = function
+      | Ast.Unbounded_preceding -> Some None
+      | Ast.Preceding n -> Some (Some n)
+      | Ast.Current_row -> Some (Some 0)
+      | Ast.Following _ | Ast.Unbounded_following -> None
+    in
+    let hi_off = function
+      | Ast.Following n -> Some (Some n)
+      | Ast.Current_row -> Some (Some 0)
+      | Ast.Preceding _ | Ast.Unbounded_preceding | Ast.Unbounded_following ->
+        None
+    in
+    (match (lo_off frame_lo, hi_off frame_hi) with
+     | Some None, Some (Some 0) -> Some Cumulative
+     | Some (Some l), Some (Some h) -> Some (Sliding (l, h))
+     | _ -> None)
+
+let scan_spec ~view (q : Ast.query) : scan_spec option =
+  match q.Ast.body with
+  | Ast.Select
+      {
+        distinct = false;
+        items;
+        from = [ Ast.Table { name = source; alias = _ } ];
+        where = None;
+        group_by = [];
+        having = None;
+      } -> begin
+      let win = ref None in
+      let ok =
+        List.for_all
+          (fun item ->
+            match item with
+            | Ast.Sel_expr (Ast.Column _, _) -> true
+            | Ast.Sel_expr (Ast.Window w, _) when !win = None ->
+              win := Some w;
+              true
+            | _ -> false)
+          items
+      in
+      if not ok then None
+      else
+        match !win with
+        | None -> None
+        | Some w ->
+          let open Ast in
+          (match
+             ( Aggregate.kind_of_name w.w_func,
+               (match w.w_args with [ a ] -> simple_col a | _ -> None),
+               w.w_order,
+               frame_of w )
+           with
+           | Some _, Some _, [ { o_expr; o_asc = true } ], Some frame ->
+             (match simple_col o_expr with
+              | Some order_col ->
+                let partition = List.map simple_col w.w_partition in
+                if List.for_all Option.is_some partition then
+                  Some
+                    {
+                      sp_view = view;
+                      sp_base = String.lowercase_ascii source;
+                      sp_partition = List.map Option.get partition;
+                      sp_order = order_col;
+                      sp_frame = frame;
+                    }
+                else None
+              | None -> None)
+           | _ -> None)
+    end
+  | _ -> None
+
+(* ---- Pairwise sharing certificate ---- *)
+
+let ob name holds detail = { ob_name = name; ob_holds = holds; ob_detail = detail }
+
+let rec is_prefix xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | x :: xs', y :: ys' -> x = y && is_prefix xs' ys'
+  | _ :: _, [] -> false
+
+let plist = function
+  | [] -> "()"
+  | cols -> "(" ^ String.concat ", " cols ^ ")"
+
+let frame_to_string = function
+  | Cumulative -> "cumulative"
+  | Sliding (l, h) -> Printf.sprintf "ROWS %d PRECEDING .. %d FOLLOWING" l h
+
+(* The obligations under which view [b] can ride [a]'s partition scan.
+   They mirror the runtime preconditions of the engine's shared
+   iterator exactly: same base table; mutually prefix-compatible (i.e.
+   equal) PARTITION BY lists — a one-sided prefix is recognized but
+   fails the obligation, since the coarser view would still need its
+   own merge pass; the same single ascending ORDER BY column; and
+   bounded per-view frames so the shared iterator carries no mutable
+   cross-view state. *)
+let certify_pair (a : scan_spec) (b : scan_spec) : obligation list =
+  let same_base = a.sp_base = b.sp_base in
+  let a_pre_b = is_prefix a.sp_partition b.sp_partition in
+  let b_pre_a = is_prefix b.sp_partition a.sp_partition in
+  let mutual = a_pre_b && b_pre_a in
+  let same_order = a.sp_order = b.sp_order in
+  [
+    ob "same-base" same_base
+      (if same_base then Printf.sprintf "both views scan %s" a.sp_base
+       else Printf.sprintf "%s scans %s, %s scans %s" a.sp_view a.sp_base
+              b.sp_view b.sp_base);
+    ob "partition-prefix-compatible" mutual
+      (if mutual then
+         Printf.sprintf "PARTITION BY %s is a mutual prefix"
+           (plist a.sp_partition)
+       else if a_pre_b || b_pre_a then
+         Printf.sprintf
+           "%s is a proper prefix of %s — the coarser view needs its own \
+            merge pass"
+           (plist (if a_pre_b then a.sp_partition else b.sp_partition))
+           (plist (if a_pre_b then b.sp_partition else a.sp_partition))
+       else
+         Printf.sprintf "PARTITION BY %s and %s share no prefix"
+           (plist a.sp_partition) (plist b.sp_partition));
+    ob "order-subsumed" same_order
+      (if same_order then
+         Printf.sprintf "one ORDER BY %s sort serves both" a.sp_order
+       else
+         Printf.sprintf "ORDER BY %s vs ORDER BY %s" a.sp_order b.sp_order);
+    ob "no-cross-view-state" true
+      (Printf.sprintf
+         "frame caches are per-view (%s vs %s); the shared iterator only \
+          carries the immutable merge"
+         (frame_to_string a.sp_frame)
+         (frame_to_string b.sp_frame));
+  ]
+
+let pair_valid obs = List.for_all (fun o -> o.ob_holds) obs
+
+let compatible a b = pair_valid (certify_pair a b)
+
+(* ---- Scan-share classes ---- *)
+
+type group = {
+  g_base : string;
+  g_members : scan_spec list;  (* in input (catalog) order *)
+  g_obligations : obligation list;
+      (* the certificate of the class: obligations of every non-leading
+         member against the class representative (vacuous for a class
+         of one) *)
+  g_diags : Diagnostic.t list;  (* RF401 advisory when shareable *)
+}
+
+let shareable g = List.length g.g_members >= 2 && pair_valid g.g_obligations
+
+let scan_key g =
+  match g.g_members with
+  | [] -> ""
+  | rep :: _ ->
+    Printf.sprintf "PARTITION BY %s ORDER BY %s" (plist rep.sp_partition)
+      rep.sp_order
+
+let make_group members =
+  let rep = List.hd members in
+  let obligations =
+    match members with
+    | [ only ] ->
+      [
+        ob "same-base" true (Printf.sprintf "single view over %s" only.sp_base);
+      ]
+    | rep :: rest -> List.concat_map (fun m -> certify_pair rep m) rest
+    | [] -> []
+  in
+  let g =
+    {
+      g_base = rep.sp_base;
+      g_members = members;
+      g_obligations = obligations;
+      g_diags = [];
+    }
+  in
+  if shareable g then
+    {
+      g with
+      g_diags =
+        [
+          Diagnostic.make ~code:"RF401"
+            ~path:[ "view" ]
+            (Printf.sprintf "redundant re-scan: views {%s} shareable over %s (%s)"
+               (String.concat ", " (List.map (fun m -> m.sp_view) members))
+               rep.sp_base (scan_key g));
+        ];
+    }
+  else g
+
+(* Group the specs into scan-share classes: first-fit against each
+   class representative, preserving input order — the same greedy
+   grouping the engine applies to its live view states. *)
+let classify (specs : scan_spec list) : group list =
+  let classes = ref [] in
+  List.iter
+    (fun s ->
+      match
+        List.find_opt (fun members -> compatible (List.hd !members) s) !classes
+      with
+      | Some members -> members := !members @ [ s ]
+      | None -> classes := !classes @ [ ref [ s ] ])
+    specs;
+  List.map (fun members -> make_group !members) !classes
+
+let diagnostics groups = List.concat_map (fun g -> g.g_diags) groups
+
+let to_string g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "scan-share class on %s (%s): %s — %s\n" g.g_base
+       (scan_key g)
+       (if shareable g then "SHARED" else "SOLO")
+       (String.concat ", " (List.map (fun m -> m.sp_view) g.g_members)));
+  List.iter
+    (fun o ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s %s: %s\n"
+           (if o.ob_holds then "ok  " else "FAIL")
+           o.ob_name o.ob_detail))
+    g.g_obligations;
+  Buffer.contents buf

@@ -1,0 +1,82 @@
+(** Static scan-sharing analysis: scan-share classes and sharing
+    certificates for sequence views.
+
+    At batch commit, every dependent sequence view of a base table
+    re-walks the same partitions; views whose PARTITION BY prefixes are
+    compatible and whose ORDER BY orders subsume each other can be
+    driven from {e one} shared partition iterator ("Optimization of
+    Analytic Window Functions" reuse rules).  This module is the static
+    certificate side, in the mold of {!Cert}/{!Ivmcert}: it re-derives
+    each view's scan footprint from its definition, groups the
+    footprints into scan-share classes, and certifies each class with
+    named obligations plus an {b RF401} advisory.
+
+    The defining lockstep property (cert-iff-runtime, enforced by
+    [test/test_share.ml]): the engine drives a set of live
+    sequence-view states from one shared iterator exactly when
+    {!classify} puts their definitions into one {!shareable} class. *)
+
+(** Same record as {!Cert.obligation}. *)
+type obligation = Cert.obligation = {
+  ob_name : string;
+  ob_holds : bool;
+  ob_detail : string;
+}
+
+(** Frame shapes a sequence view can carry (cumulative or bounded
+    sliding ROWS frames — the engine recognizes nothing else). *)
+type frame =
+  | Cumulative
+  | Sliding of int * int  (** l preceding, h following *)
+
+(** A view's scan footprint on its base table. *)
+type scan_spec = {
+  sp_view : string;
+  sp_base : string;            (** base table, lowercased *)
+  sp_partition : string list;  (** PARTITION BY columns, lowercased *)
+  sp_order : string;           (** ORDER BY column (single, ascending) *)
+  sp_frame : frame;
+}
+
+(** Extract the scan footprint of a sequence-shaped view definition;
+    [None] when the definition is not sequence-shaped.  An independent
+    structural mirror of the engine's recognizer
+    ([Rfview_engine.Matview.recognize]). *)
+val scan_spec : view:string -> Rfview_sql.Ast.query -> scan_spec option
+
+(** The obligations under which the second view can ride the first
+    view's partition scan: same-base, partition-prefix-compatible,
+    order-subsumed, no-cross-view-state. *)
+val certify_pair : scan_spec -> scan_spec -> obligation list
+
+(** All pairwise obligations hold. *)
+val compatible : scan_spec -> scan_spec -> bool
+
+(** A scan-share class: the views of one base table whose scans are
+    mutually compatible, with the class certificate and its RF401
+    advisory (present exactly when the class is {!shareable}). *)
+type group = {
+  g_base : string;
+  g_members : scan_spec list;  (** in input (catalog) order *)
+  g_obligations : obligation list;
+  g_diags : Diagnostic.t list;
+}
+
+(** Two or more members and every obligation discharged: the engine
+    shares the scan. *)
+val shareable : group -> bool
+
+(** Group the specs into scan-share classes (first-fit against each
+    class representative, input order preserved — the same greedy
+    grouping the engine applies to its live view states). *)
+val classify : scan_spec list -> group list
+
+(** The RF401 advisories of every shareable class. *)
+val diagnostics : group list -> Diagnostic.t list
+
+(** ["PARTITION BY (grp) ORDER BY pos"] of the class representative. *)
+val scan_key : group -> string
+
+(** Multi-line rendering: header with SHARED/SOLO and the member list,
+    one ["  ok ..."] / ["  FAIL ..."] line per obligation. *)
+val to_string : group -> string

@@ -57,6 +57,39 @@ let check_view_maintenance ~view ~context ~incremental ~recomputed =
             (Relation.cardinality incremental)
             (Relation.cardinality recomputed)))
 
+(* Differential validation of shared-scan view maintenance: a view
+   driven from a scan-share class's shared partition iterator must land
+   bit-for-bit (float cells compared by their IEEE bits, not by value)
+   where the per-view scan of the same delta lands.  Installed into
+   Planner.Hooks like the rewrite validator — the engine reports the
+   two renderings per view whenever verification is on. *)
+
+let value_same_bits a b =
+  match (a, b) with
+  | Value.Float x, Value.Float y ->
+    Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | _ -> Value.equal a b
+
+let check_shared_scan ~view ~shared ~per_view =
+  let ra = Relation.rows shared and rb = Relation.rows per_view in
+  let same =
+    Array.length ra = Array.length rb
+    && Array.for_all2
+         (fun a b ->
+           Row.arity a = Row.arity b
+           && List.for_all
+                (fun i -> value_same_bits (Row.get a i) (Row.get b i))
+                (List.init (Row.arity a) Fun.id))
+         ra rb
+  in
+  if not same then
+    raise
+      (Not_preserved
+         (Printf.sprintf
+            "matview %s: shared-scan maintenance diverged from the per-view \
+             scan (%d rows vs %d)"
+            view (Array.length ra) (Array.length rb)))
+
 let installed = ref false
 
 let enable () =
@@ -64,7 +97,10 @@ let enable () =
   if not !installed then begin
     installed := true;
     Hooks.validator :=
-      fun ~pass ~before ~after -> if !flag then validate ~pass ~before ~after
+      (fun ~pass ~before ~after -> if !flag then validate ~pass ~before ~after);
+    Hooks.shared_scan_validator :=
+      fun ~view ~shared ~per_view ->
+        if !flag then check_shared_scan ~view ~shared ~per_view
   end
 
 let disable () = flag := false

@@ -50,3 +50,15 @@ val check_view_maintenance :
   incremental:Rfview_relalg.Relation.t ->
   recomputed:Rfview_relalg.Relation.t ->
   unit
+
+(** The shared-scan differential validator installed into
+    {!Rfview_planner.Hooks.shared_scan_validator} by {!enable}: the
+    shared-scan rendering of a view must be {e bit-identical} (float
+    cells compared by IEEE bits) to the per-view-scan rendering of the
+    same delta.  Exposed for direct use in tests.
+    @raise Not_preserved on any difference. *)
+val check_shared_scan :
+  view:string ->
+  shared:Rfview_relalg.Relation.t ->
+  per_view:Rfview_relalg.Relation.t ->
+  unit

@@ -86,6 +86,9 @@ type config = {
   hash_join : bool;
   index_join : bool;
   degradation : degradation;
+  share_scans : bool;
+      (* drive all sequence views of a certified scan-share class from
+         one shared partition iterator during batch maintenance *)
 }
 
 let default_config =
@@ -95,6 +98,7 @@ let default_config =
     hash_join = true;
     index_join = true;
     degradation = `Quarantine;
+    share_scans = true;
   }
 
 type view_index = {
@@ -678,6 +682,72 @@ let quarantine_view db (v : Catalog.view) =
   v.Catalog.stale <- true;
   invalidate_view_indexes db v.Catalog.view_name
 
+(* ---- Scan sharing (batch maintenance) ----
+
+   Sequence views over the same base table whose live states agree on
+   the resolved (partition columns, order column) scan key keep
+   bit-identical ordered base structure, so one shared partition
+   iterator can drive them all — the redundant re-scan that
+   [Rfview_analysis.Share] flags as RF401.  Exactly like [try_derive],
+   the mechanism is certificate-gated: the runtime keys must match AND
+   the static sharing certificate over the view definitions must hold —
+   the engine never trusts one without the other. *)
+let shared_classes_for db ~table =
+  if not db.cfg.share_scans then []
+  else begin
+    let candidates =
+      List.filter_map
+        (fun (v : Catalog.view) ->
+          if
+            v.Catalog.materialized
+            && (not v.Catalog.stale)
+            && not (Hashtbl.mem db.derived_views (key v.Catalog.view_name))
+          then
+            match Hashtbl.find_opt db.view_states (key v.Catalog.view_name) with
+            | Some st when key st.Matview.spec.Matview.source = key table ->
+              Some (v, st)
+            | _ -> None
+          else None)
+        (Catalog.all_views db.catalog)
+      (* the catalog is hashed: order by name so classes, their
+         representative and the maintenance order are deterministic *)
+      |> List.sort (fun ((a : Catalog.view), _) (b, _) ->
+             compare (key a.Catalog.view_name) (key b.Catalog.view_name))
+    in
+    (* group by the runtime scan key, preserving catalog order *)
+    let classes = ref [] in
+    List.iter
+      (fun ((_, st) as member) ->
+        let k = (st.Matview.pcols, st.Matview.ocol) in
+        match List.assoc_opt k !classes with
+        | Some members -> members := member :: !members
+        | None -> classes := !classes @ [ (k, ref [ member ]) ])
+      candidates;
+    List.filter_map
+      (fun (_, members) ->
+        let members = List.rev !members in
+        if List.length members < 2 then None
+        else
+          (* the static certificate over the view definitions *)
+          let specs =
+            List.map
+              (fun ((v : Catalog.view), _) ->
+                Rfview_analysis.Share.scan_spec ~view:v.Catalog.view_name
+                  v.Catalog.definition)
+              members
+          in
+          let certified =
+            List.for_all Option.is_some specs
+            &&
+            match List.filter_map Fun.id specs with
+            | [] -> false
+            | rep :: rest ->
+              List.for_all (Rfview_analysis.Share.compatible rep) rest
+          in
+          if certified then Some members else None)
+      !classes
+  end
+
 (* Propagate one base-table change to every materialized view that
    references the table: incrementally when a sequence-view state exists,
    by full refresh otherwise.  Views under derived delta-plan
@@ -695,11 +765,72 @@ let propagate db ~table change =
       Delta.weight td >= Array.length (Catalog.table db.catalog table).Catalog.rows
     | _ -> false
   in
+  (* certificate-gated shared base scans: a consolidated batch delta
+     drives all views of a certified scan-share class from ONE shared
+     structural merge; everything else takes the per-view path below *)
+  let shared_done = Hashtbl.create 4 in
+  (match change with
+   | Rows_batch td when not wide ->
+     List.iter
+       (fun members ->
+         match
+           Matview.shared_plan
+             (List.map snd members)
+             ~inserts:td.Delta.inserted ~deletes:td.Delta.deleted
+             ~updates:td.Delta.updated
+         with
+         | exception Matview.Not_maintainable _ ->
+           (* the shared structural merge is not applicable (e.g. an
+              edited row is missing from the base structure): leave the
+              whole class to the per-view path, which reaches the same
+              verdict view by view *)
+           ()
+         | plan ->
+           List.iter
+             (fun ((v : Catalog.view), state) ->
+               Hashtbl.replace shared_done (key v.Catalog.view_name) ();
+               let maintain () =
+                 Fault.hit site_propagate;
+                 log_view db v;
+                 try
+                   let solo =
+                     if Verify.enabled () then Some (Matview.copy_state state)
+                     else None
+                   in
+                   Matview.apply_shared plan state;
+                   let rendered = Matview.render state in
+                   (match solo with
+                    | Some s ->
+                      (* differential validation: the shared scan must
+                         land bit-identically where the per-view scan
+                         lands, and both must agree with recomputation *)
+                      Matview.apply_batch s ~inserts:td.Delta.inserted
+                        ~deletes:td.Delta.deleted ~updates:td.Delta.updated;
+                      P.Hooks.validate_shared_scan ~view:v.Catalog.view_name
+                        ~shared:rendered ~per_view:(Matview.render s);
+                      Verify.check_view_maintenance ~view:v.Catalog.view_name
+                        ~context:"shared-scan batch maintenance"
+                        ~incremental:rendered
+                        ~recomputed:(run_query db v.Catalog.definition)
+                    | None -> ());
+                   v.Catalog.contents <- Some rendered;
+                   invalidate_view_indexes db v.Catalog.view_name
+                 with Matview.Not_maintainable _ -> refresh_view_full db v
+               in
+               match maintain () with
+               | () -> ()
+               | exception e
+                 when db.cfg.degradation = `Quarantine && recoverable_exn e ->
+                 quarantine_view db v)
+             members)
+       (shared_classes_for db ~table)
+   | _ -> ());
   List.iter
     (fun (v : Catalog.view) ->
       if
         v.Catalog.materialized
         && (not v.Catalog.stale)
+        && (not (Hashtbl.mem shared_done (key v.Catalog.view_name)))
         && (not (Hashtbl.mem db.derived_views (key v.Catalog.view_name)))
         && List.exists
              (fun t -> key t = key table)
@@ -1309,6 +1440,16 @@ let view_state db name =
      must reflect them *)
   flush_delta db;
   Hashtbl.find_opt db.view_states (key name)
+
+(* The certified scan-share classes a batch delta against [table] would
+   drive through one shared partition iterator — the cert-iff-runtime
+   introspection surface for the CLI and the test matrix. *)
+let share_classes db ~table =
+  flush_delta db;
+  List.map
+    (fun members ->
+      List.map (fun ((v : Catalog.view), _) -> v.Catalog.view_name) members)
+    (shared_classes_for db ~table)
 
 (* ---- Durability: checkpoint, recovery, the database directory ----
 

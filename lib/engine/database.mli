@@ -55,13 +55,18 @@ val recoverable_exn : exn -> bool
       equality predicates — how the paper's engine executed both
       Table 2 variants.  [index_join] additionally off yields pure
       nested-loop plans.
-    - [degradation]: the view-maintenance failure policy. *)
+    - [degradation]: the view-maintenance failure policy.
+    - [share_scans]: during batch maintenance, drive all sequence views
+      of a certified scan-share class (same base table, partition
+      columns and order column — {!Rfview_analysis.Share}) from one
+      shared partition iterator instead of re-scanning per view. *)
 type config = {
   window_mode : window_mode;
   window_strategy : Window.strategy;
   hash_join : bool;
   index_join : bool;
   degradation : degradation;
+  share_scans : bool;
 }
 
 (** [`Native], [Incremental], hash and index joins on, [`Quarantine]. *)
@@ -275,6 +280,16 @@ val is_stale : t -> string -> bool
 val stale_views : t -> string list
 
 val view_state : t -> string -> Matview.state option
+
+(** The certified scan-share classes (view names, ≥ 2 members each) a
+    batch delta against [table] would drive through one shared partition
+    iterator.  Non-empty only when [share_scans] is on, the views have
+    live sequence states agreeing on the runtime scan key, {e and} the
+    static {!Rfview_analysis.Share} certificate over their definitions
+    holds — the same both-or-neither gate the engine applies, so tests
+    can pair this verdict with the analysis verdict.  Flushes any open
+    batch delta first, like {!view_state}. *)
+val share_classes : t -> table:string -> string list list
 
 (** The binder/executor adapters (exposed for the advisor and tests). *)
 val binder_catalog : t -> P.Binder.catalog

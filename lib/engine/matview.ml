@@ -406,16 +406,150 @@ let apply_update st ~old_row ~new_row =
 
 let site_apply_batch = Fault.define "matview.apply_batch"
 
-let apply_partition_batch st pkey ~inserts ~deletes ~updates =
+(* Stable by arrival on equal order values, matching per-row insert_rank
+   (a new row lands after existing rows with order <= it). *)
+let sort_inserts ~ocol inserts =
+  List.stable_sort
+    (fun a b -> Value.compare (Row.get a ocol) (Row.get b ocol))
+    inserts
+
+(* Structural half of one partition's batched merge: claim one old rank
+   per delete / per in-place update, then two-pointer merge the sorted
+   inserts over the old ranks.  Depends only on the order column and the
+   ordered base rows — not on the view's value column, aggregate or
+   frame — which is what shared-scan maintenance exploits: every view of
+   a scan-share class has bit-identical [base_rows], so the merge is
+   computed once and replayed per view. *)
+let merge_structure ~ocol (base_rows : Row.t array) ~sorted_inserts ~deletes
+    ~updates =
+  let n = Array.length base_rows in
+  let status = Array.make n `Keep in
+  let claim row f =
+    let rec go k =
+      if k >= n then raise (Not_maintainable "edited row not found in view state")
+      else
+        match status.(k) with
+        | `Keep when Row.equal base_rows.(k) row -> status.(k) <- f
+        | _ -> go (k + 1)
+    in
+    go 0
+  in
+  List.iter (fun r -> claim r `Drop) deletes;
+  List.iter (fun (o, nw) -> claim o (`Set nw)) updates;
+  (* two-pointer merge over old ranks and sorted inserts *)
+  let new_rows = ref [] and n2o = ref [] in
+  let touches = ref [] and gaps = ref [] in
+  let nk = ref 0 in
+  let take row ~old_rank ~event =
+    incr nk;
+    new_rows := row :: !new_rows;
+    n2o := old_rank :: !n2o;
+    if event then touches := !nk :: !touches
+  in
+  let rec merge old_k ins =
+    if old_k > n then List.iter (fun r -> take r ~old_rank:0 ~event:true) ins
+    else
+      let old_row = base_rows.(old_k - 1) in
+      match ins with
+      | r :: rest
+        when Value.compare (Row.get r ocol) (Row.get old_row ocol) < 0 ->
+        take r ~old_rank:0 ~event:true;
+        merge old_k rest
+      | _ ->
+        (match status.(old_k - 1) with
+         | `Keep -> take old_row ~old_rank:old_k ~event:false
+         | `Set nr -> take nr ~old_rank:old_k ~event:true
+         | `Drop -> gaps := (!nk + 1) :: !gaps);
+        merge (old_k + 1) ins
+  in
+  merge 1 sorted_inserts;
+  if !nk = 0 then `Drop
+  else
+    `Edit
+      ( Array.of_list (List.rev !new_rows),
+        Array.of_list (List.rev !n2o),
+        !touches,
+        !gaps )
+
+(* Per-view half: re-extract the raw values with the view's value
+   column, mark the window spans the merge events dirtied, recompute
+   each contiguous dirty run with one pipelined span scan (clean
+   positions copy their old value under the run-local rank shift), and
+   install.  A partition at least half-dirty is recomputed outright. *)
+let apply_merge st (p : partition_state) ~rows' ~n2o ~touches ~gaps =
   let agg = core_agg st.spec.agg in
   let frame = st.spec.frame in
-  (* stable by arrival on equal order values, matching per-row
-     insert_rank (a new row lands after existing rows with order <= it) *)
-  let sorted_inserts =
-    List.stable_sort
-      (fun a b -> Value.compare (Row.get a st.ocol) (Row.get b st.ocol))
-      inserts
+  let n = Array.length p.base_rows in
+  let n' = Array.length rows' in
+  let raw' = Core.Seqdata.raw_of_array (Array.map (value_of st) rows') in
+  let lo', hi' = Core.Seqdata.complete_range frame ~n:n' in
+  let l, h =
+    match frame with
+    | Core.Frame.Sliding { l; h } -> (l, h)
+    | Core.Frame.Cumulative -> (max n' n, 0)
   in
+  let size = hi' - lo' + 1 in
+  let dirty = Array.make size false in
+  let mark lo hi =
+    for i = max lo' lo to min hi' hi do
+      dirty.(i - lo') <- true
+    done
+  in
+  List.iter (fun k -> mark (k - h) (k + l)) touches;
+  List.iter (fun g -> mark (g - h) (g + l - 1)) gaps;
+  let dirty_count =
+    Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 dirty
+  in
+  let seq' =
+    if 2 * dirty_count >= size then
+      (* the delta is wider than the view: recompute the partition *)
+      Core.Compute.sequence ~agg frame raw'
+    else begin
+      let out = Array.make size 0. in
+      for i = lo' to hi' do
+        if not dirty.(i - lo') then begin
+          let anchor = max 1 (min n' i) in
+          let s = n2o.(anchor - 1) - anchor in
+          out.(i - lo') <- Core.Seqdata.get p.seq (i + s)
+        end
+      done;
+      let i = ref lo' in
+      while !i <= hi' do
+        if not dirty.(!i - lo') then incr i
+        else begin
+          let rlo = !i in
+          let rhi = ref rlo in
+          while !rhi < hi' && dirty.(!rhi + 1 - lo') do
+            incr rhi
+          done;
+          let span =
+            match frame with
+            | Core.Frame.Sliding _ ->
+              Core.Maintain.recompute_span ~agg ~l ~h raw' ~lo:rlo ~hi:!rhi
+            | Core.Frame.Cumulative ->
+              let seed =
+                if rlo = 1 then
+                  match agg with
+                  | Core.Agg.Sum -> 0.
+                  | Core.Agg.Min | Core.Agg.Max -> Core.Agg.absent
+                else out.(rlo - 1 - lo')
+              in
+              Core.Maintain.recompute_cumulative_span ~agg raw' ~seed ~lo:rlo
+                ~hi:!rhi
+          in
+          Array.blit span 0 out (rlo - lo') (Array.length span);
+          i := !rhi + 1
+        end
+      done;
+      Core.Seqdata.make frame agg ~n:n' ~lo:lo' out
+    end
+  in
+  p.base_rows <- rows';
+  p.raw <- raw';
+  p.seq <- seq'
+
+let apply_partition_batch st pkey ~inserts ~deletes ~updates =
+  let sorted_inserts = sort_inserts ~ocol:st.ocol inserts in
   match find_partition st pkey with
   | None ->
     if deletes <> [] || updates <> [] then
@@ -423,132 +557,25 @@ let apply_partition_batch st pkey ~inserts ~deletes ~updates =
     if sorted_inserts <> [] then begin
       let rows = Array.of_list sorted_inserts in
       let raw = Core.Seqdata.raw_of_array (Array.map (value_of st) rows) in
-      let seq = Core.Compute.sequence ~agg frame raw in
+      let seq = Core.Compute.sequence ~agg:(core_agg st.spec.agg) st.spec.frame raw in
       st.parts <-
         List.sort
           (fun a b -> compare_pkey a.pkey b.pkey)
           ({ pkey; base_rows = rows; raw; seq } :: st.parts)
     end
   | Some p ->
-    let n = Array.length p.base_rows in
-    (* claim one old rank per delete / per in-place update *)
-    let status = Array.make n `Keep in
-    let claim row f =
-      let rec go k =
-        if k >= n then raise (Not_maintainable "edited row not found in view state")
-        else
-          match status.(k) with
-          | `Keep when Row.equal p.base_rows.(k) row -> status.(k) <- f
-          | _ -> go (k + 1)
-      in
-      go 0
-    in
-    List.iter (fun r -> claim r `Drop) deletes;
-    List.iter (fun (o, nw) -> claim o (`Set nw)) updates;
-    (* two-pointer merge over old ranks and sorted inserts *)
-    let new_rows = ref [] and n2o = ref [] in
-    let touches = ref [] and gaps = ref [] in
-    let nk = ref 0 in
-    let take row ~old_rank ~event =
-      incr nk;
-      new_rows := row :: !new_rows;
-      n2o := old_rank :: !n2o;
-      if event then touches := !nk :: !touches
-    in
-    let rec merge old_k ins =
-      if old_k > n then List.iter (fun r -> take r ~old_rank:0 ~event:true) ins
-      else
-        let old_row = p.base_rows.(old_k - 1) in
-        match ins with
-        | r :: rest
-          when Value.compare (Row.get r st.ocol) (Row.get old_row st.ocol) < 0 ->
-          take r ~old_rank:0 ~event:true;
-          merge old_k rest
-        | _ ->
-          (match status.(old_k - 1) with
-           | `Keep -> take old_row ~old_rank:old_k ~event:false
-           | `Set nr -> take nr ~old_rank:old_k ~event:true
-           | `Drop -> gaps := (!nk + 1) :: !gaps);
-          merge (old_k + 1) ins
-    in
-    merge 1 sorted_inserts;
-    let n' = !nk in
-    if n' = 0 then st.parts <- List.filter (fun q -> q != p) st.parts
-    else begin
-      let rows' = Array.of_list (List.rev !new_rows) in
-      let n2o = Array.of_list (List.rev !n2o) in
-      let raw' = Core.Seqdata.raw_of_array (Array.map (value_of st) rows') in
-      let lo', hi' = Core.Seqdata.complete_range frame ~n:n' in
-      let l, h =
-        match frame with
-        | Core.Frame.Sliding { l; h } -> (l, h)
-        | Core.Frame.Cumulative -> (max n' n, 0)
-      in
-      let size = hi' - lo' + 1 in
-      let dirty = Array.make size false in
-      let mark lo hi =
-        for i = max lo' lo to min hi' hi do
-          dirty.(i - lo') <- true
-        done
-      in
-      List.iter (fun k -> mark (k - h) (k + l)) !touches;
-      List.iter (fun g -> mark (g - h) (g + l - 1)) !gaps;
-      let dirty_count =
-        Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 dirty
-      in
-      let seq' =
-        if 2 * dirty_count >= size then
-          (* the delta is wider than the view: recompute the partition *)
-          Core.Compute.sequence ~agg frame raw'
-        else begin
-          let out = Array.make size 0. in
-          for i = lo' to hi' do
-            if not dirty.(i - lo') then begin
-              let anchor = max 1 (min n' i) in
-              let s = n2o.(anchor - 1) - anchor in
-              out.(i - lo') <- Core.Seqdata.get p.seq (i + s)
-            end
-          done;
-          let i = ref lo' in
-          while !i <= hi' do
-            if not dirty.(!i - lo') then incr i
-            else begin
-              let rlo = !i in
-              let rhi = ref rlo in
-              while !rhi < hi' && dirty.(!rhi + 1 - lo') do
-                incr rhi
-              done;
-              let span =
-                match frame with
-                | Core.Frame.Sliding _ ->
-                  Core.Maintain.recompute_span ~agg ~l ~h raw' ~lo:rlo ~hi:!rhi
-                | Core.Frame.Cumulative ->
-                  let seed =
-                    if rlo = 1 then
-                      match agg with
-                      | Core.Agg.Sum -> 0.
-                      | Core.Agg.Min | Core.Agg.Max -> Core.Agg.absent
-                    else out.(rlo - 1 - lo')
-                  in
-                  Core.Maintain.recompute_cumulative_span ~agg raw' ~seed ~lo:rlo
-                    ~hi:!rhi
-              in
-              Array.blit span 0 out (rlo - lo') (Array.length span);
-              i := !rhi + 1
-            end
-          done;
-          Core.Seqdata.make frame agg ~n:n' ~lo:lo' out
-        end
-      in
-      p.base_rows <- rows';
-      p.raw <- raw';
-      p.seq <- seq'
-    end
+    (match
+       merge_structure ~ocol:st.ocol p.base_rows ~sorted_inserts
+         ~deletes ~updates
+     with
+     | `Drop -> st.parts <- List.filter (fun q -> q != p) st.parts
+     | `Edit (rows', n2o, touches, gaps) ->
+       apply_merge st p ~rows' ~n2o ~touches ~gaps)
 
-let apply_batch st ~inserts ~deletes ~updates =
-  Fault.hit site_apply_batch;
-  (* updates that move a row (order or partition changed) normalize to
-     delete + insert; their inserts sort after same-order arrivals *)
+(* Group one consolidated delta by partition key (first-seen order),
+   normalizing updates that move a row (order or partition changed) to
+   delete + insert; their inserts sort after same-order arrivals. *)
+let group_edits st ~inserts ~deletes ~updates =
   let in_place, moved =
     List.partition
       (fun (o, nw) ->
@@ -558,7 +585,6 @@ let apply_batch st ~inserts ~deletes ~updates =
   in
   let deletes = deletes @ List.map fst moved in
   let inserts = inserts @ List.map snd moved in
-  (* group everything by partition key, first-seen order *)
   let groups = ref [] in
   let group_of pkey =
     match List.find_opt (fun (k, _) -> compare_pkey k pkey = 0) !groups with
@@ -583,11 +609,125 @@ let apply_batch st ~inserts ~deletes ~updates =
       let _, _, upd = group_of (pkey_of st o) in
       upd := pr :: !upd)
     in_place;
+  List.map
+    (fun (pkey, (ins, del, upd)) ->
+      (pkey, (List.rev !ins, List.rev !del, List.rev !upd)))
+    !groups
+
+let apply_batch st ~inserts ~deletes ~updates =
+  Fault.hit site_apply_batch;
   List.iter
     (fun (pkey, (ins, del, upd)) ->
-      apply_partition_batch st pkey ~inserts:(List.rev !ins)
-        ~deletes:(List.rev !del) ~updates:(List.rev !upd))
-    !groups
+      apply_partition_batch st pkey ~inserts:ins ~deletes:del ~updates:upd)
+    (group_edits st ~inserts ~deletes ~updates)
+
+(* ---- Shared-scan batched maintenance ----
+
+   All sequence views of one scan-share class (same base table, same
+   partition columns, same order column — certified by
+   Rfview_analysis.Share and re-checked here) keep bit-identical
+   [base_rows] per partition: both initialization and every maintenance
+   path are deterministic functions of the base contents and the shared
+   (partition, order) key.  So the per-view work that depends only on
+   that structure — delta grouping, claim matching, the two-pointer
+   merge and the rank map — is computed ONCE against a representative
+   state ([shared_plan]) and replayed into each view ([apply_shared]),
+   leaving per view only the value re-extraction and the dirty-span
+   sequence recompute. *)
+
+type partition_plan =
+  | P_new of Row.t array  (* no partition under this key: fresh sorted rows *)
+  | P_drop                (* the partition empties *)
+  | P_edit of {
+      rows' : Row.t array;
+      n2o : int array;
+      touches : int list;
+      gaps : int list;
+      old_len : int;  (* every member's partition must have this length *)
+    }
+
+type shared_plan = {
+  shp_pcols : int list;
+  shp_ocol : int;
+  shp_parts : (Value.t list * partition_plan) list;
+}
+
+let site_apply_shared = Fault.define "matview.apply_shared"
+
+let shared_plan states ~inserts ~deletes ~updates : shared_plan =
+  match states with
+  | [] -> invalid_arg "Matview.shared_plan: empty class"
+  | rep :: rest ->
+    List.iter
+      (fun st ->
+        if
+          st.pcols <> rep.pcols || st.ocol <> rep.ocol
+          || String.lowercase_ascii st.spec.source
+             <> String.lowercase_ascii rep.spec.source
+        then invalid_arg "Matview.shared_plan: states disagree on the scan key")
+      rest;
+    let parts =
+      List.map
+        (fun (pkey, (ins, del, upd)) ->
+          let sorted_inserts = sort_inserts ~ocol:rep.ocol ins in
+          match find_partition rep pkey with
+          | None ->
+            if del <> [] || upd <> [] then
+              raise (Not_maintainable "edited row not found in view state");
+            (pkey, P_new (Array.of_list sorted_inserts))
+          | Some p ->
+            (match
+               merge_structure ~ocol:rep.ocol p.base_rows ~sorted_inserts
+                 ~deletes:del ~updates:upd
+             with
+             | `Drop -> (pkey, P_drop)
+             | `Edit (rows', n2o, touches, gaps) ->
+               ( pkey,
+                 P_edit
+                   {
+                     rows';
+                     n2o;
+                     touches;
+                     gaps;
+                     old_len = Array.length p.base_rows;
+                   } )))
+        (group_edits rep ~inserts ~deletes ~updates)
+    in
+    { shp_pcols = rep.pcols; shp_ocol = rep.ocol; shp_parts = parts }
+
+let apply_shared (plan : shared_plan) st =
+  Fault.hit site_apply_shared;
+  if st.pcols <> plan.shp_pcols || st.ocol <> plan.shp_ocol then
+    invalid_arg "Matview.apply_shared: state disagrees with the plan's scan key";
+  let diverged () =
+    (* the member's partitions differ structurally from the
+       representative's: the class invariant is broken, fall back *)
+    raise (Not_maintainable "shared-scan state divergence")
+  in
+  List.iter
+    (fun (pkey, pplan) ->
+      match (pplan, find_partition st pkey) with
+      | P_new rows, None ->
+        if Array.length rows > 0 then begin
+          let rows = Array.copy rows in
+          let raw = Core.Seqdata.raw_of_array (Array.map (value_of st) rows) in
+          let seq =
+            Core.Compute.sequence ~agg:(core_agg st.spec.agg) st.spec.frame raw
+          in
+          st.parts <-
+            List.sort
+              (fun a b -> compare_pkey a.pkey b.pkey)
+              ({ pkey; base_rows = rows; raw; seq } :: st.parts)
+        end
+      | P_drop, Some p -> st.parts <- List.filter (fun q -> q != p) st.parts
+      | P_edit { rows'; n2o; touches; gaps; old_len }, Some p ->
+        if Array.length p.base_rows <> old_len then diverged ();
+        (* each view installs its own copy: rows arrays are mutated in
+           place by the per-row update path and must not be aliased
+           across states *)
+        apply_merge st p ~rows':(Array.copy rows') ~n2o ~touches ~gaps
+      | P_new _, Some _ | P_drop, None | P_edit _, None -> diverged ())
+    plan.shp_parts
 
 (* ---- Derived views (generalized IVM) ----
 

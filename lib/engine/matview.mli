@@ -92,6 +92,40 @@ val apply_batch :
   updates:(Row.t * Row.t) list ->
   unit
 
+(** Shared-scan batched maintenance.  Every sequence view of one
+    scan-share class (same base table, partition columns and order
+    column — certified statically by [Rfview_analysis.Share] and
+    re-checked at runtime) keeps bit-identical ordered [base_rows] per
+    partition, so the structural half of {!apply_batch} — delta
+    grouping, claim matching, the two-pointer merge and the rank map —
+    is view-independent.  {!shared_plan} computes it once against a
+    representative (the head of the class); {!apply_shared} replays it
+    into each member, leaving per view only value re-extraction and the
+    dirty-span sequence recompute.  Results are bit-identical to running
+    {!apply_batch} per view (the engine's differential validator
+    asserts this whenever verification is on). *)
+
+type shared_plan
+
+(** Compute the class's shared structural merge.
+    @raise Invalid_argument on an empty class or when the states
+    disagree on the (base, partition, order) scan key;
+    @raise Not_maintainable as {!apply_batch} would for every member
+    (an edited row missing from the shared base structure). *)
+val shared_plan :
+  state list ->
+  inserts:Row.t list ->
+  deletes:Row.t list ->
+  updates:(Row.t * Row.t) list ->
+  shared_plan
+
+(** Replay the shared merge into one member state.  Each member installs
+    its own copies of the merged row arrays (no aliasing across states).
+    @raise Not_maintainable when this member's partitions diverge
+    structurally from the plan (broken class invariant); the engine then
+    falls back to a full refresh of that member only. *)
+val apply_shared : shared_plan -> state -> unit
+
 (** Derived views (generalized IVM): immutable maintenance state for
     views beyond the sequence shape — the delta rules of
     {!Rfview_planner.Deriv} plus their source tables.  The engine

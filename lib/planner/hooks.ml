@@ -13,3 +13,15 @@ type sanitizer = catalog:Physical.catalog_view -> Logical.t -> unit
 let sanitizer : sanitizer ref = ref (fun ~catalog:_ _ -> ())
 
 let sanitize ~catalog plan = !sanitizer ~catalog plan
+
+type shared_scan_validator =
+  view:string ->
+  shared:Rfview_relalg.Relation.t ->
+  per_view:Rfview_relalg.Relation.t ->
+  unit
+
+let shared_scan_validator : shared_scan_validator ref =
+  ref (fun ~view:_ ~shared:_ ~per_view:_ -> ())
+
+let validate_shared_scan ~view ~shared ~per_view =
+  !shared_scan_validator ~view ~shared ~per_view

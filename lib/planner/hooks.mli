@@ -24,3 +24,20 @@ val sanitizer : sanitizer ref
 
 (** Invoke the installed sanitizer. *)
 val sanitize : sanitizer
+
+(** The shared-scan differential validator: when the engine maintains a
+    scan-share class of sequence views from one shared partition
+    iterator, it reports, per view, the shared-scan rendering alongside
+    a per-view-scan rendering of the same delta;
+    [Rfview_analysis.Verify.enable] installs a comparator that raises
+    unless the two are bit-identical.  The default is a no-op. *)
+type shared_scan_validator =
+  view:string ->
+  shared:Rfview_relalg.Relation.t ->
+  per_view:Rfview_relalg.Relation.t ->
+  unit
+
+val shared_scan_validator : shared_scan_validator ref
+
+(** Invoke the installed shared-scan validator. *)
+val validate_shared_scan : shared_scan_validator

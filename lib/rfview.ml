@@ -26,6 +26,7 @@ module Config = struct
     hash_join : bool;
     index_join : bool;
     degradation : degradation;
+    share_scans : bool;
   }
 
   let default = Db.default_config

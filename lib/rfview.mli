@@ -34,10 +34,14 @@ module Config : sig
     hash_join : bool;
     index_join : bool;
     degradation : degradation;
+    share_scans : bool;
+        (** drive all sequence views of a certified scan-share class
+            from one shared partition iterator during batch
+            maintenance (see {!Rfview_engine.Database.share_classes}) *)
   }
 
   (** [`Native], [Incremental], hash and index joins on,
-      [`Quarantine]. *)
+      [`Quarantine], scan sharing on. *)
   val default : t
 end
 

@@ -1,0 +1,546 @@
+(* Scan sharing: the static sharing certificates (Analysis.Share), the
+   resource interpreter (Analysis.Cost) and certificate-gated shared
+   base scans in the engine's batch maintenance.  The matrix test
+   enforces the defining lockstep property: the engine drives a set of
+   live sequence-view states from one shared partition iterator exactly
+   when Share puts their definitions into one shareable class.  The
+   qcheck property holds shared maintenance to the differential
+   standard: under random batched DML streams, a share-scans-on database
+   stays bit-identical to a share-scans-off database and to a fresh
+   evaluation of every definition. *)
+
+open Rfview_relalg
+module Db = Rfview_engine.Database
+module Parser = Rfview_sql.Parser
+module Share = Rfview_analysis.Share
+module Cost = Rfview_analysis.Cost
+module Binder = Rfview_planner.Binder
+module Diag = Rfview_analysis.Diagnostic
+
+(* Checker-verify every plan, bag-compare every maintenance step against
+   recomputation, and — the point of this suite — run the shared-scan
+   differential validator inside the engine on every shared batch. *)
+let () = Rfview_analysis.Verify.enable ()
+
+(* ---- Fixtures ---- *)
+
+let seq_ddl = "CREATE TABLE seq (grp INT, pos INT, val FLOAT)"
+
+let seq_rows =
+  "INSERT INTO seq VALUES (1, 1, 10.5), (1, 2, 20.25), (1, 3, 15.125), \
+   (2, 1, 5.75), (2, 2, 25.0), (3, 1, 7.5)"
+
+let fixture_db ?config () =
+  let db = Db.create ?config () in
+  ignore (Db.exec db seq_ddl);
+  ignore (Db.exec db seq_rows);
+  db
+
+(* The view matrix: definitions over seq plus the scan-share class each
+   should land in ([None] = not sequence-shaped, never in any class). *)
+let views =
+  [
+    ( "v_cum",
+      "SELECT grp, pos, val, SUM(val) OVER (PARTITION BY grp ORDER BY pos \
+       ROWS UNBOUNDED PRECEDING) AS s FROM seq",
+      Some "grp/pos" );
+    ( "v_mvg",
+      "SELECT grp, pos, val, AVG(val) OVER (PARTITION BY grp ORDER BY pos \
+       ROWS BETWEEN 2 PRECEDING AND CURRENT ROW) AS a FROM seq",
+      Some "grp/pos" );
+    ( "v_low",
+      "SELECT grp, pos, val, MIN(val) OVER (PARTITION BY grp ORDER BY pos \
+       ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS m FROM seq",
+      Some "grp/pos" );
+    ( "v_all",
+      "SELECT grp, pos, val, SUM(val) OVER (ORDER BY pos ROWS UNBOUNDED \
+       PRECEDING) AS s FROM seq",
+      Some "/pos" );
+    ( "v_byval",
+      "SELECT grp, pos, val, SUM(val) OVER (PARTITION BY grp ORDER BY val \
+       ROWS UNBOUNDED PRECEDING) AS s FROM seq",
+      Some "grp/val" );
+    ( "v_group",
+      "SELECT grp, SUM(val) AS total FROM seq GROUP BY grp",
+      None );
+  ]
+
+let create_views db =
+  List.iter
+    (fun (name, def, _) ->
+      ignore
+        (Db.exec db (Printf.sprintf "CREATE MATERIALIZED VIEW %s AS %s" name def)))
+    views
+
+(* ---- Bit identity (as in test_ivm) ---- *)
+
+let value_same_bits a b =
+  match (a, b) with
+  | Value.Float x, Value.Float y ->
+    Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | _ -> Value.equal a b
+
+let row_same_bits a b =
+  Row.arity a = Row.arity b
+  && List.for_all
+       (fun i -> value_same_bits (Row.get a i) (Row.get b i))
+       (List.init (Row.arity a) Fun.id)
+
+let bit_identical a b =
+  let rows r = Array.to_list (Relation.rows (Relation.sorted_by_all r)) in
+  let ra = rows a and rb = rows b in
+  List.length ra = List.length rb && List.for_all2 row_same_bits ra rb
+
+let check_view db name def =
+  if
+    not
+      (bit_identical
+         (Db.query db (Printf.sprintf "SELECT * FROM %s" name))
+         (Db.query db def))
+  then Alcotest.failf "%s diverged from a fresh evaluation of its definition" name
+
+(* ---- Static certificates ---- *)
+
+let contains_sub ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let spec_of name def =
+  Share.scan_spec ~view:name (Parser.query def)
+
+let test_scan_spec () =
+  List.iter
+    (fun (name, def, expect) ->
+      match (spec_of name def, expect) with
+      | None, None -> ()
+      | Some sp, Some _ ->
+        Alcotest.(check string) (name ^ " base") "seq" sp.Share.sp_base
+      | Some _, None -> Alcotest.failf "%s: unexpectedly sequence-shaped" name
+      | None, Some _ -> Alcotest.failf "%s: scan_spec missed the sequence shape" name)
+    views;
+  (* a RANGE frame is outside the sequence shape *)
+  Alcotest.(check bool)
+    "RANGE frame rejected" true
+    (spec_of "v"
+       "SELECT grp, pos, SUM(val) OVER (PARTITION BY grp ORDER BY pos RANGE \
+        BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW) AS s FROM seq"
+    = None)
+
+let test_certify_pair () =
+  let get name =
+    let _, def, _ = List.find (fun (n, _, _) -> n = name) views in
+    Option.get (spec_of name def)
+  in
+  let holds ob_name obs =
+    match List.find_opt (fun o -> o.Share.ob_name = ob_name) obs with
+    | Some o -> o.Share.ob_holds
+    | None -> Alcotest.failf "obligation %s missing" ob_name
+  in
+  let compat = Share.certify_pair (get "v_cum") (get "v_mvg") in
+  List.iter
+    (fun name -> Alcotest.(check bool) ("compatible: " ^ name) true (holds name compat))
+    [
+      "same-base";
+      "partition-prefix-compatible";
+      "order-subsumed";
+      "no-cross-view-state";
+    ];
+  Alcotest.(check bool) "compatible pair" true
+    (Share.compatible (get "v_cum") (get "v_mvg"));
+  (* a coarser PARTITION BY prefix needs its own merge pass *)
+  let coarser = Share.certify_pair (get "v_cum") (get "v_all") in
+  Alcotest.(check bool) "proper prefix fails" false
+    (holds "partition-prefix-compatible" coarser);
+  (* a different ORDER BY column is not order-subsumed *)
+  let reordered = Share.certify_pair (get "v_cum") (get "v_byval") in
+  Alcotest.(check bool) "different order fails" false
+    (holds "order-subsumed" reordered)
+
+let test_classify () =
+  let specs =
+    List.filter_map (fun (name, def, _) -> spec_of name def) views
+  in
+  let groups = Share.classify specs in
+  let members g = List.map (fun sp -> sp.Share.sp_view) g.Share.g_members in
+  Alcotest.(check (list (list string)))
+    "scan-share classes"
+    [ [ "v_cum"; "v_mvg"; "v_low" ]; [ "v_all" ]; [ "v_byval" ] ]
+    (List.map members groups);
+  Alcotest.(check (list bool))
+    "shareable verdicts" [ true; false; false ]
+    (List.map Share.shareable groups);
+  match Share.diagnostics groups with
+  | [ d ] ->
+    Alcotest.(check string) "advisory code" "RF401" d.Diag.code;
+    List.iter
+      (fun name ->
+        Alcotest.(check bool) (name ^ " named in RF401") true
+          (contains_sub ~sub:name d.Diag.message))
+      [ "v_cum"; "v_mvg"; "v_low" ]
+  | ds -> Alcotest.failf "expected exactly one RF401, got %d" (List.length ds)
+
+(* ---- Cert iff runtime ----
+
+   [Db.share_classes] must list exactly the classes that are BOTH
+   runtime-eligible (live sequence states agreeing on the scan key) and
+   statically certified — and flipping [share_scans] off empties it
+   without changing any view's contents. *)
+
+let test_cert_iff_runtime () =
+  let db = fixture_db () in
+  create_views db;
+  (* every sequence-shaped view got a live state; the GROUP BY view
+     must be under derived maintenance instead *)
+  List.iter
+    (fun (name, _, expect_seq) ->
+      Alcotest.(check bool)
+        (name ^ " has a sequence state")
+        (expect_seq <> None)
+        (Db.view_state db name <> None))
+    views;
+  Alcotest.(check (list (list string)))
+    "engine share classes" [ [ "v_cum"; "v_low"; "v_mvg" ] ]
+    (Db.share_classes db ~table:"seq");
+  (* lockstep with the static side: the engine's classes are exactly
+     the shareable classes of the live views' definitions *)
+  let static_shared =
+    Share.classify
+      (List.filter_map
+         (fun (name, def, _) ->
+           if Db.view_state db name <> None then spec_of name def else None)
+         views)
+    |> List.filter Share.shareable
+    |> List.map (fun g ->
+           List.sort compare
+             (List.map (fun sp -> sp.Share.sp_view) g.Share.g_members))
+  in
+  Alcotest.(check (list (list string)))
+    "cert iff runtime" static_shared
+    (Db.share_classes db ~table:"seq");
+  (* no classes against an unrelated table *)
+  ignore (Db.exec db "CREATE TABLE other (k INT)");
+  Alcotest.(check (list (list string)))
+    "no classes for other tables" []
+    (Db.share_classes db ~table:"other");
+  (* the config gate *)
+  Db.reconfigure db { (Db.config db) with Db.share_scans = false };
+  Alcotest.(check (list (list string)))
+    "share_scans off" []
+    (Db.share_classes db ~table:"seq")
+
+(* A quarantined / stale member must drop out of the class. *)
+let test_stale_member_leaves_class () =
+  let db = fixture_db () in
+  create_views db;
+  ignore (Db.exec db "DROP VIEW v_low");
+  Alcotest.(check (list (list string)))
+    "class shrinks" [ [ "v_cum"; "v_mvg" ] ]
+    (Db.share_classes db ~table:"seq");
+  ignore (Db.exec db "DROP VIEW v_mvg");
+  Alcotest.(check (list (list string)))
+    "singleton is not a class" []
+    (Db.share_classes db ~table:"seq")
+
+(* ---- Shared maintenance correctness (directed) ---- *)
+
+let batch_steps =
+  [
+    [ "INSERT INTO seq VALUES (1, 4, 30.5), (2, 3, 12.25), (4, 1, 9.0)" ];
+    [
+      "UPDATE seq SET val = val + 0.125 WHERE grp = 1";
+      "DELETE FROM seq WHERE grp = 2 AND pos = 1";
+    ];
+    [
+      "INSERT INTO seq VALUES (1, 0, 2.5)";
+      "UPDATE seq SET pos = 9 WHERE grp = 3 AND pos = 1" (* order move *);
+      "UPDATE seq SET grp = 4 WHERE grp = 1 AND pos = 4" (* partition move *);
+    ];
+    [ "DELETE FROM seq WHERE grp = 4" ];
+  ]
+
+let run_steps db =
+  List.iter
+    (fun stmts ->
+      match stmts with
+      | [ sql ] -> ignore (Db.exec db sql)
+      | stmts ->
+        Db.with_batch db (fun () ->
+            List.iter (fun sql -> ignore (Db.exec db sql)) stmts))
+    batch_steps
+
+let test_shared_batch_maintenance () =
+  let db = fixture_db () in
+  create_views db;
+  run_steps db;
+  List.iter (fun (name, def, _) -> check_view db name def) views;
+  (* the class survived the whole stream (no quarantine, no fallback) *)
+  Alcotest.(check (list (list string)))
+    "class intact after DML" [ [ "v_cum"; "v_low"; "v_mvg" ] ]
+    (Db.share_classes db ~table:"seq")
+
+let test_share_scans_off_equivalent () =
+  let on = fixture_db () in
+  let off =
+    fixture_db ~config:{ Db.default_config with Db.share_scans = false } ()
+  in
+  create_views on;
+  create_views off;
+  run_steps on;
+  run_steps off;
+  List.iter
+    (fun (name, _, _) ->
+      let sql = Printf.sprintf "SELECT * FROM %s" name in
+      if not (bit_identical (Db.query on sql) (Db.query off sql)) then
+        Alcotest.failf "%s: shared and per-view maintenance disagree" name)
+    views
+
+(* The installed differential validator itself: bit-equal relations
+   pass, a single flipped float bit fails. *)
+let test_shared_scan_validator () =
+  let schema = Schema.make [ Schema.column "x" Dtype.Float ] in
+  let rel v = Relation.make schema [ Row.make [ Value.Float v ] ] in
+  Rfview_analysis.Verify.check_shared_scan ~view:"v" ~shared:(rel 1.5)
+    ~per_view:(rel 1.5);
+  Alcotest.check_raises "divergence raises"
+    (Rfview_analysis.Verify.Not_preserved
+       "matview v: shared-scan maintenance diverged from the per-view scan \
+        (1 rows vs 1)")
+    (fun () ->
+      Rfview_analysis.Verify.check_shared_scan ~view:"v" ~shared:(rel 1.5)
+        ~per_view:(rel (Int64.float_of_bits (Int64.succ (Int64.bits_of_float 1.5)))))
+
+(* ---- Cost interpreter ---- *)
+
+let cost_of db ?budget ?env sql =
+  let logical = Binder.bind_query (Db.binder_catalog db) (Parser.query sql) in
+  let env =
+    match env with
+    | Some e -> e
+    | None ->
+      let cat = Db.catalog_view db in
+      fun name ->
+        (try Some (cat.Rfview_planner.Physical.table_contents name)
+         with _ -> None)
+  in
+  Cost.analyze ~env ?budget logical
+
+let test_cost_bounded_frames () =
+  let db = fixture_db () in
+  (* cumulative: w+2 = 2 resident rows, no diagnostics *)
+  let r =
+    cost_of db
+      "SELECT grp, pos, SUM(val) OVER (PARTITION BY grp ORDER BY pos ROWS \
+       UNBOUNDED PRECEDING) AS s FROM seq"
+  in
+  Alcotest.(check (list string)) "cumulative: no diags" []
+    (List.map (fun d -> d.Diag.code) r.Cost.diags);
+  Alcotest.(check bool) "cumulative: bounded" true (r.Cost.total_bytes <> None);
+  (match r.Cost.ops with
+   | [ op ] ->
+     Alcotest.(check int) "cumulative: w+2 cache" 2 op.Cost.oc_state_rows.lo
+   | ops -> Alcotest.failf "expected one stateful op, got %d" (List.length ops));
+  (* sliding l..h: w+2 = l+h+3 resident rows (capped by the input) *)
+  let r =
+    cost_of db
+      "SELECT grp, pos, SUM(val) OVER (PARTITION BY grp ORDER BY pos ROWS \
+       BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS s FROM seq"
+  in
+  Alcotest.(check (list string)) "sliding: no diags" []
+    (List.map (fun d -> d.Diag.code) r.Cost.diags)
+
+let test_cost_rf402_rf403 () =
+  let db = fixture_db () in
+  let range_sql =
+    "SELECT grp, pos, SUM(val) OVER (PARTITION BY grp ORDER BY pos RANGE \
+     BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW) AS s FROM seq"
+  in
+  (* RANGE: whole partition resident -> RF402; contents known, so the
+     footprint is still bounded and a tiny budget adds RF403 *)
+  let r = cost_of db range_sql in
+  Alcotest.(check (list string)) "RF402 fires" [ "RF402" ]
+    (List.map (fun d -> d.Diag.code) r.Cost.diags);
+  let r = cost_of db ~budget:10 range_sql in
+  Alcotest.(check (list string)) "RF402 + RF403 under a tiny budget"
+    [ "RF402"; "RF403" ]
+    (List.sort compare (List.map (fun d -> d.Diag.code) r.Cost.diags));
+  (* unknown contents: the partition state cannot be bounded at all *)
+  let r = cost_of db ~env:(fun _ -> None) range_sql in
+  Alcotest.(check bool) "unknown contents: unbounded" true
+    (r.Cost.total_bytes = None);
+  Alcotest.(check bool) "unknown contents: RF403" true
+    (List.exists (fun d -> d.Diag.code = "RF403") r.Cost.diags);
+  (* streaming plans hold nothing *)
+  let r = cost_of db "SELECT grp FROM seq WHERE val > 0" in
+  Alcotest.(check (list string)) "streaming: stateless" []
+    (List.map (fun (o : Cost.op_cost) -> o.Cost.oc_op) r.Cost.ops);
+  Alcotest.(check bool) "streaming: zero bytes" true (r.Cost.total_bytes = Some 0)
+
+(* ---- Random batched DML streams (qcheck) ---- *)
+
+type share_op =
+  | Ins of int * int * int  (* grp, pos, val tenths *)
+  | Del of int * int        (* grp, pos *)
+  | Bump of int             (* grp: val += 0.125 *)
+  | Move_pos of int * int * int  (* grp, pos, new pos *)
+  | Move_grp of int * int * int  (* grp, pos, new grp *)
+
+let sql_of_op = function
+  | Ins (g, p, v) ->
+    Printf.sprintf "INSERT INTO seq VALUES (%d, %d, %d.125)" g p v
+  | Del (g, p) ->
+    Printf.sprintf "DELETE FROM seq WHERE grp = %d AND pos = %d" g p
+  | Bump g -> Printf.sprintf "UPDATE seq SET val = val + 0.125 WHERE grp = %d" g
+  | Move_pos (g, p, p') ->
+    Printf.sprintf "UPDATE seq SET pos = %d WHERE grp = %d AND pos = %d" p' g p
+  | Move_grp (g, p, g') ->
+    Printf.sprintf "UPDATE seq SET grp = %d WHERE grp = %d AND pos = %d" g' g p
+
+let arb_share_stream =
+  QCheck.make
+    ~print:(fun chunks ->
+      String.concat " | "
+        (List.map
+           (fun ops -> String.concat "; " (List.map sql_of_op ops))
+           chunks))
+    QCheck.Gen.(
+      let grp = int_range 1 3 and pos = int_range 1 6 in
+      let op =
+        frequency
+          [
+            (4, map (fun ((g, p), v) -> Ins (g, p, v)) (pair (pair grp pos) (int_range (-9) 9)));
+            (2, map (fun (g, p) -> Del (g, p)) (pair grp pos));
+            (2, map (fun g -> Bump g) grp);
+            (1, map (fun ((g, p), p') -> Move_pos (g, p, p')) (pair (pair grp pos) (int_range 1 9)));
+            (1, map (fun ((g, p), g') -> Move_grp (g, p, g')) (pair (pair grp pos) grp));
+          ]
+      in
+      list_size (int_range 1 4) (list_size (int_range 1 5) op))
+
+(* The §2.3 sequence machinery assumes unique (partition, order) keys —
+   a duplicate order key makes the maintained equal-key order diverge
+   from recomputation's stable sort (a long-standing, documented
+   limitation; see the matrix note in test_ivm.ml).  The interpreter
+   below replays a raw stream against an occupancy model so every
+   executed statement keeps keys unique: colliding inserts slide to a
+   free position, colliding moves are dropped.  Inserts and deletes of
+   duplicate keys are fine (a fresh row is appended physically last,
+   matching the stable recompute sort) — only a *move* (normalized by
+   the engine to delete + reinsert while the row keeps its physical
+   slot) must land on an order key that is free both in the target
+   partition and globally: v_all has no PARTITION BY, so its order key
+   is pos across the whole table. *)
+let concretize chunks =
+  let occupied = Hashtbl.create 16 in
+  let pos_count = Hashtbl.create 16 in
+  let pcount p = try Hashtbl.find pos_count p with Not_found -> 0 in
+  let add g p =
+    Hashtbl.replace occupied (g, p) ();
+    Hashtbl.replace pos_count p (pcount p + 1)
+  in
+  let remove g p =
+    Hashtbl.remove occupied (g, p);
+    Hashtbl.replace pos_count p (pcount p - 1)
+  in
+  List.iter
+    (fun (g, p) -> add g p)
+    [ (1, 1); (1, 2); (1, 3); (2, 1); (2, 2); (3, 1) ];
+  let mem g p = Hashtbl.mem occupied (g, p) in
+  List.map
+    (List.filter_map (fun op ->
+         match op with
+         | Ins (g, p, v) ->
+           let p = ref p in
+           while mem g !p do
+             p := !p + 7
+           done;
+           add g !p;
+           Some (sql_of_op (Ins (g, !p, v)))
+         | Del (g, p) ->
+           if mem g p then remove g p;
+           Some (sql_of_op op)
+         | Bump _ ->
+           (* val-only update: applied in place, never reorders *)
+           Some (sql_of_op op)
+         | Move_pos (g, p, p') ->
+           if mem g p && pcount p' = 0 && p <> p' then begin
+             remove g p;
+             add g p';
+             Some (sql_of_op op)
+           end
+           else None
+         | Move_grp (g, p, g') ->
+           (* reinserts at the same pos: only safe if this row is the
+              sole holder of pos table-wide (v_all's order key) *)
+           if mem g p && (not (mem g' p)) && pcount p = 1 && g <> g' then begin
+             remove g p;
+             add g' p;
+             Some (sql_of_op op)
+           end
+           else None))
+    chunks
+
+let prop_shared_stream chunks =
+  let on = fixture_db () in
+  let off =
+    fixture_db ~config:{ Db.default_config with Db.share_scans = false } ()
+  in
+  create_views on;
+  create_views off;
+  List.for_all
+    (fun stmts ->
+      let run db =
+        match stmts with
+        | [ sql ] -> ignore (Db.exec db sql)
+        | stmts ->
+          Db.with_batch db (fun () ->
+              List.iter (fun sql -> ignore (Db.exec db sql)) stmts)
+      in
+      run on;
+      run off;
+      List.for_all
+        (fun (name, def, _) ->
+          let sql = Printf.sprintf "SELECT * FROM %s" name in
+          bit_identical (Db.query on sql) (Db.query off sql)
+          && bit_identical (Db.query on sql) (Db.query on def))
+        views)
+    (List.filter (fun stmts -> stmts <> []) (concretize chunks))
+
+let () =
+  Alcotest.run "share"
+    [
+      ( "certificates",
+        [
+          Alcotest.test_case "scan specs" `Quick test_scan_spec;
+          Alcotest.test_case "pairwise obligations" `Quick test_certify_pair;
+          Alcotest.test_case "classification + RF401" `Quick test_classify;
+        ] );
+      ( "cert iff runtime",
+        [
+          Alcotest.test_case "engine matches certificates" `Quick
+            test_cert_iff_runtime;
+          Alcotest.test_case "dropped member leaves class" `Quick
+            test_stale_member_leaves_class;
+        ] );
+      ( "shared maintenance",
+        [
+          Alcotest.test_case "batched DML, validated" `Quick
+            test_shared_batch_maintenance;
+          Alcotest.test_case "share_scans off is equivalent" `Quick
+            test_share_scans_off_equivalent;
+          Alcotest.test_case "differential validator" `Quick
+            test_shared_scan_validator;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "bounded frames" `Quick test_cost_bounded_frames;
+          Alcotest.test_case "RF402 / RF403" `Quick test_cost_rf402_rf403;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest
+            (QCheck.Test.make ~count:40
+               ~name:"random batched DML: shared == per-view == refresh"
+               arb_share_stream prop_shared_stream);
+        ] );
+    ]
