@@ -1,4 +1,4 @@
-.PHONY: all build test lint analyze chaos crash-chaos replica-chaos storage-chaos scrub-smoke bench-smoke check clean
+.PHONY: all build test lint analyze chaos crash-chaos replica-chaos storage-chaos scrub-smoke mvcc-chaos serve-smoke bench-smoke check clean
 
 all: build
 
@@ -66,6 +66,36 @@ scrub-smoke:
 	dune exec bin/rfview.exe -- scrub _scrub_smoke
 	rm -rf _scrub_smoke
 
+# MVCC + server suites at 1 and 4 worker domains: snapshot isolation,
+# the retained-version window, the concurrent snapshot chaos matrix
+# (every read a true historical state at its reported LSN), the domain
+# pool, and socket round-trips with concurrent clients.
+mvcc-chaos:
+	RFVIEW_TEST_DOMAINS=1 dune exec test/test_mvcc.exe
+	RFVIEW_TEST_DOMAINS=1 dune exec test/test_server.exe
+	RFVIEW_TEST_DOMAINS=4 dune exec test/test_mvcc.exe
+	RFVIEW_TEST_DOMAINS=4 dune exec test/test_server.exe
+
+# End-to-end server smoke over a real durable fixture: build a database
+# from the quickstart script, serve it on a fixed port, run three
+# client round-trips (`rfview call`), and shut the server down cleanly.
+serve-smoke:
+	rm -rf _serve_smoke
+	dune build bin/rfview.exe
+	./_build/default/bin/rfview.exe run examples/sql/quickstart.sql \
+	  --db _serve_smoke > /dev/null
+	./_build/default/bin/rfview.exe serve _serve_smoke --port 7491 & \
+	  srv=$$!; \
+	  for i in 1 2 3 4 5 6 7 8 9 10; do \
+	    if ./_build/default/bin/rfview.exe call 7491 ping \
+	      >/dev/null 2>&1; then break; fi; sleep 0.5; \
+	  done; \
+	  ./_build/default/bin/rfview.exe call 7491 ping status \
+	    "query SELECT * FROM seq" && \
+	  ./_build/default/bin/rfview.exe call 7491 shutdown && \
+	  wait $$srv
+	rm -rf _serve_smoke
+
 # Scaled-down run of the delta-maintenance experiment (batched vs
 # per-row vs full-refresh propagation): asserts the modes agree
 # bit-for-bit, writes BENCH_delta.json, and fails unless the report is
@@ -73,8 +103,9 @@ scrub-smoke:
 # plans vs full refresh on join/GROUP BY views), writing BENCH_IVM.json,
 # the scan-sharing experiment (certified shared base scans vs per-view
 # batched maintenance, bit-identical fingerprints), writing
-# BENCH_share.json, and the replica experiment, all under the same
-# checks.
+# BENCH_share.json, the replica experiment, and the concurrent-serving
+# experiment (snapshot-read fan-out + wrong-read chaos), writing
+# BENCH_serve.json, all under the same checks.
 bench-smoke:
 	dune exec bench/main.exe -- delta --smoke
 	@grep -q '"acceptance"' BENCH_delta.json && grep -q '"speedup"' BENCH_delta.json \
@@ -88,8 +119,11 @@ bench-smoke:
 	dune exec bench/main.exe -- replica --smoke
 	@grep -q '"acceptance"' BENCH_replica.json && grep -q '"speedup"' BENCH_replica.json \
 	  && echo "BENCH_replica.json well-formed"
+	dune exec bench/main.exe -- serve --smoke
+	@grep -q '"acceptance"' BENCH_serve.json && grep -q '"speedup"' BENCH_serve.json \
+	  && echo "BENCH_serve.json well-formed"
 
-check: build test lint analyze chaos crash-chaos replica-chaos storage-chaos scrub-smoke bench-smoke
+check: build test lint analyze chaos crash-chaos replica-chaos storage-chaos scrub-smoke mvcc-chaos serve-smoke bench-smoke
 
 clean:
 	dune clean

@@ -25,21 +25,35 @@
      sequence views vs per-view batched maintenance (writes
      BENCH_share.json).
 
+   - Concurrent serving: MVCC snapshot-read fan-out across reader
+     domains, wire round-trips, and a wrong-read chaos check (writes
+     BENCH_serve.json).
+
    Usage: main.exe
-   [table1|table2|ablations|delta|delta-ivm|share|replica|bechamel|all]
+   [table1|table2|ablations|delta|delta-ivm|share|replica|serve|bechamel|all]
    [--full] [--smoke]
    --full uses the paper's original row counts (slow: the unindexed self
    join is quadratic); --smoke shrinks the delta experiment to a
    seconds-long CI check. *)
 
 module Core = Rfview_core
-module Db = Rfview_engine.Database
+module Config = Rfview.Config
 module Session = Rfview.Session
+module Snapshot = Rfview.Snapshot
 module Fault = Rfview_engine.Fault
 module Seqgen = Rfview_workload.Seqgen
 module Chaos = Rfview_workload.Chaos
 module Prng = Rfview_workload.Prng
 open Rfview_relalg
+
+(* The bench drives the typed façade only; the engine handle stays
+   behind [Session]. *)
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith (Session.describe_error e)
+
+let sexec s sql = ignore (ok (Session.exec s sql))
+let squery s sql = ok (Session.query s sql)
 
 (* ---- Timing ---- *)
 
@@ -111,27 +125,27 @@ let run_table1 ~sizes =
       let native_sql = Core.Sqlgen.native_window table1_frame in
       let self_sql = Core.Sqlgen.fig2_self_join table1_frame in
       let with_db ~indexed f =
-        let db = Db.create () in
-        Seqgen.create_seq_table ~indexed db values;
-        f db
+        let s = Session.open_in_memory () in
+        Seqgen.create_seq_table_session ~indexed s values;
+        Fun.protect ~finally:(fun () -> Session.close s) (fun () -> f s)
       in
       let t_native =
-        with_db ~indexed:false (fun db ->
-            verify_table1 values (Db.query db native_sql);
-            measure (fun () -> Db.query db native_sql))
+        with_db ~indexed:false (fun s ->
+            verify_table1 values (squery s native_sql);
+            measure (fun () -> squery s native_sql))
       in
       let t_self =
-        with_db ~indexed:false (fun db ->
-            verify_table1 values (Db.query db self_sql);
-            measure (fun () -> Db.query db self_sql))
+        with_db ~indexed:false (fun s ->
+            verify_table1 values (squery s self_sql);
+            measure (fun () -> squery s self_sql))
       in
       let t_native_idx =
-        with_db ~indexed:true (fun db -> measure (fun () -> Db.query db native_sql))
+        with_db ~indexed:true (fun s -> measure (fun () -> squery s native_sql))
       in
       let t_self_idx =
-        with_db ~indexed:true (fun db ->
-            verify_table1 values (Db.query db self_sql);
-            measure (fun () -> Db.query db self_sql))
+        with_db ~indexed:true (fun s ->
+            verify_table1 values (squery s self_sql);
+            measure (fun () -> squery s self_sql))
       in
       row_line
         [ Printf.sprintf "%7d" n; "  " ^ fmt_time t_native; "  " ^ fmt_time t_self;
@@ -182,20 +196,21 @@ let run_table2_variant ~sizes ~hash_joins =
       let raw = Core.Seqdata.raw_of_array values in
       let view = Core.Compute.sequence t2_view_frame raw in
       let run variant =
-        let db =
-          Db.create
+        let s =
+          Session.open_in_memory
             ~config:
               {
-                Db.default_config with
-                Db.hash_join = hash_joins;
+                Config.default with
+                hash_join = hash_joins;
                 index_join = hash_joins;
               }
             ()
         in
-        Seqgen.create_matseq_table ~indexed:true db view;
+        Seqgen.create_matseq_table_session ~indexed:true s view;
         let sql = t2_sql variant in
-        verify_table2 values (Db.query db sql);
-        measure (fun () -> Db.query db sql)
+        verify_table2 values (squery s sql);
+        Fun.protect ~finally:(fun () -> Session.close s)
+          (fun () -> measure (fun () -> squery s sql))
       in
       let tmd = run `Maxoa_disj in
       let tmu = run `Maxoa_union in
@@ -331,8 +346,7 @@ let delta_view_sqls =
    batched maintenance can be compared bit for bit. *)
 let delta_session ~views ~n0 ~seed =
   let s = Session.open_in_memory () in
-  let db = Session.database s in
-  ignore (Db.exec db "CREATE TABLE seq (pos INT, val FLOAT)");
+  sexec s "CREATE TABLE seq (pos INT, val FLOAT)";
   let rng = Prng.create ~seed in
   let rows =
     Array.init n0 (fun i ->
@@ -341,9 +355,9 @@ let delta_session ~views ~n0 ~seed =
           Value.Float (float_of_int (Prng.int_range rng ~lo:(-50) ~hi:50));
         |])
   in
-  Db.load_table db ~table:"seq" rows;
+  Session.load_table s ~table:"seq" rows;
   List.iteri
-    (fun i (_, sql) -> if i < views then ignore (Db.exec db sql))
+    (fun i (_, sql) -> if i < views then sexec s sql)
     delta_view_sqls;
   s
 
@@ -380,21 +394,21 @@ let run_delta ~smoke =
   Printf.printf
     "base table: %d rows; views: cumulative SUM, SUM(2,1), MIN(3,0), AVG(1,1)\n\n"
     n0;
-  let apply_per_row db stmts = List.iter (fun sql -> ignore (Db.exec db sql)) stmts in
-  let apply_batched db stmts =
-    Db.with_batch db (fun () -> List.iter (fun sql -> ignore (Db.exec db sql)) stmts)
+  let apply_per_row s stmts = List.iter (fun sql -> sexec s sql) stmts in
+  let apply_batched s stmts =
+    Session.with_batch s (fun () -> List.iter (fun sql -> sexec s sql) stmts)
   in
-  let apply_full_refresh db stmts views =
+  let apply_full_refresh s stmts views =
     (* quarantine the views up front (armed propagation), then one full
        REFRESH per view at the end — the §2.3 baseline *)
     Fault.arm "database.propagate_view" Fault.Always;
     Fun.protect
       ~finally:(fun () -> Fault.disarm "database.propagate_view")
-      (fun () -> List.iter (fun sql -> ignore (Db.exec db sql)) stmts);
+      (fun () -> List.iter (fun sql -> sexec s sql) stmts);
     List.iteri
       (fun i (name, _) ->
         if i < views then
-          ignore (Db.exec db (Printf.sprintf "REFRESH MATERIALIZED VIEW %s" name)))
+          sexec s (Printf.sprintf "REFRESH MATERIALIZED VIEW %s" name))
       delta_view_sqls
   in
   let run_case ~b ~views =
@@ -402,27 +416,25 @@ let run_delta ~smoke =
     let stmts = delta_inserts ~n0 ~b ~seed in
     let setup () = delta_session ~views ~n0 ~seed in
     let t_row, s_row =
-      delta_time ~repeat setup (fun s -> apply_per_row (Session.database s) stmts)
+      delta_time ~repeat setup (fun s -> apply_per_row s stmts)
     in
     let t_batch, s_batch =
-      delta_time ~repeat setup (fun s -> apply_batched (Session.database s) stmts)
+      delta_time ~repeat setup (fun s -> apply_batched s stmts)
     in
     let t_full, s_full =
-      delta_time ~repeat setup (fun s ->
-          apply_full_refresh (Session.database s) stmts views)
+      delta_time ~repeat setup (fun s -> apply_full_refresh s stmts views)
     in
     (* per-row vs batched must be bit-identical, incremental states and
        all; the full-refresh baseline legitimately drops incremental
        state (quarantine + REFRESH), so it is compared logically *)
-    let fp_row = Chaos.fingerprint (Session.database s_row) in
-    let fp_batch = Chaos.fingerprint (Session.database s_batch) in
+    let fp_row = Chaos.fingerprint_session s_row in
+    let fp_batch = Chaos.fingerprint_session s_batch in
     if fp_row <> fp_batch then
       failwith
         (Printf.sprintf
            "delta: per-row and batched states differ (B=%d, views=%d)" b views);
     let logical s =
-      let db = Session.database s in
-      let dump sql = Relation.render (Relation.sorted_by_all (Db.query db sql)) in
+      let dump sql = Relation.render (Relation.sorted_by_all (squery s sql)) in
       dump "SELECT * FROM seq"
       ^ String.concat ""
           (List.filteri (fun i _ -> i < views) delta_view_sqls
@@ -550,9 +562,8 @@ let ivm_view_sqls =
    strategies' final states can be compared by rendered value. *)
 let ivm_session ~views ~n0 ~seed =
   let s = Session.open_in_memory () in
-  let db = Session.database s in
-  ignore (Db.exec db "CREATE TABLE fact (k INT, grp INT, amount FLOAT)");
-  ignore (Db.exec db "CREATE TABLE dim (g INT, label VARCHAR)");
+  sexec s "CREATE TABLE fact (k INT, grp INT, amount FLOAT)";
+  sexec s "CREATE TABLE dim (g INT, label VARCHAR)";
   let rng = Prng.create ~seed in
   let rows =
     Array.init n0 (fun i ->
@@ -562,13 +573,13 @@ let ivm_session ~views ~n0 ~seed =
           Value.Float (float_of_int (Prng.int_range rng ~lo:(-50) ~hi:50));
         |])
   in
-  Db.load_table db ~table:"fact" rows;
-  Db.load_table db ~table:"dim"
+  Session.load_table s ~table:"fact" rows;
+  Session.load_table s ~table:"dim"
     (Array.init 100 (fun g -> [| Value.Int g; Value.String (Printf.sprintf "g%d" g) |]));
-  List.iter (fun (_, sql) -> ignore (Db.exec db sql)) views;
+  List.iter (fun (_, sql) -> sexec s sql) views;
   List.iter
     (fun (name, _) ->
-      if not (Db.is_derived_maintained db name) then
+      if not (Session.is_derived_maintained s name) then
         failwith (Printf.sprintf "delta-ivm: %s did not derive" name))
     views;
   s
@@ -609,33 +620,27 @@ let run_delta_ivm ~smoke =
      avoided aggregation and contents rebuild *)
   let run_case (name, sql) =
     let views = [ (name, sql) ] in
-    let apply db = List.iter (fun sql -> ignore (Db.exec db sql)) stmts in
+    let apply s = List.iter (fun sql -> sexec s sql) stmts in
     let setup () = ivm_session ~views ~n0 ~seed in
-    let t_derived, s_derived =
-      delta_time ~repeat setup (fun s -> apply (Session.database s))
-    in
+    let t_derived, s_derived = delta_time ~repeat setup apply in
     let t_full, s_full =
       delta_time ~repeat setup (fun s ->
           (* every derived apply faults -> quarantine, and an explicit
              REFRESH after each statement restores freshness: the same
              per-statement guarantee the deriver gives, minus the
              deriver *)
-          let db = Session.database s in
           Fault.arm "matview.apply_derived" Fault.Always;
           Fun.protect
             ~finally:(fun () -> Fault.disarm "matview.apply_derived")
             (fun () ->
               List.iter
                 (fun sql ->
-                  ignore (Db.exec db sql);
-                  ignore
-                    (Db.exec db
-                       (Printf.sprintf "REFRESH MATERIALIZED VIEW %s" name)))
+                  sexec s sql;
+                  sexec s (Printf.sprintf "REFRESH MATERIALIZED VIEW %s" name))
                 stmts))
     in
     let logical s =
-      let db = Session.database s in
-      let dump sql = Relation.render (Relation.sorted_by_all (Db.query db sql)) in
+      let dump sql = Relation.render (Relation.sorted_by_all (squery s sql)) in
       dump "SELECT * FROM fact" ^ dump ("SELECT * FROM " ^ name)
     in
     if logical s_derived <> logical s_full then
@@ -748,10 +753,12 @@ let share_groups = 4
 (* Integer-valued floats keep every aggregate exact, so the two
    configurations' final states compare bit for bit. *)
 let share_db ~share ~views ~n0 ~seed =
-  let db =
-    Db.create ~config:{ Db.default_config with Db.share_scans = share } ()
+  let s =
+    Session.open_in_memory
+      ~config:{ Config.default with share_scans = share }
+      ()
   in
-  ignore (Db.exec db "CREATE TABLE seq (grp INT, pos INT, val FLOAT)");
+  sexec s "CREATE TABLE seq (grp INT, pos INT, val FLOAT)";
   let rng = Prng.create ~seed in
   let rows =
     Array.init n0 (fun i ->
@@ -761,11 +768,11 @@ let share_db ~share ~views ~n0 ~seed =
           Value.Float (float_of_int (Prng.int_range rng ~lo:(-50) ~hi:50));
         |])
   in
-  Db.load_table db ~table:"seq" rows;
+  Session.load_table s ~table:"seq" rows;
   List.iteri
-    (fun i (_, sql) -> if i < views then ignore (Db.exec db sql))
+    (fun i (_, sql) -> if i < views then sexec s sql)
     share_view_sqls;
-  db
+  s
 
 (* Update/delete-heavy, with multi-row statements: each range update
    pays one base-table predicate scan (shared work in both
@@ -818,21 +825,21 @@ let run_share ~smoke =
             (fun i _ -> i / chunk_size = c)
             stmts)
     in
-    let apply db =
+    let apply s =
       List.iter
         (fun batch ->
-          Db.with_batch db (fun () ->
-              List.iter (fun sql -> ignore (Db.exec db sql)) batch))
+          Session.with_batch s (fun () ->
+              List.iter (fun sql -> sexec s sql) batch))
         batches
     in
     let time ~share =
       let best = ref infinity in
       let keep = ref None in
       for _ = 1 to repeat do
-        let db = share_db ~share ~views ~n0 ~seed in
-        let (), t = time_once (fun () -> apply db) in
+        let s = share_db ~share ~views ~n0 ~seed in
+        let (), t = time_once (fun () -> apply s) in
         if t < !best then best := t;
-        keep := Some db
+        keep := Some s
       done;
       (!best, Option.get !keep)
     in
@@ -845,10 +852,10 @@ let run_share ~smoke =
       |> List.map fst
       |> List.sort compare
     in
-    (match Db.share_classes db_on ~table:"seq" with
+    (match Session.share_classes db_on ~table:"seq" with
      | [ members ] when List.sort compare members = expect -> ()
      | _ -> failwith "share: engine share class disagrees with the view set");
-    if Chaos.fingerprint db_on <> Chaos.fingerprint db_off then
+    if Chaos.fingerprint_session db_on <> Chaos.fingerprint_session db_off then
       failwith
         (Printf.sprintf "share: shared and per-view states differ (views=%d)"
            views);
@@ -945,9 +952,6 @@ let run_share ~smoke =
       artifact, and how long attach+poll takes.  Compaction must keep
       the replay suffix bounded. *)
 
-module ShipB = Rfview_replica.Ship
-module ReplicaB = Rfview_replica.Replica
-
 let replica_dir_reset dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
   else
@@ -959,29 +963,27 @@ let replica_dir_reset dir =
 
 let replica_setup_primary ~dir ~n0 ~writes ~checkpoint_bytes =
   replica_dir_reset dir;
-  let db = Db.open_durable dir in
+  let s = ok (Session.open_durable dir) in
   (match checkpoint_bytes with
-   | Some b -> Db.set_checkpoint_bytes db (Some b)
+   | Some b -> Session.set_checkpoint_bytes s (Some b)
    | None -> ());
-  ignore (Db.exec db "CREATE TABLE seq (pos INT, val FLOAT)");
+  sexec s "CREATE TABLE seq (pos INT, val FLOAT)";
   let rng = Prng.create ~seed:17 in
-  Db.load_table db ~table:"seq"
+  Session.load_table s ~table:"seq"
     (Array.init n0 (fun i ->
          [|
            Value.Int (i + 1);
            Value.Float (float_of_int (Prng.int_range rng ~lo:(-50) ~hi:50));
          |]));
-  ignore
-    (Db.exec db
-       "CREATE MATERIALIZED VIEW v_cum AS SELECT pos, val, SUM(val) OVER \
-        (ORDER BY pos ROWS UNBOUNDED PRECEDING) AS s FROM seq");
+  sexec s
+    "CREATE MATERIALIZED VIEW v_cum AS SELECT pos, val, SUM(val) OVER \
+     (ORDER BY pos ROWS UNBOUNDED PRECEDING) AS s FROM seq";
   for i = 1 to writes do
-    ignore
-      (Db.exec db
-         (Printf.sprintf "INSERT INTO seq VALUES (%d, %d)" (n0 + i)
-            (Prng.int_range rng ~lo:(-50) ~hi:50)))
+    sexec s
+      (Printf.sprintf "INSERT INTO seq VALUES (%d, %d)" (n0 + i)
+         (Prng.int_range rng ~lo:(-50) ~hi:50))
   done;
-  db
+  s
 
 let replica_read_sql =
   "SELECT pos, val, SUM(val) OVER (ORDER BY pos ROWS UNBOUNDED PRECEDING) AS \
@@ -997,8 +999,8 @@ let run_replica_bench ~smoke =
   let root = "bench_replica_db" in
   replica_dir_reset root;
   let pdir = Filename.concat root "primary" in
-  let db = replica_setup_primary ~dir:pdir ~n0 ~writes ~checkpoint_bytes:None in
-  let tip = Db.lsn db in
+  let s = replica_setup_primary ~dir:pdir ~n0 ~writes ~checkpoint_bytes:None in
+  let tip = Session.lsn s in
   Printf.printf "base: %d rows + %d writes (tip lsn %d); %d reads per case\n\n"
     n0 writes tip queries;
   (* single-process baseline: the primary answers every read itself *)
@@ -1013,25 +1015,25 @@ let run_replica_bench ~smoke =
   let t_base =
     best (fun () ->
         for _ = 1 to queries do
-          ignore (Db.query db replica_read_sql)
+          ignore (squery s replica_read_sql)
         done)
   in
-  let ship = ShipB.create db in
+  let ship = ok (Session.shipper s) in
   let fanouts = [ 1; 2; 4 ] in
   let replicas =
     List.init 4 (fun i ->
         let name = Printf.sprintf "r%d" i in
         let path = Filename.concat root ("feed_" ^ name) in
-        ShipB.attach ship ~name ~path;
-        ReplicaB.attach ~name ~feed:path ())
+        ok (Session.attach_feed ship ~name ~path);
+        Session.open_replica ~name ~feed:path ())
   in
-  ignore (ShipB.pump ship);
-  List.iter (fun r -> ignore (ReplicaB.poll r)) replicas;
+  ignore (ok (Session.ship ship));
+  List.iter (fun r -> ignore (ok (Session.poll_replica r))) replicas;
   (* K replicas: each serves queries/K reads through the stale-bounded
      read path; wall clock = the slowest share *)
   let read_share r share =
     for _ = 1 to share do
-      match ReplicaB.read r ~tip ~max_records:0 replica_read_sql with
+      match Session.read_replica r ~tip ~max_records:0 replica_read_sql with
       | Ok _ -> ()
       | Error _ -> failwith "replica refused a fresh read"
     done
@@ -1069,26 +1071,26 @@ let run_replica_bench ~smoke =
     [ Printf.sprintf "%8s" "primary"; "  " ^ fmt_time t_base;
       Printf.sprintf "  %8.0f q/s" (float_of_int queries /. t_base); "  1.00x" ];
   let reads = List.map run_fanout fanouts in
-  List.iter (fun r -> ignore (ReplicaB.poll r)) replicas;
-  ShipB.close ship;
-  Db.close db;
+  List.iter (fun r -> ignore (ok (Session.poll_replica r))) replicas;
+  Session.close_shipper ship;
+  Session.close s;
   (* bootstrap: a fresh replica against the same write history, with and
      without byte-triggered compaction *)
   let bootstrap ~checkpoint_bytes =
     let tag = match checkpoint_bytes with Some _ -> "ckpt" | None -> "plain" in
     let dir = Filename.concat root ("boot_" ^ tag) in
-    let db = replica_setup_primary ~dir ~n0 ~writes ~checkpoint_bytes in
-    let ship = ShipB.create db in
+    let s = replica_setup_primary ~dir ~n0 ~writes ~checkpoint_bytes in
+    let ship = ok (Session.shipper s) in
     let feed = Filename.concat root ("boot_feed_" ^ tag) in
-    ShipB.attach ship ~name:"boot" ~path:feed;
-    ignore (ShipB.pump ship);
-    let tip = Db.lsn db in
+    ok (Session.attach_feed ship ~name:"boot" ~path:feed);
+    ignore (ok (Session.ship ship));
+    let tip = Session.lsn s in
     let t_boot, applied =
       let b = ref infinity and applied = ref 0 in
       for _ = 1 to repeat do
-        let r = ReplicaB.attach ~name:"boot" ~feed () in
-        let n, t = time_once (fun () -> ReplicaB.poll r) in
-        if ReplicaB.applied_lsn r <> tip then
+        let r = Session.open_replica ~name:"boot" ~feed () in
+        let n, t = time_once (fun () -> ok (Session.poll_replica r)) in
+        if Session.replica_applied_lsn r <> tip then
           failwith "replica bootstrap did not reach the tip";
         if t < !b then b := t;
         applied := n
@@ -1099,8 +1101,8 @@ let run_replica_bench ~smoke =
     let suffix =
       match checkpoint_bytes with Some _ -> applied - 1 | None -> applied
     in
-    ShipB.close ship;
-    Db.close db;
+    Session.close_shipper ship;
+    Session.close s;
     Printf.printf "bootstrap (%s): %d entr(ies), replay suffix %d, %s\n%!"
       (match checkpoint_bytes with
        | Some b -> Printf.sprintf "checkpoint every %d bytes" b
@@ -1192,6 +1194,245 @@ let run_replica_bench ~smoke =
     exit 1
   end
 
+(* ---- Concurrent serving: snapshot-read fan-out, zero wrong reads ----
+
+   The MVCC session server's experiment (writes BENCH_serve.json):
+
+   1. Read throughput at 1/2/4 reader domains vs a single domain.
+      Every server read pins an immutable snapshot (pointer capture, no
+      writer coordination after the pin), so reader domains scale.
+      This host has one core, so — exactly as the replica bench models
+      machines — each domain's share of the query stream is measured
+      serially and the parallel wall clock is the sum of the shares
+      divided by the fan-out (shares are identical by construction).
+   2. One section runs the real wire path: a server at 4 domains, one
+      client, serial request/response round-trips over the loopback
+      socket.
+   3. Correctness under *true* concurrency: a writer domain committing
+      single-row inserts while reader domains pin snapshots; every
+      read must be a true historical state at its reported LSN (row
+      count = commits at that LSN, and the snapshot's fingerprint must
+      not move while the writer works).  Wrong reads fail the run. *)
+
+let serve_read_sql =
+  "SELECT pos, val, SUM(val) OVER (ORDER BY pos ROWS UNBOUNDED PRECEDING) AS \
+   s FROM seq"
+
+let run_serve_bench ~smoke =
+  header "Concurrent serving: snapshot-read fan-out and wrong-read chaos";
+  let n0 = if smoke then 200 else 2_000 in
+  let queries = if smoke then 64 else 400 in
+  let repeat = if smoke then 2 else 3 in
+  let s = Session.open_in_memory () in
+  sexec s "CREATE TABLE seq (pos INT, val FLOAT)";
+  let rng = Prng.create ~seed:19 in
+  Session.load_table s ~table:"seq"
+    (Array.init n0 (fun i ->
+         [|
+           Value.Int (i + 1);
+           Value.Float (float_of_int (Prng.int_range rng ~lo:(-50) ~hi:50));
+         |]));
+  Printf.printf "base: %d rows; %d snapshot reads per case\n\n" n0 queries;
+  let best f =
+    let b = ref infinity in
+    for _ = 1 to repeat do
+      let (), t = time_once f in
+      if t < !b then b := t
+    done;
+    !b
+  in
+  (* the server's read path: pin a snapshot, query, release *)
+  let read_share share =
+    for _ = 1 to share do
+      let sn = Snapshot.snapshot s in
+      (match Snapshot.query sn serve_read_sql with
+       | Ok _ -> ()
+       | Error e -> failwith (Session.describe_error e));
+      Snapshot.close sn
+    done
+  in
+  let run_fanout k =
+    let share = (queries + k - 1) / k in
+    let wall =
+      best (fun () ->
+          for _ = 1 to k do
+            read_share share
+          done)
+    in
+    (* [best] timed the sum of the k shares; the parallel model divides
+       by the fan-out (shares are identical by construction) *)
+    let wall = wall /. float_of_int k in
+    let qps = float_of_int queries /. wall in
+    (k, wall, qps)
+  in
+  let reads = List.map run_fanout [ 1; 2; 4 ] in
+  let wall1 =
+    match reads with (1, w, _) :: _ -> w | _ -> assert false
+  in
+  row_line
+    [ Printf.sprintf "%8s" "domains"; "  wall       "; "  throughput ";
+      "  speedup" ];
+  let reads =
+    List.map
+      (fun (k, wall, qps) ->
+        let speedup = wall1 /. wall in
+        row_line
+          [ Printf.sprintf "%8d" k; "  " ^ fmt_time wall;
+            Printf.sprintf "  %8.0f q/s" qps; Printf.sprintf "  %6.2fx" speedup ];
+        (k, wall, qps, speedup))
+      reads
+  in
+  Printf.printf "%!";
+  (* the real wire path: one client, serial round-trips over loopback *)
+  let sock_requests = if smoke then 32 else 200 in
+  let srv = Rfview_server.Server.start ~domains:4 ~session:s ~port:0 () in
+  let sock_qps =
+    Fun.protect ~finally:(fun () -> Rfview_server.Server.stop srv)
+      (fun () ->
+        let c =
+          Rfview_server.Server.Client.connect
+            ~port:(Rfview_server.Server.port srv)
+        in
+        Fun.protect
+          ~finally:(fun () -> Rfview_server.Server.Client.disconnect c)
+          (fun () ->
+            let t =
+              best (fun () ->
+                  for _ = 1 to sock_requests do
+                    let resp =
+                      Rfview_server.Server.Client.request c
+                        ("query " ^ serve_read_sql)
+                    in
+                    if Rfview_server.Wire.field resp "ok" <> Some "true" then
+                      failwith "serve: socket query refused"
+                  done)
+            in
+            float_of_int sock_requests /. t))
+  in
+  Printf.printf "socket round-trips (4 domains, 1 client): %8.0f req/s\n%!"
+    sock_qps;
+  Session.close s;
+  (* chaos: writer commits, readers must only see true commit points *)
+  let reader_domains = 4 in
+  let writes = if smoke then 100 else 400 in
+  let cs = Session.open_in_memory () in
+  sexec cs "CREATE TABLE t (a INT)";
+  let base =
+    let sn = Snapshot.snapshot cs in
+    let l = Snapshot.lsn sn in
+    Snapshot.close sn;
+    l
+  in
+  let wrong = Atomic.make 0 and read_count = Atomic.make 0 in
+  let finished = Atomic.make false in
+  let reader () =
+    while not (Atomic.get finished) do
+      let sn = Snapshot.snapshot cs in
+      let l = Snapshot.lsn sn in
+      let fp1 = Snapshot.fingerprint sn in
+      (match Snapshot.query sn "SELECT * FROM t" with
+       | Ok rel -> if Relation.cardinality rel <> l - base then Atomic.incr wrong
+       | Error _ -> Atomic.incr wrong);
+      if Snapshot.fingerprint sn <> fp1 then Atomic.incr wrong;
+      Snapshot.close sn;
+      Atomic.incr read_count
+    done
+  in
+  let ds = List.init reader_domains (fun _ -> Domain.spawn reader) in
+  for i = 1 to writes do
+    sexec cs (Printf.sprintf "INSERT INTO t VALUES (%d)" i);
+    Domain.cpu_relax ()
+  done;
+  Atomic.set finished true;
+  List.iter Domain.join ds;
+  Session.close cs;
+  let chaos_reads = Atomic.get read_count and wrong_reads = Atomic.get wrong in
+  Printf.printf
+    "chaos: %d reader domains, %d commits, %d snapshot reads, %d wrong\n%!"
+    reader_domains writes chaos_reads wrong_reads;
+  let speedup4 =
+    match List.find_opt (fun (k, _, _, _) -> k = 4) reads with
+    | Some (_, _, _, sp) -> sp
+    | None -> 0.
+  in
+  let required = 2.0 in
+  let pass = speedup4 >= required && wrong_reads = 0 && chaos_reads > 0 in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"experiment\": \"serve\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"mode\": \"%s\",\n" (if smoke then "smoke" else "full"));
+  Buffer.add_string buf "  \"cores\": 1,\n";
+  Buffer.add_string buf
+    "  \"model\": \"per-share fan-out: each domain's share measured serially, \
+     wall = sum of shares / domains (shares identical by construction)\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"base_rows\": %d, \"queries\": %d,\n" n0 queries);
+  Buffer.add_string buf "  \"reads\": [\n";
+  List.iteri
+    (fun i (k, wall, qps, sp) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"domains\": %d, \"wall_s\": %.6f, \"qps\": %.1f, \
+            \"speedup\": %.2f}%s\n"
+           k wall qps sp
+           (if i = List.length reads - 1 then "" else ",")))
+    reads;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"socket\": {\"domains\": 4, \"requests\": %d, \"qps\": %.1f},\n"
+       sock_requests sock_qps);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"chaos\": {\"reader_domains\": %d, \"writes\": %d, \"reads\": %d, \
+        \"wrong_reads\": %d},\n"
+       reader_domains writes chaos_reads wrong_reads);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"acceptance\": {\"domains\": 4, \"speedup\": %.2f, \"required\": \
+        %.1f, \"wrong_reads\": %d, \"pass\": %b}\n"
+       speedup4 required wrong_reads pass);
+  Buffer.add_string buf "}\n";
+  let out = "BENCH_serve.json" in
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  let written =
+    let ic = open_in out in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let balanced =
+    let d = ref 0 in
+    String.iter (fun c -> if c = '{' then incr d else if c = '}' then decr d) written;
+    !d = 0
+  in
+  if
+    not
+      (balanced
+      && contains written "\"acceptance\""
+      && contains written "\"reads\""
+      && contains written "\"chaos\""
+      && contains written "\"speedup\"")
+  then failwith "BENCH_serve.json failed its well-formedness self-check";
+  Printf.printf
+    "\nwrote %s (4-domain speedup %.1fx, %d wrong reads)\n%!" out speedup4
+    wrong_reads;
+  if not pass then begin
+    Printf.eprintf
+      "serve acceptance FAILED: speedup %.1fx (need %.1fx), wrong reads %d, \
+       reads %d\n%!"
+      speedup4 required wrong_reads chaos_reads;
+    exit 1
+  end
+
 (* ---- Bechamel micro-benchmarks: one Test group per table ---- *)
 
 let bechamel_tests () =
@@ -1199,40 +1440,40 @@ let bechamel_tests () =
   (* Table 1 micro instance: n = 500 *)
   let n1 = 500 in
   let v1 = Seqgen.raw_values ~seed:11 n1 in
-  let db_plain = Db.create () in
-  Seqgen.create_seq_table db_plain v1;
-  let db_idx = Db.create () in
-  Seqgen.create_seq_table ~indexed:true db_idx v1;
+  let s_plain = Session.open_in_memory () in
+  Seqgen.create_seq_table_session s_plain v1;
+  let s_idx = Session.open_in_memory () in
+  Seqgen.create_seq_table_session ~indexed:true s_idx v1;
   let native_sql = Core.Sqlgen.native_window table1_frame in
   let self_sql = Core.Sqlgen.fig2_self_join table1_frame in
   let table1 =
     Test.make_grouped ~name:"table1"
       [
         Test.make ~name:"native"
-          (Staged.stage (fun () -> ignore (Db.query db_plain native_sql)));
+          (Staged.stage (fun () -> ignore (squery s_plain native_sql)));
         Test.make ~name:"self-join"
-          (Staged.stage (fun () -> ignore (Db.query db_plain self_sql)));
+          (Staged.stage (fun () -> ignore (squery s_plain self_sql)));
         Test.make ~name:"self-join-indexed"
-          (Staged.stage (fun () -> ignore (Db.query db_idx self_sql)));
+          (Staged.stage (fun () -> ignore (squery s_idx self_sql)));
       ]
   in
   (* Table 2 micro instance: n = 300 *)
   let n2 = 300 in
   let v2 = Seqgen.raw_values ~seed:12 n2 in
   let view = Core.Compute.sequence t2_view_frame (Core.Seqdata.raw_of_array v2) in
-  let db2 = Db.create () in
-  Seqgen.create_matseq_table ~indexed:true db2 view;
+  let s2 = Session.open_in_memory () in
+  Seqgen.create_matseq_table_session ~indexed:true s2 view;
   let table2 =
     Test.make_grouped ~name:"table2"
       [
         Test.make ~name:"maxoa-disjunctive"
-          (Staged.stage (fun () -> ignore (Db.query db2 (t2_sql `Maxoa_disj))));
+          (Staged.stage (fun () -> ignore (squery s2 (t2_sql `Maxoa_disj))));
         Test.make ~name:"maxoa-union"
-          (Staged.stage (fun () -> ignore (Db.query db2 (t2_sql `Maxoa_union))));
+          (Staged.stage (fun () -> ignore (squery s2 (t2_sql `Maxoa_union))));
         Test.make ~name:"minoa-disjunctive"
-          (Staged.stage (fun () -> ignore (Db.query db2 (t2_sql `Minoa_disj))));
+          (Staged.stage (fun () -> ignore (squery s2 (t2_sql `Minoa_disj))));
         Test.make ~name:"minoa-union"
-          (Staged.stage (fun () -> ignore (Db.query db2 (t2_sql `Minoa_union))));
+          (Staged.stage (fun () -> ignore (squery s2 (t2_sql `Minoa_union))));
       ]
   in
   [ table1; table2 ]
@@ -1284,6 +1525,7 @@ let () =
    | "delta-ivm" -> run_delta_ivm ~smoke
    | "share" -> run_share ~smoke
    | "replica" -> run_replica_bench ~smoke
+   | "serve" -> run_serve_bench ~smoke
    | "bechamel" -> run_bechamel ()
    | "all" ->
      run_table1 ~sizes:t1_sizes;
@@ -1293,11 +1535,12 @@ let () =
      run_delta_ivm ~smoke:(not full);
      run_share ~smoke:(not full);
      run_replica_bench ~smoke:(not full);
+     run_serve_bench ~smoke:(not full);
      run_bechamel ()
    | other ->
      Printf.eprintf
        "unknown experiment %s (use \
-        table1|table2|ablations|delta|delta-ivm|share|replica|bechamel|all)\n"
+        table1|table2|ablations|delta|delta-ivm|share|replica|serve|bechamel|all)\n"
        other;
      exit 1);
   Printf.printf "\ndone.\n"

@@ -1,7 +1,7 @@
 (* rfview — command-line front end for the reporting-function engine.
 
-   Built on the stable [Rfview.Session] API; the lint/analyze tooling
-   reaches the engine internals through [Session.database].
+   Built entirely on the stable [Rfview.Session] API — no subcommand
+   reaches the engine handle directly.
 
    Subcommands:
      run FILE        execute a SQL script and print every result
@@ -41,7 +41,6 @@
 
 module Session = Rfview.Session
 module Config = Rfview.Config
-module Db = Rfview_engine.Database
 module Fault = Rfview_engine.Fault
 module Relation = Rfview_relalg.Relation
 module Diag = Rfview_analysis.Diagnostic
@@ -399,9 +398,12 @@ let cmd_lint file self_join explain explain_code codes_md =
         (count Diag.Error) (count Diag.Warning) (count Diag.Info);
       exit (if List.exists Diag.is_error !seen then 1 else 0)
     in
-    let db = Session.database (Session.open_in_memory ()) in
+    let scratch = Session.open_in_memory () in
     let lint_query ?stmt where q =
-      match Rfview_planner.Binder.bind_query ?stmt (Db.binder_catalog db) q with
+      match
+        Rfview_planner.Binder.bind_query ?stmt
+          (Session.binder_catalog scratch) q
+      with
       | plan -> List.iter (emit ~where) (Check.check plan @ Lint.plan ~self_join plan)
       | exception Rfview_planner.Binder.Bind_error m ->
         emit ~where
@@ -424,7 +426,8 @@ let cmd_lint file self_join explain explain_code codes_md =
             (match x.Rfview_analysis.Extract.stmt with
              | Ast.St_query q | Ast.St_create_view { query = q; _ } ->
                (match
-                  Rfview_planner.Binder.bind_query (Db.binder_catalog db) q
+                  Rfview_planner.Binder.bind_query
+                    (Session.binder_catalog scratch) q
                 with
                 | plan ->
                   List.iter (emit ~where)
@@ -438,7 +441,7 @@ let cmd_lint file self_join explain explain_code codes_md =
              | _ -> ());
             match x.Rfview_analysis.Extract.stmt with
             | Ast.St_query _ -> ()
-            | st -> (try ignore (Db.exec_statement db st) with _ -> ()))
+            | st -> ignore (Session.exec_statement scratch st))
           extracted;
         Printf.printf "%s: %d embedded statement(s)\n" file (List.length extracted);
         finish ()
@@ -468,40 +471,24 @@ let cmd_lint file self_join explain explain_code codes_md =
              match st with
              | Ast.St_query _ -> ()
              | st ->
-               (match Db.exec_statement db st with
-                | _ -> ()
-                | exception e ->
+               (match Session.exec_statement scratch st with
+                | Ok _ -> ()
+                | Error e ->
                   emit ~where
                     (Diag.make ~code:"RF100" ~path:[]
                        (Printf.sprintf "statement failed: %s"
-                          (Printexc.to_string e)))))
+                          (Session.describe_error e)))))
            stmts;
          finish ())
 
 (* ---- analyze ---- *)
 
-(* Minimal JSON emission for [analyze --json]: one object per statement
-   plus a trailing summary object, one per line (JSON Lines). *)
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let jstr s = "\"" ^ json_escape s ^ "\""
-let jobj fields =
-  "{" ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields) ^ "}"
-let jlist items = "[" ^ String.concat "," items ^ "]"
+(* JSON emission for [analyze --json] (JSON Lines, one object per
+   statement plus a trailing summary) — the same emitters the session
+   server's wire format uses. *)
+let jstr = Rfview_server.Wire.jstr
+let jobj = Rfview_server.Wire.jobj
+let jlist = Rfview_server.Wire.jlist
 let jint_opt = function None -> "null" | Some n -> string_of_int n
 
 let jcard (c : Rfview_analysis.Domain.Card.t) =
@@ -545,9 +532,12 @@ let cmd_analyze file json budget =
      else Printf.printf "%s: %s\n" file msg;
      incr errors
    | stmts ->
-     let db = Session.database (Session.open_in_memory ()) in
+     let scratch = Session.open_in_memory () in
      let analyze_query ~stmt ?ivm_view where q =
-       match Rfview_planner.Binder.bind_query ~stmt (Db.binder_catalog db) q with
+       match
+         Rfview_planner.Binder.bind_query ~stmt
+           (Session.binder_catalog scratch) q
+       with
        | exception Rfview_planner.Binder.Bind_error m ->
          if json then
            print_endline
@@ -559,7 +549,7 @@ let cmd_analyze file json budget =
          else Printf.printf "%s: bind error: %s\n" where m;
          incr errors
        | plan ->
-         let cat = Db.catalog_view db in
+         let cat = Session.catalog_view scratch in
          let env name =
            try Some (cat.Rfview_planner.Physical.table_contents name)
            with _ -> None
@@ -641,7 +631,7 @@ let cmd_analyze file json budget =
              (fun (view, certs) ->
                Printf.printf "derivability from %s:\n" view;
                List.iter (fun c -> print_string (Cert.to_string c)) certs)
-             (Advisor.certificates db q);
+             (Session.derivability_certificates scratch q);
            (* incrementality certificate of a materialized view: can the
               deriver maintain it by delta plan, and if not, why not
               (RF30x, warnings only — full refresh remains available) *)
@@ -673,11 +663,12 @@ let cmd_analyze file json budget =
          match st with
          | Ast.St_query _ -> ()
          | st ->
-           (match Db.exec_statement db st with
-            | _ -> ()
-            | exception e ->
+           (match Session.exec_statement scratch st with
+            | Ok _ -> ()
+            | Error e ->
               let msg =
-                Printf.sprintf "statement failed: %s" (Printexc.to_string e)
+                Printf.sprintf "statement failed: %s"
+                  (Session.describe_error e)
               in
               if json then
                 print_endline
@@ -765,14 +756,52 @@ let cmd_demo self_join naive_window verify inject =
   let s =
     Session.open_in_memory ~config:(build_config ~self_join ~naive_window) ()
   in
-  let db = Session.database s in
-  Rfview_workload.Transactions.load db;
+  Rfview_workload.Transactions.load_session s;
+  let count sql =
+    match Session.query s sql with
+    | Ok rel -> Relation.cardinality rel
+    | Error e -> failwith (Session.describe_error e)
+  in
   Printf.printf
     "loaded demo schema: c_transactions (%d rows), l_locations (%d rows)\n"
-    (Relation.cardinality (Db.query db "SELECT * FROM c_transactions"))
-    (Relation.cardinality (Db.query db "SELECT * FROM l_locations"));
+    (count "SELECT * FROM c_transactions")
+    (count "SELECT * FROM l_locations");
   Printf.printf "try: %s;\n\n" (Rfview_workload.Transactions.intro_query ~custid:7 ());
   repl s
+
+(* ---- serve / call ---- *)
+
+let cmd_serve db_dir port domains self_join naive_window =
+  if domains < 1 then begin
+    Printf.eprintf "rfview: serve: --domains must be at least 1\n";
+    exit 1
+  end;
+  let s =
+    open_session ~config:(build_config ~self_join ~naive_window) (Some db_dir)
+  in
+  let srv = Rfview_server.Server.start ~domains ~session:s ~port () in
+  Printf.printf "serving %s on 127.0.0.1:%d (%d reader domain(s))\n%!" db_dir
+    (Rfview_server.Server.port srv)
+    domains;
+  Rfview_server.Server.wait srv;
+  Session.close s
+
+let cmd_call port lines =
+  match Rfview_server.Server.Client.connect ~port with
+  | exception Unix.Unix_error (err, _, _) ->
+    Printf.eprintf "rfview: call: cannot connect to 127.0.0.1:%d: %s\n" port
+      (Unix.error_message err);
+    exit 1
+  | c ->
+    let ok = ref true in
+    List.iter
+      (fun line ->
+        let resp = Rfview_server.Server.Client.request c line in
+        print_endline resp;
+        if Rfview_server.Wire.field resp "ok" <> Some "true" then ok := false)
+      lines;
+    Rfview_server.Server.Client.disconnect c;
+    if not !ok then exit 1
 
 open Cmdliner
 
@@ -951,11 +980,49 @@ let promote_t =
              of the old primary is lost)")
     Term.(const cmd_promote $ feed $ dir)
 
+let serve_t =
+  let dir = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR") in
+  let port =
+    Arg.(value & opt int 7477 & info [ "port" ] ~docv:"PORT"
+      ~doc:"Loopback TCP port to listen on (0 picks an ephemeral port).")
+  in
+  let domains =
+    Arg.(value & opt int 4 & info [ "domains" ] ~docv:"N"
+      ~doc:"Reader domains serving snapshot queries (also the concurrent \
+            connection bound).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Recover durable directory DIR and serve it concurrently on a \
+             loopback port: reads run as MVCC snapshot queries on a domain \
+             pool, writes are serialized through one writer. One request \
+             line in, one JSON line out (ping/open/query/exec/batch/status/\
+             close/quit/shutdown)")
+    Term.(const cmd_serve $ dir $ port $ domains $ self_join $ naive_window)
+
+let call_t =
+  let port = Arg.(required & pos 0 (some int) None & info [] ~docv:"PORT") in
+  let lines =
+    Arg.(non_empty & pos_right 0 string [] & info [] ~docv:"REQUEST"
+      ~doc:"Protocol request line (repeatable, sent in order).")
+  in
+  Cmd.v
+    (Cmd.info "call"
+       ~doc:"Send protocol request lines to a running rfview server on \
+             127.0.0.1:PORT and print each JSON response (exit 1 when any \
+             response is not ok)")
+    Term.(const cmd_call $ port $ lines)
+
 let main =
   Cmd.group
     (Cmd.info "rfview" ~version:"1.0.0"
        ~doc:"Reporting-function views in a data warehouse environment")
     [ run_t; repl_t; demo_t; lint_t; analyze_t; recover_t; checkpoint_t;
-      wal_info_t; scrub_t; ship_t; replica_t; promote_t ]
+      wal_info_t; scrub_t; ship_t; replica_t; promote_t; serve_t; call_t ]
 
-let () = exit (Cmd.eval main)
+(* Exit codes: 0 success, 1 operational failure, 2 usage error.
+   cmdliner reports usage errors as its own 124; normalize so scripts
+   can tell "you called it wrong" (2) from "it ran and failed" (1). *)
+let () =
+  let code = Cmd.eval main in
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

@@ -152,6 +152,57 @@ type batch = {
   b_undo : Undo.t;
 }
 
+type result =
+  | Relation of Relation.t
+  | Done of string
+
+(* ---- MVCC version store ----
+
+   Every commit point (top-level statement success, batch commit,
+   recovery) publishes an immutable, LSN-stamped version of the logical
+   state.  Publication is pointer capture, never a deep copy: table row
+   arrays are replaced wholesale by every mutation path
+   ([Catalog.set_rows], fresh [Array.map]/[Array.append] results) and
+   materialized-view contents are replaced by fresh [Relation.t] values
+   ([Matview.render], [run_query]), so a captured pointer can never
+   observe a later write.  Readers acquire versions under [mv_mu] from
+   any domain; the single writer publishes under the same mutex.  The
+   retained window keeps the last [mv_retain] versions acquirable;
+   older versions survive exactly as long as an active snapshot pins
+   them ([v_refs]). *)
+
+type vtable = {
+  vt_name : string;
+  vt_schema : Schema.t;
+  vt_rows : Row.t array; (* frozen: the array pointer at commit *)
+  vt_indexes : (string * Index.kind) list; (* column, kind *)
+}
+
+type vview = {
+  vv_name : string;
+  vv_materialized : bool;
+  vv_definition : Ast.query;
+  vv_contents : Relation.t option; (* frozen rendering at commit *)
+  vv_stale : bool;
+}
+
+type version = {
+  v_lsn : int;
+  v_tables : vtable list;
+  v_views : vview list;
+  v_view_indexes : (string * string * Index.kind) list; (* view, column, kind *)
+  v_cfg : config;
+  mutable v_refs : int; (* active snapshots; guarded by [mv_mu] *)
+}
+
+type mvcc = {
+  mv_mu : Mutex.t;
+  mutable mv_versions : version list; (* newest first *)
+  mutable mv_retain : int; (* acquirable window size *)
+  mutable mv_seq : int; (* commit counter: the LSN surrogate in memory *)
+  mutable mv_dirty : bool; (* a mutation happened since the last publish *)
+}
+
 type t = {
   catalog : Catalog.t;
   view_states : (string, Matview.state) Hashtbl.t; (* incremental seq views *)
@@ -163,24 +214,118 @@ type t = {
   mutable batch : batch option; (* Some while a batch scope is open *)
   mutable durable : durability option;
   mutable wal_pending : Wal.record list; (* this scope's records, reversed *)
+  mvcc : mvcc;
 }
 
-type result =
-  | Relation of Relation.t
-  | Done of string
+let default_retain = 8
+
+let mark_dirty db = db.mvcc.mv_dirty <- true
+
+let capture_version db ~lsn : version =
+  {
+    v_lsn = lsn;
+    v_tables =
+      Catalog.all_tables db.catalog
+      |> List.map (fun (tbl : Catalog.table) ->
+             {
+               vt_name = tbl.Catalog.table_name;
+               vt_schema = tbl.Catalog.schema;
+               vt_rows = tbl.Catalog.rows;
+               vt_indexes =
+                 List.map
+                   (fun (i : Catalog.index_def) -> (i.Catalog.column, i.Catalog.kind))
+                   tbl.Catalog.indexes;
+             });
+    v_views =
+      Catalog.all_views db.catalog
+      |> List.map (fun (v : Catalog.view) ->
+             {
+               vv_name = v.Catalog.view_name;
+               vv_materialized = v.Catalog.materialized;
+               vv_definition = v.Catalog.definition;
+               vv_contents = v.Catalog.contents;
+               vv_stale = v.Catalog.stale;
+             });
+    v_view_indexes =
+      Hashtbl.fold
+        (fun _ vi acc -> (vi.vi_view, vi.vi_column, vi.vi_kind) :: acc)
+        db.view_indexes [];
+    v_cfg = db.cfg;
+    v_refs = 0;
+  }
+
+(* Drop versions past the acquirable window, except those an active
+   snapshot still pins.  Caller holds [mv_mu]. *)
+let sweep_versions mv =
+  let rec keep i = function
+    | [] -> []
+    | v :: rest ->
+      if i < mv.mv_retain || v.v_refs > 0 then v :: keep (i + 1) rest
+      else keep (i + 1) rest
+  in
+  mv.mv_versions <- keep 0 mv.mv_versions
+
+(* Publish the current state as a fresh version if anything changed
+   since the last publish.  Called by the single writer at commit
+   points only (never mid-scope).  A commit that appended no WAL
+   record — a heal-on-read refresh — replaces the head version in
+   place: same LSN, newer (logically equal) state. *)
+let publish_version db =
+  let mv = db.mvcc in
+  if mv.mv_dirty && db.batch = None && db.undo = None then begin
+    let tip =
+      match db.durable with
+      | Some d -> d.base_lsn + d.appended
+      | None -> mv.mv_seq
+    in
+    let v = capture_version db ~lsn:tip in
+    Mutex.lock mv.mv_mu;
+    mv.mv_seq <- mv.mv_seq + 1;
+    (match mv.mv_versions with
+     | head :: rest when head.v_lsn = tip -> mv.mv_versions <- v :: rest
+     | vs -> mv.mv_versions <- v :: vs);
+    sweep_versions mv;
+    mv.mv_dirty <- false;
+    Mutex.unlock mv.mv_mu
+  end
+
+(* Throw away every published version and re-publish the current state;
+   recovery and promotion call this once the real LSN is known (replay
+   publishes under surrogate sequence numbers). *)
+let reset_versions db =
+  let mv = db.mvcc in
+  Mutex.lock mv.mv_mu;
+  mv.mv_versions <- [];
+  mv.mv_seq <- 0;
+  Mutex.unlock mv.mv_mu;
+  mv.mv_dirty <- true;
+  publish_version db
 
 let create ?(config = default_config) () =
-  {
-    catalog = Catalog.create ();
-    view_states = Hashtbl.create 8;
-    derived_views = Hashtbl.create 8;
-    view_indexes = Hashtbl.create 8;
-    cfg = config;
-    undo = None;
-    batch = None;
-    durable = None;
-    wal_pending = [];
-  }
+  let db =
+    {
+      catalog = Catalog.create ();
+      view_states = Hashtbl.create 8;
+      derived_views = Hashtbl.create 8;
+      view_indexes = Hashtbl.create 8;
+      cfg = config;
+      undo = None;
+      batch = None;
+      durable = None;
+      wal_pending = [];
+      mvcc =
+        {
+          mv_mu = Mutex.create ();
+          mv_versions = [];
+          mv_retain = default_retain;
+          mv_seq = 0;
+          mv_dirty = true;
+        };
+    }
+  in
+  (* version 0: the empty database is snapshottable from the start *)
+  publish_version db;
+  db
 
 let reconfigure db config = db.cfg <- config
 let config db = db.cfg
@@ -415,17 +560,21 @@ let with_undo db f =
      | result ->
        db.undo <- None;
        Undo.commit u;
+       publish_version db;
        maybe_auto_checkpoint db;
        result
      | exception e ->
        db.undo <- None;
        db.wal_pending <- [];
        Undo.rollback u;
+       (* rollback restored the state the head version captured *)
+       db.mvcc.mv_dirty <- false;
        raise e)
 
 (* Snapshot a table: its rows array plus the built caches of its
    secondary indexes. *)
 let log_table db (tbl : Catalog.table) =
+  mark_dirty db;
   let rows = tbl.Catalog.rows in
   let indexes = tbl.Catalog.indexes in
   let builts = List.map (fun (i : Catalog.index_def) -> (i, i.Catalog.built)) indexes in
@@ -449,6 +598,7 @@ let log_view_index_caches db name =
    derived-plan states are immutable, so their binding suffices) and
    index caches. *)
 let log_view db (v : Catalog.view) =
+  mark_dirty db;
   let contents = v.Catalog.contents in
   let stale = v.Catalog.stale in
   let state =
@@ -677,6 +827,7 @@ type dml_change =
    stale; the next read triggers a full refresh.  The base-table change
    stands — a quarantined view is late, never wrong. *)
 let quarantine_view db (v : Catalog.view) =
+  mark_dirty db;
   Hashtbl.remove db.view_states (key v.Catalog.view_name);
   Hashtbl.remove db.derived_views (key v.Catalog.view_name);
   v.Catalog.stale <- true;
@@ -1079,12 +1230,14 @@ let with_batch db f =
      | result ->
        db.batch <- None;
        Undo.commit b.b_undo;
+       publish_version db;
        maybe_auto_checkpoint db;
        result
      | exception e ->
        db.batch <- None;
        db.wal_pending <- [];
        Undo.rollback b.b_undo;
+       db.mvcc.mv_dirty <- false;
        raise e)
 
 (* ---- DML ---- *)
@@ -1248,6 +1401,7 @@ let rec exec_statement_in_scope db (stmt : Ast.statement) : result =
         (List.map (fun c -> Schema.column c.Ast.col_name c.Ast.col_type) columns)
     in
     let _ = Catalog.create_table db.catalog ~name ~schema in
+    mark_dirty db;
     log_undo db (fun () -> Catalog.forget_table db.catalog name);
     Done (Printf.sprintf "CREATE TABLE %s" name)
   | Ast.St_create_index { name; table; column; ordered } ->
@@ -1263,12 +1417,14 @@ let rec exec_statement_in_scope db (stmt : Ast.statement) : result =
            engine_error "index %s already exists" name;
          Hashtbl.replace db.view_indexes (key name)
            { vi_view = table; vi_column = column; vi_kind = kind; vi_built = None };
+         mark_dirty db;
          log_undo db (fun () -> Hashtbl.remove db.view_indexes (key name));
          Done (Printf.sprintf "CREATE INDEX %s" name)
        end
        else engine_error "unknown relation %s" table)
   | Ast.St_create_view { name; materialized; query } ->
     let v = Catalog.create_view db.catalog ~name ~materialized ~definition:query in
+    mark_dirty db;
     log_undo db (fun () ->
         Catalog.forget_view db.catalog name;
         Hashtbl.remove db.view_states (key name);
@@ -1283,6 +1439,7 @@ let rec exec_statement_in_scope db (stmt : Ast.statement) : result =
      | Some tbl -> log_undo db (fun () -> Catalog.restore_table db.catalog tbl)
      | None -> ());
     Catalog.drop_table db.catalog ~name ~if_exists;
+    mark_dirty db;
     Done (Printf.sprintf "DROP TABLE %s" name)
   | Ast.St_drop_view { name; if_exists } ->
     (match Catalog.find_view db.catalog name with
@@ -1301,6 +1458,7 @@ let rec exec_statement_in_scope db (stmt : Ast.statement) : result =
     Catalog.drop_view db.catalog ~name ~if_exists;
     Hashtbl.remove db.view_states (key name);
     Hashtbl.remove db.derived_views (key name);
+    mark_dirty db;
     Done (Printf.sprintf "DROP VIEW %s" name)
   | Ast.St_refresh_view name ->
     refresh_view_full db (Catalog.view db.catalog name);
@@ -1641,6 +1799,7 @@ let restore_snapshot ?config (snap : Checkpoint.snapshot) =
     quarantined := v.Catalog.view_name :: !quarantined
   in
   restore_snapshot_into db ~quarantine snap;
+  reset_versions db;
   (db, List.sort_uniq String.compare !quarantined)
 
 (* A crash between writing [foo.tmp] and renaming it over [foo] leaves
@@ -1741,6 +1900,9 @@ let recover ?config dir =
       swept;
     }
   in
+  (* replay published versions under surrogate sequence numbers; now
+     that the directory is attached, re-publish at the real LSN *)
+  reset_versions db;
   (db, report)
 
 let open_durable ?config dir = fst (recover ?config dir)
@@ -1897,25 +2059,290 @@ let apply_record db record = replay_record db record
    where the primary maintained it incrementally — same bag of rows,
    different order.  Likewise excludes whether an *incremental
    maintenance state* is present at all. *)
-let fingerprint db : string =
+let fingerprint_parts ~(tables : (string * Relation.t) list)
+    ~(views : (string * bool * Relation.t option) list) : string =
   let buf = Buffer.create 1024 in
   let render r = Buffer.add_string buf (Relation.render (Relation.sorted_by_all r)) in
-  Catalog.all_tables db.catalog
-  |> List.sort (fun (a : Catalog.table) b ->
-         compare a.Catalog.table_name b.Catalog.table_name)
-  |> List.iter (fun (tbl : Catalog.table) ->
-         Buffer.add_string buf (Printf.sprintf "table %s\n" tbl.Catalog.table_name);
-         render (Catalog.table_relation tbl));
-  Catalog.all_views db.catalog
-  |> List.sort (fun (a : Catalog.view) b ->
-         compare a.Catalog.view_name b.Catalog.view_name)
-  |> List.iter (fun (v : Catalog.view) ->
-         Buffer.add_string buf
-           (Printf.sprintf "view %s stale=%b\n" v.Catalog.view_name v.Catalog.stale);
-         match v.Catalog.contents with
+  List.sort (fun (a, _) (b, _) -> compare a b) tables
+  |> List.iter (fun (name, r) ->
+         Buffer.add_string buf (Printf.sprintf "table %s\n" name);
+         render r);
+  List.sort (fun (a, _, _) (b, _, _) -> compare a b) views
+  |> List.iter (fun (name, stale, contents) ->
+         Buffer.add_string buf (Printf.sprintf "view %s stale=%b\n" name stale);
+         match contents with
          | Some r -> render r
          | None -> ());
   Buffer.contents buf
+
+let fingerprint db : string =
+  fingerprint_parts
+    ~tables:
+      (List.map
+         (fun (tbl : Catalog.table) ->
+           (tbl.Catalog.table_name, Catalog.table_relation tbl))
+         (Catalog.all_tables db.catalog))
+    ~views:
+      (List.map
+         (fun (v : Catalog.view) ->
+           (v.Catalog.view_name, v.Catalog.stale, v.Catalog.contents))
+         (Catalog.all_views db.catalog))
+
+(* ---- MVCC snapshots: acquisition and the frozen read path ----
+
+   A snapshot wraps one published version.  Queries against it run the
+   same parse → bind → rewrite → optimize → plan → execute pipeline as
+   the live path, but resolve every relation against the version's
+   frozen pointers, so they can run on any domain while the single
+   writer keeps committing.  Two departures from [plan_query], both
+   deliberate: the differential sanitizer hook is skipped (it executes
+   against a process-global mutable hook and is not domain-safe), and a
+   quarantined view's heal is snapshot-local — computed from the frozen
+   base tables, memoized inside the snapshot, never written back. *)
+
+type snapshot = {
+  sn_db : t; (* release bookkeeping only: never read on the query path *)
+  sn_version : version;
+  sn_mu : Mutex.t; (* guards the two memo tables below *)
+  sn_heal : (string, Relation.t) Hashtbl.t; (* stale matviews, on demand *)
+  sn_index_memo : (string, Index.t option) Hashtbl.t; (* "rel\tcol" *)
+  mutable sn_released : bool; (* guarded by [sn_db.mvcc.mv_mu] *)
+}
+
+let snap_locked sn f =
+  Mutex.lock sn.sn_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sn.sn_mu) f
+
+let snap_find_table sn name =
+  List.find_opt (fun vt -> key vt.vt_name = key name) sn.sn_version.v_tables
+
+let snap_find_view sn name =
+  List.find_opt (fun vv -> key vv.vv_name = key name) sn.sn_version.v_views
+
+let rec snap_view_contents sn name : Relation.t option =
+  match snap_find_view sn name with
+  | Some vv when vv.vv_materialized ->
+    if vv.vv_stale then begin
+      match snap_locked sn (fun () -> Hashtbl.find_opt sn.sn_heal (key name)) with
+      | Some r -> Some r
+      | None ->
+        (* recompute from the frozen tables outside the lock (heals can
+           nest); racing domains compute equal relations, first one in
+           wins *)
+        let r = snap_run_query sn vv.vv_definition in
+        Some
+          (snap_locked sn (fun () ->
+               match Hashtbl.find_opt sn.sn_heal (key name) with
+               | Some r' -> r'
+               | None ->
+                 Hashtbl.replace sn.sn_heal (key name) r;
+                 r))
+    end
+    else (
+      match vv.vv_contents with
+      | Some r -> Some r
+      | None -> engine_error "materialized view %s has no contents" name)
+  | _ -> None
+
+and snap_binder_catalog sn : P.Binder.catalog =
+  {
+    P.Binder.resolve_table =
+      (fun name ->
+        match snap_find_table sn name with
+        | Some vt -> Some vt.vt_schema
+        | None ->
+          (match snap_view_contents sn name with
+           | Some r -> Some (Relation.schema r)
+           | None -> None));
+    resolve_view =
+      (fun name ->
+        match snap_find_view sn name with
+        | Some vv when not vv.vv_materialized -> Some vv.vv_definition
+        | _ -> None);
+  }
+
+(* Lazily build (and memoize) the index the live path would have: a
+   secondary index declared on a frozen table, or a view index from the
+   version's registry, keyed to the frozen contents. *)
+and snap_index sn ~relname ~column : Index.t option =
+  let memo_key = key relname ^ "\t" ^ key column in
+  match snap_locked sn (fun () -> Hashtbl.find_opt sn.sn_index_memo memo_key) with
+  | Some cached -> cached
+  | None ->
+    let built =
+      match snap_find_table sn relname with
+      | Some vt ->
+        (match
+           List.find_opt (fun (col, _) -> key col = key column) vt.vt_indexes
+         with
+         | None -> None
+         | Some (_, kind) ->
+           (match Schema.find_opt vt.vt_schema column with
+            | None -> None
+            | Some ci -> Some (Index.build kind vt.vt_rows ~key_col:ci)))
+      | None ->
+        (match
+           List.find_opt
+             (fun (view, col, _) -> key view = key relname && key col = key column)
+             sn.sn_version.v_view_indexes
+         with
+         | None -> None
+         | Some (_, _, kind) ->
+           (match snap_view_contents sn relname with
+            | None -> None
+            | Some r ->
+              (match Schema.find_opt (Relation.schema r) column with
+               | None -> None
+               | Some ci -> Some (Index.build kind (Relation.rows r) ~key_col:ci))))
+    in
+    snap_locked sn (fun () ->
+        match Hashtbl.find_opt sn.sn_index_memo memo_key with
+        | Some cached -> cached
+        | None ->
+          Hashtbl.replace sn.sn_index_memo memo_key built;
+          built)
+
+and snap_catalog_view sn : P.Physical.catalog_view =
+  {
+    P.Physical.table_contents =
+      (fun name ->
+        match snap_find_table sn name with
+        | Some vt -> Relation.of_array vt.vt_schema vt.vt_rows
+        | None ->
+          (match snap_view_contents sn name with
+           | Some r -> r
+           | None -> engine_error "unknown relation %s" name));
+    table_index = (fun ~table ~column -> snap_index sn ~relname:table ~column);
+  }
+
+and snap_plan_query sn (q : Ast.query) : P.Physical.t =
+  let cfg = sn.sn_version.v_cfg in
+  let logical = P.Binder.bind_query (snap_binder_catalog sn) q in
+  if Verify.enabled () then Verify.check_plan ~context:"bound plan" logical;
+  let logical =
+    match cfg.window_mode with
+    | `Native -> logical
+    | `Self_join -> P.Rewrite.window_to_self_join logical
+  in
+  let logical = P.Optimize.optimize logical in
+  if Verify.enabled () then Verify.check_plan ~context:"optimized plan" logical;
+  let opts =
+    {
+      P.Physical.window_strategy = cfg.window_strategy;
+      enable_hash_join = cfg.hash_join;
+      enable_index_join = cfg.index_join;
+    }
+  in
+  P.Physical.plan ~opts (snap_catalog_view sn) logical
+
+and snap_run_query sn (q : Ast.query) : Relation.t =
+  P.Physical.execute (snap_catalog_view sn) (snap_plan_query sn q)
+
+let snap_check_live sn =
+  if sn.sn_released then engine_error "snapshot is closed"
+
+let make_snapshot db v =
+  {
+    sn_db = db;
+    sn_version = v;
+    sn_mu = Mutex.create ();
+    sn_heal = Hashtbl.create 4;
+    sn_index_memo = Hashtbl.create 4;
+    sn_released = false;
+  }
+
+let snapshot db =
+  let mv = db.mvcc in
+  Mutex.lock mv.mv_mu;
+  match mv.mv_versions with
+  | [] ->
+    Mutex.unlock mv.mv_mu;
+    engine_error "no published version to snapshot" (* unreachable *)
+  | v :: _ ->
+    v.v_refs <- v.v_refs + 1;
+    Mutex.unlock mv.mv_mu;
+    make_snapshot db v
+
+let snapshot_at db ~lsn:want =
+  let mv = db.mvcc in
+  Mutex.lock mv.mv_mu;
+  let tip = match mv.mv_versions with [] -> 0 | v :: _ -> v.v_lsn in
+  match List.find_opt (fun v -> v.v_lsn = want) mv.mv_versions with
+  | Some v ->
+    v.v_refs <- v.v_refs + 1;
+    Mutex.unlock mv.mv_mu;
+    Ok (make_snapshot db v)
+  | None ->
+    Mutex.unlock mv.mv_mu;
+    Error
+      Staleness.
+        { applied_lsn = want; tip_lsn = tip;
+          lag = Staleness.lag ~applied_lsn:want ~tip_lsn:tip ~bytes:0 }
+
+let release db sn =
+  let mv = db.mvcc in
+  Mutex.lock mv.mv_mu;
+  if not sn.sn_released then begin
+    sn.sn_released <- true;
+    sn.sn_version.v_refs <- sn.sn_version.v_refs - 1;
+    sweep_versions mv
+  end;
+  Mutex.unlock mv.mv_mu
+
+let retained_lsns db =
+  let mv = db.mvcc in
+  Mutex.lock mv.mv_mu;
+  let lsns = List.map (fun v -> v.v_lsn) mv.mv_versions in
+  Mutex.unlock mv.mv_mu;
+  lsns
+
+let set_retain db n =
+  if n < 1 then engine_error "set_retain: window must be at least 1";
+  let mv = db.mvcc in
+  Mutex.lock mv.mv_mu;
+  mv.mv_retain <- n;
+  sweep_versions mv;
+  Mutex.unlock mv.mv_mu
+
+let open_snapshots db =
+  let mv = db.mvcc in
+  Mutex.lock mv.mv_mu;
+  let n = List.fold_left (fun acc v -> acc + v.v_refs) 0 mv.mv_versions in
+  Mutex.unlock mv.mv_mu;
+  n
+
+module Snapshot = struct
+  type t = snapshot
+
+  let lsn sn = sn.sn_version.v_lsn
+  let released sn = sn.sn_released
+
+  let query sn sql : Relation.t =
+    snap_check_live sn;
+    match Parser.statement sql with
+    | Ast.St_query q -> snap_run_query sn q
+    | stmt ->
+      engine_error "snapshot is read-only: %s is not a query"
+        (Pretty.statement stmt)
+
+  let run_query sn q =
+    snap_check_live sn;
+    snap_run_query sn q
+
+  let fingerprint sn : string =
+    snap_check_live sn;
+    fingerprint_parts
+      ~tables:
+        (List.map
+           (fun vt -> (vt.vt_name, Relation.of_array vt.vt_schema vt.vt_rows))
+           sn.sn_version.v_tables)
+      ~views:
+        (List.map
+           (fun vv -> (vv.vv_name, vv.vv_stale, vv.vv_contents))
+           sn.sn_version.v_views)
+
+  let close (sn : t) = release sn.sn_db sn
+end
 
 (* Promotion: turn an in-memory database (a replica's applied state)
    into a durable primary directory.  Writes a checkpoint carrying
@@ -1946,13 +2373,15 @@ let make_durable db ~dir ~lsn =
       };
   (* reuse the regular checkpoint path: bumps to epoch 1, snapshots the
      whole catalog with the carried lsn, installs the epoch-1 log *)
-  try checkpoint db
-  with e ->
-    (match db.durable with
-     | Some d -> (try Wal.close d.wal with _ -> ())
-     | None -> ());
-    db.durable <- None;
-    raise e
+  (try checkpoint db
+   with e ->
+     (match db.durable with
+      | Some d -> (try Wal.close d.wal with _ -> ())
+      | None -> ());
+     db.durable <- None;
+     raise e);
+  (* versions published while in memory carry surrogate LSNs *)
+  reset_versions db
 
 let close db =
   match db.durable with

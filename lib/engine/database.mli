@@ -295,3 +295,72 @@ val share_classes : t -> table:string -> string list list
 val binder_catalog : t -> P.Binder.catalog
 
 val catalog_view : t -> P.Physical.catalog_view
+
+(** {1 MVCC snapshots}
+
+    Every commit point — a top-level statement, a {!with_batch} commit,
+    recovery — publishes an immutable, LSN-stamped version of the
+    logical state.  Publication captures pointers (row arrays and view
+    contents are replaced wholesale by every mutation path, never
+    mutated in place), so the hot path pays O(tables + views), not a
+    deep copy.  A bounded window of recent versions stays acquirable;
+    an acquired snapshot pins its version beyond the window until
+    released, so neither eviction nor {!close} invalidates it.
+
+    Concurrency contract: {e one} writer executes statements and
+    batches; any number of domains may acquire snapshots and run
+    {!Snapshot.query} concurrently with the writer and each other. *)
+
+module Snapshot : sig
+  (** A frozen, immutable view of the database at one published LSN. *)
+  type t
+
+  (** The LSN this snapshot's state corresponds to.  On a durable
+      database this is the WAL position of the publishing commit; on an
+      in-memory database it is a session-local commit counter. *)
+  val lsn : t -> int
+
+  (** Run one query statement against the frozen state: the regular
+      plan pipeline over the version's tables, view contents and
+      indexes.  Safe to call from any domain.  A quarantined view heals
+      {e snapshot-locally} (recomputed from the frozen base tables,
+      memoized in the snapshot, never written back).
+      @raise Engine_error on a non-query statement or a closed
+      snapshot. *)
+  val query : t -> string -> Relation.t
+
+  val run_query : t -> Rfview_sql.Ast.query -> Relation.t
+
+  (** The frozen state's {!fingerprint} (same rendering as the live
+      one, stale views included as captured — the chaos oracle relies
+      on bit-identity). *)
+  val fingerprint : t -> string
+
+  (** Release the pinned version.  Idempotent. *)
+  val close : t -> unit
+
+  val released : t -> bool
+end
+
+(** Acquire the newest published version.  Never blocks on the writer
+    beyond the version-list mutex. *)
+val snapshot : t -> Snapshot.t
+
+(** Acquire the version published at exactly [lsn];
+    [Error violation] when that LSN has left the retained window (or
+    was never published). *)
+val snapshot_at :
+  t -> lsn:int -> (Snapshot.t, Staleness.violation) Stdlib.result
+
+(** Same as {!Snapshot.close}. *)
+val release : t -> Snapshot.t -> unit
+
+(** LSNs currently acquirable, newest first. *)
+val retained_lsns : t -> int list
+
+(** Resize the retained-version window (default 8, minimum 1).  Active
+    snapshots keep their versions alive regardless. *)
+val set_retain : t -> int -> unit
+
+(** Total acquired-and-unreleased snapshots. *)
+val open_snapshots : t -> int

@@ -1,0 +1,23 @@
+(* The shared staleness vocabulary: one lag record and one typed
+   violation for every read tier that can trail a tip — replicas
+   (records/bytes behind the shipped feed) and primary-side MVCC
+   snapshots (LSNs behind the retained-version window). *)
+
+type lag = { records : int; bytes : int }
+type violation = { applied_lsn : int; tip_lsn : int; lag : lag }
+
+let lag ~applied_lsn ~tip_lsn ~bytes =
+  { records = max 0 (tip_lsn - applied_lsn); bytes = max 0 bytes }
+
+let admit ?max_records ?max_bytes ~applied_lsn ~tip_lsn ~bytes () =
+  let lag = lag ~applied_lsn ~tip_lsn ~bytes in
+  let over = function Some bound, n -> n > bound | None, _ -> false in
+  if over (max_records, lag.records) || over (max_bytes, lag.bytes) then
+    Error { applied_lsn; tip_lsn; lag }
+  else Ok lag
+
+let describe { applied_lsn; tip_lsn; lag } =
+  Printf.sprintf
+    "stale read refused: applied lsn %d is %d records (%d feed bytes) behind \
+     tip %d"
+    applied_lsn lag.records lag.bytes tip_lsn

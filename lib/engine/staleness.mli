@@ -1,0 +1,35 @@
+(** The shared staleness vocabulary.
+
+    Both read tiers speak it: a replica refusing a read that trails the
+    primary tip ({!Rfview_replica.Replica.read}) and the primary-side
+    MVCC snapshot API refusing a historical LSN that has left the
+    retained-version window ({!Database.snapshot_at}).  One [lag]
+    record, one typed [violation], one bound check — so callers handle
+    "too old" identically wherever the read lands. *)
+
+(** How far a state trails the tip it is measured against. *)
+type lag = {
+  records : int;  (** LSNs behind the tip *)
+  bytes : int;  (** feed bytes not yet consumed (0 where meaningless) *)
+}
+
+(** A refused stale read: the state at [applied_lsn] trails [tip_lsn]
+    by [lag], past the caller's bound (or past the retained window). *)
+type violation = { applied_lsn : int; tip_lsn : int; lag : lag }
+
+(** [lag ~applied_lsn ~tip_lsn ~bytes] — [records] is clamped at 0. *)
+val lag : applied_lsn:int -> tip_lsn:int -> bytes:int -> lag
+
+(** [admit ~max_records ~max_bytes ~applied_lsn ~tip_lsn ~bytes] checks
+    a lag against the caller's bound; omitted bounds don't constrain. *)
+val admit :
+  ?max_records:int ->
+  ?max_bytes:int ->
+  applied_lsn:int ->
+  tip_lsn:int ->
+  bytes:int ->
+  unit ->
+  (lag, violation) result
+
+(** One line, human-readable. *)
+val describe : violation -> string

@@ -30,7 +30,7 @@ let replica_error fmt = Format.kasprintf (fun s -> raise (Replica_error s)) fmt
 let site_apply = Fault.define "replica.apply"
 let site_bootstrap = Fault.define "replica.bootstrap"
 
-type lag = { records : int; bytes : int }
+type lag = Staleness.lag = { records : int; bytes : int }
 
 type status =
   | Syncing  (** attached, nothing applied yet: the state is LSN 0 *)
@@ -38,7 +38,7 @@ type status =
   | Quarantined of { at_lsn : int; reason : string }
 
 type read_error =
-  | Stale of { applied_lsn : int; tip_lsn : int; lag : lag }
+  | Stale of Staleness.violation
   | Unavailable of string
 
 type t = {
@@ -154,21 +154,22 @@ let poll r : int =
 (* ---- Stale-bounded snapshot reads ---- *)
 
 let lag r ~tip =
-  {
-    records = max 0 (tip - r.applied_lsn);
-    bytes = max 0 (Feed.size r.feed - r.offset);
-  }
+  Staleness.lag ~applied_lsn:r.applied_lsn ~tip_lsn:tip
+    ~bytes:(Feed.size r.feed - r.offset)
 
 let read r ~tip ?max_records ?max_bytes sql :
     (Rfview_relalg.Relation.t * int, read_error) result =
   match r.status with
   | Quarantined { reason; _ } -> Error (Unavailable ("quarantined: " ^ reason))
   | Syncing | Ready ->
-    let lag = lag r ~tip in
-    let over = function Some bound, n -> n > bound | None, _ -> false in
-    if over (max_records, lag.records) || over (max_bytes, lag.bytes) then
-      Error (Stale { applied_lsn = r.applied_lsn; tip_lsn = tip; lag })
-    else Ok (Database.query r.db sql, r.applied_lsn)
+    (match
+       Staleness.admit ?max_records ?max_bytes ~applied_lsn:r.applied_lsn
+         ~tip_lsn:tip
+         ~bytes:(Feed.size r.feed - r.offset)
+         ()
+     with
+     | Error v -> Error (Stale v)
+     | Ok _lag -> Ok (Database.query r.db sql, r.applied_lsn))
 
 (* ---- Failover ---- *)
 

@@ -20,7 +20,11 @@ open Rfview_engine
 
 exception Replica_error of string
 
-type lag = {
+(** Alias of the shared staleness vocabulary ({!Staleness.lag}) both
+    read tiers speak; kept for one release — new code should name
+    [Staleness.lag] (or [Rfview.Staleness.lag]) directly.
+    @deprecated use {!Staleness.lag} *)
+type lag = Staleness.lag = {
   records : int;  (** LSNs behind the given primary tip *)
   bytes : int;  (** feed bytes not yet consumed *)
 }
@@ -31,7 +35,7 @@ type status =
   | Quarantined of { at_lsn : int; reason : string }
 
 type read_error =
-  | Stale of { applied_lsn : int; tip_lsn : int; lag : lag }
+  | Stale of Staleness.violation
       (** the staleness bound was not met; nothing was evaluated *)
   | Unavailable of string  (** quarantined — the state is not trusted *)
 

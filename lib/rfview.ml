@@ -11,6 +11,18 @@ module Binder = Rfview_planner.Binder
 module Rep = Rfview_replica.Replica
 module Ship = Rfview_replica.Ship
 
+module Staleness = struct
+  type lag = Rfview_engine.Staleness.lag = { records : int; bytes : int }
+
+  type violation = Rfview_engine.Staleness.violation = {
+    applied_lsn : int;
+    tip_lsn : int;
+    lag : lag;
+  }
+
+  let describe = Rfview_engine.Staleness.describe
+end
+
 module Config = struct
   type window_mode = Db.window_mode
 
@@ -35,7 +47,7 @@ end
 module Session = struct
   type t = { db : Db.t; mutable report : Db.recovery_report option }
 
-  type lag = Rep.lag = { records : int; bytes : int }
+  type lag = Staleness.lag = { records : int; bytes : int }
 
   type health = Db.health =
     | Healthy
@@ -48,7 +60,7 @@ module Session = struct
     | Quarantined of { views : string list; detail : string }
     | Recovery of string
     | Script of { index : int; sql : string; cause : error }
-    | Stale of { applied_lsn : int; tip_lsn : int; lag : lag }
+    | Stale of Staleness.violation
     | Degraded_mode of { reason : string }
 
   type result = Db.result =
@@ -72,11 +84,7 @@ module Session = struct
     | Recovery m -> "recovery failed: " ^ m
     | Script { index; sql; cause } ->
       Printf.sprintf "statement %d (%s): %s" index sql (describe_error cause)
-    | Stale { applied_lsn; tip_lsn; lag } ->
-      Printf.sprintf
-        "stale read refused: applied lsn %d is %d records (%d feed bytes) \
-         behind tip %d"
-        applied_lsn lag.records lag.bytes tip_lsn
+    | Stale v -> Staleness.describe v
     | Degraded_mode { reason } ->
       Printf.sprintf "write rejected, session is degraded (read-only): %s" reason
 
@@ -166,7 +174,23 @@ module Session = struct
     | Some n when n < 0 -> invalid_arg "Session.exec_script: negative batch"
     | Some n -> wrap session (fun () -> exec_script_chunked session n sql)
 
-  let query session sql = wrap session (fun () -> Db.query session.db sql)
+  (* [query] is sugar for "snapshot at tip": when the session is quiescent
+     (no open batch, no stale views awaiting heal-on-read) the read runs
+     against the freshest published MVCC version, exactly as a concurrent
+     reader domain would see it.  Inside a batch (read-your-writes) or with
+     stale views pending (heal-on-read must commit into the live database)
+     the read takes the direct path instead. *)
+  let query session sql =
+    wrap session (fun () ->
+        if Db.in_batch session.db || Db.stale_views session.db <> [] then
+          Db.query session.db sql
+        else begin
+          let sn = Db.snapshot session.db in
+          Fun.protect
+            ~finally:(fun () -> Db.Snapshot.close sn)
+            (fun () -> Db.Snapshot.query sn sql)
+        end)
+
   let with_batch session f = Db.with_batch session.db f
   let checkpoint session = wrap session (fun () -> Db.checkpoint session.db)
   let set_checkpoint_every session n = Db.set_checkpoint_every session.db n
@@ -174,8 +198,29 @@ module Session = struct
   let stale_views session = Db.stale_views session.db
   let config session = Db.config session.db
   let reconfigure session cfg = Db.reconfigure session.db cfg
-  let database session = session.db
   let lsn session = Db.lsn session.db
+
+  (* Typed pass-throughs that used to require the [database] escape
+     hatch; in-tree tools (bin, bench) now stay on the façade. *)
+  let exec_statement session st =
+    wrap session (fun () -> Db.exec_statement session.db st)
+
+  let binder_catalog session = Db.binder_catalog session.db
+  let catalog_view session = Db.catalog_view session.db
+  let load_table session ~table rows = Db.load_table session.db ~table rows
+  let fingerprint session = Db.fingerprint session.db
+
+  let is_derived_maintained session name =
+    Db.is_derived_maintained session.db name
+
+  let share_classes session ~table = Db.share_classes session.db ~table
+
+  let derivability_certificates session q =
+    Rfview_engine.Advisor.certificates session.db q
+
+  module Unsafe = struct
+    let database session = session.db
+  end
 
   (* ---- Replication ----
 
@@ -217,8 +262,7 @@ module Session = struct
   let read_replica r ~tip ?max_records ?max_bytes sql =
     match Rep.read r ~tip ?max_records ?max_bytes sql with
     | Ok (rel, at) -> Ok (rel, at)
-    | Error (Rep.Stale { applied_lsn; tip_lsn; lag }) ->
-      Error (Stale { applied_lsn; tip_lsn; lag })
+    | Error (Rep.Stale v) -> Error (Stale v)
     | Error (Rep.Unavailable m) -> Error (Runtime ("replica: " ^ m))
     | exception e -> Error (error_of_exn ~fresh:[] e)
 
@@ -241,4 +285,30 @@ module Session = struct
     match Db.durable_dir session.db with
     | None -> Error (Runtime "scrub needs a durable session (open_durable)")
     | Some dir -> wrap_rep (fun () -> scrub_dir ?feeds dir)
+end
+
+module Snapshot = struct
+  type t = Db.Snapshot.t
+
+  let snapshot (session : Session.t) = Db.snapshot session.db
+
+  let at (session : Session.t) ~lsn :
+      (t, Session.error) result =
+    match Db.snapshot_at session.db ~lsn with
+    | Ok sn -> Ok sn
+    | Error v -> Error (Session.Stale v)
+
+  let lsn = Db.Snapshot.lsn
+  let released = Db.Snapshot.released
+  let fingerprint = Db.Snapshot.fingerprint
+  let close = Db.Snapshot.close
+
+  let query sn sql : (Relation.t, Session.error) result =
+    match Db.Snapshot.query sn sql with
+    | rel -> Ok rel
+    | exception e -> Error (Session.error_of_exn ~fresh:[] e)
+
+  let retained (session : Session.t) = Db.retained_lsns session.db
+  let open_count (session : Session.t) = Db.open_snapshots session.db
+  let set_retain (session : Session.t) n = Db.set_retain session.db n
 end

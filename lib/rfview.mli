@@ -2,12 +2,39 @@
 
     This is the façade downstream code should program against: the
     [Rfview.Session] handle wraps the engine behind a result-typed
-    surface with structured errors, and [Rfview.Config] fixes all
-    execution knobs at open time.  Everything underneath
-    ({!Session.database} and the [Rfview_*] libraries) remains
-    reachable but is {e not} covered by the stability promise. *)
+    surface with structured errors, [Rfview.Config] fixes all
+    execution knobs at open time, and [Rfview.Snapshot] gives
+    immutable point-in-time read handles safe to query from other
+    domains.  Everything underneath ({!Session.Unsafe.database} and
+    the [Rfview_*] libraries) remains reachable but is {e not} covered
+    by the stability promise. *)
 
 module Relation = Rfview_relalg.Relation
+
+(** {1 Staleness}
+
+    The one vocabulary every stale-bounded read tier speaks: replica
+    reads ({!Session.read_replica}) and historical snapshot opens
+    ({!Snapshot.at}) refuse with the same {!Staleness.violation}. *)
+
+module Staleness : sig
+  (** How far a read state trails the primary tip. *)
+  type lag = Rfview_engine.Staleness.lag = {
+    records : int;  (** LSNs behind the tip *)
+    bytes : int;  (** feed bytes not yet consumed (0 where meaningless) *)
+  }
+
+  (** A refused stale read: the state at [applied_lsn] trails
+      [tip_lsn] by more than the caller's bound. *)
+  type violation = Rfview_engine.Staleness.violation = {
+    applied_lsn : int;
+    tip_lsn : int;
+    lag : lag;
+  }
+
+  (** One line, human-readable. *)
+  val describe : violation -> string
+end
 
 (** {1 Configuration} *)
 
@@ -51,8 +78,9 @@ module Session : sig
   (** A handle on one open database (in-memory or durable). *)
   type t
 
-  (** How far a replica trails its primary. *)
-  type lag = Rfview_replica.Replica.lag = {
+  (** Alias of {!Staleness.lag}, kept for one release.
+      @deprecated use {!Staleness.lag} *)
+  type lag = Staleness.lag = {
     records : int;  (** LSNs behind the primary tip *)
     bytes : int;  (** feed bytes not yet consumed *)
   }
@@ -78,9 +106,9 @@ module Session : sig
     | Script of { index : int; sql : string; cause : error }
         (** statement [index] (1-based) of a script failed; prior
             statements committed *)
-    | Stale of { applied_lsn : int; tip_lsn : int; lag : lag }
-        (** a {!read_replica} whose staleness bound the replica could
-            not meet; nothing was evaluated *)
+    | Stale of Staleness.violation
+        (** a {!read_replica} or {!Snapshot.at} whose staleness bound
+            could not be met; nothing was evaluated *)
     | Degraded_mode of { reason : string }
         (** the write was rejected: the session is in disk-full
             degraded mode (see {!health}); state is unchanged and reads
@@ -129,8 +157,26 @@ module Session : sig
       the failing one have committed. *)
   val exec_script : ?batch:int -> t -> string -> (result list, error) Stdlib.result
 
-  (** Execute a query statement and return its rows. *)
+  (** Execute a query statement and return its rows.
+
+      Sugar for "snapshot at tip": when the session is quiescent (no
+      open batch, no quarantined views awaiting heal-on-read) the read
+      runs against the freshest published MVCC version — exactly what
+      a concurrent {!Snapshot.snapshot} taken now would see.  Inside
+      {!with_batch} the direct path preserves read-your-writes; with
+      stale views pending, the direct path heals them into the live
+      database first. *)
   val query : t -> string -> (Relation.t, error) Stdlib.result
+
+  (** Execute one already-parsed statement (the typed sibling of
+      {!exec}, for tooling that iterates
+      {!Rfview_sql.Parser.statements}). *)
+  val exec_statement :
+    t -> Rfview_sql.Ast.statement -> (result, error) Stdlib.result
+
+  (** Bulk-load pre-built rows into a table (one batch commit);
+      see {!Rfview_engine.Database.load_table}. *)
+  val load_table : t -> table:string -> Rfview_relalg.Row.t array -> unit
 
   (** Run [f] inside a batch scope (see {!Rfview_engine.Database.with_batch}):
       deltas accumulate and propagate once per view at scope exit, with
@@ -262,8 +308,90 @@ module Session : sig
   val config : t -> Config.t
   val reconfigure : t -> Config.t -> unit
 
-  (** The underlying engine handle — the escape hatch for tooling
-      (lint, analysis, benchmarks).  Everything reached through it is
-      outside the stability promise of this module. *)
-  val database : t -> Rfview_engine.Database.t
+  (** Canonical whole-state fingerprint (every table and materialized
+      view rendered sorted); equal states render equal strings. *)
+  val fingerprint : t -> string
+
+  (** Whether the named view is kept fresh by delta propagation
+      (vs re-render); see
+      {!Rfview_engine.Database.is_derived_maintained}. *)
+  val is_derived_maintained : t -> string -> bool
+
+  (** Certified scan-share classes over [table]'s sequence views; see
+      {!Rfview_engine.Database.share_classes}. *)
+  val share_classes : t -> table:string -> string list list
+
+  (** Per matching materialized view, the derivability certificate of
+      every candidate strategy; see
+      {!Rfview_engine.Advisor.certificates}. *)
+  val derivability_certificates :
+    t -> Rfview_sql.Ast.query -> (string * Rfview_analysis.Cert.t list) list
+
+  (** A binder catalog over the session's current schema, for tooling
+      that binds queries without executing them. *)
+  val binder_catalog : t -> Rfview_planner.Binder.catalog
+
+  (** A physical catalog view over current contents, for cost/abstract
+      analysis against live cardinalities. *)
+  val catalog_view : t -> Rfview_planner.Physical.catalog_view
+
+  (** Escape hatch to the raw engine handle.  Anything reached through
+      it bypasses the façade's result-typed error contract, the MVCC
+      snapshot discipline, {e and} the stability promise — new code
+      should use the typed surface above. *)
+  module Unsafe : sig
+    val database : t -> Rfview_engine.Database.t
+    [@@alert
+      unsafe
+        "Session.Unsafe.database bypasses the stable façade; use the \
+         typed Session/Snapshot API instead"]
+  end
+end
+
+(** {1 Snapshots}
+
+    Immutable point-in-time read handles over a session's MVCC version
+    store.  A snapshot pins one published commit point (pointer
+    capture — no copy) and serves queries against exactly that state,
+    from any domain, while the owning session keeps writing.  The
+    engine retains a bounded window of recent versions (default 8);
+    pinned versions survive eviction until closed. *)
+
+module Snapshot : sig
+  type t
+
+  (** Pin the freshest published version. *)
+  val snapshot : Session.t -> t
+
+  (** Pin the historical version at exactly [lsn];
+      [Error (Stale _)] when it has left the retained window (or never
+      existed), reporting how far behind the tip it is. *)
+  val at : Session.t -> lsn:int -> (t, Session.error) Stdlib.result
+
+  (** The commit point this snapshot reflects. *)
+  val lsn : t -> int
+
+  (** Evaluate a query against the pinned state.  Read-only: non-query
+      statements are refused with [Error (Runtime _)].  Safe to call
+      from any domain, concurrently with the writer. *)
+  val query : t -> string -> (Relation.t, Session.error) Stdlib.result
+
+  (** Canonical fingerprint of the pinned state — bit-identical to
+      {!Session.fingerprint} of the live database at the same LSN. *)
+  val fingerprint : t -> string
+
+  (** Release the pin.  Idempotent; querying a closed snapshot is an
+      error. *)
+  val close : t -> unit
+
+  val released : t -> bool
+
+  (** LSNs currently snapshottable via {!at}, newest first. *)
+  val retained : Session.t -> int list
+
+  (** How many snapshots are currently open on the session. *)
+  val open_count : Session.t -> int
+
+  (** Resize the retained-version window (min 1; default 8). *)
+  val set_retain : Session.t -> int -> unit
 end

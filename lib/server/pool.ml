@@ -1,0 +1,85 @@
+type t = {
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  jobs : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+  size : int;
+}
+
+(* Workers drain the queue even while stopping: shutdown means "no new
+   jobs", not "drop pending ones". *)
+let rec worker_loop p =
+  Mutex.lock p.mu;
+  while Queue.is_empty p.jobs && not p.stopping do
+    Condition.wait p.nonempty p.mu
+  done;
+  if Queue.is_empty p.jobs then Mutex.unlock p.mu
+  else begin
+    let job = Queue.pop p.jobs in
+    Mutex.unlock p.mu;
+    (try job () with _ -> ());
+    worker_loop p
+  end
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: need at least one domain";
+  let p =
+    {
+      mu = Mutex.create ();
+      nonempty = Condition.create ();
+      jobs = Queue.create ();
+      stopping = false;
+      workers = [];
+      size = domains;
+    }
+  in
+  p.workers <-
+    List.init domains (fun _ -> Domain.spawn (fun () -> worker_loop p));
+  p
+
+let domains p = p.size
+
+let submit p job =
+  Mutex.lock p.mu;
+  if p.stopping then begin
+    Mutex.unlock p.mu;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push job p.jobs;
+  Condition.signal p.nonempty;
+  Mutex.unlock p.mu
+
+type 'a promise = {
+  pmu : Mutex.t;
+  pdone : Condition.t;
+  mutable outcome : ('a, exn) result option;
+}
+
+let async p f =
+  let pr = { pmu = Mutex.create (); pdone = Condition.create (); outcome = None } in
+  submit p (fun () ->
+      let o = match f () with v -> Ok v | exception e -> Error e in
+      Mutex.lock pr.pmu;
+      pr.outcome <- Some o;
+      Condition.broadcast pr.pdone;
+      Mutex.unlock pr.pmu);
+  pr
+
+let await pr =
+  Mutex.lock pr.pmu;
+  while pr.outcome = None do
+    Condition.wait pr.pdone pr.pmu
+  done;
+  let o = Option.get pr.outcome in
+  Mutex.unlock pr.pmu;
+  match o with Ok v -> v | Error e -> raise e
+
+let shutdown p =
+  Mutex.lock p.mu;
+  p.stopping <- true;
+  Condition.broadcast p.nonempty;
+  Mutex.unlock p.mu;
+  let ws = p.workers in
+  p.workers <- [];
+  List.iter Domain.join ws

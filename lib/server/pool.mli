@@ -1,0 +1,32 @@
+(** A hand-rolled fixed-size domain pool (no external dependency):
+    [domains] worker domains drain one FIFO job queue under a
+    mutex/condition pair.
+
+    Built for the session server's read path — every job is expected to
+    be read-only with respect to shared state (snapshot queries), with
+    the single writer serialized elsewhere.  The pool itself makes no
+    such assumption; it just runs thunks. *)
+
+type t
+
+(** Spawn [domains] (>= 1) worker domains. *)
+val create : domains:int -> t
+
+val domains : t -> int
+
+(** Enqueue a job; some worker runs it eventually.  Exceptions the job
+    raises are swallowed (use {!async} to observe them).
+    @raise Invalid_argument after {!shutdown}. *)
+val submit : t -> (unit -> unit) -> unit
+
+(** A handle on one submitted job's outcome. *)
+type 'a promise
+
+(** Enqueue a job and get a handle on its result. *)
+val async : t -> (unit -> 'a) -> 'a promise
+
+(** Block until the job has run; re-raises whatever it raised. *)
+val await : 'a promise -> 'a
+
+(** Drain the queue, then stop and join every worker.  Idempotent. *)
+val shutdown : t -> unit

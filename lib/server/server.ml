@@ -1,0 +1,247 @@
+module Session = Rfview.Session
+module Snapshot = Rfview.Snapshot
+module Relation = Rfview_relalg.Relation
+
+type t = {
+  session : Session.t;
+  pool : Pool.t;
+  sock : Unix.file_descr;
+  port : int;
+  writer_mu : Mutex.t;
+  stop_flag : bool Atomic.t;
+  sock_closed : bool Atomic.t;
+  mutable acceptor : unit Domain.t option;
+}
+
+let port srv = srv.port
+
+let close_sock srv =
+  (* exactly-once: a double [Unix.close] could hit a reused descriptor *)
+  if Atomic.compare_and_set srv.sock_closed false true then
+    try Unix.close srv.sock with Unix.Unix_error _ -> ()
+
+(* ---- per-connection protocol loop (runs on a pool worker) ---- *)
+
+let render_result = function
+  | Session.Relation rel -> Relation.render rel
+  | Session.Done msg -> msg
+
+let describe = Session.describe_error
+
+let query_response rel ~lsn =
+  Wire.ok_fields
+    [
+      ("lsn", Wire.jint lsn);
+      ("rows", Wire.jint (Relation.cardinality rel));
+      ("data", Wire.jstr (Relation.render ~max_rows:max_int rel));
+    ]
+
+let handle_conn srv fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let pinned = ref None in
+  let release () =
+    Option.iter Snapshot.close !pinned;
+    pinned := None
+  in
+  let respond s =
+    output_string oc s;
+    output_char oc '\n';
+    flush oc
+  in
+  let with_writer f =
+    Mutex.lock srv.writer_mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock srv.writer_mu) f
+  in
+  let do_open rest =
+    match
+      if rest = "" then Ok (Snapshot.snapshot srv.session)
+      else
+        match int_of_string_opt rest with
+        | None -> Error (Session.Runtime ("open: not an lsn: " ^ rest))
+        | Some lsn -> Snapshot.at srv.session ~lsn
+    with
+    | Ok sn ->
+      release ();
+      pinned := Some sn;
+      respond (Wire.ok_fields [ ("lsn", Wire.jint (Snapshot.lsn sn)) ])
+    | Error e -> respond (Wire.error (describe e))
+  in
+  let do_query sql =
+    let answer sn =
+      match Snapshot.query sn sql with
+      | Ok rel -> respond (query_response rel ~lsn:(Snapshot.lsn sn))
+      | Error e -> respond (Wire.error (describe e))
+    in
+    match !pinned with
+    | Some sn -> answer sn
+    | None ->
+      let sn = Snapshot.snapshot srv.session in
+      Fun.protect ~finally:(fun () -> Snapshot.close sn) (fun () -> answer sn)
+  in
+  let do_exec sql =
+    match with_writer (fun () -> Session.exec srv.session sql) with
+    | Ok r ->
+      respond
+        (Wire.ok_fields
+           [
+             ("result", Wire.jstr (render_result r));
+             ("lsn", Wire.jint (Session.lsn srv.session));
+           ])
+    | Error e -> respond (Wire.error (describe e))
+  in
+  let do_batch rest =
+    match int_of_string_opt rest with
+    | None -> respond (Wire.error "batch: expected a statement count")
+    | Some n when n <= 0 -> respond (Wire.error "batch: count must be positive")
+    | Some n ->
+      (* read the statements first: the writer lock is never held while
+         blocked on the client *)
+      let stmts = List.init n (fun _ -> input_line ic) in
+      let results =
+        with_writer (fun () ->
+            Session.with_batch srv.session (fun () ->
+                List.map (Session.exec srv.session) stmts))
+      in
+      let failed =
+        List.filter_map (function Error e -> Some e | Ok _ -> None) results
+      in
+      let fields =
+        [
+          ("executed", Wire.jint (n - List.length failed));
+          ("lsn", Wire.jint (Session.lsn srv.session));
+        ]
+      in
+      (match failed with
+       | [] -> respond (Wire.ok_fields fields)
+       | e :: _ ->
+         respond
+           (Wire.ok_fields (fields @ [ ("first_error", Wire.jstr (describe e)) ])))
+  in
+  let do_status () =
+    respond
+      (Wire.ok_fields
+         [
+           ("lsn", Wire.jint (Session.lsn srv.session));
+           ( "retained",
+             Wire.jlist (List.map Wire.jint (Snapshot.retained srv.session)) );
+           ("snapshots", Wire.jint (Snapshot.open_count srv.session));
+           ("domains", Wire.jint (Pool.domains srv.pool));
+         ])
+  in
+  let rec loop () =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _) -> ()
+    | line ->
+      let continue = ref true in
+      (try
+         match Wire.split line with
+         | "", _ -> respond (Wire.error "empty request")
+         | "ping", _ -> respond (Wire.ok_fields [ ("pong", "true") ])
+         | "open", rest -> do_open rest
+         | "query", sql -> do_query sql
+         | "exec", sql -> do_exec sql
+         | "batch", rest -> do_batch rest
+         | "status", _ -> do_status ()
+         | "close", _ ->
+           release ();
+           respond (Wire.ok_fields [])
+         | "quit", _ ->
+           respond (Wire.ok_fields []);
+           continue := false
+         | "shutdown", _ ->
+           respond (Wire.ok_fields []);
+           Atomic.set srv.stop_flag true;
+           continue := false
+         | verb, _ -> respond (Wire.error ("unknown verb: " ^ verb))
+       with e -> (try respond (Wire.error (Printexc.to_string e)) with _ -> ()));
+      if !continue then loop ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      release ();
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    loop
+
+(* ---- acceptor ---- *)
+
+(* Poll with a short select timeout so a shutdown requested from a
+   connection handler (another domain) is noticed without relying on
+   cross-domain close-while-blocked-in-accept semantics. *)
+let rec accept_loop srv =
+  if not (Atomic.get srv.stop_flag) then begin
+    match Unix.select [ srv.sock ] [] [] 0.1 with
+    | exception Unix.Unix_error _ -> ()
+    | [], _, _ -> accept_loop srv
+    | _ ->
+      (match Unix.accept srv.sock with
+       | fd, _ ->
+         (try Pool.submit srv.pool (fun () -> handle_conn srv fd)
+          with Invalid_argument _ -> Unix.close fd)
+       | exception Unix.Unix_error _ -> Atomic.set srv.stop_flag true);
+      accept_loop srv
+  end
+
+let start ?(domains = 4) ~session ~port () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  (try Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+   with e ->
+     Unix.close sock;
+     raise e);
+  Unix.listen sock 16;
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let srv =
+    {
+      session;
+      pool = Pool.create ~domains;
+      sock;
+      port;
+      writer_mu = Mutex.create ();
+      stop_flag = Atomic.make false;
+      sock_closed = Atomic.make false;
+      acceptor = None;
+    }
+  in
+  srv.acceptor <- Some (Domain.spawn (fun () -> accept_loop srv));
+  srv
+
+let wait srv =
+  Option.iter Domain.join srv.acceptor;
+  srv.acceptor <- None;
+  Pool.shutdown srv.pool;
+  close_sock srv
+
+let stop srv =
+  Atomic.set srv.stop_flag true;
+  wait srv
+
+(* ---- client ---- *)
+
+module Client = struct
+  type conn = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+  let connect ~port =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+     with e ->
+       Unix.close fd;
+       raise e);
+    {
+      fd;
+      ic = Unix.in_channel_of_descr fd;
+      oc = Unix.out_channel_of_descr fd;
+    }
+
+  let request c line =
+    output_string c.oc line;
+    output_char c.oc '\n';
+    flush c.oc;
+    input_line c.ic
+
+  let disconnect c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+end

@@ -1,0 +1,62 @@
+(** The concurrent session server: one writer, many snapshot readers.
+
+    [start] binds a loopback TCP socket and serves the line/JSON
+    protocol of {!Wire} over one {!Rfview.Session}: every read runs
+    against an MVCC snapshot on a {!Pool} worker domain, every write is
+    serialized through one writer mutex.  A connection occupies its
+    worker for its lifetime, so the pool size bounds concurrent
+    connections.
+
+    {2 Protocol}
+
+    One request line in, one JSON object line out:
+
+    {v
+    ping                 {"ok":true,"pong":true}
+    open [LSN]           pin a snapshot (at LSN, default tip) for this
+                         connection → {"ok":true,"lsn":N}
+    query SQL            evaluate against the pinned snapshot, or a
+                         fresh tip snapshot when none is pinned
+                         → {"ok":true,"lsn":N,"rows":R,"data":"..."}
+    exec SQL             execute one statement (writer-serialized)
+    batch N              read the next N lines as statements, execute
+                         them in one batch scope (one group commit)
+    status               {"ok":true,"lsn":N,"retained":[...],
+                          "snapshots":K,"domains":D}
+    close                release the pinned snapshot
+    quit                 end this connection
+    shutdown             stop the whole server
+    v} *)
+
+type t
+
+(** Serve [session] on loopback [port] ([0] picks an ephemeral port —
+    read it back with {!port}) with [domains] reader domains
+    (default 4). *)
+val start : ?domains:int -> session:Rfview.Session.t -> port:int -> unit -> t
+
+val port : t -> int
+
+(** Block until the server stops (a client sent [shutdown], or {!stop}
+    was called), then drain and join every domain.  Idempotent with
+    {!stop}. *)
+val wait : t -> unit
+
+(** Request shutdown and {!wait}. *)
+val stop : t -> unit
+
+(** {1 Client}
+
+    A minimal blocking client for the protocol — what [rfview call]
+    and the smoke tests use. *)
+
+module Client : sig
+  type conn
+
+  val connect : port:int -> conn
+
+  (** One round-trip: send the request line, read the response line. *)
+  val request : conn -> string -> string
+
+  val disconnect : conn -> unit
+end

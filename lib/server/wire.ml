@@ -1,0 +1,80 @@
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jstr s = "\"" ^ json_escape s ^ "\""
+
+let jobj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields) ^ "}"
+
+let jlist items = "[" ^ String.concat "," items ^ "]"
+let jint = string_of_int
+let jbool = string_of_bool
+
+let split line =
+  let line = String.trim line in
+  match String.index_opt line ' ' with
+  | None -> (line, "")
+  | Some i ->
+    ( String.sub line 0 i,
+      String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+
+let ok_fields fields = jobj (("ok", "true") :: fields)
+let error msg = jobj [ ("ok", "false"); ("error", jstr msg) ]
+
+(* Scan for  "name": <value>  at top level; value ends at the next
+   unescaped ',' or '}' (strings keep their quotes stripped). *)
+let field json name =
+  let needle = "\"" ^ name ^ "\":" in
+  let nlen = String.length needle and len = String.length json in
+  let rec find i =
+    if i + nlen > len then None
+    else if String.sub json i nlen = needle then Some (i + nlen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    if start < len && json.[start] = '"' then begin
+      (* string value: scan to the closing unescaped quote *)
+      let b = Buffer.create 16 in
+      let rec scan i =
+        if i >= len then None
+        else
+          match json.[i] with
+          | '"' -> Some (Buffer.contents b)
+          | '\\' when i + 1 < len ->
+            (match json.[i + 1] with
+             | 'n' -> Buffer.add_char b '\n'
+             | 'r' -> Buffer.add_char b '\r'
+             | 't' -> Buffer.add_char b '\t'
+             | c -> Buffer.add_char b c);
+            scan (i + 2)
+          | c ->
+            Buffer.add_char b c;
+            scan (i + 1)
+      in
+      scan (start + 1)
+    end
+    else begin
+      let stop = ref start in
+      while
+        !stop < len && json.[!stop] <> ',' && json.[!stop] <> '}'
+        && json.[!stop] <> ']'
+      do
+        incr stop
+      done;
+      Some (String.trim (String.sub json start (!stop - start)))
+    end

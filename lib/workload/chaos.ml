@@ -1026,6 +1026,11 @@ let fingerprint (db : Db.t) : string =
          | None -> ());
   Buffer.contents buf
 
+(* The same dump for a façade session (the engine handle stays inside
+   this library). *)
+let fingerprint_session s =
+  fingerprint ((Rfview.Session.Unsafe.database [@alert "-unsafe"]) s)
+
 (* ---- Storage-fault chaos ----
 
    The same stream and oracle over a durable primary whose every disk

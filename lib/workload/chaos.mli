@@ -165,6 +165,9 @@ val run_replica : ?config:replica_config -> dir:string -> unit -> replica_report
     identical — the rollback-idempotence oracle for the property tests. *)
 val fingerprint : Db.t -> string
 
+(** {!fingerprint} of a façade session's database. *)
+val fingerprint_session : Rfview.Session.t -> string
+
 (** {1 Storage-fault chaos}
 
     The same stream and oracle over a durable primary whose every disk

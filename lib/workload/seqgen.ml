@@ -48,3 +48,13 @@ let create_matseq_table ?(name = "matseq") ?(indexed = false) db
   Db.load_table db ~table:name rows;
   if indexed then
     ignore (Db.exec db (Printf.sprintf "CREATE INDEX %s_pos ON %s (pos)" name name))
+
+(* Façade-session variants: the engine handle never escapes the
+   library, so callers on the typed API stay alert-clean. *)
+let session_db s = (Rfview.Session.Unsafe.database [@alert "-unsafe"]) s
+
+let create_seq_table_session ?name ?indexed s values =
+  create_seq_table ?name ?indexed (session_db s) values
+
+let create_matseq_table_session ?name ?indexed s seq =
+  create_matseq_table ?name ?indexed (session_db s) seq

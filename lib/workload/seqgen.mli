@@ -23,3 +23,11 @@ val create_seq_table : ?name:string -> ?indexed:bool -> Db.t -> float array -> u
 (** Store a {e complete} materialized sequence (header and trailer
     included, §3.2) in a table (default ["matseq"]). *)
 val create_matseq_table : ?name:string -> ?indexed:bool -> Db.t -> Core.Seqdata.t -> unit
+
+(** {!create_seq_table} against a façade session. *)
+val create_seq_table_session :
+  ?name:string -> ?indexed:bool -> Rfview.Session.t -> float array -> unit
+
+(** {!create_matseq_table} against a façade session. *)
+val create_matseq_table_session :
+  ?name:string -> ?indexed:bool -> Rfview.Session.t -> Core.Seqdata.t -> unit

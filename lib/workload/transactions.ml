@@ -80,6 +80,11 @@ let load ?(config = default_config) db =
   Db.load_table db ~table:"l_locations" (generate_locations prng config);
   Db.load_table db ~table:"c_transactions" (generate_transactions prng config)
 
+(* Same, against a façade session.  The engine handle never escapes the
+   library, so callers stay alert-clean. *)
+let load_session ?config session =
+  load ?config ((Rfview.Session.Unsafe.database [@alert "-unsafe"]) session)
+
 (* The reporting-function query from the paper's introduction, for a given
    customer. *)
 let intro_query ?(custid = 4711) () =

@@ -21,6 +21,10 @@ val transactions_schema : Schema.t
 (** Create and populate both tables. *)
 val load : ?config:config -> Db.t -> unit
 
+(** {!load} against a façade session — tooling on the typed API never
+    has to reach the engine handle. *)
+val load_session : ?config:config -> Rfview.Session.t -> unit
+
 (** The reporting-function query from the paper's introduction (overall
     and per-month cumulative sums, centered 3-day and prospective 7-day
     moving averages) for one customer. *)

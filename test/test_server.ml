@@ -1,0 +1,189 @@
+(* Session-server tests: the domain pool, the wire format, and real
+   socket round-trips against a running server — including concurrent
+   clients mixing snapshot reads with writer-serialized writes.
+
+   RFVIEW_TEST_DOMAINS (default 4) sizes the pool for the concurrent
+   suite; CI runs at 1 and at 4. *)
+
+module Pool = Rfview_server.Pool
+module Wire = Rfview_server.Wire
+module Server = Rfview_server.Server
+module Session = Rfview.Session
+
+let test_domains =
+  match Sys.getenv_opt "RFVIEW_TEST_DOMAINS" with
+  | Some s -> (try max 1 (int_of_string s) with _ -> 4)
+  | None -> 4
+
+(* ---- Pool ---- *)
+
+let test_pool_runs_jobs () =
+  let p = Pool.create ~domains:test_domains in
+  let hits = Atomic.make 0 in
+  let promises =
+    List.init 50 (fun i -> Pool.async p (fun () -> Atomic.incr hits; i * i))
+  in
+  let results = List.map Pool.await promises in
+  Pool.shutdown p;
+  Alcotest.(check int) "every job ran" 50 (Atomic.get hits);
+  Alcotest.(check (list int)) "results in submission order"
+    (List.init 50 (fun i -> i * i))
+    results
+
+let test_pool_propagates_exceptions () =
+  let p = Pool.create ~domains:1 in
+  let pr = Pool.async p (fun () -> failwith "boom") in
+  (match Pool.await pr with
+   | _ -> Alcotest.fail "await must re-raise"
+   | exception Failure m -> Alcotest.(check string) "the job's exception" "boom" m);
+  Pool.shutdown p;
+  (match Pool.submit p (fun () -> ()) with
+   | () -> Alcotest.fail "submit after shutdown must refuse"
+   | exception Invalid_argument _ -> ());
+  (* shutdown is idempotent *)
+  Pool.shutdown p
+
+(* ---- Wire ---- *)
+
+let test_wire_roundtrip () =
+  Alcotest.(check string) "escaping" "a\\\"b\\\\c\\nd"
+    (Wire.json_escape "a\"b\\c\nd");
+  let obj = Wire.ok_fields [ ("n", Wire.jint 3); ("s", Wire.jstr "x y") ] in
+  Alcotest.(check (option string)) "scalar field" (Some "3") (Wire.field obj "n");
+  Alcotest.(check (option string)) "string field" (Some "x y")
+    (Wire.field obj "s");
+  Alcotest.(check (option string)) "ok field" (Some "true") (Wire.field obj "ok");
+  Alcotest.(check (option string)) "missing field" None (Wire.field obj "zzz");
+  Alcotest.(check (pair string string)) "split" ("query", "SELECT 1")
+    (Wire.split "query  SELECT 1 ");
+  Alcotest.(check (pair string string)) "split bare verb" ("ping", "")
+    (Wire.split "ping\n")
+
+(* ---- Server round-trips ---- *)
+
+let with_server f =
+  let session = Session.open_in_memory () in
+  let srv = Server.start ~domains:test_domains ~session ~port:0 () in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      Session.close session)
+    (fun () -> f srv session)
+
+let req c line = Server.Client.request c line
+
+let expect_ok what resp =
+  if Wire.field resp "ok" <> Some "true" then
+    Alcotest.failf "%s: expected ok, got %s" what resp;
+  resp
+
+let test_server_roundtrips () =
+  with_server (fun srv _session ->
+      let c = Server.Client.connect ~port:(Server.port srv) in
+      Fun.protect ~finally:(fun () -> Server.Client.disconnect c)
+        (fun () ->
+          ignore (expect_ok "ping" (req c "ping"));
+          ignore (expect_ok "exec create" (req c "exec CREATE TABLE t (a INT)"));
+          ignore (expect_ok "exec insert" (req c "exec INSERT INTO t VALUES (1)"));
+          let r = expect_ok "query" (req c "query SELECT * FROM t") in
+          Alcotest.(check (option string)) "one row" (Some "1")
+            (Wire.field r "rows");
+          (* pin a snapshot, write past it, the pin still answers old *)
+          let o = expect_ok "open" (req c "open") in
+          let pinned_rows = Wire.field o "lsn" in
+          Alcotest.(check bool) "open returns an lsn" true (pinned_rows <> None);
+          ignore (expect_ok "exec 2" (req c "exec INSERT INTO t VALUES (2)"));
+          let r = expect_ok "pinned query" (req c "query SELECT * FROM t") in
+          Alcotest.(check (option string)) "pinned snapshot is historical"
+            (Some "1") (Wire.field r "rows");
+          ignore (expect_ok "close" (req c "close"));
+          let r = expect_ok "fresh query" (req c "query SELECT * FROM t") in
+          Alcotest.(check (option string)) "unpinned read is at tip" (Some "2")
+            (Wire.field r "rows")))
+
+let test_server_batch_and_errors () =
+  with_server (fun srv _session ->
+      let c = Server.Client.connect ~port:(Server.port srv) in
+      Fun.protect ~finally:(fun () -> Server.Client.disconnect c)
+        (fun () ->
+          ignore (expect_ok "create" (req c "exec CREATE TABLE t (a INT)"));
+          (* batch is a multi-line request: send header + payload raw *)
+          let r =
+            req c "batch 2\nINSERT INTO t VALUES (1)\nINSERT INTO t VALUES (2)"
+          in
+          ignore (expect_ok "batch" r);
+          Alcotest.(check (option string)) "both executed" (Some "2")
+            (Wire.field r "executed");
+          let r = expect_ok "count" (req c "query SELECT * FROM t") in
+          Alcotest.(check (option string)) "rows committed" (Some "2")
+            (Wire.field r "rows");
+          (* protocol errors are structured, connection survives *)
+          let r = req c "exec INSERT INTO nope VALUES (1)" in
+          Alcotest.(check (option string)) "exec error is not ok" (Some "false")
+            (Wire.field r "ok");
+          let r = req c "frobnicate" in
+          Alcotest.(check (option string)) "unknown verb" (Some "false")
+            (Wire.field r "ok");
+          ignore (expect_ok "still alive" (req c "ping"))))
+
+let test_server_concurrent_clients () =
+  with_server (fun srv _session ->
+      let port = Server.port srv in
+      let c0 = Server.Client.connect ~port in
+      ignore (expect_ok "create" (req c0 "exec CREATE TABLE t (a INT)"));
+      ignore (expect_ok "seed" (req c0 "exec INSERT INTO t VALUES (0)"));
+      Server.Client.disconnect c0;
+      let clients = max 2 test_domains in
+      let wrong = Atomic.make 0 in
+      let worker i =
+        let c = Server.Client.connect ~port in
+        Fun.protect ~finally:(fun () -> Server.Client.disconnect c)
+          (fun () ->
+            for j = 1 to 10 do
+              if i = 0 then
+                (* one writer client *)
+                ignore
+                  (expect_ok "write"
+                     (req c
+                        (Printf.sprintf "exec INSERT INTO t VALUES (%d)"
+                           ((i * 100) + j))))
+              else begin
+                (* reader clients: rows and lsn must be mutually consistent
+                   (rows = lsn - 1: one DDL, then one row per commit) *)
+                let r = expect_ok "read" (req c "query SELECT * FROM t") in
+                match (Wire.field r "rows", Wire.field r "lsn") with
+                | Some rows, Some lsn ->
+                  if int_of_string rows <> int_of_string lsn - 1 then
+                    Atomic.incr wrong
+                | _ -> Atomic.incr wrong
+              end
+            done)
+      in
+      let ds = List.init clients (fun i -> Domain.spawn (fun () -> worker i)) in
+      List.iter Domain.join ds;
+      Alcotest.(check int) "every read was a consistent commit point" 0
+        (Atomic.get wrong))
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "runs jobs" `Quick test_pool_runs_jobs;
+          Alcotest.test_case "propagates exceptions" `Quick
+            test_pool_propagates_exceptions;
+        ] );
+      ("wire", [ Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip ]);
+      ( "protocol",
+        [
+          Alcotest.test_case "roundtrips" `Quick test_server_roundtrips;
+          Alcotest.test_case "batch + errors" `Quick
+            test_server_batch_and_errors;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case
+            (Printf.sprintf "%d concurrent clients" (max 2 test_domains))
+            `Slow test_server_concurrent_clients;
+        ] );
+    ]

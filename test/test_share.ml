@@ -433,48 +433,85 @@ let arb_share_stream =
 let concretize chunks =
   let occupied = Hashtbl.create 16 in
   let pos_count = Hashtbl.create 16 in
+  (* order keys a Move ever landed on: the moved row keeps its physical
+     slot, so a later insert at the same table-wide key would make the
+     equal-key physical order diverge from insertion order — the one
+     duplicate shape the stable recompute sort does NOT absorb *)
+  let moved_pos = Hashtbl.create 16 in
+  (* v_byval keys on (grp, val), so that pair must stay unique too.  We
+     track every live row's val in eighths (exact, float-free) and
+     rewrite inserted vals to a fresh monotone series (1000.125,
+     1010.125, ...) spaced wider than any possible number of Bumps in a
+     stream (<= 20 ops, each Bump shifts one group by 1/8) — so an
+     insert can never collide with any live, bumped, or deleted val.
+     Only Move_grp needs an exact check against its target group. *)
+  let rowval = Hashtbl.create 16 in
+  let fresh = ref 1000 in
   let pcount p = try Hashtbl.find pos_count p with Not_found -> 0 in
-  let add g p =
+  let add g p v8 =
     Hashtbl.replace occupied (g, p) ();
+    Hashtbl.replace rowval (g, p) v8;
     Hashtbl.replace pos_count p (pcount p + 1)
   in
   let remove g p =
     Hashtbl.remove occupied (g, p);
+    Hashtbl.remove rowval (g, p);
     Hashtbl.replace pos_count p (pcount p - 1)
   in
+  let val_in g v8 =
+    Hashtbl.fold (fun (g', _) v acc -> acc || (g' = g && v = v8)) rowval false
+  in
   List.iter
-    (fun (g, p) -> add g p)
-    [ (1, 1); (1, 2); (1, 3); (2, 1); (2, 2); (3, 1) ];
+    (fun (g, p, v8) -> add g p v8)
+    [ (1, 1, 84); (1, 2, 162); (1, 3, 121); (2, 1, 46); (2, 2, 200); (3, 1, 60) ];
   let mem g p = Hashtbl.mem occupied (g, p) in
   List.map
     (List.filter_map (fun op ->
          match op with
-         | Ins (g, p, v) ->
+         | Ins (g, p, _) ->
            let p = ref p in
-           while mem g !p do
+           while mem g !p || Hashtbl.mem moved_pos !p do
              p := !p + 7
            done;
-           add g !p;
+           let v = !fresh in
+           fresh := !fresh + 10;
+           add g !p ((8 * v) + 1);
            Some (sql_of_op (Ins (g, !p, v)))
          | Del (g, p) ->
            if mem g p then remove g p;
            Some (sql_of_op op)
-         | Bump _ ->
-           (* val-only update: applied in place, never reorders *)
+         | Bump g ->
+           (* uniform shift of one whole group: preserves within-group
+              val distinctness and relative order, so v_byval's key stays
+              unique — but the absolute vals move, so track them *)
+           Hashtbl.fold
+             (fun (g', p) v acc -> if g' = g then ((g', p), v) :: acc else acc)
+             rowval []
+           |> List.iter (fun (k, v) -> Hashtbl.replace rowval k (v + 1));
            Some (sql_of_op op)
          | Move_pos (g, p, p') ->
            if mem g p && pcount p' = 0 && p <> p' then begin
+             let v8 = Hashtbl.find rowval (g, p) in
              remove g p;
-             add g p';
+             add g p' v8;
+             Hashtbl.replace moved_pos p' ();
              Some (sql_of_op op)
            end
            else None
          | Move_grp (g, p, g') ->
            (* reinserts at the same pos: only safe if this row is the
-              sole holder of pos table-wide (v_all's order key) *)
-           if mem g p && (not (mem g' p)) && pcount p = 1 && g <> g' then begin
+              sole holder of pos table-wide (v_all's order key) and its
+              val is free in the target group (v_byval's order key) *)
+           if
+             mem g p
+             && (not (mem g' p))
+             && pcount p = 1 && g <> g'
+             && not (val_in g' (Hashtbl.find rowval (g, p)))
+           then begin
+             let v8 = Hashtbl.find rowval (g, p) in
              remove g p;
-             add g' p;
+             add g' p v8;
+             Hashtbl.replace moved_pos p ();
              Some (sql_of_op op)
            end
            else None))
